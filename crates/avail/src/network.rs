@@ -1,0 +1,480 @@
+//! The upper-layer network availability model (the paper's Figure 4) and
+//! the capacity-oriented availability reward (Table VI).
+
+use redeval_markov::{BirthDeath, SolveError};
+use redeval_srn::{PlaceId, Srn, SrnError};
+
+use crate::aggregate::AggregatedRates;
+
+/// One redundant tier: `count` identical servers whose patch behaviour is
+/// the two-state abstraction [`AggregatedRates`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tier {
+    /// Tier name (e.g. `"web"`).
+    pub name: String,
+    /// Number of redundant servers (≥ 1).
+    pub count: u32,
+    /// Aggregated patch/recovery rates from the lower-layer model.
+    pub rates: AggregatedRates,
+}
+
+impl Tier {
+    /// Creates a tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `count` is zero (a tier must have at least one server).
+    pub fn new(name: impl Into<String>, count: u32, rates: AggregatedRates) -> Self {
+        assert!(count >= 1, "a tier needs at least one server");
+        Tier {
+            name: name.into(),
+            count,
+            rates,
+        }
+    }
+}
+
+/// The composed network model: independent per-tier birth–death processes
+/// (the paper's marking-dependent `λ_eq·#Psvcup` patch transitions), with
+/// reward measures evaluated either in product form or through an explicit
+/// SRN.
+///
+/// # Examples
+///
+/// ```
+/// use redeval_avail::{AggregatedRates, NetworkModel, Tier};
+///
+/// # fn main() -> Result<(), redeval_markov::SolveError> {
+/// let r = AggregatedRates { lambda_eq: 1.0 / 720.0, mu_eq: 1.5 };
+/// let net = NetworkModel::new(vec![
+///     Tier::new("dns", 1, r),
+///     Tier::new("web", 2, r),
+/// ]);
+/// let coa = net.coa()?;
+/// assert!(coa > 0.99 && coa < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkModel {
+    tiers: Vec<Tier>,
+}
+
+impl NetworkModel {
+    /// Creates a network model from its tiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tiers` is empty.
+    pub fn new(tiers: Vec<Tier>) -> Self {
+        assert!(!tiers.is_empty(), "at least one tier required");
+        NetworkModel { tiers }
+    }
+
+    /// The tiers.
+    pub fn tiers(&self) -> &[Tier] {
+        &self.tiers
+    }
+
+    /// Total number of servers across tiers.
+    pub fn total_servers(&self) -> u32 {
+        self.tiers.iter().map(|t| t.count).sum()
+    }
+
+    /// Steady-state distribution of the number of **down** servers in tier
+    /// `i` (independent patch clocks → machine-repair birth–death).
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid-rate errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn tier_down_distribution(&self, i: usize) -> Result<Vec<f64>, SolveError> {
+        let t = &self.tiers[i];
+        BirthDeath::machine_repair(t.count as usize, t.rates.lambda_eq, t.rates.mu_eq)
+            .steady_state()
+    }
+
+    /// Expected steady-state reward of an arbitrary function of the
+    /// per-tier *up* counts, evaluated in product form (tiers are
+    /// stochastically independent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors from the per-tier chains.
+    pub fn expected_reward<F>(&self, reward: F) -> Result<f64, SolveError>
+    where
+        F: Fn(&[u32]) -> f64,
+    {
+        let dists: Vec<Vec<f64>> = (0..self.tiers.len())
+            .map(|i| self.tier_down_distribution(i))
+            .collect::<Result<_, _>>()?;
+        // Mixed-radix enumeration over (down_0, ..., down_k).
+        let radices: Vec<usize> = self.tiers.iter().map(|t| t.count as usize + 1).collect();
+        let mut idx = vec![0usize; radices.len()];
+        let mut ups = vec![0u32; radices.len()];
+        let mut total = 0.0;
+        loop {
+            let mut p = 1.0;
+            for (i, &down) in idx.iter().enumerate() {
+                p *= dists[i][down];
+                ups[i] = self.tiers[i].count - down as u32;
+            }
+            if p > 0.0 {
+                total += p * reward(&ups);
+            }
+            // Increment mixed-radix counter.
+            let mut carry = true;
+            for (i, r) in idx.iter_mut().zip(&radices) {
+                if carry {
+                    *i += 1;
+                    if *i == *r {
+                        *i = 0;
+                    } else {
+                        carry = false;
+                    }
+                }
+            }
+            if carry {
+                break;
+            }
+        }
+        Ok(total)
+    }
+
+    /// The paper's capacity-oriented availability (Table VI, generalized):
+    /// reward 0 when **any** tier has zero servers up (the service chain is
+    /// broken), otherwise the fraction of running servers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn coa(&self) -> Result<f64, SolveError> {
+        let total = self.total_servers() as f64;
+        self.expected_reward(|ups| {
+            if ups.iter().any(|&u| u == 0) {
+                0.0
+            } else {
+                ups.iter().map(|&u| u as f64).sum::<f64>() / total
+            }
+        })
+    }
+
+    /// Classical availability: probability that every tier has at least
+    /// one server up.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn availability(&self) -> Result<f64, SolveError> {
+        self.expected_reward(|ups| if ups.iter().all(|&u| u > 0) { 1.0 } else { 0.0 })
+    }
+
+    /// Quorum COA: like [`coa`](Self::coa) but tier `i` needs at least
+    /// `quorum[i]` servers up to deliver service (k-out-of-n tiers, e.g.
+    /// consensus clusters or capacity floors).
+    ///
+    /// With `quorum = [1, 1, …]` this equals [`coa`](Self::coa).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `quorum` and tiers differ in length or a quorum exceeds
+    /// the tier size.
+    pub fn coa_with_quorum(&self, quorum: &[u32]) -> Result<f64, SolveError> {
+        assert_eq!(quorum.len(), self.tiers.len(), "one quorum per tier");
+        for (q, t) in quorum.iter().zip(&self.tiers) {
+            assert!(*q >= 1 && *q <= t.count, "quorum {q} invalid for tier of {}", t.count);
+        }
+        let total = self.total_servers() as f64;
+        let quorum = quorum.to_vec();
+        self.expected_reward(move |ups| {
+            if ups.iter().zip(&quorum).any(|(&u, &q)| u < q) {
+                0.0
+            } else {
+                ups.iter().map(|&u| u as f64).sum::<f64>() / total
+            }
+        })
+    }
+
+    /// Expected number of running servers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn expected_up_servers(&self) -> Result<f64, SolveError> {
+        self.expected_reward(|ups| ups.iter().map(|&u| u as f64).sum())
+    }
+
+    /// Builds the explicit Figure-4 SRN: per tier, a `P<t>up`/`P<t>pd`
+    /// place pair with marking-dependent patch rate `λ_eq·#up` and recovery
+    /// `µ_eq·#down`.
+    ///
+    /// Returns the net plus the per-tier *up* places for reward functions.
+    pub fn to_srn(&self) -> (Srn, Vec<PlaceId>) {
+        let mut net = Srn::new("network");
+        let mut up_places = Vec::with_capacity(self.tiers.len());
+        for t in &self.tiers {
+            let up = net.add_place(format!("P{}up", t.name), t.count);
+            let down = net.add_place(format!("P{}pd", t.name), 0);
+            let lambda = t.rates.lambda_eq;
+            let mu = t.rates.mu_eq;
+            let patch = net.add_timed_fn(format!("T{}d", t.name), move |m| {
+                lambda * m.tokens(up) as f64
+            });
+            net.add_move(patch, up, down).expect("valid ids");
+            let recover = net.add_timed_fn(format!("T{}up", t.name), move |m| {
+                mu * m.tokens(down) as f64
+            });
+            net.add_move(recover, down, up).expect("valid ids");
+            up_places.push(up);
+        }
+        (net, up_places)
+    }
+
+    /// Interval (time-averaged) COA over `[0, horizon_hours]`, starting
+    /// from the fully-up state: `(1/t)∫₀ᵗ E[reward(s)] ds` by
+    /// uniformization on the composed SRN.
+    ///
+    /// Unlike the steady-state [`coa`](Self::coa), this answers "how much
+    /// capacity do I get over the *next month*", which is higher than the
+    /// long-run value while the first patch cycles have not yet hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SRN/CTMC errors; `horizon_hours` must be positive.
+    pub fn interval_coa(&self, horizon_hours: f64) -> Result<f64, SrnError> {
+        let (net, ups) = self.to_srn();
+        let space = net.state_space()?;
+        let markings = space.tangible_markings().to_vec();
+        let counts: Vec<u32> = self.tiers.iter().map(|t| t.count).collect();
+        let total: u32 = counts.iter().sum();
+        let reward_of = |idx: usize| -> f64 {
+            let m = &markings[idx];
+            let mut sum = 0u32;
+            for &p in &ups {
+                let u = m.tokens(p);
+                if u == 0 {
+                    return 0.0;
+                }
+                sum += u;
+            }
+            f64::from(sum) / f64::from(total)
+        };
+        let initial = space
+            .initial_distribution()
+            .first()
+            .map(|&(i, _)| i)
+            .expect("nonempty state space");
+        Ok(space
+            .ctmc()
+            .interval_reward(initial, horizon_hours, reward_of)
+            .map_err(redeval_srn::SrnError::from)?)
+    }
+
+    /// COA computed through the explicit SRN — an independent cross-check
+    /// of [`coa`](Self::coa).
+    ///
+    /// # Errors
+    ///
+    /// Propagates SRN errors.
+    pub fn coa_via_srn(&self) -> Result<f64, SrnError> {
+        let (net, ups) = self.to_srn();
+        let solved = net.solve()?;
+        let counts: Vec<u32> = self.tiers.iter().map(|t| t.count).collect();
+        let total: u32 = counts.iter().sum();
+        Ok(solved.expected(|m| {
+            let up_counts: Vec<u32> = ups.iter().map(|&p| m.tokens(p)).collect();
+            if up_counts.iter().any(|&u| u == 0) {
+                0.0
+            } else {
+                up_counts.iter().map(|&u| u as f64).sum::<f64>() / total as f64
+            }
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rates(mttr_hours: f64) -> AggregatedRates {
+        AggregatedRates {
+            lambda_eq: 1.0 / 720.0,
+            mu_eq: 1.0 / mttr_hours,
+        }
+    }
+
+    /// The paper's case-study network (Table V rates).
+    fn case_study() -> NetworkModel {
+        NetworkModel::new(vec![
+            Tier::new("dns", 1, AggregatedRates { lambda_eq: 1.0 / 720.0, mu_eq: 1.49992 }),
+            Tier::new("web", 2, AggregatedRates { lambda_eq: 1.0 / 720.0, mu_eq: 1.71420 }),
+            Tier::new("app", 2, AggregatedRates { lambda_eq: 1.0 / 720.0, mu_eq: 0.99995 }),
+            Tier::new("db", 1, AggregatedRates { lambda_eq: 1.0 / 720.0, mu_eq: 1.09085 }),
+        ])
+    }
+
+    #[test]
+    fn paper_coa_0_99707() {
+        let coa = case_study().coa().unwrap();
+        assert!(
+            (coa - 0.99707).abs() < 5e-5,
+            "COA {coa} vs paper 0.99707"
+        );
+    }
+
+    #[test]
+    fn product_form_matches_srn() {
+        let net = case_study();
+        let a = net.coa().unwrap();
+        let b = net.coa_via_srn().unwrap();
+        assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+    }
+
+    #[test]
+    fn single_tier_single_server() {
+        let net = NetworkModel::new(vec![Tier::new("only", 1, rates(1.0))]);
+        let coa = net.coa().unwrap();
+        // Availability of a 2-state chain: µ/(λ+µ) with µ = 1, λ = 1/720.
+        let expect = 1.0 / (1.0 + 1.0 / 720.0);
+        assert!((coa - expect).abs() < 1e-12);
+        assert_eq!(net.total_servers(), 1);
+    }
+
+    #[test]
+    fn redundancy_increases_coa_of_bottleneck() {
+        let base = NetworkModel::new(vec![
+            Tier::new("a", 1, rates(1.0)),
+            Tier::new("b", 1, rates(0.5)),
+        ]);
+        let redundant = NetworkModel::new(vec![
+            Tier::new("a", 2, rates(1.0)),
+            Tier::new("b", 1, rates(0.5)),
+        ]);
+        assert!(redundant.coa().unwrap() > base.coa().unwrap());
+    }
+
+    #[test]
+    fn redundancy_on_slowest_tier_helps_most() {
+        // The paper's observation: duplicating the tier with the longest
+        // MTTR yields the highest COA.
+        let slow = rates(2.0);
+        let fast = rates(0.5);
+        let dup_slow = NetworkModel::new(vec![
+            Tier::new("slow", 2, slow),
+            Tier::new("fast", 1, fast),
+        ]);
+        let dup_fast = NetworkModel::new(vec![
+            Tier::new("slow", 1, slow),
+            Tier::new("fast", 2, fast),
+        ]);
+        assert!(dup_slow.coa().unwrap() > dup_fast.coa().unwrap());
+    }
+
+    #[test]
+    fn interval_coa_decreases_to_steady_state() {
+        let net = case_study();
+        let steady = net.coa().unwrap();
+        // The transient relaxes within ~MTTR (≈1 h), far faster than the
+        // 720-h patch interval: very short windows still see extra
+        // capacity, and the interval value decreases towards steady state.
+        let tiny = net.interval_coa(0.05).unwrap();
+        let short = net.interval_coa(1.0).unwrap();
+        let month = net.interval_coa(720.0).unwrap();
+        let long = net.interval_coa(100_000.0).unwrap();
+        assert!(tiny > 0.9999, "{tiny}");
+        assert!(tiny >= short && short >= month && month >= long);
+        assert!(short > steady);
+        assert!((long - steady).abs() < 1e-4, "{long} vs {steady}");
+    }
+
+    #[test]
+    fn availability_exceeds_coa() {
+        // COA penalizes partial capacity; plain availability does not.
+        let net = case_study();
+        let coa = net.coa().unwrap();
+        let avail = net.availability().unwrap();
+        assert!(avail >= coa);
+    }
+
+    #[test]
+    fn expected_up_servers_close_to_total() {
+        let net = case_study();
+        let e = net.expected_up_servers().unwrap();
+        assert!(e > 5.98 && e < 6.0);
+    }
+
+    #[test]
+    fn quorum_one_equals_plain_coa() {
+        let net = case_study();
+        let coa = net.coa().unwrap();
+        let q1 = net.coa_with_quorum(&[1, 1, 1, 1]).unwrap();
+        assert!((coa - q1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stricter_quorum_lowers_coa() {
+        let net = case_study();
+        let loose = net.coa_with_quorum(&[1, 1, 1, 1]).unwrap();
+        let strict = net.coa_with_quorum(&[1, 2, 2, 1]).unwrap();
+        assert!(strict < loose);
+        // Needing both web servers up makes any web patch an outage.
+        assert!(strict < 0.997);
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum")]
+    fn quorum_larger_than_tier_panics() {
+        let _ = case_study().coa_with_quorum(&[2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn tier_distribution_sums_to_one() {
+        let net = case_study();
+        for i in 0..net.tiers().len() {
+            let d = net.tier_down_distribution(i).unwrap();
+            assert_eq!(d.len(), net.tiers()[i].count as usize + 1);
+            assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn table_vi_reward_values_exercised() {
+        // With 1+2+2+1 servers the reward takes exactly the paper's values
+        // {1, 5/6, 4/6, 0} on the states it lists.
+        let net = case_study();
+        let total = net.total_servers() as f64;
+        assert_eq!(total, 6.0);
+        let reward = |ups: &[u32]| {
+            if ups.iter().any(|&u| u == 0) {
+                0.0
+            } else {
+                ups.iter().map(|&u| u as f64).sum::<f64>() / total
+            }
+        };
+        assert_eq!(reward(&[1, 2, 2, 1]), 1.0);
+        assert!((reward(&[1, 1, 2, 1]) - 5.0 / 6.0).abs() < 1e-15);
+        assert!((reward(&[1, 2, 1, 1]) - 5.0 / 6.0).abs() < 1e-15);
+        assert!((reward(&[1, 1, 1, 1]) - 4.0 / 6.0).abs() < 1e-15);
+        assert_eq!(reward(&[0, 2, 2, 1]), 0.0);
+        assert_eq!(reward(&[1, 0, 2, 1]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_count_tier_panics() {
+        let _ = Tier::new("x", 0, rates(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tier")]
+    fn empty_network_panics() {
+        let _ = NetworkModel::new(vec![]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Criterion bench: steady-state solver comparison (GTH vs Gauss–Seidel vs
+//! power iteration) on birth–death chains of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redeval_markov::{BirthDeath, SteadyStateMethod, SteadyStateOptions};
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ctmc_steady_state");
+    for &n in &[16usize, 64, 256] {
+        let bd = BirthDeath::machine_repair(n, 0.01, 1.0);
+        let ctmc = bd.to_ctmc();
+        for (label, method) in [
+            ("gth", SteadyStateMethod::Gth),
+            ("gauss_seidel", SteadyStateMethod::GaussSeidel),
+            ("power", SteadyStateMethod::Power),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &ctmc, |b, ctmc| {
+                let opts = SteadyStateOptions {
+                    method,
+                    tolerance: 1e-10,
+                    ..Default::default()
+                };
+                b.iter(|| std::hint::black_box(ctmc.steady_state_with(&opts).unwrap()));
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("closed_form", n), &bd, |b, bd| {
+            b.iter(|| std::hint::black_box(bd.steady_state().unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let bd = BirthDeath::machine_repair(64, 0.01, 1.0);
+    let ctmc = bd.to_ctmc();
+    c.bench_function("ctmc_transient/uniformization_t100", |b| {
+        b.iter(|| std::hint::black_box(ctmc.transient(0, 100.0).unwrap()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_solvers, bench_transient
+}
+criterion_main!(benches);

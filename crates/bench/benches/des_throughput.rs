@@ -1,0 +1,39 @@
+//! Criterion bench: discrete-event simulator throughput on the server SRN
+//! and the Monte-Carlo attack sampler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redeval::case_study;
+use redeval_avail::ServerModel;
+use redeval_sim::{estimate_asp, Simulation};
+
+fn bench_des(c: &mut Criterion) {
+    let model = ServerModel::build(&case_study::dns_params());
+    c.bench_function("des/server_10k_hours", |b| {
+        let places = *model.places();
+        b.iter(|| {
+            let mut sim = Simulation::new(model.net(), 42);
+            sim.add_reward("avail", move |m| {
+                if places.service_up(m) {
+                    1.0
+                } else {
+                    0.0
+                }
+            });
+            std::hint::black_box(sim.run(0.0, 10_000.0, 4).unwrap())
+        });
+    });
+}
+
+fn bench_attack_mc(c: &mut Criterion) {
+    let harm = case_study::network().build_harm().patched_critical(8.0);
+    c.bench_function("attack_mc/10k_trials", |b| {
+        b.iter(|| std::hint::black_box(estimate_asp(&harm, 10_000, 7)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_des, bench_attack_mc
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion bench: HARM construction and metric evaluation as the network
+//! grows (the scalability story of the HARM reference [4]).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redeval::{AttackTree, MetricsConfig, NetworkSpec, ServerParams, TierSpec, Vulnerability};
+
+/// A k-tier chain with `width` redundant servers per middle tier.
+fn chain_spec(tiers: usize, width: u32) -> NetworkSpec {
+    let mk_tree = |i: usize| {
+        Some(AttackTree::or(vec![
+            AttackTree::leaf(Vulnerability::new(format!("v{i}a"), 10.0, 1.0)),
+            AttackTree::and(vec![
+                AttackTree::leaf(Vulnerability::new(format!("v{i}b"), 2.9, 1.0)),
+                AttackTree::leaf(Vulnerability::new(format!("v{i}c"), 10.0, 0.39)),
+            ]),
+        ]))
+    };
+    let specs: Vec<TierSpec> = (0..tiers)
+        .map(|i| TierSpec {
+            name: format!("t{i}"),
+            count: if i == 0 || i == tiers - 1 { 1 } else { width },
+            params: ServerParams::builder(format!("t{i}")).build(),
+            tree: mk_tree(i),
+            entry: i == 0,
+            target: i == tiers - 1,
+        })
+        .collect();
+    let edges = (0..tiers - 1).map(|i| (i, i + 1)).collect();
+    NetworkSpec::new(specs, edges)
+}
+
+fn bench_harm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("harm_metrics");
+    for &(tiers, width) in &[(4usize, 2u32), (5, 3), (6, 3), (6, 4)] {
+        let spec = chain_spec(tiers, width);
+        let paths = (width as usize).pow((tiers - 2) as u32);
+        group.bench_with_input(
+            BenchmarkId::new("metrics", format!("{tiers}tiers_w{width}_{paths}paths")),
+            &spec,
+            |b, spec| {
+                let cfg = MetricsConfig::default();
+                b.iter(|| {
+                    let harm = spec.build_harm();
+                    std::hint::black_box(harm.metrics(&cfg))
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("harm_patch");
+    let spec = chain_spec(6, 3);
+    group.bench_function("patch_and_reeval", |b| {
+        let harm = spec.build_harm();
+        let cfg = MetricsConfig::default();
+        b.iter(|| std::hint::black_box(harm.patched_critical(8.0).metrics(&cfg)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_harm
+}
+criterion_main!(benches);

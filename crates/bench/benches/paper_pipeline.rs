@@ -1,0 +1,29 @@
+//! Criterion bench: the full paper pipeline — evaluator construction
+//! (four lower-layer SRN solves) and the five-design evaluation behind
+//! Figures 6/7.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redeval::case_study;
+
+fn bench_pipeline(c: &mut Criterion) {
+    c.bench_function("pipeline/evaluator_construction", |b| {
+        b.iter(|| std::hint::black_box(case_study::evaluator().unwrap()));
+    });
+
+    let evaluator = case_study::evaluator().unwrap();
+    let designs = case_study::five_designs();
+    c.bench_function("pipeline/five_designs_eval", |b| {
+        b.iter(|| std::hint::black_box(evaluator.evaluate_all(&designs).unwrap()));
+    });
+
+    c.bench_function("pipeline/single_design_eval", |b| {
+        b.iter(|| std::hint::black_box(evaluator.evaluate("case", &[1, 2, 2, 1]).unwrap()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

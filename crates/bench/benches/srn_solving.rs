@@ -1,0 +1,48 @@
+//! Criterion bench: SRN reachability generation + CTMC solve for the
+//! paper's models (the SPNP-equivalent workload).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redeval::case_study;
+use redeval_avail::{NetworkModel, ServerModel, Tier};
+
+fn bench_server_srn(c: &mut Criterion) {
+    let params = case_study::app_params();
+    c.bench_function("server_srn/state_space", |b| {
+        let model = ServerModel::build(&params);
+        b.iter(|| std::hint::black_box(model.net().state_space().unwrap()));
+    });
+    c.bench_function("server_srn/full_analysis", |b| {
+        b.iter(|| std::hint::black_box(params.analyze().unwrap()));
+    });
+}
+
+fn bench_network_srn(c: &mut Criterion) {
+    let spec = case_study::network();
+    let analyses = spec.tier_analyses().unwrap();
+    let model = spec.network_model(&analyses);
+    c.bench_function("network/coa_product_form", |b| {
+        b.iter(|| std::hint::black_box(model.coa().unwrap()));
+    });
+    c.bench_function("network/coa_via_srn", |b| {
+        b.iter(|| std::hint::black_box(model.coa_via_srn().unwrap()));
+    });
+    // Larger composed nets: k tiers of n servers.
+    for (tiers, n) in [(4u32, 4u32), (5, 5)] {
+        let rates = analyses[0].rates();
+        let model = NetworkModel::new(
+            (0..tiers)
+                .map(|i| Tier::new(format!("t{i}"), n, rates))
+                .collect(),
+        );
+        c.bench_function(&format!("network/coa_srn_{tiers}x{n}"), |b| {
+            b.iter(|| std::hint::black_box(model.coa_via_srn().unwrap()));
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_server_srn, bench_network_srn
+}
+criterion_main!(benches);

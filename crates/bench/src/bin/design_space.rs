@@ -1,0 +1,57 @@
+//! Extension (paper §V "systems"): exhaustive design-space search with the
+//! paper's decision functions, beyond the five hand-picked designs.
+
+use redeval::case_study;
+use redeval::decision::ScatterBounds;
+use redeval_bench::{design_row, header};
+
+fn main() {
+    let max_redundancy: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+
+    let evaluator = case_study::evaluator().expect("evaluator builds");
+    let designs = evaluator.base().enumerate_designs(max_redundancy);
+    header(&format!(
+        "design space 1..={max_redundancy} per tier: {} designs",
+        designs.len()
+    ));
+    let evals = evaluator.evaluate_all(&designs).expect("designs evaluate");
+
+    // Rank by COA and show the extremes.
+    let mut by_coa: Vec<&redeval::DesignEvaluation> = evals.iter().collect();
+    by_coa.sort_by(|a, b| b.coa.partial_cmp(&a.coa).expect("finite"));
+    println!("highest COA:");
+    for e in by_coa.iter().take(5) {
+        println!("  {}", design_row(e));
+    }
+    println!("lowest COA:");
+    for e in by_coa.iter().rev().take(3) {
+        println!("  {}", design_row(e));
+    }
+
+    header("designs satisfying φ=0.2, ψ=0.9968 (tight bounds need redundancy)");
+    let bounds = ScatterBounds {
+        max_asp: 0.2,
+        min_coa: 0.9968,
+    };
+    let mut region = bounds.region(&evals);
+    region.sort_by(|a, b| {
+        a.total_servers()
+            .cmp(&b.total_servers())
+            .then(a.name.cmp(&b.name))
+    });
+    if region.is_empty() {
+        println!("(none — bounds unsatisfiable in this space)");
+    }
+    for e in region.iter().take(10) {
+        println!("  {}", design_row(e));
+    }
+    println!();
+    println!(
+        "{} of {} designs satisfy the bounds",
+        region.len(),
+        evals.len()
+    );
+}

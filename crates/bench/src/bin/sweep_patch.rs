@@ -1,0 +1,71 @@
+//! Ablation (paper §V "patch schedule"): sweeps the patch interval and the
+//! criticality threshold, reporting the COA/security trade-off for the
+//! case-study design.
+
+use redeval::case_study;
+use redeval::{Durations, Evaluator, MetricsConfig, NetworkSpec, PatchPolicy};
+use redeval_bench::header;
+
+fn with_interval(days: f64) -> NetworkSpec {
+    let base = case_study::network();
+    let tiers = base
+        .tiers()
+        .iter()
+        .cloned()
+        .map(|mut t| {
+            t.params.patch_interval = Durations::days(days);
+            t
+        })
+        .collect();
+    NetworkSpec::new(tiers, base.edges().to_vec())
+}
+
+fn main() {
+    header("patch-interval sweep (case-study network, 1+2+2+1)");
+    println!(
+        "{:>10} {:>10} {:>14} {:>16}",
+        "interval", "COA", "downtime h/mo", "mean exposure"
+    );
+    for days in [3.5, 7.0, 14.0, 30.0, 60.0, 90.0, 180.0, 365.0] {
+        let evaluator = Evaluator::new(with_interval(days)).expect("evaluator builds");
+        let e = evaluator.evaluate("case", &[1, 2, 2, 1]).expect("evaluates");
+        println!(
+            "{:>8.1} d {:>10.5} {:>14.2} {:>13.1} d",
+            days,
+            e.coa,
+            (1.0 - e.coa) * 720.0,
+            // A vulnerability disclosed uniformly within a cycle waits on
+            // average half the interval for its patch.
+            days / 2.0
+        );
+    }
+    println!();
+    println!("COA falls as patching gets more frequent (more patch windows),");
+    println!("while security exposure to newly disclosed criticals shrinks.");
+
+    header("criticality-threshold sweep (monthly patching)");
+    println!(
+        "{:>10} {:>8} {:>6} {:>6} {:>6}",
+        "threshold", "ASP", "NoEV", "NoAP", "NoEP"
+    );
+    for threshold in [9.5, 9.0, 8.0, 7.0, 6.0, 5.0, 4.0, 0.0] {
+        let evaluator = Evaluator::with_options(
+            case_study::network(),
+            MetricsConfig::default(),
+            PatchPolicy::CriticalOnly(threshold),
+        )
+        .expect("evaluator builds");
+        let e = evaluator.evaluate("case", &[1, 2, 2, 1]).expect("evaluates");
+        println!(
+            "{:>10.1} {:>8.4} {:>6} {:>6} {:>6}",
+            threshold,
+            e.after.attack_success_probability,
+            e.after.exploitable_vulnerabilities,
+            e.after.attack_paths,
+            e.after.entry_points
+        );
+    }
+    println!();
+    println!("threshold 8.0 is the paper's policy; lowering it removes the");
+    println!("AND-pair footholds and eventually closes every attack path.");
+}

@@ -1,0 +1,51 @@
+//! Shared helpers for the `redeval-bench` report binaries.
+//!
+//! Each paper table/figure has a binary under `src/bin/` that regenerates
+//! it (see `DESIGN.md` §5 for the index); this library carries the small
+//! formatting utilities they share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use redeval::DesignEvaluation;
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("==== {title} ====");
+    println!();
+}
+
+/// Prints a paper-vs-measured comparison line.
+pub fn compare(label: &str, paper: f64, ours: f64) {
+    let rel = if paper != 0.0 {
+        format!("{:+.3}%", (ours - paper) / paper * 100.0)
+    } else {
+        String::from("n/a")
+    };
+    println!("{label:<44} paper {paper:>10.5}   ours {ours:>10.5}   Δ {rel}");
+}
+
+/// Formats a design-evaluation row used by several binaries.
+pub fn design_row(e: &DesignEvaluation) -> String {
+    format!(
+        "{:<32} ASP {:>7.4}  AIM {:>5.1}  NoEV {:>2}  NoAP {:>2}  NoEP {:>2}  COA {:>8.5}",
+        e.name,
+        e.after.attack_success_probability,
+        e.after.attack_impact,
+        e.after.exploitable_vulnerabilities,
+        e.after.attack_paths,
+        e.after.entry_points,
+        e.coa
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn smoke() {
+        super::header("x");
+        super::compare("y", 1.0, 1.001);
+        super::compare("z", 0.0, 0.5);
+    }
+}

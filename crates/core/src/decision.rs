@@ -1,0 +1,152 @@
+//! The paper's decision functions: Equations (3) and (4).
+//!
+//! An administrator defines upper bounds on the security metrics and a
+//! lower bound on COA; a design *satisfies* the requirements when every
+//! bound holds. [`ScatterBounds`] is Equation (3) (two metrics, the
+//! Figure 6 scatter analysis); [`MultiBounds`] is Equation (4) (the
+//! Figure 7 radar analysis).
+
+use crate::evaluation::DesignEvaluation;
+
+/// Equation (3): `f(ASP, COA) = 1 ⇔ ASP ≤ φ ∧ COA ≥ ψ`.
+///
+/// Bounds are checked against the **after-patch** security metrics, as in
+/// the paper's Section IV-A.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScatterBounds {
+    /// φ — upper bound on the attack success probability.
+    pub max_asp: f64,
+    /// ψ — lower bound on the capacity-oriented availability.
+    pub min_coa: f64,
+}
+
+impl ScatterBounds {
+    /// Evaluates the decision function on a design evaluation.
+    pub fn satisfied(&self, e: &DesignEvaluation) -> bool {
+        e.after.attack_success_probability <= self.max_asp && e.coa >= self.min_coa
+    }
+
+    /// The subset of designs satisfying the bounds (the paper's "region").
+    pub fn region<'a>(&self, evals: &'a [DesignEvaluation]) -> Vec<&'a DesignEvaluation> {
+        evals.iter().filter(|e| self.satisfied(e)).collect()
+    }
+}
+
+/// Equation (4): bounds on ASP, NoEV, NoAP, NoEP and COA.
+///
+/// AIM carries no bound because it is identical across the paper's designs
+/// (the longest attack path is shared); a bound can still be expressed by
+/// filtering on [`DesignEvaluation::after`] directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiBounds {
+    /// φ — upper bound on attack success probability.
+    pub max_asp: f64,
+    /// ξ — upper bound on the number of exploitable vulnerabilities.
+    pub max_noev: usize,
+    /// ω — upper bound on the number of attack paths.
+    pub max_noap: usize,
+    /// κ — upper bound on the number of entry points.
+    pub max_noep: usize,
+    /// ψ — lower bound on COA.
+    pub min_coa: f64,
+}
+
+impl MultiBounds {
+    /// Evaluates the decision function on a design evaluation.
+    pub fn satisfied(&self, e: &DesignEvaluation) -> bool {
+        e.after.attack_success_probability <= self.max_asp
+            && e.after.exploitable_vulnerabilities <= self.max_noev
+            && e.after.attack_paths <= self.max_noap
+            && e.after.entry_points <= self.max_noep
+            && e.coa >= self.min_coa
+    }
+
+    /// The subset of designs satisfying the bounds.
+    pub fn region<'a>(&self, evals: &'a [DesignEvaluation]) -> Vec<&'a DesignEvaluation> {
+        evals.iter().filter(|e| self.satisfied(e)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redeval_harm::SecurityMetrics;
+
+    fn metrics(asp: f64, noev: usize, noap: usize, noep: usize) -> SecurityMetrics {
+        SecurityMetrics {
+            attack_impact: 42.2,
+            attack_success_probability: asp,
+            exploitable_vulnerabilities: noev,
+            attack_paths: noap,
+            entry_points: noep,
+            shortest_path_length: Some(3),
+            mean_path_length: 3.0,
+            risk: 1.0,
+        }
+    }
+
+    fn eval(asp: f64, noev: usize, noap: usize, noep: usize, coa: f64) -> DesignEvaluation {
+        DesignEvaluation {
+            name: "d".into(),
+            counts: vec![1, 1, 1, 1],
+            before: metrics(1.0, 16, 2, 2),
+            after: metrics(asp, noev, noap, noep),
+            coa,
+            availability: coa,
+            expected_up: 4.0,
+        }
+    }
+
+    #[test]
+    fn scatter_bounds_both_must_hold() {
+        let b = ScatterBounds {
+            max_asp: 0.2,
+            min_coa: 0.9962,
+        };
+        assert!(b.satisfied(&eval(0.15, 9, 2, 1, 0.9965)));
+        assert!(!b.satisfied(&eval(0.25, 9, 2, 1, 0.9965))); // ASP too high
+        assert!(!b.satisfied(&eval(0.15, 9, 2, 1, 0.9950))); // COA too low
+    }
+
+    #[test]
+    fn bounds_are_inclusive() {
+        let b = ScatterBounds {
+            max_asp: 0.2,
+            min_coa: 0.996,
+        };
+        assert!(b.satisfied(&eval(0.2, 9, 2, 1, 0.996)));
+    }
+
+    #[test]
+    fn multi_bounds_every_metric_checked() {
+        let b = MultiBounds {
+            max_asp: 0.2,
+            max_noev: 9,
+            max_noap: 2,
+            max_noep: 1,
+            min_coa: 0.996,
+        };
+        assert!(b.satisfied(&eval(0.1, 9, 2, 1, 0.997)));
+        assert!(!b.satisfied(&eval(0.1, 10, 2, 1, 0.997)));
+        assert!(!b.satisfied(&eval(0.1, 9, 3, 1, 0.997)));
+        assert!(!b.satisfied(&eval(0.1, 9, 2, 2, 0.997)));
+        assert!(!b.satisfied(&eval(0.3, 9, 2, 1, 0.997)));
+        assert!(!b.satisfied(&eval(0.1, 9, 2, 1, 0.99)));
+    }
+
+    #[test]
+    fn region_filters() {
+        let evals = vec![
+            eval(0.1, 7, 1, 1, 0.9965),
+            eval(0.3, 9, 2, 1, 0.9968),
+            eval(0.1, 9, 2, 1, 0.9950),
+        ];
+        let b = ScatterBounds {
+            max_asp: 0.2,
+            min_coa: 0.996,
+        };
+        let region = b.region(&evals);
+        assert_eq!(region.len(), 1);
+        assert_eq!(region[0].after.exploitable_vulnerabilities, 7);
+    }
+}

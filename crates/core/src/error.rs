@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+
+use redeval_markov::SolveError;
+use redeval_srn::SrnError;
+
+/// Errors surfaced by the evaluation pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// An availability SRN failed to build or solve.
+    Srn(SrnError),
+    /// A Markov-chain solve failed.
+    Solve(SolveError),
+    /// A design supplied the wrong number of tier counts.
+    CountMismatch {
+        /// Tiers in the base specification.
+        expected: usize,
+        /// Counts supplied.
+        got: usize,
+    },
+    /// A design asked for zero servers in some tier.
+    ZeroServers {
+        /// The offending tier name.
+        tier: String,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Srn(e) => write!(f, "availability model failed: {e}"),
+            EvalError::Solve(e) => write!(f, "markov solve failed: {e}"),
+            EvalError::CountMismatch { expected, got } => {
+                write!(f, "design has {got} tier counts, specification has {expected} tiers")
+            }
+            EvalError::ZeroServers { tier } => {
+                write!(f, "tier `{tier}` needs at least one server")
+            }
+        }
+    }
+}
+
+impl Error for EvalError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EvalError::Srn(e) => Some(e),
+            EvalError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SrnError> for EvalError {
+    fn from(e: SrnError) -> Self {
+        EvalError::Srn(e)
+    }
+}
+
+impl From<SolveError> for EvalError {
+    fn from(e: SolveError) -> Self {
+        EvalError::Solve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        let e = EvalError::from(SolveError::Reducible);
+        assert!(e.source().is_some());
+        let e = EvalError::from(SrnError::VanishingLoop);
+        assert!(e.to_string().contains("availability model"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<EvalError>();
+    }
+}

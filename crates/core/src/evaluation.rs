@@ -1,0 +1,283 @@
+//! Phase 2+3: model construction and combined evaluation of one design.
+
+use redeval_avail::ServerAnalysis;
+use redeval_harm::{MetricsConfig, SecurityMetrics, Vulnerability};
+
+use crate::spec::NetworkSpec;
+use crate::EvalError;
+
+/// Which vulnerabilities the patch round removes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatchPolicy {
+    /// Patch nothing (the "before" model).
+    None,
+    /// Patch vulnerabilities with CVSS base score strictly above the
+    /// threshold — the paper uses `CriticalOnly(8.0)`.
+    CriticalOnly(f64),
+    /// Patch everything.
+    All,
+}
+
+impl PatchPolicy {
+    /// Whether this policy patches the given vulnerability.
+    pub fn patches(&self, v: &Vulnerability) -> bool {
+        match self {
+            PatchPolicy::None => false,
+            PatchPolicy::CriticalOnly(t) => v.is_critical(*t),
+            PatchPolicy::All => true,
+        }
+    }
+}
+
+/// The complete evaluation of one redundancy design: the paper's security
+/// metrics before and after the patch, plus the availability measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignEvaluation {
+    /// Design name.
+    pub name: String,
+    /// Per-tier server counts.
+    pub counts: Vec<u32>,
+    /// Security metrics of the unpatched network.
+    pub before: SecurityMetrics,
+    /// Security metrics after the patch round.
+    pub after: SecurityMetrics,
+    /// Capacity-oriented availability under the patch schedule.
+    pub coa: f64,
+    /// Classical availability (every tier has ≥ 1 server up).
+    pub availability: f64,
+    /// Expected number of running servers.
+    pub expected_up: f64,
+}
+
+impl DesignEvaluation {
+    /// Total servers in the design.
+    pub fn total_servers(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Evaluates designs against a base specification, caching the expensive
+/// per-tier lower-layer SRN solves (they are count-independent).
+///
+/// See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct Evaluator {
+    base: NetworkSpec,
+    analyses: Vec<ServerAnalysis>,
+    metrics_config: MetricsConfig,
+    patch: PatchPolicy,
+}
+
+impl Evaluator {
+    /// Builds an evaluator: solves each tier's server SRN once.
+    ///
+    /// Uses the paper's defaults: critical-only patching at base score 8.0
+    /// and the default ASP aggregation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SRN errors from the lower-layer solves.
+    pub fn new(base: NetworkSpec) -> Result<Self, EvalError> {
+        Self::with_options(base, MetricsConfig::default(), PatchPolicy::CriticalOnly(8.0))
+    }
+
+    /// Builds an evaluator with explicit metric and patch configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SRN errors from the lower-layer solves.
+    pub fn with_options(
+        base: NetworkSpec,
+        metrics_config: MetricsConfig,
+        patch: PatchPolicy,
+    ) -> Result<Self, EvalError> {
+        let analyses = base.tier_analyses()?;
+        Ok(Evaluator {
+            base,
+            analyses,
+            metrics_config,
+            patch,
+        })
+    }
+
+    /// The base specification.
+    pub fn base(&self) -> &NetworkSpec {
+        &self.base
+    }
+
+    /// The cached per-tier analyses (aggregated rates etc.).
+    pub fn tier_analyses(&self) -> &[ServerAnalysis] {
+        &self.analyses
+    }
+
+    /// The active patch policy.
+    pub fn patch_policy(&self) -> &PatchPolicy {
+        &self.patch
+    }
+
+    /// The active metrics configuration.
+    pub fn metrics_config(&self) -> &MetricsConfig {
+        &self.metrics_config
+    }
+
+    /// Evaluates one design (per-tier counts over the base spec).
+    ///
+    /// # Errors
+    ///
+    /// Returns count-validation errors and solver errors.
+    pub fn evaluate(&self, name: &str, counts: &[u32]) -> Result<DesignEvaluation, EvalError> {
+        let spec = self.base.with_counts(counts)?;
+
+        // Security: HARM before and after patch.
+        let harm = spec.build_harm();
+        let before = harm.metrics(&self.metrics_config);
+        let patch = self.patch.clone();
+        let after = harm
+            .patched(&move |v| patch.patches(v))
+            .metrics(&self.metrics_config);
+
+        // Availability: upper-layer model from cached aggregations.
+        let model = spec.network_model(&self.analyses);
+        let coa = model.coa()?;
+        let availability = model.availability()?;
+        let expected_up = model.expected_up_servers()?;
+
+        Ok(DesignEvaluation {
+            name: name.to_string(),
+            counts: counts.to_vec(),
+            before,
+            after,
+            coa,
+            availability,
+            expected_up,
+        })
+    }
+
+    /// Evaluates a list of designs.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first invalid design.
+    pub fn evaluate_all(
+        &self,
+        designs: &[crate::spec::Design],
+    ) -> Result<Vec<DesignEvaluation>, EvalError> {
+        designs
+            .iter()
+            .map(|d| self.evaluate(&d.name, &d.counts))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TierSpec;
+    use redeval_avail::ServerParams;
+    use redeval_harm::AttackTree;
+
+    fn spec() -> NetworkSpec {
+        let leaf = |id: &str, imp, p| {
+            Some(AttackTree::leaf(Vulnerability::new(id, imp, p)))
+        };
+        NetworkSpec::new(
+            vec![
+                TierSpec {
+                    name: "web".into(),
+                    count: 1,
+                    params: ServerParams::builder("web").build(),
+                    tree: leaf("critical", 10.0, 1.0),
+                    entry: true,
+                    target: false,
+                },
+                TierSpec {
+                    name: "db".into(),
+                    count: 1,
+                    params: ServerParams::builder("db").build(),
+                    tree: leaf("minor", 2.9, 0.86),
+                    entry: false,
+                    target: true,
+                },
+            ],
+            vec![(0, 1)],
+        )
+    }
+
+    #[test]
+    fn patch_policy_predicates() {
+        let v_crit = Vulnerability::new("c", 10.0, 1.0);
+        let v_minor = Vulnerability::new("m", 2.9, 0.86);
+        assert!(!PatchPolicy::None.patches(&v_crit));
+        assert!(PatchPolicy::All.patches(&v_minor));
+        assert!(PatchPolicy::CriticalOnly(8.0).patches(&v_crit));
+        assert!(!PatchPolicy::CriticalOnly(8.0).patches(&v_minor));
+    }
+
+    #[test]
+    fn evaluation_before_and_after() {
+        let ev = Evaluator::new(spec()).unwrap();
+        let e = ev.evaluate("base", &[1, 1]).unwrap();
+        // Before: one path web->db.
+        assert_eq!(e.before.attack_paths, 1);
+        assert!((e.before.attack_impact - 12.9).abs() < 1e-9);
+        // After: web's critical vuln is patched, path dies.
+        assert_eq!(e.after.attack_paths, 0);
+        assert_eq!(e.after.exploitable_vulnerabilities, 1);
+        assert!(e.coa > 0.99 && e.coa < 1.0);
+        assert!(e.availability >= e.coa);
+        assert_eq!(e.total_servers(), 2);
+    }
+
+    #[test]
+    fn redundancy_raises_coa_and_attack_surface() {
+        let ev = Evaluator::new(spec()).unwrap();
+        let base = ev.evaluate("base", &[1, 1]).unwrap();
+        let red = ev.evaluate("2web", &[2, 1]).unwrap();
+        assert!(red.coa > base.coa);
+        assert!(red.before.exploitable_vulnerabilities > base.before.exploitable_vulnerabilities);
+        assert!(red.before.attack_paths > base.before.attack_paths);
+    }
+
+    #[test]
+    fn patch_all_removes_everything() {
+        let ev = Evaluator::with_options(
+            spec(),
+            MetricsConfig::default(),
+            PatchPolicy::All,
+        )
+        .unwrap();
+        let e = ev.evaluate("x", &[1, 1]).unwrap();
+        assert_eq!(e.after.exploitable_vulnerabilities, 0);
+        assert_eq!(e.after.entry_points, 0);
+    }
+
+    #[test]
+    fn patch_none_changes_nothing() {
+        let ev =
+            Evaluator::with_options(spec(), MetricsConfig::default(), PatchPolicy::None)
+                .unwrap();
+        let e = ev.evaluate("x", &[1, 1]).unwrap();
+        assert_eq!(e.before, e.after);
+    }
+
+    #[test]
+    fn evaluate_all_preserves_order() {
+        let ev = Evaluator::new(spec()).unwrap();
+        let designs = vec![
+            crate::spec::Design::new("a", vec![1, 1]),
+            crate::spec::Design::new("b", vec![2, 1]),
+        ];
+        let evals = ev.evaluate_all(&designs).unwrap();
+        assert_eq!(evals[0].name, "a");
+        assert_eq!(evals[1].name, "b");
+    }
+
+    #[test]
+    fn invalid_design_is_reported() {
+        let ev = Evaluator::new(spec()).unwrap();
+        assert!(matches!(
+            ev.evaluate("bad", &[1]),
+            Err(EvalError::CountMismatch { .. })
+        ));
+    }
+}

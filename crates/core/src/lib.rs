@@ -1,0 +1,75 @@
+//! `redeval` — security and capacity-oriented-availability evaluation of
+//! server-redundancy designs under security patching.
+//!
+//! This crate is the top of the workspace reproducing *“Evaluating Security
+//! and Availability of Multiple Redundancy Designs when Applying Security
+//! Patches”* (Ge, Kim & Kim, DSN 2017). It wires the substrates together
+//! into the paper's three-phase approach:
+//!
+//! 1. **Inputs** ([`NetworkSpec`]/[`TierSpec`]): network topology,
+//!    per-tier vulnerability trees (Table I), failure/recovery/patch rates
+//!    (Table IV) and the patch policy;
+//! 2. **Model construction**: a two-layer HARM per design
+//!    ([`NetworkSpec::build_harm`]) and the hierarchical SRN availability
+//!    model ([`Evaluator`] aggregates each tier's lower-layer SRN via the
+//!    paper's Equations (1),(2) and composes the upper layer);
+//! 3. **Evaluation**: security metrics before/after patch, COA
+//!    ([`DesignEvaluation`]), the decision functions of Equations (3),(4)
+//!    ([`decision`]), and chart data for the paper's Figures 6 and 7
+//!    ([`charts`]).
+//!
+//! The complete case study of the paper lives in [`case_study`].
+//!
+//! # Examples
+//!
+//! Evaluate the paper's five redundancy designs and pick the ones meeting
+//! an administrator's bounds:
+//!
+//! ```
+//! use redeval::case_study;
+//! use redeval::decision::ScatterBounds;
+//!
+//! # fn main() -> Result<(), redeval::EvalError> {
+//! let evaluator = case_study::evaluator()?;
+//! let designs = case_study::five_designs();
+//! let evals: Vec<_> = designs
+//!     .iter()
+//!     .map(|d| evaluator.evaluate(&d.name, &d.counts))
+//!     .collect::<Result<_, _>>()?;
+//!
+//! // Region 1 of the paper: φ = 0.2, ψ = 0.9962.
+//! let bounds = ScatterBounds { max_asp: 0.2, min_coa: 0.9962 };
+//! let chosen: Vec<&str> = evals
+//!     .iter()
+//!     .filter(|e| bounds.satisfied(e))
+//!     .map(|e| e.name.as_str())
+//!     .collect();
+//! assert_eq!(chosen, ["1 DNS + 1 WEB + 2 APP + 1 DB",
+//!                     "1 DNS + 1 WEB + 1 APP + 2 DB"]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod case_study;
+pub mod charts;
+pub mod cost;
+pub mod decision;
+mod error;
+mod evaluation;
+pub mod report;
+pub mod sensitivity;
+mod spec;
+
+pub use error::EvalError;
+pub use evaluation::{DesignEvaluation, Evaluator, PatchPolicy};
+pub use spec::{Design, NetworkSpec, TierSpec};
+
+// Re-export the substrate vocabulary users need at this level.
+pub use redeval_avail::{AggregatedRates, Durations, NetworkModel, ServerParams, Tier};
+pub use redeval_harm::{
+    AspStrategy, AttackGraph, AttackTree, Harm, MetricsConfig, OrCombine, SecurityMetrics,
+    Vulnerability,
+};

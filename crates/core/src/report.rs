@@ -1,0 +1,203 @@
+//! Markdown report generation: the whole evaluation of a design space in
+//! one self-contained document (used by the `full_report` binary and
+//! convenient for CI artifacts).
+
+use std::fmt::Write as _;
+
+use crate::charts::{radar_data, radar_table, scatter_data};
+use crate::decision::{MultiBounds, ScatterBounds};
+use crate::evaluation::{DesignEvaluation, Evaluator};
+use crate::spec::Design;
+use crate::EvalError;
+
+/// Options for [`markdown_report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportOptions {
+    /// Title of the report.
+    pub title: String,
+    /// Equation-(3) bounds to evaluate (label, bounds).
+    pub scatter_bounds: Vec<(String, ScatterBounds)>,
+    /// Equation-(4) bounds to evaluate (label, bounds).
+    pub multi_bounds: Vec<(String, MultiBounds)>,
+}
+
+impl Default for ReportOptions {
+    fn default() -> Self {
+        ReportOptions {
+            title: "Redundancy-design evaluation".to_string(),
+            scatter_bounds: Vec::new(),
+            multi_bounds: Vec::new(),
+        }
+    }
+}
+
+/// Evaluates `designs` against `evaluator` and renders a self-contained
+/// markdown report: per-design metric tables (before/after patch),
+/// Figure-6/7-style data, and the decision-function regions.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+///
+/// # Examples
+///
+/// ```
+/// use redeval::case_study;
+/// use redeval::report::{markdown_report, ReportOptions};
+///
+/// # fn main() -> Result<(), redeval::EvalError> {
+/// let evaluator = case_study::evaluator()?;
+/// let designs = case_study::five_designs();
+/// let report = markdown_report(&evaluator, &designs, &ReportOptions::default())?;
+/// assert!(report.contains("## Availability"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn markdown_report(
+    evaluator: &Evaluator,
+    designs: &[Design],
+    options: &ReportOptions,
+) -> Result<String, EvalError> {
+    let evals = evaluator.evaluate_all(designs)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}\n", options.title);
+    let _ = writeln!(
+        out,
+        "{} designs over {} tiers; patch policy: {:?}.\n",
+        evals.len(),
+        evaluator.base().tiers().len(),
+        evaluator.patch_policy()
+    );
+
+    let _ = writeln!(out, "## Security metrics\n");
+    let _ = writeln!(
+        out,
+        "| design | AIM pre | ASP pre | AIM post | ASP post | NoEV post | NoAP post | NoEP post |"
+    );
+    let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|---:|---:|");
+    for e in &evals {
+        let _ = writeln!(
+            out,
+            "| {} | {:.1} | {:.3} | {:.1} | {:.3} | {} | {} | {} |",
+            e.name,
+            e.before.attack_impact,
+            e.before.attack_success_probability,
+            e.after.attack_impact,
+            e.after.attack_success_probability,
+            e.after.exploitable_vulnerabilities,
+            e.after.attack_paths,
+            e.after.entry_points
+        );
+    }
+
+    let _ = writeln!(out, "\n## Availability\n");
+    let _ = writeln!(out, "| design | servers | COA | availability | E[up] |");
+    let _ = writeln!(out, "|---|---:|---:|---:|---:|");
+    for e in &evals {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.5} | {:.6} | {:.3} |",
+            e.name,
+            e.total_servers(),
+            e.coa,
+            e.availability,
+            e.expected_up
+        );
+    }
+
+    let _ = writeln!(out, "\n## Scatter (ASP vs COA, after patch)\n");
+    let _ = writeln!(out, "```");
+    for p in scatter_data(&evals, true) {
+        let _ = writeln!(out, "{:<36} ASP {:.4}  COA {:.5}", p.design, p.asp, p.coa);
+    }
+    let _ = writeln!(out, "```");
+
+    let _ = writeln!(out, "\n## Radar data (after patch)\n");
+    let _ = writeln!(out, "```");
+    let _ = write!(out, "{}", radar_table(&radar_data(&evals, true)));
+    let _ = writeln!(out, "```");
+
+    if !options.scatter_bounds.is_empty() || !options.multi_bounds.is_empty() {
+        let _ = writeln!(out, "\n## Decision regions\n");
+        for (label, b) in &options.scatter_bounds {
+            let names = region_names(b.region(&evals));
+            let _ = writeln!(out, "* **{label}** (Eq. 3): {}", names);
+        }
+        for (label, b) in &options.multi_bounds {
+            let names = region_names(b.region(&evals));
+            let _ = writeln!(out, "* **{label}** (Eq. 4): {}", names);
+        }
+    }
+    Ok(out)
+}
+
+fn region_names(region: Vec<&DesignEvaluation>) -> String {
+    if region.is_empty() {
+        "(none)".to_string()
+    } else {
+        region
+            .iter()
+            .map(|e| e.name.as_str())
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_study;
+
+    #[test]
+    fn report_contains_all_sections_and_designs() {
+        let evaluator = case_study::evaluator().unwrap();
+        let designs = case_study::five_designs();
+        let options = ReportOptions {
+            title: "T".into(),
+            scatter_bounds: vec![(
+                "region 1".into(),
+                ScatterBounds {
+                    max_asp: 0.2,
+                    min_coa: 0.9962,
+                },
+            )],
+            multi_bounds: vec![(
+                "region 4.1".into(),
+                MultiBounds {
+                    max_asp: 0.2,
+                    max_noev: 9,
+                    max_noap: 2,
+                    max_noep: 1,
+                    min_coa: 0.9962,
+                },
+            )],
+        };
+        let md = markdown_report(&evaluator, &designs, &options).unwrap();
+        for needle in [
+            "# T",
+            "## Security metrics",
+            "## Availability",
+            "## Scatter",
+            "## Radar data",
+            "## Decision regions",
+            "2 DNS + 1 WEB + 1 APP + 1 DB",
+            "region 1",
+        ] {
+            assert!(md.contains(needle), "missing {needle}");
+        }
+        // Region 1 of the paper appears with its two designs.
+        assert!(md.contains("1 DNS + 1 WEB + 2 APP + 1 DB; 1 DNS + 1 WEB + 1 APP + 2 DB"));
+    }
+
+    #[test]
+    fn empty_bounds_render_no_region_section() {
+        let evaluator = case_study::evaluator().unwrap();
+        let md = markdown_report(
+            &evaluator,
+            &case_study::five_designs()[..1],
+            &ReportOptions::default(),
+        )
+        .unwrap();
+        assert!(!md.contains("## Decision regions"));
+    }
+}

@@ -1,0 +1,329 @@
+//! Network specifications: the phase-1 inputs of the paper's approach.
+
+use redeval_avail::{NetworkModel, ServerParams, Tier};
+use redeval_harm::{AttackGraph, AttackTree, Harm};
+use redeval_srn::SrnError;
+
+use crate::EvalError;
+
+/// One tier of identical servers (the paper uses identical redundant
+/// servers throughout).
+#[derive(Debug, Clone)]
+pub struct TierSpec {
+    /// Tier name (`"dns"`, `"web"`, …).
+    pub name: String,
+    /// Number of redundant servers in this tier.
+    pub count: u32,
+    /// Failure/recovery/patch rates of each server (Table IV).
+    pub params: ServerParams,
+    /// The per-server attack tree (Table I); `None` when the servers carry
+    /// no exploitable vulnerabilities.
+    pub tree: Option<AttackTree>,
+    /// Whether the external attacker reaches this tier directly.
+    pub entry: bool,
+    /// Whether compromising a server of this tier achieves the attack goal.
+    pub target: bool,
+}
+
+/// A named redundancy design: per-tier server counts applied to a base
+/// specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Design {
+    /// Human-readable name, e.g. `"2 DNS + 1 WEB + 1 APP + 1 DB"`.
+    pub name: String,
+    /// Per-tier counts, aligned with the base spec's tiers.
+    pub counts: Vec<u32>,
+}
+
+impl Design {
+    /// Creates a design.
+    pub fn new(name: impl Into<String>, counts: Vec<u32>) -> Self {
+        Design {
+            name: name.into(),
+            counts,
+        }
+    }
+
+    /// The conventional name `"a DNS + b WEB + c APP + d DB"` style, from
+    /// tier names.
+    pub fn conventional_name(tier_names: &[&str], counts: &[u32]) -> String {
+        tier_names
+            .iter()
+            .zip(counts)
+            .map(|(n, c)| format!("{c} {}", n.to_uppercase()))
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+}
+
+/// A complete enterprise-network specification: tiers plus tier-level
+/// reachability.
+///
+/// # Examples
+///
+/// ```
+/// use redeval::{NetworkSpec, TierSpec, ServerParams, AttackTree, Vulnerability};
+///
+/// let spec = NetworkSpec::new(
+///     vec![
+///         TierSpec {
+///             name: "web".into(),
+///             count: 2,
+///             params: ServerParams::builder("web").build(),
+///             tree: Some(AttackTree::leaf(Vulnerability::new("CVE-A", 10.0, 1.0))),
+///             entry: true,
+///             target: false,
+///         },
+///         TierSpec {
+///             name: "db".into(),
+///             count: 1,
+///             params: ServerParams::builder("db").build(),
+///             tree: Some(AttackTree::leaf(Vulnerability::new("CVE-B", 10.0, 0.5))),
+///             entry: false,
+///             target: true,
+///         },
+///     ],
+///     vec![(0, 1)],
+/// );
+/// let harm = spec.build_harm();
+/// assert_eq!(harm.graph().host_count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkSpec {
+    tiers: Vec<TierSpec>,
+    /// Tier-level reachability `(from, to)`; expanded to full bipartite
+    /// host edges.
+    edges: Vec<(usize, usize)>,
+}
+
+impl NetworkSpec {
+    /// Creates a specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tiers` is empty, an edge index is out of range, no
+    /// tier is marked `target`, or no tier is marked `entry`.
+    pub fn new(tiers: Vec<TierSpec>, edges: Vec<(usize, usize)>) -> Self {
+        assert!(!tiers.is_empty(), "at least one tier required");
+        for &(a, b) in &edges {
+            assert!(a < tiers.len() && b < tiers.len(), "edge out of range");
+        }
+        assert!(tiers.iter().any(|t| t.target), "no target tier");
+        assert!(tiers.iter().any(|t| t.entry), "no entry tier");
+        NetworkSpec { tiers, edges }
+    }
+
+    /// The tiers.
+    pub fn tiers(&self) -> &[TierSpec] {
+        &self.tiers
+    }
+
+    /// Tier-level edges.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Total servers over all tiers.
+    pub fn total_servers(&self) -> u32 {
+        self.tiers.iter().map(|t| t.count).sum()
+    }
+
+    /// A copy with different per-tier counts (a redundancy design applied).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::CountMismatch`]/[`EvalError::ZeroServers`] for invalid
+    /// designs.
+    pub fn with_counts(&self, counts: &[u32]) -> Result<NetworkSpec, EvalError> {
+        if counts.len() != self.tiers.len() {
+            return Err(EvalError::CountMismatch {
+                expected: self.tiers.len(),
+                got: counts.len(),
+            });
+        }
+        let mut out = self.clone();
+        for (t, &c) in out.tiers.iter_mut().zip(counts) {
+            if c == 0 {
+                return Err(EvalError::ZeroServers {
+                    tier: t.name.clone(),
+                });
+            }
+            t.count = c;
+        }
+        Ok(out)
+    }
+
+    /// Builds the two-layer HARM of this network: each tier expands to
+    /// `count` identical hosts named `name1, name2, …`; tier edges expand
+    /// to full bipartite host edges; all servers of target tiers become
+    /// attack targets.
+    pub fn build_harm(&self) -> Harm {
+        let mut g = AttackGraph::new();
+        let mut hosts: Vec<Vec<redeval_harm::HostId>> = Vec::with_capacity(self.tiers.len());
+        let mut trees = Vec::new();
+        for t in &self.tiers {
+            let mut tier_hosts = Vec::with_capacity(t.count as usize);
+            for i in 1..=t.count {
+                let h = g.add_host(format!("{}{}", t.name, i));
+                tier_hosts.push(h);
+                trees.push(t.tree.clone());
+            }
+            hosts.push(tier_hosts);
+        }
+        for (ti, t) in self.tiers.iter().enumerate() {
+            if t.entry {
+                for &h in &hosts[ti] {
+                    g.add_entry(h);
+                }
+            }
+        }
+        for &(a, b) in &self.edges {
+            for &ha in &hosts[a] {
+                for &hb in &hosts[b] {
+                    g.add_edge(ha, hb);
+                }
+            }
+        }
+        let mut targets = Vec::new();
+        for (ti, t) in self.tiers.iter().enumerate() {
+            if t.target {
+                targets.extend_from_slice(&hosts[ti]);
+            }
+        }
+        Harm::new(g, trees, targets)
+    }
+
+    /// Solves each tier's lower-layer server SRN and aggregates it
+    /// (Equations (1),(2)). Count-independent: do this once per base spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SRN errors.
+    pub fn tier_analyses(&self) -> Result<Vec<redeval_avail::ServerAnalysis>, SrnError> {
+        self.tiers.iter().map(|t| t.params.analyze()).collect()
+    }
+
+    /// Builds the upper-layer availability model from pre-computed tier
+    /// analyses.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `analyses.len()` differs from the tier count.
+    pub fn network_model(&self, analyses: &[redeval_avail::ServerAnalysis]) -> NetworkModel {
+        assert_eq!(analyses.len(), self.tiers.len(), "one analysis per tier");
+        NetworkModel::new(
+            self.tiers
+                .iter()
+                .zip(analyses)
+                .map(|(t, a)| Tier::new(t.name.clone(), t.count, a.rates()))
+                .collect(),
+        )
+    }
+
+    /// Enumerates all designs whose per-tier counts range over
+    /// `1..=max_redundancy`, in lexicographic order (the design-space
+    /// search of the `design_space` bench binary).
+    pub fn enumerate_designs(&self, max_redundancy: u32) -> Vec<Design> {
+        let names: Vec<&str> = self.tiers.iter().map(|t| t.name.as_str()).collect();
+        let k = self.tiers.len();
+        let mut counts = vec![1u32; k];
+        let mut out = Vec::new();
+        loop {
+            out.push(Design::new(
+                Design::conventional_name(&names, &counts),
+                counts.clone(),
+            ));
+            // Mixed-radix increment over 1..=max.
+            let mut i = 0;
+            loop {
+                if i == k {
+                    return out;
+                }
+                if counts[i] < max_redundancy {
+                    counts[i] += 1;
+                    break;
+                }
+                counts[i] = 1;
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redeval_harm::{MetricsConfig, Vulnerability};
+
+    fn tiny_spec() -> NetworkSpec {
+        NetworkSpec::new(
+            vec![
+                TierSpec {
+                    name: "web".into(),
+                    count: 2,
+                    params: ServerParams::builder("web").build(),
+                    tree: Some(AttackTree::leaf(Vulnerability::new("a", 10.0, 0.5))),
+                    entry: true,
+                    target: false,
+                },
+                TierSpec {
+                    name: "db".into(),
+                    count: 1,
+                    params: ServerParams::builder("db").build(),
+                    tree: Some(AttackTree::leaf(Vulnerability::new("b", 10.0, 0.5))),
+                    entry: false,
+                    target: true,
+                },
+            ],
+            vec![(0, 1)],
+        )
+    }
+
+    #[test]
+    fn harm_expansion_counts_hosts_and_paths() {
+        let harm = tiny_spec().build_harm();
+        assert_eq!(harm.graph().host_count(), 3);
+        let m = harm.metrics(&MetricsConfig::default());
+        assert_eq!(m.attack_paths, 2);
+        assert_eq!(m.entry_points, 2);
+        assert_eq!(m.exploitable_vulnerabilities, 3);
+    }
+
+    #[test]
+    fn with_counts_validates() {
+        let spec = tiny_spec();
+        assert!(matches!(
+            spec.with_counts(&[1]),
+            Err(EvalError::CountMismatch { .. })
+        ));
+        assert!(matches!(
+            spec.with_counts(&[1, 0]),
+            Err(EvalError::ZeroServers { .. })
+        ));
+        let d = spec.with_counts(&[3, 2]).unwrap();
+        assert_eq!(d.total_servers(), 5);
+    }
+
+    #[test]
+    fn enumerate_designs_covers_space() {
+        let designs = tiny_spec().enumerate_designs(3);
+        assert_eq!(designs.len(), 9);
+        assert!(designs.iter().any(|d| d.counts == vec![3, 3]));
+        // Names are conventional.
+        assert!(designs[0].name.contains("WEB"));
+    }
+
+    #[test]
+    fn conventional_name_format() {
+        let n = Design::conventional_name(&["dns", "web"], &[2, 1]);
+        assert_eq!(n, "2 DNS + 1 WEB");
+    }
+
+    #[test]
+    #[should_panic(expected = "no target tier")]
+    fn spec_requires_target() {
+        let mut tiers = tiny_spec().tiers().to_vec();
+        tiers[1].target = false;
+        let _ = NetworkSpec::new(tiers, vec![(0, 1)]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Qualitative severity ratings for CVSS scores.
+
+use std::fmt;
+
+/// Qualitative severity rating of a CVSS base score.
+///
+/// The bands follow the CVSS v3.0 specification (which the v2 ecosystem also
+/// adopted informally): `None` 0.0, `Low` 0.1–3.9, `Medium` 4.0–6.9,
+/// `High` 7.0–8.9, `Critical` 9.0–10.0.
+///
+/// # Examples
+///
+/// ```
+/// use redeval_cvss::Severity;
+///
+/// assert_eq!(Severity::from_score(9.3), Severity::Critical);
+/// assert_eq!(Severity::from_score(5.0), Severity::Medium);
+/// assert!(Severity::High > Severity::Low);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Score 0.0.
+    None,
+    /// Score 0.1–3.9.
+    Low,
+    /// Score 4.0–6.9.
+    Medium,
+    /// Score 7.0–8.9.
+    High,
+    /// Score 9.0–10.0.
+    Critical,
+}
+
+impl Severity {
+    /// Classifies a base score into a severity band.
+    ///
+    /// Scores are clamped to the `0.0..=10.0` range first, so out-of-range
+    /// inputs never panic.
+    pub fn from_score(score: f64) -> Self {
+        let s = if score.is_nan() {
+            0.0
+        } else {
+            score.clamp(0.0, 10.0)
+        };
+        if s < 0.05 {
+            Severity::None
+        } else if s < 3.95 {
+            Severity::Low
+        } else if s < 6.95 {
+            Severity::Medium
+        } else if s < 8.95 {
+            Severity::High
+        } else {
+            Severity::Critical
+        }
+    }
+
+    /// Returns the canonical (uppercase-first) name, e.g. `"Critical"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::None => "None",
+            Severity::Low => "Low",
+            Severity::Medium => "Medium",
+            Severity::High => "High",
+            Severity::Critical => "Critical",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banding_matches_spec() {
+        assert_eq!(Severity::from_score(0.0), Severity::None);
+        assert_eq!(Severity::from_score(0.1), Severity::Low);
+        assert_eq!(Severity::from_score(3.9), Severity::Low);
+        assert_eq!(Severity::from_score(4.0), Severity::Medium);
+        assert_eq!(Severity::from_score(6.9), Severity::Medium);
+        assert_eq!(Severity::from_score(7.0), Severity::High);
+        assert_eq!(Severity::from_score(8.9), Severity::High);
+        assert_eq!(Severity::from_score(9.0), Severity::Critical);
+        assert_eq!(Severity::from_score(10.0), Severity::Critical);
+    }
+
+    #[test]
+    fn out_of_range_scores_are_clamped() {
+        assert_eq!(Severity::from_score(-3.0), Severity::None);
+        assert_eq!(Severity::from_score(42.0), Severity::Critical);
+        assert_eq!(Severity::from_score(f64::NAN), Severity::None);
+    }
+
+    #[test]
+    fn ordering_is_ascending() {
+        assert!(Severity::None < Severity::Low);
+        assert!(Severity::Low < Severity::Medium);
+        assert!(Severity::Medium < Severity::High);
+        assert!(Severity::High < Severity::Critical);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for s in [
+            Severity::None,
+            Severity::Low,
+            Severity::Medium,
+            Severity::High,
+            Severity::Critical,
+        ] {
+            assert_eq!(s.to_string(), s.name());
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! CVSS v2.0 environmental metrics.
+//!
+//! The environmental score tailors a (temporally adjusted) score to one
+//! deployment: collateral damage potential (CDP), target distribution
+//! (TD) and per-requirement C/I/A weightings (CR/IR/AR). In this
+//! workspace's context it lets an administrator score the *same* CVE
+//! differently for, say, the database tier (high confidentiality
+//! requirement) and a stateless web tier.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::v2::BaseVector;
+use crate::v2_temporal::TemporalVector;
+use crate::{ParseVectorError, Severity};
+
+/// Collateral damage potential (CDP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollateralDamagePotential {
+    /// `CDP:N` — none.
+    None,
+    /// `CDP:L` — low (light loss).
+    Low,
+    /// `CDP:LM` — low-medium.
+    LowMedium,
+    /// `CDP:MH` — medium-high.
+    MediumHigh,
+    /// `CDP:H` — high (catastrophic loss).
+    High,
+    /// `CDP:ND` — not defined.
+    NotDefined,
+}
+
+impl CollateralDamagePotential {
+    /// Numerical weight from the v2 specification.
+    pub fn weight(self) -> f64 {
+        match self {
+            CollateralDamagePotential::None => 0.0,
+            CollateralDamagePotential::Low => 0.1,
+            CollateralDamagePotential::LowMedium => 0.3,
+            CollateralDamagePotential::MediumHigh => 0.4,
+            CollateralDamagePotential::High => 0.5,
+            CollateralDamagePotential::NotDefined => 0.0,
+        }
+    }
+
+    /// Canonical token.
+    pub fn token(self) -> &'static str {
+        match self {
+            CollateralDamagePotential::None => "N",
+            CollateralDamagePotential::Low => "L",
+            CollateralDamagePotential::LowMedium => "LM",
+            CollateralDamagePotential::MediumHigh => "MH",
+            CollateralDamagePotential::High => "H",
+            CollateralDamagePotential::NotDefined => "ND",
+        }
+    }
+}
+
+/// Target distribution (TD): the fraction of systems that are vulnerable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TargetDistribution {
+    /// `TD:N` — none (0 %).
+    None,
+    /// `TD:L` — low (1–25 %).
+    Low,
+    /// `TD:M` — medium (26–75 %).
+    Medium,
+    /// `TD:H` — high (76–100 %).
+    High,
+    /// `TD:ND` — not defined.
+    NotDefined,
+}
+
+impl TargetDistribution {
+    /// Numerical weight from the v2 specification.
+    pub fn weight(self) -> f64 {
+        match self {
+            TargetDistribution::None => 0.0,
+            TargetDistribution::Low => 0.25,
+            TargetDistribution::Medium => 0.75,
+            TargetDistribution::High => 1.0,
+            TargetDistribution::NotDefined => 1.0,
+        }
+    }
+
+    /// Canonical token.
+    pub fn token(self) -> &'static str {
+        match self {
+            TargetDistribution::None => "N",
+            TargetDistribution::Low => "L",
+            TargetDistribution::Medium => "M",
+            TargetDistribution::High => "H",
+            TargetDistribution::NotDefined => "ND",
+        }
+    }
+}
+
+/// A security requirement weighting (CR, IR or AR).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Requirement {
+    /// `:L` — low importance for this deployment.
+    Low,
+    /// `:M` — medium.
+    Medium,
+    /// `:H` — high.
+    High,
+    /// `:ND` — not defined.
+    NotDefined,
+}
+
+impl Requirement {
+    /// Numerical weight from the v2 specification.
+    pub fn weight(self) -> f64 {
+        match self {
+            Requirement::Low => 0.5,
+            Requirement::Medium => 1.0,
+            Requirement::High => 1.51,
+            Requirement::NotDefined => 1.0,
+        }
+    }
+
+    /// Canonical token.
+    pub fn token(self) -> &'static str {
+        match self {
+            Requirement::Low => "L",
+            Requirement::Medium => "M",
+            Requirement::High => "H",
+            Requirement::NotDefined => "ND",
+        }
+    }
+}
+
+/// The CVSS v2 environmental metric group.
+///
+/// # Examples
+///
+/// ```
+/// use redeval_cvss::v2::BaseVector;
+/// use redeval_cvss::v2_environmental::EnvironmentalVector;
+/// use redeval_cvss::v2_temporal::TemporalVector;
+///
+/// # fn main() -> Result<(), redeval_cvss::ParseVectorError> {
+/// let base: BaseVector = "AV:N/AC:L/Au:N/C:C/I:C/A:C".parse()?;
+/// let temporal = TemporalVector::not_defined();
+/// // A database tier: catastrophic collateral damage, every host runs it,
+/// // confidentiality paramount.
+/// let env: EnvironmentalVector = "CDP:H/TD:H/CR:H/IR:M/AR:M".parse()?;
+/// assert_eq!(env.environmental_score(&base, &temporal), 10.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EnvironmentalVector {
+    /// Collateral damage potential (CDP).
+    pub collateral_damage: CollateralDamagePotential,
+    /// Target distribution (TD).
+    pub target_distribution: TargetDistribution,
+    /// Confidentiality requirement (CR).
+    pub confidentiality_req: Requirement,
+    /// Integrity requirement (IR).
+    pub integrity_req: Requirement,
+    /// Availability requirement (AR).
+    pub availability_req: Requirement,
+}
+
+fn round1(x: f64) -> f64 {
+    (x * 10.0).round() / 10.0
+}
+
+impl EnvironmentalVector {
+    /// The all-`ND` vector.
+    pub fn not_defined() -> Self {
+        EnvironmentalVector {
+            collateral_damage: CollateralDamagePotential::NotDefined,
+            target_distribution: TargetDistribution::NotDefined,
+            confidentiality_req: Requirement::NotDefined,
+            integrity_req: Requirement::NotDefined,
+            availability_req: Requirement::NotDefined,
+        }
+    }
+
+    /// The *adjusted impact*: the base impact equation with each C/I/A
+    /// weight scaled by its requirement, capped at 10.
+    pub fn adjusted_impact(&self, base: &BaseVector) -> f64 {
+        let c = base.confidentiality.weight() * self.confidentiality_req.weight();
+        let i = base.integrity.weight() * self.integrity_req.weight();
+        let a = base.availability.weight() * self.availability_req.weight();
+        (10.41 * (1.0 - (1.0 - c) * (1.0 - i) * (1.0 - a))).min(10.0)
+    }
+
+    /// The environmental score:
+    /// `(AdjustedTemporal + (10 − AdjustedTemporal)·CDP)·TD`, rounded to
+    /// one decimal.
+    ///
+    /// `AdjustedTemporal` is the temporal equation recomputed over the
+    /// adjusted-impact base score.
+    pub fn environmental_score(&self, base: &BaseVector, temporal: &TemporalVector) -> f64 {
+        // Recompute the base equation with adjusted impact.
+        let impact = self.adjusted_impact(base);
+        let expl = base.exploitability_subscore_raw().min(10.0);
+        let f = if impact == 0.0 { 0.0 } else { 1.176 };
+        let adjusted_base = (((0.6 * impact) + (0.4 * expl) - 1.5) * f).clamp(0.0, 10.0);
+        let adjusted_temporal = round1(adjusted_base * temporal.multiplier());
+        let score = (adjusted_temporal
+            + (10.0 - adjusted_temporal) * self.collateral_damage.weight())
+            * self.target_distribution.weight();
+        round1(score)
+    }
+
+    /// Severity band of the environmental score.
+    pub fn environmental_severity(
+        &self,
+        base: &BaseVector,
+        temporal: &TemporalVector,
+    ) -> Severity {
+        Severity::from_score(self.environmental_score(base, temporal))
+    }
+
+    /// Canonical vector string `CDP:_/TD:_/CR:_/IR:_/AR:_`.
+    pub fn to_vector_string(&self) -> String {
+        format!(
+            "CDP:{}/TD:{}/CR:{}/IR:{}/AR:{}",
+            self.collateral_damage.token(),
+            self.target_distribution.token(),
+            self.confidentiality_req.token(),
+            self.integrity_req.token(),
+            self.availability_req.token()
+        )
+    }
+}
+
+impl fmt::Display for EnvironmentalVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_vector_string())
+    }
+}
+
+impl FromStr for EnvironmentalVector {
+    type Err = ParseVectorError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut out = EnvironmentalVector::not_defined();
+        let mut seen: Vec<&str> = Vec::new();
+        for comp in s.trim().split('/') {
+            let (key, value) =
+                comp.split_once(':')
+                    .ok_or_else(|| ParseVectorError::MalformedComponent {
+                        component: comp.to_string(),
+                    })?;
+            if seen.contains(&key) {
+                return Err(ParseVectorError::DuplicateMetric {
+                    key: key.to_string(),
+                });
+            }
+            let invalid = || ParseVectorError::InvalidValue {
+                key: key.to_string(),
+                value: value.to_string(),
+            };
+            match key {
+                "CDP" => {
+                    out.collateral_damage = match value {
+                        "N" => CollateralDamagePotential::None,
+                        "L" => CollateralDamagePotential::Low,
+                        "LM" => CollateralDamagePotential::LowMedium,
+                        "MH" => CollateralDamagePotential::MediumHigh,
+                        "H" => CollateralDamagePotential::High,
+                        "ND" => CollateralDamagePotential::NotDefined,
+                        _ => return Err(invalid()),
+                    }
+                }
+                "TD" => {
+                    out.target_distribution = match value {
+                        "N" => TargetDistribution::None,
+                        "L" => TargetDistribution::Low,
+                        "M" => TargetDistribution::Medium,
+                        "H" => TargetDistribution::High,
+                        "ND" => TargetDistribution::NotDefined,
+                        _ => return Err(invalid()),
+                    }
+                }
+                "CR" | "IR" | "AR" => {
+                    let r = match value {
+                        "L" => Requirement::Low,
+                        "M" => Requirement::Medium,
+                        "H" => Requirement::High,
+                        "ND" => Requirement::NotDefined,
+                        _ => return Err(invalid()),
+                    };
+                    match key {
+                        "CR" => out.confidentiality_req = r,
+                        "IR" => out.integrity_req = r,
+                        _ => out.availability_req = r,
+                    }
+                }
+                _ => {
+                    return Err(ParseVectorError::UnknownMetric {
+                        key: key.to_string(),
+                    })
+                }
+            }
+            seen.push(key);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base10() -> BaseVector {
+        "AV:N/AC:L/Au:N/C:C/I:C/A:C".parse().unwrap()
+    }
+
+    fn nd_temporal() -> TemporalVector {
+        TemporalVector::not_defined()
+    }
+
+    #[test]
+    fn not_defined_recovers_base_score() {
+        let env = EnvironmentalVector::not_defined();
+        assert_eq!(env.environmental_score(&base10(), &nd_temporal()), 10.0);
+        let base78: BaseVector = "AV:N/AC:L/Au:N/C:N/I:N/A:C".parse().unwrap();
+        assert_eq!(env.environmental_score(&base78, &nd_temporal()), 7.8);
+    }
+
+    #[test]
+    fn zero_target_distribution_zeroes_score() {
+        let env: EnvironmentalVector = "TD:N".parse().unwrap();
+        assert_eq!(env.environmental_score(&base10(), &nd_temporal()), 0.0);
+    }
+
+    #[test]
+    fn collateral_damage_raises_score() {
+        let base: BaseVector = "AV:N/AC:L/Au:N/C:P/I:N/A:N".parse().unwrap(); // 5.0
+        let none: EnvironmentalVector = "CDP:N/TD:H".parse().unwrap();
+        let high: EnvironmentalVector = "CDP:H/TD:H".parse().unwrap();
+        let s_none = none.environmental_score(&base, &nd_temporal());
+        let s_high = high.environmental_score(&base, &nd_temporal());
+        assert!(s_high > s_none);
+        assert_eq!(s_none, 5.0);
+        assert_eq!(s_high, 7.5); // 5.0 + 5.0*0.5
+    }
+
+    #[test]
+    fn low_requirements_lower_the_score() {
+        // All requirements low on a C:C/I:C/A:C base.
+        let env: EnvironmentalVector = "CR:L/IR:L/AR:L/TD:H".parse().unwrap();
+        let s = env.environmental_score(&base10(), &nd_temporal());
+        assert!(s < 10.0);
+        // Adjusted impact: weights 0.66*0.5 = 0.33 each.
+        let expect_impact = 10.41 * (1.0 - (1.0 - 0.33f64).powi(3));
+        assert!((env.adjusted_impact(&base10()) - expect_impact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn requirement_only_matters_when_impacted() {
+        // Base has no availability impact: AR cannot change the score.
+        let base: BaseVector = "AV:N/AC:L/Au:N/C:C/I:C/A:N".parse().unwrap();
+        let ar_low: EnvironmentalVector = "AR:L".parse().unwrap();
+        let ar_high: EnvironmentalVector = "AR:H".parse().unwrap();
+        assert_eq!(
+            ar_low.environmental_score(&base, &nd_temporal()),
+            ar_high.environmental_score(&base, &nd_temporal())
+        );
+    }
+
+    #[test]
+    fn composes_with_temporal() {
+        let temporal: TemporalVector = "E:F/RL:OF/RC:C".parse().unwrap();
+        let env: EnvironmentalVector = "CDP:N/TD:H".parse().unwrap();
+        // Environmental over adjusted-temporal: equals the temporal score
+        // when CDP:N/TD:H and requirements are ND.
+        let t = temporal.temporal_score(&base10());
+        let e = env.environmental_score(&base10(), &temporal);
+        assert_eq!(t, e);
+    }
+
+    #[test]
+    fn roundtrip_and_errors() {
+        let env: EnvironmentalVector = "CDP:LM/TD:M/CR:H/IR:L/AR:M".parse().unwrap();
+        assert_eq!(env.to_string(), "CDP:LM/TD:M/CR:H/IR:L/AR:M");
+        let back: EnvironmentalVector = env.to_string().parse().unwrap();
+        assert_eq!(back, env);
+        assert!("CDP:X".parse::<EnvironmentalVector>().is_err());
+        assert!("ZZ:L".parse::<EnvironmentalVector>().is_err());
+        assert!("CR:L/CR:H".parse::<EnvironmentalVector>().is_err());
+    }
+}

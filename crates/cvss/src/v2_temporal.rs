@@ -1,0 +1,346 @@
+//! CVSS v2.0 temporal metrics.
+//!
+//! The temporal score adjusts a base score for real-world exploit
+//! maturity (E), remediation availability (RL) and report confidence
+//! (RC). In the patch-scheduling context of this workspace, a
+//! vulnerability typically moves from `RL:U` (no fix) towards `RL:OF`
+//! (official fix) — lowering its temporal score — while its exploit code
+//! matures in the opposite direction.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::v2::BaseVector;
+use crate::{ParseVectorError, Severity};
+
+/// Exploitability maturity (E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Exploitability {
+    /// `E:U` — unproven that an exploit exists.
+    Unproven,
+    /// `E:POC` — proof-of-concept code.
+    ProofOfConcept,
+    /// `E:F` — functional exploit exists.
+    Functional,
+    /// `E:H` — exploitation is widespread ("high").
+    High,
+    /// `E:ND` — not defined (no effect on the score).
+    NotDefined,
+}
+
+impl Exploitability {
+    /// Numerical weight from the v2 specification.
+    pub fn weight(self) -> f64 {
+        match self {
+            Exploitability::Unproven => 0.85,
+            Exploitability::ProofOfConcept => 0.9,
+            Exploitability::Functional => 0.95,
+            Exploitability::High => 1.0,
+            Exploitability::NotDefined => 1.0,
+        }
+    }
+
+    /// Canonical vector token.
+    pub fn token(self) -> &'static str {
+        match self {
+            Exploitability::Unproven => "U",
+            Exploitability::ProofOfConcept => "POC",
+            Exploitability::Functional => "F",
+            Exploitability::High => "H",
+            Exploitability::NotDefined => "ND",
+        }
+    }
+}
+
+/// Remediation level (RL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RemediationLevel {
+    /// `RL:OF` — official fix available (the patched state).
+    OfficialFix,
+    /// `RL:TF` — temporary fix.
+    TemporaryFix,
+    /// `RL:W` — workaround.
+    Workaround,
+    /// `RL:U` — no remediation available.
+    Unavailable,
+    /// `RL:ND` — not defined.
+    NotDefined,
+}
+
+impl RemediationLevel {
+    /// Numerical weight from the v2 specification.
+    pub fn weight(self) -> f64 {
+        match self {
+            RemediationLevel::OfficialFix => 0.87,
+            RemediationLevel::TemporaryFix => 0.9,
+            RemediationLevel::Workaround => 0.95,
+            RemediationLevel::Unavailable => 1.0,
+            RemediationLevel::NotDefined => 1.0,
+        }
+    }
+
+    /// Canonical vector token.
+    pub fn token(self) -> &'static str {
+        match self {
+            RemediationLevel::OfficialFix => "OF",
+            RemediationLevel::TemporaryFix => "TF",
+            RemediationLevel::Workaround => "W",
+            RemediationLevel::Unavailable => "U",
+            RemediationLevel::NotDefined => "ND",
+        }
+    }
+}
+
+/// Report confidence (RC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReportConfidence {
+    /// `RC:UC` — unconfirmed.
+    Unconfirmed,
+    /// `RC:UR` — uncorroborated.
+    Uncorroborated,
+    /// `RC:C` — confirmed.
+    Confirmed,
+    /// `RC:ND` — not defined.
+    NotDefined,
+}
+
+impl ReportConfidence {
+    /// Numerical weight from the v2 specification.
+    pub fn weight(self) -> f64 {
+        match self {
+            ReportConfidence::Unconfirmed => 0.9,
+            ReportConfidence::Uncorroborated => 0.95,
+            ReportConfidence::Confirmed => 1.0,
+            ReportConfidence::NotDefined => 1.0,
+        }
+    }
+
+    /// Canonical vector token.
+    pub fn token(self) -> &'static str {
+        match self {
+            ReportConfidence::Unconfirmed => "UC",
+            ReportConfidence::Uncorroborated => "UR",
+            ReportConfidence::Confirmed => "C",
+            ReportConfidence::NotDefined => "ND",
+        }
+    }
+}
+
+/// The CVSS v2 temporal metric group.
+///
+/// # Examples
+///
+/// ```
+/// use redeval_cvss::v2::BaseVector;
+/// use redeval_cvss::v2_temporal::TemporalVector;
+///
+/// # fn main() -> Result<(), redeval_cvss::ParseVectorError> {
+/// let base: BaseVector = "AV:N/AC:L/Au:N/C:C/I:C/A:C".parse()?;
+/// let temporal: TemporalVector = "E:F/RL:OF/RC:C".parse()?;
+/// // Functional exploit, official fix: 10.0 -> 8.3.
+/// assert_eq!(temporal.temporal_score(&base), 8.3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TemporalVector {
+    /// Exploitability maturity (E).
+    pub exploitability: Exploitability,
+    /// Remediation level (RL).
+    pub remediation_level: RemediationLevel,
+    /// Report confidence (RC).
+    pub report_confidence: ReportConfidence,
+}
+
+impl TemporalVector {
+    /// The all-`ND` vector (temporal score == base score).
+    pub fn not_defined() -> Self {
+        TemporalVector {
+            exploitability: Exploitability::NotDefined,
+            remediation_level: RemediationLevel::NotDefined,
+            report_confidence: ReportConfidence::NotDefined,
+        }
+    }
+
+    /// The combined temporal multiplier `E·RL·RC` (0.66…1.0).
+    pub fn multiplier(&self) -> f64 {
+        self.exploitability.weight()
+            * self.remediation_level.weight()
+            * self.report_confidence.weight()
+    }
+
+    /// The temporal score: `round(base · E · RL · RC)` to one decimal.
+    pub fn temporal_score(&self, base: &BaseVector) -> f64 {
+        ((base.base_score() * self.multiplier()) * 10.0).round() / 10.0
+    }
+
+    /// Severity band of the temporal score.
+    pub fn temporal_severity(&self, base: &BaseVector) -> Severity {
+        Severity::from_score(self.temporal_score(base))
+    }
+
+    /// Canonical vector string `E:_/RL:_/RC:_`.
+    pub fn to_vector_string(&self) -> String {
+        format!(
+            "E:{}/RL:{}/RC:{}",
+            self.exploitability.token(),
+            self.remediation_level.token(),
+            self.report_confidence.token()
+        )
+    }
+}
+
+impl fmt::Display for TemporalVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_vector_string())
+    }
+}
+
+impl FromStr for TemporalVector {
+    type Err = ParseVectorError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut e = None;
+        let mut rl = None;
+        let mut rc = None;
+        for comp in s.trim().split('/') {
+            let (key, value) =
+                comp.split_once(':')
+                    .ok_or_else(|| ParseVectorError::MalformedComponent {
+                        component: comp.to_string(),
+                    })?;
+            let invalid = || ParseVectorError::InvalidValue {
+                key: key.to_string(),
+                value: value.to_string(),
+            };
+            let dup = || ParseVectorError::DuplicateMetric {
+                key: key.to_string(),
+            };
+            match key {
+                "E" => {
+                    let v = match value {
+                        "U" => Exploitability::Unproven,
+                        "POC" => Exploitability::ProofOfConcept,
+                        "F" => Exploitability::Functional,
+                        "H" => Exploitability::High,
+                        "ND" => Exploitability::NotDefined,
+                        _ => return Err(invalid()),
+                    };
+                    if e.replace(v).is_some() {
+                        return Err(dup());
+                    }
+                }
+                "RL" => {
+                    let v = match value {
+                        "OF" => RemediationLevel::OfficialFix,
+                        "TF" => RemediationLevel::TemporaryFix,
+                        "W" => RemediationLevel::Workaround,
+                        "U" => RemediationLevel::Unavailable,
+                        "ND" => RemediationLevel::NotDefined,
+                        _ => return Err(invalid()),
+                    };
+                    if rl.replace(v).is_some() {
+                        return Err(dup());
+                    }
+                }
+                "RC" => {
+                    let v = match value {
+                        "UC" => ReportConfidence::Unconfirmed,
+                        "UR" => ReportConfidence::Uncorroborated,
+                        "C" => ReportConfidence::Confirmed,
+                        "ND" => ReportConfidence::NotDefined,
+                        _ => return Err(invalid()),
+                    };
+                    if rc.replace(v).is_some() {
+                        return Err(dup());
+                    }
+                }
+                _ => {
+                    return Err(ParseVectorError::UnknownMetric {
+                        key: key.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(TemporalVector {
+            exploitability: e.unwrap_or(Exploitability::NotDefined),
+            remediation_level: rl.unwrap_or(RemediationLevel::NotDefined),
+            report_confidence: rc.unwrap_or(ReportConfidence::NotDefined),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base10() -> BaseVector {
+        "AV:N/AC:L/Au:N/C:C/I:C/A:C".parse().unwrap()
+    }
+
+    #[test]
+    fn not_defined_is_identity() {
+        let t = TemporalVector::not_defined();
+        assert_eq!(t.multiplier(), 1.0);
+        assert_eq!(t.temporal_score(&base10()), 10.0);
+    }
+
+    #[test]
+    fn spec_example_values() {
+        // CVSS v2 guide example (CVE-2002-0392 profile): E:F/RL:OF/RC:C
+        // over base 7.8 -> 6.4.
+        let base: BaseVector = "AV:N/AC:L/Au:N/C:N/I:N/A:C".parse().unwrap();
+        let t: TemporalVector = "E:F/RL:OF/RC:C".parse().unwrap();
+        assert_eq!(t.temporal_score(&base), 6.4);
+    }
+
+    #[test]
+    fn patch_release_lowers_score() {
+        let before: TemporalVector = "E:H/RL:U/RC:C".parse().unwrap();
+        let after: TemporalVector = "E:H/RL:OF/RC:C".parse().unwrap();
+        assert!(after.temporal_score(&base10()) < before.temporal_score(&base10()));
+        assert_eq!(before.temporal_score(&base10()), 10.0);
+        assert_eq!(after.temporal_score(&base10()), 8.7);
+    }
+
+    #[test]
+    fn exploit_maturation_raises_score() {
+        let young: TemporalVector = "E:U/RL:OF/RC:UC".parse().unwrap();
+        let mature: TemporalVector = "E:H/RL:OF/RC:C".parse().unwrap();
+        assert!(mature.temporal_score(&base10()) > young.temporal_score(&base10()));
+    }
+
+    #[test]
+    fn multiplier_bounds() {
+        let min: TemporalVector = "E:U/RL:OF/RC:UC".parse().unwrap();
+        assert!((min.multiplier() - 0.85 * 0.87 * 0.9).abs() < 1e-12);
+        let max: TemporalVector = "E:H/RL:U/RC:C".parse().unwrap();
+        assert_eq!(max.multiplier(), 1.0);
+    }
+
+    #[test]
+    fn roundtrip_and_partial_vectors() {
+        let t: TemporalVector = "E:POC/RL:W/RC:UR".parse().unwrap();
+        assert_eq!(t.to_string(), "E:POC/RL:W/RC:UR");
+        let partial: TemporalVector = "RL:OF".parse().unwrap();
+        assert_eq!(partial.exploitability, Exploitability::NotDefined);
+        assert_eq!(partial.remediation_level, RemediationLevel::OfficialFix);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!("E:X".parse::<TemporalVector>().is_err());
+        assert!("Q:U".parse::<TemporalVector>().is_err());
+        assert!("E:U/E:H".parse::<TemporalVector>().is_err());
+        assert!("EU".parse::<TemporalVector>().is_err());
+    }
+
+    #[test]
+    fn temporal_severity_band() {
+        let base = base10();
+        let t: TemporalVector = "E:U/RL:OF/RC:UC".parse().unwrap();
+        // 10.0 * 0.66555 = 6.7 -> Medium.
+        assert_eq!(t.temporal_score(&base), 6.7);
+        assert_eq!(t.temporal_severity(&base), Severity::Medium);
+    }
+}

@@ -1,0 +1,486 @@
+//! CVSS v3.0/v3.1 base metrics and scoring equations.
+//!
+//! Provided for completeness next to [`crate::v2`]; the reproduced paper
+//! uses v2, but modern NVD entries for the same CVEs carry v3 vectors and
+//! downstream users will want to score those too.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{ParseVectorError, Severity};
+
+/// Attack vector (AV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackVector {
+    /// `AV:N` — network.
+    Network,
+    /// `AV:A` — adjacent.
+    Adjacent,
+    /// `AV:L` — local.
+    Local,
+    /// `AV:P` — physical.
+    Physical,
+}
+
+impl AttackVector {
+    /// Numerical weight from the v3 specification.
+    pub fn weight(self) -> f64 {
+        match self {
+            AttackVector::Network => 0.85,
+            AttackVector::Adjacent => 0.62,
+            AttackVector::Local => 0.55,
+            AttackVector::Physical => 0.2,
+        }
+    }
+
+    /// Canonical vector token.
+    pub fn token(self) -> &'static str {
+        match self {
+            AttackVector::Network => "N",
+            AttackVector::Adjacent => "A",
+            AttackVector::Local => "L",
+            AttackVector::Physical => "P",
+        }
+    }
+}
+
+/// Attack complexity (AC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackComplexity {
+    /// `AC:L` — low.
+    Low,
+    /// `AC:H` — high.
+    High,
+}
+
+impl AttackComplexity {
+    /// Numerical weight from the v3 specification.
+    pub fn weight(self) -> f64 {
+        match self {
+            AttackComplexity::Low => 0.77,
+            AttackComplexity::High => 0.44,
+        }
+    }
+
+    /// Canonical vector token.
+    pub fn token(self) -> &'static str {
+        match self {
+            AttackComplexity::Low => "L",
+            AttackComplexity::High => "H",
+        }
+    }
+}
+
+/// Privileges required (PR). The weight depends on [`Scope`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrivilegesRequired {
+    /// `PR:N` — none.
+    None,
+    /// `PR:L` — low.
+    Low,
+    /// `PR:H` — high.
+    High,
+}
+
+impl PrivilegesRequired {
+    /// Numerical weight; larger when the scope is changed.
+    pub fn weight(self, scope: Scope) -> f64 {
+        match (self, scope) {
+            (PrivilegesRequired::None, _) => 0.85,
+            (PrivilegesRequired::Low, Scope::Unchanged) => 0.62,
+            (PrivilegesRequired::Low, Scope::Changed) => 0.68,
+            (PrivilegesRequired::High, Scope::Unchanged) => 0.27,
+            (PrivilegesRequired::High, Scope::Changed) => 0.5,
+        }
+    }
+
+    /// Canonical vector token.
+    pub fn token(self) -> &'static str {
+        match self {
+            PrivilegesRequired::None => "N",
+            PrivilegesRequired::Low => "L",
+            PrivilegesRequired::High => "H",
+        }
+    }
+}
+
+/// User interaction (UI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UserInteraction {
+    /// `UI:N` — none.
+    None,
+    /// `UI:R` — required.
+    Required,
+}
+
+impl UserInteraction {
+    /// Numerical weight from the v3 specification.
+    pub fn weight(self) -> f64 {
+        match self {
+            UserInteraction::None => 0.85,
+            UserInteraction::Required => 0.62,
+        }
+    }
+
+    /// Canonical vector token.
+    pub fn token(self) -> &'static str {
+        match self {
+            UserInteraction::None => "N",
+            UserInteraction::Required => "R",
+        }
+    }
+}
+
+/// Scope (S).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scope {
+    /// `S:U` — exploitation stays within the vulnerable component.
+    Unchanged,
+    /// `S:C` — exploitation affects resources beyond the component.
+    Changed,
+}
+
+impl Scope {
+    /// Canonical vector token.
+    pub fn token(self) -> &'static str {
+        match self {
+            Scope::Unchanged => "U",
+            Scope::Changed => "C",
+        }
+    }
+}
+
+/// Degree of loss for the C/I/A impact metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImpactMetric {
+    /// `:N` — none.
+    None,
+    /// `:L` — low.
+    Low,
+    /// `:H` — high.
+    High,
+}
+
+impl ImpactMetric {
+    /// Numerical weight from the v3 specification.
+    pub fn weight(self) -> f64 {
+        match self {
+            ImpactMetric::None => 0.0,
+            ImpactMetric::Low => 0.22,
+            ImpactMetric::High => 0.56,
+        }
+    }
+
+    /// Canonical vector token.
+    pub fn token(self) -> &'static str {
+        match self {
+            ImpactMetric::None => "N",
+            ImpactMetric::Low => "L",
+            ImpactMetric::High => "H",
+        }
+    }
+}
+
+/// A complete CVSS v3.0 base vector.
+///
+/// # Examples
+///
+/// ```
+/// use redeval_cvss::v3::BaseVector;
+///
+/// # fn main() -> Result<(), redeval_cvss::ParseVectorError> {
+/// let v: BaseVector = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse()?;
+/// assert_eq!(v.base_score(), 9.8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BaseVector {
+    /// Attack vector (AV).
+    pub attack_vector: AttackVector,
+    /// Attack complexity (AC).
+    pub attack_complexity: AttackComplexity,
+    /// Privileges required (PR).
+    pub privileges_required: PrivilegesRequired,
+    /// User interaction (UI).
+    pub user_interaction: UserInteraction,
+    /// Scope (S).
+    pub scope: Scope,
+    /// Confidentiality impact (C).
+    pub confidentiality: ImpactMetric,
+    /// Integrity impact (I).
+    pub integrity: ImpactMetric,
+    /// Availability impact (A).
+    pub availability: ImpactMetric,
+}
+
+/// CVSS v3 "round up" to one decimal, using the exact-integer algorithm
+/// from the CVSS v3.1 specification (appendix A) to avoid floating-point
+/// artifacts.
+fn roundup(x: f64) -> f64 {
+    let i = (x * 100_000.0).round();
+    if (i as i64) % 10_000 == 0 {
+        i / 100_000.0
+    } else {
+        ((i / 10_000.0).floor() + 1.0) / 10.0
+    }
+}
+
+impl BaseVector {
+    /// The impact sub-score base `ISC_Base = 1-(1-C)(1-I)(1-A)`.
+    pub fn isc_base(&self) -> f64 {
+        1.0 - (1.0 - self.confidentiality.weight())
+            * (1.0 - self.integrity.weight())
+            * (1.0 - self.availability.weight())
+    }
+
+    /// The (unrounded) impact sub-score, scope dependent.
+    pub fn impact_subscore(&self) -> f64 {
+        let isc = self.isc_base();
+        match self.scope {
+            Scope::Unchanged => 6.42 * isc,
+            Scope::Changed => 7.52 * (isc - 0.029) - 3.25 * (isc - 0.02).powi(15),
+        }
+    }
+
+    /// The (unrounded) exploitability sub-score
+    /// `8.22 * AV * AC * PR * UI`.
+    pub fn exploitability_subscore(&self) -> f64 {
+        8.22 * self.attack_vector.weight()
+            * self.attack_complexity.weight()
+            * self.privileges_required.weight(self.scope)
+            * self.user_interaction.weight()
+    }
+
+    /// The CVSS v3 base score, rounded up to one decimal.
+    pub fn base_score(&self) -> f64 {
+        let impact = self.impact_subscore();
+        if impact <= 0.0 {
+            return 0.0;
+        }
+        let expl = self.exploitability_subscore();
+        match self.scope {
+            Scope::Unchanged => roundup((impact + expl).min(10.0)),
+            Scope::Changed => roundup((1.08 * (impact + expl)).min(10.0)),
+        }
+    }
+
+    /// Qualitative severity of [`base_score`](Self::base_score).
+    pub fn severity(&self) -> Severity {
+        Severity::from_score(self.base_score())
+    }
+
+    /// The canonical vector string including the `CVSS:3.0/` prefix.
+    pub fn to_vector_string(&self) -> String {
+        format!(
+            "CVSS:3.0/AV:{}/AC:{}/PR:{}/UI:{}/S:{}/C:{}/I:{}/A:{}",
+            self.attack_vector.token(),
+            self.attack_complexity.token(),
+            self.privileges_required.token(),
+            self.user_interaction.token(),
+            self.scope.token(),
+            self.confidentiality.token(),
+            self.integrity.token(),
+            self.availability.token()
+        )
+    }
+}
+
+impl fmt::Display for BaseVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_vector_string())
+    }
+}
+
+impl FromStr for BaseVector {
+    type Err = ParseVectorError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let s = s
+            .strip_prefix("CVSS:3.1/")
+            .or_else(|| s.strip_prefix("CVSS:3.0/"))
+            .unwrap_or(s);
+
+        let mut av = None;
+        let mut ac = None;
+        let mut pr = None;
+        let mut ui = None;
+        let mut sc = None;
+        let mut c = None;
+        let mut i = None;
+        let mut a = None;
+
+        for comp in s.split('/') {
+            let (key, value) =
+                comp.split_once(':')
+                    .ok_or_else(|| ParseVectorError::MalformedComponent {
+                        component: comp.to_string(),
+                    })?;
+            let invalid = || ParseVectorError::InvalidValue {
+                key: key.to_string(),
+                value: value.to_string(),
+            };
+            let dup = || ParseVectorError::DuplicateMetric {
+                key: key.to_string(),
+            };
+            match key {
+                "AV" => {
+                    let v = match value {
+                        "N" => AttackVector::Network,
+                        "A" => AttackVector::Adjacent,
+                        "L" => AttackVector::Local,
+                        "P" => AttackVector::Physical,
+                        _ => return Err(invalid()),
+                    };
+                    if av.replace(v).is_some() {
+                        return Err(dup());
+                    }
+                }
+                "AC" => {
+                    let v = match value {
+                        "L" => AttackComplexity::Low,
+                        "H" => AttackComplexity::High,
+                        _ => return Err(invalid()),
+                    };
+                    if ac.replace(v).is_some() {
+                        return Err(dup());
+                    }
+                }
+                "PR" => {
+                    let v = match value {
+                        "N" => PrivilegesRequired::None,
+                        "L" => PrivilegesRequired::Low,
+                        "H" => PrivilegesRequired::High,
+                        _ => return Err(invalid()),
+                    };
+                    if pr.replace(v).is_some() {
+                        return Err(dup());
+                    }
+                }
+                "UI" => {
+                    let v = match value {
+                        "N" => UserInteraction::None,
+                        "R" => UserInteraction::Required,
+                        _ => return Err(invalid()),
+                    };
+                    if ui.replace(v).is_some() {
+                        return Err(dup());
+                    }
+                }
+                "S" => {
+                    let v = match value {
+                        "U" => Scope::Unchanged,
+                        "C" => Scope::Changed,
+                        _ => return Err(invalid()),
+                    };
+                    if sc.replace(v).is_some() {
+                        return Err(dup());
+                    }
+                }
+                "C" | "I" | "A" => {
+                    let v = match value {
+                        "N" => ImpactMetric::None,
+                        "L" => ImpactMetric::Low,
+                        "H" => ImpactMetric::High,
+                        _ => return Err(invalid()),
+                    };
+                    let slot = match key {
+                        "C" => &mut c,
+                        "I" => &mut i,
+                        _ => &mut a,
+                    };
+                    if slot.replace(v).is_some() {
+                        return Err(dup());
+                    }
+                }
+                _ => {
+                    return Err(ParseVectorError::UnknownMetric {
+                        key: key.to_string(),
+                    })
+                }
+            }
+        }
+
+        Ok(BaseVector {
+            attack_vector: av.ok_or(ParseVectorError::MissingMetric { key: "AV" })?,
+            attack_complexity: ac.ok_or(ParseVectorError::MissingMetric { key: "AC" })?,
+            privileges_required: pr.ok_or(ParseVectorError::MissingMetric { key: "PR" })?,
+            user_interaction: ui.ok_or(ParseVectorError::MissingMetric { key: "UI" })?,
+            scope: sc.ok_or(ParseVectorError::MissingMetric { key: "S" })?,
+            confidentiality: c.ok_or(ParseVectorError::MissingMetric { key: "C" })?,
+            integrity: i.ok_or(ParseVectorError::MissingMetric { key: "I" })?,
+            availability: a.ok_or(ParseVectorError::MissingMetric { key: "A" })?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> BaseVector {
+        s.parse().expect("valid vector")
+    }
+
+    #[test]
+    fn canonical_9_8() {
+        let v = parse("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H");
+        assert_eq!(v.base_score(), 9.8);
+        assert_eq!(v.severity(), Severity::Critical);
+    }
+
+    #[test]
+    fn scope_changed_10() {
+        let v = parse("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H");
+        assert_eq!(v.base_score(), 10.0);
+    }
+
+    #[test]
+    fn local_kernel_7_8() {
+        // CVE-2016-4997 v3 vector.
+        let v = parse("CVSS:3.0/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H");
+        assert_eq!(v.base_score(), 7.8);
+        assert_eq!(v.severity(), Severity::High);
+    }
+
+    #[test]
+    fn zero_impact_is_zero_score() {
+        let v = parse("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N");
+        assert_eq!(v.base_score(), 0.0);
+    }
+
+    #[test]
+    fn medium_example() {
+        // CVE-2015-8126-style: AV:N/AC:L/PR:N/UI:R/S:U/C:L/I:L/A:L -> 6.3? compute.
+        let v = parse("CVSS:3.0/AV:N/AC:L/PR:N/UI:R/S:U/C:L/I:L/A:L");
+        assert_eq!(v.base_score(), 6.3);
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let v = parse("CVSS:3.0/AV:A/AC:H/PR:L/UI:R/S:C/C:L/I:H/A:N");
+        assert_eq!(parse(&v.to_string()), v);
+    }
+
+    #[test]
+    fn accepts_31_prefix() {
+        let v = parse("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H");
+        assert_eq!(v.base_score(), 9.8);
+    }
+
+    #[test]
+    fn rejects_missing_scope() {
+        let err = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/C:H/I:H/A:H"
+            .parse::<BaseVector>()
+            .unwrap_err();
+        assert_eq!(err, ParseVectorError::MissingMetric { key: "S" });
+    }
+
+    #[test]
+    fn roundup_behaviour() {
+        assert_eq!(roundup(4.02), 4.1);
+        assert_eq!(roundup(4.0), 4.0);
+        assert_eq!(roundup(4.000001), 4.0); // within epsilon guard
+    }
+}

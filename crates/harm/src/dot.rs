@@ -1,0 +1,156 @@
+//! Graphviz DOT export of HARMs (upper layer + per-host trees).
+
+use std::fmt::Write as _;
+
+use crate::tree::AttackTree;
+use crate::Harm;
+
+impl Harm {
+    /// Renders the two-layer HARM as Graphviz DOT: the upper-layer attack
+    /// graph with the attacker node, plus one cluster per exploitable host
+    /// showing its attack tree (the paper's Figure 3 layout).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use redeval_harm::{AttackGraph, AttackTree, Harm, Vulnerability};
+    ///
+    /// let mut g = AttackGraph::new();
+    /// let h = g.add_host("web");
+    /// g.add_entry(h);
+    /// let t = AttackTree::leaf(Vulnerability::new("CVE-1", 10.0, 1.0));
+    /// let harm = Harm::new(g, vec![Some(t)], vec![h]);
+    /// assert!(harm.to_dot().contains("attacker"));
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph harm {{");
+        let _ = writeln!(out, "  compound=true;");
+        let _ = writeln!(
+            out,
+            "  attacker [shape=diamond, style=filled, fillcolor=indianred, label=\"A\"];"
+        );
+        for h in self.graph().hosts() {
+            let name = self.graph().host_name(h);
+            let style = if self.is_exploitable(h) {
+                "solid"
+            } else {
+                "dashed"
+            };
+            let shape = if self.targets().contains(&h) {
+                "doublecircle"
+            } else {
+                "ellipse"
+            };
+            let _ = writeln!(out, "  \"{name}\" [shape={shape}, style={style}];");
+        }
+        for &e in self.graph().entries() {
+            let _ = writeln!(out, "  attacker -> \"{}\";", self.graph().host_name(e));
+        }
+        for h in self.graph().hosts() {
+            for &s in self.graph().successors(h) {
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -> \"{}\";",
+                    self.graph().host_name(h),
+                    self.graph().host_name(s)
+                );
+            }
+        }
+        // Lower layer: one cluster per exploitable host.
+        for h in self.graph().hosts() {
+            let Some(tree) = self.tree(h) else { continue };
+            let name = self.graph().host_name(h);
+            let _ = writeln!(out, "  subgraph \"cluster_{name}\" {{");
+            let _ = writeln!(out, "    label=\"AT: {name}\";");
+            let mut counter = 0usize;
+            let root = write_tree(&mut out, name, tree, &mut counter);
+            let _ = writeln!(out, "  }}");
+            let _ = writeln!(out, "  \"{name}\" -> \"{root}\" [style=dotted];");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Writes one attack-tree node and its descendants; returns the DOT node id.
+fn write_tree(out: &mut String, host: &str, tree: &AttackTree, counter: &mut usize) -> String {
+    let id = format!("{host}_n{counter}");
+    *counter += 1;
+    match tree {
+        AttackTree::Leaf(v) => {
+            let _ = writeln!(
+                out,
+                "    \"{id}\" [shape=box, label=\"{}\\nimp {:.1} / p {:.2}\"];",
+                v.id, v.impact, v.probability
+            );
+        }
+        AttackTree::And(cs) => {
+            let _ = writeln!(out, "    \"{id}\" [shape=triangle, label=\"AND\"];");
+            for c in cs {
+                let cid = write_tree(out, host, c, counter);
+                let _ = writeln!(out, "    \"{id}\" -> \"{cid}\";");
+            }
+        }
+        AttackTree::Or(cs) => {
+            let _ = writeln!(out, "    \"{id}\" [shape=invtriangle, label=\"OR\"];");
+            for c in cs {
+                let cid = write_tree(out, host, c, counter);
+                let _ = writeln!(out, "    \"{id}\" -> \"{cid}\";");
+            }
+        }
+    }
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{AttackGraph, AttackTree, Harm, Vulnerability};
+
+    #[test]
+    fn dot_renders_layers() {
+        let mut g = AttackGraph::new();
+        let a = g.add_host("web");
+        let b = g.add_host("db");
+        g.add_entry(a);
+        g.add_edge(a, b);
+        let tree = AttackTree::or(vec![
+            AttackTree::leaf(Vulnerability::new("CVE-1", 10.0, 1.0)),
+            AttackTree::and(vec![
+                AttackTree::leaf(Vulnerability::new("CVE-2", 2.9, 1.0)),
+                AttackTree::leaf(Vulnerability::new("CVE-3", 10.0, 0.39)),
+            ]),
+        ]);
+        let harm = Harm::new(
+            g,
+            vec![
+                Some(tree),
+                Some(AttackTree::leaf(Vulnerability::new("CVE-4", 10.0, 1.0))),
+            ],
+            vec![b],
+        );
+        let dot = harm.to_dot();
+        for needle in [
+            "attacker",
+            "cluster_web",
+            "cluster_db",
+            "AND",
+            "OR",
+            "CVE-3",
+            "doublecircle",
+        ] {
+            assert!(dot.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn unexploitable_host_has_no_cluster() {
+        let mut g = AttackGraph::new();
+        let a = g.add_host("h");
+        g.add_entry(a);
+        let harm = Harm::new(g, vec![None], vec![a]);
+        let dot = harm.to_dot();
+        assert!(!dot.contains("cluster_h"));
+        assert!(dot.contains("dashed"));
+    }
+}

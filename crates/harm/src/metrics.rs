@@ -1,0 +1,124 @@
+//! Security-metric definitions and aggregation configuration.
+
+use std::fmt;
+
+/// How OR gates in attack trees combine child probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OrCombine {
+    /// The attacker takes the single best option: `max(p_i)`.
+    Max,
+    /// Independent attempts: `1 − Π(1 − p_i)` (noisy-or).
+    #[default]
+    NoisyOr,
+}
+
+/// How the network-level attack success probability aggregates over attack
+/// paths.
+///
+/// The paper's references (\[18\],\[20\]) define `ASP = max over paths`, but
+/// its Figure 6(b) shows redundancy *increasing* ASP, which only holds for
+/// the multi-path aggregations; see `EXPERIMENTS.md` for the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AspStrategy {
+    /// `max_ap Π_{h∈ap} p_h` — the single most likely path.
+    MaxPath,
+    /// `1 − Π_ap (1 − asp_ap)` — paths treated as independent attempts.
+    #[default]
+    NoisyOrPaths,
+    /// Exact network reliability: the probability that at least one attack
+    /// path has **all** of its hosts compromised, with host compromises as
+    /// independent Bernoulli events. Falls back to
+    /// [`NoisyOrPaths`](Self::NoisyOrPaths) when more than
+    /// [`RELIABILITY_HOST_LIMIT`](crate::Harm::RELIABILITY_HOST_LIMIT)
+    /// distinct hosts appear on attack paths.
+    Reliability,
+}
+
+/// Configuration for [`crate::Harm::metrics`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsConfig {
+    /// OR-gate combination inside attack trees.
+    pub or_combine: OrCombine,
+    /// Across-path aggregation for ASP.
+    pub asp: AspStrategy,
+    /// Upper bound on enumerated attack paths.
+    pub max_paths: usize,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        MetricsConfig {
+            or_combine: OrCombine::default(),
+            asp: AspStrategy::default(),
+            max_paths: 1_000_000,
+        }
+    }
+}
+
+/// The paper's five security metrics plus extension metrics.
+///
+/// Produced by [`crate::Harm::metrics`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SecurityMetrics {
+    /// `AIM` — attack impact at the network level (max over paths of the
+    /// summed host impacts). 0.0 when no attack path exists.
+    pub attack_impact: f64,
+    /// `ASP` — attack success probability at the network level.
+    pub attack_success_probability: f64,
+    /// `NoEV` — total number of exploitable vulnerabilities over all hosts.
+    pub exploitable_vulnerabilities: usize,
+    /// `NoAP` — number of attack paths.
+    pub attack_paths: usize,
+    /// `NoEP` — number of entry points (attacker-reachable exploitable
+    /// hosts).
+    pub entry_points: usize,
+    /// Extension: number of hops on the shortest attack path.
+    pub shortest_path_length: Option<usize>,
+    /// Extension: mean number of hops over all attack paths (0.0 if none).
+    pub mean_path_length: f64,
+    /// Extension: maximal per-path risk `aim_ap · asp_ap`.
+    pub risk: f64,
+}
+
+impl fmt::Display for SecurityMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "AIM={:.1} ASP={:.3} NoEV={} NoAP={} NoEP={}",
+            self.attack_impact,
+            self.attack_success_probability,
+            self.exploitable_vulnerabilities,
+            self.attack_paths,
+            self.entry_points
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_noisy_or() {
+        let c = MetricsConfig::default();
+        assert_eq!(c.or_combine, OrCombine::NoisyOr);
+        assert_eq!(c.asp, AspStrategy::NoisyOrPaths);
+    }
+
+    #[test]
+    fn display_shows_paper_names() {
+        let m = SecurityMetrics {
+            attack_impact: 52.2,
+            attack_success_probability: 1.0,
+            exploitable_vulnerabilities: 26,
+            attack_paths: 8,
+            entry_points: 3,
+            shortest_path_length: Some(3),
+            mean_path_length: 3.5,
+            risk: 52.2,
+        };
+        let s = m.to_string();
+        assert!(s.contains("AIM=52.2"));
+        assert!(s.contains("NoAP=8"));
+    }
+}

@@ -1,0 +1,257 @@
+//! Phase-1 automation: generating the upper-layer attack graph from a
+//! zone/firewall description of the enterprise network.
+//!
+//! The paper's example network (its Figure 2) is segmented by an external
+//! and an internal firewall into DMZs and an intranet; reachability between
+//! hosts is what the firewalls allow. [`TopologyBuilder`] captures exactly
+//! that vocabulary — zones, hosts in zones, allow-rules between zones, and
+//! internet exposure — and compiles it into an [`AttackGraph`].
+
+use std::collections::HashMap;
+
+use crate::graph::{AttackGraph, HostId};
+
+/// Identifier of a network zone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ZoneId(usize);
+
+/// Builder translating a zone/firewall description into an attack graph.
+///
+/// # Examples
+///
+/// The paper's segmentation (two DMZs + intranet tiers):
+///
+/// ```
+/// use redeval_harm::topology::TopologyBuilder;
+///
+/// let mut b = TopologyBuilder::new();
+/// let dmz_dns = b.zone("dmz-dns");
+/// let dmz_web = b.zone("dmz-web");
+/// let intranet = b.zone("intranet");
+/// let db_net = b.zone("db-net");
+///
+/// let dns = b.host("dns1", dmz_dns);
+/// let web1 = b.host("web1", dmz_web);
+/// let web2 = b.host("web2", dmz_web);
+/// let app = b.host("app1", intranet);
+/// let db = b.host("db1", db_net);
+///
+/// b.expose_to_internet(dmz_dns);
+/// b.expose_to_internet(dmz_web);
+/// b.allow(dmz_dns, dmz_web);
+/// b.allow(dmz_web, intranet);
+/// b.allow(intranet, db_net);
+///
+/// let g = b.build();
+/// assert_eq!(g.entries().len(), 3); // dns1, web1, web2
+/// assert!(g.successors(web1).contains(&app));
+/// assert!(!g.successors(web1).contains(&db)); // firewalled off
+/// # let _ = (dns, web2, db);
+/// ```
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    zones: Vec<String>,
+    hosts: Vec<(String, ZoneId)>,
+    /// Allowed zone-to-zone flows (directed).
+    rules: Vec<(ZoneId, ZoneId)>,
+    /// Zones reachable from the internet.
+    exposed: Vec<ZoneId>,
+    /// Whether hosts within one zone can reach each other.
+    intra_zone: bool,
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder. Intra-zone reachability is off by
+    /// default (servers of one tier rarely attack each other usefully);
+    /// enable it with [`allow_intra_zone`](Self::allow_intra_zone).
+    pub fn new() -> Self {
+        TopologyBuilder::default()
+    }
+
+    /// Declares a network zone (subnet / security domain).
+    pub fn zone(&mut self, name: impl Into<String>) -> ZoneId {
+        self.zones.push(name.into());
+        ZoneId(self.zones.len() - 1)
+    }
+
+    /// Places a host in a zone.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign zone id.
+    pub fn host(&mut self, name: impl Into<String>, zone: ZoneId) -> HostId {
+        assert!(zone.0 < self.zones.len(), "unknown zone");
+        self.hosts.push((name.into(), zone));
+        // Host ids are assigned densely in insertion order, matching the
+        // ids the compiled AttackGraph will hand out.
+        HostId(self.hosts.len() - 1)
+    }
+
+    /// Allows traffic from every host of `from` to every host of `to`
+    /// (a firewall accept rule). Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on foreign zone ids.
+    pub fn allow(&mut self, from: ZoneId, to: ZoneId) {
+        assert!(from.0 < self.zones.len() && to.0 < self.zones.len(), "unknown zone");
+        if !self.rules.contains(&(from, to)) {
+            self.rules.push((from, to));
+        }
+    }
+
+    /// Marks a zone as reachable from the internet (the external
+    /// firewall forwards to it). Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign zone id.
+    pub fn expose_to_internet(&mut self, zone: ZoneId) {
+        assert!(zone.0 < self.zones.len(), "unknown zone");
+        if !self.exposed.contains(&zone) {
+            self.exposed.push(zone);
+        }
+    }
+
+    /// Also connects hosts **within** each zone to each other (lateral
+    /// movement inside a subnet).
+    pub fn allow_intra_zone(&mut self) {
+        self.intra_zone = true;
+    }
+
+    /// Compiles the description into an [`AttackGraph`].
+    pub fn build(&self) -> AttackGraph {
+        let mut g = AttackGraph::new();
+        let mut by_zone: HashMap<usize, Vec<HostId>> = HashMap::new();
+        for (name, zone) in &self.hosts {
+            let h = g.add_host(name.clone());
+            by_zone.entry(zone.0).or_default().push(h);
+        }
+        for zone in &self.exposed {
+            for &h in by_zone.get(&zone.0).into_iter().flatten() {
+                g.add_entry(h);
+            }
+        }
+        for &(from, to) in &self.rules {
+            let (Some(fs), Some(ts)) = (by_zone.get(&from.0), by_zone.get(&to.0)) else {
+                continue;
+            };
+            for &f in fs {
+                for &t in ts {
+                    if f != t {
+                        g.add_edge(f, t);
+                    }
+                }
+            }
+        }
+        if self.intra_zone {
+            for hosts in by_zone.values() {
+                for &a in hosts {
+                    for &b in hosts {
+                        if a != b {
+                            g.add_edge(a, b);
+                        }
+                    }
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_like() -> (AttackGraph, Vec<HostId>) {
+        let mut b = TopologyBuilder::new();
+        let dmz_dns = b.zone("dmz-dns");
+        let dmz_web = b.zone("dmz-web");
+        let intranet = b.zone("intranet");
+        let db_net = b.zone("db");
+        let dns = b.host("dns1", dmz_dns);
+        let web1 = b.host("web1", dmz_web);
+        let web2 = b.host("web2", dmz_web);
+        let app1 = b.host("app1", intranet);
+        let app2 = b.host("app2", intranet);
+        let db = b.host("db1", db_net);
+        b.expose_to_internet(dmz_dns);
+        b.expose_to_internet(dmz_web);
+        b.allow(dmz_dns, dmz_web);
+        b.allow(dmz_web, intranet);
+        b.allow(intranet, db_net);
+        (b.build(), vec![dns, web1, web2, app1, app2, db])
+    }
+
+    #[test]
+    fn reproduces_paper_topology() {
+        let (g, hosts) = paper_like();
+        let db = hosts[5];
+        // 8 attack paths, as in the paper's Figure 3(a).
+        let paths = g.simple_paths(&[db], &|_| true, 100).unwrap();
+        assert_eq!(paths.len(), 8);
+        assert_eq!(g.entries().len(), 3);
+    }
+
+    #[test]
+    fn firewall_blocks_skip_connections() {
+        let (g, hosts) = paper_like();
+        let (web1, db) = (hosts[1], hosts[5]);
+        assert!(!g.successors(web1).contains(&db));
+    }
+
+    #[test]
+    fn host_ids_match_compiled_graph() {
+        let mut b = TopologyBuilder::new();
+        let z = b.zone("z");
+        let a = b.host("a", z);
+        let c = b.host("c", z);
+        let g = b.build();
+        assert_eq!(g.host_name(a), "a");
+        assert_eq!(g.host_name(c), "c");
+    }
+
+    #[test]
+    fn intra_zone_adds_lateral_edges() {
+        let mut b = TopologyBuilder::new();
+        let z = b.zone("z");
+        let a = b.host("a", z);
+        let c = b.host("c", z);
+        b.expose_to_internet(z);
+        let g = b.build();
+        assert!(g.successors(a).is_empty());
+
+        let mut b2 = TopologyBuilder::new();
+        let z2 = b2.zone("z");
+        let a2 = b2.host("a", z2);
+        let c2 = b2.host("c", z2);
+        b2.expose_to_internet(z2);
+        b2.allow_intra_zone();
+        let g2 = b2.build();
+        assert!(g2.successors(a2).contains(&c2));
+        assert!(g2.successors(c2).contains(&a2));
+        let _ = (a, c);
+    }
+
+    #[test]
+    fn self_rule_is_harmless_without_intra_zone() {
+        let mut b = TopologyBuilder::new();
+        let z = b.zone("z");
+        let a = b.host("a", z);
+        b.allow(z, z); // every pair distinct -> no self edge
+        let g = b.build();
+        assert!(g.successors(a).is_empty());
+    }
+
+    #[test]
+    fn empty_zone_rules_are_skipped() {
+        let mut b = TopologyBuilder::new();
+        let z1 = b.zone("full");
+        let z2 = b.zone("empty");
+        let a = b.host("a", z1);
+        b.allow(z1, z2);
+        b.allow(z2, z1);
+        let g = b.build();
+        assert!(g.successors(a).is_empty());
+    }
+}

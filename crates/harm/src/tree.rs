@@ -1,0 +1,275 @@
+//! Attack trees — the lower layer of the HARM.
+
+use crate::metrics::OrCombine;
+use crate::Vulnerability;
+
+/// An attack tree: AND/OR combinations of vulnerabilities describing how a
+/// single host is compromised.
+///
+/// Evaluation follows the paper (and its references):
+///
+/// * **impact**: leaf → its impact; AND → sum of children; OR → max of
+///   children;
+/// * **probability**: leaf → its probability; AND → product of children;
+///   OR → configurable ([`OrCombine::Max`] or [`OrCombine::NoisyOr`]).
+///
+/// # Examples
+///
+/// The paper's web-server tree (`max(v1,v2,v3, v4+v5) = 12.9`):
+///
+/// ```
+/// use redeval_harm::{AttackTree, Vulnerability};
+///
+/// let t = AttackTree::or(vec![
+///     AttackTree::leaf(Vulnerability::new("v1web", 10.0, 1.0)),
+///     AttackTree::leaf(Vulnerability::new("v2web", 10.0, 1.0)),
+///     AttackTree::leaf(Vulnerability::new("v3web", 10.0, 1.0)),
+///     AttackTree::and(vec![
+///         AttackTree::leaf(Vulnerability::new("v4web", 2.9, 1.0)),
+///         AttackTree::leaf(Vulnerability::new("v5web", 10.0, 0.39)),
+///     ]),
+/// ]);
+/// assert_eq!(t.impact(), 12.9);
+/// assert_eq!(t.leaf_count(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackTree {
+    /// A single vulnerability.
+    Leaf(Vulnerability),
+    /// All children must be exploited.
+    And(Vec<AttackTree>),
+    /// Any child suffices.
+    Or(Vec<AttackTree>),
+}
+
+impl AttackTree {
+    /// A leaf node.
+    pub fn leaf(v: Vulnerability) -> Self {
+        AttackTree::Leaf(v)
+    }
+
+    /// An AND gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `children` is empty (a gate without children has no
+    /// defined semantics).
+    pub fn and(children: Vec<AttackTree>) -> Self {
+        assert!(!children.is_empty(), "AND gate needs at least one child");
+        AttackTree::And(children)
+    }
+
+    /// An OR gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `children` is empty.
+    pub fn or(children: Vec<AttackTree>) -> Self {
+        assert!(!children.is_empty(), "OR gate needs at least one child");
+        AttackTree::Or(children)
+    }
+
+    /// The host-level attack impact (AND = sum, OR = max).
+    pub fn impact(&self) -> f64 {
+        match self {
+            AttackTree::Leaf(v) => v.impact,
+            AttackTree::And(cs) => cs.iter().map(AttackTree::impact).sum(),
+            AttackTree::Or(cs) => cs
+                .iter()
+                .map(AttackTree::impact)
+                .fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// The host-level attack success probability.
+    ///
+    /// AND gates multiply; OR gates combine according to `combine`.
+    pub fn probability(&self, combine: OrCombine) -> f64 {
+        match self {
+            AttackTree::Leaf(v) => v.probability,
+            AttackTree::And(cs) => cs.iter().map(|c| c.probability(combine)).product(),
+            AttackTree::Or(cs) => {
+                let ps = cs.iter().map(|c| c.probability(combine));
+                match combine {
+                    OrCombine::Max => ps.fold(0.0, f64::max),
+                    OrCombine::NoisyOr => 1.0 - ps.map(|p| 1.0 - p).product::<f64>(),
+                }
+            }
+        }
+    }
+
+    /// Number of vulnerability leaves (the per-host `NoEV` contribution).
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            AttackTree::Leaf(_) => 1,
+            AttackTree::And(cs) | AttackTree::Or(cs) => {
+                cs.iter().map(AttackTree::leaf_count).sum()
+            }
+        }
+    }
+
+    /// Iterates over all vulnerabilities in the tree (pre-order).
+    pub fn vulnerabilities(&self) -> Vec<&Vulnerability> {
+        let mut out = Vec::new();
+        self.collect_vulns(&mut out);
+        out
+    }
+
+    fn collect_vulns<'a>(&'a self, out: &mut Vec<&'a Vulnerability>) {
+        match self {
+            AttackTree::Leaf(v) => out.push(v),
+            AttackTree::And(cs) | AttackTree::Or(cs) => {
+                for c in cs {
+                    c.collect_vulns(out);
+                }
+            }
+        }
+    }
+
+    /// Removes every vulnerability for which `patched` returns true and
+    /// prunes the tree: an AND gate dies with any dead child, an OR gate
+    /// dies when all children die. Returns `None` when the whole tree dies
+    /// (the host stops being exploitable).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use redeval_harm::{AttackTree, Vulnerability};
+    ///
+    /// let t = AttackTree::or(vec![
+    ///     AttackTree::leaf(Vulnerability::new("critical", 10.0, 1.0)),
+    ///     AttackTree::leaf(Vulnerability::new("minor", 2.9, 1.0)),
+    /// ]);
+    /// let after = t.without(&|v| v.is_critical(8.0)).unwrap();
+    /// assert_eq!(after.leaf_count(), 1);
+    /// assert_eq!(after.impact(), 2.9);
+    /// ```
+    pub fn without(&self, patched: &dyn Fn(&Vulnerability) -> bool) -> Option<AttackTree> {
+        match self {
+            AttackTree::Leaf(v) => {
+                if patched(v) {
+                    None
+                } else {
+                    Some(AttackTree::Leaf(v.clone()))
+                }
+            }
+            AttackTree::And(cs) => {
+                let pruned: Option<Vec<AttackTree>> =
+                    cs.iter().map(|c| c.without(patched)).collect();
+                pruned.map(AttackTree::And)
+            }
+            AttackTree::Or(cs) => {
+                let pruned: Vec<AttackTree> =
+                    cs.iter().filter_map(|c| c.without(patched)).collect();
+                if pruned.is_empty() {
+                    None
+                } else {
+                    Some(AttackTree::Or(pruned))
+                }
+            }
+        }
+    }
+
+    /// Depth of the tree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            AttackTree::Leaf(_) => 1,
+            AttackTree::And(cs) | AttackTree::Or(cs) => {
+                1 + cs.iter().map(AttackTree::depth).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(id: &str, impact: f64, prob: f64) -> AttackTree {
+        AttackTree::leaf(Vulnerability::new(id, impact, prob))
+    }
+
+    /// The paper's web-server tree.
+    fn web_tree() -> AttackTree {
+        AttackTree::or(vec![
+            v("v1web", 10.0, 1.0),
+            v("v2web", 10.0, 1.0),
+            v("v3web", 10.0, 1.0),
+            AttackTree::and(vec![v("v4web", 2.9, 1.0), v("v5web", 10.0, 0.39)]),
+        ])
+    }
+
+    /// The paper's application-server tree.
+    fn app_tree() -> AttackTree {
+        AttackTree::or(vec![
+            v("v1app", 10.0, 1.0),
+            v("v2app", 10.0, 1.0),
+            v("v3app", 10.0, 1.0),
+            AttackTree::and(vec![v("v4app", 6.4, 1.0), v("v5app", 10.0, 0.39)]),
+        ])
+    }
+
+    #[test]
+    fn paper_web_impact_is_12_9() {
+        assert!((web_tree().impact() - 12.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_app_impact_is_16_4() {
+        assert!((app_tree().impact() - 16.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_before_patch_is_one() {
+        assert_eq!(web_tree().probability(OrCombine::Max), 1.0);
+        assert_eq!(web_tree().probability(OrCombine::NoisyOr), 1.0);
+    }
+
+    #[test]
+    fn patching_critical_leaves_and_pair() {
+        let after = web_tree().without(&|vu| vu.is_critical(8.0)).unwrap();
+        assert_eq!(after.leaf_count(), 2);
+        assert!((after.impact() - 12.9).abs() < 1e-12);
+        assert!((after.probability(OrCombine::Max) - 0.39).abs() < 1e-12);
+    }
+
+    #[test]
+    fn and_gate_dies_with_any_child() {
+        let t = AttackTree::and(vec![v("a", 5.0, 1.0), v("b", 5.0, 1.0)]);
+        assert!(t.without(&|vu| vu.id == "a").is_none());
+        assert!(t.without(&|vu| vu.id == "c").is_some());
+    }
+
+    #[test]
+    fn or_gate_survives_partial_patch() {
+        let t = AttackTree::or(vec![v("a", 5.0, 1.0), v("b", 3.0, 0.5)]);
+        let after = t.without(&|vu| vu.id == "a").unwrap();
+        assert_eq!(after.impact(), 3.0);
+        let dead = t.without(&|_| true);
+        assert!(dead.is_none());
+    }
+
+    #[test]
+    fn noisy_or_exceeds_max() {
+        let t = AttackTree::or(vec![v("a", 1.0, 0.5), v("b", 1.0, 0.5)]);
+        assert_eq!(t.probability(OrCombine::Max), 0.5);
+        assert!((t.probability(OrCombine::NoisyOr) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_depth_and_counts() {
+        let t = AttackTree::or(vec![
+            AttackTree::and(vec![v("a", 1.0, 1.0), v("b", 1.0, 1.0)]),
+            v("c", 2.0, 1.0),
+        ]);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.leaf_count(), 3);
+        assert_eq!(t.vulnerabilities().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one child")]
+    fn empty_gate_panics() {
+        let _ = AttackTree::or(vec![]);
+    }
+}

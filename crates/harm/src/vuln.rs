@@ -1,0 +1,181 @@
+//! Vulnerabilities: the leaves of attack trees.
+
+use std::fmt;
+
+use redeval_cvss::v2;
+
+/// A vulnerability with the two quantities the paper's analysis uses
+/// (attack impact and attack success probability) plus optional CVSS
+/// provenance.
+///
+/// # Examples
+///
+/// ```
+/// use redeval_harm::Vulnerability;
+///
+/// let v = Vulnerability::new("CVE-2016-6662", 10.0, 1.0);
+/// assert!(v.is_critical(8.0));
+/// let w = Vulnerability::new("CVE-2016-4805", 10.0, 0.39);
+/// assert!(!w.is_critical(8.0)); // derived base score 7.1
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vulnerability {
+    /// Identifier (typically a CVE id).
+    pub id: String,
+    /// Attack impact — the CVSS v2 impact subscore, `0.0..=10.0`.
+    pub impact: f64,
+    /// Attack success probability — exploitability subscore / 10,
+    /// `0.0..=1.0`.
+    pub probability: f64,
+    /// Explicit CVSS base score when known; otherwise it is derived from
+    /// impact and probability via the v2 base equation.
+    pub base_score: Option<f64>,
+}
+
+impl Vulnerability {
+    /// Creates a vulnerability from the paper's two Table-I quantities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `impact` is outside `0.0..=10.0` or `probability` outside
+    /// `0.0..=1.0` (model-construction error).
+    pub fn new(id: impl Into<String>, impact: f64, probability: f64) -> Self {
+        assert!(
+            (0.0..=10.0).contains(&impact),
+            "impact {impact} outside 0..=10"
+        );
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability {probability} outside 0..=1"
+        );
+        Vulnerability {
+            id: id.into(),
+            impact,
+            probability,
+            base_score: None,
+        }
+    }
+
+    /// Creates a vulnerability with an explicit CVSS base score.
+    ///
+    /// # Panics
+    ///
+    /// Same range panics as [`new`](Self::new); additionally if
+    /// `base_score` is outside `0.0..=10.0`.
+    pub fn with_base_score(
+        id: impl Into<String>,
+        impact: f64,
+        probability: f64,
+        base_score: f64,
+    ) -> Self {
+        assert!(
+            (0.0..=10.0).contains(&base_score),
+            "base score {base_score} outside 0..=10"
+        );
+        let mut v = Vulnerability::new(id, impact, probability);
+        v.base_score = Some(base_score);
+        v
+    }
+
+    /// Creates a vulnerability from a CVSS v2 base vector, extracting the
+    /// impact, probability and base score exactly as the paper does.
+    pub fn from_cvss_v2(id: impl Into<String>, vector: &v2::BaseVector) -> Self {
+        Vulnerability {
+            id: id.into(),
+            impact: vector.attack_impact(),
+            probability: vector.attack_success_probability(),
+            base_score: Some(vector.base_score()),
+        }
+    }
+
+    /// The CVSS v2 base score: the explicit one when present, otherwise
+    /// derived from `(impact, probability·10)` via the v2 base equation.
+    pub fn effective_base_score(&self) -> f64 {
+        if let Some(b) = self.base_score {
+            return b;
+        }
+        let f = if self.impact == 0.0 { 0.0 } else { 1.176 };
+        let raw = ((0.6 * self.impact) + (0.4 * self.probability * 10.0) - 1.5) * f;
+        (raw.clamp(0.0, 10.0) * 10.0).round() / 10.0
+    }
+
+    /// Whether the paper would patch this vulnerability at the given
+    /// criticality threshold (base score strictly greater).
+    pub fn is_critical(&self, threshold: f64) -> bool {
+        self.effective_base_score() > threshold
+    }
+}
+
+impl fmt::Display for Vulnerability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (impact {:.1}, probability {:.2})",
+            self.id, self.impact, self.probability
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_base_score_matches_cvss2() {
+        // impact 10, probability 1.0 -> E = 10 -> base 10.
+        let v = Vulnerability::new("x", 10.0, 1.0);
+        assert_eq!(v.effective_base_score(), 10.0);
+        // impact 2.9, probability 1.0 -> base 5.0 (CVE-2016-4979).
+        let v = Vulnerability::new("x", 2.9, 1.0);
+        assert_eq!(v.effective_base_score(), 5.0);
+        // impact 10, probability 0.39 -> base 7.1 (local kernel vulns).
+        let v = Vulnerability::new("x", 10.0, 0.39);
+        assert_eq!(v.effective_base_score(), 7.1);
+        // impact 6.4, probability 1.0 -> base 7.5 (CVE-2016-0638).
+        let v = Vulnerability::new("x", 6.4, 1.0);
+        assert_eq!(v.effective_base_score(), 7.5);
+        // impact 2.9, probability 0.86 -> base 4.3 (CVE-2015-3152).
+        let v = Vulnerability::new("x", 2.9, 0.86);
+        assert_eq!(v.effective_base_score(), 4.3);
+    }
+
+    #[test]
+    fn explicit_base_score_wins() {
+        let v = Vulnerability::with_base_score("x", 10.0, 1.0, 6.0);
+        assert_eq!(v.effective_base_score(), 6.0);
+        assert!(!v.is_critical(8.0));
+    }
+
+    #[test]
+    fn from_cvss_vector() {
+        let vec: v2::BaseVector = "AV:N/AC:L/Au:N/C:C/I:C/A:C".parse().unwrap();
+        let v = Vulnerability::from_cvss_v2("CVE-X", &vec);
+        assert_eq!(v.impact, 10.0);
+        assert_eq!(v.probability, 1.0);
+        assert_eq!(v.base_score, Some(10.0));
+    }
+
+    #[test]
+    fn zero_impact_base_score_is_zero() {
+        let v = Vulnerability::new("x", 0.0, 1.0);
+        assert_eq!(v.effective_base_score(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        let _ = Vulnerability::new("x", 5.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "impact")]
+    fn invalid_impact_panics() {
+        let _ = Vulnerability::new("x", -0.1, 0.5);
+    }
+
+    #[test]
+    fn display_contains_id() {
+        let v = Vulnerability::new("CVE-1", 1.0, 0.5);
+        assert!(v.to_string().contains("CVE-1"));
+    }
+}

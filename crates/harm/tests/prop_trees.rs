@@ -1,0 +1,141 @@
+//! Property-based tests for attack trees and HARM metrics.
+
+use proptest::prelude::*;
+use redeval_harm::{
+    AspStrategy, AttackGraph, AttackTree, Harm, MetricsConfig, OrCombine, Vulnerability,
+};
+
+/// Random attack tree of bounded depth.
+fn tree(depth: u32) -> BoxedStrategy<AttackTree> {
+    let leaf = (0.0f64..=10.0, 0.0f64..=1.0)
+        .prop_map(|(imp, p)| AttackTree::leaf(Vulnerability::new("v", imp, p)));
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(AttackTree::and),
+            prop::collection::vec(inner, 1..4).prop_map(AttackTree::or),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Probabilities stay in [0,1] under both OR semantics.
+    #[test]
+    fn probability_in_unit_interval(t in tree(3)) {
+        for c in [OrCombine::Max, OrCombine::NoisyOr] {
+            let p = t.probability(c);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&p), "{p}");
+        }
+    }
+
+    /// Noisy-or dominates max on every tree.
+    #[test]
+    fn noisy_or_dominates_max(t in tree(3)) {
+        prop_assert!(t.probability(OrCombine::NoisyOr) >= t.probability(OrCombine::Max) - 1e-12);
+    }
+
+    /// Impact is non-negative and leaf counts add up.
+    #[test]
+    fn impact_and_counts(t in tree(3)) {
+        prop_assert!(t.impact() >= 0.0);
+        prop_assert_eq!(t.leaf_count(), t.vulnerabilities().len());
+        prop_assert!(t.depth() >= 1);
+    }
+
+    /// Pruning is monotone: the surviving tree has no more leaves, and
+    /// patching nothing is the identity.
+    #[test]
+    fn pruning_monotone(t in tree(3), threshold in 0.0f64..=10.0) {
+        let keep_all = t.without(&|_| false).unwrap();
+        prop_assert_eq!(&keep_all, &t);
+        if let Some(pruned) = t.without(&|v| v.is_critical(threshold)) {
+            prop_assert!(pruned.leaf_count() <= t.leaf_count());
+            // No surviving leaf is critical.
+            for v in pruned.vulnerabilities() {
+                prop_assert!(!v.is_critical(threshold));
+            }
+        }
+    }
+
+    /// Pruned probability never exceeds the original (removing options
+    /// cannot help the attacker).
+    #[test]
+    fn pruning_never_helps_attacker(t in tree(3), threshold in 0.0f64..=10.0) {
+        if let Some(pruned) = t.without(&|v| v.is_critical(threshold)) {
+            for c in [OrCombine::Max, OrCombine::NoisyOr] {
+                prop_assert!(pruned.probability(c) <= t.probability(c) + 1e-9);
+            }
+        }
+    }
+
+    /// Network ASP orderings hold on random two-tier networks:
+    /// MaxPath ≤ Reliability ≤ NoisyOrPaths.
+    #[test]
+    fn asp_strategy_ordering(
+        web_probs in prop::collection::vec(0.0f64..=1.0, 1..4),
+        db_prob in 0.0f64..=1.0,
+    ) {
+        let mut g = AttackGraph::new();
+        let mut trees = Vec::new();
+        let mut webs = Vec::new();
+        for (i, &p) in web_probs.iter().enumerate() {
+            let h = g.add_host(format!("web{i}"));
+            g.add_entry(h);
+            webs.push(h);
+            trees.push(Some(AttackTree::leaf(Vulnerability::new("w", 5.0, p))));
+        }
+        let db = g.add_host("db");
+        trees.push(Some(AttackTree::leaf(Vulnerability::new("d", 5.0, db_prob))));
+        for &w in &webs {
+            g.add_edge(w, db);
+        }
+        let harm = Harm::new(g, trees, vec![db]);
+        let asp = |s| harm.metrics(&MetricsConfig { asp: s, ..Default::default() })
+            .attack_success_probability;
+        let max = asp(AspStrategy::MaxPath);
+        let rel = asp(AspStrategy::Reliability);
+        let nor = asp(AspStrategy::NoisyOrPaths);
+        prop_assert!(max <= rel + 1e-9, "max {max} rel {rel}");
+        prop_assert!(rel <= nor + 1e-9, "rel {rel} nor {nor}");
+        // Exact value: db AND (at least one web).
+        let any_web = 1.0 - web_probs.iter().map(|p| 1.0 - p).product::<f64>();
+        prop_assert!((rel - db_prob * any_web).abs() < 1e-9);
+    }
+
+    /// Patching can only shrink every structural metric.
+    #[test]
+    fn patch_shrinks_metrics(
+        probs in prop::collection::vec(0.1f64..=1.0, 2..5),
+        threshold in 4.0f64..=9.5,
+    ) {
+        let mut g = AttackGraph::new();
+        let mut trees = Vec::new();
+        let mut prev: Option<redeval_harm::HostId> = None;
+        for (i, &p) in probs.iter().enumerate() {
+            let h = g.add_host(format!("h{i}"));
+            if let Some(q) = prev {
+                g.add_edge(q, h);
+            } else {
+                g.add_entry(h);
+            }
+            // Impact chosen so some vulns are critical, some not.
+            let impact = if i % 2 == 0 { 10.0 } else { 2.9 };
+            trees.push(Some(AttackTree::leaf(Vulnerability::new("v", impact, p))));
+            prev = Some(h);
+        }
+        let target = prev.expect("at least two hosts");
+        let harm = Harm::new(g, trees, vec![target]);
+        let cfg = MetricsConfig::default();
+        let before = harm.metrics(&cfg);
+        let after = harm.patched_critical(threshold).metrics(&cfg);
+        prop_assert!(after.exploitable_vulnerabilities <= before.exploitable_vulnerabilities);
+        prop_assert!(after.attack_paths <= before.attack_paths);
+        prop_assert!(after.entry_points <= before.entry_points);
+        prop_assert!(after.attack_impact <= before.attack_impact + 1e-9);
+        prop_assert!(
+            after.attack_success_probability <= before.attack_success_probability + 1e-9
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Discrete-time Markov chains.
+
+use crate::matrix::{Csr, Dense};
+use crate::steady::{SteadyStateMethod, SteadyStateOptions};
+use crate::SolveError;
+
+/// A finite discrete-time Markov chain given by transition probabilities.
+///
+/// Rows must sum to one (absorbing states may be written either with an
+/// explicit self-loop of probability one or with no entries at all — the
+/// latter is normalized to a self-loop).
+///
+/// # Examples
+///
+/// ```
+/// use redeval_markov::Dtmc;
+///
+/// # fn main() -> Result<(), redeval_markov::SolveError> {
+/// let mut d = Dtmc::new(2);
+/// d.add_probability(0, 1, 1.0);
+/// d.add_probability(1, 0, 0.5);
+/// d.add_probability(1, 1, 0.5);
+/// let pi = d.steady_state()?;
+/// assert!((pi[1] - 2.0 / 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dtmc {
+    n: usize,
+    probs: Vec<(usize, usize, f64)>,
+}
+
+impl Dtmc {
+    /// Creates an empty chain with `n` states.
+    pub fn new(n: usize) -> Self {
+        Dtmc {
+            n,
+            probs: Vec::new(),
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the chain has zero states.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds transition probability `from -> to` (duplicates are summed).
+    pub fn add_probability(&mut self, from: usize, to: usize, p: f64) {
+        self.probs.push((from, to, p));
+    }
+
+    /// Builds and validates the row-stochastic matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidRate` for negative/non-finite probabilities or rows
+    /// that do not sum to 0 (treated as absorbing) or 1 within `1e-9`.
+    pub fn matrix(&self) -> Result<Csr, SolveError> {
+        if self.n == 0 {
+            return Err(SolveError::Empty);
+        }
+        for &(f, t, p) in &self.probs {
+            if f >= self.n {
+                return Err(SolveError::StateOutOfRange { index: f, n: self.n });
+            }
+            if t >= self.n {
+                return Err(SolveError::StateOutOfRange { index: t, n: self.n });
+            }
+            if !p.is_finite() || p < 0.0 {
+                return Err(SolveError::InvalidRate {
+                    from: f,
+                    to: t,
+                    value: p,
+                });
+            }
+        }
+        let mut trips = self.probs.clone();
+        let mut row_sums = vec![0.0; self.n];
+        for &(f, _, p) in &trips {
+            row_sums[f] += p;
+        }
+        for (i, s) in row_sums.iter().enumerate() {
+            if *s == 0.0 {
+                trips.push((i, i, 1.0)); // absorbing
+            } else if (*s - 1.0).abs() > 1e-9 {
+                return Err(SolveError::InvalidRate {
+                    from: i,
+                    to: i,
+                    value: *s,
+                });
+            }
+        }
+        Ok(Csr::from_triplets(self.n, self.n, &trips))
+    }
+
+    /// Stationary distribution `π = πP`.
+    ///
+    /// Internally converts to an equivalent CTMC (rates = probabilities,
+    /// which preserves the stationary vector for a DTMC after weighting by
+    /// mean holding times of 1) and reuses the CTMC machinery.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix validation errors and
+    /// [`SolveError::Reducible`] for multiple closed classes.
+    pub fn steady_state(&self) -> Result<Vec<f64>, SolveError> {
+        let p = self.matrix()?;
+        // For a DTMC, π = πP has the same solution as the CTMC with
+        // off-diagonal rates p_ij and uniform exit rates (1 - p_ii are not
+        // uniform, so instead we solve π(P - I) = 0, i.e. a CTMC whose
+        // off-diagonal rate matrix is exactly the off-diagonal part of P).
+        let n = self.n;
+        let mut trips = Vec::new();
+        for i in 0..n {
+            for e in p.row(i) {
+                if e.index != i {
+                    trips.push((i, e.index, e.value));
+                }
+            }
+        }
+        let rates = Csr::from_triplets(n, n, &trips);
+        crate::steady::steady_state(
+            &rates,
+            &SteadyStateOptions {
+                method: SteadyStateMethod::Auto,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Probability of eventually being absorbed in `target` (an absorbing
+    /// state), from each state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NoAbsorbingStates`] if `target` is not
+    /// absorbing; [`SolveError::Singular`] when the fundamental system
+    /// cannot be solved.
+    pub fn absorption_probabilities(&self, target: usize) -> Result<Vec<f64>, SolveError> {
+        let p = self.matrix()?;
+        if target >= self.n {
+            return Err(SolveError::StateOutOfRange {
+                index: target,
+                n: self.n,
+            });
+        }
+        let is_absorbing = |i: usize| p.row(i).len() == 1 && p.row(i)[0].index == i;
+        if !is_absorbing(target) {
+            return Err(SolveError::NoAbsorbingStates);
+        }
+        // Transient states: non-absorbing.
+        let mut map = vec![usize::MAX; self.n];
+        let mut transient = Vec::new();
+        for i in 0..self.n {
+            if !is_absorbing(i) {
+                map[i] = transient.len();
+                transient.push(i);
+            }
+        }
+        let m = transient.len();
+        // (I - Q) x = R_target
+        let mut a = Dense::identity(m);
+        let mut b = vec![0.0; m];
+        for (k, &i) in transient.iter().enumerate() {
+            for e in p.row(i) {
+                if map[e.index] != usize::MAX {
+                    a[(k, map[e.index])] -= e.value;
+                } else if e.index == target {
+                    b[k] += e.value;
+                }
+            }
+        }
+        let x = a.solve(&b)?;
+        let mut out = vec![0.0; self.n];
+        for (k, &i) in transient.iter().enumerate() {
+            out[i] = x[k];
+        }
+        out[target] = 1.0;
+        Ok(out)
+    }
+
+    /// Expected number of steps to absorption (in any absorbing state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NoAbsorbingStates`] if no state is absorbing.
+    pub fn expected_steps_to_absorption(&self) -> Result<Vec<f64>, SolveError> {
+        let p = self.matrix()?;
+        let is_absorbing = |i: usize| p.row(i).len() == 1 && p.row(i)[0].index == i;
+        let mut map = vec![usize::MAX; self.n];
+        let mut transient = Vec::new();
+        for i in 0..self.n {
+            if !is_absorbing(i) {
+                map[i] = transient.len();
+                transient.push(i);
+            }
+        }
+        if transient.len() == self.n {
+            return Err(SolveError::NoAbsorbingStates);
+        }
+        let m = transient.len();
+        let mut a = Dense::identity(m);
+        for (k, &i) in transient.iter().enumerate() {
+            for e in p.row(i) {
+                if map[e.index] != usize::MAX {
+                    a[(k, map[e.index])] -= e.value;
+                }
+            }
+        }
+        let b = vec![1.0; m];
+        let x = a.solve(&b)?;
+        let mut out = vec![0.0; self.n];
+        for (k, &i) in transient.iter().enumerate() {
+            out[i] = x[k];
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gambler_ruin_absorption() {
+        // States 0..=4; 0 and 4 absorbing; fair coin.
+        let mut d = Dtmc::new(5);
+        for i in 1..4 {
+            d.add_probability(i, i - 1, 0.5);
+            d.add_probability(i, i + 1, 0.5);
+        }
+        let win = d.absorption_probabilities(4).unwrap();
+        assert!((win[1] - 0.25).abs() < 1e-12);
+        assert!((win[2] - 0.5).abs() < 1e-12);
+        assert!((win[3] - 0.75).abs() < 1e-12);
+        assert_eq!(win[4], 1.0);
+        assert_eq!(win[0], 0.0);
+    }
+
+    #[test]
+    fn gambler_ruin_expected_steps() {
+        let mut d = Dtmc::new(5);
+        for i in 1..4 {
+            d.add_probability(i, i - 1, 0.5);
+            d.add_probability(i, i + 1, 0.5);
+        }
+        let steps = d.expected_steps_to_absorption().unwrap();
+        // E[steps] = i (N - i) for fair walk.
+        assert!((steps[1] - 3.0).abs() < 1e-12);
+        assert!((steps[2] - 4.0).abs() < 1e-12);
+        assert!((steps[3] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steady_state_two_state() {
+        let mut d = Dtmc::new(2);
+        d.add_probability(0, 0, 0.9);
+        d.add_probability(0, 1, 0.1);
+        d.add_probability(1, 0, 0.3);
+        d.add_probability(1, 1, 0.7);
+        let pi = d.steady_state().unwrap();
+        assert!((pi[0] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_row_sum_rejected() {
+        let mut d = Dtmc::new(2);
+        d.add_probability(0, 1, 0.6);
+        d.add_probability(0, 0, 0.6);
+        d.add_probability(1, 0, 1.0);
+        assert!(matches!(d.matrix(), Err(SolveError::InvalidRate { .. })));
+    }
+
+    #[test]
+    fn absorption_target_must_be_absorbing() {
+        let mut d = Dtmc::new(2);
+        d.add_probability(0, 1, 1.0);
+        d.add_probability(1, 0, 1.0);
+        assert_eq!(
+            d.absorption_probabilities(1),
+            Err(SolveError::NoAbsorbingStates)
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! Monte-Carlo attack simulation over a HARM.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use redeval_harm::{AttackTree, Harm, HostId};
+
+/// Result of [`estimate_asp`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AspEstimate {
+    /// Fraction of trials in which the attacker reached a target.
+    pub mean: f64,
+    /// Normal-approximation 95% confidence half-width.
+    pub ci95: f64,
+    /// Number of trials.
+    pub trials: u64,
+}
+
+/// Estimates the network attack success probability by direct simulation:
+/// each trial samples every vulnerability exploit as an independent
+/// Bernoulli(p) event, evaluates each host's AND/OR tree logically, and
+/// checks whether some attack path of compromised hosts connects an entry
+/// point to a target.
+///
+/// This is the **ground truth** that the analytic ASP aggregation
+/// strategies approximate (it matches
+/// [`AspStrategy::Reliability`](redeval_harm::AspStrategy::Reliability)
+/// when every tree is a single leaf, and refines it when trees share
+/// AND/OR structure).
+///
+/// # Examples
+///
+/// ```
+/// use redeval_harm::{AttackGraph, AttackTree, Harm, Vulnerability};
+/// use redeval_sim::estimate_asp;
+///
+/// let mut g = AttackGraph::new();
+/// let h = g.add_host("h");
+/// g.add_entry(h);
+/// let tree = AttackTree::leaf(Vulnerability::new("v", 10.0, 0.3));
+/// let harm = Harm::new(g, vec![Some(tree)], vec![h]);
+/// let est = estimate_asp(&harm, 20_000, 1);
+/// assert!((est.mean - 0.3).abs() < 0.02);
+/// ```
+pub fn estimate_asp(harm: &Harm, trials: u64, seed: u64) -> AspEstimate {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = harm.graph();
+    let hosts: Vec<HostId> = graph.hosts().collect();
+    let mut successes = 0u64;
+    let mut compromised = vec![false; hosts.len()];
+
+    for _ in 0..trials {
+        for &h in &hosts {
+            compromised[h.index()] = match harm.tree(h) {
+                Some(tree) => sample_tree(tree, &mut rng),
+                None => false,
+            };
+        }
+        if reachable(harm, &compromised) {
+            successes += 1;
+        }
+    }
+    let mean = successes as f64 / trials as f64;
+    let ci95 = 1.96 * (mean * (1.0 - mean) / trials as f64).sqrt();
+    AspEstimate { mean, ci95, trials }
+}
+
+/// Samples the logical outcome of an attack tree with independent
+/// per-vulnerability exploits.
+fn sample_tree(tree: &AttackTree, rng: &mut StdRng) -> bool {
+    match tree {
+        AttackTree::Leaf(v) => rng.gen::<f64>() < v.probability,
+        AttackTree::And(cs) => cs.iter().all(|c| sample_tree(c, rng)),
+        AttackTree::Or(cs) => {
+            // Evaluate all children so the RNG stream is independent of
+            // short-circuiting (keeps trials exchangeable).
+            let mut any = false;
+            for c in cs {
+                if sample_tree(c, rng) {
+                    any = true;
+                }
+            }
+            any
+        }
+    }
+}
+
+/// BFS over compromised hosts from the entries to any target.
+fn reachable(harm: &Harm, compromised: &[bool]) -> bool {
+    let graph = harm.graph();
+    let mut visited = vec![false; graph.host_count()];
+    let mut queue: Vec<HostId> = graph
+        .entries()
+        .iter()
+        .copied()
+        .filter(|h| compromised[h.index()])
+        .collect();
+    for h in &queue {
+        visited[h.index()] = true;
+    }
+    while let Some(h) = queue.pop() {
+        if harm.targets().contains(&h) {
+            return true;
+        }
+        for &s in graph.successors(h) {
+            if !visited[s.index()] && compromised[s.index()] {
+                visited[s.index()] = true;
+                queue.push(s);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redeval_harm::{AspStrategy, AttackGraph, MetricsConfig, Vulnerability};
+
+    fn v(id: &str, p: f64) -> AttackTree {
+        AttackTree::leaf(Vulnerability::new(id, 5.0, p))
+    }
+
+    /// Two entry hosts -> one target (the diamond used in harm tests).
+    fn diamond() -> Harm {
+        let mut g = AttackGraph::new();
+        let m1 = g.add_host("m1");
+        let m2 = g.add_host("m2");
+        let t = g.add_host("t");
+        g.add_entry(m1);
+        g.add_entry(m2);
+        g.add_edge(m1, t);
+        g.add_edge(m2, t);
+        Harm::new(g, vec![Some(v("a", 0.5)), Some(v("b", 0.5)), Some(v("c", 0.5))], vec![t])
+    }
+
+    #[test]
+    fn matches_exact_reliability() {
+        let harm = diamond();
+        let exact = harm
+            .metrics(&MetricsConfig {
+                asp: AspStrategy::Reliability,
+                ..Default::default()
+            })
+            .attack_success_probability;
+        let est = estimate_asp(&harm, 200_000, 9);
+        assert!(
+            (est.mean - exact).abs() < 3.0 * est.ci95,
+            "sim {} ± {} vs exact {exact}",
+            est.mean,
+            est.ci95
+        );
+    }
+
+    #[test]
+    fn sim_lies_between_max_and_noisy_or() {
+        let harm = diamond();
+        let max = harm
+            .metrics(&MetricsConfig {
+                asp: AspStrategy::MaxPath,
+                ..Default::default()
+            })
+            .attack_success_probability;
+        let nor = harm
+            .metrics(&MetricsConfig {
+                asp: AspStrategy::NoisyOrPaths,
+                ..Default::default()
+            })
+            .attack_success_probability;
+        let est = estimate_asp(&harm, 100_000, 5);
+        assert!(est.mean >= max - 0.01 && est.mean <= nor + 0.01);
+    }
+
+    #[test]
+    fn unexploitable_network_never_succeeds() {
+        let mut g = AttackGraph::new();
+        let h = g.add_host("h");
+        g.add_entry(h);
+        let harm = Harm::new(g, vec![None], vec![h]);
+        let est = estimate_asp(&harm, 1000, 3);
+        assert_eq!(est.mean, 0.0);
+    }
+
+    #[test]
+    fn certain_vulnerabilities_always_succeed() {
+        let mut g = AttackGraph::new();
+        let h = g.add_host("h");
+        g.add_entry(h);
+        let harm = Harm::new(g, vec![Some(v("sure", 1.0))], vec![h]);
+        let est = estimate_asp(&harm, 1000, 3);
+        assert_eq!(est.mean, 1.0);
+        assert_eq!(est.ci95, 0.0);
+    }
+
+    #[test]
+    fn and_tree_multiplies() {
+        let mut g = AttackGraph::new();
+        let h = g.add_host("h");
+        g.add_entry(h);
+        let tree = AttackTree::and(vec![v("x", 0.5), v("y", 0.5)]);
+        let harm = Harm::new(g, vec![Some(tree)], vec![h]);
+        let est = estimate_asp(&harm, 100_000, 17);
+        assert!((est.mean - 0.25).abs() < 3.0 * est.ci95);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let harm = diamond();
+        assert_eq!(estimate_asp(&harm, 5000, 1), estimate_asp(&harm, 5000, 1));
+        assert_ne!(
+            estimate_asp(&harm, 5000, 1).mean,
+            estimate_asp(&harm, 5000, 2).mean
+        );
+    }
+}

@@ -1,0 +1,437 @@
+//! A discrete-event simulator executing SRN semantics directly.
+
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use redeval_srn::{Marking, Srn, TransitionKind};
+
+/// Errors raised during simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A rate function returned a negative/NaN value during the run.
+    InvalidRate {
+        /// Transition name.
+        transition: String,
+        /// Offending value.
+        value: f64,
+    },
+    /// An immediate-transition conflict had non-positive total weight.
+    InvalidWeight {
+        /// Transition name of a participant.
+        transition: String,
+    },
+    /// More than `limit` immediate firings occurred without time advancing
+    /// (a vanishing loop).
+    ImmediateLoop {
+        /// The firing limit that was hit.
+        limit: usize,
+    },
+    /// The marking reached a deadlock (no transition enabled) before the
+    /// horizon; steady-state estimation is meaningless.
+    Deadlock {
+        /// Simulated time at which the deadlock occurred.
+        at: f64,
+    },
+    /// Horizon/warmup/batch parameters were inconsistent.
+    BadParameters,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidRate { transition, value } => {
+                write!(f, "transition `{transition}` produced invalid rate {value}")
+            }
+            SimError::InvalidWeight { transition } => {
+                write!(f, "invalid immediate weight near `{transition}`")
+            }
+            SimError::ImmediateLoop { limit } => {
+                write!(f, "more than {limit} immediate firings without time advancing")
+            }
+            SimError::Deadlock { at } => write!(f, "deadlock at simulated time {at:.3}"),
+            SimError::BadParameters => write!(f, "inconsistent simulation parameters"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Point estimate with a batch-means 95% confidence interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RewardEstimate {
+    /// Reward name.
+    pub name: String,
+    /// Time-average over the measurement horizon.
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval over batches.
+    pub ci95: f64,
+}
+
+/// All reward estimates of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// One estimate per registered reward, in registration order.
+    pub rewards: Vec<RewardEstimate>,
+    /// Number of transition firings executed (timed + immediate).
+    pub firings: u64,
+}
+
+type RewardFn<'a> = Box<dyn Fn(&Marking) -> f64 + 'a>;
+
+/// A reusable simulator for one net.
+///
+/// Register named reward functions with [`add_reward`](Self::add_reward),
+/// then call [`run`](Self::run). See the [crate docs](crate) for an
+/// example.
+pub struct Simulation<'a> {
+    net: &'a Srn,
+    rng: StdRng,
+    rewards: Vec<(String, RewardFn<'a>)>,
+    /// Immediate firings allowed without time advancing.
+    immediate_limit: usize,
+}
+
+impl fmt::Debug for Simulation<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("net", &self.net.name())
+            .field("rewards", &self.rewards.len())
+            .finish()
+    }
+}
+
+impl<'a> Simulation<'a> {
+    /// Creates a simulator with a deterministic seed.
+    pub fn new(net: &'a Srn, seed: u64) -> Self {
+        Simulation {
+            net,
+            rng: StdRng::seed_from_u64(seed),
+            rewards: Vec::new(),
+            immediate_limit: 10_000,
+        }
+    }
+
+    /// Registers a named reward function; estimates are returned in
+    /// registration order.
+    pub fn add_reward<F>(&mut self, name: impl Into<String>, f: F)
+    where
+        F: Fn(&Marking) -> f64 + 'a,
+    {
+        self.rewards.push((name.into(), Box::new(f)));
+    }
+
+    /// Runs one replication: discards `warmup` time units, then measures
+    /// time-averaged rewards over `horizon`, split into `batches` batches
+    /// for the confidence interval.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::BadParameters`] for a non-positive horizon or zero
+    ///   batches;
+    /// * [`SimError::Deadlock`] / [`SimError::ImmediateLoop`] for nets that
+    ///   stop or livelock;
+    /// * rate/weight errors as encountered.
+    pub fn run(&mut self, warmup: f64, horizon: f64, batches: usize) -> Result<SimOutcome, SimError> {
+        if !(horizon > 0.0) || batches == 0 || warmup < 0.0 {
+            return Err(SimError::BadParameters);
+        }
+        let mut marking = self.net.initial_marking();
+        let mut now = 0.0f64;
+        let end = warmup + horizon;
+        let batch_len = horizon / batches as usize as f64;
+        // Per-reward, per-batch accumulated reward·time.
+        let mut acc = vec![vec![0.0f64; batches]; self.rewards.len()];
+        let mut firings = 0u64;
+
+        // Settle immediates at the initial marking.
+        self.settle_immediates(&mut marking, &mut firings)?;
+
+        while now < end {
+            // Total timed rate at the (tangible) marking.
+            let mut total = 0.0;
+            let mut enabled: Vec<(usize, f64)> = Vec::new();
+            for t in self.net.transition_ids() {
+                if let TransitionKind::Timed { rate } = self.net.transition_kind(t) {
+                    if self.net.is_enabled(t, &marking) {
+                        let r = rate(&marking);
+                        if !r.is_finite() || r < 0.0 {
+                            return Err(SimError::InvalidRate {
+                                transition: self.net.transition_name(t).to_string(),
+                                value: r,
+                            });
+                        }
+                        if r > 0.0 {
+                            enabled.push((t.index(), r));
+                            total += r;
+                        }
+                    }
+                }
+            }
+            if enabled.is_empty() {
+                return Err(SimError::Deadlock { at: now });
+            }
+            let dwell = -(1.0 - self.rng.gen::<f64>()).ln() / total;
+            let next_time = (now + dwell).min(end);
+            // Accumulate rewards over [now, next_time).
+            if next_time > warmup {
+                let seg_start = now.max(warmup);
+                self.accumulate(&marking, seg_start, next_time, warmup, batch_len, &mut acc);
+            }
+            now += dwell;
+            if now >= end {
+                break;
+            }
+            // Pick which transition fired.
+            let mut x = self.rng.gen::<f64>() * total;
+            let mut chosen = enabled[enabled.len() - 1].0;
+            for &(ti, r) in &enabled {
+                if x < r {
+                    chosen = ti;
+                    break;
+                }
+                x -= r;
+            }
+            marking = self
+                .net
+                .fire(redeval_srn::TransId::from_index(chosen), &marking);
+            firings += 1;
+            self.settle_immediates(&mut marking, &mut firings)?;
+        }
+
+        // Summarize batches.
+        let mut rewards = Vec::with_capacity(self.rewards.len());
+        for (ri, (name, _)) in self.rewards.iter().enumerate() {
+            let means: Vec<f64> = acc[ri].iter().map(|a| a / batch_len).collect();
+            let mean = means.iter().sum::<f64>() / batches as f64;
+            let var = if batches > 1 {
+                means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>()
+                    / (batches - 1) as f64
+            } else {
+                0.0
+            };
+            let ci95 = 1.96 * (var / batches as f64).sqrt();
+            rewards.push(RewardEstimate {
+                name: name.clone(),
+                mean,
+                ci95,
+            });
+        }
+        Ok(SimOutcome { rewards, firings })
+    }
+
+    /// Adds `reward(m) · dt` into the right batches for the segment
+    /// `[from, to)` (already clipped to the measurement window).
+    fn accumulate(
+        &self,
+        marking: &Marking,
+        from: f64,
+        to: f64,
+        warmup: f64,
+        batch_len: f64,
+        acc: &mut [Vec<f64>],
+    ) {
+        for (ri, (_, f)) in self.rewards.iter().enumerate() {
+            let value = f(marking);
+            if value == 0.0 {
+                continue;
+            }
+            // Spread across batches.
+            let mut seg_start = from;
+            while seg_start < to {
+                let batch = (((seg_start - warmup) / batch_len) as usize)
+                    .min(acc[ri].len() - 1);
+                let batch_end = warmup + (batch + 1) as f64 * batch_len;
+                let seg_end = to.min(batch_end);
+                acc[ri][batch] += value * (seg_end - seg_start);
+                seg_start = seg_end;
+            }
+        }
+    }
+
+    /// Fires immediate transitions (respecting priorities and weights)
+    /// until the marking is tangible.
+    fn settle_immediates(&mut self, marking: &mut Marking, firings: &mut u64) -> Result<(), SimError> {
+        for _ in 0..self.immediate_limit {
+            let mut best_priority: Option<u32> = None;
+            for t in self.net.transition_ids() {
+                if let TransitionKind::Immediate { priority, .. } = self.net.transition_kind(t) {
+                    if self.net.is_enabled(t, marking) {
+                        best_priority = Some(match best_priority {
+                            Some(p) => p.max(*priority),
+                            None => *priority,
+                        });
+                    }
+                }
+            }
+            let Some(priority) = best_priority else {
+                return Ok(());
+            };
+            let mut candidates: Vec<(usize, f64)> = Vec::new();
+            let mut total = 0.0;
+            for t in self.net.transition_ids() {
+                if let TransitionKind::Immediate {
+                    weight,
+                    priority: p,
+                } = self.net.transition_kind(t)
+                {
+                    if *p == priority && self.net.is_enabled(t, marking) {
+                        candidates.push((t.index(), *weight));
+                        total += *weight;
+                    }
+                }
+            }
+            if !(total > 0.0) {
+                return Err(SimError::InvalidWeight {
+                    transition: self
+                        .net
+                        .transition_name(redeval_srn::TransId::from_index(candidates[0].0))
+                        .to_string(),
+                });
+            }
+            let mut x = self.rng.gen::<f64>() * total;
+            let mut chosen = candidates[candidates.len() - 1].0;
+            for &(ti, w) in &candidates {
+                if x < w {
+                    chosen = ti;
+                    break;
+                }
+                x -= w;
+            }
+            *marking = self
+                .net
+                .fire(redeval_srn::TransId::from_index(chosen), marking);
+            *firings += 1;
+        }
+        Err(SimError::ImmediateLoop {
+            limit: self.immediate_limit,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state(lambda: f64, mu: f64) -> Srn {
+        let mut net = Srn::new("c");
+        let up = net.add_place("up", 1);
+        let down = net.add_place("down", 0);
+        let fail = net.add_timed("fail", lambda);
+        net.add_move(fail, up, down).unwrap();
+        let fix = net.add_timed("fix", mu);
+        net.add_move(fix, down, up).unwrap();
+        net
+    }
+
+    #[test]
+    fn availability_matches_analytic() {
+        let net = two_state(0.2, 1.8);
+        let mut sim = Simulation::new(&net, 7);
+        let up = net.find_place("up").unwrap();
+        sim.add_reward("a", move |m| f64::from(m.tokens(up)));
+        let out = sim.run(50.0, 20_000.0, 20).unwrap();
+        let est = &out.rewards[0];
+        let exact = 1.8 / 2.0;
+        assert!(
+            (est.mean - exact).abs() < 3.0 * est.ci95.max(0.005),
+            "mean {} ± {} vs {exact}",
+            est.mean,
+            est.ci95
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let net = two_state(0.5, 0.5);
+        let up = net.find_place("up").unwrap();
+        let run = |seed| {
+            let mut sim = Simulation::new(&net, seed);
+            sim.add_reward("a", move |m| f64::from(m.tokens(up)));
+            sim.run(10.0, 1000.0, 10).unwrap().rewards[0].mean
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn immediate_weights_respected() {
+        // Vanishing choice 3:1 between two repair places.
+        let mut net = Srn::new("w");
+        let up = net.add_place("up", 1);
+        let det = net.add_place("det", 0);
+        let a = net.add_place("a", 0);
+        let b = net.add_place("b", 0);
+        let fail = net.add_timed("fail", 1.0);
+        net.add_move(fail, up, det).unwrap();
+        let ta = net.add_immediate_weighted("ta", 3.0, 0);
+        net.add_move(ta, det, a).unwrap();
+        let tb = net.add_immediate_weighted("tb", 1.0, 0);
+        net.add_move(tb, det, b).unwrap();
+        let fa = net.add_timed("fa", 1.0);
+        net.add_move(fa, a, up).unwrap();
+        let fb = net.add_timed("fb", 1.0);
+        net.add_move(fb, b, up).unwrap();
+
+        let mut sim = Simulation::new(&net, 11);
+        sim.add_reward("pa", move |m| f64::from(m.tokens(a)));
+        sim.add_reward("pb", move |m| f64::from(m.tokens(b)));
+        let out = sim.run(100.0, 30_000.0, 10).unwrap();
+        let ratio = out.rewards[0].mean / out.rewards[1].mean;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let mut net = Srn::new("dead");
+        let p = net.add_place("p", 1);
+        let q = net.add_place("q", 0);
+        let t = net.add_timed("t", 1.0);
+        net.add_move(t, p, q).unwrap();
+        let mut sim = Simulation::new(&net, 1);
+        sim.add_reward("x", |_| 1.0);
+        assert!(matches!(
+            sim.run(0.0, 100.0, 4),
+            Err(SimError::Deadlock { .. })
+        ));
+    }
+
+    #[test]
+    fn immediate_loop_is_reported() {
+        let mut net = Srn::new("il");
+        let a = net.add_place("a", 1);
+        let b = net.add_place("b", 0);
+        let ab = net.add_immediate("ab");
+        net.add_move(ab, a, b).unwrap();
+        let ba = net.add_immediate("ba");
+        net.add_move(ba, b, a).unwrap();
+        let mut sim = Simulation::new(&net, 1);
+        assert!(matches!(
+            sim.run(0.0, 10.0, 2),
+            Err(SimError::ImmediateLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        let net = two_state(1.0, 1.0);
+        let mut sim = Simulation::new(&net, 1);
+        assert_eq!(sim.run(0.0, 0.0, 4), Err(SimError::BadParameters));
+        assert_eq!(sim.run(0.0, 10.0, 0), Err(SimError::BadParameters));
+        assert_eq!(sim.run(-1.0, 10.0, 2), Err(SimError::BadParameters));
+    }
+
+    #[test]
+    fn ci_shrinks_with_horizon() {
+        let net = two_state(0.3, 0.7);
+        let up = net.find_place("up").unwrap();
+        let ci = |horizon: f64| {
+            let mut sim = Simulation::new(&net, 99);
+            sim.add_reward("a", move |m| f64::from(m.tokens(up)));
+            sim.run(10.0, horizon, 20).unwrap().rewards[0].ci95
+        };
+        assert!(ci(40_000.0) < ci(1_000.0));
+    }
+}

@@ -1,0 +1,53 @@
+//! Discrete-event Monte-Carlo simulation for the `redeval` workspace.
+//!
+//! The reproduced paper validates nothing against a real deployment — it is
+//! an analytic modeling study. This crate provides the next best thing: an
+//! **independent implementation of the same stochastic semantics** used to
+//! cross-check every analytic result.
+//!
+//! * [`Simulation`] — simulates any [`redeval_srn::Srn`] directly
+//!   (exponential timed transitions, weighted immediate transitions,
+//!   guards, marking-dependent rates) and estimates steady-state rewards
+//!   with batch-means confidence intervals;
+//! * [`simulate_coa`] — convenience wrapper simulating an upper-layer
+//!   [`redeval_avail::NetworkModel`];
+//! * [`estimate_asp`] — Monte-Carlo attack simulation on a
+//!   [`redeval_harm::Harm`]: samples each vulnerability exploit as an
+//!   independent Bernoulli trial, evaluates the AND/OR trees logically and
+//!   checks graph reachability — the ground truth that the analytic ASP
+//!   aggregation strategies approximate.
+//!
+//! # Examples
+//!
+//! ```
+//! use redeval_srn::Srn;
+//! use redeval_sim::Simulation;
+//!
+//! # fn main() -> Result<(), redeval_srn::SrnError> {
+//! let mut net = Srn::new("c");
+//! let up = net.add_place("up", 1);
+//! let down = net.add_place("down", 0);
+//! let fail = net.add_timed("fail", 0.1);
+//! net.add_move(fail, up, down)?;
+//! let fix = net.add_timed("fix", 0.9);
+//! net.add_move(fix, down, up)?;
+//!
+//! let mut sim = Simulation::new(&net, 42);
+//! sim.add_reward("avail", move |m| if m.tokens(up) == 1 { 1.0 } else { 0.0 });
+//! let out = sim.run(100.0, 10_000.0, 20).unwrap();
+//! let est = &out.rewards[0];
+//! assert!((est.mean - 0.9).abs() < 0.02);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attack;
+mod coa;
+mod engine;
+
+pub use attack::{estimate_asp, AspEstimate};
+pub use coa::simulate_coa;
+pub use engine::{RewardEstimate, SimError, SimOutcome, Simulation};

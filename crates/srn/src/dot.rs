@@ -1,0 +1,159 @@
+//! Graphviz DOT export of nets and state spaces.
+
+use std::fmt::Write as _;
+
+use crate::net::{Srn, TransitionKind};
+use crate::reach::StateSpace;
+
+impl Srn {
+    /// Renders the net structure as Graphviz DOT (places as circles,
+    /// timed transitions as open boxes, immediate transitions as filled
+    /// bars, inhibitor arcs with `odot` arrowheads).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use redeval_srn::Srn;
+    ///
+    /// let mut net = Srn::new("demo");
+    /// let p = net.add_place("P", 1);
+    /// let t = net.add_timed("T", 1.0);
+    /// net.add_input(t, p, 1).unwrap();
+    /// let dot = net.to_dot();
+    /// assert!(dot.contains("digraph"));
+    /// assert!(dot.contains("\"P\""));
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name());
+        let _ = writeln!(out, "  rankdir=LR;");
+        for p in self.place_ids() {
+            let tokens = self.initial_marking().tokens(p);
+            let label = if tokens > 0 {
+                format!("{}\\n({})", self.place_name(p), tokens)
+            } else {
+                self.place_name(p).to_string()
+            };
+            let _ = writeln!(
+                out,
+                "  \"{}\" [shape=circle, label=\"{}\"];",
+                self.place_name(p),
+                label
+            );
+        }
+        for t in self.transition_ids() {
+            let name = self.transition_name(t);
+            match self.transition_kind(t) {
+                TransitionKind::Timed { .. } => {
+                    let _ = writeln!(out, "  \"{name}\" [shape=box, height=0.3];");
+                }
+                TransitionKind::Immediate { .. } => {
+                    let _ = writeln!(
+                        out,
+                        "  \"{name}\" [shape=box, style=filled, fillcolor=black, height=0.08, label=\"\", xlabel=\"{name}\"];"
+                    );
+                }
+            }
+            let tr = &self.transitions[t.index()];
+            for &(p, mult) in &tr.inputs {
+                let lbl = if mult > 1 {
+                    format!(" [label=\"{mult}\"]")
+                } else {
+                    String::new()
+                };
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -> \"{}\"{};",
+                    self.place_name(p),
+                    name,
+                    lbl
+                );
+            }
+            for &(p, mult) in &tr.outputs {
+                let lbl = if mult > 1 {
+                    format!(" [label=\"{mult}\"]")
+                } else {
+                    String::new()
+                };
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -> \"{}\"{};",
+                    name,
+                    self.place_name(p),
+                    lbl
+                );
+            }
+            for &(p, thresh) in &tr.inhibitors {
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -> \"{}\" [arrowhead=odot, label=\"{}\"];",
+                    self.place_name(p),
+                    name,
+                    thresh
+                );
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl StateSpace {
+    /// Renders the tangible reachability graph (the CTMC) as DOT, with
+    /// markings as node labels and rates on the edges.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph state_space {{");
+        for (i, m) in self.tangible_markings().iter().enumerate() {
+            let _ = writeln!(out, "  s{i} [label=\"{m}\"];");
+        }
+        for t in self.ctmc().transitions() {
+            let _ = writeln!(
+                out,
+                "  s{} -> s{} [label=\"{:.4}\"];",
+                t.from, t.to, t.rate
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let mut net = Srn::new("d");
+        let a = net.add_place("Pa", 1);
+        let b = net.add_place("Pb", 0);
+        let t = net.add_timed("Tt", 1.0);
+        net.add_input(t, a, 2).unwrap();
+        net.add_output(t, b, 1).unwrap();
+        let i = net.add_immediate("Ti");
+        net.add_move(i, b, a).unwrap();
+        net.add_inhibitor(t, b, 3).unwrap();
+        let dot = net.to_dot();
+        for needle in ["digraph", "Pa", "Pb", "Tt", "Ti", "odot", "label=\"2\""] {
+            assert!(dot.contains(needle), "missing {needle} in:\n{dot}");
+        }
+    }
+
+    #[test]
+    fn state_space_dot_lists_states() {
+        let mut net = Srn::new("d2");
+        let a = net.add_place("A", 1);
+        let b = net.add_place("B", 0);
+        let t = net.add_timed("go", 2.0);
+        net.add_move(t, a, b).unwrap();
+        let back = net.add_timed("back", 3.0);
+        net.add_move(back, b, a).unwrap();
+        let ss = net.state_space().unwrap();
+        let dot = ss.to_dot();
+        assert!(dot.contains("s0"));
+        assert!(dot.contains("s1"));
+        assert!(dot.contains("(1,0)"));
+        assert!(dot.contains("(0,1)"));
+    }
+}

@@ -1,0 +1,110 @@
+use std::error::Error;
+use std::fmt;
+
+use redeval_markov::SolveError;
+
+/// Errors produced while building or analysing a stochastic reward net.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SrnError {
+    /// A place id referenced a different net or was out of range.
+    UnknownPlace {
+        /// The raw index.
+        index: usize,
+    },
+    /// A transition id referenced a different net or was out of range.
+    UnknownTransition {
+        /// The raw index.
+        index: usize,
+    },
+    /// An arc multiplicity of zero was requested.
+    ZeroMultiplicity,
+    /// A timed transition's rate function returned a negative, NaN or
+    /// infinite value for a reachable marking.
+    InvalidRate {
+        /// Transition name.
+        transition: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// An immediate transition has a non-positive or non-finite weight.
+    InvalidWeight {
+        /// Transition name.
+        transition: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// Reachability exploration exceeded the configured marking budget.
+    StateSpaceExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A cycle of vanishing markings was found (immediate transitions that
+    /// can fire forever without time passing).
+    VanishingLoop,
+    /// Every reachable marking is vanishing — the net has no tangible
+    /// states, so no CTMC exists.
+    NoTangibleMarkings,
+    /// An error from the underlying CTMC solver.
+    Solve(SolveError),
+}
+
+impl fmt::Display for SrnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SrnError::UnknownPlace { index } => write!(f, "unknown place id {index}"),
+            SrnError::UnknownTransition { index } => {
+                write!(f, "unknown transition id {index}")
+            }
+            SrnError::ZeroMultiplicity => write!(f, "arc multiplicity must be at least 1"),
+            SrnError::InvalidRate { transition, value } => {
+                write!(f, "transition `{transition}` produced invalid rate {value}")
+            }
+            SrnError::InvalidWeight { transition, value } => {
+                write!(f, "transition `{transition}` has invalid weight {value}")
+            }
+            SrnError::StateSpaceExceeded { limit } => {
+                write!(f, "state space exceeds the configured limit of {limit} markings")
+            }
+            SrnError::VanishingLoop => {
+                write!(f, "vanishing markings form a loop of immediate transitions")
+            }
+            SrnError::NoTangibleMarkings => {
+                write!(f, "no tangible markings are reachable")
+            }
+            SrnError::Solve(e) => write!(f, "ctmc solve failed: {e}"),
+        }
+    }
+}
+
+impl Error for SrnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SrnError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for SrnError {
+    fn from(e: SolveError) -> Self {
+        SrnError::Solve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<SrnError>();
+    }
+
+    #[test]
+    fn solve_error_wraps_with_source() {
+        let e = SrnError::from(SolveError::Reducible);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("reducible"));
+    }
+}

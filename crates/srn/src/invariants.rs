@@ -1,0 +1,354 @@
+//! Structural analysis: place invariants (P-semiflows).
+//!
+//! A *P-semiflow* is a non-negative, non-zero integer weighting `y` of the
+//! places with `yᵀC = 0` for the incidence matrix `C`: the weighted token
+//! count `y·m` is then constant over **all** reachable markings, whatever
+//! the timing. P-semiflows prove boundedness and conservation properties
+//! structurally — e.g. each of the four sub-models of the paper's server
+//! net carries exactly one token, which shows up here as four unit-weight
+//! invariants.
+
+use crate::net::{Srn, TransitionKind};
+use crate::Marking;
+
+impl Srn {
+    /// The incidence matrix `C[p][t] = W(t→p) − W(p→t)` over all
+    /// transitions (timed and immediate).
+    pub fn incidence_matrix(&self) -> Vec<Vec<i64>> {
+        let np = self.place_count();
+        let nt = self.transition_count();
+        let mut c = vec![vec![0i64; nt]; np];
+        for t in self.transition_ids() {
+            let tr = &self.transitions[t.index()];
+            debug_assert!(matches!(
+                tr.kind,
+                TransitionKind::Timed { .. } | TransitionKind::Immediate { .. }
+            ));
+            for &(p, mult) in &tr.inputs {
+                c[p.index()][t.index()] -= i64::from(mult);
+            }
+            for &(p, mult) in &tr.outputs {
+                c[p.index()][t.index()] += i64::from(mult);
+            }
+        }
+        c
+    }
+
+    /// Computes the minimal-support P-semiflows by the Farkas algorithm.
+    ///
+    /// Each returned vector has one non-negative weight per place
+    /// (normalized by their GCD); for every reachable marking `m`,
+    /// `Σ_p y[p]·m[p]` equals its value at the initial marking.
+    ///
+    /// The Farkas construction can blow up exponentially on adversarial
+    /// nets; generation is capped at `max_rows` intermediate rows and
+    /// returns `None` when exceeded (callers treat that as "too costly to
+    /// enumerate").
+    pub fn place_invariants(&self, max_rows: usize) -> Option<Vec<Vec<u64>>> {
+        let c = self.incidence_matrix();
+        farkas(&c, max_rows)
+    }
+
+    /// Computes the minimal-support **T-semiflows** (transition
+    /// invariants): non-negative firing-count vectors `x` with `Cx = 0`.
+    /// Firing every transition `x[t]` times returns the net to its
+    /// starting marking — T-semiflows are the net's structural cycles
+    /// (e.g. the patch cycle and each failure/repair loop of the server
+    /// model).
+    ///
+    /// Same `max_rows` cap semantics as
+    /// [`place_invariants`](Self::place_invariants).
+    pub fn transition_invariants(&self, max_rows: usize) -> Option<Vec<Vec<u64>>> {
+        let c = self.incidence_matrix();
+        let np = self.place_count();
+        let nt = self.transition_count();
+        // Transpose: rows become transitions, columns places.
+        let mut ct = vec![vec![0i64; np]; nt];
+        for (pi, row) in c.iter().enumerate() {
+            for (ti, &v) in row.iter().enumerate() {
+                ct[ti][pi] = v;
+            }
+        }
+        farkas(&ct, max_rows)
+    }
+}
+
+/// Farkas enumeration of minimal-support non-negative solutions of
+/// `yᵀM = 0`, where `M` has one row per unknown.
+fn farkas(m: &[Vec<i64>], max_rows: usize) -> Option<Vec<Vec<u64>>> {
+    {
+        let c = m;
+        let np = m.len();
+        let nt = m.first().map_or(0, Vec::len);
+
+        // Rows of [C | I], progressively annulling each transition column.
+        #[derive(Clone, PartialEq)]
+        struct Row {
+            c: Vec<i64>,
+            y: Vec<i64>,
+        }
+        let mut rows: Vec<Row> = (0..np)
+            .map(|p| {
+                let mut y = vec![0i64; np];
+                y[p] = 1;
+                Row { c: c[p].clone(), y }
+            })
+            .collect();
+
+        for j in 0..nt {
+            let (mut plus, mut minus, mut zero): (Vec<Row>, Vec<Row>, Vec<Row>) =
+                (Vec::new(), Vec::new(), Vec::new());
+            for r in rows.drain(..) {
+                match r.c[j].cmp(&0) {
+                    std::cmp::Ordering::Greater => plus.push(r),
+                    std::cmp::Ordering::Less => minus.push(r),
+                    std::cmp::Ordering::Equal => zero.push(r),
+                }
+            }
+            let mut next = zero;
+            for rp in &plus {
+                for rm in &minus {
+                    if next.len() > max_rows {
+                        return None;
+                    }
+                    let a = rm.c[j].unsigned_abs() as i64;
+                    let b = rp.c[j];
+                    let mut combined = Row {
+                        c: rp
+                            .c
+                            .iter()
+                            .zip(&rm.c)
+                            .map(|(x, y)| a * x + b * y)
+                            .collect(),
+                        y: rp
+                            .y
+                            .iter()
+                            .zip(&rm.y)
+                            .map(|(x, y)| a * x + b * y)
+                            .collect(),
+                    };
+                    let g = combined
+                        .c
+                        .iter()
+                        .chain(&combined.y)
+                        .fold(0u64, |g, &v| gcd(g, v.unsigned_abs()));
+                    if g > 1 {
+                        for v in combined.c.iter_mut().chain(combined.y.iter_mut()) {
+                            *v /= g as i64;
+                        }
+                    }
+                    if !next.contains(&combined) {
+                        next.push(combined);
+                    }
+                }
+            }
+            rows = next;
+        }
+
+        // All C-parts are zero now; extract, normalize, minimize support.
+        let mut flows: Vec<Vec<u64>> = rows
+            .into_iter()
+            .filter(|r| r.y.iter().any(|&v| v != 0))
+            .map(|r| r.y.iter().map(|&v| v.unsigned_abs()).collect::<Vec<u64>>())
+            .collect();
+        flows.sort();
+        flows.dedup();
+        // Minimal support: drop any flow whose support strictly contains
+        // another flow's support.
+        let support =
+            |f: &Vec<u64>| f.iter().map(|&v| v != 0).collect::<Vec<bool>>();
+        let supports: Vec<Vec<bool>> = flows.iter().map(support).collect();
+        let minimal: Vec<Vec<u64>> = flows
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                !supports.iter().enumerate().any(|(j, s)| {
+                    j != *i
+                        && s.iter()
+                            .zip(&supports[*i])
+                            .all(|(a, b)| !a || *b)
+                        && s != &supports[*i]
+                })
+            })
+            .map(|(_, f)| f.clone())
+            .collect();
+        Some(minimal)
+    }
+}
+
+impl Srn {
+    /// Whether every place is covered by some P-semiflow (a structural
+    /// boundedness proof).
+    pub fn covered_by_invariants(&self, max_rows: usize) -> Option<bool> {
+        let flows = self.place_invariants(max_rows)?;
+        Some((0..self.place_count()).all(|p| flows.iter().any(|f| f[p] != 0)))
+    }
+
+    /// The weighted token sum `y·m` of an invariant over a marking.
+    pub fn invariant_value(invariant: &[u64], m: &Marking) -> u64 {
+        invariant
+            .iter()
+            .zip(m.as_slice())
+            .map(|(&w, &t)| w * u64::from(t))
+            .sum()
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Srn;
+
+    /// up ⇄ down with multiplicity 1: invariant up + down.
+    #[test]
+    fn two_place_cycle_invariant() {
+        let mut net = Srn::new("c");
+        let up = net.add_place("up", 1);
+        let down = net.add_place("down", 0);
+        let f = net.add_timed("f", 1.0);
+        net.add_move(f, up, down).unwrap();
+        let r = net.add_timed("r", 1.0);
+        net.add_move(r, down, up).unwrap();
+        let inv = net.place_invariants(10_000).unwrap();
+        assert_eq!(inv, vec![vec![1, 1]]);
+        assert_eq!(net.covered_by_invariants(10_000), Some(true));
+    }
+
+    /// Weighted conservation: t consumes 2×A and produces 1×B,
+    /// u consumes 1×B and produces 2×A ⇒ invariant A + 2B.
+    #[test]
+    fn weighted_invariant() {
+        let mut net = Srn::new("w");
+        let a = net.add_place("A", 2);
+        let b = net.add_place("B", 0);
+        let t = net.add_timed("t", 1.0);
+        net.add_input(t, a, 2).unwrap();
+        net.add_output(t, b, 1).unwrap();
+        let u = net.add_timed("u", 1.0);
+        net.add_input(u, b, 1).unwrap();
+        net.add_output(u, a, 2).unwrap();
+        let inv = net.place_invariants(10_000).unwrap();
+        assert_eq!(inv, vec![vec![1, 2]]);
+    }
+
+    /// An unbounded generator has no covering invariant.
+    #[test]
+    fn generator_not_covered() {
+        let mut net = Srn::new("g");
+        let p = net.add_place("p", 0);
+        let t = net.add_timed("t", 1.0);
+        net.add_output(t, p, 1).unwrap();
+        let inv = net.place_invariants(10_000).unwrap();
+        assert!(inv.is_empty());
+        assert_eq!(net.covered_by_invariants(10_000), Some(false));
+    }
+
+    /// T-semiflows of a simple cycle: firing both transitions once
+    /// returns to the start.
+    #[test]
+    fn cycle_t_invariant() {
+        let mut net = Srn::new("c");
+        let up = net.add_place("up", 1);
+        let down = net.add_place("down", 0);
+        let f = net.add_timed("f", 1.0);
+        net.add_move(f, up, down).unwrap();
+        let r = net.add_timed("r", 1.0);
+        net.add_move(r, down, up).unwrap();
+        let t_invs = net.transition_invariants(10_000).unwrap();
+        assert_eq!(t_invs, vec![vec![1, 1]]);
+    }
+
+    /// T-semiflows respect multiplicities: t consumes 2A→B, u does B→A,
+    /// so one t firing balances two u firings... (u produces 2A per B).
+    #[test]
+    fn weighted_t_invariant() {
+        let mut net = Srn::new("w");
+        let a = net.add_place("A", 2);
+        let b = net.add_place("B", 0);
+        let t = net.add_timed("t", 1.0);
+        net.add_input(t, a, 2).unwrap();
+        net.add_output(t, b, 1).unwrap();
+        let u = net.add_timed("u", 1.0);
+        net.add_input(u, b, 1).unwrap();
+        net.add_output(u, a, 2).unwrap();
+        // Balanced: each t firing is undone by one u firing.
+        assert_eq!(net.transition_invariants(10_000).unwrap(), vec![vec![1, 1]]);
+
+        // Now make u return only 1 A: no non-trivial T-invariant exists.
+        let mut net2 = Srn::new("w2");
+        let a2 = net2.add_place("A", 2);
+        let b2 = net2.add_place("B", 0);
+        let t2 = net2.add_timed("t", 1.0);
+        net2.add_input(t2, a2, 2).unwrap();
+        net2.add_output(t2, b2, 1).unwrap();
+        let u2 = net2.add_timed("u", 1.0);
+        net2.add_input(u2, b2, 1).unwrap();
+        net2.add_output(u2, a2, 1).unwrap();
+        assert!(net2.transition_invariants(10_000).unwrap().is_empty());
+    }
+
+    /// A T-invariant's firing vector, applied to the incidence matrix,
+    /// produces zero marking change.
+    #[test]
+    fn t_invariants_annul_incidence() {
+        let mut net = Srn::new("multi");
+        let p1 = net.add_place("p1", 1);
+        let p2 = net.add_place("p2", 0);
+        let p3 = net.add_place("p3", 0);
+        let t12 = net.add_timed("t12", 1.0);
+        net.add_move(t12, p1, p2).unwrap();
+        let t23 = net.add_timed("t23", 1.0);
+        net.add_move(t23, p2, p3).unwrap();
+        let t31 = net.add_timed("t31", 1.0);
+        net.add_move(t31, p3, p1).unwrap();
+        let t21 = net.add_timed("t21", 1.0);
+        net.add_move(t21, p2, p1).unwrap();
+        let invs = net.transition_invariants(10_000).unwrap();
+        assert_eq!(invs.len(), 2); // {t12,t21} and {t12,t23,t31}
+        let c = net.incidence_matrix();
+        for x in &invs {
+            for row in &c {
+                let change: i64 = row
+                    .iter()
+                    .zip(x)
+                    .map(|(&cij, &xj)| cij * xj as i64)
+                    .sum();
+                assert_eq!(change, 0);
+            }
+        }
+    }
+
+    /// Invariant values are constant across the reachable markings.
+    #[test]
+    fn invariants_hold_on_reachable_markings() {
+        // Two independent 1-token cycles sharing the net.
+        let mut net = Srn::new("two");
+        let a1 = net.add_place("a1", 1);
+        let a2 = net.add_place("a2", 0);
+        let b1 = net.add_place("b1", 3);
+        let b2 = net.add_place("b2", 0);
+        for (x, y, n1, n2) in [(a1, a2, "ta", "tb"), (b1, b2, "tc", "td")] {
+            let t = net.add_timed(n1, 1.0);
+            net.add_move(t, x, y).unwrap();
+            let u = net.add_timed(n2, 2.0);
+            net.add_move(u, y, x).unwrap();
+        }
+        let invs = net.place_invariants(10_000).unwrap();
+        assert_eq!(invs.len(), 2);
+        let ss = net.state_space().unwrap();
+        let m0 = net.initial_marking();
+        for inv in &invs {
+            let v0 = Srn::invariant_value(inv, &m0);
+            for m in ss.tangible_markings() {
+                assert_eq!(Srn::invariant_value(inv, m), v0);
+            }
+        }
+    }
+}

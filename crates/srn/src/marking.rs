@@ -1,0 +1,104 @@
+//! Token markings.
+
+use std::fmt;
+
+use crate::net::PlaceId;
+
+/// A marking: the number of tokens in every place of a net.
+///
+/// Markings are value types — cheap to clone for the small nets this
+/// workspace builds — and hashable so the reachability generator can
+/// deduplicate them.
+///
+/// # Examples
+///
+/// ```
+/// use redeval_srn::Srn;
+///
+/// let mut net = Srn::new("n");
+/// let a = net.add_place("A", 2);
+/// let m = net.initial_marking();
+/// assert_eq!(m.tokens(a), 2);
+/// assert_eq!(m.total_tokens(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Marking(Vec<u32>);
+
+impl Marking {
+    /// Creates a marking from raw token counts.
+    pub fn from_tokens(tokens: Vec<u32>) -> Self {
+        Marking(tokens)
+    }
+
+    /// Number of places.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the net has zero places.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Tokens currently in `place`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the place does not belong to a net with this many places.
+    pub fn tokens(&self, place: PlaceId) -> u32 {
+        self.0[place.index()]
+    }
+
+    /// Raw token slice, indexed by place id.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Sum of tokens over all places.
+    pub fn total_tokens(&self) -> u32 {
+        self.0.iter().sum()
+    }
+
+    pub(crate) fn tokens_mut(&mut self) -> &mut [u32] {
+        &mut self.0
+    }
+}
+
+impl fmt::Display for Marking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, t) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_tuple_like() {
+        let m = Marking::from_tokens(vec![1, 0, 2]);
+        assert_eq!(m.to_string(), "(1,0,2)");
+        assert_eq!(m.total_tokens(), 3);
+    }
+
+    #[test]
+    fn equality_and_hashing() {
+        use std::collections::HashSet;
+        let a = Marking::from_tokens(vec![1, 2]);
+        let b = Marking::from_tokens(vec![1, 2]);
+        let c = Marking::from_tokens(vec![2, 1]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+        assert!(!set.contains(&c));
+    }
+}

@@ -1,0 +1,537 @@
+//! Reachability-graph generation, vanishing-marking elimination and CTMC
+//! export.
+
+use std::collections::HashMap;
+
+use redeval_markov::Ctmc;
+
+use crate::net::{Srn, TransId, TransitionKind};
+use crate::{Marking, SrnError};
+
+/// Options for [`Srn::state_space`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReachOptions {
+    /// Abort exploration when more than this many markings (tangible plus
+    /// vanishing) have been discovered.
+    pub max_markings: usize,
+}
+
+impl Default for ReachOptions {
+    fn default() -> Self {
+        ReachOptions {
+            max_markings: 1_000_000,
+        }
+    }
+}
+
+/// Outgoing behaviour of one explored marking.
+enum Outgoing {
+    /// Tangible: `(successor raw id, rate, transition)`.
+    Tangible(Vec<(usize, f64, TransId)>),
+    /// Vanishing: `(successor raw id, probability, transition)`.
+    Vanishing(Vec<(usize, f64, TransId)>),
+}
+
+/// The tangible state space of a net: the underlying CTMC plus the marking
+/// associated with every CTMC state.
+///
+/// Produced by [`Srn::state_space`]; usually consumed through
+/// [`solve`](StateSpace::solve).
+#[derive(Debug)]
+pub struct StateSpace {
+    tangible: Vec<Marking>,
+    /// Initial probability distribution over tangible states (non-trivial
+    /// when the net's initial marking is vanishing).
+    initial: Vec<(usize, f64)>,
+    ctmc: Ctmc,
+    vanishing_count: usize,
+}
+
+impl StateSpace {
+    /// The tangible markings, indexed like the CTMC states.
+    pub fn tangible_markings(&self) -> &[Marking] {
+        &self.tangible
+    }
+
+    /// Number of tangible states.
+    pub fn len(&self) -> usize {
+        self.tangible.len()
+    }
+
+    /// Whether there are no tangible states (never true for a successfully
+    /// built state space).
+    pub fn is_empty(&self) -> bool {
+        self.tangible.is_empty()
+    }
+
+    /// How many vanishing markings were eliminated during generation.
+    pub fn vanishing_count(&self) -> usize {
+        self.vanishing_count
+    }
+
+    /// The underlying CTMC over tangible states.
+    pub fn ctmc(&self) -> &Ctmc {
+        &self.ctmc
+    }
+
+    /// The initial distribution over tangible states.
+    pub fn initial_distribution(&self) -> &[(usize, f64)] {
+        &self.initial
+    }
+
+    /// Index of a tangible marking, if reachable.
+    pub fn index_of(&self, m: &Marking) -> Option<usize> {
+        self.tangible.iter().position(|x| x == m)
+    }
+
+    /// Solves the CTMC for its steady state and returns a measure-ready
+    /// [`crate::SolvedSrn`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates CTMC solver errors (e.g. a reducible chain).
+    pub fn solve(self) -> Result<crate::SolvedSrn, SrnError> {
+        let pi = self.ctmc.steady_state()?;
+        Ok(crate::SolvedSrn::new(self, pi))
+    }
+}
+
+impl Srn {
+    /// Generates the tangible state space with default options.
+    ///
+    /// # Errors
+    ///
+    /// See [`state_space_with`](Srn::state_space_with).
+    pub fn state_space(&self) -> Result<StateSpace, SrnError> {
+        self.state_space_with(&ReachOptions::default())
+    }
+
+    /// Generates the tangible state space of the net: explores all
+    /// reachable markings, classifies them as *tangible* (no immediate
+    /// transition enabled) or *vanishing*, eliminates the vanishing ones
+    /// and assembles the CTMC.
+    ///
+    /// # Errors
+    ///
+    /// * [`SrnError::StateSpaceExceeded`] past `options.max_markings`;
+    /// * [`SrnError::VanishingLoop`] if immediate transitions can cycle;
+    /// * [`SrnError::NoTangibleMarkings`] when every marking is vanishing;
+    /// * [`SrnError::InvalidRate`]/[`SrnError::InvalidWeight`] for bad
+    ///   rate/weight values discovered during exploration.
+    pub fn state_space_with(&self, options: &ReachOptions) -> Result<StateSpace, SrnError> {
+        let mut index: HashMap<Marking, usize> = HashMap::new();
+        let mut markings: Vec<Marking> = Vec::new();
+        let mut outgoing: Vec<Outgoing> = Vec::new();
+
+        let m0 = self.initial_marking();
+        index.insert(m0.clone(), 0);
+        markings.push(m0);
+        // Work list; outgoing is filled in step order.
+        let mut cursor = 0usize;
+        while cursor < markings.len() {
+            let m = markings[cursor].clone();
+            let out = self.explore_marking(&m, &mut index, &mut markings, options)?;
+            outgoing.push(out);
+            cursor += 1;
+        }
+
+        // Partition into tangible / vanishing.
+        let mut tangible_of = vec![usize::MAX; markings.len()];
+        let mut tangible: Vec<Marking> = Vec::new();
+        for (i, out) in outgoing.iter().enumerate() {
+            if matches!(out, Outgoing::Tangible(_)) {
+                tangible_of[i] = tangible.len();
+                tangible.push(markings[i].clone());
+            }
+        }
+        if tangible.is_empty() {
+            return Err(SrnError::NoTangibleMarkings);
+        }
+        let vanishing_count = markings.len() - tangible.len();
+
+        // Resolve every vanishing marking to a distribution over tangible
+        // markings (memoized DFS; cycles are an error).
+        let mut cache: Vec<Option<Vec<(usize, f64)>>> = vec![None; markings.len()];
+        let mut visiting = vec![false; markings.len()];
+        for i in 0..markings.len() {
+            if tangible_of[i] == usize::MAX {
+                resolve_vanishing(i, &outgoing, &tangible_of, &mut cache, &mut visiting)?;
+            }
+        }
+
+        // Assemble the CTMC.
+        let mut ctmc = Ctmc::new(tangible.len());
+        for (i, out) in outgoing.iter().enumerate() {
+            let Outgoing::Tangible(edges) = out else {
+                continue;
+            };
+            let from = tangible_of[i];
+            for &(succ, rate, _t) in edges {
+                if tangible_of[succ] != usize::MAX {
+                    ctmc.add_transition(from, tangible_of[succ], rate);
+                } else {
+                    let dist = cache[succ].as_ref().expect("resolved above");
+                    for &(tj, p) in dist {
+                        ctmc.add_transition(from, tj, rate * p);
+                    }
+                }
+            }
+        }
+
+        // Initial distribution.
+        let initial = if tangible_of[0] != usize::MAX {
+            vec![(tangible_of[0], 1.0)]
+        } else {
+            cache[0].clone().expect("resolved above")
+        };
+
+        Ok(StateSpace {
+            tangible,
+            initial,
+            ctmc,
+            vanishing_count,
+        })
+    }
+
+    /// Explores one marking: classifies it and returns its outgoing edges,
+    /// discovering successors.
+    fn explore_marking(
+        &self,
+        m: &Marking,
+        index: &mut HashMap<Marking, usize>,
+        markings: &mut Vec<Marking>,
+        options: &ReachOptions,
+    ) -> Result<Outgoing, SrnError> {
+        // Find enabled immediates and their maximal priority.
+        let mut best_priority: Option<u32> = None;
+        for t in self.transition_ids() {
+            if let TransitionKind::Immediate { priority, .. } = self.transition_kind(t) {
+                if self.is_enabled(t, m) {
+                    best_priority = Some(match best_priority {
+                        Some(p) => p.max(*priority),
+                        None => *priority,
+                    });
+                }
+            }
+        }
+
+        let mut intern = |marking: Marking,
+                          markings: &mut Vec<Marking>|
+         -> Result<usize, SrnError> {
+            if let Some(&id) = index.get(&marking) {
+                return Ok(id);
+            }
+            if markings.len() >= options.max_markings {
+                return Err(SrnError::StateSpaceExceeded {
+                    limit: options.max_markings,
+                });
+            }
+            let id = markings.len();
+            index.insert(marking.clone(), id);
+            markings.push(marking);
+            Ok(id)
+        };
+
+        if let Some(priority) = best_priority {
+            // Vanishing: competing immediates at max priority.
+            let mut firing: Vec<(TransId, f64)> = Vec::new();
+            let mut total = 0.0;
+            for t in self.transition_ids() {
+                if let TransitionKind::Immediate {
+                    weight,
+                    priority: p,
+                } = self.transition_kind(t)
+                {
+                    if *p == priority && self.is_enabled(t, m) {
+                        if !weight.is_finite() || *weight <= 0.0 {
+                            return Err(SrnError::InvalidWeight {
+                                transition: self.transition_name(t).to_string(),
+                                value: *weight,
+                            });
+                        }
+                        firing.push((t, *weight));
+                        total += *weight;
+                    }
+                }
+            }
+            let mut edges = Vec::with_capacity(firing.len());
+            for (t, w) in firing {
+                let next = self.fire(t, m);
+                let id = intern(next, markings)?;
+                edges.push((id, w / total, t));
+            }
+            Ok(Outgoing::Vanishing(edges))
+        } else {
+            // Tangible: all enabled timed transitions.
+            let mut edges = Vec::new();
+            for t in self.transition_ids() {
+                if let TransitionKind::Timed { rate } = self.transition_kind(t) {
+                    if self.is_enabled(t, m) {
+                        let r = rate(m);
+                        if !r.is_finite() || r < 0.0 {
+                            return Err(SrnError::InvalidRate {
+                                transition: self.transition_name(t).to_string(),
+                                value: r,
+                            });
+                        }
+                        if r == 0.0 {
+                            continue;
+                        }
+                        let next = self.fire(t, m);
+                        let id = intern(next, markings)?;
+                        edges.push((id, r, t));
+                    }
+                }
+            }
+            Ok(Outgoing::Tangible(edges))
+        }
+    }
+}
+
+/// Memoized resolution of a vanishing marking into a tangible distribution.
+fn resolve_vanishing(
+    id: usize,
+    outgoing: &[Outgoing],
+    tangible_of: &[usize],
+    cache: &mut Vec<Option<Vec<(usize, f64)>>>,
+    visiting: &mut Vec<bool>,
+) -> Result<(), SrnError> {
+    if cache[id].is_some() {
+        return Ok(());
+    }
+    if visiting[id] {
+        return Err(SrnError::VanishingLoop);
+    }
+    visiting[id] = true;
+    let edges: Vec<(usize, f64)> = match &outgoing[id] {
+        Outgoing::Vanishing(edges) => edges.iter().map(|&(s, p, _)| (s, p)).collect(),
+        Outgoing::Tangible(_) => unreachable!("resolve called on tangible marking"),
+    };
+    let mut dist: HashMap<usize, f64> = HashMap::new();
+    for (succ, p) in edges {
+        if tangible_of[succ] != usize::MAX {
+            *dist.entry(tangible_of[succ]).or_insert(0.0) += p;
+        } else {
+            resolve_vanishing(succ, outgoing, tangible_of, cache, visiting)?;
+            for &(tj, q) in cache[succ].as_ref().expect("just resolved") {
+                *dist.entry(tj).or_insert(0.0) += p * q;
+            }
+        }
+    }
+    visiting[id] = false;
+    let mut v: Vec<(usize, f64)> = dist.into_iter().collect();
+    v.sort_by_key(|&(i, _)| i);
+    cache[id] = Some(v);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// up --fail--> detect(vanishing) --route--> {repairA w=3, repairB w=1}
+    fn net_with_vanishing() -> (Srn, crate::PlaceId, crate::PlaceId, crate::PlaceId) {
+        let mut net = Srn::new("v");
+        let up = net.add_place("up", 1);
+        let det = net.add_place("detect", 0);
+        let ra = net.add_place("repair_a", 0);
+        let rb = net.add_place("repair_b", 0);
+        let fail = net.add_timed("fail", 1.0);
+        net.add_move(fail, up, det).unwrap();
+        let to_a = net.add_immediate_weighted("to_a", 3.0, 0);
+        net.add_move(to_a, det, ra).unwrap();
+        let to_b = net.add_immediate_weighted("to_b", 1.0, 0);
+        net.add_move(to_b, det, rb).unwrap();
+        let fix_a = net.add_timed("fix_a", 2.0);
+        net.add_move(fix_a, ra, up).unwrap();
+        let fix_b = net.add_timed("fix_b", 2.0);
+        net.add_move(fix_b, rb, up).unwrap();
+        (net, up, ra, rb)
+    }
+
+    #[test]
+    fn vanishing_markings_are_eliminated() {
+        let (net, _up, _ra, _rb) = net_with_vanishing();
+        let ss = net.state_space().unwrap();
+        assert_eq!(ss.len(), 3); // up, repair_a, repair_b
+        assert_eq!(ss.vanishing_count(), 1);
+    }
+
+    #[test]
+    fn weights_split_rates_proportionally() {
+        let (net, up, ra, rb) = net_with_vanishing();
+        let solved = net.state_space().unwrap().solve().unwrap();
+        // Flow into repair_a is 3x flow into repair_b, repair rates equal,
+        // so P(repair_a) = 3 P(repair_b).
+        let pa = solved.probability(|m| m.tokens(ra) == 1);
+        let pb = solved.probability(|m| m.tokens(rb) == 1);
+        assert!((pa / pb - 3.0).abs() < 1e-9, "pa={pa} pb={pb}");
+        // Availability check: mean cycle = 1 (up) + 0.5 (repair).
+        let pup = solved.probability(|m| m.tokens(up) == 1);
+        assert!((pup - 1.0 / 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn priorities_preempt_lower_immediates() {
+        let mut net = Srn::new("prio");
+        let src = net.add_place("src", 1);
+        let hi = net.add_place("hi", 0);
+        let lo = net.add_place("lo", 0);
+        let t_hi = net.add_immediate_weighted("t_hi", 1.0, 5);
+        net.add_move(t_hi, src, hi).unwrap();
+        let t_lo = net.add_immediate_weighted("t_lo", 100.0, 1);
+        net.add_move(t_lo, src, lo).unwrap();
+        // Drain places so the net has tangible states.
+        let sink_hi = net.add_timed("sink_hi", 1.0);
+        net.add_input(sink_hi, hi, 1).unwrap();
+        let sink_lo = net.add_timed("sink_lo", 1.0);
+        net.add_input(sink_lo, lo, 1).unwrap();
+
+        let ss = net.state_space().unwrap();
+        // Initial marking is vanishing and must route 100% to `hi`.
+        let hi_state = ss
+            .tangible_markings()
+            .iter()
+            .position(|m| m.tokens(hi) == 1)
+            .unwrap();
+        assert_eq!(ss.initial_distribution(), &[(hi_state, 1.0)]);
+        assert!(ss
+            .tangible_markings()
+            .iter()
+            .all(|m| m.tokens(lo) == 0));
+    }
+
+    #[test]
+    fn vanishing_initial_marking_resolves() {
+        let mut net = Srn::new("vi");
+        let a = net.add_place("a", 1);
+        let b = net.add_place("b", 0);
+        let t = net.add_immediate("go");
+        net.add_move(t, a, b).unwrap();
+        let back = net.add_timed("back", 1.0);
+        net.add_input(back, b, 1).unwrap();
+        let ss = net.state_space().unwrap();
+        assert_eq!(ss.len(), 2); // (0,1) and (0,0)
+        assert_eq!(ss.initial_distribution().len(), 1);
+    }
+
+    #[test]
+    fn vanishing_loop_detected() {
+        // A tangible start state feeds a cycle of immediate transitions.
+        let mut net = Srn::new("loop");
+        let start = net.add_place("start", 1);
+        let a = net.add_place("a", 0);
+        let b = net.add_place("b", 0);
+        let go = net.add_timed("go", 1.0);
+        net.add_move(go, start, a).unwrap();
+        let ab = net.add_immediate("ab");
+        net.add_move(ab, a, b).unwrap();
+        let ba = net.add_immediate("ba");
+        net.add_move(ba, b, a).unwrap();
+        assert_eq!(net.state_space().unwrap_err(), SrnError::VanishingLoop);
+    }
+
+    #[test]
+    fn pure_immediate_net_has_no_tangible_markings() {
+        let mut net = Srn::new("loop2");
+        let a = net.add_place("a", 1);
+        let b = net.add_place("b", 0);
+        let ab = net.add_immediate("ab");
+        net.add_move(ab, a, b).unwrap();
+        let ba = net.add_immediate("ba");
+        net.add_move(ba, b, a).unwrap();
+        assert_eq!(
+            net.state_space().unwrap_err(),
+            SrnError::NoTangibleMarkings
+        );
+    }
+
+    #[test]
+    fn all_vanishing_rejected() {
+        // One immediate that can always re-fire (self-loop via two places),
+        // but even simpler: immediate with no input arcs is always enabled.
+        let mut net = Srn::new("nt");
+        let _a = net.add_place("a", 0);
+        let _t = net.add_immediate("always");
+        // `always` has no inputs: enabled forever -> initial marking is
+        // vanishing with a self-successor -> vanishing loop.
+        let err = net.state_space().unwrap_err();
+        assert!(matches!(
+            err,
+            SrnError::VanishingLoop | SrnError::NoTangibleMarkings
+        ));
+    }
+
+    #[test]
+    fn state_space_limit_enforced() {
+        // Unbounded net: source transition keeps adding tokens.
+        let mut net = Srn::new("unbounded");
+        let p = net.add_place("p", 0);
+        let t = net.add_timed("gen", 1.0);
+        net.add_output(t, p, 1).unwrap();
+        let err = net
+            .state_space_with(&ReachOptions { max_markings: 50 })
+            .unwrap_err();
+        assert_eq!(err, SrnError::StateSpaceExceeded { limit: 50 });
+    }
+
+    #[test]
+    fn marking_dependent_rates_build_birth_death() {
+        // N tokens drain at rate k*mu (k = tokens) and refill at lambda.
+        let n = 3u32;
+        let mut net = Srn::new("md");
+        let up = net.add_place("up", n);
+        let down = net.add_place("down", 0);
+        let fail = net.add_timed_fn("fail", move |m| 0.5 * m.as_slice()[0] as f64);
+        net.add_move(fail, up, down).unwrap();
+        let rep = net.add_timed_fn("rep", move |m| 2.0 * m.as_slice()[1] as f64);
+        net.add_move(rep, down, up).unwrap();
+
+        let solved = net.state_space().unwrap().solve().unwrap();
+        // Independent machines: P(k up) binomial with q_down = 0.5/2.5.
+        let q: f64 = 0.5 / 2.5;
+        let p_all_up = solved.probability(|m| m.tokens(up) == n);
+        assert!((p_all_up - (1.0 - q).powi(3)).abs() < 1e-12);
+        let mean_up = solved.mean_tokens(up);
+        assert!((mean_up - 3.0 * (1.0 - q)).abs() < 1e-12);
+        let _ = down;
+    }
+
+    #[test]
+    fn invalid_rate_reported_with_name() {
+        let mut net = Srn::new("bad");
+        let a = net.add_place("a", 1);
+        let t = net.add_timed("nan_rate", f64::NAN);
+        net.add_input(t, a, 1).unwrap();
+        match net.state_space().unwrap_err() {
+            SrnError::InvalidRate { transition, .. } => assert_eq!(transition, "nan_rate"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_weight_reported_with_name() {
+        let mut net = Srn::new("badw");
+        let a = net.add_place("a", 1);
+        let b = net.add_place("b", 0);
+        let t = net.add_immediate_weighted("zero_w", 0.0, 0);
+        net.add_move(t, a, b).unwrap();
+        match net.state_space().unwrap_err() {
+            SrnError::InvalidWeight { transition, .. } => assert_eq!(transition, "zero_w"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_rate_transitions_prune_edges() {
+        let mut net = Srn::new("zr");
+        let a = net.add_place("a", 1);
+        let b = net.add_place("b", 0);
+        let t = net.add_timed("never", 0.0);
+        net.add_move(t, a, b).unwrap();
+        let back = net.add_timed("loop", 1.0);
+        net.add_move(back, a, a).unwrap();
+        let ss = net.state_space().unwrap();
+        assert_eq!(ss.len(), 1); // b never reached
+    }
+}

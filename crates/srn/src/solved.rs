@@ -1,0 +1,204 @@
+//! Steady-state measures over a solved net.
+
+use crate::net::{PlaceId, TransId, TransitionKind};
+use crate::reach::StateSpace;
+use crate::{Marking, SrnError};
+
+/// A state space together with its steady-state distribution; the object on
+/// which SPNP-style *reward measures* are evaluated.
+///
+/// Obtained from [`Srn::solve`](crate::Srn::solve) or
+/// [`StateSpace::solve`].
+#[derive(Debug)]
+pub struct SolvedSrn {
+    space: StateSpace,
+    pi: Vec<f64>,
+}
+
+impl SolvedSrn {
+    pub(crate) fn new(space: StateSpace, pi: Vec<f64>) -> Self {
+        SolvedSrn { space, pi }
+    }
+
+    /// The underlying state space.
+    pub fn state_space(&self) -> &StateSpace {
+        &self.space
+    }
+
+    /// Steady-state probabilities, indexed like
+    /// [`StateSpace::tangible_markings`].
+    pub fn steady_state(&self) -> &[f64] {
+        &self.pi
+    }
+
+    /// Expected steady-state reward `Σ_m π(m)·reward(m)`.
+    ///
+    /// This is the SRN reward-function mechanism: the paper's
+    /// capacity-oriented availability (Table VI) is exactly such a measure.
+    pub fn expected<F>(&self, reward: F) -> f64
+    where
+        F: Fn(&Marking) -> f64,
+    {
+        self.space
+            .tangible_markings()
+            .iter()
+            .zip(&self.pi)
+            .map(|(m, p)| reward(m) * p)
+            .sum()
+    }
+
+    /// Steady-state probability of a marking predicate.
+    pub fn probability<F>(&self, pred: F) -> f64
+    where
+        F: Fn(&Marking) -> bool,
+    {
+        self.expected(|m| if pred(m) { 1.0 } else { 0.0 })
+    }
+
+    /// Expected number of tokens in `place`.
+    pub fn mean_tokens(&self, place: PlaceId) -> f64 {
+        self.expected(|m| m.tokens(place) as f64)
+    }
+
+    /// Steady-state throughput of a **timed** transition: the expected
+    /// firing rate `Σ_m π(m)·rate(m)` over markings where it is enabled.
+    ///
+    /// Immediate transitions have no throughput in this sense and yield
+    /// an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SrnError::UnknownTransition`] when `t` is immediate or
+    /// foreign.
+    pub fn throughput(&self, net: &crate::Srn, t: TransId) -> Result<f64, SrnError> {
+        if t.index() >= net.transition_count() {
+            return Err(SrnError::UnknownTransition { index: t.index() });
+        }
+        match net.transition_kind(t) {
+            TransitionKind::Immediate { .. } => {
+                Err(SrnError::UnknownTransition { index: t.index() })
+            }
+            TransitionKind::Timed { rate } => Ok(self
+                .space
+                .tangible_markings()
+                .iter()
+                .zip(&self.pi)
+                .filter(|(m, _)| net.is_enabled(t, m))
+                .map(|(m, p)| rate(m) * p)
+                .sum()),
+        }
+    }
+
+    /// Probability of the predicate at time `t`, starting from the net's
+    /// initial marking (transient analysis by uniformization).
+    ///
+    /// # Errors
+    ///
+    /// Propagates CTMC transient-solver errors.
+    pub fn transient_probability<F>(&self, t: f64, pred: F) -> Result<f64, SrnError>
+    where
+        F: Fn(&Marking) -> bool,
+    {
+        let n = self.space.len();
+        let mut p0 = vec![0.0; n];
+        for &(i, p) in self.space.initial_distribution() {
+            p0[i] = p;
+        }
+        let pt = self.space.ctmc().transient_from(
+            &p0,
+            t,
+            &redeval_markov::TransientOptions::default(),
+        )?;
+        Ok(self
+            .space
+            .tangible_markings()
+            .iter()
+            .zip(&pt)
+            .filter(|(m, _)| pred(m))
+            .map(|(_, p)| *p)
+            .sum())
+    }
+}
+
+impl crate::Srn {
+    /// Generates the state space and solves for the steady state in one
+    /// step (default options).
+    ///
+    /// # Errors
+    ///
+    /// Propagates reachability and solver errors.
+    pub fn solve(&self) -> Result<SolvedSrn, SrnError> {
+        self.state_space()?.solve()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Srn;
+
+    /// Two independent repairable components sharing one net.
+    fn two_components() -> (Srn, crate::PlaceId, crate::PlaceId, crate::TransId) {
+        let mut net = Srn::new("two");
+        let up = net.add_place("up", 2);
+        let down = net.add_place("down", 0);
+        let fail = net.add_timed_fn("fail", move |m| 0.1 * m.as_slice()[0] as f64);
+        net.add_move(fail, up, down).unwrap();
+        let repair = net.add_timed_fn("repair", move |m| 1.0 * m.as_slice()[1] as f64);
+        net.add_move(repair, down, up).unwrap();
+        (net, up, down, fail)
+    }
+
+    #[test]
+    fn mean_tokens_matches_expectation() {
+        let (net, up, _down, _fail) = two_components();
+        let s = net.solve().unwrap();
+        let q = 0.1 / 1.1; // per-component down probability
+        assert!((s.mean_tokens(up) - 2.0 * (1.0 - q)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_balances_in_cycle() {
+        let (net, _up, _down, fail) = two_components();
+        let s = net.solve().unwrap();
+        let repair = net.find_transition("repair").unwrap();
+        let tf = s.throughput(&net, fail).unwrap();
+        let tr = s.throughput(&net, repair).unwrap();
+        // Flow balance: failures per hour == repairs per hour.
+        assert!((tf - tr).abs() < 1e-12);
+        // Expected failure throughput = 0.1 * E[up tokens].
+        let up = net.find_place("up").unwrap();
+        assert!((tf - 0.1 * s.mean_tokens(up)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_of_immediate_is_error() {
+        let mut net = Srn::new("imm");
+        let a = net.add_place("a", 1);
+        let b = net.add_place("b", 0);
+        let t = net.add_immediate("imm");
+        net.add_move(t, a, b).unwrap();
+        let back = net.add_timed("back", 1.0);
+        net.add_move(back, b, a).unwrap();
+        let s = net.solve().unwrap();
+        assert!(s.throughput(&net, t).is_err());
+    }
+
+    #[test]
+    fn steady_state_sums_to_one() {
+        let (net, _, _, _) = two_components();
+        let s = net.solve().unwrap();
+        let sum: f64 = s.steady_state().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transient_probability_approaches_steady() {
+        let (net, up, _down, _fail) = two_components();
+        let s = net.solve().unwrap();
+        let at_steady = s.probability(|m| m.tokens(up) == 2);
+        let transient = s.transient_probability(200.0, |m| m.tokens(up) == 2).unwrap();
+        assert!((at_steady - transient).abs() < 1e-8);
+        let at_zero = s.transient_probability(0.0, |m| m.tokens(up) == 2).unwrap();
+        assert!((at_zero - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the SRN engine against closed-form chains.
+
+use proptest::prelude::*;
+use redeval_srn::{ReachOptions, Srn};
+
+/// Builds the machine-repair SRN: n tokens, per-token failure/repair.
+fn machine_repair(n: u32, lambda: f64, mu: f64) -> Srn {
+    let mut net = Srn::new("mr");
+    let up = net.add_place("up", n);
+    let down = net.add_place("down", 0);
+    let fail = net.add_timed_fn("fail", move |m| lambda * m.tokens(up) as f64);
+    net.add_move(fail, up, down).unwrap();
+    let fix = net.add_timed_fn("fix", move |m| mu * m.tokens(down) as f64);
+    net.add_move(fix, down, up).unwrap();
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Machine-repair SRN steady state matches the binomial closed form.
+    #[test]
+    fn machine_repair_binomial(
+        n in 1u32..6,
+        lambda in 0.01f64..10.0,
+        mu in 0.01f64..10.0,
+    ) {
+        let net = machine_repair(n, lambda, mu);
+        let up = net.find_place("up").unwrap();
+        let solved = net.solve().unwrap();
+        let q = lambda / (lambda + mu);
+        // E[#up] = n(1-q).
+        let mean_up = solved.mean_tokens(up);
+        prop_assert!((mean_up - n as f64 * (1.0 - q)).abs() < 1e-8);
+        // P(all up) = (1-q)^n.
+        let p_all = solved.probability(|m| m.tokens(up) == n);
+        prop_assert!((p_all - (1.0 - q).powi(n as i32)).abs() < 1e-8);
+    }
+
+    /// State space size of machine repair is n+1 tangible markings.
+    #[test]
+    fn machine_repair_state_count(n in 1u32..20) {
+        let net = machine_repair(n, 1.0, 1.0);
+        let ss = net.state_space().unwrap();
+        prop_assert_eq!(ss.len(), n as usize + 1);
+        prop_assert_eq!(ss.vanishing_count(), 0);
+    }
+
+    /// Token conservation: every reachable marking preserves total tokens
+    /// in a conservative net.
+    #[test]
+    fn conservation(n in 1u32..8, lambda in 0.1f64..5.0, mu in 0.1f64..5.0) {
+        let net = machine_repair(n, lambda, mu);
+        let ss = net.state_space().unwrap();
+        for m in ss.tangible_markings() {
+            prop_assert_eq!(m.total_tokens(), n);
+        }
+    }
+
+    /// Immediate routing with random weights splits flow proportionally.
+    #[test]
+    fn weighted_split(wa in 0.1f64..10.0, wb in 0.1f64..10.0) {
+        let mut net = Srn::new("split");
+        let src = net.add_place("src", 1);
+        let mid = net.add_place("mid", 0);
+        let a = net.add_place("a", 0);
+        let b = net.add_place("b", 0);
+        let go = net.add_timed("go", 1.0);
+        net.add_move(go, src, mid).unwrap();
+        let ta = net.add_immediate_weighted("ta", wa, 0);
+        net.add_move(ta, mid, a).unwrap();
+        let tb = net.add_immediate_weighted("tb", wb, 0);
+        net.add_move(tb, mid, b).unwrap();
+        let ra = net.add_timed("ra", 1.0);
+        net.add_move(ra, a, src).unwrap();
+        let rb = net.add_timed("rb", 1.0);
+        net.add_move(rb, b, src).unwrap();
+
+        let solved = net.solve().unwrap();
+        let pa = solved.probability(|m| m.tokens(a) == 1);
+        let pb = solved.probability(|m| m.tokens(b) == 1);
+        // Same sojourn rates, so probabilities split like the weights.
+        prop_assert!((pa / pb - wa / wb).abs() < 1e-6 * (wa / wb).max(1.0));
+    }
+
+    /// The state-space budget is respected exactly.
+    #[test]
+    fn budget_respected(limit in 1usize..30) {
+        // Unbounded generator net.
+        let mut net = Srn::new("gen");
+        let p = net.add_place("p", 0);
+        let t = net.add_timed("t", 1.0);
+        net.add_output(t, p, 1).unwrap();
+        let res = net.state_space_with(&ReachOptions { max_markings: limit });
+        prop_assert!(res.is_err());
+    }
+
+    /// Inhibitor arcs cap the reachable token count.
+    #[test]
+    fn inhibitor_caps_tokens(cap in 1u32..10) {
+        let mut net = Srn::new("cap");
+        let p = net.add_place("p", 0);
+        let gen = net.add_timed("gen", 1.0);
+        net.add_output(gen, p, 1).unwrap();
+        net.add_inhibitor(gen, p, cap).unwrap();
+        let drain = net.add_timed("drain", 1.0);
+        net.add_input(drain, p, 1).unwrap();
+        let ss = net.state_space().unwrap();
+        prop_assert_eq!(ss.len(), cap as usize + 1);
+        for m in ss.tangible_markings() {
+            prop_assert!(m.tokens(p) <= cap);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Attack-surface analysis workflow: build the network from a
+//! zone/firewall description, find the most attack-enabling hosts and
+//! vulnerabilities, and derive a prioritized patch schedule.
+//!
+//! Run with: `cargo run --example attack_surface`
+
+use redeval_harm::topology::TopologyBuilder;
+use redeval_harm::{AttackTree, Harm, MetricsConfig, Vulnerability};
+
+fn main() {
+    // 1. Describe the segmented network (zones + firewall rules), the way
+    //    an administrator thinks about it.
+    let mut b = TopologyBuilder::new();
+    let dmz = b.zone("dmz");
+    let app_net = b.zone("app-net");
+    let data = b.zone("data");
+    let lb1 = b.host("lb1", dmz);
+    let lb2 = b.host("lb2", dmz);
+    let api1 = b.host("api1", app_net);
+    let api2 = b.host("api2", app_net);
+    let vault = b.host("vault", data);
+    b.expose_to_internet(dmz);
+    b.allow(dmz, app_net);
+    b.allow(app_net, data);
+    b.allow_intra_zone(); // lateral movement within subnets
+    let graph = b.build();
+
+    // 2. Attach vulnerability trees (identical per tier).
+    let lb_tree = AttackTree::or(vec![
+        AttackTree::leaf(Vulnerability::new("CVE-LB-RCE", 10.0, 0.9)),
+        AttackTree::and(vec![
+            AttackTree::leaf(Vulnerability::new("CVE-LB-INFO", 2.9, 1.0)),
+            AttackTree::leaf(Vulnerability::new("CVE-LB-LPE", 10.0, 0.39)),
+        ]),
+    ]);
+    let api_tree = AttackTree::or(vec![
+        AttackTree::leaf(Vulnerability::new("CVE-API-DESER", 6.4, 0.86)),
+        AttackTree::leaf(Vulnerability::new("CVE-API-SSRF", 2.9, 1.0)),
+    ]);
+    let vault_tree = AttackTree::and(vec![
+        AttackTree::leaf(Vulnerability::new("CVE-VAULT-AUTH", 10.0, 0.39)),
+        AttackTree::leaf(Vulnerability::new("CVE-VAULT-LPE", 10.0, 0.39)),
+    ]);
+    let harm = Harm::new(
+        graph,
+        vec![
+            Some(lb_tree.clone()),
+            Some(lb_tree),
+            Some(api_tree.clone()),
+            Some(api_tree),
+            Some(vault_tree),
+        ],
+        vec![vault],
+    );
+    let _ = (lb1, lb2, api1, api2);
+
+    let cfg = MetricsConfig::default();
+    let m = harm.metrics(&cfg);
+    println!("network: {}", m);
+    println!();
+
+    // 3. Which host most enables the attack goal?
+    println!("host importance (ΔASP if hardened):");
+    for (h, delta) in harm.host_importance(&cfg) {
+        println!("  {:<8} {:.4}", harm.graph().host_name(h), delta);
+    }
+    println!();
+
+    // 4. Which patches first?
+    println!("greedy patch schedule:");
+    for (i, (cve, asp)) in harm.greedy_patch_order(&cfg, 10).iter().enumerate() {
+        println!("  {}. {:<16} -> network ASP {:.4}", i + 1, cve, asp);
+    }
+
+    // The vault gates every path: hardening it must zero the ASP.
+    let ranked = harm.host_importance(&cfg);
+    let top = harm.graph().host_name(ranked[0].0);
+    assert_eq!(top, "vault");
+    let schedule = harm.greedy_patch_order(&cfg, 10);
+    assert_eq!(schedule.last().map(|(_, a)| *a), Some(0.0));
+}

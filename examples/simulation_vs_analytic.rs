@@ -1,0 +1,78 @@
+//! Cross-validation: discrete-event simulation versus the analytic models.
+//!
+//! Runs the Monte-Carlo engines of `redeval-sim` against the case study:
+//!
+//! 1. COA of the upper-layer network model (simulated SRN vs product-form
+//!    CTMC solution);
+//! 2. network attack success probability (vulnerability-level Monte Carlo
+//!    vs the three analytic ASP aggregation strategies).
+//!
+//! Run with: `cargo run --release --example simulation_vs_analytic`
+
+use redeval::case_study;
+use redeval::{AspStrategy, MetricsConfig};
+use redeval_sim::{estimate_asp, simulate_coa};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = case_study::network();
+
+    // ---- availability ----
+    let analyses = spec.tier_analyses()?;
+    let model = spec.network_model(&analyses);
+    let analytic_coa = model.coa()?;
+    println!("analytic COA           : {analytic_coa:.6}");
+
+    let horizon_hours = 2_000_000.0; // ~2800 patch cycles per server
+    let est = simulate_coa(&model, horizon_hours, 20_240_612)?;
+    println!(
+        "simulated COA          : {:.6} ± {:.6} (95% CI, {:.0} h horizon)",
+        est.mean, est.ci95, horizon_hours
+    );
+    let diff = (est.mean - analytic_coa).abs();
+    println!("difference             : {diff:.2e}");
+    assert!(
+        diff < (3.0 * est.ci95).max(3e-4),
+        "simulation disagrees with the analytic model"
+    );
+
+    // ---- security ----
+    println!();
+    let harm = spec.build_harm().patched_critical(8.0);
+    let mc = estimate_asp(&harm, 400_000, 7);
+    println!(
+        "Monte-Carlo ASP (after): {:.4} ± {:.4} (95% CI, {} trials)",
+        mc.mean, mc.ci95, mc.trials
+    );
+    for strategy in [
+        AspStrategy::MaxPath,
+        AspStrategy::Reliability,
+        AspStrategy::NoisyOrPaths,
+    ] {
+        let m = harm.metrics(&MetricsConfig {
+            asp: strategy,
+            ..Default::default()
+        });
+        println!(
+            "analytic ASP {:<22}: {:.4}",
+            format!("({strategy:?})"),
+            m.attack_success_probability
+        );
+    }
+    // The exact-reliability strategy should match the simulation within
+    // noise (same independence assumptions).
+    let exact = harm
+        .metrics(&MetricsConfig {
+            asp: AspStrategy::Reliability,
+            ..Default::default()
+        })
+        .attack_success_probability;
+    assert!(
+        (mc.mean - exact).abs() < 4.0 * mc.ci95,
+        "Monte-Carlo ASP {} deviates from exact reliability {}",
+        mc.mean,
+        exact
+    );
+    println!();
+    println!("simulation and analytic models agree.");
+    Ok(())
+}

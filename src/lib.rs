@@ -1,0 +1,49 @@
+//! `redeval-suite` — facade over the `redeval` workspace.
+//!
+//! This crate re-exports every member crate under one roof and hosts the
+//! runnable `examples/` and the cross-crate integration `tests/` of the
+//! repository. Depend on the individual crates
+//! (`redeval`, [`redeval_harm`], [`redeval_avail`],
+//! [`redeval_srn`], [`redeval_markov`], [`redeval_cvss`], [`redeval_sim`])
+//! for finer-grained builds.
+//!
+//! # Examples
+//!
+//! ```
+//! use redeval_suite::prelude::*;
+//!
+//! # fn main() -> Result<(), redeval::EvalError> {
+//! let evaluator = redeval::case_study::evaluator()?;
+//! let e = evaluator.evaluate("case study", &[1, 2, 2, 1])?;
+//! assert!((e.coa - 0.99707).abs() < 5e-5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use redeval;
+pub use redeval_avail;
+pub use redeval_cvss;
+pub use redeval_harm;
+pub use redeval_markov;
+pub use redeval_sim;
+pub use redeval_srn;
+
+/// Commonly used items, re-exported flat.
+pub mod prelude {
+    pub use redeval::case_study;
+    pub use redeval::charts;
+    pub use redeval::cost::CostModel;
+    pub use redeval::decision::{MultiBounds, ScatterBounds};
+    pub use redeval::{
+        AspStrategy, AttackGraph, AttackTree, Design, DesignEvaluation, Durations, EvalError,
+        Evaluator, Harm, MetricsConfig, NetworkModel, NetworkSpec, OrCombine, PatchPolicy,
+        SecurityMetrics, ServerParams, Tier, TierSpec, Vulnerability,
+    };
+    pub use redeval_avail::{AggregatedRates, ServerAnalysis, ServerModel};
+    pub use redeval_markov::{BirthDeath, Ctmc, Dtmc};
+    pub use redeval_sim::{estimate_asp, simulate_coa, Simulation};
+    pub use redeval_srn::{Srn, SrnError};
+}

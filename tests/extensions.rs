@@ -1,0 +1,153 @@
+//! Integration tests for the extensions beyond the paper (Section V
+//! future work implemented in this workspace).
+
+use redeval::case_study;
+use redeval::MetricsConfig;
+use redeval_avail::{CompositeNetwork, PatchScenario, ServerAnalysis};
+use redeval_cvss::v2::BaseVector;
+use redeval_cvss::v2_temporal::TemporalVector;
+use redeval_harm::topology::TopologyBuilder;
+use redeval_suite::prelude::*;
+
+/// The zone/firewall builder reproduces the case-study attack graph.
+#[test]
+fn topology_builder_matches_case_study_graph() {
+    let mut b = TopologyBuilder::new();
+    let dmz_dns = b.zone("dmz-dns");
+    let dmz_web = b.zone("dmz-web");
+    let intranet = b.zone("intranet");
+    let db_zone = b.zone("db");
+    b.host("dns1", dmz_dns);
+    b.host("web1", dmz_web);
+    b.host("web2", dmz_web);
+    b.host("app1", intranet);
+    b.host("app2", intranet);
+    let db = b.host("db1", db_zone);
+    b.expose_to_internet(dmz_dns);
+    b.expose_to_internet(dmz_web);
+    b.allow(dmz_dns, dmz_web);
+    b.allow(dmz_web, intranet);
+    b.allow(intranet, db_zone);
+    let g = b.build();
+
+    // Same tree assignment as the case study, same metrics as Table II.
+    let trees = vec![
+        Some(case_study::dns_tree()),
+        Some(case_study::web_tree()),
+        Some(case_study::web_tree()),
+        Some(case_study::app_tree()),
+        Some(case_study::app_tree()),
+        Some(case_study::db_tree()),
+    ];
+    let harm = Harm::new(g, trees, vec![db]);
+    let m = harm.metrics(&MetricsConfig::default());
+    assert_eq!(m.attack_paths, 8);
+    assert_eq!(m.entry_points, 3);
+    assert!((m.attack_impact - 52.2).abs() < 1e-9);
+
+    let reference = case_study::network().build_harm();
+    let mr = reference.metrics(&MetricsConfig::default());
+    assert_eq!(m, mr);
+}
+
+/// Partial patch scenarios: COA improves as the patch round gets lighter.
+#[test]
+fn patch_scenarios_order_coa() {
+    let spec = case_study::network();
+    let coa_for = |scenario: PatchScenario| {
+        let tiers: Vec<Tier> = spec
+            .tiers()
+            .iter()
+            .map(|t| {
+                let a = ServerAnalysis::of_scenario(&t.params, scenario).unwrap();
+                Tier::new(t.name.clone(), t.count, a.rates())
+            })
+            .collect();
+        NetworkModel::new(tiers).coa().unwrap()
+    };
+    let full = coa_for(PatchScenario::Full);
+    let os_only = coa_for(PatchScenario::OsOnly);
+    let no_reboot = coa_for(PatchScenario::NoReboot);
+    let svc_only = coa_for(PatchScenario::ServiceOnly);
+    assert!(full < os_only);
+    assert!(os_only < no_reboot);
+    assert!(no_reboot < svc_only);
+    assert!((full - 0.99707).abs() < 5e-5);
+}
+
+/// The exact composite model quantifies the hierarchy's optimism.
+#[test]
+fn composite_exposes_aggregation_error() {
+    let dns = case_study::dns_params();
+    let composite = CompositeNetwork::build(&[dns.clone()], &[1]);
+    let exact = composite.coa_exact().unwrap();
+    let a = ServerAnalysis::of(&dns).unwrap();
+    let aggregated = NetworkModel::new(vec![Tier::new("dns", 1, a.rates())])
+        .coa()
+        .unwrap();
+    // The aggregation ignores failure downtime: optimistic by p_failed.
+    assert!(aggregated > exact);
+    assert!((aggregated - exact - a.p_failed()).abs() < 1e-4);
+}
+
+/// Interval COA sits between 1 and the steady state and reaches it.
+#[test]
+fn interval_coa_brackets() {
+    let spec = case_study::network();
+    let analyses = spec.tier_analyses().unwrap();
+    let model = spec.network_model(&analyses);
+    let steady = model.coa().unwrap();
+    let one_day = model.interval_coa(24.0).unwrap();
+    assert!(one_day > steady && one_day <= 1.0);
+}
+
+/// Temporal CVSS: the paper's patched state corresponds to RL:OF, which
+/// demotes every critical vulnerability below the 8.0 threshold.
+#[test]
+fn temporal_scoring_models_patch_release() {
+    let after_patch: TemporalVector = "E:H/RL:OF/RC:C".parse().unwrap();
+    for r in &case_study::VULNERABILITIES {
+        let base: BaseVector = r.vector.parse().unwrap();
+        if base.is_critical(8.0) {
+            let t = after_patch.temporal_score(&base);
+            assert!(t < base.base_score());
+            assert!(t <= 8.7); // 10.0 * 0.87
+        }
+    }
+}
+
+/// Reliability function of the aggregated server: no patch within t.
+#[test]
+fn server_reliability_function() {
+    let a = case_study::dns_params().analyze().unwrap();
+    let rates = a.rates();
+    let mut c = Ctmc::new(2);
+    c.add_transition(0, 1, rates.lambda_eq);
+    c.add_transition(1, 0, rates.mu_eq);
+    // R(720h) = exp(-λ·720) ≈ 1/e for a monthly clock.
+    let r = c.reliability(0, 720.0, |s| s == 0).unwrap();
+    assert!((r - (-1.0f64).exp()).abs() < 1e-6);
+}
+
+/// Quorum COA composes with the case-study model.
+#[test]
+fn quorum_coa_on_case_study() {
+    let spec = case_study::network();
+    let analyses = spec.tier_analyses().unwrap();
+    let model = spec.network_model(&analyses);
+    let plain = model.coa().unwrap();
+    let quorum = model.coa_with_quorum(&[1, 2, 1, 1]).unwrap();
+    assert!(quorum < plain);
+}
+
+/// Greedy prioritization beats the blanket policy patch-for-patch.
+#[test]
+fn greedy_patching_efficiency() {
+    let harm = case_study::network().build_harm();
+    let cfg = MetricsConfig::default();
+    let schedule = harm.greedy_patch_order(&cfg, 32);
+    // Greedy zeroes the ASP with at most as many patches as the blanket
+    // critical set (nine), and the final state is fully closed.
+    assert!(schedule.len() <= 9);
+    assert_eq!(schedule.last().map(|(_, a)| *a), Some(0.0));
+}
