@@ -95,7 +95,10 @@ impl ServerAnalysis {
             .collect();
         let solved = space.solve()?;
         let pi = solved.steady_state();
-        let in_pd: Vec<bool> = markings.iter().map(|m| places.down_due_to_patch(m)).collect();
+        let in_pd: Vec<bool> = markings
+            .iter()
+            .map(|m| places.down_due_to_patch(m))
+            .collect();
         let exit_flow: f64 = transitions
             .iter()
             .filter(|&&(from, to, _)| in_pd[from] && !in_pd[to])
@@ -108,9 +111,8 @@ impl ServerAnalysis {
         let p_patch_down = solved.probability(|m| places.down_due_to_patch(m));
         // p_svc_prrb: the exit state of the paper's full patch cycle.
         let p_ready_reboot = solved.probability(|m| places.ready_to_reboot(m));
-        let p_failed = solved.probability(|m| {
-            m.tokens(places.svc_failed) == 1 || m.tokens(places.svc_down) == 1
-        });
+        let p_failed = solved
+            .probability(|m| m.tokens(places.svc_failed) == 1 || m.tokens(places.svc_down) == 1);
 
         // Equation (1): the patch process is dominated by the clock.
         let lambda_eq = params.patch_interval.rate_per_hour();
@@ -208,7 +210,11 @@ mod tests {
     fn lambda_eq_is_tau_p_for_all_servers() {
         for p in paper_servers() {
             let a = p.analyze().unwrap();
-            assert!((a.rates().lambda_eq - 1.0 / 720.0).abs() < 1e-15, "{}", p.name);
+            assert!(
+                (a.rates().lambda_eq - 1.0 / 720.0).abs() < 1e-15,
+                "{}",
+                p.name
+            );
             assert!((a.rates().mttp() - 720.0).abs() < 1e-9);
         }
     }
@@ -226,11 +232,7 @@ mod tests {
             let a = params.analyze().unwrap();
             assert_eq!(a.name(), name);
             let rel = (a.rates().mu_eq - mu).abs() / mu;
-            assert!(
-                rel < 1e-3,
-                "{name}: µ_eq {} vs paper {mu}",
-                a.rates().mu_eq
-            );
+            assert!(rel < 1e-3, "{name}: µ_eq {} vs paper {mu}", a.rates().mu_eq);
         }
     }
 
@@ -245,7 +247,11 @@ mod tests {
         for (params, (name, mttr)) in paper_servers().iter().zip(expected) {
             let a = params.analyze().unwrap();
             let rel = (a.rates().mttr() - mttr).abs() / mttr;
-            assert!(rel < 1e-3, "{name}: MTTR {} vs paper {mttr}", a.rates().mttr());
+            assert!(
+                rel < 1e-3,
+                "{name}: MTTR {} vs paper {mttr}",
+                a.rates().mttr()
+            );
         }
     }
 
@@ -294,10 +300,15 @@ mod tests {
         // Equation (2) form in the full scenario.
         for p in paper_servers() {
             let a = p.analyze().unwrap();
-            let eq2 = p.svc_reboot_patch.rate_per_hour() * a.p_ready_reboot()
-                / a.p_patch_down();
+            let eq2 = p.svc_reboot_patch.rate_per_hour() * a.p_ready_reboot() / a.p_patch_down();
             let rel = (a.rates().mu_eq - eq2).abs() / eq2;
-            assert!(rel < 1e-9, "{}: flow {} vs eq2 {}", a.name(), a.rates().mu_eq, eq2);
+            assert!(
+                rel < 1e-9,
+                "{}: flow {} vs eq2 {}",
+                a.name(),
+                a.rates().mu_eq,
+                eq2
+            );
         }
     }
 

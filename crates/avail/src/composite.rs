@@ -73,7 +73,7 @@ impl CompositeNetwork {
                 up_per_tier[*tier] += 1;
             }
         }
-        if up_per_tier.iter().any(|&u| u == 0) {
+        if up_per_tier.contains(&0) {
             return 0.0;
         }
         f64::from(up_per_tier.iter().sum::<u32>()) / f64::from(self.total_servers())
@@ -150,7 +150,7 @@ mod tests {
     #[test]
     fn single_server_composite_matches_server_model() {
         let p = fast_server("a");
-        let composite = CompositeNetwork::build(&[p.clone()], &[1]);
+        let composite = CompositeNetwork::build(std::slice::from_ref(&p), &[1]);
         let exact = composite.coa_exact().unwrap();
         // One server: COA == availability of the lone service.
         let a = ServerAnalysis::of(&p).unwrap();
@@ -183,18 +183,17 @@ mod tests {
         // roughly the per-server failure downtime (~0.2–0.5 % for these
         // sped-up parameters).
         let err = aggregated - exact;
-        assert!(err > 1e-4, "aggregation should overestimate: {exact} vs {aggregated}");
+        assert!(
+            err > 1e-4,
+            "aggregation should overestimate: {exact} vs {aggregated}"
+        );
         assert!(err < 1e-2, "exact {exact} vs aggregated {aggregated}");
     }
 
     #[test]
     fn composite_state_space_is_product_sized() {
         let p = fast_server("a");
-        let single = ServerModel::build(&p)
-            .net()
-            .state_space()
-            .unwrap()
-            .len();
+        let single = ServerModel::build(&p).net().state_space().unwrap().len();
         let composite = CompositeNetwork::build(&[p], &[2]);
         let double = composite.net().state_space().unwrap().len();
         assert_eq!(double, single * single);

@@ -65,8 +65,10 @@ impl Mmc {
     /// * [`QueueError::InvalidParameter`] for non-positive inputs;
     /// * [`QueueError::Unstable`] when `λ ≥ c·µ`.
     pub fn new(arrival_rate: f64, service_rate: f64, servers: u32) -> Result<Self, QueueError> {
-        if !(arrival_rate.is_finite() && arrival_rate > 0.0)
-            || !(service_rate.is_finite() && service_rate > 0.0)
+        if !(arrival_rate.is_finite()
+            && arrival_rate > 0.0
+            && service_rate.is_finite()
+            && service_rate > 0.0)
             || servers == 0
         {
             return Err(QueueError::InvalidParameter);
@@ -227,13 +229,7 @@ mod tests {
     #[test]
     fn weighted_response_time_interpolates() {
         // Tier with 2 servers 90% of the time, 1 server 10%.
-        let w = availability_weighted_response_time(
-            0.5,
-            1.0,
-            &[(2, 0.9), (1, 0.1)],
-            None,
-        )
-        .unwrap();
+        let w = availability_weighted_response_time(0.5, 1.0, &[(2, 0.9), (1, 0.1)], None).unwrap();
         let w2 = Mmc::new(0.5, 1.0, 2).unwrap().mean_response_time();
         let w1 = Mmc::new(0.5, 1.0, 1).unwrap().mean_response_time();
         assert!((w - (0.9 * w2 + 0.1 * w1)).abs() < 1e-12);
@@ -242,20 +238,11 @@ mod tests {
 
     #[test]
     fn down_penalty_applies() {
-        let with = availability_weighted_response_time(
-            0.5,
-            1.0,
-            &[(1, 0.99), (0, 0.01)],
-            Some(30.0),
-        )
-        .unwrap();
-        let without = availability_weighted_response_time(
-            0.5,
-            1.0,
-            &[(1, 0.99), (0, 0.01)],
-            None,
-        )
-        .unwrap();
+        let with =
+            availability_weighted_response_time(0.5, 1.0, &[(1, 0.99), (0, 0.01)], Some(30.0))
+                .unwrap();
+        let without =
+            availability_weighted_response_time(0.5, 1.0, &[(1, 0.99), (0, 0.01)], None).unwrap();
         assert!(with > without);
     }
 

@@ -154,7 +154,7 @@ impl NetworkModel {
     pub fn coa(&self) -> Result<f64, SolveError> {
         let total = self.total_servers() as f64;
         self.expected_reward(|ups| {
-            if ups.iter().any(|&u| u == 0) {
+            if ups.contains(&0) {
                 0.0
             } else {
                 ups.iter().map(|&u| u as f64).sum::<f64>() / total
@@ -189,7 +189,11 @@ impl NetworkModel {
     pub fn coa_with_quorum(&self, quorum: &[u32]) -> Result<f64, SolveError> {
         assert_eq!(quorum.len(), self.tiers.len(), "one quorum per tier");
         for (q, t) in quorum.iter().zip(&self.tiers) {
-            assert!(*q >= 1 && *q <= t.count, "quorum {q} invalid for tier of {}", t.count);
+            assert!(
+                *q >= 1 && *q <= t.count,
+                "quorum {q} invalid for tier of {}",
+                t.count
+            );
         }
         let total = self.total_servers() as f64;
         let quorum = quorum.to_vec();
@@ -271,10 +275,10 @@ impl NetworkModel {
             .first()
             .map(|&(i, _)| i)
             .expect("nonempty state space");
-        Ok(space
+        space
             .ctmc()
             .interval_reward(initial, horizon_hours, reward_of)
-            .map_err(redeval_srn::SrnError::from)?)
+            .map_err(redeval_srn::SrnError::from)
     }
 
     /// COA computed through the explicit SRN — an independent cross-check
@@ -290,7 +294,7 @@ impl NetworkModel {
         let total: u32 = counts.iter().sum();
         Ok(solved.expected(|m| {
             let up_counts: Vec<u32> = ups.iter().map(|&p| m.tokens(p)).collect();
-            if up_counts.iter().any(|&u| u == 0) {
+            if up_counts.contains(&0) {
                 0.0
             } else {
                 up_counts.iter().map(|&u| u as f64).sum::<f64>() / total as f64
@@ -313,20 +317,45 @@ mod tests {
     /// The paper's case-study network (Table V rates).
     fn case_study() -> NetworkModel {
         NetworkModel::new(vec![
-            Tier::new("dns", 1, AggregatedRates { lambda_eq: 1.0 / 720.0, mu_eq: 1.49992 }),
-            Tier::new("web", 2, AggregatedRates { lambda_eq: 1.0 / 720.0, mu_eq: 1.71420 }),
-            Tier::new("app", 2, AggregatedRates { lambda_eq: 1.0 / 720.0, mu_eq: 0.99995 }),
-            Tier::new("db", 1, AggregatedRates { lambda_eq: 1.0 / 720.0, mu_eq: 1.09085 }),
+            Tier::new(
+                "dns",
+                1,
+                AggregatedRates {
+                    lambda_eq: 1.0 / 720.0,
+                    mu_eq: 1.49992,
+                },
+            ),
+            Tier::new(
+                "web",
+                2,
+                AggregatedRates {
+                    lambda_eq: 1.0 / 720.0,
+                    mu_eq: 1.71420,
+                },
+            ),
+            Tier::new(
+                "app",
+                2,
+                AggregatedRates {
+                    lambda_eq: 1.0 / 720.0,
+                    mu_eq: 0.99995,
+                },
+            ),
+            Tier::new(
+                "db",
+                1,
+                AggregatedRates {
+                    lambda_eq: 1.0 / 720.0,
+                    mu_eq: 1.09085,
+                },
+            ),
         ])
     }
 
     #[test]
     fn paper_coa_0_99707() {
         let coa = case_study().coa().unwrap();
-        assert!(
-            (coa - 0.99707).abs() < 5e-5,
-            "COA {coa} vs paper 0.99707"
-        );
+        assert!((coa - 0.99707).abs() < 5e-5, "COA {coa} vs paper 0.99707");
     }
 
     #[test]
@@ -366,14 +395,10 @@ mod tests {
         // MTTR yields the highest COA.
         let slow = rates(2.0);
         let fast = rates(0.5);
-        let dup_slow = NetworkModel::new(vec![
-            Tier::new("slow", 2, slow),
-            Tier::new("fast", 1, fast),
-        ]);
-        let dup_fast = NetworkModel::new(vec![
-            Tier::new("slow", 1, slow),
-            Tier::new("fast", 2, fast),
-        ]);
+        let dup_slow =
+            NetworkModel::new(vec![Tier::new("slow", 2, slow), Tier::new("fast", 1, fast)]);
+        let dup_fast =
+            NetworkModel::new(vec![Tier::new("slow", 1, slow), Tier::new("fast", 2, fast)]);
         assert!(dup_slow.coa().unwrap() > dup_fast.coa().unwrap());
     }
 
@@ -452,7 +477,7 @@ mod tests {
         let total = net.total_servers() as f64;
         assert_eq!(total, 6.0);
         let reward = |ups: &[u32]| {
-            if ups.iter().any(|&u| u == 0) {
+            if ups.contains(&0) {
                 0.0
             } else {
                 ups.iter().map(|&u| u as f64).sum::<f64>() / total

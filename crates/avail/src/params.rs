@@ -27,7 +27,10 @@ impl Durations {
     ///
     /// Panics for non-finite or non-positive values.
     pub fn hours(h: f64) -> Self {
-        assert!(h.is_finite() && h > 0.0, "duration must be positive, got {h}");
+        assert!(
+            h.is_finite() && h > 0.0,
+            "duration must be positive, got {h}"
+        );
         Durations { hours: h }
     }
 

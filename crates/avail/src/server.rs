@@ -231,8 +231,7 @@ impl ServerModel {
             trigger,
         };
 
-        let transitions =
-            add_server_transitions_scenario(&mut net, params, &places, "", scenario);
+        let transitions = add_server_transitions_scenario(&mut net, params, &places, "", scenario);
 
         ServerModel {
             net,
@@ -268,7 +267,6 @@ impl ServerModel {
         &self.params
     }
 }
-
 
 /// Adds the Figure-5 transitions (hardware, OS, service, patch clock) for
 /// one server against already-created places. `prefix` namespaces the
@@ -328,15 +326,18 @@ pub(crate) fn add_server_transitions_scenario(
     net.set_guard(t_os_down, move |m| m.tokens(hw_down) == 1)
         .expect("valid id");
     // gosdrb: reboot after hardware repair.
-    let t_os_down_reboot =
-        net.add_timed(format!("{prefix}Tosdrb"), params.os_reboot_failure.rate_per_hour());
+    let t_os_down_reboot = net.add_timed(
+        format!("{prefix}Tosdrb"),
+        params.os_reboot_failure.rate_per_hour(),
+    );
     net.add_move(t_os_down_reboot, os_down, os_up)
         .expect("valid ids");
     net.set_guard(t_os_down_reboot, move |m| m.tokens(hw_up) == 1)
         .expect("valid id");
     // OS software failure (frozen during patch).
     let t_os_fail = net.add_timed(format!("{prefix}Tosfd"), params.os_mtbf.rate_per_hour());
-    net.add_move(t_os_fail, os_up, os_failed).expect("valid ids");
+    net.add_move(t_os_fail, os_up, os_failed)
+        .expect("valid ids");
     net.set_guard(t_os_fail, not_patching).expect("valid id");
     // gosfup: repair needs hardware up.
     let t_os_fail_up = net.add_timed(format!("{prefix}Tosfup"), params.os_repair.rate_per_hour());
@@ -351,7 +352,8 @@ pub(crate) fn add_server_transitions_scenario(
     net.add_move(t_os_patch_trigger, os_up, os_ready_patch)
         .expect("valid ids");
     if scenario == PatchScenario::ServiceOnly {
-        net.set_guard(t_os_patch_trigger, |_| false).expect("valid id");
+        net.set_guard(t_os_patch_trigger, |_| false)
+            .expect("valid id");
     } else {
         net.set_guard(t_os_patch_trigger, move |m| m.tokens(svc_patched) == 1)
             .expect("valid id");
@@ -381,7 +383,10 @@ pub(crate) fn add_server_transitions_scenario(
     let t_os_patch_reboot = if scenario == PatchScenario::NoReboot {
         net.add_immediate_weighted(format!("{prefix}Tosprb"), 1.0, 0)
     } else {
-        net.add_timed(format!("{prefix}Tosprb"), params.os_reboot_patch.rate_per_hour())
+        net.add_timed(
+            format!("{prefix}Tosprb"),
+            params.os_reboot_patch.rate_per_hour(),
+        )
     };
     net.add_move(t_os_patch_reboot, os_patched, os_up)
         .expect("valid ids");
@@ -390,27 +395,35 @@ pub(crate) fn add_server_transitions_scenario(
 
     // -------- service sub-model (Fig. 5c) --------
     // gsvcd: hardware or OS failure propagates immediately.
-    let hw_or_os_down =
-        move |m: &Marking| m.tokens(hw_down) == 1 || m.tokens(os_failed) == 1;
+    let hw_or_os_down = move |m: &Marking| m.tokens(hw_down) == 1 || m.tokens(os_failed) == 1;
     let hw_and_os_up = move |m: &Marking| m.tokens(hw_up) == 1 && m.tokens(os_up) == 1;
     let t_svc_down = net.add_immediate(format!("{prefix}Tsvcd"));
-    net.add_move(t_svc_down, svc_up, svc_down).expect("valid ids");
+    net.add_move(t_svc_down, svc_up, svc_down)
+        .expect("valid ids");
     net.set_guard(t_svc_down, hw_or_os_down).expect("valid id");
     // gsvcdrb: reboot after failure once hardware and OS are up.
-    let t_svc_down_reboot =
-        net.add_timed(format!("{prefix}Tsvcdrb"), params.svc_reboot_failure.rate_per_hour());
+    let t_svc_down_reboot = net.add_timed(
+        format!("{prefix}Tsvcdrb"),
+        params.svc_reboot_failure.rate_per_hour(),
+    );
     net.add_move(t_svc_down_reboot, svc_down, svc_up)
         .expect("valid ids");
-    net.set_guard(t_svc_down_reboot, hw_and_os_up).expect("valid id");
+    net.set_guard(t_svc_down_reboot, hw_and_os_up)
+        .expect("valid id");
     // Service software failure (frozen during patch).
     let t_svc_fail = net.add_timed(format!("{prefix}Tsvcfd"), params.svc_mtbf.rate_per_hour());
-    net.add_move(t_svc_fail, svc_up, svc_failed).expect("valid ids");
+    net.add_move(t_svc_fail, svc_up, svc_failed)
+        .expect("valid ids");
     net.set_guard(t_svc_fail, not_patching).expect("valid id");
     // gsvcfup.
-    let t_svc_fail_up = net.add_timed(format!("{prefix}Tsvcfup"), params.svc_repair.rate_per_hour());
+    let t_svc_fail_up = net.add_timed(
+        format!("{prefix}Tsvcfup"),
+        params.svc_repair.rate_per_hour(),
+    );
     net.add_move(t_svc_fail_up, svc_failed, svc_up)
         .expect("valid ids");
-    net.set_guard(t_svc_fail_up, hw_and_os_up).expect("valid id");
+    net.set_guard(t_svc_fail_up, hw_and_os_up)
+        .expect("valid id");
     // gsvcptrig: the clock trigger starts the application patch.
     let t_svc_patch_trigger = net.add_immediate(format!("{prefix}Tsvcptrig"));
     net.add_move(t_svc_patch_trigger, svc_up, svc_ready_patch)
@@ -431,7 +444,8 @@ pub(crate) fn add_server_transitions_scenario(
     let t_svc_rp_down = net.add_immediate(format!("{prefix}Tsvcrpd"));
     net.add_move(t_svc_rp_down, svc_ready_patch, svc_down)
         .expect("valid ids");
-    net.set_guard(t_svc_rp_down, hw_or_os_down).expect("valid id");
+    net.set_guard(t_svc_rp_down, hw_or_os_down)
+        .expect("valid id");
     // gsvcrrb: OS patch completion readies the service reboot.
     // (ServiceOnly skips the OS patch, so the reboot is ready as soon
     // as the application patch finishes.) Priority 2 so the patched
@@ -440,7 +454,8 @@ pub(crate) fn add_server_transitions_scenario(
     net.add_move(t_svc_ready_reboot, svc_patched, svc_ready_reboot)
         .expect("valid ids");
     if scenario == PatchScenario::ServiceOnly {
-        net.set_guard(t_svc_ready_reboot, |_| true).expect("valid id");
+        net.set_guard(t_svc_ready_reboot, |_| true)
+            .expect("valid id");
     } else {
         net.set_guard(t_svc_ready_reboot, move |m| m.tokens(os_patched) == 1)
             .expect("valid id");
@@ -449,21 +464,29 @@ pub(crate) fn add_server_transitions_scenario(
     let t_svc_rrb_down = net.add_immediate(format!("{prefix}Tsvcrrbd"));
     net.add_move(t_svc_rrb_down, svc_ready_reboot, svc_down)
         .expect("valid ids");
-    net.set_guard(t_svc_rrb_down, hw_or_os_down).expect("valid id");
+    net.set_guard(t_svc_rrb_down, hw_or_os_down)
+        .expect("valid id");
     // gsvcprb: service reboot after the OS reboot finished
     // (instantaneous in the NoReboot scenario).
     let t_svc_patch_reboot = if scenario == PatchScenario::NoReboot {
         net.add_immediate_weighted(format!("{prefix}Tsvcprb"), 1.0, 0)
     } else {
-        net.add_timed(format!("{prefix}Tsvcprb"), params.svc_reboot_patch.rate_per_hour())
+        net.add_timed(
+            format!("{prefix}Tsvcprb"),
+            params.svc_reboot_patch.rate_per_hour(),
+        )
     };
     net.add_move(t_svc_patch_reboot, svc_ready_reboot, svc_up)
         .expect("valid ids");
-    net.set_guard(t_svc_patch_reboot, hw_and_os_up).expect("valid id");
+    net.set_guard(t_svc_patch_reboot, hw_and_os_up)
+        .expect("valid id");
 
     // -------- patch clock (Fig. 5d) --------
     // ginterval: the clock only advances while no patch is in progress.
-    let t_interval = net.add_timed(format!("{prefix}Tinterval"), params.patch_interval.rate_per_hour());
+    let t_interval = net.add_timed(
+        format!("{prefix}Tinterval"),
+        params.patch_interval.rate_per_hour(),
+    );
     net.add_move(t_interval, clock, policy).expect("valid ids");
     net.set_guard(t_interval, move |m| {
         m.tokens(svc_up) == 1 || m.tokens(svc_down) == 1 || m.tokens(svc_failed) == 1
@@ -486,7 +509,7 @@ pub(crate) fn add_server_transitions_scenario(
             .expect("valid id");
     }
 
-    let transitions = ServerTransitions {
+    ServerTransitions {
         t_hw_down,
         t_hw_up,
         t_os_down,
@@ -511,8 +534,7 @@ pub(crate) fn add_server_transitions_scenario(
         t_interval,
         t_policy,
         t_reset,
-    };
-    transitions
+    }
 }
 
 #[cfg(test)]
@@ -531,9 +553,26 @@ mod tests {
         assert_eq!(m.net().transition_count(), 24);
         // All Table III guard-bearing transitions exist by name.
         for name in [
-            "Tosd", "Tosdrb", "Tosfup", "Tosptrig", "Tosp", "Tosrpd", "Tospd", "Tosprb",
-            "Tsvcd", "Tsvcdrb", "Tsvcfup", "Tsvcptrig", "Tsvcp", "Tsvcrpd", "Tsvcrrb",
-            "Tsvcrrbd", "Tsvcprb", "Tinterval", "Tpolicy", "Treset",
+            "Tosd",
+            "Tosdrb",
+            "Tosfup",
+            "Tosptrig",
+            "Tosp",
+            "Tosrpd",
+            "Tospd",
+            "Tosprb",
+            "Tsvcd",
+            "Tsvcdrb",
+            "Tsvcfup",
+            "Tsvcptrig",
+            "Tsvcp",
+            "Tsvcrpd",
+            "Tsvcrrb",
+            "Tsvcrrbd",
+            "Tsvcprb",
+            "Tinterval",
+            "Tpolicy",
+            "Treset",
         ] {
             assert!(m.net().find_transition(name).is_some(), "missing {name}");
         }
@@ -553,16 +592,17 @@ mod tests {
         let m = dns();
         let ss = m.net().state_space().unwrap();
         let p = *m.places();
-        let has = |pred: &dyn Fn(&Marking) -> bool| {
-            ss.tangible_markings().iter().any(|mk| pred(mk))
-        };
+        let has = |pred: &dyn Fn(&Marking) -> bool| ss.tangible_markings().iter().any(pred);
         assert!(has(&|mk| mk.tokens(p.svc_ready_patch) == 1));
-        assert!(has(&|mk| mk.tokens(p.svc_patched) == 1
-            && mk.tokens(p.os_ready_patch) == 1));
-        assert!(has(&|mk| mk.tokens(p.svc_ready_reboot) == 1
-            && mk.tokens(p.os_patched) == 1));
-        assert!(has(&|mk| mk.tokens(p.svc_ready_reboot) == 1
-            && mk.tokens(p.os_up) == 1));
+        assert!(has(
+            &|mk| mk.tokens(p.svc_patched) == 1 && mk.tokens(p.os_ready_patch) == 1
+        ));
+        assert!(has(
+            &|mk| mk.tokens(p.svc_ready_reboot) == 1 && mk.tokens(p.os_patched) == 1
+        ));
+        assert!(has(
+            &|mk| mk.tokens(p.svc_ready_reboot) == 1 && mk.tokens(p.os_up) == 1
+        ));
     }
 
     #[test]
@@ -652,10 +692,7 @@ mod tests {
             PatchScenario::OsOnly,
             PatchScenario::NoReboot,
         ] {
-            let m = ServerModel::build_scenario(
-                &ServerParams::builder("dns").build(),
-                scenario,
-            );
+            let m = ServerModel::build_scenario(&ServerParams::builder("dns").build(), scenario);
             assert_eq!(
                 m.net().covered_by_invariants(100_000),
                 Some(true),

@@ -12,13 +12,16 @@ fn bench_des(c: &mut Criterion) {
         let places = *model.places();
         b.iter(|| {
             let mut sim = Simulation::new(model.net(), 42);
-            sim.add_reward("avail", move |m| {
-                if places.service_up(m) {
-                    1.0
-                } else {
-                    0.0
-                }
-            });
+            sim.add_reward(
+                "avail",
+                move |m| {
+                    if places.service_up(m) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                },
+            );
             std::hint::black_box(sim.run(0.0, 10_000.0, 4).unwrap())
         });
     });

@@ -34,7 +34,7 @@ fn bench_network_srn(c: &mut Criterion) {
                 .map(|i| Tier::new(format!("t{i}"), n, rates))
                 .collect(),
         );
-        c.bench_function(&format!("network/coa_srn_{tiers}x{n}"), |b| {
+        c.bench_function(format!("network/coa_srn_{tiers}x{n}"), |b| {
             b.iter(|| std::hint::black_box(model.coa_via_srn().unwrap()));
         });
     }

@@ -71,7 +71,7 @@ fn main() {
                 up[*tier] += 1;
             }
         }
-        if up.iter().any(|&u| u == 0) {
+        if up.contains(&0) {
             0.0
         } else {
             f64::from(up.iter().sum::<u32>()) / f64::from(total)

@@ -28,16 +28,29 @@ fn main() {
     for (label, bounds, expect) in [
         (
             "region 1: φ=0.2, ψ=0.9962",
-            ScatterBounds { max_asp: 0.2, min_coa: 0.9962 },
-            vec!["1 DNS + 1 WEB + 2 APP + 1 DB", "1 DNS + 1 WEB + 1 APP + 2 DB"],
+            ScatterBounds {
+                max_asp: 0.2,
+                min_coa: 0.9962,
+            },
+            vec![
+                "1 DNS + 1 WEB + 2 APP + 1 DB",
+                "1 DNS + 1 WEB + 1 APP + 2 DB",
+            ],
         ),
         (
             "region 2: φ=0.1, ψ=0.9961",
-            ScatterBounds { max_asp: 0.1, min_coa: 0.9961 },
+            ScatterBounds {
+                max_asp: 0.1,
+                min_coa: 0.9961,
+            },
             vec!["2 DNS + 1 WEB + 1 APP + 1 DB"],
         ),
     ] {
-        let region: Vec<&str> = bounds.region(&evals).iter().map(|e| e.name.as_str()).collect();
+        let region: Vec<&str> = bounds
+            .region(&evals)
+            .iter()
+            .map(|e| e.name.as_str())
+            .collect();
         println!("{label}");
         for name in &region {
             println!("    {name}");

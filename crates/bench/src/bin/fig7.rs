@@ -39,10 +39,7 @@ fn main() {
     );
     println!(
         "only design 3 (2 WEB) has more entry points after patch: {}",
-        d(2)[0] > d(0)[0]
-            && d(1)[0] == d(0)[0]
-            && d(3)[0] == d(0)[0]
-            && d(4)[0] == d(0)[0]
+        d(2)[0] > d(0)[0] && d(1)[0] == d(0)[0] && d(3)[0] == d(0)[0] && d(4)[0] == d(0)[0]
     );
     println!(
         "design 4 (2 APP) has the highest COA: {}",
@@ -74,7 +71,11 @@ fn main() {
             vec!["2 DNS + 1 WEB + 1 APP + 1 DB"],
         ),
     ] {
-        let region: Vec<&str> = bounds.region(&evals).iter().map(|e| e.name.as_str()).collect();
+        let region: Vec<&str> = bounds
+            .region(&evals)
+            .iter()
+            .map(|e| e.name.as_str())
+            .collect();
         println!("{label}");
         for name in &region {
             println!("    {name}");

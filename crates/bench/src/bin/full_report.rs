@@ -14,11 +14,17 @@ fn main() {
         scatter_bounds: vec![
             (
                 "φ=0.2, ψ=0.9962".into(),
-                ScatterBounds { max_asp: 0.2, min_coa: 0.9962 },
+                ScatterBounds {
+                    max_asp: 0.2,
+                    min_coa: 0.9962,
+                },
             ),
             (
                 "φ=0.1, ψ=0.9961".into(),
-                ScatterBounds { max_asp: 0.1, min_coa: 0.9961 },
+                ScatterBounds {
+                    max_asp: 0.1,
+                    min_coa: 0.9961,
+                },
             ),
         ],
         multi_bounds: vec![

@@ -27,7 +27,10 @@ fn main() {
     };
 
     header("Equation (3) — ASP/COA bounds");
-    let r1 = ScatterBounds { max_asp: 0.2, min_coa: 0.9962 };
+    let r1 = ScatterBounds {
+        max_asp: 0.2,
+        min_coa: 0.9962,
+    };
     check(
         "region 1 (φ=0.2, ψ=0.9962)",
         r1.region(&evals).iter().map(|e| e.name.as_str()).collect(),
@@ -36,7 +39,10 @@ fn main() {
             "1 DNS + 1 WEB + 1 APP + 2 DB",
         ],
     );
-    let r2 = ScatterBounds { max_asp: 0.1, min_coa: 0.9961 };
+    let r2 = ScatterBounds {
+        max_asp: 0.1,
+        min_coa: 0.9961,
+    };
     check(
         "region 2 (φ=0.1, ψ=0.9961)",
         r2.region(&evals).iter().map(|e| e.name.as_str()).collect(),
@@ -44,13 +50,25 @@ fn main() {
     );
 
     header("Equation (4) — multi-metric bounds");
-    let m1 = MultiBounds { max_asp: 0.2, max_noev: 9, max_noap: 2, max_noep: 1, min_coa: 0.9962 };
+    let m1 = MultiBounds {
+        max_asp: 0.2,
+        max_noev: 9,
+        max_noap: 2,
+        max_noep: 1,
+        min_coa: 0.9962,
+    };
     check(
         "region 1 (φ=0.2, ξ=9, ω=2, κ=1, ψ=0.9962)",
         m1.region(&evals).iter().map(|e| e.name.as_str()).collect(),
         &["1 DNS + 1 WEB + 2 APP + 1 DB"],
     );
-    let m2 = MultiBounds { max_asp: 0.1, max_noev: 7, max_noap: 1, max_noep: 1, min_coa: 0.9961 };
+    let m2 = MultiBounds {
+        max_asp: 0.1,
+        max_noev: 7,
+        max_noap: 1,
+        max_noep: 1,
+        min_coa: 0.9961,
+    };
     check(
         "region 2 (φ=0.1, ξ=7, ω=1, κ=1, ψ=0.9961)",
         m2.region(&evals).iter().map(|e| e.name.as_str()).collect(),

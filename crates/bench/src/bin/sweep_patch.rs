@@ -28,7 +28,9 @@ fn main() {
     );
     for days in [3.5, 7.0, 14.0, 30.0, 60.0, 90.0, 180.0, 365.0] {
         let evaluator = Evaluator::new(with_interval(days)).expect("evaluator builds");
-        let e = evaluator.evaluate("case", &[1, 2, 2, 1]).expect("evaluates");
+        let e = evaluator
+            .evaluate("case", &[1, 2, 2, 1])
+            .expect("evaluates");
         println!(
             "{:>8.1} d {:>10.5} {:>14.2} {:>13.1} d",
             days,
@@ -55,7 +57,9 @@ fn main() {
             PatchPolicy::CriticalOnly(threshold),
         )
         .expect("evaluator builds");
-        let e = evaluator.evaluate("case", &[1, 2, 2, 1]).expect("evaluates");
+        let e = evaluator
+            .evaluate("case", &[1, 2, 2, 1])
+            .expect("evaluates");
         println!(
             "{:>10.1} {:>8.4} {:>6} {:>6} {:>6}",
             threshold,

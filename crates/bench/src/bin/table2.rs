@@ -15,7 +15,10 @@ fn main() {
     let after_harm = harm.patched_critical(8.0);
     let after = after_harm.metrics(&cfg);
 
-    println!("{:<14} {:>8} {:>8} {:>6} {:>6} {:>6}", "", "AIM", "ASP", "NoEV", "NoAP", "NoEP");
+    println!(
+        "{:<14} {:>8} {:>8} {:>6} {:>6} {:>6}",
+        "", "AIM", "ASP", "NoEV", "NoAP", "NoEP"
+    );
     println!(
         "{:<14} {:>8.1} {:>8.3} {:>6} {:>6} {:>6}",
         "before patch",
@@ -53,10 +56,26 @@ fn main() {
     header("ASP after patch under every aggregation strategy");
     for (label, strategy, combine) in [
         ("max path, max OR", AspStrategy::MaxPath, OrCombine::Max),
-        ("max path, noisy OR", AspStrategy::MaxPath, OrCombine::NoisyOr),
-        ("exact reliability", AspStrategy::Reliability, OrCombine::NoisyOr),
-        ("noisy-or over paths, max OR", AspStrategy::NoisyOrPaths, OrCombine::Max),
-        ("noisy-or over paths, noisy OR", AspStrategy::NoisyOrPaths, OrCombine::NoisyOr),
+        (
+            "max path, noisy OR",
+            AspStrategy::MaxPath,
+            OrCombine::NoisyOr,
+        ),
+        (
+            "exact reliability",
+            AspStrategy::Reliability,
+            OrCombine::NoisyOr,
+        ),
+        (
+            "noisy-or over paths, max OR",
+            AspStrategy::NoisyOrPaths,
+            OrCombine::Max,
+        ),
+        (
+            "noisy-or over paths, noisy OR",
+            AspStrategy::NoisyOrPaths,
+            OrCombine::NoisyOr,
+        ),
     ] {
         let m = after_harm.metrics(&MetricsConfig {
             asp: strategy,

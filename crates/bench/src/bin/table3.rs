@@ -35,18 +35,25 @@ fn main() {
             "Tinterval",
             "if (#Psvcup == 1 || #Psvcd == 1 || #Psvcfd == 1) 1 else 0",
         ),
-        ("Tpolicy", "if (#Psvcup == 1) 1 else 0  (paper text: service up)"),
+        (
+            "Tpolicy",
+            "if (#Psvcup == 1) 1 else 0  (paper text: service up)",
+        ),
         ("Treset", "if (#Posp == 1) 1 else 0"),
     ];
 
-    println!("{:<11} {}", "guard of", "definition");
+    println!("{:<11} definition", "guard of");
     for (t, def) in rows {
         let present = net.find_transition(t).is_some();
         println!(
             "{:<11} {}{}",
             t,
             def,
-            if present { "" } else { "   <-- MISSING TRANSITION" }
+            if present {
+                ""
+            } else {
+                "   <-- MISSING TRANSITION"
+            }
         );
     }
 

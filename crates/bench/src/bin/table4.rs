@@ -15,13 +15,25 @@ fn print_params(p: &ServerParams) {
         ("OS 1/λos (MTBF)", format!("{}", p.os_mtbf)),
         ("OS 1/µos (repair)", format!("{}", p.os_repair)),
         ("OS 1/αos (patch)", format!("{}", p.os_patch)),
-        ("OS 1/βos (reboot after patch)", format!("{}", p.os_reboot_patch)),
-        ("OS 1/δos (reboot after failure)", format!("{}", p.os_reboot_failure)),
+        (
+            "OS 1/βos (reboot after patch)",
+            format!("{}", p.os_reboot_patch),
+        ),
+        (
+            "OS 1/δos (reboot after failure)",
+            format!("{}", p.os_reboot_failure),
+        ),
         ("service 1/λsvc (MTBF)", format!("{}", p.svc_mtbf)),
         ("service 1/µsvc (repair)", format!("{}", p.svc_repair)),
         ("service 1/αsvc (patch)", format!("{}", p.svc_patch)),
-        ("service 1/βsvc (reboot after patch)", format!("{}", p.svc_reboot_patch)),
-        ("service 1/δsvc (reboot after failure)", format!("{}", p.svc_reboot_failure)),
+        (
+            "service 1/βsvc (reboot after patch)",
+            format!("{}", p.svc_reboot_patch),
+        ),
+        (
+            "service 1/δsvc (reboot after failure)",
+            format!("{}", p.svc_reboot_failure),
+        ),
         ("patch clock 1/τp", format!("{}", p.patch_interval)),
     ];
     for (k, v) in rows {

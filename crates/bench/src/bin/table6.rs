@@ -34,7 +34,11 @@ fn main() {
     header("per-tier steady state (number of servers down due to patch)");
     for (i, t) in model.tiers().iter().enumerate() {
         let d = model.tier_down_distribution(i).expect("solves");
-        let line: Vec<String> = d.iter().enumerate().map(|(k, p)| format!("P[{k} down]={p:.6}")).collect();
+        let line: Vec<String> = d
+            .iter()
+            .enumerate()
+            .map(|(k, p)| format!("P[{k} down]={p:.6}"))
+            .collect();
         println!("{:<6} {}", t.name, line.join("  "));
     }
 }

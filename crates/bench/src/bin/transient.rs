@@ -30,11 +30,16 @@ fn main() {
         })
     });
     println!();
-    println!("{:>10} {:>12} {:>18}", "t (hours)", "P(all up)", "E[capacity frac]");
+    println!(
+        "{:>10} {:>12} {:>18}",
+        "t (hours)", "P(all up)", "E[capacity frac]"
+    );
     for &t in &[0.0, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 12.0, 48.0, 720.0] {
         let ups2 = ups.clone();
         let p_all_up = solved
-            .transient_probability(t, |m| ups2.iter().zip(&counts).all(|(&p, &c)| m.tokens(p) == c))
+            .transient_probability(t, |m| {
+                ups2.iter().zip(&counts).all(|(&p, &c)| m.tokens(p) == c)
+            })
             .expect("transient solves");
         let ups3 = ups.clone();
         // E[capacity] via predicate decomposition: sum over levels.

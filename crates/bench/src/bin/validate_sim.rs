@@ -16,13 +16,16 @@ fn main() {
         let model = ServerModel::build(&tier.params);
         let places = *model.places();
         let mut sim = Simulation::new(model.net(), 1_234_567);
-        sim.add_reward("avail", move |m| {
-            if places.service_up(m) {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        sim.add_reward(
+            "avail",
+            move |m| {
+                if places.service_up(m) {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
         let out = sim.run(2_000.0, 600_000.0, 20).expect("simulation runs");
         compare(
             &format!("{} availability", tier.name),

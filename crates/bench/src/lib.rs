@@ -1,8 +1,9 @@
 //! Shared helpers for the `redeval-bench` report binaries.
 //!
 //! Each paper table/figure has a binary under `src/bin/` that regenerates
-//! it (see `DESIGN.md` §5 for the index); this library carries the small
-//! formatting utilities they share.
+//! it — Tables I–VI, Figures 3–7 and the Equation (3),(4) region analyses;
+//! see `DESIGN.md` §5 and the README's reproduction index. This library
+//! carries the small formatting utilities the binaries share.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -3,8 +3,8 @@
 //! of Table IV.
 //!
 //! Everything here is data + thin constructors; the numbers come straight
-//! from the paper (see `DESIGN.md` §4 for the few reconstructed values and
-//! `EXPERIMENTS.md` for the validation against every table/figure).
+//! from the paper (see `DESIGN.md` §3–§4 for the few reconstructed values
+//! and the README's reproduction index for the per-table validation).
 
 use redeval_avail::{Durations, ServerParams};
 use redeval_cvss::v2::BaseVector;
@@ -32,22 +32,118 @@ pub struct VulnRecord {
 
 /// All sixteen Table-I vulnerabilities.
 pub const VULNERABILITIES: [VulnRecord; 16] = [
-    VulnRecord { id: "v1dns", cve: "CVE-2016-3227", impact: 10.0, probability: 1.0, vector: "AV:N/AC:L/Au:N/C:C/I:C/A:C" },
-    VulnRecord { id: "v1web", cve: "CVE-2016-4448", impact: 10.0, probability: 1.0, vector: "AV:N/AC:L/Au:N/C:C/I:C/A:C" },
-    VulnRecord { id: "v2web", cve: "CVE-2015-4602", impact: 10.0, probability: 1.0, vector: "AV:N/AC:L/Au:N/C:C/I:C/A:C" },
-    VulnRecord { id: "v3web", cve: "CVE-2015-4603", impact: 10.0, probability: 1.0, vector: "AV:N/AC:L/Au:N/C:C/I:C/A:C" },
-    VulnRecord { id: "v4web", cve: "CVE-2016-4979", impact: 2.9, probability: 1.0, vector: "AV:N/AC:L/Au:N/C:P/I:N/A:N" },
-    VulnRecord { id: "v5web", cve: "CVE-2016-4805", impact: 10.0, probability: 0.39, vector: "AV:L/AC:L/Au:N/C:C/I:C/A:C" },
-    VulnRecord { id: "v1app", cve: "CVE-2016-3586", impact: 10.0, probability: 1.0, vector: "AV:N/AC:L/Au:N/C:C/I:C/A:C" },
-    VulnRecord { id: "v2app", cve: "CVE-2016-3510", impact: 10.0, probability: 1.0, vector: "AV:N/AC:L/Au:N/C:C/I:C/A:C" },
-    VulnRecord { id: "v3app", cve: "CVE-2016-3499", impact: 10.0, probability: 1.0, vector: "AV:N/AC:L/Au:N/C:C/I:C/A:C" },
-    VulnRecord { id: "v4app", cve: "CVE-2016-0638", impact: 6.4, probability: 1.0, vector: "AV:N/AC:L/Au:N/C:P/I:P/A:P" },
-    VulnRecord { id: "v5app", cve: "CVE-2016-4997", impact: 10.0, probability: 0.39, vector: "AV:L/AC:L/Au:N/C:C/I:C/A:C" },
-    VulnRecord { id: "v1db", cve: "CVE-2016-6662", impact: 10.0, probability: 1.0, vector: "AV:N/AC:L/Au:N/C:C/I:C/A:C" },
-    VulnRecord { id: "v2db", cve: "CVE-2016-0639", impact: 10.0, probability: 1.0, vector: "AV:N/AC:L/Au:N/C:C/I:C/A:C" },
-    VulnRecord { id: "v3db", cve: "CVE-2015-3152", impact: 2.9, probability: 0.86, vector: "AV:N/AC:M/Au:N/C:P/I:N/A:N" },
-    VulnRecord { id: "v4db", cve: "CVE-2016-3471", impact: 10.0, probability: 0.39, vector: "AV:L/AC:L/Au:N/C:C/I:C/A:C" },
-    VulnRecord { id: "v5db", cve: "CVE-2016-4997", impact: 10.0, probability: 0.39, vector: "AV:L/AC:L/Au:N/C:C/I:C/A:C" },
+    VulnRecord {
+        id: "v1dns",
+        cve: "CVE-2016-3227",
+        impact: 10.0,
+        probability: 1.0,
+        vector: "AV:N/AC:L/Au:N/C:C/I:C/A:C",
+    },
+    VulnRecord {
+        id: "v1web",
+        cve: "CVE-2016-4448",
+        impact: 10.0,
+        probability: 1.0,
+        vector: "AV:N/AC:L/Au:N/C:C/I:C/A:C",
+    },
+    VulnRecord {
+        id: "v2web",
+        cve: "CVE-2015-4602",
+        impact: 10.0,
+        probability: 1.0,
+        vector: "AV:N/AC:L/Au:N/C:C/I:C/A:C",
+    },
+    VulnRecord {
+        id: "v3web",
+        cve: "CVE-2015-4603",
+        impact: 10.0,
+        probability: 1.0,
+        vector: "AV:N/AC:L/Au:N/C:C/I:C/A:C",
+    },
+    VulnRecord {
+        id: "v4web",
+        cve: "CVE-2016-4979",
+        impact: 2.9,
+        probability: 1.0,
+        vector: "AV:N/AC:L/Au:N/C:P/I:N/A:N",
+    },
+    VulnRecord {
+        id: "v5web",
+        cve: "CVE-2016-4805",
+        impact: 10.0,
+        probability: 0.39,
+        vector: "AV:L/AC:L/Au:N/C:C/I:C/A:C",
+    },
+    VulnRecord {
+        id: "v1app",
+        cve: "CVE-2016-3586",
+        impact: 10.0,
+        probability: 1.0,
+        vector: "AV:N/AC:L/Au:N/C:C/I:C/A:C",
+    },
+    VulnRecord {
+        id: "v2app",
+        cve: "CVE-2016-3510",
+        impact: 10.0,
+        probability: 1.0,
+        vector: "AV:N/AC:L/Au:N/C:C/I:C/A:C",
+    },
+    VulnRecord {
+        id: "v3app",
+        cve: "CVE-2016-3499",
+        impact: 10.0,
+        probability: 1.0,
+        vector: "AV:N/AC:L/Au:N/C:C/I:C/A:C",
+    },
+    VulnRecord {
+        id: "v4app",
+        cve: "CVE-2016-0638",
+        impact: 6.4,
+        probability: 1.0,
+        vector: "AV:N/AC:L/Au:N/C:P/I:P/A:P",
+    },
+    VulnRecord {
+        id: "v5app",
+        cve: "CVE-2016-4997",
+        impact: 10.0,
+        probability: 0.39,
+        vector: "AV:L/AC:L/Au:N/C:C/I:C/A:C",
+    },
+    VulnRecord {
+        id: "v1db",
+        cve: "CVE-2016-6662",
+        impact: 10.0,
+        probability: 1.0,
+        vector: "AV:N/AC:L/Au:N/C:C/I:C/A:C",
+    },
+    VulnRecord {
+        id: "v2db",
+        cve: "CVE-2016-0639",
+        impact: 10.0,
+        probability: 1.0,
+        vector: "AV:N/AC:L/Au:N/C:C/I:C/A:C",
+    },
+    VulnRecord {
+        id: "v3db",
+        cve: "CVE-2015-3152",
+        impact: 2.9,
+        probability: 0.86,
+        vector: "AV:N/AC:M/Au:N/C:P/I:N/A:N",
+    },
+    VulnRecord {
+        id: "v4db",
+        cve: "CVE-2016-3471",
+        impact: 10.0,
+        probability: 0.39,
+        vector: "AV:L/AC:L/Au:N/C:C/I:C/A:C",
+    },
+    VulnRecord {
+        id: "v5db",
+        cve: "CVE-2016-4997",
+        impact: 10.0,
+        probability: 0.39,
+        vector: "AV:L/AC:L/Au:N/C:C/I:C/A:C",
+    },
 ];
 
 /// Looks a Table-I record up by its paper-local id.
@@ -245,10 +341,7 @@ mod tests {
             .collect();
         assert_eq!(
             critical,
-            [
-                "v1dns", "v1web", "v2web", "v3web", "v1app", "v2app", "v3app", "v1db",
-                "v2db"
-            ]
+            ["v1dns", "v1web", "v2web", "v3web", "v1app", "v2app", "v3app", "v1db", "v2db"]
         );
     }
 
@@ -351,7 +444,7 @@ mod tests {
     fn five_designs_have_four_counts_each() {
         for d in five_designs() {
             assert_eq!(d.counts.len(), 4);
-            assert_eq!(d.counts.iter().filter(|&&c| c == 2).count() <= 1, true);
+            assert!(d.counts.iter().filter(|&&c| c == 2).count() <= 1);
         }
     }
 }

@@ -85,7 +85,14 @@ pub fn scatter_ascii(points: &[ScatterPoint], width: usize, height: usize) -> St
     let _ = writeln!(out, "+{}", "-".repeat(width));
     let _ = writeln!(out, " ASP {x_lo:.3} .. {x_hi:.3}   (COA min {y_lo:.5})");
     for (i, p) in points.iter().enumerate() {
-        let _ = writeln!(out, "  [{}] {}  ASP={:.4} COA={:.5}", i + 1, p.design, p.asp, p.coa);
+        let _ = writeln!(
+            out,
+            "  [{}] {}  ASP={:.4} COA={:.5}",
+            i + 1,
+            p.design,
+            p.asp,
+            p.coa
+        );
     }
     out
 }

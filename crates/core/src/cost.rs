@@ -67,14 +67,11 @@ impl CostModel {
         &self,
         evals: &'a [DesignEvaluation],
     ) -> Option<(&'a DesignEvaluation, CostBreakdown)> {
-        evals
-            .iter()
-            .map(|e| (e, self.evaluate(e)))
-            .min_by(|a, b| {
-                a.1.total()
-                    .partial_cmp(&b.1.total())
-                    .expect("costs are finite")
-            })
+        evals.iter().map(|e| (e, self.evaluate(e))).min_by(|a, b| {
+            a.1.total()
+                .partial_cmp(&b.1.total())
+                .expect("costs are finite")
+        })
     }
 }
 

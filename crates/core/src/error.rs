@@ -31,7 +31,10 @@ impl fmt::Display for EvalError {
             EvalError::Srn(e) => write!(f, "availability model failed: {e}"),
             EvalError::Solve(e) => write!(f, "markov solve failed: {e}"),
             EvalError::CountMismatch { expected, got } => {
-                write!(f, "design has {got} tier counts, specification has {expected} tiers")
+                write!(
+                    f,
+                    "design has {got} tier counts, specification has {expected} tiers"
+                )
             }
             EvalError::ZeroServers { tier } => {
                 write!(f, "tier `{tier}` needs at least one server")

@@ -78,7 +78,11 @@ impl Evaluator {
     ///
     /// Propagates SRN errors from the lower-layer solves.
     pub fn new(base: NetworkSpec) -> Result<Self, EvalError> {
-        Self::with_options(base, MetricsConfig::default(), PatchPolicy::CriticalOnly(8.0))
+        Self::with_options(
+            base,
+            MetricsConfig::default(),
+            PatchPolicy::CriticalOnly(8.0),
+        )
     }
 
     /// Builds an evaluator with explicit metric and patch configuration.
@@ -177,9 +181,7 @@ mod tests {
     use redeval_harm::AttackTree;
 
     fn spec() -> NetworkSpec {
-        let leaf = |id: &str, imp, p| {
-            Some(AttackTree::leaf(Vulnerability::new(id, imp, p)))
-        };
+        let leaf = |id: &str, imp, p| Some(AttackTree::leaf(Vulnerability::new(id, imp, p)));
         NetworkSpec::new(
             vec![
                 TierSpec {
@@ -240,12 +242,8 @@ mod tests {
 
     #[test]
     fn patch_all_removes_everything() {
-        let ev = Evaluator::with_options(
-            spec(),
-            MetricsConfig::default(),
-            PatchPolicy::All,
-        )
-        .unwrap();
+        let ev =
+            Evaluator::with_options(spec(), MetricsConfig::default(), PatchPolicy::All).unwrap();
         let e = ev.evaluate("x", &[1, 1]).unwrap();
         assert_eq!(e.after.exploitable_vulnerabilities, 0);
         assert_eq!(e.after.entry_points, 0);
@@ -254,8 +252,7 @@ mod tests {
     #[test]
     fn patch_none_changes_nothing() {
         let ev =
-            Evaluator::with_options(spec(), MetricsConfig::default(), PatchPolicy::None)
-                .unwrap();
+            Evaluator::with_options(spec(), MetricsConfig::default(), PatchPolicy::None).unwrap();
         let e = ev.evaluate("x", &[1, 1]).unwrap();
         assert_eq!(e.before, e.after);
     }

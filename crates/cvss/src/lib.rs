@@ -12,7 +12,9 @@
 //!   divided by 10 (0.0–1.0),
 //!
 //! and classifies a vulnerability as *critical* when its base score exceeds
-//! 8.0. Those helpers live on [`v2::BaseVector`]
+//! 8.0 — these are exactly the AIM/ASP columns of the paper's Table I and
+//! the criterion selecting the Table II patch round. Those helpers live on
+//! [`v2::BaseVector`]
 //! ([`attack_impact`](v2::BaseVector::attack_impact),
 //! [`attack_success_probability`](v2::BaseVector::attack_success_probability),
 //! [`is_critical`](v2::BaseVector::is_critical)).

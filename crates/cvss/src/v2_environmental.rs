@@ -209,11 +209,7 @@ impl EnvironmentalVector {
     }
 
     /// Severity band of the environmental score.
-    pub fn environmental_severity(
-        &self,
-        base: &BaseVector,
-        temporal: &TemporalVector,
-    ) -> Severity {
+    pub fn environmental_severity(&self, base: &BaseVector, temporal: &TemporalVector) -> Severity {
         Severity::from_score(self.environmental_score(base, temporal))
     }
 

@@ -1,9 +1,7 @@
 //! Property-based tests for the CVSS scoring equations.
 
 use proptest::prelude::*;
-use redeval_cvss::v2::{
-    AccessComplexity, AccessVector, Authentication, BaseVector, Impact,
-};
+use redeval_cvss::v2::{AccessComplexity, AccessVector, Authentication, BaseVector, Impact};
 use redeval_cvss::{v3, Severity};
 
 fn any_v2() -> impl Strategy<Value = BaseVector> {
@@ -31,7 +29,11 @@ fn any_v2() -> impl Strategy<Value = BaseVector> {
 }
 
 fn any_impact() -> impl Strategy<Value = Impact> {
-    prop_oneof![Just(Impact::None), Just(Impact::Partial), Just(Impact::Complete)]
+    prop_oneof![
+        Just(Impact::None),
+        Just(Impact::Partial),
+        Just(Impact::Complete)
+    ]
 }
 
 fn any_v3() -> impl Strategy<Value = v3::BaseVector> {
@@ -42,13 +44,19 @@ fn any_v3() -> impl Strategy<Value = v3::BaseVector> {
             Just(v3::AttackVector::Local),
             Just(v3::AttackVector::Physical)
         ],
-        prop_oneof![Just(v3::AttackComplexity::Low), Just(v3::AttackComplexity::High)],
+        prop_oneof![
+            Just(v3::AttackComplexity::Low),
+            Just(v3::AttackComplexity::High)
+        ],
         prop_oneof![
             Just(v3::PrivilegesRequired::None),
             Just(v3::PrivilegesRequired::Low),
             Just(v3::PrivilegesRequired::High)
         ],
-        prop_oneof![Just(v3::UserInteraction::None), Just(v3::UserInteraction::Required)],
+        prop_oneof![
+            Just(v3::UserInteraction::None),
+            Just(v3::UserInteraction::Required)
+        ],
         prop_oneof![Just(v3::Scope::Unchanged), Just(v3::Scope::Changed)],
         any_v3_impact(),
         any_v3_impact(),

@@ -152,8 +152,15 @@ impl AttackGraph {
             if !passable(e) {
                 continue;
             }
-            if !self.dfs(e, &target_set, passable, &mut stack, &mut on_path, &mut out, max_paths)
-            {
+            if !self.dfs(
+                e,
+                &target_set,
+                passable,
+                &mut stack,
+                &mut on_path,
+                &mut out,
+                max_paths,
+            ) {
                 return (out, true);
             }
         }
@@ -243,9 +250,7 @@ mod tests {
     fn four_paths_when_dns_not_passable() {
         let (g, hosts, db) = case_study_like();
         let dns = hosts[0];
-        let paths = g
-            .simple_paths(&[db], &|h| h != dns, 1000)
-            .unwrap();
+        let paths = g.simple_paths(&[db], &|h| h != dns, 1000).unwrap();
         assert_eq!(paths.len(), 4);
         assert!(paths.iter().all(|p| p.len() == 3));
     }

@@ -227,19 +227,11 @@ impl Harm {
         match config.asp {
             AspStrategy::MaxPath => paths.iter().map(|p| p.probability).fold(0.0, f64::max),
             AspStrategy::NoisyOrPaths => {
-                1.0 - paths
-                    .iter()
-                    .map(|p| 1.0 - p.probability)
-                    .product::<f64>()
+                1.0 - paths.iter().map(|p| 1.0 - p.probability).product::<f64>()
             }
-            AspStrategy::Reliability => self
-                .reliability_asp(paths, config)
-                .unwrap_or_else(|| {
-                    1.0 - paths
-                        .iter()
-                        .map(|p| 1.0 - p.probability)
-                        .product::<f64>()
-                }),
+            AspStrategy::Reliability => self.reliability_asp(paths, config).unwrap_or_else(|| {
+                1.0 - paths.iter().map(|p| 1.0 - p.probability).product::<f64>()
+            }),
         }
     }
 
@@ -367,11 +359,7 @@ impl Harm {
         let idx_of = |h: HostId| hosts.iter().position(|&x| x == h).expect("collected");
         let path_masks: Vec<u32> = paths
             .iter()
-            .map(|p| {
-                p.hosts
-                    .iter()
-                    .fold(0u32, |m, &h| m | (1u32 << idx_of(h)))
-            })
+            .map(|p| p.hosts.iter().fold(0u32, |m, &h| m | (1u32 << idx_of(h))))
             .collect();
         let probs: Vec<f64> = hosts
             .iter()
@@ -675,10 +663,7 @@ mod tests {
         g.add_entry(b);
         let harm = Harm::new(
             g,
-            vec![
-                Some(v("CVE-SAME", 1.0, 0.5)),
-                Some(v("CVE-SAME", 1.0, 0.5)),
-            ],
+            vec![Some(v("CVE-SAME", 1.0, 0.5)), Some(v("CVE-SAME", 1.0, 0.5))],
             vec![a, b],
         );
         let order = harm.greedy_patch_order(&MetricsConfig::default(), 5);

@@ -18,6 +18,11 @@
 //! whose tree dies stops being exploitable and disappears from attack
 //! paths, exactly as in the paper's before/after analysis.
 //!
+//! In the reproduction this crate realizes the paper's Figure 3 HARMs
+//! (trees populated from Table I via `redeval_cvss`) and produces the five
+//! security metrics of Table II that enter the Equation (3),(4) decision
+//! functions.
+//!
 //! # Examples
 //!
 //! ```

@@ -94,7 +94,10 @@ impl TopologyBuilder {
     ///
     /// Panics on foreign zone ids.
     pub fn allow(&mut self, from: ZoneId, to: ZoneId) {
-        assert!(from.0 < self.zones.len() && to.0 < self.zones.len(), "unknown zone");
+        assert!(
+            from.0 < self.zones.len() && to.0 < self.zones.len(),
+            "unknown zone"
+        );
         if !self.rules.contains(&(from, to)) {
             self.rules.push((from, to));
         }

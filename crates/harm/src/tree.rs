@@ -102,9 +102,7 @@ impl AttackTree {
     pub fn leaf_count(&self) -> usize {
         match self {
             AttackTree::Leaf(_) => 1,
-            AttackTree::And(cs) | AttackTree::Or(cs) => {
-                cs.iter().map(AttackTree::leaf_count).sum()
-            }
+            AttackTree::And(cs) | AttackTree::Or(cs) => cs.iter().map(AttackTree::leaf_count).sum(),
         }
     }
 

@@ -181,9 +181,9 @@ mod tests {
             }
             v
         };
-        for k in 0..=n {
+        for (k, &p) in pi.iter().enumerate() {
             let expect = binom(n, k) * q.powi(k as i32) * (1.0 - q).powi((n - k) as i32);
-            assert!((pi[k] - expect).abs() < 1e-12, "k={k}");
+            assert!((p - expect).abs() < 1e-12, "k={k}");
         }
     }
 

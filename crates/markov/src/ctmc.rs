@@ -136,8 +136,7 @@ impl Ctmc {
     /// The off-diagonal rate matrix `R` (no diagonal entries).
     pub(crate) fn rate_matrix(&self) -> Result<Csr, SolveError> {
         let ts = self.validated()?;
-        let trips: Vec<(usize, usize, f64)> =
-            ts.iter().map(|t| (t.from, t.to, t.rate)).collect();
+        let trips: Vec<(usize, usize, f64)> = ts.iter().map(|t| (t.from, t.to, t.rate)).collect();
         Ok(Csr::from_triplets(self.n, self.n, &trips))
     }
 
@@ -168,10 +167,7 @@ impl Ctmc {
     /// # Errors
     ///
     /// See [`steady_state`](Self::steady_state).
-    pub fn steady_state_with(
-        &self,
-        options: &SteadyStateOptions,
-    ) -> Result<Vec<f64>, SolveError> {
+    pub fn steady_state_with(&self, options: &SteadyStateOptions) -> Result<Vec<f64>, SolveError> {
         let rates = self.rate_matrix()?;
         steady::steady_state(&rates, options)
     }
@@ -199,12 +195,10 @@ impl Ctmc {
     /// See [`steady_state`](Self::steady_state).
     pub fn steady_state_probability(&self, target: usize) -> Result<f64, SolveError> {
         let pi = self.steady_state()?;
-        pi.get(target)
-            .copied()
-            .ok_or(SolveError::StateOutOfRange {
-                index: target,
-                n: self.n,
-            })
+        pi.get(target).copied().ok_or(SolveError::StateOutOfRange {
+            index: target,
+            n: self.n,
+        })
     }
 
     /// Transient state probabilities `π(t)` starting from `initial`,
@@ -277,6 +271,8 @@ impl Ctmc {
                 n: self.n,
             });
         }
+        // `!(t > 0.0)` rather than `t <= 0.0` so NaN is rejected too.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(t > 0.0) {
             return Err(SolveError::InvalidRate {
                 from: 0,
@@ -288,7 +284,12 @@ impl Ctmc {
         p0[initial] = 1.0;
         let rates = self.rate_matrix()?;
         let occ = transient::accumulated(&rates, &p0, t, &TransientOptions::default())?;
-        Ok(occ.iter().enumerate().map(|(i, l)| l * reward(i)).sum::<f64>() / t)
+        Ok(occ
+            .iter()
+            .enumerate()
+            .map(|(i, l)| l * reward(i))
+            .sum::<f64>()
+            / t)
     }
 
     /// First-passage probability: the chance of hitting any state in
@@ -313,7 +314,10 @@ impl Ctmc {
         }
         for &s in targets.iter().chain(std::iter::once(&from)) {
             if s >= self.n {
-                return Err(SolveError::StateOutOfRange { index: s, n: self.n });
+                return Err(SolveError::StateOutOfRange {
+                    index: s,
+                    n: self.n,
+                });
             }
         }
         if targets.contains(&from) {

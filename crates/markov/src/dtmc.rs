@@ -67,10 +67,16 @@ impl Dtmc {
         }
         for &(f, t, p) in &self.probs {
             if f >= self.n {
-                return Err(SolveError::StateOutOfRange { index: f, n: self.n });
+                return Err(SolveError::StateOutOfRange {
+                    index: f,
+                    n: self.n,
+                });
             }
             if t >= self.n {
-                return Err(SolveError::StateOutOfRange { index: t, n: self.n });
+                return Err(SolveError::StateOutOfRange {
+                    index: t,
+                    n: self.n,
+                });
             }
             if !p.is_finite() || p < 0.0 {
                 return Err(SolveError::InvalidRate {
@@ -157,9 +163,9 @@ impl Dtmc {
         // Transient states: non-absorbing.
         let mut map = vec![usize::MAX; self.n];
         let mut transient = Vec::new();
-        for i in 0..self.n {
+        for (i, slot) in map.iter_mut().enumerate() {
             if !is_absorbing(i) {
-                map[i] = transient.len();
+                *slot = transient.len();
                 transient.push(i);
             }
         }
@@ -195,9 +201,9 @@ impl Dtmc {
         let is_absorbing = |i: usize| p.row(i).len() == 1 && p.row(i)[0].index == i;
         let mut map = vec![usize::MAX; self.n];
         let mut transient = Vec::new();
-        for i in 0..self.n {
+        for (i, slot) in map.iter_mut().enumerate() {
             if !is_absorbing(i) {
-                map[i] = transient.len();
+                *slot = transient.len();
                 transient.push(i);
             }
         }

@@ -45,7 +45,10 @@ impl fmt::Display for SolveError {
         match self {
             SolveError::Empty => write!(f, "chain has no states"),
             SolveError::StateOutOfRange { index, n } => {
-                write!(f, "state index {index} out of range for chain with {n} states")
+                write!(
+                    f,
+                    "state index {index} out of range for chain with {n} states"
+                )
             }
             SolveError::InvalidRate { from, to, value } => {
                 write!(f, "invalid rate {value} on transition {from} -> {to}")

@@ -13,6 +13,12 @@
 //!   upper-layer redundancy models;
 //! * dense and sparse matrix helpers ([`matrix`]).
 //!
+//! In the reproduction, these solvers carry the paper's availability side:
+//! the tangible CTMCs of the SRN sub-models (paper Figures 4/5, guard
+//! functions of Table III) are solved here, the birth–death closed forms
+//! evaluate the upper-layer redundancy tiers whose COA reward is Table VI,
+//! and uniformization powers the transient patch-dip extension.
+//!
 //! Everything is `f64`, deterministic and allocation-conscious; no external
 //! dependencies.
 //!

@@ -395,11 +395,7 @@ mod tests {
     fn dense_solve_random_roundtrip() {
         // A fixed well-conditioned system.
         let mut a = Dense::zeros(3, 3);
-        let vals = [
-            [4.0, 1.0, -0.5],
-            [1.0, 5.0, 2.0],
-            [-0.5, 2.0, 6.0],
-        ];
+        let vals = [[4.0, 1.0, -0.5], [1.0, 5.0, 2.0], [-0.5, 2.0, 6.0]];
         for i in 0..3 {
             for j in 0..3 {
                 a[(i, j)] = vals[i][j];

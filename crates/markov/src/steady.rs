@@ -256,12 +256,11 @@ fn gth(rates: &Csr) -> Result<Vec<f64>, SolveError> {
 /// Gauss–Seidel sweeps on `πQ = 0`.
 fn gauss_seidel(rates: &Csr, options: &SteadyStateOptions) -> Result<Vec<f64>, SolveError> {
     let n = rates.rows();
-    let mut exit = vec![0.0; n];
-    for i in 0..n {
-        exit[i] = rates.row(i).iter().map(|e| e.value).sum();
-        if exit[i] <= 0.0 {
-            return Err(SolveError::Singular);
-        }
+    let exit: Vec<f64> = (0..n)
+        .map(|i| rates.row(i).iter().map(|e| e.value).sum())
+        .collect();
+    if exit.iter().any(|&e| e <= 0.0) {
+        return Err(SolveError::Singular);
     }
     // The achievable residual scales with the rate magnitudes; make the
     // tolerance scale-aware so stiff chains still converge.
@@ -296,10 +295,9 @@ fn gauss_seidel(rates: &Csr, options: &SteadyStateOptions) -> Result<Vec<f64>, S
 /// Power iteration on the uniformized DTMC `P = I + Q/Λ`.
 fn power(rates: &Csr, options: &SteadyStateOptions) -> Result<Vec<f64>, SolveError> {
     let n = rates.rows();
-    let mut exit = vec![0.0; n];
-    for i in 0..n {
-        exit[i] = rates.row(i).iter().map(|e| e.value).sum();
-    }
+    let exit: Vec<f64> = (0..n)
+        .map(|i| rates.row(i).iter().map(|e| e.value).sum())
+        .collect();
     let lambda = exit.iter().cloned().fold(0.0, f64::max) * 1.05;
     if lambda <= 0.0 {
         return Err(SolveError::Singular);
@@ -444,11 +442,7 @@ mod tests {
 
     #[test]
     fn two_closed_classes_is_reducible() {
-        let r = Csr::from_triplets(
-            4,
-            4,
-            &[(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 2, 1.0)],
-        );
+        let r = Csr::from_triplets(4, 4, &[(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 2, 1.0)]);
         assert_eq!(
             steady_state(&r, &SteadyStateOptions::default()),
             Err(SolveError::Reducible)

@@ -60,10 +60,9 @@ pub fn transient(
         return Ok(p0);
     }
 
-    let mut exit = vec![0.0; n];
-    for i in 0..n {
-        exit[i] = rates.row(i).iter().map(|e| e.value).sum();
-    }
+    let exit: Vec<f64> = (0..n)
+        .map(|i| rates.row(i).iter().map(|e| e.value).sum())
+        .collect();
     let max_exit = exit.iter().cloned().fold(0.0, f64::max);
     if max_exit == 0.0 {
         // No transitions at all: distribution is constant.
@@ -153,10 +152,9 @@ pub fn accumulated(
         return Ok(vec![0.0; n]);
     }
 
-    let mut exit = vec![0.0; n];
-    for i in 0..n {
-        exit[i] = rates.row(i).iter().map(|e| e.value).sum();
-    }
+    let exit: Vec<f64> = (0..n)
+        .map(|i| rates.row(i).iter().map(|e| e.value).sum())
+        .collect();
     let max_exit = exit.iter().cloned().fold(0.0, f64::max);
     if max_exit == 0.0 {
         // Frozen chain: occupancy is initial · t.

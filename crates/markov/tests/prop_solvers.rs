@@ -2,9 +2,7 @@
 //! other and with closed forms on randomized chains.
 
 use proptest::prelude::*;
-use redeval_markov::{
-    BirthDeath, Ctmc, SteadyStateMethod, SteadyStateOptions, Summary,
-};
+use redeval_markov::{BirthDeath, Ctmc, SteadyStateMethod, SteadyStateOptions, Summary};
 
 /// Random positive rates spanning several orders of magnitude.
 fn rate() -> impl Strategy<Value = f64> {
@@ -82,8 +80,8 @@ proptest! {
         let q = c.generator().unwrap();
         for j in 0..n {
             let mut flow = 0.0;
-            for i in 0..n {
-                flow += pi[i] * q.get(i, j);
+            for (i, p) in pi.iter().enumerate() {
+                flow += p * q.get(i, j);
             }
             prop_assert!(flow.abs() < 1e-9, "state {j}: net flow {flow}");
         }

@@ -131,7 +131,11 @@ mod tests {
         g.add_entry(m2);
         g.add_edge(m1, t);
         g.add_edge(m2, t);
-        Harm::new(g, vec![Some(v("a", 0.5)), Some(v("b", 0.5)), Some(v("c", 0.5))], vec![t])
+        Harm::new(
+            g,
+            vec![Some(v("a", 0.5)), Some(v("b", 0.5)), Some(v("c", 0.5))],
+            vec![t],
+        )
     }
 
     #[test]

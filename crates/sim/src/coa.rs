@@ -63,10 +63,38 @@ mod tests {
 
     fn case_study() -> NetworkModel {
         NetworkModel::new(vec![
-            Tier::new("dns", 1, AggregatedRates { lambda_eq: 1.0 / 720.0, mu_eq: 1.49992 }),
-            Tier::new("web", 2, AggregatedRates { lambda_eq: 1.0 / 720.0, mu_eq: 1.71420 }),
-            Tier::new("app", 2, AggregatedRates { lambda_eq: 1.0 / 720.0, mu_eq: 0.99995 }),
-            Tier::new("db", 1, AggregatedRates { lambda_eq: 1.0 / 720.0, mu_eq: 1.09085 }),
+            Tier::new(
+                "dns",
+                1,
+                AggregatedRates {
+                    lambda_eq: 1.0 / 720.0,
+                    mu_eq: 1.49992,
+                },
+            ),
+            Tier::new(
+                "web",
+                2,
+                AggregatedRates {
+                    lambda_eq: 1.0 / 720.0,
+                    mu_eq: 1.71420,
+                },
+            ),
+            Tier::new(
+                "app",
+                2,
+                AggregatedRates {
+                    lambda_eq: 1.0 / 720.0,
+                    mu_eq: 0.99995,
+                },
+            ),
+            Tier::new(
+                "db",
+                1,
+                AggregatedRates {
+                    lambda_eq: 1.0 / 720.0,
+                    mu_eq: 1.09085,
+                },
+            ),
         ])
     }
 

@@ -49,7 +49,10 @@ impl fmt::Display for SimError {
                 write!(f, "invalid immediate weight near `{transition}`")
             }
             SimError::ImmediateLoop { limit } => {
-                write!(f, "more than {limit} immediate firings without time advancing")
+                write!(
+                    f,
+                    "more than {limit} immediate firings without time advancing"
+                )
             }
             SimError::Deadlock { at } => write!(f, "deadlock at simulated time {at:.3}"),
             SimError::BadParameters => write!(f, "inconsistent simulation parameters"),
@@ -134,14 +137,21 @@ impl<'a> Simulation<'a> {
     /// * [`SimError::Deadlock`] / [`SimError::ImmediateLoop`] for nets that
     ///   stop or livelock;
     /// * rate/weight errors as encountered.
-    pub fn run(&mut self, warmup: f64, horizon: f64, batches: usize) -> Result<SimOutcome, SimError> {
+    pub fn run(
+        &mut self,
+        warmup: f64,
+        horizon: f64,
+        batches: usize,
+    ) -> Result<SimOutcome, SimError> {
+        // `!(horizon > 0.0)` rather than `horizon <= 0.0` so NaN is rejected.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(horizon > 0.0) || batches == 0 || warmup < 0.0 {
             return Err(SimError::BadParameters);
         }
         let mut marking = self.net.initial_marking();
         let mut now = 0.0f64;
         let end = warmup + horizon;
-        let batch_len = horizon / batches as usize as f64;
+        let batch_len = horizon / batches as f64;
         // Per-reward, per-batch accumulated reward·time.
         let mut acc = vec![vec![0.0f64; batches]; self.rewards.len()];
         let mut firings = 0u64;
@@ -207,8 +217,7 @@ impl<'a> Simulation<'a> {
             let means: Vec<f64> = acc[ri].iter().map(|a| a / batch_len).collect();
             let mean = means.iter().sum::<f64>() / batches as f64;
             let var = if batches > 1 {
-                means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>()
-                    / (batches - 1) as f64
+                means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / (batches - 1) as f64
             } else {
                 0.0
             };
@@ -241,8 +250,7 @@ impl<'a> Simulation<'a> {
             // Spread across batches.
             let mut seg_start = from;
             while seg_start < to {
-                let batch = (((seg_start - warmup) / batch_len) as usize)
-                    .min(acc[ri].len() - 1);
+                let batch = (((seg_start - warmup) / batch_len) as usize).min(acc[ri].len() - 1);
                 let batch_end = warmup + (batch + 1) as f64 * batch_len;
                 let seg_end = to.min(batch_end);
                 acc[ri][batch] += value * (seg_end - seg_start);
@@ -253,7 +261,11 @@ impl<'a> Simulation<'a> {
 
     /// Fires immediate transitions (respecting priorities and weights)
     /// until the marking is tangible.
-    fn settle_immediates(&mut self, marking: &mut Marking, firings: &mut u64) -> Result<(), SimError> {
+    fn settle_immediates(
+        &mut self,
+        marking: &mut Marking,
+        firings: &mut u64,
+    ) -> Result<(), SimError> {
         for _ in 0..self.immediate_limit {
             let mut best_priority: Option<u32> = None;
             for t in self.net.transition_ids() {
@@ -283,6 +295,8 @@ impl<'a> Simulation<'a> {
                     }
                 }
             }
+            // `!(total > 0.0)` rather than `total <= 0.0` so NaN is rejected.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
             if !(total > 0.0) {
                 return Err(SimError::InvalidWeight {
                     transition: self

@@ -17,6 +17,10 @@
 //!   checks graph reachability — the ground truth that the analytic ASP
 //!   aggregation strategies approximate.
 //!
+//! Against the paper, this validates the COA of Table VI, the ASP of
+//! Table II and the Equation (1),(2) aggregation error (`validate_sim` and
+//! `aggregation_error` in `redeval-bench`).
+//!
 //! # Examples
 //!
 //! ```

@@ -61,13 +61,7 @@ impl Srn {
                 } else {
                     String::new()
                 };
-                let _ = writeln!(
-                    out,
-                    "  \"{}\" -> \"{}\"{};",
-                    self.place_name(p),
-                    name,
-                    lbl
-                );
+                let _ = writeln!(out, "  \"{}\" -> \"{}\"{};", self.place_name(p), name, lbl);
             }
             for &(p, mult) in &tr.outputs {
                 let lbl = if mult > 1 {
@@ -75,13 +69,7 @@ impl Srn {
                 } else {
                     String::new()
                 };
-                let _ = writeln!(
-                    out,
-                    "  \"{}\" -> \"{}\"{};",
-                    name,
-                    self.place_name(p),
-                    lbl
-                );
+                let _ = writeln!(out, "  \"{}\" -> \"{}\"{};", name, self.place_name(p), lbl);
             }
             for &(p, thresh) in &tr.inhibitors {
                 let _ = writeln!(
@@ -108,11 +96,7 @@ impl StateSpace {
             let _ = writeln!(out, "  s{i} [label=\"{m}\"];");
         }
         for t in self.ctmc().transitions() {
-            let _ = writeln!(
-                out,
-                "  s{} -> s{} [label=\"{:.4}\"];",
-                t.from, t.to, t.rate
-            );
+            let _ = writeln!(out, "  s{} -> s{} [label=\"{:.4}\"];", t.from, t.to, t.rate);
         }
         out.push_str("}\n");
         out

@@ -63,7 +63,10 @@ impl fmt::Display for SrnError {
                 write!(f, "transition `{transition}` has invalid weight {value}")
             }
             SrnError::StateSpaceExceeded { limit } => {
-                write!(f, "state space exceeds the configured limit of {limit} markings")
+                write!(
+                    f,
+                    "state space exceeds the configured limit of {limit} markings"
+                )
             }
             SrnError::VanishingLoop => {
                 write!(f, "vanishing markings form a loop of immediate transitions")

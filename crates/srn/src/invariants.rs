@@ -114,18 +114,8 @@ fn farkas(m: &[Vec<i64>], max_rows: usize) -> Option<Vec<Vec<u64>>> {
                     let a = rm.c[j].unsigned_abs() as i64;
                     let b = rp.c[j];
                     let mut combined = Row {
-                        c: rp
-                            .c
-                            .iter()
-                            .zip(&rm.c)
-                            .map(|(x, y)| a * x + b * y)
-                            .collect(),
-                        y: rp
-                            .y
-                            .iter()
-                            .zip(&rm.y)
-                            .map(|(x, y)| a * x + b * y)
-                            .collect(),
+                        c: rp.c.iter().zip(&rm.c).map(|(x, y)| a * x + b * y).collect(),
+                        y: rp.y.iter().zip(&rm.y).map(|(x, y)| a * x + b * y).collect(),
                     };
                     let g = combined
                         .c
@@ -155,8 +145,7 @@ fn farkas(m: &[Vec<i64>], max_rows: usize) -> Option<Vec<Vec<u64>>> {
         flows.dedup();
         // Minimal support: drop any flow whose support strictly contains
         // another flow's support.
-        let support =
-            |f: &Vec<u64>| f.iter().map(|&v| v != 0).collect::<Vec<bool>>();
+        let support = |f: &Vec<u64>| f.iter().map(|&v| v != 0).collect::<Vec<bool>>();
         let supports: Vec<Vec<bool>> = flows.iter().map(support).collect();
         let minimal: Vec<Vec<u64>> = flows
             .iter()
@@ -164,9 +153,7 @@ fn farkas(m: &[Vec<i64>], max_rows: usize) -> Option<Vec<Vec<u64>>> {
             .filter(|(i, _)| {
                 !supports.iter().enumerate().any(|(j, s)| {
                     j != *i
-                        && s.iter()
-                            .zip(&supports[*i])
-                            .all(|(a, b)| !a || *b)
+                        && s.iter().zip(&supports[*i]).all(|(a, b)| !a || *b)
                         && s != &supports[*i]
                 })
             })
@@ -315,11 +302,7 @@ mod tests {
         let c = net.incidence_matrix();
         for x in &invs {
             for row in &c {
-                let change: i64 = row
-                    .iter()
-                    .zip(x)
-                    .map(|(&cij, &xj)| cij * xj as i64)
-                    .sum();
+                let change: i64 = row.iter().zip(x).map(|(&cij, &xj)| cij * xj as i64).sum();
                 assert_eq!(change, 0);
             }
         }

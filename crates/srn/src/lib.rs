@@ -13,6 +13,11 @@
 //! 3. exports the underlying CTMC, and
 //! 4. evaluates steady-state / transient reward measures.
 //!
+//! The paper's server sub-models (Figure 5, with the guard functions of
+//! Table III and the parameters of Table IV) are expressed in this engine;
+//! their solutions feed the Equation (1),(2) aggregation in
+//! `redeval_avail`.
+//!
 //! # Examples
 //!
 //! A repairable component as a two-place net:

@@ -345,10 +345,7 @@ impl Srn {
 
     /// Looks up a place by name.
     pub fn find_place(&self, name: &str) -> Option<PlaceId> {
-        self.places
-            .iter()
-            .position(|p| p.name == name)
-            .map(PlaceId)
+        self.places.iter().position(|p| p.name == name).map(PlaceId)
     }
 
     /// Looks up a transition by name.

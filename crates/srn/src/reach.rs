@@ -215,22 +215,21 @@ impl Srn {
             }
         }
 
-        let mut intern = |marking: Marking,
-                          markings: &mut Vec<Marking>|
-         -> Result<usize, SrnError> {
-            if let Some(&id) = index.get(&marking) {
-                return Ok(id);
-            }
-            if markings.len() >= options.max_markings {
-                return Err(SrnError::StateSpaceExceeded {
-                    limit: options.max_markings,
-                });
-            }
-            let id = markings.len();
-            index.insert(marking.clone(), id);
-            markings.push(marking);
-            Ok(id)
-        };
+        let mut intern =
+            |marking: Marking, markings: &mut Vec<Marking>| -> Result<usize, SrnError> {
+                if let Some(&id) = index.get(&marking) {
+                    return Ok(id);
+                }
+                if markings.len() >= options.max_markings {
+                    return Err(SrnError::StateSpaceExceeded {
+                        limit: options.max_markings,
+                    });
+                }
+                let id = markings.len();
+                index.insert(marking.clone(), id);
+                markings.push(marking);
+                Ok(id)
+            };
 
         if let Some(priority) = best_priority {
             // Vanishing: competing immediates at max priority.
@@ -395,10 +394,7 @@ mod tests {
             .position(|m| m.tokens(hi) == 1)
             .unwrap();
         assert_eq!(ss.initial_distribution(), &[(hi_state, 1.0)]);
-        assert!(ss
-            .tangible_markings()
-            .iter()
-            .all(|m| m.tokens(lo) == 0));
+        assert!(ss.tangible_markings().iter().all(|m| m.tokens(lo) == 0));
     }
 
     #[test]
@@ -440,10 +436,7 @@ mod tests {
         net.add_move(ab, a, b).unwrap();
         let ba = net.add_immediate("ba");
         net.add_move(ba, b, a).unwrap();
-        assert_eq!(
-            net.state_space().unwrap_err(),
-            SrnError::NoTangibleMarkings
-        );
+        assert_eq!(net.state_space().unwrap_err(), SrnError::NoTangibleMarkings);
     }
 
     #[test]

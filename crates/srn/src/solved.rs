@@ -196,7 +196,9 @@ mod tests {
         let (net, up, _down, _fail) = two_components();
         let s = net.solve().unwrap();
         let at_steady = s.probability(|m| m.tokens(up) == 2);
-        let transient = s.transient_probability(200.0, |m| m.tokens(up) == 2).unwrap();
+        let transient = s
+            .transient_probability(200.0, |m| m.tokens(up) == 2)
+            .unwrap();
         assert!((at_steady - transient).abs() < 1e-8);
         let at_zero = s.transient_probability(0.0, |m| m.tokens(up) == 2).unwrap();
         assert!((at_zero - 1.0).abs() < 1e-12);

@@ -31,8 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ]),
         AttackTree::leaf(Vulnerability::from_cvss_v2("CVE-BROKER-1", &broker_dos)),
     ]);
-    let ledger_tree =
-        AttackTree::leaf(Vulnerability::from_cvss_v2("CVE-LEDGER-1", &ledger_auth));
+    let ledger_tree = AttackTree::leaf(Vulnerability::from_cvss_v2("CVE-LEDGER-1", &ledger_auth));
 
     // Heterogeneous tiers: the ledger patches slowly (database-style), the
     // VPN concentrator reboots fast.

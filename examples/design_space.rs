@@ -47,7 +47,10 @@ fn main() -> Result<(), redeval::EvalError> {
     });
 
     println!();
-    println!("{:<36} {:>8} {:>9} {:>8}", "design", "ASP", "COA", "servers");
+    println!(
+        "{:<36} {:>8} {:>9} {:>8}",
+        "design", "ASP", "COA", "servers"
+    );
     println!("{}", "-".repeat(66));
     for e in &frontier {
         println!(

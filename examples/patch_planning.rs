@@ -59,11 +59,8 @@ fn main() -> Result<(), redeval::EvalError> {
         ("critical-only (>7.0)", PatchPolicy::CriticalOnly(7.0)),
         ("all", PatchPolicy::All),
     ] {
-        let evaluator = Evaluator::with_options(
-            case_study::network(),
-            MetricsConfig::default(),
-            policy,
-        )?;
+        let evaluator =
+            Evaluator::with_options(case_study::network(), MetricsConfig::default(), policy)?;
         let e = evaluator.evaluate("case study", &[1, 2, 2, 1])?;
         println!(
             "{:<22} ASP {:>6.4}  NoEV {:>2}  NoAP {:>2}  NoEP {:>2}",

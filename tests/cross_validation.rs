@@ -12,13 +12,16 @@ fn server_availability_sim_matches_srn() {
     let model = ServerModel::build(&params);
     let places = *model.places();
     let mut sim = Simulation::new(model.net(), 424_242);
-    sim.add_reward("avail", move |m| {
-        if places.service_up(m) {
-            1.0
-        } else {
-            0.0
-        }
-    });
+    sim.add_reward(
+        "avail",
+        move |m| {
+            if places.service_up(m) {
+                1.0
+            } else {
+                0.0
+            }
+        },
+    );
     sim.add_reward("patching", move |m| {
         if places.down_due_to_patch(m) {
             1.0
@@ -63,7 +66,10 @@ fn network_coa_sim_matches_product_form() {
 #[test]
 fn attack_mc_matches_reliability_before_and_after() {
     let harm = case_study::network().build_harm();
-    for (label, h) in [("before", harm.clone()), ("after", harm.patched_critical(8.0))] {
+    for (label, h) in [
+        ("before", harm.clone()),
+        ("after", harm.patched_critical(8.0)),
+    ] {
         let exact = h
             .metrics(&MetricsConfig {
                 asp: AspStrategy::Reliability,
@@ -90,9 +96,8 @@ fn transient_probability_consistent_with_simulation_intuition() {
     let (net, ups) = model.to_srn();
     let counts: Vec<u32> = model.tiers().iter().map(|t| t.count).collect();
     let solved = net.solve().unwrap();
-    let all_up = |m: &redeval_srn::Marking| {
-        ups.iter().zip(&counts).all(|(&p, &c)| m.tokens(p) == c)
-    };
+    let all_up =
+        |m: &redeval_srn::Marking| ups.iter().zip(&counts).all(|(&p, &c)| m.tokens(p) == c);
     let p0 = solved.transient_probability(0.0, all_up).unwrap();
     assert!((p0 - 1.0).abs() < 1e-12);
     let p1 = solved.transient_probability(1.0, all_up).unwrap();

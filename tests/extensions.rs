@@ -79,7 +79,7 @@ fn patch_scenarios_order_coa() {
 #[test]
 fn composite_exposes_aggregation_error() {
     let dns = case_study::dns_params();
-    let composite = CompositeNetwork::build(&[dns.clone()], &[1]);
+    let composite = CompositeNetwork::build(std::slice::from_ref(&dns), &[1]);
     let exact = composite.coa_exact().unwrap();
     let a = ServerAnalysis::of(&dns).unwrap();
     let aggregated = NetworkModel::new(vec![Tier::new("dns", 1, a.rates())])

@@ -58,9 +58,26 @@ fn table2_asp_family_brackets_paper() {
 fn table3_guards_present() {
     let model = ServerModel::build(&case_study::dns_params());
     for name in [
-        "Tosd", "Tosdrb", "Tosfup", "Tosptrig", "Tosp", "Tosrpd", "Tospd", "Tosprb", "Tsvcd",
-        "Tsvcdrb", "Tsvcfup", "Tsvcptrig", "Tsvcp", "Tsvcrpd", "Tsvcrrb", "Tsvcrrbd", "Tsvcprb",
-        "Tinterval", "Tpolicy", "Treset",
+        "Tosd",
+        "Tosdrb",
+        "Tosfup",
+        "Tosptrig",
+        "Tosp",
+        "Tosrpd",
+        "Tospd",
+        "Tosprb",
+        "Tsvcd",
+        "Tsvcdrb",
+        "Tsvcfup",
+        "Tsvcptrig",
+        "Tsvcp",
+        "Tsvcrpd",
+        "Tsvcrrb",
+        "Tsvcrrbd",
+        "Tsvcprb",
+        "Tinterval",
+        "Tpolicy",
+        "Treset",
     ] {
         assert!(model.net().find_transition(name).is_some(), "{name}");
     }
@@ -126,9 +143,7 @@ fn table6_coa() {
 #[test]
 fn figures_6_7_design_table() {
     let evaluator = case_study::evaluator().unwrap();
-    let evals = evaluator
-        .evaluate_all(&case_study::five_designs())
-        .unwrap();
+    let evals = evaluator.evaluate_all(&case_study::five_designs()).unwrap();
 
     // Structural after-patch metrics per design (D1..D5).
     let noev: Vec<usize> = evals
@@ -161,17 +176,13 @@ fn figures_6_7_design_table() {
 
     // Designs 1 and 2 share the same after-patch ASP (dns drops out).
     assert!(
-        (evals[0].after.attack_success_probability
-            - evals[1].after.attack_success_probability)
+        (evals[0].after.attack_success_probability - evals[1].after.attack_success_probability)
             .abs()
             < 1e-12
     );
     // Redundant designs have strictly higher ASP than design 1.
     for e in &evals[2..] {
-        assert!(
-            e.after.attack_success_probability
-                > evals[0].after.attack_success_probability
-        );
+        assert!(e.after.attack_success_probability > evals[0].after.attack_success_probability);
     }
 }
 
@@ -179,19 +190,26 @@ fn figures_6_7_design_table() {
 #[test]
 fn equations_3_4_regions() {
     let evaluator = case_study::evaluator().unwrap();
-    let evals = evaluator
-        .evaluate_all(&case_study::five_designs())
-        .unwrap();
+    let evals = evaluator.evaluate_all(&case_study::five_designs()).unwrap();
     let names = |v: Vec<&redeval::DesignEvaluation>| -> Vec<String> {
         v.into_iter().map(|e| e.name.clone()).collect()
     };
 
-    let r1 = ScatterBounds { max_asp: 0.2, min_coa: 0.9962 };
+    let r1 = ScatterBounds {
+        max_asp: 0.2,
+        min_coa: 0.9962,
+    };
     assert_eq!(
         names(r1.region(&evals)),
-        ["1 DNS + 1 WEB + 2 APP + 1 DB", "1 DNS + 1 WEB + 1 APP + 2 DB"]
+        [
+            "1 DNS + 1 WEB + 2 APP + 1 DB",
+            "1 DNS + 1 WEB + 1 APP + 2 DB"
+        ]
     );
-    let r2 = ScatterBounds { max_asp: 0.1, min_coa: 0.9961 };
+    let r2 = ScatterBounds {
+        max_asp: 0.1,
+        min_coa: 0.9961,
+    };
     assert_eq!(names(r2.region(&evals)), ["2 DNS + 1 WEB + 1 APP + 1 DB"]);
 
     let m1 = MultiBounds {
@@ -216,9 +234,7 @@ fn equations_3_4_regions() {
 #[test]
 fn section4c_observations() {
     let evaluator = case_study::evaluator().unwrap();
-    let evals = evaluator
-        .evaluate_all(&case_study::five_designs())
-        .unwrap();
+    let evals = evaluator.evaluate_all(&case_study::five_designs()).unwrap();
     // 1. Duplicating the slowest-recovering tier (app) gives the best COA.
     let best = evals
         .iter()

@@ -8,9 +8,8 @@ use redeval_suite::prelude::*;
 
 /// A three-tier network distinct from the paper's.
 fn spec() -> NetworkSpec {
-    let tree = |cve: &str, imp: f64, p: f64| {
-        Some(AttackTree::leaf(Vulnerability::new(cve, imp, p)))
-    };
+    let tree =
+        |cve: &str, imp: f64, p: f64| Some(AttackTree::leaf(Vulnerability::new(cve, imp, p)));
     NetworkSpec::new(
         vec![
             TierSpec {
@@ -58,12 +57,8 @@ fn full_pipeline_round_trip() {
         assert!(e.coa > 0.95 && e.coa < 1.0, "{}: {}", e.name, e.coa);
         assert!(e.availability >= e.coa);
         assert!(e.expected_up <= e.total_servers() as f64);
-        assert!(
-            e.after.attack_success_probability <= e.before.attack_success_probability
-        );
-        assert!(
-            e.after.exploitable_vulnerabilities <= e.before.exploitable_vulnerabilities
-        );
+        assert!(e.after.attack_success_probability <= e.before.attack_success_probability);
+        assert!(e.after.exploitable_vulnerabilities <= e.before.exploitable_vulnerabilities);
     }
 
     // Chart data aligns with evaluations.
@@ -102,14 +97,11 @@ fn harm_and_dot_outputs() {
 #[test]
 fn patch_policies_bracket_each_other() {
     let base = spec();
-    let strictest = Evaluator::with_options(
-        base.clone(),
-        MetricsConfig::default(),
-        PatchPolicy::All,
-    )
-    .unwrap()
-    .evaluate("x", &[2, 1, 1])
-    .unwrap();
+    let strictest =
+        Evaluator::with_options(base.clone(), MetricsConfig::default(), PatchPolicy::All)
+            .unwrap()
+            .evaluate("x", &[2, 1, 1])
+            .unwrap();
     let none = Evaluator::with_options(base, MetricsConfig::default(), PatchPolicy::None)
         .unwrap()
         .evaluate("x", &[2, 1, 1])
@@ -133,13 +125,8 @@ fn queueing_extension_composes_with_availability() {
         .enumerate()
         .map(|(k, &p)| (2 - k as u32, p))
         .collect();
-    let w = redeval_avail::mmc::availability_weighted_response_time(
-        20.0,
-        30.0,
-        &dist,
-        Some(10.0),
-    )
-    .unwrap();
+    let w = redeval_avail::mmc::availability_weighted_response_time(20.0, 30.0, &dist, Some(10.0))
+        .unwrap();
     let all_up = redeval_avail::mmc::Mmc::new(20.0, 30.0, 2)
         .unwrap()
         .mean_response_time();

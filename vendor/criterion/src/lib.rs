@@ -1,0 +1,288 @@
+//! Offline stand-in for the subset of the
+//! [`criterion`](https://docs.rs/criterion/0.5) crate API used by the
+//! workspace's `crates/bench/benches/*` harnesses.
+//!
+//! The build environment has no network access, so this crate provides the
+//! consumed surface — [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`],
+//! [`Bencher::iter`], [`criterion_group!`]/[`criterion_main!`] and
+//! [`black_box`] — with a deliberately simple measurement loop:
+//!
+//! * each benchmark runs one warm-up call, then `sample_size` timed
+//!   iterations, and prints mean time per iteration;
+//! * no statistical analysis, outlier rejection, plots or baselines;
+//! * when invoked by `cargo test` (Cargo passes `--test` to
+//!   `harness = false` bench targets) every benchmark body runs **once**,
+//!   untimed, so `cargo test` stays fast while still smoke-testing benches.
+//!
+//! Swapping the real crate back in requires no changes to the bench sources.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Set when the binary is run in `cargo test` smoke mode (see crate docs).
+static SMOKE_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Re-export of [`std::hint::black_box`], for parity with the real crate.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point collecting benchmark definitions.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs one benchmark that borrows an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (all reporting already happened inline).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark, optionally parameterized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(s: &String) -> Self {
+        BenchmarkId { id: s.clone() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing harness passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records mean wall-clock time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if SMOKE_MODE.load(Ordering::Relaxed) {
+            std::hint::black_box(f());
+            self.iters = 1;
+            self.elapsed = Duration::ZERO;
+            return;
+        }
+        std::hint::black_box(f()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = self.sample_size as u64;
+    }
+}
+
+fn run_one(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        sample_size,
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if SMOKE_MODE.load(Ordering::Relaxed) {
+        println!("{id:<50} ok (smoke)");
+    } else if b.iters > 0 {
+        let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+        println!(
+            "{id:<50} time: {:>12} /iter  ({} iters)",
+            format_time(per_iter),
+            b.iters
+        );
+    } else {
+        println!("{id:<50} (no measurement — Bencher::iter never called)");
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Runtime support for [`criterion_main!`]; not part of the public API.
+#[doc(hidden)]
+pub fn __enter_main() {
+    // Cargo runs `harness = false` bench targets during `cargo test` with a
+    // `--test` argument (criterion proper has the same convention).
+    if std::env::args().any(|a| a == "--test") {
+        SMOKE_MODE.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Defines a named group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates the `main` function running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $crate::__enter_main();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_runs() {
+        let mut calls = 0u32;
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("unit/test", |b| {
+            b.iter(|| calls += 1);
+        });
+        // Warm-up + sample_size iterations (cargo test passes `--test` only
+        // to bench targets, not unit tests, so full mode runs here).
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        let input = 21u64;
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("double", input), &input, |b, &n| {
+            b.iter(|| seen = n * 2);
+        });
+        group.bench_function("plain", |b| b.iter(|| ()));
+        group.finish();
+        assert_eq!(seen, 42);
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+}
