@@ -56,3 +56,23 @@ pub use composite::CompositeNetwork;
 pub use network::{NetworkModel, Tier};
 pub use params::{Durations, ServerParams, ServerParamsBuilder};
 pub use server::{PatchScenario, ServerModel, ServerPlaces};
+
+#[cfg(test)]
+mod send_sync_audit {
+    //! The batch execution layer caches `ServerAnalysis` values behind
+    //! `Arc` and solves tiers on worker threads; every public type must
+    //! stay `Send + Sync`.
+    use super::*;
+
+    #[test]
+    fn availability_types_are_send_sync() {
+        fn ok<T: Send + Sync>() {}
+        ok::<ServerParams>();
+        ok::<ServerModel>();
+        ok::<ServerAnalysis>();
+        ok::<AggregatedRates>();
+        ok::<NetworkModel>();
+        ok::<Tier>();
+        ok::<CompositeNetwork>();
+    }
+}

@@ -1,23 +1,23 @@
 //! Extension (paper §V "systems"): exhaustive design-space search with the
 //! paper's decision functions, beyond the five hand-picked designs.
+//!
+//! The whole space runs through the batch execution layer
+//! ([`redeval::exec::Sweep`]) on every available core.
 
 use redeval::case_study;
 use redeval::decision::ScatterBounds;
-use redeval_bench::{design_row, header};
+use redeval::exec::Sweep;
+use redeval_bench::{arg_or, design_row, header};
 
 fn main() {
-    let max_redundancy: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3);
+    let max_redundancy: u32 = arg_or(1, 3);
 
-    let evaluator = case_study::evaluator().expect("evaluator builds");
-    let designs = evaluator.base().enumerate_designs(max_redundancy);
+    let sweep = Sweep::new(case_study::network()).full_design_space(max_redundancy);
     header(&format!(
         "design space 1..={max_redundancy} per tier: {} designs",
-        designs.len()
+        sweep.len()
     ));
-    let evals = evaluator.evaluate_all(&designs).expect("designs evaluate");
+    let evals = sweep.run().expect("designs evaluate");
 
     // Rank by COA and show the extremes.
     let mut by_coa: Vec<&redeval::DesignEvaluation> = evals.iter().collect();

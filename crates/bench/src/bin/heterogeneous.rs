@@ -8,8 +8,9 @@
 //! two distinct exploit chains, so the noisy-or ASP grows less than with
 //! identical replicas (and AND-style co-compromise metrics fall sharply).
 
+use redeval::exec::{Experiment, Scenario};
 use redeval::{
-    AttackTree, Durations, Evaluator, NetworkSpec, ServerParams, TierSpec, Vulnerability,
+    AttackTree, Design, Durations, NetworkSpec, PatchPolicy, ServerParams, TierSpec, Vulnerability,
 };
 use redeval_bench::header;
 
@@ -54,56 +55,67 @@ fn web_tier(name: &str, tree: AttackTree) -> TierSpec {
     }
 }
 
-fn report(label: &str, spec: NetworkSpec, counts: &[u32]) {
-    let evaluator = Evaluator::new(spec).expect("evaluator builds");
-    let e = evaluator.evaluate(label, counts).expect("evaluates");
-    println!(
-        "{:<26} ASP {:>6.4}  NoEV {:>2}  NoAP {:>2}  COA {:.5}",
+fn scenario(label: &str, spec: NetworkSpec, counts: &[u32]) -> Scenario {
+    Scenario::new(
         label,
-        e.after.attack_success_probability,
-        e.after.exploitable_vulnerabilities,
-        e.after.attack_paths,
-        e.coa
-    );
+        spec,
+        Design::new(label, counts.to_vec()),
+        PatchPolicy::CriticalOnly(8.0),
+    )
 }
 
 fn main() {
     header("heterogeneous redundancy (web tier, after patch)");
 
-    // No redundancy.
-    report(
-        "single web (stack A)",
-        NetworkSpec::new(
-            vec![web_tier("web", stack_a_tree()), db_tier()],
-            vec![(0, 1)],
+    // Three different topologies in one batch: the execution layer takes
+    // arbitrary scenario lists, not just regular grids.
+    let scenarios = vec![
+        // No redundancy.
+        scenario(
+            "single web (stack A)",
+            NetworkSpec::new(
+                vec![web_tier("web", stack_a_tree()), db_tier()],
+                vec![(0, 1)],
+            ),
+            &[1, 1],
         ),
-        &[1, 1],
-    );
-
-    // Identical redundancy: two stack-A servers.
-    report(
-        "2x web (identical A+A)",
-        NetworkSpec::new(
-            vec![web_tier("web", stack_a_tree()), db_tier()],
-            vec![(0, 1)],
+        // Identical redundancy: two stack-A servers.
+        scenario(
+            "2x web (identical A+A)",
+            NetworkSpec::new(
+                vec![web_tier("web", stack_a_tree()), db_tier()],
+                vec![(0, 1)],
+            ),
+            &[2, 1],
         ),
-        &[2, 1],
-    );
-
-    // Heterogeneous redundancy: one stack-A and one stack-B server,
-    // modelled as two single-server tiers feeding the same database.
-    report(
-        "2x web (diverse A+B)",
-        NetworkSpec::new(
-            vec![
-                web_tier("webA", stack_a_tree()),
-                web_tier("webB", stack_b_tree()),
-                db_tier(),
-            ],
-            vec![(0, 2), (1, 2)],
+        // Heterogeneous redundancy: one stack-A and one stack-B server,
+        // modelled as two single-server tiers feeding the same database.
+        scenario(
+            "2x web (diverse A+B)",
+            NetworkSpec::new(
+                vec![
+                    web_tier("webA", stack_a_tree()),
+                    web_tier("webB", stack_b_tree()),
+                    db_tier(),
+                ],
+                vec![(0, 2), (1, 2)],
+            ),
+            &[1, 1, 1],
         ),
-        &[1, 1, 1],
-    );
+    ];
+    for e in Experiment::new(scenarios)
+        .run()
+        .expect("scenarios evaluate")
+    {
+        println!(
+            "{:<26} ASP {:>6.4}  NoEV {:>2}  NoAP {:>2}  COA {:.5}",
+            e.name,
+            e.after.attack_success_probability,
+            e.after.exploitable_vulnerabilities,
+            e.after.attack_paths,
+            e.coa
+        );
+    }
 
     println!();
     println!("identical replicas double the attack surface with the *same*");

@@ -4,12 +4,16 @@
 
 use redeval::case_study;
 use redeval::decision::{MultiBounds, ScatterBounds};
+use redeval::exec::Sweep;
 use redeval_bench::{design_row, header};
 
 fn main() {
-    let evaluator = case_study::evaluator().expect("evaluator builds");
-    let designs = case_study::five_designs();
-    let evals = evaluator.evaluate_all(&designs).expect("designs evaluate");
+    // The five designs share one spec and patch policy: the sweep engine
+    // solves each tier once and evaluates the designs on the worker pool.
+    let evals = Sweep::new(case_study::network())
+        .designs(case_study::five_designs())
+        .run()
+        .expect("designs evaluate");
 
     header("five designs after patch");
     for e in &evals {

@@ -3,13 +3,16 @@
 //! capacity loss `1 − COA`.
 
 use redeval::case_study;
-use redeval::sensitivity::coa_sensitivities;
-use redeval_bench::header;
+use redeval::exec::default_threads;
+use redeval::sensitivity::coa_sensitivities_batch;
+use redeval_bench::{header, CASE_STUDY_COUNTS};
 
 fn main() {
     let spec = case_study::network();
-    let counts = [1u32, 2, 2, 1];
-    let sens = coa_sensitivities(&spec, &counts, 0.05).expect("pipeline solves");
+    // Each (tier, parameter) pair costs two full pipeline solves; spread
+    // them over the worker pool (ranking is thread-count independent).
+    let sens = coa_sensitivities_batch(&spec, &CASE_STUDY_COUNTS, 0.05, default_threads())
+        .expect("pipeline solves");
 
     header("COA-loss sensitivities, case-study network (1+2+2+1)");
     println!(

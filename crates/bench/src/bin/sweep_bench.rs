@@ -1,0 +1,134 @@
+//! Machine-readable perf harness for the batch execution layer.
+//!
+//! Times a full-design-space × patch-policy grid three ways —
+//!
+//! 1. **legacy**: the pre-engine shape (one [`Evaluator`] per policy,
+//!    every scenario evaluated independently, one thread);
+//! 2. **engine, 1 thread**: the [`Sweep`] engine with its shared solve
+//!    cache and policy-group dedup, sequential;
+//! 3. **engine, N threads**: the same grid on the worker pool —
+//!
+//! asserts all three produce identical numbers, and writes
+//! `BENCH_sweep.json` (scenario count, wall-clocks, speedups, available
+//! parallelism) for the bench trajectory.
+//!
+//! Usage: `sweep_bench [max_redundancy] [threads]` (defaults 5 and 4,
+//! ≥ 500 scenarios), or `sweep_bench --smoke` for the small CI grid
+//! (redundancy 2, 2 threads, written to `BENCH_sweep_smoke.json` so the
+//! committed full-grid record stays intact).
+
+use std::time::Instant;
+
+use redeval::case_study;
+use redeval::exec::Sweep;
+use redeval::{DesignEvaluation, Evaluator, MetricsConfig, PatchPolicy};
+use redeval_bench::{arg_or, header, CVSS_THRESHOLDS};
+
+/// The policy axis: unpatched, the full CVSS-threshold grid of the
+/// criticality sweeps, and patch-everything.
+fn policies() -> Vec<PatchPolicy> {
+    let mut out = vec![PatchPolicy::None];
+    out.extend(
+        CVSS_THRESHOLDS
+            .iter()
+            .map(|&t| PatchPolicy::CriticalOnly(t)),
+    );
+    out.push(PatchPolicy::All);
+    out
+}
+
+/// Scenario equality up to the display label (legacy names carry no
+/// policy suffix).
+fn same_numbers(a: &DesignEvaluation, b: &DesignEvaluation) -> bool {
+    a.counts == b.counts
+        && a.before == b.before
+        && a.after == b.after
+        && a.coa.to_bits() == b.coa.to_bits()
+        && a.availability.to_bits() == b.availability.to_bits()
+        && a.expected_up.to_bits() == b.expected_up.to_bits()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (max_redundancy, threads): (u32, usize) = if smoke {
+        (2, 2)
+    } else {
+        (arg_or(1, 5), arg_or(2, 4))
+    };
+
+    let base = case_study::network();
+    let designs = base.enumerate_designs(max_redundancy);
+    let policies = policies();
+    let scenario_count = designs.len() * policies.len();
+    header(&format!(
+        "sweep bench: {} designs × {} policies = {scenario_count} scenarios, {threads} threads",
+        designs.len(),
+        policies.len()
+    ));
+
+    // 1. Legacy shape: one evaluator per policy, scenarios evaluated
+    //    independently on one thread (what every sweep did pre-engine).
+    let t0 = Instant::now();
+    let mut legacy: Vec<Vec<DesignEvaluation>> = Vec::new();
+    for &policy in &policies {
+        let evaluator = Evaluator::with_options(base.clone(), MetricsConfig::default(), policy)
+            .expect("evaluator builds");
+        legacy.push(evaluator.evaluate_all(&designs).expect("designs evaluate"));
+    }
+    let legacy_secs = t0.elapsed().as_secs_f64();
+    println!("legacy sequential        {legacy_secs:>8.2} s");
+
+    let sweep = Sweep::new(base)
+        .designs(designs.clone())
+        .policies(policies.clone());
+
+    // 2. Engine, one thread.
+    let t0 = Instant::now();
+    let engine_1t = sweep.clone().threads(1).run().expect("grid evaluates");
+    let engine_1t_secs = t0.elapsed().as_secs_f64();
+    println!("engine, 1 thread         {engine_1t_secs:>8.2} s");
+
+    // 3. Engine, worker pool.
+    let t0 = Instant::now();
+    let engine_nt = sweep.threads(threads).run().expect("grid evaluates");
+    let engine_nt_secs = t0.elapsed().as_secs_f64();
+    println!("engine, {threads} threads        {engine_nt_secs:>8.2} s");
+
+    // Determinism: thread count must not change a single bit.
+    assert_eq!(
+        engine_1t, engine_nt,
+        "parallel run diverged from sequential"
+    );
+    // Engine vs legacy: identical numbers, grid order is design-major in
+    // the engine and policy-major in the legacy loop.
+    for (di, _) in designs.iter().enumerate() {
+        for (pi, _) in policies.iter().enumerate() {
+            assert!(
+                same_numbers(&engine_nt[di * policies.len() + pi], &legacy[pi][di]),
+                "engine diverged from legacy at design {di}, policy {pi}"
+            );
+        }
+    }
+
+    let speedup = legacy_secs / engine_nt_secs;
+    let thread_scaling = engine_1t_secs / engine_nt_secs;
+    let parallelism = redeval::exec::default_threads();
+    println!();
+    println!("speedup vs legacy        {speedup:>8.2}×");
+    println!("thread scaling (1→{threads})    {thread_scaling:>8.2}× (machine exposes {parallelism} core(s))");
+
+    let json = format!(
+        "{{\n  \"bench\": \"sweep\",\n  \"designs\": {},\n  \"policies\": {},\n  \"scenarios\": {scenario_count},\n  \"max_redundancy\": {max_redundancy},\n  \"threads\": {threads},\n  \"available_parallelism\": {parallelism},\n  \"legacy_sequential_secs\": {legacy_secs:.3},\n  \"engine_1_thread_secs\": {engine_1t_secs:.3},\n  \"engine_n_threads_secs\": {engine_nt_secs:.3},\n  \"speedup\": {speedup:.2},\n  \"thread_scaling_speedup\": {thread_scaling:.2},\n  \"results_identical\": true\n}}\n",
+        designs.len(),
+        policies.len(),
+    );
+    // The smoke grid must not clobber the committed full-grid record.
+    let path = if smoke {
+        "BENCH_sweep_smoke.json"
+    } else {
+        "BENCH_sweep.json"
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("{path} written: {e}"));
+    println!();
+    println!("wrote {path}");
+}

@@ -1,23 +1,18 @@
 //! Ablation (paper §V "patch schedule"): sweeps the patch interval and the
 //! criticality threshold, reporting the COA/security trade-off for the
 //! case-study design.
+//!
+//! Both sweeps are grids on the batch execution layer: the interval sweep
+//! is a spec-variant axis, the threshold sweep a patch-policy axis, and
+//! the shared analysis cache dedupes every repeated tier solve.
 
 use redeval::case_study;
-use redeval::{Durations, Evaluator, MetricsConfig, NetworkSpec, PatchPolicy};
-use redeval_bench::header;
+use redeval::exec::Sweep;
+use redeval::{Design, PatchPolicy};
+use redeval_bench::{header, CASE_STUDY_COUNTS, CVSS_THRESHOLDS, PATCH_WINDOWS_DAYS};
 
-fn with_interval(days: f64) -> NetworkSpec {
-    let base = case_study::network();
-    let tiers = base
-        .tiers()
-        .iter()
-        .cloned()
-        .map(|mut t| {
-            t.params.patch_interval = Durations::days(days);
-            t
-        })
-        .collect();
-    NetworkSpec::new(tiers, base.edges().to_vec())
+fn case_design() -> Design {
+    Design::new("case", CASE_STUDY_COUNTS.to_vec())
 }
 
 fn main() {
@@ -26,11 +21,12 @@ fn main() {
         "{:>10} {:>10} {:>14} {:>16}",
         "interval", "COA", "downtime h/mo", "mean exposure"
     );
-    for days in [3.5, 7.0, 14.0, 30.0, 60.0, 90.0, 180.0, 365.0] {
-        let evaluator = Evaluator::new(with_interval(days)).expect("evaluator builds");
-        let e = evaluator
-            .evaluate("case", &[1, 2, 2, 1])
-            .expect("evaluates");
+    let evals = Sweep::new(case_study::network())
+        .patch_intervals_days(&PATCH_WINDOWS_DAYS)
+        .designs(vec![case_design()])
+        .run()
+        .expect("interval grid evaluates");
+    for (days, e) in PATCH_WINDOWS_DAYS.iter().zip(&evals) {
         println!(
             "{:>8.1} d {:>10.5} {:>14.2} {:>13.1} d",
             days,
@@ -50,16 +46,17 @@ fn main() {
         "{:>10} {:>8} {:>6} {:>6} {:>6}",
         "threshold", "ASP", "NoEV", "NoAP", "NoEP"
     );
-    for threshold in [9.5, 9.0, 8.0, 7.0, 6.0, 5.0, 4.0, 0.0] {
-        let evaluator = Evaluator::with_options(
-            case_study::network(),
-            MetricsConfig::default(),
-            PatchPolicy::CriticalOnly(threshold),
+    let evals = Sweep::new(case_study::network())
+        .designs(vec![case_design()])
+        .policies(
+            CVSS_THRESHOLDS
+                .iter()
+                .map(|&t| PatchPolicy::CriticalOnly(t))
+                .collect(),
         )
-        .expect("evaluator builds");
-        let e = evaluator
-            .evaluate("case", &[1, 2, 2, 1])
-            .expect("evaluates");
+        .run()
+        .expect("threshold grid evaluates");
+    for (threshold, e) in CVSS_THRESHOLDS.iter().zip(&evals) {
         println!(
             "{:>10.1} {:>8.4} {:>6} {:>6} {:>6}",
             threshold,

@@ -2,13 +2,34 @@
 //!
 //! Each paper table/figure has a binary under `src/bin/` that regenerates
 //! it — Tables I–VI, Figures 3–7 and the Equation (3),(4) region analyses;
-//! see `DESIGN.md` §5 and the README's reproduction index. This library
+//! see `DESIGN.md` §6 and the README's reproduction index. This library
 //! carries the small formatting utilities the binaries share.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use redeval::DesignEvaluation;
+
+/// The CVSS base-score thresholds swept by the criticality reports
+/// (8.0 is the paper's policy; 0.0 patches everything scored).
+pub const CVSS_THRESHOLDS: [f64; 8] = [9.5, 9.0, 8.0, 7.0, 6.0, 5.0, 4.0, 0.0];
+
+/// The patch-window grid (days) swept by the schedule reports, from
+/// twice-weekly to yearly around the paper's monthly default.
+pub const PATCH_WINDOWS_DAYS: [f64; 8] = [3.5, 7.0, 14.0, 30.0, 60.0, 90.0, 180.0, 365.0];
+
+/// Per-tier counts of the paper's case-study network (Figure 2):
+/// 1 DNS + 2 WEB + 2 APP + 1 DB.
+pub const CASE_STUDY_COUNTS: [u32; 4] = [1, 2, 2, 1];
+
+/// Parses positional CLI argument `n` (1-based), falling back to
+/// `default` when absent or unparsable.
+pub fn arg_or<T: std::str::FromStr>(n: usize, default: T) -> T {
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
 
 /// Prints a section header.
 pub fn header(title: &str) {

@@ -67,6 +67,47 @@ impl MultiBounds {
     }
 }
 
+/// Whether `a` Pareto-dominates `b` on (after-patch ASP ↓, COA ↑): at
+/// least as good on both axes and strictly better on one.
+pub fn dominates(a: &DesignEvaluation, b: &DesignEvaluation) -> bool {
+    let (a_asp, b_asp) = (
+        a.after.attack_success_probability,
+        b.after.attack_success_probability,
+    );
+    (a_asp <= b_asp && a.coa >= b.coa) && (a_asp < b_asp || a.coa > b.coa)
+}
+
+/// The Pareto frontier of a batch of evaluations on (after-patch ASP ↓,
+/// COA ↑): every design not [`dominates`]-dominated by another, sorted by
+/// ascending ASP.
+///
+/// This is the batch decision function behind the design-space reports —
+/// the paper's Figure 6 scatter picks from exactly this frontier.
+pub fn pareto_frontier(evals: &[DesignEvaluation]) -> Vec<&DesignEvaluation> {
+    pareto_frontier_batch(evals, 1)
+}
+
+/// [`pareto_frontier`] with the O(n²) dominance scan spread over up to
+/// `threads` worker threads — same frontier, same order, for any thread
+/// count.
+pub fn pareto_frontier_batch(evals: &[DesignEvaluation], threads: usize) -> Vec<&DesignEvaluation> {
+    let undominated = crate::exec::run_batch(evals.len(), threads, |i| {
+        !evals.iter().any(|o| dominates(o, &evals[i]))
+    });
+    let mut frontier: Vec<&DesignEvaluation> = evals
+        .iter()
+        .zip(undominated)
+        .filter_map(|(e, keep)| keep.then_some(e))
+        .collect();
+    frontier.sort_by(|a, b| {
+        a.after
+            .attack_success_probability
+            .partial_cmp(&b.after.attack_success_probability)
+            .expect("finite ASP")
+    });
+    frontier
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +173,24 @@ mod tests {
         assert!(!b.satisfied(&eval(0.1, 9, 2, 2, 0.997)));
         assert!(!b.satisfied(&eval(0.3, 9, 2, 1, 0.997)));
         assert!(!b.satisfied(&eval(0.1, 9, 2, 1, 0.99)));
+    }
+
+    #[test]
+    fn pareto_frontier_drops_dominated_designs() {
+        let evals = vec![
+            eval(0.1, 7, 1, 1, 0.9960), // frontier: best ASP
+            eval(0.3, 9, 2, 1, 0.9970), // frontier: best COA
+            eval(0.3, 9, 2, 1, 0.9960), // dominated by the second
+            eval(0.2, 9, 2, 1, 0.9965), // frontier: middle trade-off
+        ];
+        let frontier = pareto_frontier(&evals);
+        assert_eq!(frontier.len(), 3);
+        // Sorted by ascending ASP.
+        assert!((frontier[0].after.attack_success_probability - 0.1).abs() < 1e-12);
+        assert!((frontier[2].coa - 0.9970).abs() < 1e-12);
+        // The parallel scan returns the identical frontier.
+        let par = pareto_frontier_batch(&evals, 4);
+        assert_eq!(frontier, par);
     }
 
     #[test]

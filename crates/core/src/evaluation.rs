@@ -7,7 +7,7 @@ use crate::spec::NetworkSpec;
 use crate::EvalError;
 
 /// Which vulnerabilities the patch round removes.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PatchPolicy {
     /// Patch nothing (the "before" model).
     None,
@@ -25,6 +25,16 @@ impl PatchPolicy {
             PatchPolicy::None => false,
             PatchPolicy::CriticalOnly(t) => v.is_critical(*t),
             PatchPolicy::All => true,
+        }
+    }
+}
+
+impl std::fmt::Display for PatchPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatchPolicy::None => write!(f, "no patch"),
+            PatchPolicy::CriticalOnly(t) => write!(f, "critical>{t}"),
+            PatchPolicy::All => write!(f, "patch all"),
         }
     }
 }
@@ -104,6 +114,34 @@ impl Evaluator {
         })
     }
 
+    /// Builds an evaluator whose per-tier solves are resolved through a
+    /// shared [`exec::AnalysisCache`](crate::exec::AnalysisCache), so
+    /// evaluators in one batch dedupe identical tier solves instead of
+    /// each re-solving them. (The small per-tier summaries are cloned out
+    /// of the cache; it is the SRN *solve* that is deduped.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates SRN errors from the lower-layer solves.
+    pub fn with_cache(
+        base: NetworkSpec,
+        metrics_config: MetricsConfig,
+        patch: PatchPolicy,
+        cache: &crate::exec::AnalysisCache,
+    ) -> Result<Self, EvalError> {
+        let analyses = cache
+            .analyses_for(&base)?
+            .iter()
+            .map(|a| a.as_ref().clone())
+            .collect();
+        Ok(Evaluator {
+            base,
+            analyses,
+            metrics_config,
+            patch,
+        })
+    }
+
     /// The base specification.
     pub fn base(&self) -> &NetworkSpec {
         &self.base
@@ -115,8 +153,8 @@ impl Evaluator {
     }
 
     /// The active patch policy.
-    pub fn patch_policy(&self) -> &PatchPolicy {
-        &self.patch
+    pub fn patch_policy(&self) -> PatchPolicy {
+        self.patch
     }
 
     /// The active metrics configuration.
@@ -135,7 +173,7 @@ impl Evaluator {
         // Security: HARM before and after patch.
         let harm = spec.build_harm();
         let before = harm.metrics(&self.metrics_config);
-        let patch = self.patch.clone();
+        let patch = self.patch;
         let after = harm
             .patched(&move |v| patch.patches(v))
             .metrics(&self.metrics_config);
@@ -170,6 +208,27 @@ impl Evaluator {
             .iter()
             .map(|d| self.evaluate(&d.name, &d.counts))
             .collect()
+    }
+
+    /// Evaluates a list of designs on up to `threads` worker threads.
+    ///
+    /// Results come back in design order and are bitwise-identical to
+    /// [`Evaluator::evaluate_all`] — see
+    /// [`exec::run_batch`](crate::exec::run_batch) for the threading
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the earliest invalid design.
+    pub fn evaluate_batch(
+        &self,
+        designs: &[crate::spec::Design],
+        threads: usize,
+    ) -> Result<Vec<DesignEvaluation>, EvalError> {
+        let results = crate::exec::run_batch(designs.len(), threads, |i| {
+            self.evaluate(&designs[i].name, &designs[i].counts)
+        });
+        results.into_iter().collect()
     }
 }
 
@@ -267,6 +326,53 @@ mod tests {
         let evals = ev.evaluate_all(&designs).unwrap();
         assert_eq!(evals[0].name, "a");
         assert_eq!(evals[1].name, "b");
+    }
+
+    #[test]
+    fn with_cache_dedupes_solves_and_matches_with_options() {
+        let cache = crate::exec::AnalysisCache::new();
+        let plain =
+            Evaluator::with_options(spec(), MetricsConfig::default(), PatchPolicy::All).unwrap();
+        let cached =
+            Evaluator::with_cache(spec(), MetricsConfig::default(), PatchPolicy::All, &cache)
+                .unwrap();
+        assert_eq!(cache.solves(), 2); // one per tier
+        let second =
+            Evaluator::with_cache(spec(), MetricsConfig::default(), PatchPolicy::None, &cache)
+                .unwrap();
+        assert_eq!(cache.solves(), 2); // second evaluator re-solves nothing
+        assert_eq!(cache.hits(), 2);
+        // Identical numbers through either constructor.
+        assert_eq!(
+            plain.evaluate("x", &[2, 1]).unwrap(),
+            cached.evaluate("x", &[2, 1]).unwrap()
+        );
+        let e = second.evaluate("x", &[2, 1]).unwrap();
+        assert_eq!(e.before, e.after);
+    }
+
+    #[test]
+    fn evaluate_batch_matches_evaluate_all() {
+        let ev = Evaluator::new(spec()).unwrap();
+        let designs = vec![
+            crate::spec::Design::new("a", vec![1, 1]),
+            crate::spec::Design::new("b", vec![2, 1]),
+            crate::spec::Design::new("c", vec![3, 2]),
+        ];
+        let all = ev.evaluate_all(&designs).unwrap();
+        for threads in [1, 2, 8] {
+            assert_eq!(ev.evaluate_batch(&designs, threads).unwrap(), all);
+        }
+        // Errors surface in design order.
+        let bad = vec![
+            crate::spec::Design::new("ok", vec![1, 1]),
+            crate::spec::Design::new("zero", vec![0, 1]),
+            crate::spec::Design::new("mismatch", vec![1]),
+        ];
+        assert!(matches!(
+            ev.evaluate_batch(&bad, 4),
+            Err(EvalError::ZeroServers { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,776 @@
+//! Batch execution layer: scenario grids evaluated on a scoped worker pool.
+//!
+//! The paper's headline results are *sweeps* — designs × patch policies ×
+//! schedule parameters — and every such sweep reduces to the same shape:
+//! a grid of [`Scenario`]s, each producing one [`DesignEvaluation`]. This
+//! module provides that shape once, so the design space can grow to
+//! thousands of scenarios without per-call-site `for` loops:
+//!
+//! * [`run_batch`] — the primitive: a deterministic parallel map over job
+//!   indices on scoped [`std::thread`] workers (no external dependencies);
+//! * [`AnalysisCache`] — a thread-safe, batch-wide cache of the per-tier
+//!   lower-layer SRN solves (count-independent, so one solve serves every
+//!   design sharing a tier's [`ServerParams`]);
+//! * [`Scenario`] / [`Experiment`] — one evaluation unit and an executable
+//!   batch of them; the executor groups scenarios that share a spec and
+//!   design so the HARM construction, before-patch metrics and
+//!   availability solves are computed once per group instead of once per
+//!   scenario;
+//! * [`Sweep`] — the declarative grid builder: spec variants × designs ×
+//!   patch policies, run in one call.
+//!
+//! # Determinism
+//!
+//! Results come back in grid order regardless of thread count, and every
+//! scenario's numbers are bitwise-identical to a sequential
+//! [`Scenario::evaluate`] call: workers only partition *which* scenarios
+//! they compute, never how a scenario is computed, and the shared caches
+//! store values that do not depend on evaluation order.
+//!
+//! # Examples
+//!
+//! Evaluate the paper's five designs under three patch policies on every
+//! available core:
+//!
+//! ```
+//! use redeval::case_study;
+//! use redeval::exec::Sweep;
+//! use redeval::PatchPolicy;
+//!
+//! # fn main() -> Result<(), redeval::EvalError> {
+//! let evals = Sweep::new(case_study::network())
+//!     .designs(case_study::five_designs())
+//!     .policies(vec![
+//!         PatchPolicy::None,
+//!         PatchPolicy::CriticalOnly(8.0),
+//!         PatchPolicy::All,
+//!     ])
+//!     .run()?;
+//! assert_eq!(evals.len(), 15); // 5 designs × 3 policies, in grid order
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use redeval_avail::{Durations, ServerAnalysis, ServerParams};
+use redeval_harm::MetricsConfig;
+use redeval_srn::SrnError;
+
+use crate::evaluation::{DesignEvaluation, PatchPolicy};
+use crate::spec::{Design, NetworkSpec};
+use crate::EvalError;
+
+/// The number of worker threads matching the machine's available
+/// parallelism (at least 1).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `jobs` independent jobs on up to `threads` scoped worker threads
+/// and returns the results **in job order**.
+///
+/// Workers pull job indices from a shared atomic counter, so long and
+/// short jobs balance automatically. With `threads <= 1` (or a single
+/// job) everything runs inline on the caller's thread — the parallel and
+/// sequential paths execute the exact same per-job code.
+///
+/// # Panics
+///
+/// Propagates panics from `job`.
+///
+/// # Examples
+///
+/// ```
+/// let squares = redeval::exec::run_batch(5, 4, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
+pub fn run_batch<T, F>(jobs: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, jobs.max(1));
+    if threads == 1 {
+        return (0..jobs).map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        done.push((i, job(i)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("batch worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+    for bucket in &mut buckets {
+        for (i, value) in bucket.drain(..) {
+            slots[i] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job index assigned exactly once"))
+        .collect()
+}
+
+/// Cache key: a server's name plus the bit patterns of all thirteen
+/// duration parameters. Keying on bits (not rounded values) keeps the
+/// cache exact — two parameter sets collide only when every solve input
+/// is identical, so a hit can never change a result.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ParamsKey {
+    name: String,
+    bits: [u64; 13],
+}
+
+impl ParamsKey {
+    fn of(p: &ServerParams) -> ParamsKey {
+        let b = |d: Durations| d.as_hours().to_bits();
+        ParamsKey {
+            name: p.name.clone(),
+            bits: [
+                b(p.hw_mtbf),
+                b(p.hw_repair),
+                b(p.os_mtbf),
+                b(p.os_repair),
+                b(p.os_patch),
+                b(p.os_reboot_patch),
+                b(p.os_reboot_failure),
+                b(p.svc_mtbf),
+                b(p.svc_repair),
+                b(p.svc_patch),
+                b(p.svc_reboot_patch),
+                b(p.svc_reboot_failure),
+                b(p.patch_interval),
+            ],
+        }
+    }
+}
+
+/// A thread-safe cache of per-tier lower-layer SRN solves.
+///
+/// The lower-layer solve of a tier depends only on its [`ServerParams`],
+/// never on server counts, so one solve serves every design in a batch —
+/// and, when the cache is shared (it is an `Arc` inside [`Sweep`] /
+/// [`Experiment`]), every batch. [`hits`](AnalysisCache::hits) and
+/// [`solves`](AnalysisCache::solves) expose the dedup for tests and
+/// diagnostics.
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    map: Mutex<HashMap<ParamsKey, Arc<ServerAnalysis>>>,
+    hits: AtomicUsize,
+    solves: AtomicUsize,
+}
+
+impl AnalysisCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The solved analysis for `params`, computed on first use.
+    ///
+    /// Concurrent first requests for the *same* key may solve it more
+    /// than once (the solve runs outside the lock); all solutions are
+    /// identical, the first insert wins, and no request ever blocks on
+    /// another's solve.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SRN build/solve errors. Failures are not cached.
+    pub fn analysis(&self, params: &ServerParams) -> Result<Arc<ServerAnalysis>, SrnError> {
+        let key = ParamsKey::of(params);
+        if let Some(hit) = self.map.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        let solved = Arc::new(params.analyze()?);
+        self.solves.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock().expect("cache lock");
+        Ok(Arc::clone(map.entry(key).or_insert(solved)))
+    }
+
+    /// One cached analysis per tier of `spec`, in tier order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SRN build/solve errors.
+    pub fn analyses_for(&self, spec: &NetworkSpec) -> Result<Vec<Arc<ServerAnalysis>>, SrnError> {
+        spec.tiers()
+            .iter()
+            .map(|t| self.analysis(&t.params))
+            .collect()
+    }
+
+    /// Requests served from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// SRN solves actually performed.
+    pub fn solves(&self) -> usize {
+        self.solves.load(Ordering::Relaxed)
+    }
+
+    /// Distinct parameter sets currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One evaluation unit: a design applied to a network spec under a patch
+/// policy and metric configuration.
+///
+/// The spec is held behind an [`Arc`] so large grids share it instead of
+/// cloning it per scenario; the executor also uses the `Arc` identity to
+/// group scenarios that can share model construction.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Label carried into [`DesignEvaluation::name`].
+    pub label: String,
+    /// The base specification (model parameters baked in).
+    pub spec: Arc<NetworkSpec>,
+    /// The redundancy design applied to `spec`.
+    pub design: Design,
+    /// The patch policy.
+    pub patch: PatchPolicy,
+    /// Security-metric configuration.
+    pub metrics: MetricsConfig,
+}
+
+impl Scenario {
+    /// A scenario with the default metric configuration.
+    pub fn new(
+        label: impl Into<String>,
+        spec: impl Into<Arc<NetworkSpec>>,
+        design: Design,
+        patch: PatchPolicy,
+    ) -> Self {
+        Scenario {
+            label: label.into(),
+            spec: spec.into(),
+            design,
+            patch,
+            metrics: MetricsConfig::default(),
+        }
+    }
+
+    /// Evaluates this scenario alone, resolving tier solves through
+    /// `cache`. This is the reference (sequential) path: the batch
+    /// executor produces bitwise-identical numbers.
+    ///
+    /// # Errors
+    ///
+    /// Returns count-validation and solver errors.
+    pub fn evaluate(&self, cache: &AnalysisCache) -> Result<DesignEvaluation, EvalError> {
+        let analyses = cache.analyses_for(&self.spec)?;
+        let spec = self.spec.with_counts(&self.design.counts)?;
+        let harm = spec.build_harm();
+        let before = harm.metrics(&self.metrics);
+        let patch = self.patch;
+        let after = harm
+            .patched(&move |v| patch.patches(v))
+            .metrics(&self.metrics);
+        let model = spec.network_model(&analyses);
+        Ok(DesignEvaluation {
+            name: self.label.clone(),
+            counts: self.design.counts.clone(),
+            before,
+            after,
+            coa: model.coa()?,
+            availability: model.availability()?,
+            expected_up: model.expected_up_servers()?,
+        })
+    }
+}
+
+/// Evaluates one group of scenarios sharing `(spec, counts, metrics)`:
+/// the HARM, before-patch metrics and availability solves happen once,
+/// the per-policy after-patch metrics once per member.
+fn evaluate_cell(
+    scenarios: &[Scenario],
+    members: &[usize],
+    cache: &AnalysisCache,
+) -> Result<Vec<DesignEvaluation>, EvalError> {
+    let first = &scenarios[members[0]];
+    let analyses = cache.analyses_for(&first.spec)?;
+    let spec = first.spec.with_counts(&first.design.counts)?;
+    let harm = spec.build_harm();
+    let before = harm.metrics(&first.metrics);
+    let model = spec.network_model(&analyses);
+    let coa = model.coa()?;
+    let availability = model.availability()?;
+    let expected_up = model.expected_up_servers()?;
+    members
+        .iter()
+        .map(|&i| {
+            let sc = &scenarios[i];
+            let patch = sc.patch;
+            let after = harm
+                .patched(&move |v| patch.patches(v))
+                .metrics(&sc.metrics);
+            Ok(DesignEvaluation {
+                name: sc.label.clone(),
+                counts: sc.design.counts.clone(),
+                before: before.clone(),
+                after,
+                coa,
+                availability,
+                expected_up,
+            })
+        })
+        .collect()
+}
+
+/// An executable batch of [`Scenario`]s.
+///
+/// Built directly from an explicit scenario list (heterogeneous batches —
+/// different topologies, different tier stacks) or via [`Sweep`] for
+/// regular grids. Running it returns one [`DesignEvaluation`] per
+/// scenario, **in input order**, whatever the thread count.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    scenarios: Vec<Scenario>,
+    threads: usize,
+    cache: Arc<AnalysisCache>,
+}
+
+impl Experiment {
+    /// An experiment over explicit scenarios, with a fresh cache and the
+    /// machine's [`default_threads`].
+    pub fn new(scenarios: Vec<Scenario>) -> Self {
+        Experiment {
+            scenarios,
+            threads: default_threads(),
+            cache: Arc::new(AnalysisCache::new()),
+        }
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Shares an existing analysis cache (e.g. across experiments).
+    pub fn share_cache(mut self, cache: &Arc<AnalysisCache>) -> Self {
+        self.cache = Arc::clone(cache);
+        self
+    }
+
+    /// The scenarios, in evaluation order.
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// Evaluates every scenario and returns the results in scenario
+    /// order.
+    ///
+    /// Scenarios sharing `(spec, counts, metrics)` are grouped so the
+    /// policy-independent work (HARM construction, before-patch metrics,
+    /// availability solves) is computed once per group; groups run in
+    /// parallel on the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the earliest failing scenario (grid order).
+    pub fn run(&self) -> Result<Vec<DesignEvaluation>, EvalError> {
+        // Group scenarios that share spec identity, counts and metric
+        // configuration. Spec identity is Arc pointer identity: distinct
+        // Arcs with equal contents simply form separate groups.
+        let mut cells: Vec<Vec<usize>> = Vec::new();
+        let mut by_key: HashMap<(usize, &[u32]), Vec<usize>> = HashMap::new();
+        for (i, sc) in self.scenarios.iter().enumerate() {
+            let key = (Arc::as_ptr(&sc.spec) as usize, sc.design.counts.as_slice());
+            let candidates = by_key.entry(key).or_default();
+            match candidates
+                .iter()
+                .find(|&&ci| self.scenarios[cells[ci][0]].metrics == sc.metrics)
+            {
+                Some(&ci) => cells[ci].push(i),
+                None => {
+                    candidates.push(cells.len());
+                    cells.push(vec![i]);
+                }
+            }
+        }
+
+        let cell_results = run_batch(cells.len(), self.threads, |ci| {
+            evaluate_cell(&self.scenarios, &cells[ci], &self.cache)
+        });
+
+        let mut out: Vec<Option<DesignEvaluation>> =
+            (0..self.scenarios.len()).map(|_| None).collect();
+        let mut first_err: Option<EvalError> = None;
+        let mut first_err_at = usize::MAX;
+        for (members, result) in cells.iter().zip(cell_results) {
+            match result {
+                Ok(evals) => {
+                    for (&i, e) in members.iter().zip(evals) {
+                        out[i] = Some(e);
+                    }
+                }
+                Err(err) => {
+                    // A cell fails as a unit; its earliest member is where
+                    // a sequential run would first hit the same error.
+                    let at = members[0];
+                    if at < first_err_at {
+                        first_err_at = at;
+                        first_err = Some(err);
+                    }
+                }
+            }
+        }
+        if let Some(err) = first_err {
+            return Err(err);
+        }
+        Ok(out
+            .into_iter()
+            .map(|o| o.expect("every scenario evaluated"))
+            .collect())
+    }
+}
+
+/// Declarative grid builder: spec variants × designs × patch policies.
+///
+/// Grid order is variant-major, then design, then policy — the order
+/// [`Sweep::scenarios`] materializes and [`Sweep::run`] returns.
+///
+/// See the [module docs](self) for an example.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    base: Arc<NetworkSpec>,
+    variants: Option<Vec<(String, Arc<NetworkSpec>)>>,
+    designs: Vec<Design>,
+    policies: Vec<PatchPolicy>,
+    metrics: MetricsConfig,
+    threads: usize,
+    cache: Arc<AnalysisCache>,
+}
+
+impl Sweep {
+    /// A sweep over `base` with its current counts as the single design,
+    /// the paper's critical-only policy, default metrics and
+    /// [`default_threads`].
+    pub fn new(base: NetworkSpec) -> Self {
+        let counts: Vec<u32> = base.tiers().iter().map(|t| t.count).collect();
+        let names: Vec<&str> = base.tiers().iter().map(|t| t.name.as_str()).collect();
+        let design = Design::new(Design::conventional_name(&names, &counts), counts);
+        Sweep {
+            base: Arc::new(base),
+            variants: None,
+            designs: vec![design],
+            policies: vec![PatchPolicy::CriticalOnly(8.0)],
+            metrics: MetricsConfig::default(),
+            threads: default_threads(),
+            cache: Arc::new(AnalysisCache::new()),
+        }
+    }
+
+    /// Sets the design axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty design list.
+    pub fn designs(mut self, designs: Vec<Design>) -> Self {
+        assert!(!designs.is_empty(), "at least one design required");
+        self.designs = designs;
+        self
+    }
+
+    /// Sets the design axis to the full space `1..=max_redundancy` per
+    /// tier (see [`NetworkSpec::enumerate_designs`]).
+    pub fn full_design_space(self, max_redundancy: u32) -> Self {
+        let designs = self.base.enumerate_designs(max_redundancy);
+        self.designs(designs)
+    }
+
+    /// Sets the patch-policy axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty policy list.
+    pub fn policies(mut self, policies: Vec<PatchPolicy>) -> Self {
+        assert!(!policies.is_empty(), "at least one policy required");
+        self.policies = policies;
+        self
+    }
+
+    /// Sets the model-parameter axis to explicit named spec variants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty variant list.
+    pub fn variants(mut self, variants: Vec<(String, NetworkSpec)>) -> Self {
+        assert!(!variants.is_empty(), "at least one variant required");
+        self.variants = Some(
+            variants
+                .into_iter()
+                .map(|(name, spec)| (name, Arc::new(spec)))
+                .collect(),
+        );
+        self
+    }
+
+    /// Sets the model-parameter axis to patch-interval variants of the
+    /// base spec, one per entry of `days` (applied to every tier).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list or non-positive interval.
+    pub fn patch_intervals_days(self, days: &[f64]) -> Self {
+        let base = Arc::clone(&self.base);
+        let variants = days
+            .iter()
+            .map(|&d| {
+                let label = format!("{d} d");
+                (label, base.with_patch_interval(Durations::days(d)))
+            })
+            .collect();
+        self.variants(variants)
+    }
+
+    /// Sets the security-metric configuration for every scenario.
+    pub fn metrics(mut self, metrics: MetricsConfig) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Shares an existing analysis cache (e.g. across sweeps, or to
+    /// inspect hit/solve counters after the run).
+    pub fn share_cache(mut self, cache: &Arc<AnalysisCache>) -> Self {
+        self.cache = Arc::clone(cache);
+        self
+    }
+
+    /// Materializes the grid in variant-major, design, policy order.
+    ///
+    /// Labels are the design name, prefixed with the variant name and
+    /// suffixed with the policy when the corresponding axis has more than
+    /// one point.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let base_variant = [(String::new(), Arc::clone(&self.base))];
+        let variants: &[(String, Arc<NetworkSpec>)] = match &self.variants {
+            Some(v) => v,
+            None => &base_variant,
+        };
+        let multi_variant = variants.len() > 1;
+        let multi_policy = self.policies.len() > 1;
+        let mut out = Vec::with_capacity(variants.len() * self.designs.len() * self.policies.len());
+        for (vname, vspec) in variants {
+            for design in &self.designs {
+                for &policy in &self.policies {
+                    let mut label = String::new();
+                    if multi_variant && !vname.is_empty() {
+                        label.push_str(vname);
+                        label.push_str(" | ");
+                    }
+                    label.push_str(&design.name);
+                    if multi_policy {
+                        label.push_str(&format!(" | {policy}"));
+                    }
+                    out.push(Scenario {
+                        label,
+                        spec: Arc::clone(vspec),
+                        design: design.clone(),
+                        patch: policy,
+                        metrics: self.metrics,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The total number of grid points.
+    pub fn len(&self) -> usize {
+        let variants = self.variants.as_ref().map_or(1, Vec::len);
+        variants * self.designs.len() * self.policies.len()
+    }
+
+    /// Whether the grid is empty (never true: every axis keeps ≥ 1 point).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Builds the executable [`Experiment`] for this grid.
+    pub fn build(&self) -> Experiment {
+        Experiment {
+            scenarios: self.scenarios(),
+            threads: self.threads,
+            cache: Arc::clone(&self.cache),
+        }
+    }
+
+    /// Materializes and runs the grid; results follow grid order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the earliest failing scenario.
+    pub fn run(&self) -> Result<Vec<DesignEvaluation>, EvalError> {
+        self.build().run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_study;
+
+    #[test]
+    fn run_batch_orders_results_any_thread_count() {
+        for threads in [1, 2, 3, 8, 64] {
+            let out = run_batch(17, threads, |i| 3 * i);
+            assert_eq!(out, (0..17).map(|i| 3 * i).collect::<Vec<_>>());
+        }
+        assert!(run_batch(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn cache_dedupes_tier_solves() {
+        let cache = AnalysisCache::new();
+        let spec = case_study::network();
+        // Four tiers with distinct parameters: four solves, zero hits.
+        let first = cache.analyses_for(&spec).unwrap();
+        assert_eq!(cache.solves(), 4);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.len(), 4);
+        // Every further request is a hit, and the values are shared.
+        let second = cache.analyses_for(&spec).unwrap();
+        assert_eq!(cache.solves(), 4);
+        assert_eq!(cache.hits(), 4);
+        for (a, b) in first.iter().zip(&second) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+    }
+
+    #[test]
+    fn cache_distinguishes_parameter_changes() {
+        let cache = AnalysisCache::new();
+        let a = case_study::dns_params();
+        let mut b = case_study::dns_params();
+        b.patch_interval = Durations::hours(360.0);
+        cache.analysis(&a).unwrap();
+        cache.analysis(&b).unwrap();
+        assert_eq!(cache.solves(), 2);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn sweep_matches_sequential_reference_bitwise() {
+        let sweep = Sweep::new(case_study::network())
+            .designs(case_study::five_designs())
+            .policies(vec![PatchPolicy::CriticalOnly(8.0), PatchPolicy::All])
+            .threads(4);
+        let parallel = sweep.run().unwrap();
+        let cache = AnalysisCache::new();
+        let reference: Vec<DesignEvaluation> = sweep
+            .scenarios()
+            .iter()
+            .map(|sc| sc.evaluate(&cache).unwrap())
+            .collect();
+        assert_eq!(parallel, reference);
+    }
+
+    #[test]
+    fn sweep_grid_order_is_variant_design_policy() {
+        let sweep = Sweep::new(case_study::network())
+            .patch_intervals_days(&[7.0, 30.0])
+            .designs(case_study::five_designs()[..2].to_vec())
+            .policies(vec![PatchPolicy::None, PatchPolicy::All]);
+        let scenarios = sweep.scenarios();
+        assert_eq!(scenarios.len(), 8);
+        assert_eq!(sweep.len(), 8);
+        assert!(scenarios[0].label.starts_with("7 d | 1 DNS"));
+        assert!(scenarios[0].label.ends_with("no patch"));
+        assert!(scenarios[1].label.ends_with("patch all"));
+        assert!(scenarios[4].label.starts_with("30 d | 1 DNS"));
+    }
+
+    #[test]
+    fn experiment_groups_share_policy_independent_work() {
+        let sweep = Sweep::new(case_study::network())
+            .designs(case_study::five_designs())
+            .policies(vec![
+                PatchPolicy::None,
+                PatchPolicy::CriticalOnly(8.0),
+                PatchPolicy::All,
+            ]);
+        let evals = sweep.run().unwrap();
+        assert_eq!(evals.len(), 15);
+        // The three policies of one design share before-patch metrics.
+        assert_eq!(evals[0].before, evals[1].before);
+        assert_eq!(evals[1].before, evals[2].before);
+        assert_eq!(evals[0].coa.to_bits(), evals[2].coa.to_bits());
+        // And the policy axis orders after-patch security as expected.
+        assert!(
+            evals[0].after.attack_success_probability >= evals[1].after.attack_success_probability
+        );
+        assert_eq!(evals[2].after.exploitable_vulnerabilities, 0);
+    }
+
+    #[test]
+    fn experiment_reports_earliest_error() {
+        let spec = Arc::new(case_study::network());
+        let good = Scenario::new(
+            "ok",
+            Arc::clone(&spec),
+            Design::new("ok", vec![1, 1, 1, 1]),
+            PatchPolicy::All,
+        );
+        let bad = Scenario::new(
+            "bad",
+            Arc::clone(&spec),
+            Design::new("bad", vec![1, 1]),
+            PatchPolicy::All,
+        );
+        let exp = Experiment::new(vec![good, bad]).threads(2);
+        assert!(matches!(exp.run(), Err(EvalError::CountMismatch { .. })));
+    }
+
+    #[test]
+    fn shared_cache_spans_batches() {
+        let cache = Arc::new(AnalysisCache::new());
+        let sweep = Sweep::new(case_study::network()).share_cache(&cache);
+        sweep.run().unwrap();
+        let solves_after_first = cache.solves();
+        assert_eq!(solves_after_first, 4);
+        // A second batch over the same spec re-solves nothing.
+        Sweep::new(case_study::network())
+            .share_cache(&cache)
+            .designs(case_study::five_designs())
+            .run()
+            .unwrap();
+        assert_eq!(cache.solves(), solves_after_first);
+    }
+}

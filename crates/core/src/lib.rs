@@ -16,7 +16,9 @@
 //! 3. **Evaluation**: security metrics before/after patch, COA
 //!    ([`DesignEvaluation`]), the decision functions of Equations (3),(4)
 //!    ([`decision`]), and chart data for the paper's Figures 6 and 7
-//!    ([`charts`]).
+//!    ([`charts`]). Sweeps over designs × patch policies × schedule
+//!    parameters run on the batch execution layer ([`exec`]) — a scoped
+//!    worker pool with a shared cache of the per-tier SRN solves.
 //!
 //! The complete case study of the paper lives in [`case_study`].
 //!
@@ -59,12 +61,14 @@ pub mod cost;
 pub mod decision;
 mod error;
 mod evaluation;
+pub mod exec;
 pub mod report;
 pub mod sensitivity;
 mod spec;
 
 pub use error::EvalError;
 pub use evaluation::{DesignEvaluation, Evaluator, PatchPolicy};
+pub use exec::{AnalysisCache, Experiment, Scenario, Sweep};
 pub use spec::{Design, NetworkSpec, TierSpec};
 
 // Re-export the substrate vocabulary users need at this level.

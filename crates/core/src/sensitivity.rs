@@ -87,7 +87,10 @@ pub struct Sensitivity {
 }
 
 /// Computes COA-loss sensitivities of every `(tier, parameter)` pair by
-/// central differences with relative step `rel_step` (e.g. `0.05`).
+/// central differences with relative step `rel_step` (e.g. `0.05`),
+/// sequentially.
+///
+/// Equivalent to [`coa_sensitivities_batch`] with one thread.
 ///
 /// # Errors
 ///
@@ -101,46 +104,73 @@ pub fn coa_sensitivities(
     counts: &[u32],
     rel_step: f64,
 ) -> Result<Vec<Sensitivity>, EvalError> {
+    coa_sensitivities_batch(spec, counts, rel_step, 1)
+}
+
+/// Computes the COA-loss sensitivities of [`coa_sensitivities`] with the
+/// `(tier, parameter)` perturbation pairs spread over up to `threads`
+/// worker threads (each pair costs two full pipeline solves).
+///
+/// The ranking is identical to the sequential path for any thread count:
+/// pairs are computed independently and merged in job order before the
+/// stable sort by |elasticity|.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+///
+/// # Panics
+///
+/// Panics when `rel_step` is not within `(0, 0.5)`.
+pub fn coa_sensitivities_batch(
+    spec: &NetworkSpec,
+    counts: &[u32],
+    rel_step: f64,
+    threads: usize,
+) -> Result<Vec<Sensitivity>, EvalError> {
     assert!(
         rel_step > 0.0 && rel_step < 0.5,
         "relative step must be in (0, 0.5)"
     );
     let coa_of = |spec: &NetworkSpec| -> Result<f64, EvalError> {
         let design = spec.with_counts(counts)?;
-        let analyses = design.tier_analyses()?;
+        let analyses: Vec<redeval_avail::ServerAnalysis> = design.tier_analyses()?;
         Ok(design.network_model(&analyses).coa()?)
     };
     let base_coa = coa_of(spec)?;
     let base_loss = 1.0 - base_coa;
 
-    let mut out = Vec::new();
-    for (ti, tier) in spec.tiers().iter().enumerate() {
-        for param in Parameter::ALL {
-            let theta = param.get(&tier.params);
-            let step = theta * rel_step;
-            let perturbed = |value: f64| -> Result<f64, EvalError> {
-                let mut tiers = spec.tiers().to_vec();
-                param.set(&mut tiers[ti].params, value);
-                let s = NetworkSpec::new(tiers, spec.edges().to_vec());
-                coa_of(&s)
-            };
-            let hi = 1.0 - perturbed(theta + step)?;
-            let lo = 1.0 - perturbed(theta - step)?;
-            let derivative = (hi - lo) / (2.0 * step);
-            let elasticity = if base_loss > 0.0 {
-                derivative * theta / base_loss
-            } else {
-                0.0
-            };
-            out.push(Sensitivity {
-                tier: tier.name.clone(),
-                parameter: param,
-                value_hours: theta,
-                derivative,
-                elasticity,
-            });
-        }
-    }
+    let pairs: Vec<(usize, Parameter)> = (0..spec.tiers().len())
+        .flat_map(|ti| Parameter::ALL.into_iter().map(move |p| (ti, p)))
+        .collect();
+    let results = crate::exec::run_batch(pairs.len(), threads, |job| -> Result<_, EvalError> {
+        let (ti, param) = pairs[job];
+        let tier = &spec.tiers()[ti];
+        let theta = param.get(&tier.params);
+        let step = theta * rel_step;
+        let perturbed = |value: f64| -> Result<f64, EvalError> {
+            let mut tiers = spec.tiers().to_vec();
+            param.set(&mut tiers[ti].params, value);
+            let s = NetworkSpec::new(tiers, spec.edges().to_vec());
+            coa_of(&s)
+        };
+        let hi = 1.0 - perturbed(theta + step)?;
+        let lo = 1.0 - perturbed(theta - step)?;
+        let derivative = (hi - lo) / (2.0 * step);
+        let elasticity = if base_loss > 0.0 {
+            derivative * theta / base_loss
+        } else {
+            0.0
+        };
+        Ok(Sensitivity {
+            tier: tier.name.clone(),
+            parameter: param,
+            value_hours: theta,
+            derivative,
+            elasticity,
+        })
+    });
+    let mut out = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     out.sort_by(|a, b| {
         b.elasticity
             .abs()
@@ -219,5 +249,13 @@ mod tests {
     fn bad_step_panics() {
         let spec = case_study::network();
         let _ = coa_sensitivities(&spec, &[1, 2, 2, 1], 0.9);
+    }
+
+    #[test]
+    fn batch_is_bitwise_identical_to_sequential() {
+        let spec = case_study::network();
+        let seq = coa_sensitivities(&spec, &[1, 2, 2, 1], 0.05).unwrap();
+        let par = coa_sensitivities_batch(&spec, &[1, 2, 2, 1], 0.05, 4).unwrap();
+        assert_eq!(seq, par);
     }
 }

@@ -206,18 +206,36 @@ impl NetworkSpec {
     /// Builds the upper-layer availability model from pre-computed tier
     /// analyses.
     ///
+    /// Accepts any analysis container that borrows a
+    /// [`ServerAnalysis`](redeval_avail::ServerAnalysis) — plain values or
+    /// the shared `Arc`s handed out by
+    /// [`exec::AnalysisCache`](crate::exec::AnalysisCache).
+    ///
     /// # Panics
     ///
     /// Panics when `analyses.len()` differs from the tier count.
-    pub fn network_model(&self, analyses: &[redeval_avail::ServerAnalysis]) -> NetworkModel {
+    pub fn network_model<A>(&self, analyses: &[A]) -> NetworkModel
+    where
+        A: std::borrow::Borrow<redeval_avail::ServerAnalysis>,
+    {
         assert_eq!(analyses.len(), self.tiers.len(), "one analysis per tier");
         NetworkModel::new(
             self.tiers
                 .iter()
                 .zip(analyses)
-                .map(|(t, a)| Tier::new(t.name.clone(), t.count, a.rates()))
+                .map(|(t, a)| Tier::new(t.name.clone(), t.count, a.borrow().rates()))
                 .collect(),
         )
+    }
+
+    /// A copy with every tier's patch interval replaced (the patch-window
+    /// sweeps of the paper's Section V).
+    pub fn with_patch_interval(&self, interval: redeval_avail::Durations) -> NetworkSpec {
+        let mut out = self.clone();
+        for t in &mut out.tiers {
+            t.params.patch_interval = interval;
+        }
+        out
     }
 
     /// Enumerates all designs whose per-tier counts range over

@@ -478,13 +478,13 @@ mod tests {
         let max = harm
             .metrics(&MetricsConfig {
                 asp: AspStrategy::MaxPath,
-                ..base.clone()
+                ..base
             })
             .attack_success_probability;
         let nor = harm
             .metrics(&MetricsConfig {
                 asp: AspStrategy::NoisyOrPaths,
-                ..base.clone()
+                ..base
             })
             .attack_success_probability;
         let rel = harm

@@ -61,3 +61,22 @@ pub use harm::{AttackPath, Harm};
 pub use metrics::{AspStrategy, MetricsConfig, OrCombine, SecurityMetrics};
 pub use tree::AttackTree;
 pub use vuln::Vulnerability;
+
+#[cfg(test)]
+mod send_sync_audit {
+    //! The batch execution layer shares HARMs across scoped worker
+    //! threads; every public type must stay `Send + Sync`.
+    use super::*;
+
+    #[test]
+    fn harm_types_are_send_sync() {
+        fn ok<T: Send + Sync>() {}
+        ok::<Harm>();
+        ok::<AttackGraph>();
+        ok::<AttackTree>();
+        ok::<AttackPath>();
+        ok::<Vulnerability>();
+        ok::<MetricsConfig>();
+        ok::<SecurityMetrics>();
+    }
+}

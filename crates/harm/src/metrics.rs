@@ -35,7 +35,7 @@ pub enum AspStrategy {
 }
 
 /// Configuration for [`crate::Harm::metrics`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MetricsConfig {
     /// OR-gate combination inside attack trees.
     pub or_combine: OrCombine,

@@ -60,3 +60,23 @@ pub use error::SolveError;
 pub use stats::{weighted_mean, Summary};
 pub use steady::{SteadyStateMethod, SteadyStateOptions};
 pub use transient::TransientOptions;
+
+#[cfg(test)]
+mod send_sync_audit {
+    //! The batch execution layer shares solver values across scoped
+    //! worker threads; every public type must stay `Send + Sync`.
+    use super::*;
+
+    #[test]
+    fn solver_types_are_send_sync() {
+        fn ok<T: Send + Sync>() {}
+        ok::<Ctmc>();
+        ok::<Dtmc>();
+        ok::<BirthDeath>();
+        ok::<Transition>();
+        ok::<Summary>();
+        ok::<SolveError>();
+        ok::<SteadyStateOptions>();
+        ok::<TransientOptions>();
+    }
+}

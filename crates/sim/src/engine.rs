@@ -82,7 +82,9 @@ pub struct SimOutcome {
     pub firings: u64,
 }
 
-type RewardFn<'a> = Box<dyn Fn(&Marking) -> f64 + 'a>;
+// `Send + Sync` so whole simulations can move to (and be shared by) batch
+// worker threads — replication fan-out runs one `Simulation` per worker.
+type RewardFn<'a> = Box<dyn Fn(&Marking) -> f64 + Send + Sync + 'a>;
 
 /// A reusable simulator for one net.
 ///
@@ -121,7 +123,7 @@ impl<'a> Simulation<'a> {
     /// registration order.
     pub fn add_reward<F>(&mut self, name: impl Into<String>, f: F)
     where
-        F: Fn(&Marking) -> f64 + 'a,
+        F: Fn(&Marking) -> f64 + Send + Sync + 'a,
     {
         self.rewards.push((name.into(), Box::new(f)));
     }

@@ -55,3 +55,20 @@ mod engine;
 pub use attack::{estimate_asp, AspEstimate};
 pub use coa::simulate_coa;
 pub use engine::{RewardEstimate, SimError, SimOutcome, Simulation};
+
+#[cfg(test)]
+mod send_sync_audit {
+    //! Whole simulations move to batch worker threads (replication
+    //! fan-out); reward closures are boxed `Send + Sync` to keep it so.
+    use super::*;
+
+    #[test]
+    fn simulation_types_are_send_sync() {
+        fn ok<T: Send + Sync>() {}
+        ok::<Simulation<'_>>();
+        ok::<SimOutcome>();
+        ok::<RewardEstimate>();
+        ok::<AspEstimate>();
+        ok::<SimError>();
+    }
+}

@@ -59,3 +59,20 @@ pub use marking::Marking;
 pub use net::{PlaceId, Srn, TransId, TransitionKind};
 pub use reach::{ReachOptions, StateSpace};
 pub use solved::SolvedSrn;
+
+#[cfg(test)]
+mod send_sync_audit {
+    //! The batch execution layer shares solver values across scoped
+    //! worker threads; every public type must stay `Send + Sync`.
+    use super::*;
+
+    #[test]
+    fn solver_types_are_send_sync() {
+        fn ok<T: Send + Sync>() {}
+        ok::<Srn>();
+        ok::<Marking>();
+        ok::<StateSpace>();
+        ok::<SolvedSrn>();
+        ok::<SrnError>();
+    }
+}

@@ -8,15 +8,8 @@
 //! Run with: `cargo run --example design_space [max_redundancy]`
 
 use redeval::case_study;
-use redeval::DesignEvaluation;
-
-fn dominates(a: &DesignEvaluation, b: &DesignEvaluation) -> bool {
-    let (a_asp, b_asp) = (
-        a.after.attack_success_probability,
-        b.after.attack_success_probability,
-    );
-    (a_asp <= b_asp && a.coa >= b.coa) && (a_asp < b_asp || a.coa > b.coa)
-}
+use redeval::decision::pareto_frontier_batch;
+use redeval::exec::default_threads;
 
 fn main() -> Result<(), redeval::EvalError> {
     let max_redundancy: u32 = std::env::args()
@@ -27,24 +20,18 @@ fn main() -> Result<(), redeval::EvalError> {
     let evaluator = case_study::evaluator()?;
     let designs = evaluator.base().enumerate_designs(max_redundancy);
     println!(
-        "evaluating {} designs (1..={} servers per tier)",
+        "evaluating {} designs (1..={} servers per tier) on {} thread(s)",
         designs.len(),
-        max_redundancy
+        max_redundancy,
+        default_threads()
     );
 
-    let evals = evaluator.evaluate_all(&designs)?;
+    // The whole space evaluates on the batch worker pool; results come
+    // back in design order, identical to the sequential path.
+    let evals = evaluator.evaluate_batch(&designs, default_threads())?;
 
     // Pareto frontier: not dominated by any other design.
-    let mut frontier: Vec<&DesignEvaluation> = evals
-        .iter()
-        .filter(|e| !evals.iter().any(|o| dominates(o, e)))
-        .collect();
-    frontier.sort_by(|a, b| {
-        a.after
-            .attack_success_probability
-            .partial_cmp(&b.after.attack_success_probability)
-            .expect("finite")
-    });
+    let frontier = pareto_frontier_batch(&evals, default_threads());
 
     println!();
     println!(

@@ -53,14 +53,21 @@ fn main() -> Result<(), redeval::EvalError> {
     println!();
     println!("== patch policy comparison (monthly schedule) ==");
     println!();
+    // One evaluator per policy over the same network: a shared analysis
+    // cache solves each tier's SRN once instead of once per evaluator.
+    let cache = redeval::exec::AnalysisCache::new();
     for (name, policy) in [
         ("none", PatchPolicy::None),
         ("critical-only (>8.0)", PatchPolicy::CriticalOnly(8.0)),
         ("critical-only (>7.0)", PatchPolicy::CriticalOnly(7.0)),
         ("all", PatchPolicy::All),
     ] {
-        let evaluator =
-            Evaluator::with_options(case_study::network(), MetricsConfig::default(), policy)?;
+        let evaluator = Evaluator::with_cache(
+            case_study::network(),
+            MetricsConfig::default(),
+            policy,
+            &cache,
+        )?;
         let e = evaluator.evaluate("case study", &[1, 2, 2, 1])?;
         println!(
             "{:<22} ASP {:>6.4}  NoEV {:>2}  NoAP {:>2}  NoEP {:>2}",

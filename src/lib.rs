@@ -37,6 +37,7 @@ pub mod prelude {
     pub use redeval::charts;
     pub use redeval::cost::CostModel;
     pub use redeval::decision::{MultiBounds, ScatterBounds};
+    pub use redeval::exec::{self, AnalysisCache, Experiment, Scenario, Sweep};
     pub use redeval::{
         AspStrategy, AttackGraph, AttackTree, Design, DesignEvaluation, Durations, EvalError,
         Evaluator, Harm, MetricsConfig, NetworkModel, NetworkSpec, OrCombine, PatchPolicy,
