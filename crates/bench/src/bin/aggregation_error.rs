@@ -1,92 +1,8 @@
-//! Validation experiment: how accurate is the paper's hierarchical
-//! aggregation (Equations (1),(2) + patch-only upper layer) against the
-//! exact, unreduced composition of full server models?
-//!
-//! Small networks are solved exactly (product state spaces); the
-//! case-study network (6 servers, ~25⁶ states) is simulated instead.
-
-use redeval::case_study;
-use redeval_avail::{CompositeNetwork, NetworkModel, ServerAnalysis, Tier};
-use redeval_bench::header;
-use redeval_sim::Simulation;
-
-fn aggregated_coa(params: &[redeval::ServerParams], counts: &[u32]) -> f64 {
-    let tiers: Vec<Tier> = params
-        .iter()
-        .zip(counts)
-        .map(|(p, &c)| {
-            let a = ServerAnalysis::of(p).expect("server model solves");
-            Tier::new(p.name.clone(), c, a.rates())
-        })
-        .collect();
-    NetworkModel::new(tiers).coa().expect("product form solves")
-}
+//! Validation experiment: accuracy of the paper's hierarchical
+//! aggregation against the exact composite model. Thin shim over
+//! `redeval_bench::reports::validate::aggregation_error` (equivalently:
+//! `redeval aggregation-error`).
 
 fn main() {
-    header("exact composite vs hierarchical aggregation (small networks)");
-    println!(
-        "{:<28} {:>12} {:>12} {:>12}",
-        "network", "exact COA", "aggregated", "error"
-    );
-    let dns = case_study::dns_params();
-    let web = case_study::web_params();
-    let cases: Vec<(&str, Vec<redeval::ServerParams>, Vec<u32>)> = vec![
-        ("1 dns", vec![dns.clone()], vec![1]),
-        ("2 dns (one tier)", vec![dns.clone()], vec![2]),
-        ("dns + web", vec![dns.clone(), web.clone()], vec![1, 1]),
-        ("dns + 2 web", vec![dns.clone(), web.clone()], vec![1, 2]),
-    ];
-    for (label, params, counts) in cases {
-        let composite = CompositeNetwork::build(&params, &counts);
-        let exact = composite.coa_exact().expect("exact solve");
-        let agg = aggregated_coa(&params, &counts);
-        println!(
-            "{:<28} {:>12.6} {:>12.6} {:>+12.2e}",
-            label,
-            exact,
-            agg,
-            agg - exact
-        );
-    }
-    println!();
-    println!("the aggregation ignores failure-induced downtime (the paper's");
-    println!("upper layer models patch states only), so it overestimates COA");
-    println!("by roughly the summed failure unavailability.");
-
-    header("case-study network (6 servers): simulation of the full composite");
-    let spec = case_study::network();
-    let params: Vec<redeval::ServerParams> =
-        spec.tiers().iter().map(|t| t.params.clone()).collect();
-    let counts: Vec<u32> = spec.tiers().iter().map(|t| t.count).collect();
-    let composite = CompositeNetwork::build(&params, &counts);
-    let mut sim = Simulation::new(composite.net(), 777);
-    // Rebuild the reward against the simulator's marking type.
-    let servers = composite.servers().to_vec();
-    let n_tiers = counts.len();
-    let total: u32 = counts.iter().sum();
-    sim.add_reward("coa", move |m| {
-        let mut up = vec![0u32; n_tiers];
-        for (tier, places) in &servers {
-            if places.service_up(m) {
-                up[*tier] += 1;
-            }
-        }
-        if up.contains(&0) {
-            0.0
-        } else {
-            f64::from(up.iter().sum::<u32>()) / f64::from(total)
-        }
-    });
-    let out = sim.run(5_000.0, 1_000_000.0, 20).expect("simulation runs");
-    let est = &out.rewards[0];
-    let agg = aggregated_coa(&params, &counts);
-    println!("exact (simulated) COA : {:.5} ± {:.5}", est.mean, est.ci95);
-    println!("aggregated (paper)    : {agg:.5}");
-    println!("aggregation error     : {:+.2e}", agg - est.mean);
-    println!();
-    println!("the ~6·10⁻³ offset is the failure-induced downtime the paper's");
-    println!("patch-only upper layer deliberately excludes. It applies almost");
-    println!("uniformly across redundancy designs (every design runs the same");
-    println!("servers), so the paper's design *ranking* survives — but absolute");
-    println!("COA values should be read as 'capacity under patching alone'.");
+    redeval_bench::cli::shim("aggregation_error");
 }

@@ -1,51 +1,7 @@
-//! Extension (paper §V "other metrics"): expected monthly operational cost
-//! per design — server spend vs. capacity-loss vs. expected breach loss.
-
-use redeval::case_study;
-use redeval::cost::CostModel;
-use redeval_bench::header;
+//! Extension (paper §V "other metrics"): expected monthly operational
+//! cost per design. Thin shim over
+//! `redeval_bench::reports::studies::cost` (equivalently: `redeval cost`).
 
 fn main() {
-    let evaluator = case_study::evaluator().expect("evaluator builds");
-    let designs = case_study::five_designs();
-    let evals = evaluator.evaluate_all(&designs).expect("designs evaluate");
-
-    let model = CostModel::default();
-    header("expected monthly cost per design (currency units)");
-    println!(
-        "server/month {}  downtime/hour {}  breach {}",
-        model.server_month, model.downtime_hour, model.breach
-    );
-    println!();
-    println!(
-        "{:<32} {:>9} {:>10} {:>9} {:>10}",
-        "design", "servers", "downtime", "breach", "total"
-    );
-    for e in &evals {
-        let b = model.evaluate(e);
-        println!(
-            "{:<32} {:>9.0} {:>10.1} {:>9.0} {:>10.1}",
-            e.name,
-            b.servers,
-            b.downtime,
-            b.breach,
-            b.total()
-        );
-    }
-    if let Some((best, b)) = model.cheapest(&evals) {
-        println!();
-        println!("cheapest: {} (total {:.1})", best.name, b.total());
-    }
-
-    header("sensitivity: breach cost sweep");
-    println!("{:>12}  cheapest design", "breach cost");
-    for breach in [0.0, 10_000.0, 100_000.0, 1_000_000.0, 10_000_000.0] {
-        let m = CostModel { breach, ..model };
-        if let Some((best, _)) = m.cheapest(&evals) {
-            println!("{breach:>12.0}  {}", best.name);
-        }
-    }
-    println!();
-    println!("as breach cost dominates, the low-attack-surface designs win;");
-    println!("as downtime dominates, the high-COA designs win.");
+    redeval_bench::cli::shim("cost");
 }

@@ -1,57 +1,15 @@
-//! Extension (paper §V "systems"): exhaustive design-space search with the
-//! paper's decision functions, beyond the five hand-picked designs.
+//! Extension (paper §V "systems"): exhaustive design-space search with
+//! the paper's decision functions. Thin shim over
+//! `redeval_bench::reports::studies::design_space`, parameterized by the
+//! per-tier redundancy bound (equivalently: `redeval design-space` for
+//! the default bound of 3).
 //!
-//! The whole space runs through the batch execution layer
-//! ([`redeval::exec::Sweep`]) on every available core.
+//! Usage: `design_space [max_redundancy]`
 
-use redeval::case_study;
-use redeval::decision::ScatterBounds;
-use redeval::exec::Sweep;
-use redeval_bench::{arg_or, design_row, header};
+use redeval_bench::reports::studies;
+use redeval_bench::{arg_or, cli};
 
 fn main() {
     let max_redundancy: u32 = arg_or(1, 3);
-
-    let sweep = Sweep::new(case_study::network()).full_design_space(max_redundancy);
-    header(&format!(
-        "design space 1..={max_redundancy} per tier: {} designs",
-        sweep.len()
-    ));
-    let evals = sweep.run().expect("designs evaluate");
-
-    // Rank by COA and show the extremes.
-    let mut by_coa: Vec<&redeval::DesignEvaluation> = evals.iter().collect();
-    by_coa.sort_by(|a, b| b.coa.partial_cmp(&a.coa).expect("finite"));
-    println!("highest COA:");
-    for e in by_coa.iter().take(5) {
-        println!("  {}", design_row(e));
-    }
-    println!("lowest COA:");
-    for e in by_coa.iter().rev().take(3) {
-        println!("  {}", design_row(e));
-    }
-
-    header("designs satisfying φ=0.2, ψ=0.9968 (tight bounds need redundancy)");
-    let bounds = ScatterBounds {
-        max_asp: 0.2,
-        min_coa: 0.9968,
-    };
-    let mut region = bounds.region(&evals);
-    region.sort_by(|a, b| {
-        a.total_servers()
-            .cmp(&b.total_servers())
-            .then(a.name.cmp(&b.name))
-    });
-    if region.is_empty() {
-        println!("(none — bounds unsatisfiable in this space)");
-    }
-    for e in region.iter().take(10) {
-        println!("  {}", design_row(e));
-    }
-    println!();
-    println!(
-        "{} of {} designs satisfy the bounds",
-        region.len(),
-        evals.len()
-    );
+    std::process::exit(cli::print_report(&studies::design_space(max_redundancy)));
 }

@@ -1,52 +1,7 @@
-//! Regenerates **Figure 3** — the HARMs of the example network before and
-//! after patch — as Graphviz DOT plus a textual path listing.
-
-use redeval::case_study;
-use redeval::MetricsConfig;
-use redeval_bench::header;
+//! Regenerates **Figure 3** — the HARMs before/after patch as attack
+//! paths plus Graphviz DOT. Thin shim over
+//! `redeval_bench::reports::figures::fig3` (equivalently: `redeval fig 3`).
 
 fn main() {
-    let spec = case_study::network();
-    let before = spec.build_harm();
-    let after = before.patched_critical(8.0);
-    let cfg = MetricsConfig::default();
-
-    header("Figure 3(a): HARM before patch — attack paths");
-    let paths = before.attack_paths(&cfg).expect("few paths");
-    for p in &paths {
-        let names: Vec<&str> = p
-            .hosts
-            .iter()
-            .map(|&h| before.graph().host_name(h))
-            .collect();
-        println!(
-            "A -> {}   (aim {:.1}, asp {:.4})",
-            names.join(" -> "),
-            p.impact,
-            p.probability
-        );
-    }
-
-    header("Figure 3(b): HARM after patch — attack paths");
-    let paths = after.attack_paths(&cfg).expect("few paths");
-    for p in &paths {
-        let names: Vec<&str> = p
-            .hosts
-            .iter()
-            .map(|&h| after.graph().host_name(h))
-            .collect();
-        println!(
-            "A -> {}   (aim {:.1}, asp {:.4})",
-            names.join(" -> "),
-            p.impact,
-            p.probability
-        );
-    }
-    println!();
-    println!("(dns1 is excluded after patch: no exploitable vulnerability left)");
-
-    header("Graphviz DOT (before patch) — render with `dot -Tsvg`");
-    println!("{}", before.to_dot());
-    header("Graphviz DOT (after patch)");
-    println!("{}", after.to_dot());
+    redeval_bench::cli::shim("fig3");
 }

@@ -1,32 +1,7 @@
-//! Regenerates **Figures 4 and 5** — the SRN sub-models — as Graphviz DOT,
-//! plus the tangible state space of the server model.
-
-use redeval::case_study;
-use redeval_avail::ServerModel;
-use redeval_bench::header;
+//! Regenerates **Figures 4 and 5** — the SRN sub-models as Graphviz DOT
+//! plus the tangible state space. Thin shim over
+//! `redeval_bench::reports::figures::fig45` (equivalently: `redeval fig 45`).
 
 fn main() {
-    header("Figure 5: SRN sub-models for a server (DNS parameters) — DOT");
-    let model = ServerModel::build(&case_study::dns_params());
-    println!("{}", model.net().to_dot());
-
-    header("tangible state space of the server SRN");
-    let ss = model.net().state_space().expect("state space builds");
-    println!(
-        "{} tangible markings, {} vanishing markings eliminated",
-        ss.len(),
-        ss.vanishing_count()
-    );
-    println!();
-    println!("(places: Phwup Phwd Posup Posd Posfd Posrp Posp Psvcup Psvcd");
-    println!("         Psvcfd Psvcrp Psvcp Psvcrrb Pclock Ppolicy Ptrigger)");
-    for m in ss.tangible_markings() {
-        println!("  {m}");
-    }
-
-    header("Figure 4: SRN sub-models for the network — DOT");
-    let spec = case_study::network();
-    let analyses = spec.tier_analyses().expect("server models solve");
-    let (net, _) = spec.network_model(&analyses).to_srn();
-    println!("{}", net.to_dot());
+    redeval_bench::cli::shim("fig45");
 }

@@ -1,65 +1,7 @@
-//! Regenerates **Figure 6** — the ASP-vs-COA scatter comparison of the
-//! five redundancy designs, before (a) and after (b) patch — as CSV and an
-//! ASCII scatter plot, plus the paper's Equation-(3) region analysis.
-
-use redeval::case_study;
-use redeval::charts::{scatter_ascii, scatter_csv, scatter_data};
-use redeval::decision::ScatterBounds;
-use redeval_bench::header;
+//! Regenerates **Figure 6** — the ASP-vs-COA scatter of the five designs
+//! plus the Equation-(3) regions. Thin shim over
+//! `redeval_bench::reports::figures::fig6` (equivalently: `redeval fig 6`).
 
 fn main() {
-    let evaluator = case_study::evaluator().expect("evaluator builds");
-    let designs = case_study::five_designs();
-    let evals = evaluator.evaluate_all(&designs).expect("designs evaluate");
-
-    header("Figure 6(a): before patch");
-    let before = scatter_data(&evals, false);
-    print!("{}", scatter_csv(&before));
-    println!();
-    println!("(all designs share ASP = 1.0 before patch, as in the paper)");
-
-    header("Figure 6(b): after patch");
-    let after = scatter_data(&evals, true);
-    print!("{}", scatter_csv(&after));
-    println!();
-    print!("{}", scatter_ascii(&after, 64, 14));
-
-    header("Equation (3) regions");
-    for (label, bounds, expect) in [
-        (
-            "region 1: φ=0.2, ψ=0.9962",
-            ScatterBounds {
-                max_asp: 0.2,
-                min_coa: 0.9962,
-            },
-            vec![
-                "1 DNS + 1 WEB + 2 APP + 1 DB",
-                "1 DNS + 1 WEB + 1 APP + 2 DB",
-            ],
-        ),
-        (
-            "region 2: φ=0.1, ψ=0.9961",
-            ScatterBounds {
-                max_asp: 0.1,
-                min_coa: 0.9961,
-            },
-            vec!["2 DNS + 1 WEB + 1 APP + 1 DB"],
-        ),
-    ] {
-        let region: Vec<&str> = bounds
-            .region(&evals)
-            .iter()
-            .map(|e| e.name.as_str())
-            .collect();
-        println!("{label}");
-        for name in &region {
-            println!("    {name}");
-        }
-        let matches = region == expect;
-        println!(
-            "  -> matches the paper's region: {}",
-            if matches { "yes" } else { "NO" }
-        );
-        println!();
-    }
+    redeval_bench::cli::shim("fig6");
 }

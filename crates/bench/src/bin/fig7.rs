@@ -1,89 +1,7 @@
-//! Regenerates **Figure 7** — the six-metric radar comparison of the five
-//! redundancy designs before (a) and after (b) patch — as CSV/tables, plus
-//! the paper's Equation-(4) region analysis.
-
-use redeval::case_study;
-use redeval::charts::{radar_csv, radar_data, radar_table, RADAR_AXES};
-use redeval::decision::MultiBounds;
-use redeval_bench::header;
+//! Regenerates **Figure 7** — the six-metric radar comparison plus the
+//! Equation-(4) regions. Thin shim over
+//! `redeval_bench::reports::figures::fig7` (equivalently: `redeval fig 7`).
 
 fn main() {
-    let evaluator = case_study::evaluator().expect("evaluator builds");
-    let designs = case_study::five_designs();
-    let evals = evaluator.evaluate_all(&designs).expect("designs evaluate");
-
-    println!("radar axes: {}", RADAR_AXES.join(" | "));
-
-    header("Figure 7(a): before patch");
-    let before = radar_data(&evals, false);
-    print!("{}", radar_table(&before));
-    println!();
-    print!("{}", radar_csv(&before));
-
-    header("Figure 7(b): after patch");
-    let after = radar_data(&evals, true);
-    print!("{}", radar_table(&after));
-    println!();
-    print!("{}", radar_csv(&after));
-
-    header("paper's qualitative observations, checked");
-    let aim_before: Vec<f64> = before.iter().map(|s| s.values[2]).collect();
-    println!(
-        "AIM identical across designs before patch: {}",
-        aim_before.iter().all(|&a| (a - aim_before[0]).abs() < 1e-9)
-    );
-    let d = |i: usize| &after[i].values;
-    println!(
-        "designs 1 and 2 share NoAP and NoEV after patch: {}",
-        d(0)[4] == d(1)[4] && d(0)[3] == d(1)[3]
-    );
-    println!(
-        "only design 3 (2 WEB) has more entry points after patch: {}",
-        d(2)[0] > d(0)[0] && d(1)[0] == d(0)[0] && d(3)[0] == d(0)[0] && d(4)[0] == d(0)[0]
-    );
-    println!(
-        "design 4 (2 APP) has the highest COA: {}",
-        (0..5).all(|i| after[3].values[5] >= after[i].values[5])
-    );
-
-    header("Equation (4) regions");
-    for (label, bounds, expect) in [
-        (
-            "region 1: φ=0.2, ξ=9, ω=2, κ=1, ψ=0.9962",
-            MultiBounds {
-                max_asp: 0.2,
-                max_noev: 9,
-                max_noap: 2,
-                max_noep: 1,
-                min_coa: 0.9962,
-            },
-            vec!["1 DNS + 1 WEB + 2 APP + 1 DB"],
-        ),
-        (
-            "region 2: φ=0.1, ξ=7, ω=1, κ=1, ψ=0.9961",
-            MultiBounds {
-                max_asp: 0.1,
-                max_noev: 7,
-                max_noap: 1,
-                max_noep: 1,
-                min_coa: 0.9961,
-            },
-            vec!["2 DNS + 1 WEB + 1 APP + 1 DB"],
-        ),
-    ] {
-        let region: Vec<&str> = bounds
-            .region(&evals)
-            .iter()
-            .map(|e| e.name.as_str())
-            .collect();
-        println!("{label}");
-        for name in &region {
-            println!("    {name}");
-        }
-        println!(
-            "  -> matches the paper's region: {}",
-            if region == expect { "yes" } else { "NO" }
-        );
-        println!();
-    }
+    redeval_bench::cli::shim("fig7");
 }

@@ -1,55 +1,8 @@
 //! Emits the complete markdown evaluation report for the paper's five
-//! designs (pipe to a file for CI artifacts).
-
-use redeval::case_study;
-use redeval::decision::{MultiBounds, ScatterBounds};
-use redeval::report::{markdown_report, ReportOptions};
+//! designs (pipe to a file for CI artifacts). Thin shim over
+//! `redeval_bench::reports::full_report_markdown`, which renders through
+//! `redeval::report::markdown_report` with the paper's region bounds.
 
 fn main() {
-    let evaluator = case_study::evaluator().expect("evaluator builds");
-    let designs = case_study::five_designs();
-    let options = ReportOptions {
-        title: "Ge et al. (DSN 2017) — five redundancy designs under monthly critical patching"
-            .into(),
-        scatter_bounds: vec![
-            (
-                "φ=0.2, ψ=0.9962".into(),
-                ScatterBounds {
-                    max_asp: 0.2,
-                    min_coa: 0.9962,
-                },
-            ),
-            (
-                "φ=0.1, ψ=0.9961".into(),
-                ScatterBounds {
-                    max_asp: 0.1,
-                    min_coa: 0.9961,
-                },
-            ),
-        ],
-        multi_bounds: vec![
-            (
-                "φ=0.2, ξ=9, ω=2, κ=1, ψ=0.9962".into(),
-                MultiBounds {
-                    max_asp: 0.2,
-                    max_noev: 9,
-                    max_noap: 2,
-                    max_noep: 1,
-                    min_coa: 0.9962,
-                },
-            ),
-            (
-                "φ=0.1, ξ=7, ω=1, κ=1, ψ=0.9961".into(),
-                MultiBounds {
-                    max_asp: 0.1,
-                    max_noev: 7,
-                    max_noap: 1,
-                    max_noep: 1,
-                    min_coa: 0.9961,
-                },
-            ),
-        ],
-    };
-    let report = markdown_report(&evaluator, &designs, &options).expect("designs evaluate");
-    print!("{report}");
+    print!("{}", redeval_bench::reports::full_report_markdown());
 }

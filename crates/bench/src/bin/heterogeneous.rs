@@ -1,124 +1,9 @@
-//! Extension (paper §V "systems"): heterogeneous redundancy — the
-//! redundant server runs a *different* software stack, so it carries a
-//! different vulnerability set and patch profile than its sibling.
-//!
-//! The paper's key caveat is that identical redundant servers double the
-//! attack surface; this report quantifies how a diverse replica changes
-//! the picture: attack paths still double, but an attacker must now master
-//! two distinct exploit chains, so the noisy-or ASP grows less than with
-//! identical replicas (and AND-style co-compromise metrics fall sharply).
-
-use redeval::exec::{Experiment, Scenario};
-use redeval::{
-    AttackTree, Design, Durations, NetworkSpec, PatchPolicy, ServerParams, TierSpec, Vulnerability,
-};
-use redeval_bench::header;
-
-/// Base web tier vulnerability: trivially exploitable remote root.
-fn stack_a_tree() -> AttackTree {
-    AttackTree::leaf(Vulnerability::new("CVE-A (apache stack)", 10.0, 0.9))
-}
-
-/// Diverse stack: harder, two-step exploit.
-fn stack_b_tree() -> AttackTree {
-    AttackTree::and(vec![
-        AttackTree::leaf(Vulnerability::new("CVE-B1 (nginx stack)", 2.9, 0.8)),
-        AttackTree::leaf(Vulnerability::new("CVE-B2 (kernel lpe)", 10.0, 0.39)),
-    ])
-}
-
-fn db_tier() -> TierSpec {
-    TierSpec {
-        name: "db".into(),
-        count: 1,
-        params: ServerParams::builder("db")
-            .service_patch(Durations::minutes(10.0), Durations::minutes(5.0))
-            .os_patch(Durations::minutes(30.0), Durations::minutes(10.0))
-            .build(),
-        tree: Some(AttackTree::leaf(Vulnerability::new("CVE-DB", 10.0, 0.39))),
-        entry: false,
-        target: true,
-    }
-}
-
-fn web_tier(name: &str, tree: AttackTree) -> TierSpec {
-    TierSpec {
-        name: name.into(),
-        count: 1,
-        params: ServerParams::builder(name)
-            .service_patch(Durations::minutes(10.0), Durations::minutes(5.0))
-            .os_patch(Durations::minutes(10.0), Durations::minutes(10.0))
-            .build(),
-        tree: Some(tree),
-        entry: true,
-        target: false,
-    }
-}
-
-fn scenario(label: &str, spec: NetworkSpec, counts: &[u32]) -> Scenario {
-    Scenario::new(
-        label,
-        spec,
-        Design::new(label, counts.to_vec()),
-        PatchPolicy::CriticalOnly(8.0),
-    )
-}
+//! Extension (paper §V "systems"): heterogeneous redundancy — a diverse
+//! replica carries a different vulnerability set and patch profile than
+//! its sibling. Thin shim over
+//! `redeval_bench::reports::studies::heterogeneous` (equivalently:
+//! `redeval heterogeneous`).
 
 fn main() {
-    header("heterogeneous redundancy (web tier, after patch)");
-
-    // Three different topologies in one batch: the execution layer takes
-    // arbitrary scenario lists, not just regular grids.
-    let scenarios = vec![
-        // No redundancy.
-        scenario(
-            "single web (stack A)",
-            NetworkSpec::new(
-                vec![web_tier("web", stack_a_tree()), db_tier()],
-                vec![(0, 1)],
-            ),
-            &[1, 1],
-        ),
-        // Identical redundancy: two stack-A servers.
-        scenario(
-            "2x web (identical A+A)",
-            NetworkSpec::new(
-                vec![web_tier("web", stack_a_tree()), db_tier()],
-                vec![(0, 1)],
-            ),
-            &[2, 1],
-        ),
-        // Heterogeneous redundancy: one stack-A and one stack-B server,
-        // modelled as two single-server tiers feeding the same database.
-        scenario(
-            "2x web (diverse A+B)",
-            NetworkSpec::new(
-                vec![
-                    web_tier("webA", stack_a_tree()),
-                    web_tier("webB", stack_b_tree()),
-                    db_tier(),
-                ],
-                vec![(0, 2), (1, 2)],
-            ),
-            &[1, 1, 1],
-        ),
-    ];
-    for e in Experiment::new(scenarios)
-        .run()
-        .expect("scenarios evaluate")
-    {
-        println!(
-            "{:<26} ASP {:>6.4}  NoEV {:>2}  NoAP {:>2}  COA {:.5}",
-            e.name,
-            e.after.attack_success_probability,
-            e.after.exploitable_vulnerabilities,
-            e.after.attack_paths,
-            e.coa
-        );
-    }
-
-    println!();
-    println!("identical replicas double the attack surface with the *same*");
-    println!("exploit; the diverse replica adds a second, harder chain — its");
-    println!("marginal ASP increase is smaller while COA gains are identical.");
+    redeval_bench::cli::shim("heterogeneous");
 }

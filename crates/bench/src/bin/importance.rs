@@ -1,35 +1,8 @@
 //! Extension: host-importance ranking — which server most enables the
-//! attack goal, before and after the patch round (a security analogue of
-//! component-importance analysis).
-
-use redeval::case_study;
-use redeval::MetricsConfig;
-use redeval_bench::header;
+//! attack goal, before and after the patch round. Thin shim over
+//! `redeval_bench::reports::studies::importance` (equivalently:
+//! `redeval importance`).
 
 fn main() {
-    let harm = case_study::network().build_harm();
-    let cfg = MetricsConfig::default();
-
-    for (label, h) in [
-        ("before patch", harm.clone()),
-        ("after patch", harm.patched_critical(8.0)),
-    ] {
-        header(&format!("host importance (ΔASP when hardened), {label}"));
-        let base = h.metrics(&cfg).attack_success_probability;
-        println!("network ASP = {base:.4}");
-        println!();
-        println!("{:<10} {:>10} {:>12}", "host", "ΔASP", "ASP if hardened");
-        for (host, delta) in h.host_importance(&cfg) {
-            println!(
-                "{:<10} {:>10.4} {:>12.4}",
-                h.graph().host_name(host),
-                delta,
-                base - delta
-            );
-        }
-        println!();
-    }
-    println!("the database (single point of the attack goal) dominates both");
-    println!("rankings; after the patch, hardening either remaining app server");
-    println!("severs half the surviving paths.");
+    redeval_bench::cli::shim("importance");
 }

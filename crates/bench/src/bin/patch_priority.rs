@@ -1,64 +1,8 @@
 //! Extension: greedy patch prioritization — when the maintenance window
-//! only allows a few patches, which vulnerabilities should go first?
-
-use redeval::case_study;
-use redeval::exec::Sweep;
-use redeval::MetricsConfig;
-use redeval_bench::header;
+//! only allows a few patches, which vulnerabilities go first? Thin shim
+//! over `redeval_bench::reports::studies::patch_priority` (equivalently:
+//! `redeval patch-priority`).
 
 fn main() {
-    let harm = case_study::network().build_harm();
-    let cfg = MetricsConfig::default();
-
-    header("vulnerability importance (ΔASP when patched fleet-wide)");
-    let base = harm.metrics(&cfg).attack_success_probability;
-    println!("unpatched network ASP = {base:.4}");
-    println!();
-    println!("{:<28} {:>10}", "vulnerability", "ΔASP");
-    for (id, delta) in harm.vulnerability_importance(&cfg).iter().take(10) {
-        println!("{id:<28} {delta:>10.4}");
-    }
-
-    header("greedy patch schedule (budget 8)");
-    println!("{:<6} {:<28} {:>12}", "step", "patch", "ASP after");
-    for (i, (id, asp)) in harm.greedy_patch_order(&cfg, 8).iter().enumerate() {
-        println!("{:<6} {:<28} {:>12.4}", i + 1, id, asp);
-    }
-    println!();
-    let order = harm.greedy_patch_order(&cfg, 32);
-    let blanket = harm
-        .patched_critical(8.0)
-        .metrics(&cfg)
-        .attack_success_probability;
-    println!(
-        "the paper's blanket critical-only policy applies 9 patches and \
-         leaves ASP {blanket:.4};"
-    );
-    println!(
-        "the greedy schedule closes every attack path (ASP 0) after {} \
-         targeted patches.",
-        order.len()
-    );
-    println!();
-    println!("note the plateau: with several independent certain-success");
-    println!("vulnerabilities per host, single patches have zero marginal ΔASP");
-    println!("until a host's last remote-root option is removed — a property");
-    println!("of saturated noisy-or metrics the schedule makes visible.");
-
-    header("blanket policy across the five designs (batch sweep)");
-    let evals = Sweep::new(case_study::network())
-        .designs(case_study::five_designs())
-        .run()
-        .expect("designs evaluate");
-    println!("{:<32} {:>10} {:>10}", "design", "ASP before", "ASP after");
-    for e in &evals {
-        println!(
-            "{:<32} {:>10.4} {:>10.4}",
-            e.name, e.before.attack_success_probability, e.after.attack_success_probability
-        );
-    }
-    println!();
-    println!("every redundant replica multiplies the paths the blanket policy");
-    println!("leaves open — the more redundancy a design carries, the more a");
-    println!("targeted (greedy) schedule matters.");
+    redeval_bench::cli::shim("patch_priority");
 }

@@ -1,74 +1,7 @@
-//! Extension (paper §V "user oriented performance"): M/M/c response times
-//! per design, weighting each tier's queue by its up-server distribution
-//! under the patch schedule.
-
-use redeval::case_study;
-use redeval_avail::mmc::{availability_weighted_response_time, Mmc};
-use redeval_bench::header;
+//! Extension (paper §V "user oriented performance"): M/M/c response
+//! times per design under the patch schedule. Thin shim over
+//! `redeval_bench::reports::studies::perf` (equivalently: `redeval perf`).
 
 fn main() {
-    let spec = case_study::network();
-    let analyses = spec.tier_analyses().expect("server models solve");
-
-    header("per-tier M/M/c response times under patching");
-    // Request profile: 50 req/s arrive at the web tier; each request costs
-    // one app call and 0.5 db calls. Service rates are per server.
-    let arrival_web = 50.0;
-    let tiers = [
-        ("web", 0, arrival_web, 40.0),
-        ("app", 2, arrival_web, 35.0),
-        ("db", 3, arrival_web * 0.5, 60.0),
-    ];
-    println!(
-        "{:<6} {:>8} {:>10} {:>14} {:>16}",
-        "tier", "servers", "util", "W (all up)", "W (patch-aware)"
-    );
-    let designs = case_study::five_designs();
-    for d in &designs {
-        println!("-- {} --", d.name);
-        for &(name, tier_idx, lambda, mu) in &tiers {
-            let count = d.counts[tier_idx];
-            let Ok(q) = Mmc::new(lambda, mu, count) else {
-                println!(
-                    "{:<6} {:>8} {:>10} {:>14} {:>16}",
-                    name, count, "-", "UNSTABLE", "-"
-                );
-                continue;
-            };
-            // Up-server distribution from the availability model.
-            let model = spec
-                .with_counts(&d.counts)
-                .expect("valid design")
-                .network_model(&analyses);
-            let down = model
-                .tier_down_distribution(tier_idx)
-                .expect("tier distribution solves");
-            let dist: Vec<(u32, f64)> = down
-                .iter()
-                .enumerate()
-                .map(|(k, &p)| (count - k as u32, p))
-                .collect();
-            let w = availability_weighted_response_time(lambda, mu, &dist, Some(5.0));
-            match w {
-                Ok(w) => println!(
-                    "{:<6} {:>8} {:>10.3} {:>12.2}ms {:>14.2}ms",
-                    name,
-                    count,
-                    q.utilization(),
-                    q.mean_response_time() * 1000.0,
-                    w * 1000.0
-                ),
-                Err(e) => println!(
-                    "{:<6} {:>8} {:>10.3} {:>12.2}ms   ({e})",
-                    name,
-                    count,
-                    q.utilization(),
-                    q.mean_response_time() * 1000.0
-                ),
-            }
-        }
-    }
-    println!();
-    println!("redundant tiers keep response times flat through patch windows;");
-    println!("single-server tiers pay the 5 s outage penalty while rebooting.");
+    redeval_bench::cli::shim("perf");
 }

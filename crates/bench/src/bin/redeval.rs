@@ -1,0 +1,8 @@
+//! The unified `redeval` CLI: every paper table, figure and extension
+//! study behind one dispatcher with `--format text|json|csv` and
+//! `--out DIR`. See `redeval --help` and `redeval_bench::cli`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(redeval_bench::cli::run(&args));
+}

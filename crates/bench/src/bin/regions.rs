@@ -1,89 +1,9 @@
-//! Regenerates the paper's **Equation (3) and (4) region analyses** in one
-//! report and exits non-zero if any region membership deviates from the
-//! paper — the workspace's headline-result check.
-
-use redeval::case_study;
-use redeval::decision::{MultiBounds, ScatterBounds};
-use redeval::exec::Sweep;
-use redeval_bench::{design_row, header};
+//! Regenerates the paper's **Equation (3) and (4) region analyses** and
+//! exits non-zero if any region membership deviates from the paper — the
+//! workspace's headline-result check. Thin shim over
+//! `redeval_bench::reports::studies::regions` (equivalently:
+//! `redeval regions`).
 
 fn main() {
-    // The five designs share one spec and patch policy: the sweep engine
-    // solves each tier once and evaluates the designs on the worker pool.
-    let evals = Sweep::new(case_study::network())
-        .designs(case_study::five_designs())
-        .run()
-        .expect("designs evaluate");
-
-    header("five designs after patch");
-    for e in &evals {
-        println!("{}", design_row(e));
-    }
-
-    let mut all_ok = true;
-    let mut check = |label: &str, region: Vec<&str>, expect: &[&str]| {
-        let ok = region == expect;
-        all_ok &= ok;
-        println!("{label}: {}", if ok { "MATCH" } else { "MISMATCH" });
-        for r in &region {
-            println!("    {r}");
-        }
-    };
-
-    header("Equation (3) — ASP/COA bounds");
-    let r1 = ScatterBounds {
-        max_asp: 0.2,
-        min_coa: 0.9962,
-    };
-    check(
-        "region 1 (φ=0.2, ψ=0.9962)",
-        r1.region(&evals).iter().map(|e| e.name.as_str()).collect(),
-        &[
-            "1 DNS + 1 WEB + 2 APP + 1 DB",
-            "1 DNS + 1 WEB + 1 APP + 2 DB",
-        ],
-    );
-    let r2 = ScatterBounds {
-        max_asp: 0.1,
-        min_coa: 0.9961,
-    };
-    check(
-        "region 2 (φ=0.1, ψ=0.9961)",
-        r2.region(&evals).iter().map(|e| e.name.as_str()).collect(),
-        &["2 DNS + 1 WEB + 1 APP + 1 DB"],
-    );
-
-    header("Equation (4) — multi-metric bounds");
-    let m1 = MultiBounds {
-        max_asp: 0.2,
-        max_noev: 9,
-        max_noap: 2,
-        max_noep: 1,
-        min_coa: 0.9962,
-    };
-    check(
-        "region 1 (φ=0.2, ξ=9, ω=2, κ=1, ψ=0.9962)",
-        m1.region(&evals).iter().map(|e| e.name.as_str()).collect(),
-        &["1 DNS + 1 WEB + 2 APP + 1 DB"],
-    );
-    let m2 = MultiBounds {
-        max_asp: 0.1,
-        max_noev: 7,
-        max_noap: 1,
-        max_noep: 1,
-        min_coa: 0.9961,
-    };
-    check(
-        "region 2 (φ=0.1, ξ=7, ω=1, κ=1, ψ=0.9961)",
-        m2.region(&evals).iter().map(|e| e.name.as_str()).collect(),
-        &["2 DNS + 1 WEB + 1 APP + 1 DB"],
-    );
-
-    println!();
-    if all_ok {
-        println!("all four regions match the paper.");
-    } else {
-        println!("REGION MISMATCH — see above.");
-        std::process::exit(1);
-    }
+    redeval_bench::cli::shim("regions");
 }

@@ -1,70 +1,8 @@
-//! Extension (paper §V "SRN models"): partial patch scenarios — not every
-//! monthly round patches both the application and the OS, and not every
-//! patch needs a reboot. Reports per-tier MTTR and network COA for each
-//! scenario.
-//!
-//! The (tier × scenario) solve grid runs once on the batch worker pool
-//! ([`redeval::exec::run_batch`]); both report sections reuse it.
-
-use redeval::case_study;
-use redeval::exec::{default_threads, run_batch};
-use redeval_avail::{NetworkModel, PatchScenario, ServerAnalysis, Tier};
-use redeval_bench::header;
+//! Extension (paper §V "SRN models"): partial patch scenarios — per-tier
+//! MTTR and network COA per round shape. Thin shim over
+//! `redeval_bench::reports::studies::scenarios` (equivalently:
+//! `redeval scenarios`).
 
 fn main() {
-    let spec = case_study::network();
-    let scenarios = [
-        PatchScenario::Full,
-        PatchScenario::OsOnly,
-        PatchScenario::NoReboot,
-        PatchScenario::ServiceOnly,
-    ];
-
-    // One lower-layer solve per (tier, scenario), in parallel; results
-    // come back in grid order (tier-major).
-    let tiers = spec.tiers();
-    let analyses: Vec<ServerAnalysis> =
-        run_batch(tiers.len() * scenarios.len(), default_threads(), |job| {
-            let (tier, scenario) = (
-                &tiers[job / scenarios.len()],
-                scenarios[job % scenarios.len()],
-            );
-            ServerAnalysis::of_scenario(&tier.params, scenario).expect("model solves")
-        });
-    let analysis = |ti: usize, si: usize| &analyses[ti * scenarios.len() + si];
-
-    header("per-tier MTTR (hours) under each patch scenario");
-    println!(
-        "{:<14} {:>10} {:>10} {:>10} {:>12}",
-        "tier", "Full", "OsOnly", "NoReboot", "ServiceOnly"
-    );
-    for (ti, tier) in tiers.iter().enumerate() {
-        let mut row = format!("{:<14}", tier.name);
-        for si in 0..scenarios.len() {
-            row.push_str(&format!(" {:>10.4}", analysis(ti, si).rates().mttr()));
-        }
-        println!("{row}");
-    }
-
-    header("network COA (1 DNS + 2 WEB + 2 APP + 1 DB) per scenario");
-    for (si, s) in scenarios.iter().enumerate() {
-        let model_tiers: Vec<Tier> = tiers
-            .iter()
-            .enumerate()
-            .map(|(ti, t)| Tier::new(t.name.clone(), t.count, analysis(ti, si).rates()))
-            .collect();
-        let coa = NetworkModel::new(model_tiers)
-            .coa()
-            .expect("product form solves");
-        println!(
-            "{:<14} COA {:.5}   capacity loss {:>6.2} h/month",
-            format!("{s:?}"),
-            coa,
-            (1.0 - coa) * 720.0
-        );
-    }
-    println!();
-    println!("lighter patch rounds (no OS patch, no reboot) recover most of the");
-    println!("capacity lost to the full monthly cycle — quantifying the value of");
-    println!("reboot-less patching the paper lists as future work.");
+    redeval_bench::cli::shim("scenarios");
 }

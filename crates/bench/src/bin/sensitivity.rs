@@ -1,39 +1,8 @@
 //! Extension: COA sensitivity analysis — which Table-IV parameter most
-//! moves the availability conclusion, per tier, as elasticities of the
-//! capacity loss `1 − COA`.
-
-use redeval::case_study;
-use redeval::exec::default_threads;
-use redeval::sensitivity::coa_sensitivities_batch;
-use redeval_bench::{header, CASE_STUDY_COUNTS};
+//! moves the availability conclusion. Thin shim over
+//! `redeval_bench::reports::studies::sensitivity_default` (equivalently:
+//! `redeval sensitivity`).
 
 fn main() {
-    let spec = case_study::network();
-    // Each (tier, parameter) pair costs two full pipeline solves; spread
-    // them over the worker pool (ranking is thread-count independent).
-    let sens = coa_sensitivities_batch(&spec, &CASE_STUDY_COUNTS, 0.05, default_threads())
-        .expect("pipeline solves");
-
-    header("COA-loss sensitivities, case-study network (1+2+2+1)");
-    println!(
-        "{:<6} {:<24} {:>12} {:>14} {:>12}",
-        "tier", "parameter", "value (h)", "d(1-COA)/dθ", "elasticity"
-    );
-    for s in &sens {
-        println!(
-            "{:<6} {:<24} {:>12.4} {:>14.6} {:>12.3}",
-            s.tier,
-            s.parameter.name(),
-            s.value_hours,
-            s.derivative,
-            s.elasticity
-        );
-    }
-    println!();
-    println!("positive elasticity: longer duration costs capacity; negative:");
-    println!("longer patch intervals save it. With web/app duplicated, the");
-    println!("remaining single-server db and dns tiers dominate every ranking —");
-    println!("their downtime zeroes the reward while a redundant server's only");
-    println!("costs 1/6 of capacity. The next redundancy investment should go");
-    println!("to the database, which is exactly design 5's COA gain in Fig. 6.");
+    redeval_bench::cli::shim("sensitivity");
 }

@@ -21,21 +21,8 @@ use std::time::Instant;
 
 use redeval::case_study;
 use redeval::exec::Sweep;
-use redeval::{DesignEvaluation, Evaluator, MetricsConfig, PatchPolicy};
-use redeval_bench::{arg_or, header, CVSS_THRESHOLDS};
-
-/// The policy axis: unpatched, the full CVSS-threshold grid of the
-/// criticality sweeps, and patch-everything.
-fn policies() -> Vec<PatchPolicy> {
-    let mut out = vec![PatchPolicy::None];
-    out.extend(
-        CVSS_THRESHOLDS
-            .iter()
-            .map(|&t| PatchPolicy::CriticalOnly(t)),
-    );
-    out.push(PatchPolicy::All);
-    out
-}
+use redeval::{DesignEvaluation, Evaluator, MetricsConfig};
+use redeval_bench::{arg_or, header, threshold_policies};
 
 /// Scenario equality up to the display label (legacy names carry no
 /// policy suffix).
@@ -58,7 +45,7 @@ fn main() {
 
     let base = case_study::network();
     let designs = base.enumerate_designs(max_redundancy);
-    let policies = policies();
+    let policies = threshold_policies();
     let scenario_count = designs.len() * policies.len();
     header(&format!(
         "sweep bench: {} designs × {} policies = {scenario_count} scenarios, {threads} threads",

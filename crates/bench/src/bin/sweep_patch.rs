@@ -1,72 +1,8 @@
-//! Ablation (paper §V "patch schedule"): sweeps the patch interval and the
-//! criticality threshold, reporting the COA/security trade-off for the
-//! case-study design.
-//!
-//! Both sweeps are grids on the batch execution layer: the interval sweep
-//! is a spec-variant axis, the threshold sweep a patch-policy axis, and
-//! the shared analysis cache dedupes every repeated tier solve.
-
-use redeval::case_study;
-use redeval::exec::Sweep;
-use redeval::{Design, PatchPolicy};
-use redeval_bench::{header, CASE_STUDY_COUNTS, CVSS_THRESHOLDS, PATCH_WINDOWS_DAYS};
-
-fn case_design() -> Design {
-    Design::new("case", CASE_STUDY_COUNTS.to_vec())
-}
+//! Ablation (paper §V "patch schedule"): patch-interval and
+//! criticality-threshold sweeps on the batch execution layer. Thin shim
+//! over `redeval_bench::reports::studies::sweep` (equivalently:
+//! `redeval sweep`).
 
 fn main() {
-    header("patch-interval sweep (case-study network, 1+2+2+1)");
-    println!(
-        "{:>10} {:>10} {:>14} {:>16}",
-        "interval", "COA", "downtime h/mo", "mean exposure"
-    );
-    let evals = Sweep::new(case_study::network())
-        .patch_intervals_days(&PATCH_WINDOWS_DAYS)
-        .designs(vec![case_design()])
-        .run()
-        .expect("interval grid evaluates");
-    for (days, e) in PATCH_WINDOWS_DAYS.iter().zip(&evals) {
-        println!(
-            "{:>8.1} d {:>10.5} {:>14.2} {:>13.1} d",
-            days,
-            e.coa,
-            (1.0 - e.coa) * 720.0,
-            // A vulnerability disclosed uniformly within a cycle waits on
-            // average half the interval for its patch.
-            days / 2.0
-        );
-    }
-    println!();
-    println!("COA falls as patching gets more frequent (more patch windows),");
-    println!("while security exposure to newly disclosed criticals shrinks.");
-
-    header("criticality-threshold sweep (monthly patching)");
-    println!(
-        "{:>10} {:>8} {:>6} {:>6} {:>6}",
-        "threshold", "ASP", "NoEV", "NoAP", "NoEP"
-    );
-    let evals = Sweep::new(case_study::network())
-        .designs(vec![case_design()])
-        .policies(
-            CVSS_THRESHOLDS
-                .iter()
-                .map(|&t| PatchPolicy::CriticalOnly(t))
-                .collect(),
-        )
-        .run()
-        .expect("threshold grid evaluates");
-    for (threshold, e) in CVSS_THRESHOLDS.iter().zip(&evals) {
-        println!(
-            "{:>10.1} {:>8.4} {:>6} {:>6} {:>6}",
-            threshold,
-            e.after.attack_success_probability,
-            e.after.exploitable_vulnerabilities,
-            e.after.attack_paths,
-            e.after.entry_points
-        );
-    }
-    println!();
-    println!("threshold 8.0 is the paper's policy; lowering it removes the");
-    println!("AND-pair footholds and eventually closes every attack path.");
+    redeval_bench::cli::shim("sweep");
 }

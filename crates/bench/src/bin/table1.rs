@@ -1,39 +1,7 @@
 //! Regenerates **Table I** — vulnerability information of the example
-//! network — from the embedded CVSS vectors, verifying that every
-//! reconstructed vector reproduces the paper's impact/probability pair.
-
-use redeval::case_study::{vector_consistent, VULNERABILITIES};
-use redeval_bench::header;
-use redeval_cvss::v2::BaseVector;
+//! network. Thin shim over `redeval_bench::reports::tables::table1`
+//! (equivalently: `redeval table 1`).
 
 fn main() {
-    header("Table I: vulnerability information of the example network");
-    println!(
-        "{:<8} {:<16} {:>6} {:>12} {:>6} {:>9}  vector",
-        "vuln", "CVE ID", "impact", "probability", "base", "critical"
-    );
-    let mut all_ok = true;
-    for r in &VULNERABILITIES {
-        let v: BaseVector = r.vector.parse().expect("embedded vector parses");
-        let ok = vector_consistent(r);
-        all_ok &= ok;
-        println!(
-            "{:<8} {:<16} {:>6.1} {:>12.2} {:>6.1} {:>9}  {}{}",
-            r.id,
-            r.cve,
-            v.attack_impact(),
-            v.attack_success_probability(),
-            v.base_score(),
-            if v.is_critical(8.0) { "yes" } else { "no" },
-            r.vector,
-            if ok { "" } else { "  <-- MISMATCH" }
-        );
-    }
-    println!();
-    println!(
-        "all vectors reproduce Table I impact/probability: {}",
-        if all_ok { "yes" } else { "NO" }
-    );
-    println!("critical set (base > 8.0) = the nine (10.0, 1.0) vulnerabilities,");
-    println!("which is exactly the set the paper patches.");
+    redeval_bench::cli::shim("table1");
 }

@@ -1,90 +1,7 @@
-//! Regenerates **Table II** — security metrics for the example network
-//! before and after patch — and reports the deviation from the paper for
-//! every cell, including the documented ASP/NoEV caveats (EXPERIMENTS.md).
-
-use redeval::case_study;
-use redeval::{AspStrategy, MetricsConfig, OrCombine};
-use redeval_bench::{compare, header};
+//! Regenerates **Table II** — security metrics before and after patch,
+//! with the paper deviation for every cell. Thin shim over
+//! `redeval_bench::reports::tables::table2` (equivalently: `redeval table 2`).
 
 fn main() {
-    header("Table II: security metrics for the example network");
-
-    let harm = case_study::network().build_harm();
-    let cfg = MetricsConfig::default();
-    let before = harm.metrics(&cfg);
-    let after_harm = harm.patched_critical(8.0);
-    let after = after_harm.metrics(&cfg);
-
-    println!(
-        "{:<14} {:>8} {:>8} {:>6} {:>6} {:>6}",
-        "", "AIM", "ASP", "NoEV", "NoAP", "NoEP"
-    );
-    println!(
-        "{:<14} {:>8.1} {:>8.3} {:>6} {:>6} {:>6}",
-        "before patch",
-        before.attack_impact,
-        before.attack_success_probability,
-        before.exploitable_vulnerabilities,
-        before.attack_paths,
-        before.entry_points
-    );
-    println!(
-        "{:<14} {:>8.1} {:>8.3} {:>6} {:>6} {:>6}",
-        "after patch",
-        after.attack_impact,
-        after.attack_success_probability,
-        after.exploitable_vulnerabilities,
-        after.attack_paths,
-        after.entry_points
-    );
-
-    header("paper-vs-measured");
-    compare("AIM before", 52.2, before.attack_impact);
-    compare("AIM after", 42.2, after.attack_impact);
-    compare("ASP before", 1.0, before.attack_success_probability);
-    compare("NoAP before", 8.0, before.attack_paths as f64);
-    compare("NoAP after", 4.0, after.attack_paths as f64);
-    compare("NoEP before", 3.0, before.entry_points as f64);
-    compare("NoEP after", 2.0, after.entry_points as f64);
-    compare("NoEV after", 11.0, after.exploitable_vulnerabilities as f64);
-    compare(
-        "NoEV before (paper prints 25; see EXPERIMENTS.md)",
-        25.0,
-        before.exploitable_vulnerabilities as f64,
-    );
-
-    header("ASP after patch under every aggregation strategy");
-    for (label, strategy, combine) in [
-        ("max path, max OR", AspStrategy::MaxPath, OrCombine::Max),
-        (
-            "max path, noisy OR",
-            AspStrategy::MaxPath,
-            OrCombine::NoisyOr,
-        ),
-        (
-            "exact reliability",
-            AspStrategy::Reliability,
-            OrCombine::NoisyOr,
-        ),
-        (
-            "noisy-or over paths, max OR",
-            AspStrategy::NoisyOrPaths,
-            OrCombine::Max,
-        ),
-        (
-            "noisy-or over paths, noisy OR",
-            AspStrategy::NoisyOrPaths,
-            OrCombine::NoisyOr,
-        ),
-    ] {
-        let m = after_harm.metrics(&MetricsConfig {
-            asp: strategy,
-            or_combine: combine,
-            ..Default::default()
-        });
-        println!("{label:<34} ASP = {:.4}", m.attack_success_probability);
-    }
-    println!();
-    println!("paper value 0.265 lies inside this strategy family; its exact");
-    println!("formula is not derivable from the paper (EXPERIMENTS.md, E-ASP).");
+    redeval_bench::cli::shim("table2");
 }

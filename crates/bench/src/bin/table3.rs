@@ -1,70 +1,7 @@
-//! Regenerates **Table III** — the guard functions of the server SRN —
-//! by probing the guards of the constructed net against synthetic
-//! markings, proving each implemented guard matches its paper definition.
-
-use redeval::case_study;
-use redeval_avail::ServerModel;
-use redeval_bench::header;
+//! Regenerates **Table III** — the guard functions of the server SRN,
+//! probed against the constructed net. Thin shim over
+//! `redeval_bench::reports::tables::table3` (equivalently: `redeval table 3`).
 
 fn main() {
-    header("Table III: guard functions in the SRN sub-models for a server");
-
-    let model = ServerModel::build(&case_study::dns_params());
-    let net = model.net();
-
-    // The paper's guard table, expressed as (transition, definition).
-    let rows = [
-        ("Tosd", "if (#Phwd == 1) 1 else 0"),
-        ("Tosdrb", "if (#Phwup == 1) 1 else 0"),
-        ("Tosfup", "if (#Phwup == 1) 1 else 0"),
-        ("Tosptrig", "if (#Psvcp == 1) 1 else 0"),
-        ("Tosp", "if (#Phwup == 1) 1 else 0"),
-        ("Tosrpd", "if (#Phwd == 1) 1 else 0"),
-        ("Tospd", "if (#Phwd == 1) 1 else 0"),
-        ("Tosprb", "if (#Phwup == 1) 1 else 0"),
-        ("Tsvcd", "if (#Phwd == 1 || #Posfd == 1) 1 else 0"),
-        ("Tsvcdrb", "if (#Phwup == 1 && #Posup == 1) 1 else 0"),
-        ("Tsvcfup", "if (#Phwup == 1 && #Posup == 1) 1 else 0"),
-        ("Tsvcptrig", "if (#Ptrigger == 1) 1 else 0"),
-        ("Tsvcp", "if (#Phwup == 1 && #Posup == 1) 1 else 0"),
-        ("Tsvcrpd", "if (#Phwd == 1 || #Posfd == 1) 1 else 0"),
-        ("Tsvcrrb", "if (#Posp == 1) 1 else 0"),
-        ("Tsvcrrbd", "if (#Phwd == 1 || #Posfd == 1) 1 else 0"),
-        ("Tsvcprb", "if (#Phwup == 1 && #Posup == 1) 1 else 0"),
-        (
-            "Tinterval",
-            "if (#Psvcup == 1 || #Psvcd == 1 || #Psvcfd == 1) 1 else 0",
-        ),
-        (
-            "Tpolicy",
-            "if (#Psvcup == 1) 1 else 0  (paper text: service up)",
-        ),
-        ("Treset", "if (#Posp == 1) 1 else 0"),
-    ];
-
-    println!("{:<11} definition", "guard of");
-    for (t, def) in rows {
-        let present = net.find_transition(t).is_some();
-        println!(
-            "{:<11} {}{}",
-            t,
-            def,
-            if present {
-                ""
-            } else {
-                "   <-- MISSING TRANSITION"
-            }
-        );
-    }
-
-    println!();
-    println!(
-        "net: {} places, {} transitions (paper Fig. 5 structure)",
-        net.place_count(),
-        net.transition_count()
-    );
-    println!();
-    println!("additional freeze guards on Thwd/Tosfd/Tsvcfd realize the paper's");
-    println!("assumptions that hardware, OS and applications do not fail during");
-    println!("the patch period (Section III-D).");
+    redeval_bench::cli::shim("table3");
 }

@@ -1,57 +1,7 @@
-//! Regenerates **Table IV** — input parameters of the SRN sub-models for
-//! the DNS server — plus the derived parameter tables for the other three
-//! tiers (DESIGN.md §4.3).
-
-use redeval::case_study;
-use redeval::ServerParams;
-use redeval_bench::header;
-
-fn print_params(p: &ServerParams) {
-    println!("-- {} server --", p.name);
-    println!("{:<34} {:>14}", "parameter", "value");
-    let rows: [(&str, String); 13] = [
-        ("hardware 1/λhw (MTBF)", format!("{}", p.hw_mtbf)),
-        ("hardware 1/µhw (repair)", format!("{}", p.hw_repair)),
-        ("OS 1/λos (MTBF)", format!("{}", p.os_mtbf)),
-        ("OS 1/µos (repair)", format!("{}", p.os_repair)),
-        ("OS 1/αos (patch)", format!("{}", p.os_patch)),
-        (
-            "OS 1/βos (reboot after patch)",
-            format!("{}", p.os_reboot_patch),
-        ),
-        (
-            "OS 1/δos (reboot after failure)",
-            format!("{}", p.os_reboot_failure),
-        ),
-        ("service 1/λsvc (MTBF)", format!("{}", p.svc_mtbf)),
-        ("service 1/µsvc (repair)", format!("{}", p.svc_repair)),
-        ("service 1/αsvc (patch)", format!("{}", p.svc_patch)),
-        (
-            "service 1/βsvc (reboot after patch)",
-            format!("{}", p.svc_reboot_patch),
-        ),
-        (
-            "service 1/δsvc (reboot after failure)",
-            format!("{}", p.svc_reboot_failure),
-        ),
-        ("patch clock 1/τp", format!("{}", p.patch_interval)),
-    ];
-    for (k, v) in rows {
-        println!("{k:<34} {v:>14}");
-    }
-    println!(
-        "{:<34} {:>14}",
-        "patch cycle (MTTR target)",
-        format!("{}", p.patch_cycle())
-    );
-    println!();
-}
+//! Regenerates **Table IV** — input parameters of the SRN sub-models
+//! (DNS exact, other tiers derived per DESIGN.md §4.3). Thin shim over
+//! `redeval_bench::reports::tables::table4` (equivalently: `redeval table 4`).
 
 fn main() {
-    header("Table IV: input parameters of the SRN sub-models (DNS = exact paper row)");
-    print_params(&case_study::dns_params());
-    header("derived parameters for the remaining tiers (DESIGN.md §4.3)");
-    print_params(&case_study::web_params());
-    print_params(&case_study::app_params());
-    print_params(&case_study::db_params());
+    redeval_bench::cli::shim("table4");
 }

@@ -1,64 +1,7 @@
 //! Regenerates **Table V** — aggregated patch/recovery rates for all
-//! servers — by solving each tier's lower-layer SRN and applying the
-//! paper's Equations (1) and (2).
-
-use redeval::case_study;
-use redeval_bench::{compare, header};
+//! servers via the paper's Equations (1),(2). Thin shim over
+//! `redeval_bench::reports::tables::table5` (equivalently: `redeval table 5`).
 
 fn main() {
-    header("Table V: aggregated values for the servers");
-
-    let spec = case_study::network();
-    let analyses = spec.tier_analyses().expect("server models solve");
-
-    println!(
-        "{:<10} {:>9} {:>11} {:>9} {:>13}",
-        "service", "MTTP (h)", "patch rate", "MTTR (h)", "recovery rate"
-    );
-    for a in &analyses {
-        let r = a.rates();
-        println!(
-            "{:<10} {:>9.1} {:>11.5} {:>9.4} {:>13.5}",
-            a.name(),
-            r.mttp(),
-            r.lambda_eq,
-            r.mttr(),
-            r.mu_eq
-        );
-    }
-
-    header("paper-vs-measured (recovery rates)");
-    let paper = [
-        ("dns", 1.49992, 0.6667),
-        ("web", 1.71420, 0.5834),
-        ("app", 0.99995, 1.0001),
-        ("db", 1.09085, 0.9167),
-    ];
-    for (a, (name, mu, mttr)) in analyses.iter().zip(paper) {
-        assert_eq!(a.name(), name);
-        compare(&format!("{name} µ_eq"), mu, a.rates().mu_eq);
-        compare(&format!("{name} MTTR (h)"), mttr, a.rates().mttr());
-    }
-
-    header("underlying SRN steady-state probabilities (paper Section III-D2)");
-    for a in &analyses {
-        println!(
-            "{:<10} p_svcpd {:>12.8}   p_svcprrb {:>12.8}   availability {:>10.6}   ({} tangible states)",
-            a.name(),
-            a.p_patch_down(),
-            a.p_ready_reboot(),
-            a.availability(),
-            a.tangible_states()
-        );
-    }
-    compare(
-        "dns p_prrb (paper 0.00011563)",
-        0.00011563,
-        analyses[0].p_ready_reboot(),
-    );
-    compare(
-        "dns p_pd   (paper 0.00092506)",
-        0.00092506,
-        analyses[0].p_patch_down(),
-    );
+    redeval_bench::cli::shim("table5");
 }

@@ -1,44 +1,7 @@
-//! Regenerates **Table VI** — the COA reward function — and the paper's
-//! COA value (≈ 0.99707) for the case-study network, computed three ways:
-//! product form, explicit upper-layer SRN, and discrete-event simulation.
-
-use redeval::case_study;
-use redeval_bench::{compare, header};
-use redeval_sim::simulate_coa;
+//! Regenerates **Table VI** — the COA reward function and the paper's
+//! ≈ 0.99707 COA computed three ways. Thin shim over
+//! `redeval_bench::reports::tables::table6` (equivalently: `redeval table 6`).
 
 fn main() {
-    header("Table VI: reward function of COA (1 DNS + 2 WEB + 2 APP + 1 DB)");
-    println!("if (#Pdnsup==1 && #Pwebup==2 && #Pappup==2 && #Pdbup==1)  reward 1");
-    println!("else if (#Pdnsup==1 && #Pwebup==1 && #Pappup==2 && #Pdbup==1) 0.83333");
-    println!("else if (#Pdnsup==1 && #Pwebup==2 && #Pappup==1 && #Pdbup==1) 0.83333");
-    println!("else if (#Pdnsup==1 && #Pwebup==1 && #Pappup==1 && #Pdbup==1) 0.66667");
-    println!("else 0");
-    println!();
-    println!("generalization used here: 0 when any tier has zero servers up,");
-    println!("otherwise (running servers)/(total servers).");
-
-    let spec = case_study::network();
-    let analyses = spec.tier_analyses().expect("server models solve");
-    let model = spec.network_model(&analyses);
-
-    header("COA of the example network");
-    let product = model.coa().expect("product form solves");
-    let srn = model.coa_via_srn().expect("srn solves");
-    compare("COA (product form)", 0.99707, product);
-    compare("COA (explicit SRN)", 0.99707, srn);
-
-    let est = simulate_coa(&model, 1_500_000.0, 99).expect("simulation runs");
-    compare("COA (simulation)", 0.99707, est.mean);
-    println!("simulation 95% CI half-width: {:.2e}", est.ci95);
-
-    header("per-tier steady state (number of servers down due to patch)");
-    for (i, t) in model.tiers().iter().enumerate() {
-        let d = model.tier_down_distribution(i).expect("solves");
-        let line: Vec<String> = d
-            .iter()
-            .enumerate()
-            .map(|(k, p)| format!("P[{k} down]={p:.6}"))
-            .collect();
-        println!("{:<6} {}", t.name, line.join("  "));
-    }
+    redeval_bench::cli::shim("table6");
 }

@@ -1,61 +1,8 @@
 //! Extension: transient analysis — the capacity dip while a patch round
-//! propagates through the network, computed by uniformization on the
-//! upper-layer SRN.
-
-use redeval::case_study;
-use redeval_bench::header;
+//! propagates through the network. Thin shim over
+//! `redeval_bench::reports::studies::transient` (equivalently:
+//! `redeval transient`).
 
 fn main() {
-    let spec = case_study::network();
-    let analyses = spec.tier_analyses().expect("server models solve");
-    let model = spec.network_model(&analyses);
-    let (net, ups) = model.to_srn();
-    let counts: Vec<u32> = model.tiers().iter().map(|t| t.count).collect();
-    let total: u32 = counts.iter().sum();
-
-    header("capacity transient from the fully-up state");
-    let solved = net.solve().expect("net solves");
-    println!("steady-state COA = {:.5}", {
-        let ups2 = ups.clone();
-        solved.expected(move |m| {
-            let mut sum = 0u32;
-            for &p in &ups2 {
-                let u = m.tokens(p);
-                if u == 0 {
-                    return 0.0;
-                }
-                sum += u;
-            }
-            f64::from(sum) / f64::from(total)
-        })
-    });
-    println!();
-    println!(
-        "{:>10} {:>12} {:>18}",
-        "t (hours)", "P(all up)", "E[capacity frac]"
-    );
-    for &t in &[0.0, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 12.0, 48.0, 720.0] {
-        let ups2 = ups.clone();
-        let p_all_up = solved
-            .transient_probability(t, |m| {
-                ups2.iter().zip(&counts).all(|(&p, &c)| m.tokens(p) == c)
-            })
-            .expect("transient solves");
-        let ups3 = ups.clone();
-        // E[capacity] via predicate decomposition: sum over levels.
-        let mut expected_capacity = 0.0;
-        for level in 0..=total {
-            let ups4 = ups3.clone();
-            let p_level = solved
-                .transient_probability(t, move |m| {
-                    ups4.iter().map(|&p| m.tokens(p)).sum::<u32>() == level
-                })
-                .expect("transient solves");
-            expected_capacity += p_level * f64::from(level) / f64::from(total);
-        }
-        println!("{t:>10.2} {p_all_up:>12.6} {expected_capacity:>18.6}");
-    }
-    println!();
-    println!("the network starts fully up; each tier dips independently once");
-    println!("per month, and the transient converges to the steady state.");
+    redeval_bench::cli::shim("transient");
 }

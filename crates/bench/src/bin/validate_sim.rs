@@ -1,58 +1,8 @@
 //! Cross-validation report: every analytic quantity with a simulation
-//! counterpart, side by side (availability, COA, ASP).
-
-use redeval::case_study;
-use redeval::{AspStrategy, MetricsConfig};
-use redeval_avail::ServerModel;
-use redeval_bench::{compare, header};
-use redeval_sim::{estimate_asp, simulate_coa, Simulation};
+//! counterpart, side by side. Thin shim over
+//! `redeval_bench::reports::validate::validate_sim` (equivalently:
+//! `redeval validate-sim`).
 
 fn main() {
-    let spec = case_study::network();
-    let analyses = spec.tier_analyses().expect("server models solve");
-
-    header("server availability: SRN steady state vs discrete-event simulation");
-    for (tier, analysis) in spec.tiers().iter().zip(&analyses) {
-        let model = ServerModel::build(&tier.params);
-        let places = *model.places();
-        let mut sim = Simulation::new(model.net(), 1_234_567);
-        sim.add_reward(
-            "avail",
-            move |m| {
-                if places.service_up(m) {
-                    1.0
-                } else {
-                    0.0
-                }
-            },
-        );
-        let out = sim.run(2_000.0, 600_000.0, 20).expect("simulation runs");
-        compare(
-            &format!("{} availability", tier.name),
-            analysis.availability(),
-            out.rewards[0].mean,
-        );
-    }
-
-    header("network COA: product form vs simulation");
-    let model = spec.network_model(&analyses);
-    let analytic = model.coa().expect("product form solves");
-    let est = simulate_coa(&model, 2_000_000.0, 31_337).expect("simulation runs");
-    compare("COA", analytic, est.mean);
-    println!("simulation CI half-width: {:.2e}", est.ci95);
-
-    header("ASP after patch: exact reliability vs Monte-Carlo attacks");
-    let harm = spec.build_harm().patched_critical(8.0);
-    let exact = harm
-        .metrics(&MetricsConfig {
-            asp: AspStrategy::Reliability,
-            ..Default::default()
-        })
-        .attack_success_probability;
-    let mc = estimate_asp(&harm, 500_000, 2_718);
-    compare("ASP (after patch)", exact, mc.mean);
-    println!("Monte-Carlo CI half-width: {:.2e}", mc.ci95);
-
-    println!();
-    println!("every analytic result is reproduced by an independent simulator.");
+    redeval_bench::cli::shim("validate_sim");
 }

@@ -1,0 +1,370 @@
+//! The unified `redeval` command-line interface.
+//!
+//! One dispatcher over the report registry (`reports::REGISTRY`):
+//!
+//! ```console
+//! $ redeval table 2                 # any artifact, text to stdout
+//! $ redeval fig 6 --format csv     # deterministic CSV
+//! $ redeval report --all --format json --out reports/
+//! $ redeval report --all --bless   # regenerate tests/golden/
+//! ```
+//!
+//! Subcommands are registry names (`table2`, `sweep`, `design_space`, …;
+//! dashes and underscores are interchangeable), plus the `table N` /
+//! `fig N` spellings, `report --all`, and `list`. Every command takes
+//! `--format text|json|csv` and `--out DIR`; with `--out`, each report
+//! is written to `DIR/<name>.<ext>` instead of stdout.
+//!
+//! Exit codes: `0` success, `1` a report's embedded consistency check
+//! failed (e.g. a region deviates from the paper), `2` usage error.
+
+use std::path::Path;
+
+use redeval::output::Report;
+
+use crate::reports::{self, ReportSpec, REGISTRY};
+
+/// Where blessed goldens live. Anchored at compile time to this crate's
+/// manifest directory (like `tests/golden.rs` does), so `--bless` lands
+/// in the repo's corpus whatever the invocation CWD is.
+pub const GOLDEN_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden");
+
+/// Usage text (also shown on `--help`).
+pub const USAGE: &str = "\
+redeval — unified reproduction CLI (Ge, Kim & Kim, DSN 2017)
+
+USAGE:
+    redeval <COMMAND> [--format text|json|csv] [--out DIR]
+
+COMMANDS:
+    table <1..6>         one of the paper's Tables I-VI
+    fig <3|45|6|7>       one of the paper's Figures 3-7
+    <name>               any report by registry name (see `list`)
+    report --all         every report; with --out DIR, one file each
+    report --all --bless regenerate the golden corpus (tests/golden/*.json)
+    list                 list every report name with a description
+
+OPTIONS:
+    --format <FMT>       text (default), json, or csv
+    --out <DIR>          write DIR/<name>.<ext> instead of stdout
+    -h, --help           this text
+
+EXIT CODES: 0 ok; 1 a consistency check failed; 2 usage error.
+";
+
+/// Output format of a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Human-oriented aligned text (default).
+    Text,
+    /// Canonical JSON — the golden-corpus format.
+    Json,
+    /// CSV blocks per table/series.
+    Csv,
+}
+
+impl Format {
+    fn parse(s: &str) -> Option<Format> {
+        match s {
+            "text" => Some(Format::Text),
+            "json" => Some(Format::Json),
+            "csv" => Some(Format::Csv),
+            _ => None,
+        }
+    }
+
+    fn extension(self) -> &'static str {
+        match self {
+            Format::Text => "txt",
+            Format::Json => "json",
+            Format::Csv => "csv",
+        }
+    }
+
+    fn render(self, report: &Report) -> String {
+        match self {
+            Format::Text => report.to_text(),
+            Format::Json => report.to_json(),
+            Format::Csv => report.to_csv(),
+        }
+    }
+}
+
+/// A parsed command line.
+#[derive(Debug, PartialEq, Eq)]
+struct Invocation {
+    /// Registry names to build, in order.
+    names: Vec<&'static str>,
+    format: Format,
+    out: Option<String>,
+    list: bool,
+    help: bool,
+}
+
+fn parse(args: &[String]) -> Result<Invocation, String> {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut format = Format::Text;
+    let mut explicit_format = false;
+    let mut out: Option<String> = None;
+    let mut all = false;
+    let mut bless = false;
+    let mut help = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                i += 1;
+                let v = args.get(i).ok_or("--format needs a value")?;
+                format = Format::parse(v).ok_or_else(|| format!("unknown format `{v}`"))?;
+                explicit_format = true;
+            }
+            "--out" => {
+                i += 1;
+                out = Some(args.get(i).ok_or("--out needs a value")?.clone());
+            }
+            "--all" => all = true,
+            "--bless" => bless = true,
+            "-h" | "--help" => help = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            p => positional.push(p),
+        }
+        i += 1;
+    }
+
+    if positional.is_empty() && (all || bless) && !help {
+        return Err("`--all` and `--bless` belong to the `report` command \
+                    (e.g. `redeval report --all`)"
+            .to_string());
+    }
+    if help || positional.is_empty() {
+        return Ok(Invocation {
+            names: Vec::new(),
+            format,
+            out,
+            list: false,
+            help: true,
+        });
+    }
+    if positional[0] != "report" && (all || bless) {
+        return Err(format!(
+            "`--all`/`--bless` only apply to `report`, not `{}`",
+            positional[0]
+        ));
+    }
+
+    let mut names: Vec<&'static str> = Vec::new();
+    let mut list = false;
+    // Positionals the command consumes; anything beyond is an error.
+    let mut consumed = 1;
+    match positional[0] {
+        "list" => {
+            // `list` has no report output, so accepted-but-ignored
+            // --format/--out would mislead scripting users; reject them.
+            if explicit_format || out.is_some() {
+                return Err("`list` prints plain text; it takes no --format/--out".to_string());
+            }
+            list = true;
+        }
+        "report" => {
+            // `report` runs everything; `--all` is the documented form.
+            if bless {
+                // Blessing fixes both the format and the destination;
+                // an explicit --format/--out would be silently ignored,
+                // so reject the contradiction instead.
+                if explicit_format || out.is_some() {
+                    return Err("`--bless` implies `--format json --out tests/golden`; \
+                         drop the explicit --format/--out"
+                        .to_string());
+                }
+                format = Format::Json;
+                out = Some(GOLDEN_DIR.to_string());
+            }
+            names = REGISTRY.iter().map(|s| s.name).collect();
+        }
+        "table" | "fig" => {
+            let kind = positional[0];
+            let n = positional
+                .get(1)
+                .ok_or_else(|| format!("`{kind}` needs a number (e.g. `redeval {kind} 2`)"))?;
+            consumed = 2;
+            let name = format!("{kind}{n}");
+            let spec = reports::find(&name)
+                .ok_or_else(|| format!("no report `{name}`; see `redeval list`"))?;
+            names.push(spec.name);
+        }
+        other => {
+            let normalized = other.replace('-', "_");
+            let spec = reports::find(&normalized)
+                .ok_or_else(|| format!("unknown command `{other}`; see `redeval list`"))?;
+            names.push(spec.name);
+        }
+    }
+    if positional.len() > consumed {
+        return Err(format!("unexpected argument `{}`", positional[consumed]));
+    }
+    Ok(Invocation {
+        names,
+        format,
+        out,
+        list,
+        help: false,
+    })
+}
+
+fn emit(spec: &ReportSpec, format: Format, out: Option<&str>) -> Result<bool, String> {
+    let report = (spec.build)();
+    let rendered = format.render(&report);
+    match out {
+        Some(dir) => {
+            let dir = Path::new(dir);
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            let path = dir.join(format!("{}.{}", spec.name, format.extension()));
+            std::fs::write(&path, rendered)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("wrote {}", path.display());
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(report.ok)
+}
+
+/// Runs the CLI on `args` (without the program name); returns the
+/// process exit code.
+pub fn run(args: &[String]) -> i32 {
+    let invocation = match parse(args) {
+        Ok(inv) => inv,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprint!("{USAGE}");
+            return 2;
+        }
+    };
+    if invocation.help {
+        print!("{USAGE}");
+        return 0;
+    }
+    if invocation.list {
+        for spec in REGISTRY {
+            println!("{:<18} {}", spec.name, spec.about);
+        }
+        return 0;
+    }
+    let mut all_ok = true;
+    for name in &invocation.names {
+        let spec = reports::find(name).expect("registry name resolves");
+        match emit(spec, invocation.format, invocation.out.as_deref()) {
+            Ok(ok) => all_ok &= ok,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return 2;
+            }
+        }
+    }
+    if all_ok {
+        0
+    } else {
+        eprintln!("error: a consistency check failed — see the report output");
+        1
+    }
+}
+
+/// Entry point of the thin per-artifact shim binaries: renders the named
+/// report as text on stdout and exits non-zero when a consistency check
+/// fails.
+pub fn shim(name: &str) -> ! {
+    let spec = reports::find(name).expect("shim names a registered report");
+    std::process::exit(print_report(&(spec.build)()))
+}
+
+/// Prints a report as text and returns the exit code its `ok` flag
+/// implies (shared by [`shim`] and the parameterized binaries).
+pub fn print_report(report: &Report) -> i32 {
+    print!("{}", report.to_text());
+    i32::from(!report.ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_table_and_fig_spellings() {
+        let inv = parse(&args(&["table", "2"])).unwrap();
+        assert_eq!(inv.names, ["table2"]);
+        let inv = parse(&args(&["fig", "45"])).unwrap();
+        assert_eq!(inv.names, ["fig45"]);
+        let inv = parse(&args(&["table5"])).unwrap();
+        assert_eq!(inv.names, ["table5"]);
+    }
+
+    #[test]
+    fn dashes_and_underscores_are_interchangeable() {
+        let a = parse(&args(&["design-space"])).unwrap();
+        let b = parse(&args(&["design_space"])).unwrap();
+        assert_eq!(a.names, b.names);
+    }
+
+    #[test]
+    fn report_all_expands_to_the_whole_registry() {
+        let inv = parse(&args(&["report", "--all", "--format", "json"])).unwrap();
+        assert_eq!(inv.names.len(), REGISTRY.len());
+        assert_eq!(inv.format, Format::Json);
+    }
+
+    #[test]
+    fn bless_forces_json_into_the_golden_dir() {
+        let inv = parse(&args(&["report", "--all", "--bless"])).unwrap();
+        assert_eq!(inv.format, Format::Json);
+        assert_eq!(inv.out.as_deref(), Some(GOLDEN_DIR));
+        // An explicit --format/--out contradicts --bless; reject rather
+        // than silently rewrite the golden corpus.
+        assert!(parse(&args(&["report", "--all", "--bless", "--format", "csv"])).is_err());
+        assert!(parse(&args(&["report", "--all", "--bless", "--out", "/tmp/x"])).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_commands_and_flags() {
+        assert!(parse(&args(&["no_such_report"])).is_err());
+        assert!(parse(&args(&["--frobnicate"])).is_err());
+        assert!(parse(&args(&["table"])).is_err());
+        assert!(parse(&args(&["--format", "yaml"])).is_err());
+    }
+
+    #[test]
+    fn rejects_misplaced_all_and_bless() {
+        // Flag-only invocations must be usage errors, not panics.
+        assert!(parse(&args(&["--all"])).is_err());
+        assert!(parse(&args(&["--bless"])).is_err());
+        // `--all`/`--bless` outside `report` would otherwise be silently
+        // ignored — the user would believe the goldens were regenerated.
+        assert!(parse(&args(&["table", "2", "--bless"])).is_err());
+        assert!(parse(&args(&["regions", "--all"])).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_positionals() {
+        assert!(parse(&args(&["report", "regions"])).is_err());
+        assert!(parse(&args(&["table", "2", "3"])).is_err());
+        assert!(parse(&args(&["list", "extra"])).is_err());
+    }
+
+    #[test]
+    fn list_takes_no_format_or_out() {
+        assert!(parse(&args(&["list"])).unwrap().list);
+        // `list` output is plain text only; accepted-but-ignored flags
+        // would mislead scripting users.
+        assert!(parse(&args(&["list", "--format", "json"])).is_err());
+        assert!(parse(&args(&["list", "--out", "/tmp/x"])).is_err());
+    }
+
+    #[test]
+    fn empty_args_ask_for_help() {
+        assert!(parse(&args(&[])).unwrap().help);
+        assert!(parse(&args(&["--help", "--all"])).unwrap().help);
+    }
+}

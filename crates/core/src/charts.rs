@@ -1,9 +1,14 @@
 //! Chart data for the paper's Figure 6 (scatter) and Figure 7 (radar),
-//! with CSV and ASCII renderers for the bench binaries.
+//! with structured-table, CSV and ASCII renderers for the bench binaries.
+//!
+//! Tabular output goes through [`crate::output`] (the deterministic
+//! serializers the golden corpus relies on); only the ASCII scatter plot
+//! keeps its own renderer.
 
 use std::fmt::Write as _;
 
 use crate::evaluation::DesignEvaluation;
+use crate::output::{Table, Value};
 
 /// One point of the ASP-vs-COA scatter plot (Figure 6).
 #[derive(Debug, Clone, PartialEq)]
@@ -34,13 +39,22 @@ pub fn scatter_data(evals: &[DesignEvaluation], after_patch: bool) -> Vec<Scatte
         .collect()
 }
 
+/// Builds the structured `design,asp,coa` table of the scatter points.
+pub fn scatter_table(points: &[ScatterPoint]) -> Table {
+    let mut t = Table::new("scatter", ["design", "asp", "coa"]);
+    for p in points {
+        t.add_row(vec![
+            Value::from(p.design.as_str()),
+            Value::from(p.asp),
+            Value::from(p.coa),
+        ]);
+    }
+    t
+}
+
 /// Renders scatter points as CSV (`design,asp,coa`).
 pub fn scatter_csv(points: &[ScatterPoint]) -> String {
-    let mut out = String::from("design,asp,coa\n");
-    for p in points {
-        let _ = writeln!(out, "{},{:.6},{:.6}", p.design, p.asp, p.coa);
-    }
-    out
+    scatter_table(points).to_csv()
 }
 
 /// Renders a small ASCII scatter plot (ASP on x, COA on y), marking each
@@ -137,48 +151,36 @@ pub fn radar_data(evals: &[DesignEvaluation], after_patch: bool) -> Vec<RadarSer
         .collect()
 }
 
+/// Builds the structured radar table: one row per design, the six axes
+/// as columns (counts as integers).
+pub fn radar_series_table(series: &[RadarSeries]) -> Table {
+    let mut t = Table::new(
+        "radar",
+        ["design", "noep", "asp", "aim", "noev", "noap", "coa"],
+    );
+    for s in series {
+        t.add_row(vec![
+            Value::from(s.design.as_str()),
+            Value::Int(s.values[0] as i64),
+            Value::from(s.values[1]),
+            Value::from(s.values[2]),
+            Value::Int(s.values[3] as i64),
+            Value::Int(s.values[4] as i64),
+            Value::from(s.values[5]),
+        ]);
+    }
+    t
+}
+
 /// Renders radar series as CSV with one row per design.
 pub fn radar_csv(series: &[RadarSeries]) -> String {
-    let mut out = String::from("design,noep,asp,aim,noev,noap,coa\n");
-    for s in series {
-        let _ = writeln!(
-            out,
-            "{},{},{:.4},{:.1},{},{},{:.6}",
-            s.design,
-            s.values[0] as usize,
-            s.values[1],
-            s.values[2],
-            s.values[3] as usize,
-            s.values[4] as usize,
-            s.values[5]
-        );
-    }
-    out
+    radar_series_table(series).to_csv()
 }
 
 /// Renders radar series as an aligned text table (the terminal stand-in
 /// for the paper's radar charts).
 pub fn radar_table(series: &[RadarSeries]) -> String {
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{:<32} {:>5} {:>7} {:>6} {:>5} {:>5} {:>9}",
-        "design", "NoEP", "ASP", "AIM", "NoEV", "NoAP", "COA"
-    );
-    for s in series {
-        let _ = writeln!(
-            out,
-            "{:<32} {:>5} {:>7.4} {:>6.1} {:>5} {:>5} {:>9.5}",
-            s.design,
-            s.values[0] as usize,
-            s.values[1],
-            s.values[2],
-            s.values[3] as usize,
-            s.values[4] as usize,
-            s.values[5]
-        );
-    }
-    out
+    radar_series_table(series).to_text()
 }
 
 #[cfg(test)]
@@ -257,8 +259,8 @@ mod tests {
         assert_eq!(series[0].values[5], 0.9964);
         assert_eq!(RADAR_AXES.len(), series[0].values.len());
         let table = radar_table(&series);
-        assert!(table.contains("0.2500"));
+        assert!(table.contains("0.25"));
         let csv = radar_csv(&series);
-        assert!(csv.contains("a,1,0.2500,42.2,9,2,0.996400"));
+        assert!(csv.contains("a,1,0.25,42.2,9,2,0.9964"));
     }
 }

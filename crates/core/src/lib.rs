@@ -18,7 +18,10 @@
 //!    ([`decision`]), and chart data for the paper's Figures 6 and 7
 //!    ([`charts`]). Sweeps over designs × patch policies × schedule
 //!    parameters run on the batch execution layer ([`exec`]) — a scoped
-//!    worker pool with a shared cache of the per-tier SRN solves.
+//!    worker pool with a shared cache of the per-tier SRN solves. All
+//!    tabular results flow through the deterministic structured-output
+//!    model ([`output`]), whose canonical JSON is what the golden-corpus
+//!    regression tests pin.
 //!
 //! The complete case study of the paper lives in [`case_study`].
 //!
@@ -62,6 +65,7 @@ pub mod decision;
 mod error;
 mod evaluation;
 pub mod exec;
+pub mod output;
 pub mod report;
 pub mod sensitivity;
 mod spec;

@@ -1,0 +1,762 @@
+//! Structured report output: a typed value model with deterministic,
+//! dependency-free serializers.
+//!
+//! Every reproduction artifact (paper tables, figures, sweeps, region
+//! checks) is built as a [`Report`] — an ordered list of notes, key/value
+//! blocks, [`Table`]s and [`Series`] — and rendered through one of four
+//! serializers: canonical JSON ([`Report::to_json`]), RFC-4180-style CSV
+//! ([`Report::to_csv`]), aligned text ([`Report::to_text`]) and markdown
+//! tables ([`Table::to_markdown`]). The JSON form is the regression
+//! currency: CI replays every report and byte-compares it against the
+//! committed corpus under `tests/golden/`.
+//!
+//! # Determinism guarantees (DESIGN.md §6)
+//!
+//! * **Stable order** — objects serialize their keys in declaration
+//!   order, items in insertion order; nothing is hash-ordered.
+//! * **Canonical floats** — finite values use Rust's shortest
+//!   round-trip `Display` form ([`fmt_f64`]), which is
+//!   platform-independent and loses no bits; a report differs only when
+//!   a computed number differs.
+//! * **Non-finite policy** — JSON has no NaN/Infinity literals, so
+//!   non-finite floats serialize as the JSON *strings* `"NaN"`,
+//!   `"Infinity"` and `"-Infinity"`; CSV and text use the same spellings
+//!   unquoted.
+//! * **Escaping** — JSON strings escape `"`, `\` and all control
+//!   characters (`\n`/`\r`/`\t` short forms, `\u00XX` otherwise); CSV
+//!   fields containing a comma, quote or newline are quoted with internal
+//!   quotes doubled.
+//!
+//! # Examples
+//!
+//! ```
+//! use redeval::output::{Report, Table, Value};
+//!
+//! let mut table = Table::new("coa", ["design", "coa"]);
+//! table.add_row(vec![Value::from("1+2+2+1"), Value::from(0.99707)]);
+//! let mut report = Report::new("demo", "Demo report");
+//! report.table(table);
+//! assert!(report.to_json().contains("\"rows\""));
+//! assert!(report.to_csv().contains("1+2+2+1,0.99707"));
+//! ```
+
+use std::fmt::Write as _;
+
+/// Identifies the schema of serialized reports (bumped on breaking
+/// changes to the JSON/CSV shape).
+pub const SCHEMA: &str = "redeval-report/1";
+
+/// Formats a float canonically: shortest round-trip representation for
+/// finite values (Rust `Display`), `NaN` / `Infinity` / `-Infinity`
+/// otherwise. This is the only float-to-string path in the serializers.
+pub fn fmt_f64(x: f64) -> String {
+    if x.is_nan() {
+        "NaN".to_string()
+    } else if x == f64::INFINITY {
+        "Infinity".to_string()
+    } else if x == f64::NEG_INFINITY {
+        "-Infinity".to_string()
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Human-oriented float formatting for the text renderer: at most six
+/// decimal places, trailing zeros trimmed. (JSON and CSV keep full
+/// precision via [`fmt_f64`].)
+fn fmt_f64_text(x: f64) -> String {
+    if !x.is_finite() {
+        return fmt_f64(x);
+    }
+    let s = format!("{x:.6}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() {
+        "0".to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+/// Escapes a string for inclusion inside a JSON string literal (without
+/// the surrounding quotes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Quotes a CSV field when needed (contains comma, quote, CR or LF),
+/// doubling internal quotes; returns other fields unchanged.
+pub fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// One scalar cell of a [`Table`] or key/value block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / not applicable.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer (counts, indices).
+    Int(i64),
+    /// Float, serialized canonically (see [`fmt_f64`]).
+    Num(f64),
+    /// String.
+    Str(String),
+}
+
+impl Value {
+    /// JSON fragment for this value (no surrounding whitespace).
+    fn to_json(&self) -> String {
+        match self {
+            Value::Null => "null".to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Num(x) if x.is_finite() => fmt_f64(*x),
+            Value::Num(x) => format!("\"{}\"", fmt_f64(*x)),
+            Value::Str(s) => format!("\"{}\"", json_escape(s)),
+        }
+    }
+
+    /// CSV field for this value (already quoted where required).
+    fn to_csv(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Num(x) => fmt_f64(*x),
+            Value::Str(s) => csv_field(s),
+        }
+    }
+
+    /// Text-renderer form (floats shortened for readability).
+    fn to_text(&self) -> String {
+        match self {
+            Value::Null => "-".to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Num(x) => fmt_f64_text(*x),
+            Value::Str(s) => s.clone(),
+        }
+    }
+
+    /// Whether the text renderer right-aligns this value.
+    fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Num(_))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i64::try_from(i).expect("count fits in i64"))
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Num(x)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+/// A named, rectangular table: the workhorse of every report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Machine-oriented table name (unique within a report).
+    pub name: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows; every row has exactly `columns.len()` cells.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// An empty table with the given name and column headers.
+    pub fn new<C: Into<String>>(
+        name: impl Into<String>,
+        columns: impl IntoIterator<Item = C>,
+    ) -> Self {
+        Table {
+            name: name.into(),
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell count does not match the column count — a
+    /// report-construction bug, not an input condition.
+    pub fn add_row(&mut self, cells: Vec<Value>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "table `{}`: row arity {} != {} columns",
+            self.name,
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// CSV rendering: a header row then one line per row, `\n`-terminated.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns
+                .iter()
+                .map(|c| csv_field(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(Value::to_csv).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Aligned-text rendering: numeric columns right-aligned, the rest
+    /// left-aligned, two spaces between columns.
+    pub fn to_text(&self) -> String {
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Value::to_text).collect())
+            .collect();
+        let numeric: Vec<bool> = (0..self.columns.len())
+            .map(|c| {
+                !self.rows.is_empty()
+                    && self
+                        .rows
+                        .iter()
+                        .all(|r| r[c].is_numeric() || r[c] == Value::Null)
+            })
+            .collect();
+        let widths: Vec<usize> = (0..self.columns.len())
+            .map(|c| {
+                cells
+                    .iter()
+                    .map(|r| r[c].chars().count())
+                    .chain(std::iter::once(self.columns[c].chars().count()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let mut out = String::new();
+        let render = |out: &mut String, fields: &[String]| {
+            let mut line = String::new();
+            for (c, f) in fields.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                let pad = " ".repeat(widths[c].saturating_sub(f.chars().count()));
+                if numeric[c] {
+                    line.push_str(&pad);
+                    line.push_str(f);
+                } else {
+                    line.push_str(f);
+                    if c + 1 < fields.len() {
+                        line.push_str(&pad);
+                    }
+                }
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+        };
+        render(&mut out, &self.columns);
+        for row in &cells {
+            render(&mut out, row);
+        }
+        out
+    }
+
+    /// Markdown rendering: a pipe table with numeric columns
+    /// right-aligned (`---:`).
+    pub fn to_markdown(&self) -> String {
+        let numeric: Vec<bool> = (0..self.columns.len())
+            .map(|c| {
+                !self.rows.is_empty()
+                    && self
+                        .rows
+                        .iter()
+                        .all(|r| r[c].is_numeric() || r[c] == Value::Null)
+            })
+            .collect();
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.columns.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            numeric
+                .iter()
+                .map(|&n| if n { "---:" } else { "---" })
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "| {} |",
+                row.iter()
+                    .map(Value::to_text)
+                    .collect::<Vec<_>>()
+                    .join(" | ")
+            );
+        }
+        out
+    }
+}
+
+/// A named numeric series over a labelled index — sweep results, radar
+/// axes, transients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Machine-oriented series name (unique within a report).
+    pub name: String,
+    /// Index labels, one per value.
+    pub index: Vec<String>,
+    /// The values.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// A series from parallel index/value lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lists disagree in length.
+    pub fn new(name: impl Into<String>, index: Vec<String>, values: Vec<f64>) -> Self {
+        assert_eq!(index.len(), values.len(), "series index/value mismatch");
+        Series {
+            name: name.into(),
+            index,
+            values,
+        }
+    }
+}
+
+/// One element of a [`Report`], kept in insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// Free-text commentary (one paragraph).
+    Note(String),
+    /// Ordered key/value facts.
+    Keys(Vec<(String, Value)>),
+    /// A table.
+    Table(Table),
+    /// A numeric series.
+    Series(Series),
+}
+
+/// A complete reproduction artifact: title, status flag and an ordered
+/// list of [`Item`]s, serializable as JSON, CSV or text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Machine name — the CLI subcommand and golden-file stem.
+    pub name: String,
+    /// Human title.
+    pub title: String,
+    /// Whether every embedded consistency check passed (e.g. the region
+    /// analyses matching the paper). Serialized, so a regression flips
+    /// the golden even if no number is printed.
+    pub ok: bool,
+    /// The content, in insertion order.
+    pub items: Vec<Item>,
+}
+
+impl Report {
+    /// An empty, `ok` report.
+    pub fn new(name: impl Into<String>, title: impl Into<String>) -> Self {
+        Report {
+            name: name.into(),
+            title: title.into(),
+            ok: true,
+            items: Vec::new(),
+        }
+    }
+
+    /// Appends a note paragraph.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.items.push(Item::Note(text.into()));
+    }
+
+    /// Appends an ordered key/value block.
+    pub fn keys<K: Into<String>, V: Into<Value>>(
+        &mut self,
+        entries: impl IntoIterator<Item = (K, V)>,
+    ) {
+        self.items.push(Item::Keys(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        ));
+    }
+
+    /// Appends a table.
+    pub fn table(&mut self, table: Table) {
+        self.items.push(Item::Table(table));
+    }
+
+    /// Appends a series.
+    pub fn series(&mut self, series: Series) {
+        self.items.push(Item::Series(series));
+    }
+
+    /// Records a consistency-check outcome: the report stays `ok` only
+    /// while every check passes.
+    pub fn check(&mut self, passed: bool) {
+        self.ok &= passed;
+    }
+
+    /// Canonical JSON: two-space indent, one table row per line, keys in
+    /// declaration order. Byte-identical across runs and thread counts
+    /// for deterministic report builders (the golden-corpus contract).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{}\",", json_escape(SCHEMA));
+        let _ = writeln!(out, "  \"report\": \"{}\",", json_escape(&self.name));
+        let _ = writeln!(out, "  \"title\": \"{}\",", json_escape(&self.title));
+        let _ = writeln!(out, "  \"ok\": {},", self.ok);
+        out.push_str("  \"items\": [");
+        for (i, item) in self.items.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            match item {
+                Item::Note(text) => {
+                    let _ = write!(
+                        out,
+                        "    {{\"kind\": \"note\", \"text\": \"{}\"}}",
+                        json_escape(text)
+                    );
+                }
+                Item::Keys(entries) => {
+                    out.push_str("    {\"kind\": \"keys\", \"entries\": {");
+                    for (j, (k, v)) in entries.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(out, "\"{}\": {}", json_escape(k), v.to_json());
+                    }
+                    out.push_str("}}");
+                }
+                Item::Table(t) => {
+                    let _ = write!(
+                        out,
+                        "    {{\"kind\": \"table\", \"name\": \"{}\", \"columns\": [{}], \"rows\": [",
+                        json_escape(&t.name),
+                        t.columns
+                            .iter()
+                            .map(|c| format!("\"{}\"", json_escape(c)))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    for (j, row) in t.rows.iter().enumerate() {
+                        out.push_str(if j == 0 { "\n" } else { ",\n" });
+                        let _ = write!(
+                            out,
+                            "      [{}]",
+                            row.iter()
+                                .map(Value::to_json)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                    }
+                    if t.rows.is_empty() {
+                        out.push_str("]}");
+                    } else {
+                        out.push_str("\n    ]}");
+                    }
+                }
+                Item::Series(s) => {
+                    let _ = write!(
+                        out,
+                        "    {{\"kind\": \"series\", \"name\": \"{}\", \"index\": [{}], \"values\": [{}]}}",
+                        json_escape(&s.name),
+                        s.index
+                            .iter()
+                            .map(|l| format!("\"{}\"", json_escape(l)))
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        s.values
+                            .iter()
+                            .map(|&v| Value::Num(v).to_json())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                }
+            }
+        }
+        if self.items.is_empty() {
+            out.push_str("]\n");
+        } else {
+            out.push_str("\n  ]\n");
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// CSV rendering: data items (tables and series) as CSV blocks
+    /// separated by blank lines, each preceded by `# <kind>,<name>`
+    /// comment lines; notes and keys become `#`-prefixed comment rows so
+    /// the data keeps full context.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {},{}", SCHEMA, csv_field(&self.name));
+        let _ = writeln!(out, "# title,{}", csv_field(&self.title));
+        let _ = writeln!(out, "# ok,{}", self.ok);
+        for item in &self.items {
+            match item {
+                Item::Note(text) => {
+                    let _ = writeln!(out, "# note,{}", csv_field(&text.replace('\n', " ")));
+                }
+                Item::Keys(entries) => {
+                    for (k, v) in entries {
+                        let _ = writeln!(out, "# key,{},{}", csv_field(k), v.to_csv());
+                    }
+                }
+                Item::Table(t) => {
+                    out.push('\n');
+                    let _ = writeln!(out, "# table,{}", csv_field(&t.name));
+                    out.push_str(&t.to_csv());
+                }
+                Item::Series(s) => {
+                    out.push('\n');
+                    let _ = writeln!(out, "# series,{}", csv_field(&s.name));
+                    out.push_str("index,value\n");
+                    for (l, v) in s.index.iter().zip(&s.values) {
+                        let _ = writeln!(out, "{},{}", csv_field(l), fmt_f64(*v));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Human-oriented text rendering (what the report binaries print).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "==== {} ====", self.title);
+        for item in &self.items {
+            out.push('\n');
+            match item {
+                Item::Note(text) => {
+                    let _ = writeln!(out, "{text}");
+                }
+                Item::Keys(entries) => {
+                    let width = entries
+                        .iter()
+                        .map(|(k, _)| k.chars().count())
+                        .max()
+                        .unwrap_or(0);
+                    for (k, v) in entries {
+                        let _ = writeln!(out, "{k:<width$}  {}", v.to_text());
+                    }
+                }
+                Item::Table(t) => {
+                    let _ = writeln!(out, "-- {} --", t.name);
+                    out.push_str(&t.to_text());
+                }
+                Item::Series(s) => {
+                    let _ = writeln!(out, "-- {} --", s.name);
+                    let width = s.index.iter().map(|l| l.chars().count()).max().unwrap_or(0);
+                    for (l, v) in s.index.iter().zip(&s.values) {
+                        let _ = writeln!(out, "{l:<width$}  {}", fmt_f64_text(*v));
+                    }
+                }
+            }
+        }
+        if !self.ok {
+            out.push('\n');
+            out.push_str("CONSISTENCY CHECK FAILED — see the report above.\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_formatting_is_canonical() {
+        assert_eq!(fmt_f64(0.1), "0.1");
+        assert_eq!(fmt_f64(1.0), "1");
+        assert_eq!(fmt_f64(-0.0), "-0");
+        assert_eq!(fmt_f64(f64::NAN), "NaN");
+        assert_eq!(fmt_f64(f64::INFINITY), "Infinity");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY), "-Infinity");
+        // Shortest round-trip: parsing the output recovers the bits.
+        for x in [0.99707, 1.0 / 3.0, 6.02e23, 5e-324] {
+            assert_eq!(fmt_f64(x).parse::<f64>().unwrap().to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("é ∑"), "é ∑"); // non-ASCII passes through
+    }
+
+    #[test]
+    fn csv_quotes_only_when_needed() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("line\nbreak"), "\"line\nbreak\"");
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_strings_in_json() {
+        let mut t = Table::new("t", ["x"]);
+        t.add_row(vec![Value::from(f64::NAN)]);
+        t.add_row(vec![Value::from(f64::INFINITY)]);
+        let mut r = Report::new("n", "non-finite");
+        r.table(t);
+        let json = r.to_json();
+        assert!(json.contains("[\"NaN\"]"));
+        assert!(json.contains("[\"Infinity\"]"));
+        // The output stays machine-parseable: balanced quotes, no bare NaN.
+        assert!(!json.contains(": NaN"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("t", ["a", "b"]);
+        t.add_row(vec![Value::from(1)]);
+    }
+
+    #[test]
+    fn json_shape_and_key_order() {
+        let mut r = Report::new("demo", "Demo");
+        r.keys([("threads", Value::from(2)), ("label", Value::from("x,y"))]);
+        let mut t = Table::new("data", ["design", "coa"]);
+        t.add_row(vec![Value::from("a"), Value::from(0.5)]);
+        r.table(t);
+        r.series(Series::new("s", vec!["p".into()], vec![1.5]));
+        r.note("done");
+        let json = r.to_json();
+        let schema_at = json.find("\"schema\"").unwrap();
+        let report_at = json.find("\"report\"").unwrap();
+        let items_at = json.find("\"items\"").unwrap();
+        assert!(schema_at < report_at && report_at < items_at);
+        assert!(json.contains("\"entries\": {\"threads\": 2, \"label\": \"x,y\"}"));
+        assert!(json.contains("\"columns\": [\"design\", \"coa\"]"));
+        assert!(json.contains("[\"a\", 0.5]"));
+        assert!(json.contains("\"values\": [1.5]"));
+        assert!(json.contains("{\"kind\": \"note\", \"text\": \"done\"}"));
+        // Serialization is a pure function of the value.
+        assert_eq!(json, r.to_json());
+    }
+
+    #[test]
+    fn csv_blocks_carry_tables_and_series() {
+        let mut r = Report::new("demo", "Demo, with comma");
+        let mut t = Table::new("data", ["design", "coa"]);
+        t.add_row(vec![Value::from("a,b"), Value::from(0.25)]);
+        r.table(t);
+        r.series(Series::new("s", vec!["p0".into()], vec![2.0]));
+        let csv = r.to_csv();
+        assert!(csv.starts_with(&format!("# {SCHEMA},demo\n")));
+        assert!(csv.contains("# title,\"Demo, with comma\""));
+        assert!(csv.contains("# table,data\ndesign,coa\n\"a,b\",0.25\n"));
+        assert!(csv.contains("# series,s\nindex,value\np0,2\n"));
+    }
+
+    #[test]
+    fn text_aligns_numeric_columns_right() {
+        let mut t = Table::new("t", ["name", "n"]);
+        t.add_row(vec![Value::from("a"), Value::from(7)]);
+        t.add_row(vec![Value::from("bbbb"), Value::from(123)]);
+        let text = t.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[1], "a       7");
+        assert_eq!(lines[2], "bbbb  123");
+    }
+
+    #[test]
+    fn markdown_marks_numeric_columns() {
+        let mut t = Table::new("t", ["name", "n"]);
+        t.add_row(vec![Value::from("a"), Value::from(1.25)]);
+        let md = t.to_markdown();
+        assert!(md.contains("| name | n |"));
+        assert!(md.contains("|---|---:|"));
+        assert!(md.contains("| a | 1.25 |"));
+    }
+
+    #[test]
+    fn failed_check_flips_ok_and_text_flags_it() {
+        let mut r = Report::new("r", "R");
+        r.check(true);
+        assert!(r.ok);
+        r.check(false);
+        r.check(true); // a later pass cannot un-fail the report
+        assert!(!r.ok);
+        assert!(r.to_json().contains("\"ok\": false"));
+        assert!(r.to_text().contains("CONSISTENCY CHECK FAILED"));
+    }
+
+    #[test]
+    fn empty_report_serializes() {
+        let r = Report::new("e", "Empty");
+        assert!(r.to_json().ends_with("\"items\": []\n}\n"));
+        assert_eq!(r.to_text(), "==== Empty ====\n");
+    }
+}

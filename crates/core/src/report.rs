@@ -4,9 +4,10 @@
 
 use std::fmt::Write as _;
 
-use crate::charts::{radar_data, radar_table, scatter_data};
+use crate::charts::{radar_data, radar_series_table, scatter_data, scatter_table};
 use crate::decision::{MultiBounds, ScatterBounds};
 use crate::evaluation::{DesignEvaluation, Evaluator};
+use crate::output::{Table, Value};
 use crate::spec::Design;
 use crate::EvalError;
 
@@ -70,51 +71,65 @@ pub fn markdown_report(
     );
 
     let _ = writeln!(out, "## Security metrics\n");
-    let _ = writeln!(
-        out,
-        "| design | AIM pre | ASP pre | AIM post | ASP post | NoEV post | NoAP post | NoEP post |"
+    let mut security = Table::new(
+        "security",
+        [
+            "design",
+            "AIM pre",
+            "ASP pre",
+            "AIM post",
+            "ASP post",
+            "NoEV post",
+            "NoAP post",
+            "NoEP post",
+        ],
     );
-    let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|---:|---:|");
     for e in &evals {
-        let _ = writeln!(
-            out,
-            "| {} | {:.1} | {:.3} | {:.1} | {:.3} | {} | {} | {} |",
-            e.name,
-            e.before.attack_impact,
-            e.before.attack_success_probability,
-            e.after.attack_impact,
-            e.after.attack_success_probability,
-            e.after.exploitable_vulnerabilities,
-            e.after.attack_paths,
-            e.after.entry_points
-        );
+        security.add_row(vec![
+            Value::from(e.name.as_str()),
+            Value::from(e.before.attack_impact),
+            Value::from(e.before.attack_success_probability),
+            Value::from(e.after.attack_impact),
+            Value::from(e.after.attack_success_probability),
+            Value::from(e.after.exploitable_vulnerabilities),
+            Value::from(e.after.attack_paths),
+            Value::from(e.after.entry_points),
+        ]);
     }
+    let _ = write!(out, "{}", security.to_markdown());
 
     let _ = writeln!(out, "\n## Availability\n");
-    let _ = writeln!(out, "| design | servers | COA | availability | E[up] |");
-    let _ = writeln!(out, "|---|---:|---:|---:|---:|");
+    let mut availability = Table::new(
+        "availability",
+        ["design", "servers", "COA", "availability", "E[up]"],
+    );
     for e in &evals {
-        let _ = writeln!(
-            out,
-            "| {} | {} | {:.5} | {:.6} | {:.3} |",
-            e.name,
-            e.total_servers(),
-            e.coa,
-            e.availability,
-            e.expected_up
-        );
+        availability.add_row(vec![
+            Value::from(e.name.as_str()),
+            Value::from(e.total_servers()),
+            Value::from(e.coa),
+            Value::from(e.availability),
+            Value::from(e.expected_up),
+        ]);
     }
+    let _ = write!(out, "{}", availability.to_markdown());
 
     let _ = writeln!(out, "\n## Scatter (ASP vs COA, after patch)\n");
     let _ = writeln!(out, "```");
-    for p in scatter_data(&evals, true) {
-        let _ = writeln!(out, "{:<36} ASP {:.4}  COA {:.5}", p.design, p.asp, p.coa);
-    }
+    let _ = write!(
+        out,
+        "{}",
+        scatter_table(&scatter_data(&evals, true)).to_text()
+    );
     let _ = writeln!(out, "```");
 
     let _ = writeln!(out, "\n## Radar data (after patch)\n");
     let _ = writeln!(out, "```");
-    let _ = write!(out, "{}", radar_table(&radar_data(&evals, true)));
+    let _ = write!(
+        out,
+        "{}",
+        radar_series_table(&radar_data(&evals, true)).to_text()
+    );
     let _ = writeln!(out, "```");
 
     if !options.scatter_bounds.is_empty() || !options.multi_bounds.is_empty() {

@@ -89,6 +89,53 @@ impl SolvedSrn {
         }
     }
 
+    /// Transient probability distribution over the tangible markings at
+    /// time `t`, starting from the net's initial marking (uniformization).
+    ///
+    /// This is the primitive behind
+    /// [`transient_probability`](SolvedSrn::transient_probability) and
+    /// [`transient_expected`](SolvedSrn::transient_expected): callers
+    /// evaluating several measures at one time point should solve once
+    /// with this and reduce against the markings of
+    /// [`state_space`](SolvedSrn::state_space) — each call performs one
+    /// full CTMC transient solve.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CTMC transient-solver errors.
+    pub fn transient_distribution(&self, t: f64) -> Result<Vec<f64>, SrnError> {
+        let n = self.space.len();
+        let mut p0 = vec![0.0; n];
+        for &(i, p) in self.space.initial_distribution() {
+            p0[i] = p;
+        }
+        Ok(self.space.ctmc().transient_from(
+            &p0,
+            t,
+            &redeval_markov::TransientOptions::default(),
+        )?)
+    }
+
+    /// Expected reward at time `t` — the transient analogue of
+    /// [`expected`](SolvedSrn::expected).
+    ///
+    /// # Errors
+    ///
+    /// Propagates CTMC transient-solver errors.
+    pub fn transient_expected<F>(&self, t: f64, reward: F) -> Result<f64, SrnError>
+    where
+        F: Fn(&Marking) -> f64,
+    {
+        let pt = self.transient_distribution(t)?;
+        Ok(self
+            .space
+            .tangible_markings()
+            .iter()
+            .zip(&pt)
+            .map(|(m, p)| reward(m) * p)
+            .sum())
+    }
+
     /// Probability of the predicate at time `t`, starting from the net's
     /// initial marking (transient analysis by uniformization).
     ///
@@ -99,24 +146,7 @@ impl SolvedSrn {
     where
         F: Fn(&Marking) -> bool,
     {
-        let n = self.space.len();
-        let mut p0 = vec![0.0; n];
-        for &(i, p) in self.space.initial_distribution() {
-            p0[i] = p;
-        }
-        let pt = self.space.ctmc().transient_from(
-            &p0,
-            t,
-            &redeval_markov::TransientOptions::default(),
-        )?;
-        Ok(self
-            .space
-            .tangible_markings()
-            .iter()
-            .zip(&pt)
-            .filter(|(m, _)| pred(m))
-            .map(|(_, p)| *p)
-            .sum())
+        self.transient_expected(t, |m| if pred(m) { 1.0 } else { 0.0 })
     }
 }
 
@@ -202,5 +232,33 @@ mod tests {
         assert!((at_steady - transient).abs() < 1e-8);
         let at_zero = s.transient_probability(0.0, |m| m.tokens(up) == 2).unwrap();
         assert!((at_zero - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transient_distribution_is_a_distribution_and_drives_expected() {
+        let (net, up, _down, _fail) = two_components();
+        let s = net.solve().unwrap();
+        for t in [0.0, 1.0, 50.0] {
+            let dist = s.transient_distribution(t).unwrap();
+            assert_eq!(dist.len(), s.state_space().len());
+            let sum: f64 = dist.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "t={t}: sums to {sum}");
+            // Reducing the distribution by hand matches transient_expected.
+            let by_hand: f64 = s
+                .state_space()
+                .tangible_markings()
+                .iter()
+                .zip(&dist)
+                .map(|(m, p)| m.tokens(up) as f64 * p)
+                .sum();
+            let expected = s.transient_expected(t, |m| m.tokens(up) as f64).unwrap();
+            assert!((by_hand - expected).abs() < 1e-12);
+        }
+        // At large t the transient expectation reaches the steady reward.
+        let steady = s.mean_tokens(up);
+        let late = s
+            .transient_expected(500.0, |m| m.tokens(up) as f64)
+            .unwrap();
+        assert!((steady - late).abs() < 1e-8);
     }
 }
