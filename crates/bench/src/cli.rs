@@ -1,28 +1,37 @@
 //! The unified `redeval` command-line interface.
 //!
-//! One dispatcher over the report registry (`reports::REGISTRY`):
+//! One dispatcher over the report registry (`reports::REGISTRY`) and the
+//! declarative scenario API:
 //!
 //! ```console
 //! $ redeval table 2                 # any artifact, text to stdout
 //! $ redeval fig 6 --format csv     # deterministic CSV
 //! $ redeval report --all --format json --out reports/
 //! $ redeval report --all --bless   # regenerate tests/golden/
+//! $ redeval scenario list          # the bundled scenario gallery
+//! $ redeval scenario export ecommerce > mine.json
+//! $ redeval scenario validate mine.json
+//! $ redeval eval --scenario mine.json --policy all
 //! ```
 //!
 //! Subcommands are registry names (`table2`, `sweep`, `design_space`, …;
 //! dashes and underscores are interchangeable), plus the `table N` /
-//! `fig N` spellings, `report --all`, and `list`. Every command takes
+//! `fig N` spellings, `report --all`, `list`, the `scenario` family and
+//! `eval --scenario FILE`. Report-producing commands take
 //! `--format text|json|csv` and `--out DIR`; with `--out`, each report
 //! is written to `DIR/<name>.<ext>` instead of stdout.
 //!
 //! Exit codes: `0` success, `1` a report's embedded consistency check
-//! failed (e.g. a region deviates from the paper), `2` usage error.
+//! failed (e.g. a region deviates from the paper) or a scenario failed
+//! validation, `2` usage error.
 
 use std::path::Path;
 
-use redeval::output::Report;
+use redeval::output::{Report, Table, Value};
+use redeval::scenario::{builtin, ScenarioDoc};
+use redeval::PatchPolicy;
 
-use crate::reports::{self, ReportSpec, REGISTRY};
+use crate::reports::{self, REGISTRY};
 
 /// Where blessed goldens live. Anchored at compile time to this crate's
 /// manifest directory (like `tests/golden.rs` does), so `--bless` lands
@@ -42,14 +51,23 @@ COMMANDS:
     <name>               any report by registry name (see `list`)
     report --all         every report; with --out DIR, one file each
     report --all --bless regenerate the golden corpus (tests/golden/*.json)
-    list                 list every report name with a description
+    list                 reports and bundled scenarios (honors --format json)
+
+    eval --scenario FILE [--policy P]
+                         evaluate a scenario file end-to-end (designs ×
+                         policies); --policy overrides the file's policy
+                         list (none | all | critical>T)
+    scenario list        the bundled scenario gallery
+    scenario export NAME print a bundled scenario's canonical JSON
+    scenario validate FILE...
+                         parse + validate scenario files (exit 1 on failure)
 
 OPTIONS:
     --format <FMT>       text (default), json, or csv
     --out <DIR>          write DIR/<name>.<ext> instead of stdout
     -h, --help           this text
 
-EXIT CODES: 0 ok; 1 a consistency check failed; 2 usage error.
+EXIT CODES: 0 ok; 1 a consistency/validation check failed; 2 usage error.
 ";
 
 /// Output format of a report.
@@ -90,15 +108,37 @@ impl Format {
     }
 }
 
+/// What a parsed command line asks for.
+#[derive(Debug, PartialEq)]
+enum Cmd {
+    /// Print the usage text.
+    Help,
+    /// The combined report/scenario listing (a [`Report`] itself, so it
+    /// honors `--format json` for tooling).
+    List,
+    /// Registry reports to build, in order.
+    Reports(Vec<&'static str>),
+    /// List the bundled scenario gallery.
+    ScenarioList,
+    /// Print a bundled scenario's canonical JSON.
+    ScenarioExport(String),
+    /// Parse + validate scenario files.
+    ScenarioValidate(Vec<String>),
+    /// Evaluate one scenario file end-to-end.
+    Eval {
+        /// Path of the scenario JSON file.
+        file: String,
+        /// Overrides the file's policy list when present.
+        policy: Option<PatchPolicy>,
+    },
+}
+
 /// A parsed command line.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, PartialEq)]
 struct Invocation {
-    /// Registry names to build, in order.
-    names: Vec<&'static str>,
+    cmd: Cmd,
     format: Format,
     out: Option<String>,
-    list: bool,
-    help: bool,
 }
 
 fn parse(args: &[String]) -> Result<Invocation, String> {
@@ -109,6 +149,8 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
     let mut all = false;
     let mut bless = false;
     let mut help = false;
+    let mut scenario_file: Option<String> = None;
+    let mut policy: Option<PatchPolicy> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -122,6 +164,15 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
                 i += 1;
                 out = Some(args.get(i).ok_or("--out needs a value")?.clone());
             }
+            "--scenario" => {
+                i += 1;
+                scenario_file = Some(args.get(i).ok_or("--scenario needs a file path")?.clone());
+            }
+            "--policy" => {
+                i += 1;
+                let v = args.get(i).ok_or("--policy needs a value")?;
+                policy = Some(v.parse().map_err(|e| format!("{e}"))?);
+            }
             "--all" => all = true,
             "--bless" => bless = true,
             "-h" | "--help" => help = true,
@@ -131,18 +182,29 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
         i += 1;
     }
 
-    if positional.is_empty() && (all || bless) && !help {
-        return Err("`--all` and `--bless` belong to the `report` command \
-                    (e.g. `redeval report --all`)"
-            .to_string());
+    if positional.is_empty() && !help {
+        // A flag without a command is a mistyped invocation; exiting 0
+        // with the usage text would let scripts treat the no-op as
+        // success.
+        if all || bless {
+            return Err("`--all` and `--bless` belong to the `report` command \
+                        (e.g. `redeval report --all`)"
+                .to_string());
+        }
+        if scenario_file.is_some() || policy.is_some() {
+            return Err("`--scenario`/`--policy` belong to the `eval` command \
+                 (e.g. `redeval eval --scenario mine.json`)"
+                .to_string());
+        }
+        if explicit_format || out.is_some() {
+            return Err("`--format`/`--out` need a command to render".to_string());
+        }
     }
     if help || positional.is_empty() {
         return Ok(Invocation {
-            names: Vec::new(),
+            cmd: Cmd::Help,
             format,
             out,
-            list: false,
-            help: true,
         });
     }
     if positional[0] != "report" && (all || bless) {
@@ -151,20 +213,22 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
             positional[0]
         ));
     }
+    if positional[0] != "eval" {
+        if scenario_file.is_some() {
+            return Err(
+                "`--scenario` belongs to `eval` (e.g. `redeval eval --scenario f.json`)"
+                    .to_string(),
+            );
+        }
+        if policy.is_some() {
+            return Err("`--policy` belongs to `eval`".to_string());
+        }
+    }
 
-    let mut names: Vec<&'static str> = Vec::new();
-    let mut list = false;
     // Positionals the command consumes; anything beyond is an error.
     let mut consumed = 1;
-    match positional[0] {
-        "list" => {
-            // `list` has no report output, so accepted-but-ignored
-            // --format/--out would mislead scripting users; reject them.
-            if explicit_format || out.is_some() {
-                return Err("`list` prints plain text; it takes no --format/--out".to_string());
-            }
-            list = true;
-        }
+    let cmd = match positional[0] {
+        "list" => Cmd::List,
         "report" => {
             // `report` runs everything; `--all` is the documented form.
             if bless {
@@ -179,7 +243,57 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
                 format = Format::Json;
                 out = Some(GOLDEN_DIR.to_string());
             }
-            names = REGISTRY.iter().map(|s| s.name).collect();
+            Cmd::Reports(REGISTRY.iter().map(|s| s.name).collect())
+        }
+        "eval" => {
+            let file = scenario_file
+                .take()
+                .ok_or("`eval` needs `--scenario <FILE>`")?;
+            Cmd::Eval { file, policy }
+        }
+        "scenario" => {
+            let sub = positional
+                .get(1)
+                .ok_or("`scenario` needs a subcommand: list, export or validate")?;
+            consumed = 2;
+            match *sub {
+                "list" => Cmd::ScenarioList,
+                "export" => {
+                    let name = positional
+                        .get(2)
+                        .ok_or("`scenario export` needs a scenario name (see `scenario list`)")?;
+                    consumed = 3;
+                    let spec = builtin::find(name).ok_or_else(|| {
+                        format!("unknown scenario `{name}`; see `redeval scenario list`")
+                    })?;
+                    // The export *is* JSON; another format would be a lie.
+                    if explicit_format && format != Format::Json {
+                        return Err("`scenario export` always writes canonical JSON; \
+                                    drop the --format flag"
+                            .to_string());
+                    }
+                    Cmd::ScenarioExport(spec.name.to_string())
+                }
+                "validate" => {
+                    let files: Vec<String> =
+                        positional[2..].iter().map(|s| s.to_string()).collect();
+                    if files.is_empty() {
+                        return Err("`scenario validate` needs at least one file".to_string());
+                    }
+                    consumed = positional.len();
+                    if explicit_format || out.is_some() {
+                        return Err("`scenario validate` prints a plain summary; it takes no \
+                             --format/--out"
+                            .to_string());
+                    }
+                    Cmd::ScenarioValidate(files)
+                }
+                other => {
+                    return Err(format!(
+                        "unknown scenario subcommand `{other}` (expected list, export, validate)"
+                    ));
+                }
+            }
         }
         "table" | "fig" => {
             let kind = positional[0];
@@ -190,43 +304,89 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
             let name = format!("{kind}{n}");
             let spec = reports::find(&name)
                 .ok_or_else(|| format!("no report `{name}`; see `redeval list`"))?;
-            names.push(spec.name);
+            Cmd::Reports(vec![spec.name])
         }
         other => {
             let normalized = other.replace('-', "_");
             let spec = reports::find(&normalized)
                 .ok_or_else(|| format!("unknown command `{other}`; see `redeval list`"))?;
-            names.push(spec.name);
+            Cmd::Reports(vec![spec.name])
         }
-    }
+    };
     if positional.len() > consumed {
         return Err(format!("unexpected argument `{}`", positional[consumed]));
     }
-    Ok(Invocation {
-        names,
-        format,
-        out,
-        list,
-        help: false,
-    })
+    Ok(Invocation { cmd, format, out })
 }
 
-fn emit(spec: &ReportSpec, format: Format, out: Option<&str>) -> Result<bool, String> {
-    let report = (spec.build)();
-    let rendered = format.render(&report);
+/// Writes `content` to `DIR/<stem>.<ext>` (creating DIR) or stdout.
+fn emit_text(content: &str, stem: &str, ext: &str, out: Option<&str>) -> Result<(), String> {
     match out {
         Some(dir) => {
             let dir = Path::new(dir);
             std::fs::create_dir_all(dir)
                 .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
-            let path = dir.join(format!("{}.{}", spec.name, format.extension()));
-            std::fs::write(&path, rendered)
+            let path = dir.join(format!("{stem}.{ext}"));
+            std::fs::write(&path, content)
                 .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
             eprintln!("wrote {}", path.display());
         }
-        None => print!("{rendered}"),
+        None => print!("{content}"),
     }
+    Ok(())
+}
+
+/// Renders one report in the chosen format to stdout or `--out`.
+fn emit(report: &Report, format: Format, out: Option<&str>) -> Result<bool, String> {
+    emit_text(
+        &format.render(report),
+        &report.name,
+        format.extension(),
+        out,
+    )?;
     Ok(report.ok)
+}
+
+/// The combined listing as a [`Report`]: one table of registry reports,
+/// one of bundled scenarios — so `redeval list --format json` gives
+/// tooling a machine-readable index of both.
+pub fn list_report() -> Report {
+    let mut r = Report::new("list", "redeval — reports and bundled scenarios");
+    let mut reports = Table::new("reports", ["name", "about"]);
+    for spec in REGISTRY {
+        reports.add_row(vec![Value::from(spec.name), Value::from(spec.about)]);
+    }
+    r.table(reports);
+    r.table(scenario_table());
+    r
+}
+
+/// The bundled scenario gallery as a table (shared by `list` and
+/// `scenario list`).
+fn scenario_table() -> Table {
+    let mut t = Table::new("scenarios", ["name", "about"]);
+    for s in builtin::BUILTINS {
+        t.add_row(vec![Value::from(s.name), Value::from(s.about)]);
+    }
+    t
+}
+
+/// The `scenario list` report. (Named `scenario_list`, not `scenarios` —
+/// that name belongs to the partial-patch registry report, and `--out`
+/// into one directory must never clobber it.)
+pub fn scenario_list_report() -> Report {
+    let mut r = Report::new(
+        "scenario_list",
+        "bundled scenarios (redeval scenario export <name>)",
+    );
+    r.table(scenario_table());
+    r
+}
+
+/// Loads and fully validates a scenario file.
+fn load_scenario(file: &str) -> Result<ScenarioDoc, String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    ScenarioDoc::from_json(&text).map_err(|e| format!("{file}: {e}"))
 }
 
 /// Runs the CLI on `args` (without the program name); returns the
@@ -240,32 +400,100 @@ pub fn run(args: &[String]) -> i32 {
             return 2;
         }
     };
-    if invocation.help {
-        print!("{USAGE}");
-        return 0;
-    }
-    if invocation.list {
-        for spec in REGISTRY {
-            println!("{:<18} {}", spec.name, spec.about);
+    let format = invocation.format;
+    let out = invocation.out.as_deref();
+    let emit_or_exit = |report: &Report| -> Result<bool, i32> {
+        emit(report, format, out).map_err(|msg| {
+            eprintln!("error: {msg}");
+            2
+        })
+    };
+    match &invocation.cmd {
+        Cmd::Help => {
+            print!("{USAGE}");
+            0
         }
-        return 0;
-    }
-    let mut all_ok = true;
-    for name in &invocation.names {
-        let spec = reports::find(name).expect("registry name resolves");
-        match emit(spec, invocation.format, invocation.out.as_deref()) {
-            Ok(ok) => all_ok &= ok,
-            Err(msg) => {
-                eprintln!("error: {msg}");
-                return 2;
+        Cmd::List => match emit_or_exit(&list_report()) {
+            Ok(_) => 0,
+            Err(code) => code,
+        },
+        Cmd::ScenarioList => match emit_or_exit(&scenario_list_report()) {
+            Ok(_) => 0,
+            Err(code) => code,
+        },
+        Cmd::ScenarioExport(name) => {
+            let spec = builtin::find(name).expect("parse resolved the name");
+            let json = ((spec.build)()).to_json();
+            match emit_text(&json, name, "json", out) {
+                Ok(()) => 0,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    2
+                }
             }
         }
-    }
-    if all_ok {
-        0
-    } else {
-        eprintln!("error: a consistency check failed — see the report output");
-        1
+        Cmd::ScenarioValidate(files) => {
+            let mut all_ok = true;
+            for file in files {
+                match load_scenario(file) {
+                    Ok(doc) => {
+                        let servers: u64 = doc.tiers.iter().map(|t| u64::from(t.count)).sum();
+                        println!(
+                            "ok {file}: scenario `{}` — {} tiers, {servers} servers, \
+                             {} designs, {} policies",
+                            doc.name,
+                            doc.tiers.len(),
+                            doc.designs.len(),
+                            doc.policies.len()
+                        );
+                    }
+                    Err(msg) => {
+                        all_ok = false;
+                        eprintln!("error: {msg}");
+                    }
+                }
+            }
+            i32::from(!all_ok)
+        }
+        Cmd::Eval { file, policy } => {
+            let mut doc = match load_scenario(file) {
+                Ok(doc) => doc,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    return 1;
+                }
+            };
+            if let Some(p) = policy {
+                doc.policies = vec![*p];
+            }
+            let report = match reports::scenario::eval_report(&doc) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {file}: {e}");
+                    return 1;
+                }
+            };
+            match emit_or_exit(&report) {
+                Ok(ok) => i32::from(!ok),
+                Err(code) => code,
+            }
+        }
+        Cmd::Reports(names) => {
+            let mut all_ok = true;
+            for name in names {
+                let spec = reports::find(name).expect("registry name resolves");
+                match emit_or_exit(&(spec.build)()) {
+                    Ok(ok) => all_ok &= ok,
+                    Err(code) => return code,
+                }
+            }
+            if all_ok {
+                0
+            } else {
+                eprintln!("error: a consistency check failed — see the report output");
+                1
+            }
+        }
     }
 }
 
@@ -292,27 +520,34 @@ mod tests {
         list.iter().map(|s| s.to_string()).collect()
     }
 
+    fn names(inv: &Invocation) -> &[&'static str] {
+        match &inv.cmd {
+            Cmd::Reports(names) => names,
+            other => panic!("expected Reports, got {other:?}"),
+        }
+    }
+
     #[test]
     fn parses_table_and_fig_spellings() {
         let inv = parse(&args(&["table", "2"])).unwrap();
-        assert_eq!(inv.names, ["table2"]);
+        assert_eq!(names(&inv), ["table2"]);
         let inv = parse(&args(&["fig", "45"])).unwrap();
-        assert_eq!(inv.names, ["fig45"]);
+        assert_eq!(names(&inv), ["fig45"]);
         let inv = parse(&args(&["table5"])).unwrap();
-        assert_eq!(inv.names, ["table5"]);
+        assert_eq!(names(&inv), ["table5"]);
     }
 
     #[test]
     fn dashes_and_underscores_are_interchangeable() {
         let a = parse(&args(&["design-space"])).unwrap();
         let b = parse(&args(&["design_space"])).unwrap();
-        assert_eq!(a.names, b.names);
+        assert_eq!(a.cmd, b.cmd);
     }
 
     #[test]
     fn report_all_expands_to_the_whole_registry() {
         let inv = parse(&args(&["report", "--all", "--format", "json"])).unwrap();
-        assert_eq!(inv.names.len(), REGISTRY.len());
+        assert_eq!(names(&inv).len(), REGISTRY.len());
         assert_eq!(inv.format, Format::Json);
     }
 
@@ -351,20 +586,142 @@ mod tests {
         assert!(parse(&args(&["report", "regions"])).is_err());
         assert!(parse(&args(&["table", "2", "3"])).is_err());
         assert!(parse(&args(&["list", "extra"])).is_err());
+        assert!(parse(&args(&["scenario", "list", "extra"])).is_err());
+        assert!(parse(&args(&["scenario", "export", "ecommerce", "extra"])).is_err());
     }
 
     #[test]
-    fn list_takes_no_format_or_out() {
-        assert!(parse(&args(&["list"])).unwrap().list);
-        // `list` output is plain text only; accepted-but-ignored flags
-        // would mislead scripting users.
-        assert!(parse(&args(&["list", "--format", "json"])).is_err());
-        assert!(parse(&args(&["list", "--out", "/tmp/x"])).is_err());
+    fn list_is_a_report_and_honors_format() {
+        // `list` renders through the Report model, so tooling can ask for
+        // the machine-readable form.
+        assert_eq!(parse(&args(&["list"])).unwrap().cmd, Cmd::List);
+        let inv = parse(&args(&["list", "--format", "json"])).unwrap();
+        assert_eq!((inv.cmd, inv.format), (Cmd::List, Format::Json));
+        let listing = list_report();
+        let json = listing.to_json();
+        assert!(json.contains("\"scenarios\"") && json.contains("\"reports\""));
+        assert!(json.contains("scenario_suite") && json.contains("paper_case_study"));
+    }
+
+    #[test]
+    fn parses_the_scenario_family() {
+        assert_eq!(
+            parse(&args(&["scenario", "list"])).unwrap().cmd,
+            Cmd::ScenarioList
+        );
+        assert_eq!(
+            parse(&args(&["scenario", "export", "iot_fleet"]))
+                .unwrap()
+                .cmd,
+            Cmd::ScenarioExport("iot_fleet".into())
+        );
+        assert_eq!(
+            parse(&args(&["scenario", "validate", "a.json", "b.json"]))
+                .unwrap()
+                .cmd,
+            Cmd::ScenarioValidate(vec!["a.json".into(), "b.json".into()])
+        );
+        // Usage errors, not panics.
+        assert!(parse(&args(&["scenario"])).is_err());
+        assert!(parse(&args(&["scenario", "frobnicate"])).is_err());
+        assert!(parse(&args(&["scenario", "export"])).is_err());
+        assert!(parse(&args(&["scenario", "export", "no_such"])).is_err());
+        assert!(parse(&args(&["scenario", "validate"])).is_err());
+        // Export is always JSON; a contradictory format is rejected, the
+        // explicit JSON spelling is fine.
+        assert!(parse(&args(&[
+            "scenario",
+            "export",
+            "ecommerce",
+            "--format",
+            "csv"
+        ]))
+        .is_err());
+        assert!(parse(&args(&[
+            "scenario",
+            "export",
+            "ecommerce",
+            "--format",
+            "json"
+        ]))
+        .is_ok());
+        // Validate prints a summary, not a report.
+        assert!(parse(&args(&[
+            "scenario", "validate", "a.json", "--format", "json"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_eval_with_scenario_and_policy() {
+        let inv = parse(&args(&["eval", "--scenario", "mine.json"])).unwrap();
+        assert_eq!(
+            inv.cmd,
+            Cmd::Eval {
+                file: "mine.json".into(),
+                policy: None
+            }
+        );
+        let inv = parse(&args(&[
+            "eval",
+            "--scenario",
+            "mine.json",
+            "--policy",
+            "critical>7.5",
+            "--format",
+            "csv",
+        ]))
+        .unwrap();
+        assert_eq!(
+            inv.cmd,
+            Cmd::Eval {
+                file: "mine.json".into(),
+                policy: Some(PatchPolicy::CriticalOnly(7.5))
+            }
+        );
+        assert_eq!(inv.format, Format::Csv);
+        // `eval` without a file, bad policies, and `--scenario` on other
+        // commands are usage errors.
+        assert!(parse(&args(&["eval"])).is_err());
+        assert!(parse(&args(&[
+            "eval",
+            "--scenario",
+            "f.json",
+            "--policy",
+            "bogus"
+        ]))
+        .is_err());
+        assert!(parse(&args(&["table", "2", "--scenario", "f.json"])).is_err());
+        assert!(parse(&args(&["list", "--policy", "all"])).is_err());
     }
 
     #[test]
     fn empty_args_ask_for_help() {
-        assert!(parse(&args(&[])).unwrap().help);
-        assert!(parse(&args(&["--help", "--all"])).unwrap().help);
+        assert_eq!(parse(&args(&[])).unwrap().cmd, Cmd::Help);
+        assert_eq!(parse(&args(&["--help", "--all"])).unwrap().cmd, Cmd::Help);
+    }
+
+    #[test]
+    fn flags_without_a_command_are_usage_errors() {
+        // A mistyped invocation must not exit 0 with the usage text.
+        for bad in [
+            vec!["--scenario", "mine.json"],
+            vec!["--policy", "all"],
+            vec!["--format", "json"],
+            vec!["--out", "/tmp/x"],
+        ] {
+            assert!(parse(&args(&bad)).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn scenario_listing_report_name_avoids_the_registry() {
+        // `scenario list --out DIR` and `report --all --out DIR` may
+        // share a directory; the listing must never clobber the
+        // `scenarios` (partial-patch study) registry report.
+        let listing = scenario_list_report();
+        assert_eq!(listing.name, "scenario_list");
+        assert!(reports::find(&listing.name).is_none());
+        assert!(reports::find("scenarios").is_some());
     }
 }

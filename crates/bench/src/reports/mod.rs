@@ -11,6 +11,7 @@
 //! machine parallelism must never join this registry.
 
 pub mod figures;
+pub mod scenario;
 pub mod studies;
 pub mod tables;
 pub mod validate;
@@ -145,6 +146,11 @@ pub const REGISTRY: &[ReportSpec] = &[
         name: "transient",
         about: "Capacity transient of a patch round (uniformization)",
         build: studies::transient,
+    },
+    ReportSpec {
+        name: "scenario_suite",
+        about: "Bundled scenario gallery evaluated through the declarative API",
+        build: scenario::scenario_suite,
     },
     ReportSpec {
         name: "validate_sim",

@@ -1,0 +1,167 @@
+//! Report builders for the declarative scenario gallery.
+//!
+//! [`scenario_suite`] is the registry entry: every bundled scenario
+//! evaluated end-to-end (designs × policies on the batch engine), pinned
+//! in the golden corpus like any other report. [`eval_report`] is the
+//! same evaluation for a *single* document — the engine behind
+//! `redeval eval --scenario FILE`, so user files and bundled scenarios
+//! flow through identical code.
+
+use redeval::exec::Sweep;
+use redeval::output::{Report, Table, Value};
+use redeval::scenario::{builtin, ScenarioDoc};
+use redeval::EvalError;
+
+/// The design × policy evaluation table of one scenario document.
+fn evaluation_table(name: &str, doc: &ScenarioDoc) -> Result<Table, EvalError> {
+    let mut t = Table::new(
+        name,
+        [
+            "scenario",
+            "asp_before",
+            "asp",
+            "aim",
+            "noev",
+            "noap",
+            "noep",
+            "coa",
+            "availability",
+        ],
+    );
+    for e in Sweep::from_scenario(doc)?.run()? {
+        t.add_row(vec![
+            Value::from(e.name.as_str()),
+            Value::from(e.before.attack_success_probability),
+            Value::from(e.after.attack_success_probability),
+            Value::from(e.after.attack_impact),
+            Value::from(e.after.exploitable_vulnerabilities),
+            Value::from(e.after.attack_paths),
+            Value::from(e.after.entry_points),
+            Value::from(e.coa),
+            Value::from(e.availability),
+        ]);
+    }
+    Ok(t)
+}
+
+/// The tier-topology table of one scenario document.
+fn topology_table(name: &str, doc: &ScenarioDoc) -> Table {
+    let mut t = Table::new(name, ["tier", "count", "tree", "entry", "target", "feeds"]);
+    for tier in &doc.tiers {
+        let feeds: Vec<&str> = doc
+            .edges
+            .iter()
+            .filter(|(from, _)| *from == tier.name)
+            .map(|(_, to)| to.as_str())
+            .collect();
+        t.add_row(vec![
+            Value::from(tier.name.as_str()),
+            Value::from(tier.count),
+            match &tier.tree {
+                Some(tree) => Value::from(tree.as_str()),
+                None => Value::Null,
+            },
+            Value::from(tier.entry),
+            Value::from(tier.target),
+            Value::from(feeds.join("; ")),
+        ]);
+    }
+    t
+}
+
+/// Evaluates one scenario document end-to-end into a report named
+/// `eval_<scenario>`: summary facts, the tier topology and the full
+/// design × policy evaluation table.
+///
+/// # Errors
+///
+/// Propagates scenario validation and solver errors.
+pub fn eval_report(doc: &ScenarioDoc) -> Result<Report, EvalError> {
+    let mut r = Report::new(
+        format!("eval_{}", doc.name),
+        format!("Scenario evaluation — {}", doc.title),
+    );
+    if !doc.description.is_empty() {
+        r.note(doc.description.clone());
+    }
+    let policies: Vec<String> = doc.policies.iter().map(ToString::to_string).collect();
+    r.keys([
+        ("scenario", Value::from(doc.name.as_str())),
+        ("tiers", Value::from(doc.tiers.len())),
+        (
+            "servers",
+            Value::from(doc.tiers.iter().map(|t| u64::from(t.count)).sum::<u64>() as i64),
+        ),
+        ("vulnerabilities", Value::from(doc.vulnerabilities.len())),
+        ("designs", Value::from(doc.designs.len())),
+        ("policies", Value::from(policies.join("; "))),
+    ]);
+    r.table(topology_table("topology", doc));
+    r.table(evaluation_table("evaluations", doc)?);
+    Ok(r)
+}
+
+/// **Scenario suite** — every bundled scenario of
+/// [`builtin::BUILTINS`] evaluated end-to-end through the scenario API;
+/// the golden corpus pins the whole gallery's numbers.
+pub fn scenario_suite() -> Report {
+    let mut r = Report::new(
+        "scenario_suite",
+        "Bundled scenario gallery, evaluated through the declarative API",
+    );
+    let mut index = Table::new(
+        "scenarios",
+        ["scenario", "tiers", "servers", "designs", "policies"],
+    );
+    for s in builtin::BUILTINS {
+        let doc = (s.build)();
+        index.add_row(vec![
+            Value::from(s.name),
+            Value::from(doc.tiers.len()),
+            Value::from(doc.tiers.iter().map(|t| u64::from(t.count)).sum::<u64>() as i64),
+            Value::from(doc.designs.len()),
+            Value::from(doc.policies.len()),
+        ]);
+    }
+    r.table(index);
+    for s in builtin::BUILTINS {
+        let doc = (s.build)();
+        // Round-trip through the canonical JSON first: what this report
+        // pins is the *file* semantics, not the in-memory constructors.
+        let doc = ScenarioDoc::from_json(&doc.to_json()).expect("builtin round-trips");
+        r.check(doc.validate().is_ok());
+        r.table(evaluation_table(s.name, &doc).expect("builtin evaluates"));
+    }
+    r.note(
+        "every table is produced by Sweep::from_scenario over the canonical \
+         JSON form of the bundled document — identical to what \
+         `redeval eval --scenario <file>` computes.",
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_every_builtin_and_passes_checks() {
+        let r = scenario_suite();
+        assert!(r.ok);
+        let json = r.to_json();
+        for s in builtin::BUILTINS {
+            assert!(json.contains(s.name), "missing {}", s.name);
+        }
+    }
+
+    #[test]
+    fn eval_report_name_embeds_the_scenario_name() {
+        let doc = builtin::ecommerce();
+        let r = eval_report(&doc).unwrap();
+        assert_eq!(r.name, "eval_ecommerce");
+        assert!(r.ok);
+        // 3 designs × 2 policies.
+        let json = r.to_json();
+        assert!(json.contains("\"designs\": 3"));
+    }
+}

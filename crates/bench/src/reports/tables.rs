@@ -71,11 +71,19 @@ fn metrics_row(t: &mut Table, label: &str, m: &SecurityMetrics) {
 /// after patch, the deviation from the paper for every cell, and the ASP
 /// aggregation-strategy family (EXPERIMENTS.md caveats).
 pub fn table2() -> Report {
+    table2_for(&case_study::network())
+}
+
+/// [`table2`] computed over an explicit network specification. The golden
+/// tests call this with the network loaded from the pinned
+/// `paper_case_study` scenario file to prove the declarative path
+/// reproduces the committed Table-II report byte-for-byte.
+pub fn table2_for(network: &redeval::NetworkSpec) -> Report {
     let mut r = Report::new(
         "table2",
         "Table II: security metrics for the example network",
     );
-    let harm = case_study::network().build_harm();
+    let harm = network.build_harm();
     let cfg = MetricsConfig::default();
     let before = harm.metrics(&cfg);
     let after_harm = harm.patched_critical(8.0);
@@ -346,6 +354,16 @@ pub fn table5() -> Report {
 /// (≈ 0.99707), computed by product form, explicit upper-layer SRN and
 /// discrete-event simulation (fixed seed).
 pub fn table6() -> Report {
+    table6_for(&case_study::network(), case_tier_analyses())
+}
+
+/// [`table6`] computed over an explicit specification and its solved tier
+/// analyses (same byte-for-byte contract as
+/// [`table2_for`]).
+pub fn table6_for(
+    spec: &redeval::NetworkSpec,
+    analyses: &[redeval_avail::ServerAnalysis],
+) -> Report {
     let mut r = Report::new(
         "table6",
         "Table VI: reward function of COA (1 DNS + 2 WEB + 2 APP + 1 DB)",
@@ -375,8 +393,6 @@ pub fn table6() -> Report {
          otherwise (running servers)/(total servers).",
     );
 
-    let spec = case_study::network();
-    let analyses = case_tier_analyses();
     let model = spec.network_model(analyses);
     let product = model.coa().expect("product form solves");
     let srn = model.coa_via_srn().expect("srn solves");

@@ -11,7 +11,7 @@ use redeval_cvss::v2::BaseVector;
 use redeval_harm::{AttackTree, Vulnerability};
 
 use crate::evaluation::Evaluator;
-use crate::spec::{Design, NetworkSpec, TierSpec};
+use crate::spec::{Design, NetworkSpec};
 use crate::EvalError;
 
 /// A Table-I row: id, CVE, attack impact, attack success probability, and
@@ -259,44 +259,17 @@ pub fn db_params() -> ServerParams {
 /// The example enterprise network of Figure 2: 1 DNS + 2 WEB + 2 APP +
 /// 1 DB, attacker entering at the DMZs (DNS and web), database as the
 /// attack goal.
+///
+/// Built from the reference scenario document
+/// ([`scenario::builtin::paper_case_study`](crate::scenario::builtin::paper_case_study)),
+/// so the entire golden corpus continuously proves that the declarative
+/// scenario path reproduces the paper's network bit-for-bit. The document
+/// assembles the same Table-I vectors, attack-tree shapes and Table-IV
+/// parameters this module defines.
 pub fn network() -> NetworkSpec {
-    NetworkSpec::new(
-        vec![
-            TierSpec {
-                name: "dns".into(),
-                count: 1,
-                params: dns_params(),
-                tree: Some(dns_tree()),
-                entry: true,
-                target: false,
-            },
-            TierSpec {
-                name: "web".into(),
-                count: 2,
-                params: web_params(),
-                tree: Some(web_tree()),
-                entry: true,
-                target: false,
-            },
-            TierSpec {
-                name: "app".into(),
-                count: 2,
-                params: app_params(),
-                tree: Some(app_tree()),
-                entry: false,
-                target: false,
-            },
-            TierSpec {
-                name: "db".into(),
-                count: 1,
-                params: db_params(),
-                tree: Some(db_tree()),
-                entry: false,
-                target: true,
-            },
-        ],
-        vec![(0, 1), (1, 2), (2, 3)],
-    )
+    crate::scenario::builtin::paper_case_study()
+        .to_spec()
+        .expect("the reference scenario document is valid")
 }
 
 /// The five redundancy designs of Section IV (Figures 6 and 7).

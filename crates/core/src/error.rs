@@ -4,6 +4,53 @@ use std::fmt;
 use redeval_markov::SolveError;
 use redeval_srn::SrnError;
 
+use crate::scenario::ScenarioError;
+
+/// A structural defect in a [`NetworkSpec`](crate::NetworkSpec), reported
+/// by the validating constructor
+/// [`NetworkSpec::try_new`](crate::NetworkSpec::try_new).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecIssue {
+    /// The specification has no tiers at all.
+    EmptyTiers,
+    /// A tier-level edge references a tier index that does not exist.
+    EdgeOutOfRange {
+        /// Source tier index of the offending edge.
+        from: usize,
+        /// Destination tier index of the offending edge.
+        to: usize,
+        /// Number of tiers in the specification.
+        tiers: usize,
+    },
+    /// A tier-level edge connects a tier to itself (the attack graph
+    /// forbids self edges, so this must fail at validation, not as a
+    /// panic inside HARM construction).
+    SelfEdge {
+        /// The offending tier index.
+        tier: usize,
+    },
+    /// No tier is marked as an attacker entry point.
+    NoEntryTier,
+    /// No tier is marked as the attack target.
+    NoTargetTier,
+}
+
+impl fmt::Display for SpecIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecIssue::EmptyTiers => write!(f, "at least one tier required"),
+            SpecIssue::EdgeOutOfRange { from, to, tiers } => {
+                write!(f, "edge out of range: ({from}, {to}) with {tiers} tiers")
+            }
+            SpecIssue::SelfEdge { tier } => {
+                write!(f, "self edge on tier {tier} is not allowed")
+            }
+            SpecIssue::NoEntryTier => write!(f, "no entry tier"),
+            SpecIssue::NoTargetTier => write!(f, "no target tier"),
+        }
+    }
+}
+
 /// Errors surfaced by the evaluation pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EvalError {
@@ -23,6 +70,11 @@ pub enum EvalError {
         /// The offending tier name.
         tier: String,
     },
+    /// A network specification is structurally invalid (see [`SpecIssue`]).
+    InvalidSpec(SpecIssue),
+    /// A scenario document failed to parse or validate (see
+    /// [`ScenarioError`]).
+    Scenario(ScenarioError),
 }
 
 impl fmt::Display for EvalError {
@@ -39,6 +91,8 @@ impl fmt::Display for EvalError {
             EvalError::ZeroServers { tier } => {
                 write!(f, "tier `{tier}` needs at least one server")
             }
+            EvalError::InvalidSpec(issue) => write!(f, "invalid specification: {issue}"),
+            EvalError::Scenario(e) => write!(f, "invalid scenario: {e}"),
         }
     }
 }
@@ -65,6 +119,18 @@ impl From<SolveError> for EvalError {
     }
 }
 
+impl From<SpecIssue> for EvalError {
+    fn from(issue: SpecIssue) -> Self {
+        EvalError::InvalidSpec(issue)
+    }
+}
+
+impl From<ScenarioError> for EvalError {
+    fn from(e: ScenarioError) -> Self {
+        EvalError::Scenario(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +147,26 @@ mod tests {
     fn is_send_sync() {
         fn assert_err<E: Error + Send + Sync + 'static>() {}
         assert_err::<EvalError>();
+    }
+
+    #[test]
+    fn spec_issue_messages_match_the_legacy_panics() {
+        // `NetworkSpec::new` panics with these Display strings, so the
+        // wording is part of the (tested) public behaviour.
+        assert_eq!(
+            SpecIssue::EmptyTiers.to_string(),
+            "at least one tier required"
+        );
+        assert_eq!(SpecIssue::NoEntryTier.to_string(), "no entry tier");
+        assert_eq!(SpecIssue::NoTargetTier.to_string(), "no target tier");
+        assert!(SpecIssue::EdgeOutOfRange {
+            from: 2,
+            to: 5,
+            tiers: 3
+        }
+        .to_string()
+        .contains("edge out of range"));
+        let e = EvalError::from(SpecIssue::NoTargetTier);
+        assert!(e.to_string().contains("invalid specification"));
     }
 }

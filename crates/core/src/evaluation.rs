@@ -39,6 +39,58 @@ impl std::fmt::Display for PatchPolicy {
     }
 }
 
+/// Error parsing a [`PatchPolicy`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl std::fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown patch policy `{}` (expected `none`, `all` or `critical>T` \
+             with a CVSS threshold T)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl std::str::FromStr for PatchPolicy {
+    type Err = ParsePolicyError;
+
+    /// Parses the [`Display`](std::fmt::Display) form back (`no patch`,
+    /// `critical>8`, `patch all`) plus the terser spellings `none` and
+    /// `all` used by scenario files and the CLI `--policy` flag. The
+    /// threshold accepts any finite `f64` in `0.0..=10.0`; because
+    /// `Display` prints the shortest round-trip form, `parse ∘ to_string`
+    /// is the identity on every policy value.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParsePolicyError {
+            input: s.to_string(),
+        };
+        match s.trim() {
+            "none" | "no patch" => Ok(PatchPolicy::None),
+            "all" | "patch all" => Ok(PatchPolicy::All),
+            other => {
+                let t = other
+                    .strip_prefix("critical>")
+                    .ok_or_else(err)?
+                    .trim()
+                    .parse::<f64>()
+                    .map_err(|_| err())?;
+                if !t.is_finite() || !(0.0..=10.0).contains(&t) {
+                    return Err(err());
+                }
+                Ok(PatchPolicy::CriticalOnly(t))
+            }
+        }
+    }
+}
+
 /// The complete evaluation of one redundancy design: the paper's security
 /// metrics before and after the patch, plus the availability measures.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,6 +164,20 @@ impl Evaluator {
             metrics_config,
             patch,
         })
+    }
+
+    /// Builds an evaluator from a declarative scenario document: the
+    /// document's network, metric configuration and **first** patch
+    /// policy (documents carry an ordered policy list; sweeps over all of
+    /// them go through [`Sweep::from_scenario`](crate::Sweep::from_scenario)).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::Scenario`]/[`EvalError::InvalidSpec`] when the
+    /// document fails validation, plus the usual SRN solve errors.
+    pub fn from_scenario(doc: &crate::scenario::ScenarioDoc) -> Result<Self, EvalError> {
+        let spec = doc.to_spec()?;
+        Self::with_options(spec, doc.metrics, doc.first_policy())
     }
 
     /// Builds an evaluator whose per-tier solves are resolved through a
@@ -262,6 +328,56 @@ mod tests {
             ],
             vec![(0, 1)],
         )
+    }
+
+    #[test]
+    fn patch_policy_display_round_trips_through_from_str() {
+        // Every variant, including thresholds that stress float printing.
+        let policies = [
+            PatchPolicy::None,
+            PatchPolicy::All,
+            PatchPolicy::CriticalOnly(8.0),
+            PatchPolicy::CriticalOnly(0.0),
+            PatchPolicy::CriticalOnly(10.0),
+            PatchPolicy::CriticalOnly(7.1),
+            PatchPolicy::CriticalOnly(9.55),
+            PatchPolicy::CriticalOnly(1.0 / 3.0),
+        ];
+        for p in policies {
+            let s = p.to_string();
+            let back: PatchPolicy = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert_eq!(back, p, "round-trip through `{s}`");
+            if let (PatchPolicy::CriticalOnly(t), PatchPolicy::CriticalOnly(b)) = (p, back) {
+                assert_eq!(t.to_bits(), b.to_bits(), "threshold bits via `{s}`");
+            }
+        }
+    }
+
+    #[test]
+    fn patch_policy_from_str_accepts_aliases_and_rejects_junk() {
+        assert_eq!("none".parse::<PatchPolicy>().unwrap(), PatchPolicy::None);
+        assert_eq!("all".parse::<PatchPolicy>().unwrap(), PatchPolicy::All);
+        assert_eq!(
+            " critical>8 ".parse::<PatchPolicy>().unwrap(),
+            PatchPolicy::CriticalOnly(8.0)
+        );
+        for bad in [
+            "",
+            "patch",
+            "critical",
+            "critical>",
+            "critical>eight",
+            "critical>-1",
+            "critical>10.5",
+            "critical>NaN",
+            "critical>inf",
+            "ALL",
+        ] {
+            let e = bad.parse::<PatchPolicy>();
+            assert!(e.is_err(), "accepted `{bad}`");
+        }
+        let msg = "bogus".parse::<PatchPolicy>().unwrap_err().to_string();
+        assert!(msg.contains("bogus") && msg.contains("critical>T"));
     }
 
     #[test]

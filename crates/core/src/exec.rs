@@ -491,6 +491,36 @@ impl Sweep {
         }
     }
 
+    /// A sweep over everything a scenario document declares: its network,
+    /// its designs, its patch policies and its metric configuration, with
+    /// [`default_threads`] and a fresh cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario validation errors (see
+    /// [`ScenarioDoc::to_spec`](crate::scenario::ScenarioDoc::to_spec)).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use redeval::exec::Sweep;
+    /// use redeval::scenario::builtin;
+    ///
+    /// # fn main() -> Result<(), redeval::EvalError> {
+    /// let doc = builtin::paper_case_study();
+    /// let evals = Sweep::from_scenario(&doc)?.run()?;
+    /// assert_eq!(evals.len(), 5); // five designs × one policy
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_scenario(doc: &crate::scenario::ScenarioDoc) -> Result<Self, EvalError> {
+        let spec = doc.to_spec()?;
+        Ok(Sweep::new(spec)
+            .designs(doc.designs.clone())
+            .policies(doc.policies.clone())
+            .metrics(doc.metrics))
+    }
+
     /// Sets the design axis.
     ///
     /// # Panics

@@ -67,12 +67,14 @@ mod evaluation;
 pub mod exec;
 pub mod output;
 pub mod report;
+pub mod scenario;
 pub mod sensitivity;
 mod spec;
 
-pub use error::EvalError;
-pub use evaluation::{DesignEvaluation, Evaluator, PatchPolicy};
+pub use error::{EvalError, SpecIssue};
+pub use evaluation::{DesignEvaluation, Evaluator, ParsePolicyError, PatchPolicy};
 pub use exec::{AnalysisCache, Experiment, Scenario, Sweep};
+pub use scenario::{ScenarioDoc, ScenarioError};
 pub use spec::{Design, NetworkSpec, TierSpec};
 
 // Re-export the substrate vocabulary users need at this level.

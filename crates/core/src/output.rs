@@ -627,6 +627,456 @@ impl Report {
     }
 }
 
+/// A parsed JSON value — the read-side counterpart of the canonical
+/// serializers above.
+///
+/// Objects keep their keys in **document order** (no hash maps), so a
+/// value parsed from canonical output and re-serialized canonically is
+/// byte-identical; this is what makes `parse ∘ serialize` round-trips
+/// testable at the byte level. Numbers are `f64` (JSON's only numeric
+/// type); [`parse_json`] uses Rust's grisu-exact `str::parse::<f64>`,
+/// which is the exact inverse of [`fmt_f64`]'s shortest-round-trip form,
+/// so no bits are lost in either direction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys in document order, duplicates rejected at parse.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The entries, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks a key up in an object (first match; duplicates cannot occur
+    /// in parsed values).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Compact (single-line) canonical rendering: keys in stored order,
+    /// floats via [`fmt_f64`], strings via [`json_escape`]. Non-finite
+    /// numbers become the usual policy strings, mirroring the report
+    /// serializer.
+    pub fn to_compact(&self) -> String {
+        match self {
+            Json::Null => "null".to_string(),
+            Json::Bool(b) => b.to_string(),
+            Json::Num(x) if x.is_finite() => fmt_f64(*x),
+            Json::Num(x) => format!("\"{}\"", fmt_f64(*x)),
+            Json::Str(s) => format!("\"{}\"", json_escape(s)),
+            Json::Arr(items) => {
+                let inner: Vec<String> = items.iter().map(Json::to_compact).collect();
+                format!("[{}]", inner.join(", "))
+            }
+            Json::Obj(entries) => {
+                let inner: Vec<String> = entries
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\": {}", json_escape(k), v.to_compact()))
+                    .collect();
+                format!("{{{}}}", inner.join(", "))
+            }
+        }
+    }
+}
+
+/// A JSON syntax error with its 1-based source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// 1-based line of the offending byte.
+    pub line: usize,
+    /// 1-based column of the offending byte.
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "line {}, column {}: {}",
+            self.line, self.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Maximum container nesting [`parse_json`] accepts. Recursive descent
+/// uses the call stack, so hostile input (`[[[[…`) must hit a parse
+/// error long before it can hit a stack overflow; 128 levels is far
+/// beyond any legitimate report or scenario document.
+pub const JSON_MAX_DEPTH: usize = 128;
+
+/// Parses a complete JSON document into a [`Json`] value.
+///
+/// Strict RFC-8259 syntax plus three deliberate properties:
+///
+/// * object keys stay in document order and **duplicate keys are an
+///   error** (silent last-wins would make round-trip equality lie);
+/// * exactly one top-level value; trailing non-whitespace is an error;
+/// * container nesting is capped at [`JSON_MAX_DEPTH`], so adversarial
+///   input fails with a [`JsonError`] instead of exhausting the stack.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] with 1-based line/column on malformed input.
+pub fn parse_json(text: &str) -> Result<Json, JsonError> {
+    let mut p = JsonParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.err("trailing characters after the top-level value"));
+    }
+    Ok(value)
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Current container nesting, capped at [`JSON_MAX_DEPTH`].
+    depth: usize,
+}
+
+impl JsonParser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        let mut line = 1;
+        let mut col = 1;
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else if (b & 0xC0) != 0x80 {
+                // Count characters, not bytes: UTF-8 continuation bytes
+                // are zero-width, so the column matches what an editor
+                // shows even after non-ASCII text (titles with dashes,
+                // accented names, …).
+                col += 1;
+            }
+        }
+        JsonError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.nested(Self::object),
+            Some(b'[') => self.nested(Self::array),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    /// Runs a container parser one nesting level deeper, erroring out at
+    /// [`JSON_MAX_DEPTH`] before the call stack can overflow.
+    fn nested(
+        &mut self,
+        parse: fn(&mut Self) -> Result<Json, JsonError>,
+    ) -> Result<Json, JsonError> {
+        if self.depth >= JSON_MAX_DEPTH {
+            return Err(self.err(format!(
+                "containers nested deeper than {JSON_MAX_DEPTH} levels"
+            )));
+        }
+        self.depth += 1;
+        let value = parse(self);
+        self.depth -= 1;
+        value
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut entries: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected a string key"));
+            }
+            let key = self.string()?;
+            if entries.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("duplicate key `{key}`")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let c = self.unicode_escape()?;
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("unescaped control character in string"));
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is &str, so always valid).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end]).expect("valid UTF-8"),
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    /// Parses the 4 hex digits after `\u` (and a following low surrogate
+    /// pair when needed); leaves `pos` after the last consumed digit + 1.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let hex4 = |p: &mut Self| -> Result<u32, JsonError> {
+            let end = p.pos + 4;
+            if end > p.bytes.len() {
+                return Err(p.err("truncated \\u escape"));
+            }
+            // Exactly 4HEXDIG (RFC 8259): check byte-wise rather than via
+            // from_str_radix, which would also accept a leading `+`.
+            let mut v: u32 = 0;
+            for &b in &p.bytes[p.pos..end] {
+                let digit = (b as char)
+                    .to_digit(16)
+                    .ok_or_else(|| p.err("invalid \\u escape"))?;
+                v = (v << 4) | digit;
+            }
+            p.pos = end;
+            Ok(v)
+        };
+        let hi = hex4(self)?;
+        let code = if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate: a \uXXXX low surrogate must follow.
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let lo = hex4(self)?;
+                if !(0xDC00..0xE000).contains(&lo) {
+                    return Err(self.err("invalid low surrogate"));
+                }
+                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+            } else {
+                return Err(self.err("unpaired high surrogate"));
+            }
+        } else if (0xDC00..0xE000).contains(&hi) {
+            return Err(self.err("unpaired low surrogate"));
+        } else {
+            hi
+        };
+        char::from_u32(code).ok_or_else(|| self.err("invalid unicode scalar"))
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: `0` or a non-zero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        // `str::parse::<f64>` saturates overflowing literals (1e999) to
+        // infinity instead of failing; reject those explicitly so the
+        // value model stays finite-canonical (non-finite numbers only
+        // ever *serialize*, as policy strings).
+        let x: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+        if !x.is_finite() {
+            return Err(self.err("number out of range for a finite f64"));
+        }
+        Ok(Json::Num(x))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -758,5 +1208,157 @@ mod tests {
         let r = Report::new("e", "Empty");
         assert!(r.to_json().ends_with("\"items\": []\n}\n"));
         assert_eq!(r.to_text(), "==== Empty ====\n");
+    }
+
+    #[test]
+    fn parser_accepts_scalars_and_containers() {
+        assert_eq!(parse_json("null").unwrap(), Json::Null);
+        assert_eq!(parse_json(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse_json("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse_json("\"hi\"").unwrap(), Json::Str("hi".into()));
+        assert_eq!(parse_json("42").unwrap(), Json::Num(42.0));
+        assert_eq!(parse_json("-0.5e2").unwrap(), Json::Num(-50.0));
+        assert_eq!(
+            parse_json("[1, [2], {}]").unwrap(),
+            Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Arr(vec![Json::Num(2.0)]),
+                Json::Obj(vec![]),
+            ])
+        );
+        let obj = parse_json("{\"a\": 1, \"b\": [true, null]}").unwrap();
+        assert_eq!(obj.get("a").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            obj.get("b").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        assert!(obj.get("c").is_none());
+    }
+
+    #[test]
+    fn parser_decodes_escapes_and_unicode() {
+        assert_eq!(
+            parse_json(r#""a\"b\\c\n\tA""#).unwrap(),
+            Json::Str("a\"b\\c\n\tA".into())
+        );
+        // Surrogate pair (😀) and raw non-ASCII pass through.
+        assert_eq!(parse_json(r#""😀 é""#).unwrap(), Json::Str("😀 é".into()));
+        assert!(parse_json(r#""\ud83d""#).is_err()); // unpaired high
+        assert!(parse_json(r#""\udc00""#).is_err()); // unpaired low
+        assert!(parse_json("\"a\nb\"").is_err()); // raw control char
+                                                  // Exactly 4HEXDIG: from_str_radix-style signs are not hex digits.
+        assert!(parse_json(r#""\u+041""#).is_err());
+        assert!(parse_json(r#""\u 041""#).is_err());
+        assert!(parse_json(r#""\ud83d\u+e00""#).is_err()); // low half too
+        assert_eq!(parse_json(r#""A""#).unwrap(), Json::Str("A".into()));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents_with_positions() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "--1",
+            "[1] extra",
+            "{\"a\":1,\"a\":2}",
+        ] {
+            assert!(parse_json(bad).is_err(), "accepted {bad:?}");
+        }
+        let e = parse_json("{\n  \"a\": ?\n}").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 8));
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn parser_preserves_object_key_order() {
+        let obj = parse_json("{\"z\": 1, \"a\": 2, \"m\": 3}").unwrap();
+        let keys: Vec<&str> = obj
+            .as_obj()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+    }
+
+    #[test]
+    fn parser_bounds_nesting_depth_instead_of_overflowing_the_stack() {
+        // Hostile nesting must produce a JsonError, never a stack
+        // overflow (which aborts the whole process).
+        let deep_ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse_json(&deep_ok).is_ok());
+        let too_deep = format!("{}1{}", "[".repeat(200_000), "]".repeat(200_000));
+        let e = parse_json(&too_deep).unwrap_err();
+        assert!(e.message.contains("nested deeper"), "{e}");
+        // Mixed containers count the same.
+        let mixed = "{\"a\": ".repeat(JSON_MAX_DEPTH + 1);
+        assert!(parse_json(&mixed).unwrap_err().message.contains("nested"));
+        // Depth resets between siblings: wide is fine.
+        let wide = format!("[{}1]", "[1], ".repeat(10_000));
+        assert!(parse_json(&wide).is_ok());
+    }
+
+    #[test]
+    fn parser_rejects_overflowing_number_literals() {
+        // `str::parse::<f64>` saturates 1e999 to infinity; the value
+        // model is finite-canonical, so that must be a parse error, not
+        // a silent Json::Num(inf).
+        for bad in ["1e999", "-1e999", "123456789e999999"] {
+            let e = parse_json(bad).unwrap_err();
+            assert!(e.message.contains("out of range"), "{bad}: {e}");
+        }
+        // Subnormal underflow to zero is fine (still finite).
+        assert_eq!(parse_json("1e-999").unwrap(), Json::Num(0.0));
+    }
+
+    #[test]
+    fn parser_error_columns_count_characters_not_bytes() {
+        // 'é' is two bytes but one column; the reported position must
+        // match what an editor shows.
+        let e = parse_json("{\"é\": ?}").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 7));
+        // Same shape with an ASCII key lands on the same column.
+        let a = parse_json("{\"e\": ?}").unwrap_err();
+        assert_eq!(a.col, e.col);
+    }
+
+    #[test]
+    fn parser_numbers_are_bit_exact_inverse_of_fmt_f64() {
+        for x in [0.99707, 1.0 / 3.0, 6.02e23, 5e-324, -0.0, 720.0] {
+            let parsed = parse_json(&fmt_f64(x)).unwrap();
+            assert_eq!(parsed.as_f64().unwrap().to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn parser_round_trips_report_json() {
+        // The parser must accept everything the canonical serializer
+        // emits, and compact re-serialization must round-trip again.
+        let mut r = Report::new("demo", "Demo \"quoted\", with comma");
+        r.keys([("threads", Value::from(2)), ("label", Value::from("x,y"))]);
+        let mut t = Table::new("data", ["design", "coa"]);
+        t.add_row(vec![Value::from("a"), Value::from(0.99707)]);
+        t.add_row(vec![Value::Null, Value::from(f64::NAN)]);
+        r.table(t);
+        r.series(Series::new("s", vec!["p".into()], vec![1.5]));
+        let parsed = parse_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.get("report").and_then(Json::as_str), Some("demo"));
+        let again = parse_json(&parsed.to_compact()).unwrap();
+        assert_eq!(parsed, again);
+    }
+
+    #[test]
+    fn compact_rendering_is_canonical() {
+        let v = Json::Obj(vec![
+            ("b".into(), Json::Arr(vec![Json::Num(1.0), Json::Null])),
+            ("a".into(), Json::Str("x\"y".into())),
+        ]);
+        assert_eq!(v.to_compact(), "{\"b\": [1, null], \"a\": \"x\\\"y\"}");
     }
 }

@@ -1,0 +1,1359 @@
+//! Declarative scenario documents: define, load and evaluate arbitrary
+//! networks without recompiling.
+//!
+//! A [`ScenarioDoc`] is the data-file counterpart of a hand-built
+//! [`NetworkSpec`]: vulnerabilities (as CVSS v2 vector strings or explicit
+//! impact/probability pairs), named attack trees, tiers with their
+//! Table-IV-style rate parameters, tier-level topology edges, named
+//! redundancy designs, patch policies and the security-metric
+//! configuration. Documents serialize to a canonical JSON form
+//! ([`ScenarioDoc::to_json`], schema [`SCHEMA`]) and load back through the
+//! dependency-free parser in [`output`](crate::output)
+//! ([`ScenarioDoc::from_json`]); `parse ∘ serialize` is the identity on
+//! every valid document, at full `f64` precision.
+//!
+//! Loaded documents are **validated, never trusted**: every structural
+//! defect (unknown vulnerability id, dangling tree reference, zero-server
+//! tier, missing entry/target, out-of-range CVSS values, …) surfaces as a
+//! typed [`ScenarioError`] inside [`EvalError::Scenario`], with a
+//! `where`-path telling the author which field to fix. Nothing on the
+//! scenario path panics on user data.
+//!
+//! The paper's Figure-2 case study is itself expressed as the reference
+//! built-in document ([`builtin::paper_case_study`]) — the hand-built
+//! [`case_study::network`](crate::case_study::network) is derived from it,
+//! so the entire golden corpus continuously proves that the scenario path
+//! reproduces the paper bit-for-bit. Further built-ins
+//! ([`builtin::BUILTINS`]) open non-paper workloads: a six-tier e-commerce
+//! stack, an IoT sensor fleet with multiple entry and target tiers, and a
+//! seven-tier microservice mesh.
+//!
+//! # Examples
+//!
+//! Round-trip the paper network through JSON and evaluate it:
+//!
+//! ```
+//! use redeval::scenario::{builtin, ScenarioDoc};
+//! use redeval::Evaluator;
+//!
+//! # fn main() -> Result<(), redeval::EvalError> {
+//! let json = builtin::paper_case_study().to_json();
+//! let doc = ScenarioDoc::from_json(&json)?;
+//! let evaluator = Evaluator::from_scenario(&doc)?;
+//! let base = evaluator.evaluate("base", &[1, 2, 2, 1])?;
+//! assert!((base.coa - 0.99707).abs() < 5e-5);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+
+use redeval_avail::{Durations, ServerParams};
+use redeval_cvss::v2::BaseVector;
+use redeval_harm::{AspStrategy, AttackTree, MetricsConfig, OrCombine, Vulnerability};
+
+use crate::output::{fmt_f64, json_escape, parse_json, Json};
+use crate::spec::{Design, NetworkSpec, TierSpec};
+use crate::{EvalError, PatchPolicy};
+
+pub mod builtin;
+
+/// Identifies the scenario-file schema (bumped on breaking changes).
+pub const SCHEMA: &str = "redeval-scenario/1";
+
+/// An error in a scenario document: JSON syntax or schema/consistency
+/// violations, each pointing at the offending location.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The document is not well-formed JSON.
+    Json {
+        /// 1-based line of the syntax error.
+        line: usize,
+        /// 1-based column of the syntax error.
+        col: usize,
+        /// Parser message.
+        message: String,
+    },
+    /// The document is well-formed JSON but violates the scenario schema
+    /// or its consistency rules.
+    Invalid {
+        /// Dotted path of the offending field, e.g. `tiers[2].count`.
+        at: String,
+        /// What is wrong with it.
+        message: String,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Json { line, col, message } => {
+                write!(
+                    f,
+                    "JSON syntax error at line {line}, column {col}: {message}"
+                )
+            }
+            ScenarioError::Invalid { at, message } => write!(f, "{at}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Shorthand constructor for schema violations.
+fn invalid(at: impl Into<String>, message: impl Into<String>) -> EvalError {
+    EvalError::Scenario(ScenarioError::Invalid {
+        at: at.into(),
+        message: message.into(),
+    })
+}
+
+/// Where a vulnerability's impact/probability numbers come from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VulnSource {
+    /// A CVSS v2 base vector string (`"AV:N/AC:L/Au:N/C:C/I:C/A:C"`);
+    /// impact, probability and base score are derived exactly as the
+    /// paper does (Table I).
+    Vector(String),
+    /// Explicit paper-style values.
+    Explicit {
+        /// Attack impact (CVSS v2 impact subscore, `0.0..=10.0`).
+        impact: f64,
+        /// Attack success probability (`0.0..=1.0`).
+        probability: f64,
+        /// Optional explicit CVSS base score (`0.0..=10.0`); derived from
+        /// impact and probability when absent.
+        base_score: Option<f64>,
+    },
+}
+
+/// One vulnerability record of a scenario document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VulnDef {
+    /// Document-local id referenced by trees (`"v1web"`).
+    pub id: String,
+    /// Optional CVE identifier (provenance; shown in DOT exports).
+    pub cve: Option<String>,
+    /// The numbers, by vector or explicitly.
+    pub source: VulnSource,
+}
+
+/// A node of a named attack tree: a vulnerability reference or an AND/OR
+/// gate over child nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeDef {
+    /// A leaf referencing a [`VulnDef`] by id.
+    Vuln(String),
+    /// All children must be exploited.
+    And(Vec<TreeDef>),
+    /// Any child suffices.
+    Or(Vec<TreeDef>),
+}
+
+/// One tier of a scenario document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierDef {
+    /// Tier name (unique; also used in edges and design names).
+    pub name: String,
+    /// Baseline number of redundant servers.
+    pub count: u32,
+    /// Failure/recovery/patch rates (Table IV form). The params' service
+    /// name is the tier name.
+    pub params: ServerParams,
+    /// Name of the tier's attack tree, `None` when its servers carry no
+    /// exploitable vulnerabilities.
+    pub tree: Option<String>,
+    /// Whether the external attacker reaches this tier directly.
+    pub entry: bool,
+    /// Whether compromising a server of this tier achieves the goal.
+    pub target: bool,
+}
+
+/// A complete declarative scenario: everything needed to build a
+/// [`NetworkSpec`] plus the evaluation axes (designs, policies, metric
+/// configuration). See the [module docs](self) for the JSON form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioDoc {
+    /// Machine name (`[a-zA-Z0-9_-]+`; file stems and CLI keys).
+    pub name: String,
+    /// Human title.
+    pub title: String,
+    /// Free-text description (may be empty).
+    pub description: String,
+    /// The vulnerability catalogue.
+    pub vulnerabilities: Vec<VulnDef>,
+    /// Named attack trees over the catalogue, in document order.
+    pub trees: Vec<(String, TreeDef)>,
+    /// The tiers, in document order.
+    pub tiers: Vec<TierDef>,
+    /// Tier-level reachability by tier name.
+    pub edges: Vec<(String, String)>,
+    /// Redundancy designs to evaluate (per-tier counts).
+    pub designs: Vec<Design>,
+    /// Patch policies to evaluate, in order; the first one is the
+    /// document's primary policy.
+    pub policies: Vec<PatchPolicy>,
+    /// Security-metric configuration.
+    pub metrics: MetricsConfig,
+}
+
+impl ScenarioDoc {
+    /// A minimal document with the given name/title, the default metrics
+    /// and the paper's default policy; fill in the rest field by field.
+    pub fn new(name: impl Into<String>, title: impl Into<String>) -> Self {
+        ScenarioDoc {
+            name: name.into(),
+            title: title.into(),
+            description: String::new(),
+            vulnerabilities: Vec::new(),
+            trees: Vec::new(),
+            tiers: Vec::new(),
+            edges: Vec::new(),
+            designs: Vec::new(),
+            policies: vec![PatchPolicy::CriticalOnly(8.0)],
+            metrics: MetricsConfig::default(),
+        }
+    }
+
+    /// The design named after the tiers' baseline counts (used when a
+    /// document lists no designs of its own).
+    pub fn base_design(&self) -> Design {
+        let names: Vec<&str> = self.tiers.iter().map(|t| t.name.as_str()).collect();
+        let counts: Vec<u32> = self.tiers.iter().map(|t| t.count).collect();
+        Design::new(Design::conventional_name(&names, &counts), counts)
+    }
+
+    /// The document's primary patch policy: the first of
+    /// [`policies`](Self::policies), or the paper default when the list is
+    /// empty.
+    pub fn first_policy(&self) -> PatchPolicy {
+        self.policies
+            .first()
+            .copied()
+            .unwrap_or(PatchPolicy::CriticalOnly(8.0))
+    }
+
+    /// Validates the document without building anything callers keep.
+    ///
+    /// # Errors
+    ///
+    /// The same errors [`to_spec`](Self::to_spec) reports.
+    pub fn validate(&self) -> Result<(), EvalError> {
+        self.to_spec().map(|_| ())
+    }
+
+    /// Resolves and validates the document into a [`NetworkSpec`].
+    ///
+    /// Resolution rules:
+    ///
+    /// * vulnerability leaves resolve through the catalogue; a record with
+    ///   a CVE serves its vulnerability under the display id
+    ///   `"<id> (<cve>)"`, keeping provenance visible in DOT exports;
+    /// * vector-sourced records derive impact/probability/base score from
+    ///   the CVSS v2 equations (identical, to the bit, with Table I's
+    ///   values for the paper records);
+    /// * edges resolve tier names to indices; designs are checked against
+    ///   the tier count.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::Scenario`] for catalogue/tree/tier/design defects,
+    /// [`EvalError::InvalidSpec`] for structural network defects.
+    pub fn to_spec(&self) -> Result<NetworkSpec, EvalError> {
+        if self.name.is_empty()
+            || !self
+                .name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(invalid(
+                "name",
+                format!(
+                    "`{}` is not a valid scenario name (use [a-zA-Z0-9_-]+)",
+                    self.name
+                ),
+            ));
+        }
+        // An empty network is the most fundamental defect; report it
+        // before the derived checks (designs, policies) can obscure it.
+        if self.tiers.is_empty() {
+            return Err(crate::error::SpecIssue::EmptyTiers.into());
+        }
+
+        // Resolve the vulnerability catalogue.
+        let mut vulns: Vec<(&str, Vulnerability)> = Vec::with_capacity(self.vulnerabilities.len());
+        for (i, def) in self.vulnerabilities.iter().enumerate() {
+            let at = format!("vulnerabilities[{i}]");
+            if def.id.is_empty() {
+                return Err(invalid(format!("{at}.id"), "id must not be empty"));
+            }
+            if vulns.iter().any(|(id, _)| *id == def.id) {
+                return Err(invalid(
+                    format!("{at}.id"),
+                    format!("duplicate vulnerability id `{}`", def.id),
+                ));
+            }
+            let display_id = match &def.cve {
+                Some(cve) => format!("{} ({cve})", def.id),
+                None => def.id.clone(),
+            };
+            let v = match &def.source {
+                VulnSource::Vector(s) => {
+                    let vector: BaseVector = s
+                        .parse()
+                        .map_err(|e| invalid(format!("{at}.vector"), format!("`{s}`: {e}")))?;
+                    Vulnerability::from_cvss_v2(display_id, &vector)
+                }
+                VulnSource::Explicit {
+                    impact,
+                    probability,
+                    base_score,
+                } => {
+                    if !(0.0..=10.0).contains(impact) {
+                        return Err(invalid(
+                            format!("{at}.impact"),
+                            format!("{impact} outside 0..=10"),
+                        ));
+                    }
+                    if !(0.0..=1.0).contains(probability) {
+                        return Err(invalid(
+                            format!("{at}.probability"),
+                            format!("{probability} outside 0..=1"),
+                        ));
+                    }
+                    if let Some(b) = base_score {
+                        if !(0.0..=10.0).contains(b) {
+                            return Err(invalid(
+                                format!("{at}.base_score"),
+                                format!("{b} outside 0..=10"),
+                            ));
+                        }
+                    }
+                    let mut v = Vulnerability::new(display_id, *impact, *probability);
+                    v.base_score = *base_score;
+                    v
+                }
+            };
+            vulns.push((&def.id, v));
+        }
+        let vuln_of = |id: &str| vulns.iter().find(|(i, _)| *i == id).map(|(_, v)| v.clone());
+
+        // Build the named attack trees.
+        let mut trees: Vec<(&str, AttackTree)> = Vec::with_capacity(self.trees.len());
+        for (name, def) in &self.trees {
+            let at = format!("trees[{name}]");
+            if name.is_empty() {
+                return Err(invalid("trees", "tree name must not be empty"));
+            }
+            if trees.iter().any(|(n, _)| *n == name.as_str()) {
+                return Err(invalid("trees", format!("duplicate tree name `{name}`")));
+            }
+            trees.push((name, build_tree(def, &at, &vuln_of)?));
+        }
+
+        // Resolve the tiers.
+        let mut tier_specs: Vec<TierSpec> = Vec::with_capacity(self.tiers.len());
+        for (i, tier) in self.tiers.iter().enumerate() {
+            let at = format!("tiers[{i}]");
+            if tier.name.is_empty() {
+                return Err(invalid(format!("{at}.name"), "tier name must not be empty"));
+            }
+            if tier_specs.iter().any(|t| t.name == tier.name) {
+                return Err(invalid(
+                    format!("{at}.name"),
+                    format!("duplicate tier name `{}`", tier.name),
+                ));
+            }
+            if tier.count == 0 {
+                return Err(invalid(
+                    format!("{at}.count"),
+                    "a tier needs at least one server",
+                ));
+            }
+            let tree = match &tier.tree {
+                None => None,
+                Some(name) => Some(
+                    trees
+                        .iter()
+                        .find(|(n, _)| *n == name.as_str())
+                        .map(|(_, t)| t.clone())
+                        .ok_or_else(|| {
+                            invalid(format!("{at}.tree"), format!("unknown tree `{name}`"))
+                        })?,
+                ),
+            };
+            tier_specs.push(TierSpec {
+                name: tier.name.clone(),
+                count: tier.count,
+                params: tier.params.clone(),
+                tree,
+                entry: tier.entry,
+                target: tier.target,
+            });
+        }
+
+        // Resolve the edges by tier name.
+        let index_of = |name: &str| self.tiers.iter().position(|t| t.name == name);
+        let mut edges = Vec::with_capacity(self.edges.len());
+        for (i, (from, to)) in self.edges.iter().enumerate() {
+            let at = format!("edges[{i}]");
+            let a = index_of(from).ok_or_else(|| invalid(&at, format!("unknown tier `{from}`")))?;
+            let b = index_of(to).ok_or_else(|| invalid(&at, format!("unknown tier `{to}`")))?;
+            edges.push((a, b));
+        }
+
+        // The evaluation axes must be usable as-is.
+        for (i, d) in self.designs.iter().enumerate() {
+            let at = format!("designs[{i}]");
+            if d.counts.len() != self.tiers.len() {
+                return Err(invalid(
+                    at,
+                    format!(
+                        "design `{}` has {} counts, the scenario has {} tiers",
+                        d.name,
+                        d.counts.len(),
+                        self.tiers.len()
+                    ),
+                ));
+            }
+            if let Some(t) = d.counts.iter().position(|&c| c == 0) {
+                return Err(invalid(
+                    at,
+                    format!(
+                        "design `{}` asks for zero `{}` servers",
+                        d.name, self.tiers[t].name
+                    ),
+                ));
+            }
+        }
+        if self.designs.is_empty() {
+            return Err(invalid("designs", "at least one design required"));
+        }
+        if self.policies.is_empty() {
+            return Err(invalid("policies", "at least one policy required"));
+        }
+        if self.metrics.max_paths == 0 {
+            return Err(invalid("metrics.max_paths", "must be at least 1"));
+        }
+
+        NetworkSpec::try_new(tier_specs, edges)
+    }
+
+    /// Serializes the document to its canonical JSON form: two-space
+    /// indent, keys in schema order, floats in shortest round-trip form.
+    /// [`from_json`](Self::from_json) recovers an equal document,
+    /// bit-for-bit.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{}\",", json_escape(SCHEMA));
+        let _ = writeln!(out, "  \"name\": \"{}\",", json_escape(&self.name));
+        let _ = writeln!(out, "  \"title\": \"{}\",", json_escape(&self.title));
+        let _ = writeln!(
+            out,
+            "  \"description\": \"{}\",",
+            json_escape(&self.description)
+        );
+
+        write_block(&mut out, "vulnerabilities", &self.vulnerabilities, |v| {
+            let mut line = format!("{{\"id\": \"{}\"", json_escape(&v.id));
+            if let Some(cve) = &v.cve {
+                let _ = write!(line, ", \"cve\": \"{}\"", json_escape(cve));
+            }
+            match &v.source {
+                VulnSource::Vector(s) => {
+                    let _ = write!(line, ", \"vector\": \"{}\"", json_escape(s));
+                }
+                VulnSource::Explicit {
+                    impact,
+                    probability,
+                    base_score,
+                } => {
+                    let _ = write!(
+                        line,
+                        ", \"impact\": {}, \"probability\": {}",
+                        fmt_f64(*impact),
+                        fmt_f64(*probability)
+                    );
+                    if let Some(b) = base_score {
+                        let _ = write!(line, ", \"base_score\": {}", fmt_f64(*b));
+                    }
+                }
+            }
+            line.push('}');
+            line
+        });
+
+        write_block(&mut out, "trees", &self.trees, |(name, def)| {
+            format!(
+                "{{\"name\": \"{}\", \"tree\": {}}}",
+                json_escape(name),
+                tree_to_json(def)
+            )
+        });
+
+        write_block(&mut out, "tiers", &self.tiers, |t| {
+            let tree = match &t.tree {
+                Some(name) => format!("\"{}\"", json_escape(name)),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"name\": \"{}\", \"count\": {}, \"tree\": {}, \"entry\": {}, \
+                 \"target\": {}, \"params\": {}}}",
+                json_escape(&t.name),
+                t.count,
+                tree,
+                t.entry,
+                t.target,
+                params_to_json(&t.params)
+            )
+        });
+
+        write_block(&mut out, "edges", &self.edges, |(a, b)| {
+            format!("[\"{}\", \"{}\"]", json_escape(a), json_escape(b))
+        });
+
+        write_block(&mut out, "designs", &self.designs, |d| {
+            format!(
+                "{{\"name\": \"{}\", \"counts\": [{}]}}",
+                json_escape(&d.name),
+                d.counts
+                    .iter()
+                    .map(u32::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        });
+
+        let policies: Vec<String> = self
+            .policies
+            .iter()
+            .map(|p| format!("\"{}\"", json_escape(&p.to_string())))
+            .collect();
+        let _ = writeln!(out, "  \"policies\": [{}],", policies.join(", "));
+        let _ = writeln!(
+            out,
+            "  \"metrics\": {{\"or_combine\": \"{}\", \"asp\": \"{}\", \"max_paths\": {}}}",
+            or_combine_token(self.metrics.or_combine),
+            asp_token(self.metrics.asp),
+            self.metrics.max_paths
+        );
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a scenario document from JSON.
+    ///
+    /// Accepts the canonical form plus these authoring conveniences:
+    /// `description`, `designs`, `policies`, `metrics` and per-tier
+    /// `params`/`tree`/`entry`/`target` may be omitted (defaults: empty
+    /// description, the base-counts design, the paper's `critical>8`
+    /// policy, default metrics, enterprise-default parameters, no tree,
+    /// not entry, not target). Unknown keys are rejected — a typo must
+    /// fail loudly, not silently fall back to a default.
+    ///
+    /// The returned document is fully validated (see
+    /// [`to_spec`](Self::to_spec)).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::Scenario`] with [`ScenarioError::Json`] for syntax
+    /// errors and [`ScenarioError::Invalid`] for schema violations.
+    pub fn from_json(text: &str) -> Result<ScenarioDoc, EvalError> {
+        let root = parse_json(text).map_err(|e| {
+            EvalError::Scenario(ScenarioError::Json {
+                line: e.line,
+                col: e.col,
+                message: e.message,
+            })
+        })?;
+        let doc = decode_doc(&root)?;
+        doc.validate()?;
+        Ok(doc)
+    }
+}
+
+/// Writes one `"key": [...]` block with one array item per line.
+fn write_block<T>(out: &mut String, key: &str, items: &[T], render: impl Fn(&T) -> String) {
+    use std::fmt::Write as _;
+    if items.is_empty() {
+        let _ = writeln!(out, "  \"{key}\": [],");
+        return;
+    }
+    let _ = writeln!(out, "  \"{key}\": [");
+    for (i, item) in items.iter().enumerate() {
+        let sep = if i + 1 < items.len() { "," } else { "" };
+        let _ = writeln!(out, "    {}{sep}", render(item));
+    }
+    let _ = writeln!(out, "  ],");
+}
+
+fn tree_to_json(def: &TreeDef) -> String {
+    match def {
+        TreeDef::Vuln(id) => format!("{{\"vuln\": \"{}\"}}", json_escape(id)),
+        TreeDef::And(children) => format!(
+            "{{\"and\": [{}]}}",
+            children
+                .iter()
+                .map(tree_to_json)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        TreeDef::Or(children) => format!(
+            "{{\"or\": [{}]}}",
+            children
+                .iter()
+                .map(tree_to_json)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    }
+}
+
+/// The 13 duration parameters, in [`ServerParams`] declaration order;
+/// shared by the serializer and the parser so they can never disagree.
+const PARAM_KEYS: [&str; 13] = [
+    "hw_mtbf_h",
+    "hw_repair_h",
+    "os_mtbf_h",
+    "os_repair_h",
+    "os_patch_h",
+    "os_reboot_patch_h",
+    "os_reboot_failure_h",
+    "svc_mtbf_h",
+    "svc_repair_h",
+    "svc_patch_h",
+    "svc_reboot_patch_h",
+    "svc_reboot_failure_h",
+    "patch_interval_h",
+];
+
+fn param_durations(p: &ServerParams) -> [Durations; 13] {
+    [
+        p.hw_mtbf,
+        p.hw_repair,
+        p.os_mtbf,
+        p.os_repair,
+        p.os_patch,
+        p.os_reboot_patch,
+        p.os_reboot_failure,
+        p.svc_mtbf,
+        p.svc_repair,
+        p.svc_patch,
+        p.svc_reboot_patch,
+        p.svc_reboot_failure,
+        p.patch_interval,
+    ]
+}
+
+fn params_to_json(p: &ServerParams) -> String {
+    let fields: Vec<String> = PARAM_KEYS
+        .iter()
+        .zip(param_durations(p))
+        .map(|(k, d)| format!("\"{k}\": {}", fmt_f64(d.as_hours())))
+        .collect();
+    format!("{{{}}}", fields.join(", "))
+}
+
+fn build_tree(
+    def: &TreeDef,
+    at: &str,
+    vuln_of: &dyn Fn(&str) -> Option<Vulnerability>,
+) -> Result<AttackTree, EvalError> {
+    match def {
+        TreeDef::Vuln(id) => vuln_of(id)
+            .map(AttackTree::leaf)
+            .ok_or_else(|| invalid(at, format!("unknown vulnerability `{id}`"))),
+        TreeDef::And(children) | TreeDef::Or(children) => {
+            if children.is_empty() {
+                return Err(invalid(at, "a gate needs at least one child"));
+            }
+            let built: Vec<AttackTree> = children
+                .iter()
+                .map(|c| build_tree(c, at, vuln_of))
+                .collect::<Result<_, _>>()?;
+            Ok(match def {
+                TreeDef::And(_) => AttackTree::and(built),
+                _ => AttackTree::or(built),
+            })
+        }
+    }
+}
+
+fn or_combine_token(oc: OrCombine) -> &'static str {
+    match oc {
+        OrCombine::Max => "max",
+        OrCombine::NoisyOr => "noisy-or",
+    }
+}
+
+fn asp_token(asp: AspStrategy) -> &'static str {
+    match asp {
+        AspStrategy::MaxPath => "max-path",
+        AspStrategy::NoisyOrPaths => "noisy-or-paths",
+        AspStrategy::Reliability => "reliability",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON → ScenarioDoc decoding.
+
+/// A required object, with every present key checked against `allowed`.
+fn as_obj<'a>(j: &'a Json, at: &str, allowed: &[&str]) -> Result<&'a [(String, Json)], EvalError> {
+    let entries = j
+        .as_obj()
+        .ok_or_else(|| invalid(at, "expected an object"))?;
+    for (k, _) in entries {
+        if !allowed.contains(&k.as_str()) {
+            return Err(invalid(at, format!("unknown key `{k}`")));
+        }
+    }
+    Ok(entries)
+}
+
+fn get<'a>(entries: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn req<'a>(entries: &'a [(String, Json)], at: &str, key: &str) -> Result<&'a Json, EvalError> {
+    get(entries, key).ok_or_else(|| invalid(at, format!("missing key `{key}`")))
+}
+
+fn as_str(j: &Json, at: &str) -> Result<String, EvalError> {
+    j.as_str()
+        .map(str::to_string)
+        .ok_or_else(|| invalid(at, "expected a string"))
+}
+
+fn as_bool(j: &Json, at: &str) -> Result<bool, EvalError> {
+    j.as_bool().ok_or_else(|| invalid(at, "expected a boolean"))
+}
+
+fn as_f64(j: &Json, at: &str) -> Result<f64, EvalError> {
+    j.as_f64().ok_or_else(|| invalid(at, "expected a number"))
+}
+
+fn as_count(j: &Json, at: &str, max: f64) -> Result<f64, EvalError> {
+    let x = as_f64(j, at)?;
+    if x.fract() != 0.0 || x < 0.0 || x > max {
+        return Err(invalid(at, format!("expected an integer in 0..={max}")));
+    }
+    Ok(x)
+}
+
+fn as_arr<'a>(j: &'a Json, at: &str) -> Result<&'a [Json], EvalError> {
+    j.as_arr().ok_or_else(|| invalid(at, "expected an array"))
+}
+
+fn decode_doc(root: &Json) -> Result<ScenarioDoc, EvalError> {
+    let entries = as_obj(
+        root,
+        "document",
+        &[
+            "schema",
+            "name",
+            "title",
+            "description",
+            "vulnerabilities",
+            "trees",
+            "tiers",
+            "edges",
+            "designs",
+            "policies",
+            "metrics",
+        ],
+    )?;
+
+    let schema = as_str(req(entries, "document", "schema")?, "schema")?;
+    if schema != SCHEMA {
+        return Err(invalid(
+            "schema",
+            format!("`{schema}` is not supported (expected `{SCHEMA}`)"),
+        ));
+    }
+    let name = as_str(req(entries, "document", "name")?, "name")?;
+    let title = as_str(req(entries, "document", "title")?, "title")?;
+    let description = match get(entries, "description") {
+        Some(j) => as_str(j, "description")?,
+        None => String::new(),
+    };
+
+    let mut vulnerabilities = Vec::new();
+    for (i, j) in as_arr(
+        req(entries, "document", "vulnerabilities")?,
+        "vulnerabilities",
+    )?
+    .iter()
+    .enumerate()
+    {
+        vulnerabilities.push(decode_vuln(j, &format!("vulnerabilities[{i}]"))?);
+    }
+
+    let mut trees = Vec::new();
+    for (i, j) in as_arr(req(entries, "document", "trees")?, "trees")?
+        .iter()
+        .enumerate()
+    {
+        let at = format!("trees[{i}]");
+        let e = as_obj(j, &at, &["name", "tree"])?;
+        let tree_name = as_str(req(e, &at, "name")?, &format!("{at}.name"))?;
+        let def = decode_tree(req(e, &at, "tree")?, &format!("{at}.tree"))?;
+        trees.push((tree_name, def));
+    }
+
+    let mut tiers = Vec::new();
+    for (i, j) in as_arr(req(entries, "document", "tiers")?, "tiers")?
+        .iter()
+        .enumerate()
+    {
+        tiers.push(decode_tier(j, &format!("tiers[{i}]"))?);
+    }
+
+    let mut edges = Vec::new();
+    for (i, j) in as_arr(req(entries, "document", "edges")?, "edges")?
+        .iter()
+        .enumerate()
+    {
+        let at = format!("edges[{i}]");
+        let pair = as_arr(j, &at)?;
+        if pair.len() != 2 {
+            return Err(invalid(&at, "expected a [from, to] pair of tier names"));
+        }
+        edges.push((
+            as_str(&pair[0], &format!("{at}[0]"))?,
+            as_str(&pair[1], &format!("{at}[1]"))?,
+        ));
+    }
+
+    // Only a *missing* `designs` key defaults to the base design; an
+    // explicit empty array is a schema violation (caught by `validate`),
+    // the same way an explicit empty `policies` is.
+    let designs_present = get(entries, "designs").is_some();
+    let designs = match get(entries, "designs") {
+        None => Vec::new(),
+        Some(j) => {
+            let mut out = Vec::new();
+            for (i, d) in as_arr(j, "designs")?.iter().enumerate() {
+                let at = format!("designs[{i}]");
+                let e = as_obj(d, &at, &["name", "counts"])?;
+                let dname = as_str(req(e, &at, "name")?, &format!("{at}.name"))?;
+                let counts_at = format!("{at}.counts");
+                let mut counts = Vec::new();
+                for (k, c) in as_arr(req(e, &at, "counts")?, &counts_at)?
+                    .iter()
+                    .enumerate()
+                {
+                    counts.push(
+                        as_count(c, &format!("{counts_at}[{k}]"), f64::from(u32::MAX))? as u32,
+                    );
+                }
+                out.push(Design::new(dname, counts));
+            }
+            out
+        }
+    };
+
+    let policies = match get(entries, "policies") {
+        None => vec![PatchPolicy::CriticalOnly(8.0)],
+        Some(j) => {
+            let mut out = Vec::new();
+            for (i, p) in as_arr(j, "policies")?.iter().enumerate() {
+                let at = format!("policies[{i}]");
+                let s = as_str(p, &at)?;
+                out.push(
+                    s.parse::<PatchPolicy>()
+                        .map_err(|e| invalid(&at, e.to_string()))?,
+                );
+            }
+            out
+        }
+    };
+
+    let metrics = match get(entries, "metrics") {
+        None => MetricsConfig::default(),
+        Some(j) => decode_metrics(j)?,
+    };
+
+    let mut doc = ScenarioDoc {
+        name,
+        title,
+        description,
+        vulnerabilities,
+        trees,
+        tiers,
+        edges,
+        designs,
+        policies,
+        metrics,
+    };
+    if !designs_present && !doc.tiers.is_empty() {
+        doc.designs = vec![doc.base_design()];
+    }
+    Ok(doc)
+}
+
+fn decode_vuln(j: &Json, at: &str) -> Result<VulnDef, EvalError> {
+    let e = as_obj(
+        j,
+        at,
+        &["id", "cve", "vector", "impact", "probability", "base_score"],
+    )?;
+    let id = as_str(req(e, at, "id")?, &format!("{at}.id"))?;
+    let cve = match get(e, "cve") {
+        Some(c) => Some(as_str(c, &format!("{at}.cve"))?),
+        None => None,
+    };
+    let source = match (get(e, "vector"), get(e, "impact")) {
+        (Some(v), None) => {
+            if get(e, "probability").is_some() || get(e, "base_score").is_some() {
+                return Err(invalid(
+                    at,
+                    "give either `vector` or explicit `impact`/`probability`, not both",
+                ));
+            }
+            VulnSource::Vector(as_str(v, &format!("{at}.vector"))?)
+        }
+        (None, Some(imp)) => VulnSource::Explicit {
+            impact: as_f64(imp, &format!("{at}.impact"))?,
+            probability: as_f64(req(e, at, "probability")?, &format!("{at}.probability"))?,
+            base_score: match get(e, "base_score") {
+                Some(b) => Some(as_f64(b, &format!("{at}.base_score"))?),
+                None => None,
+            },
+        },
+        (Some(_), Some(_)) => {
+            return Err(invalid(
+                at,
+                "give either `vector` or explicit `impact`/`probability`, not both",
+            ));
+        }
+        (None, None) => {
+            return Err(invalid(
+                at,
+                "needs a `vector` or an explicit `impact`/`probability` pair",
+            ));
+        }
+    };
+    Ok(VulnDef { id, cve, source })
+}
+
+fn decode_tree(j: &Json, at: &str) -> Result<TreeDef, EvalError> {
+    let e = as_obj(j, at, &["vuln", "and", "or"])?;
+    match (get(e, "vuln"), get(e, "and"), get(e, "or")) {
+        (Some(v), None, None) => Ok(TreeDef::Vuln(as_str(v, &format!("{at}.vuln"))?)),
+        (None, Some(children), None) => Ok(TreeDef::And(decode_children(children, at, "and")?)),
+        (None, None, Some(children)) => Ok(TreeDef::Or(decode_children(children, at, "or")?)),
+        _ => Err(invalid(
+            at,
+            "a tree node is exactly one of {\"vuln\": id}, {\"and\": [...]}, {\"or\": [...]}",
+        )),
+    }
+}
+
+fn decode_children(j: &Json, at: &str, gate: &str) -> Result<Vec<TreeDef>, EvalError> {
+    as_arr(j, &format!("{at}.{gate}"))?
+        .iter()
+        .enumerate()
+        .map(|(i, c)| decode_tree(c, &format!("{at}.{gate}[{i}]")))
+        .collect()
+}
+
+fn decode_tier(j: &Json, at: &str) -> Result<TierDef, EvalError> {
+    let e = as_obj(
+        j,
+        at,
+        &["name", "count", "tree", "entry", "target", "params"],
+    )?;
+    let name = as_str(req(e, at, "name")?, &format!("{at}.name"))?;
+    let count = as_count(
+        req(e, at, "count")?,
+        &format!("{at}.count"),
+        f64::from(u32::MAX),
+    )? as u32;
+    let tree = match get(e, "tree") {
+        None => None,
+        Some(t) if t.is_null() => None,
+        Some(t) => Some(as_str(t, &format!("{at}.tree"))?),
+    };
+    let entry = match get(e, "entry") {
+        Some(b) => as_bool(b, &format!("{at}.entry"))?,
+        None => false,
+    };
+    let target = match get(e, "target") {
+        Some(b) => as_bool(b, &format!("{at}.target"))?,
+        None => false,
+    };
+    let params = match get(e, "params") {
+        None => ServerParams::builder(name.clone()).build(),
+        Some(p) => decode_params(p, &format!("{at}.params"), &name)?,
+    };
+    Ok(TierDef {
+        name,
+        count,
+        params,
+        tree,
+        entry,
+        target,
+    })
+}
+
+fn decode_params(j: &Json, at: &str, tier_name: &str) -> Result<ServerParams, EvalError> {
+    let e = as_obj(j, at, &PARAM_KEYS)?;
+    let mut hours = [0.0f64; 13];
+    for (slot, key) in hours.iter_mut().zip(PARAM_KEYS) {
+        let field = format!("{at}.{key}");
+        let x = as_f64(req(e, at, key)?, &field)?;
+        if !x.is_finite() || x <= 0.0 {
+            return Err(invalid(field, "a mean duration must be a positive number"));
+        }
+        *slot = x;
+    }
+    let d = |i: usize| Durations::hours(hours[i]);
+    Ok(ServerParams {
+        name: tier_name.to_string(),
+        hw_mtbf: d(0),
+        hw_repair: d(1),
+        os_mtbf: d(2),
+        os_repair: d(3),
+        os_patch: d(4),
+        os_reboot_patch: d(5),
+        os_reboot_failure: d(6),
+        svc_mtbf: d(7),
+        svc_repair: d(8),
+        svc_patch: d(9),
+        svc_reboot_patch: d(10),
+        svc_reboot_failure: d(11),
+        patch_interval: d(12),
+    })
+}
+
+fn decode_metrics(j: &Json) -> Result<MetricsConfig, EvalError> {
+    let e = as_obj(j, "metrics", &["or_combine", "asp", "max_paths"])?;
+    let mut m = MetricsConfig::default();
+    if let Some(oc) = get(e, "or_combine") {
+        m.or_combine = match as_str(oc, "metrics.or_combine")?.as_str() {
+            "max" => OrCombine::Max,
+            "noisy-or" => OrCombine::NoisyOr,
+            other => {
+                return Err(invalid(
+                    "metrics.or_combine",
+                    format!("`{other}` is not one of max, noisy-or"),
+                ));
+            }
+        };
+    }
+    if let Some(asp) = get(e, "asp") {
+        m.asp = match as_str(asp, "metrics.asp")?.as_str() {
+            "max-path" => AspStrategy::MaxPath,
+            "noisy-or-paths" => AspStrategy::NoisyOrPaths,
+            "reliability" => AspStrategy::Reliability,
+            other => {
+                return Err(invalid(
+                    "metrics.asp",
+                    format!("`{other}` is not one of max-path, noisy-or-paths, reliability"),
+                ));
+            }
+        };
+    }
+    if let Some(mp) = get(e, "max_paths") {
+        let x = as_count(mp, "metrics.max_paths", 9.007_199_254_740_992e15)?;
+        m.max_paths = x as usize;
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_doc() -> ScenarioDoc {
+        let mut doc = ScenarioDoc::new("tiny", "Tiny two-tier network");
+        doc.description = "A web tier feeding a database.".into();
+        doc.vulnerabilities = vec![
+            VulnDef {
+                id: "v-web".into(),
+                cve: Some("CVE-2016-0001".into()),
+                source: VulnSource::Vector("AV:N/AC:L/Au:N/C:C/I:C/A:C".into()),
+            },
+            VulnDef {
+                id: "v-db".into(),
+                cve: None,
+                source: VulnSource::Explicit {
+                    impact: 2.9,
+                    probability: 0.86,
+                    base_score: None,
+                },
+            },
+        ];
+        doc.trees = vec![
+            (
+                "web".into(),
+                TreeDef::Or(vec![TreeDef::Vuln("v-web".into())]),
+            ),
+            ("db".into(), TreeDef::Or(vec![TreeDef::Vuln("v-db".into())])),
+        ];
+        doc.tiers = vec![
+            TierDef {
+                name: "web".into(),
+                count: 2,
+                params: ServerParams::builder("web").build(),
+                tree: Some("web".into()),
+                entry: true,
+                target: false,
+            },
+            TierDef {
+                name: "db".into(),
+                count: 1,
+                params: ServerParams::builder("db").build(),
+                tree: Some("db".into()),
+                entry: false,
+                target: true,
+            },
+        ];
+        doc.edges = vec![("web".into(), "db".into())];
+        doc.designs = vec![doc.base_design()];
+        doc
+    }
+
+    #[test]
+    fn round_trips_through_canonical_json() {
+        let doc = tiny_doc();
+        let json = doc.to_json();
+        let back = ScenarioDoc::from_json(&json).unwrap();
+        assert_eq!(back, doc);
+        // And the canonical form is a fixed point.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn to_spec_builds_the_expected_network() {
+        let spec = tiny_doc().to_spec().unwrap();
+        assert_eq!(spec.tiers().len(), 2);
+        assert_eq!(spec.total_servers(), 3);
+        assert_eq!(spec.edges(), [(0, 1)]);
+        let harm = spec.build_harm();
+        assert_eq!(harm.graph().host_count(), 3);
+        // The CVE id is folded into the display id.
+        let m = harm.metrics(&MetricsConfig::default());
+        assert_eq!(m.exploitable_vulnerabilities, 3);
+    }
+
+    #[test]
+    fn defaults_fill_in_when_optional_keys_are_missing() {
+        let json = r#"{
+            "schema": "redeval-scenario/1",
+            "name": "mini",
+            "title": "Minimal",
+            "vulnerabilities": [{"id": "v", "impact": 10, "probability": 1}],
+            "trees": [{"name": "t", "tree": {"vuln": "v"}}],
+            "tiers": [
+                {"name": "web", "count": 2, "tree": "t", "entry": true, "target": true}
+            ],
+            "edges": []
+        }"#;
+        let doc = ScenarioDoc::from_json(json).unwrap();
+        assert_eq!(doc.description, "");
+        assert_eq!(doc.policies, vec![PatchPolicy::CriticalOnly(8.0)]);
+        assert_eq!(doc.metrics, MetricsConfig::default());
+        assert_eq!(doc.designs, vec![Design::new("2 WEB", vec![2])]);
+        // Omitted params are the enterprise defaults, named after the tier.
+        assert_eq!(doc.tiers[0].params, ServerParams::builder("web").build());
+        doc.validate().unwrap();
+    }
+
+    #[test]
+    fn explicit_empty_designs_fail_instead_of_silently_defaulting() {
+        // A *missing* designs key defaults to the base design; an
+        // explicit `"designs": []` is a schema violation, matching the
+        // behaviour of an explicit empty `policies`.
+        let json = tiny_doc().to_json();
+        assert!(json.contains("\"designs\": ["));
+        let emptied = {
+            let start = json.find("\"designs\": [").unwrap();
+            let end = start + json[start..].find("],").unwrap() + 2;
+            format!("{}\"designs\": [],{}", &json[..start], &json[end..])
+        };
+        let e = ScenarioDoc::from_json(&emptied).unwrap_err();
+        assert!(
+            e.to_string().contains("at least one design"),
+            "expected a designs error, got: {e}"
+        );
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_schema_fail_loudly() {
+        let bad_key = tiny_doc().to_json().replace("\"title\"", "\"titel\"");
+        let e = ScenarioDoc::from_json(&bad_key).unwrap_err();
+        assert!(e.to_string().contains("titel"), "{e}");
+        let bad_schema = tiny_doc().to_json().replace("scenario/1", "scenario/9");
+        let e = ScenarioDoc::from_json(&bad_schema).unwrap_err();
+        assert!(e.to_string().contains("not supported"), "{e}");
+        let e = ScenarioDoc::from_json("{ nope").unwrap_err();
+        assert!(matches!(
+            e,
+            EvalError::Scenario(ScenarioError::Json { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn validation_pinpoints_the_offending_field() {
+        let cases: Vec<(ScenarioDoc, &str)> = vec![
+            (
+                {
+                    let mut d = tiny_doc();
+                    d.name = "no spaces!".into();
+                    d
+                },
+                "name",
+            ),
+            (
+                {
+                    let mut d = tiny_doc();
+                    d.vulnerabilities.push(d.vulnerabilities[0].clone());
+                    d
+                },
+                "vulnerabilities[2].id",
+            ),
+            (
+                {
+                    let mut d = tiny_doc();
+                    d.trees[0].1 = TreeDef::Vuln("ghost".into());
+                    d
+                },
+                "unknown vulnerability `ghost`",
+            ),
+            (
+                {
+                    let mut d = tiny_doc();
+                    d.tiers[0].tree = Some("ghost".into());
+                    d
+                },
+                "unknown tree `ghost`",
+            ),
+            (
+                {
+                    let mut d = tiny_doc();
+                    d.tiers[0].count = 0;
+                    d
+                },
+                "tiers[0].count",
+            ),
+            (
+                {
+                    let mut d = tiny_doc();
+                    d.edges.push(("web".into(), "ghost".into()));
+                    d
+                },
+                "edges[1]",
+            ),
+            (
+                {
+                    let mut d = tiny_doc();
+                    d.designs = vec![Design::new("bad", vec![1])];
+                    d
+                },
+                "designs[0]",
+            ),
+            (
+                {
+                    let mut d = tiny_doc();
+                    d.designs = vec![Design::new("zero", vec![1, 0])];
+                    d
+                },
+                "zero `db` servers",
+            ),
+            (
+                {
+                    let mut d = tiny_doc();
+                    d.policies.clear();
+                    d
+                },
+                "policies",
+            ),
+            (
+                {
+                    let mut d = tiny_doc();
+                    d.vulnerabilities[1].source = VulnSource::Explicit {
+                        impact: 11.0,
+                        probability: 0.5,
+                        base_score: None,
+                    };
+                    d
+                },
+                "vulnerabilities[1].impact",
+            ),
+        ];
+        for (doc, needle) in cases {
+            let e = doc.validate().unwrap_err();
+            assert!(
+                e.to_string().contains(needle),
+                "expected `{needle}` in `{e}`"
+            );
+        }
+    }
+
+    #[test]
+    fn structural_network_errors_come_back_as_invalid_spec() {
+        let mut no_entry = tiny_doc();
+        no_entry.tiers[0].entry = false;
+        assert!(matches!(
+            no_entry.validate(),
+            Err(EvalError::InvalidSpec(crate::error::SpecIssue::NoEntryTier))
+        ));
+        let mut no_target = tiny_doc();
+        no_target.tiers[1].target = false;
+        assert!(matches!(
+            no_target.validate(),
+            Err(EvalError::InvalidSpec(
+                crate::error::SpecIssue::NoTargetTier
+            ))
+        ));
+    }
+
+    #[test]
+    fn vector_and_explicit_sources_are_mutually_exclusive() {
+        let json = r#"{
+            "schema": "redeval-scenario/1",
+            "name": "x", "title": "x",
+            "vulnerabilities": [
+                {"id": "v", "vector": "AV:N/AC:L/Au:N/C:C/I:C/A:C", "impact": 10}
+            ],
+            "trees": [], "tiers": [], "edges": []
+        }"#;
+        let e = ScenarioDoc::from_json(json).unwrap_err();
+        assert!(e.to_string().contains("not both"), "{e}");
+    }
+
+    #[test]
+    fn policies_round_trip_with_exact_thresholds() {
+        let mut doc = tiny_doc();
+        doc.policies = vec![
+            PatchPolicy::None,
+            PatchPolicy::CriticalOnly(7.15),
+            PatchPolicy::All,
+        ];
+        let back = ScenarioDoc::from_json(&doc.to_json()).unwrap();
+        assert_eq!(back.policies, doc.policies);
+    }
+
+    #[test]
+    fn metrics_tokens_cover_every_variant() {
+        for oc in [OrCombine::Max, OrCombine::NoisyOr] {
+            for asp in [
+                AspStrategy::MaxPath,
+                AspStrategy::NoisyOrPaths,
+                AspStrategy::Reliability,
+            ] {
+                let mut doc = tiny_doc();
+                doc.metrics = MetricsConfig {
+                    or_combine: oc,
+                    asp,
+                    max_paths: 1234,
+                };
+                let back = ScenarioDoc::from_json(&doc.to_json()).unwrap();
+                assert_eq!(back.metrics, doc.metrics);
+            }
+        }
+    }
+}

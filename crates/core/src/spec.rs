@@ -4,6 +4,7 @@ use redeval_avail::{NetworkModel, ServerParams, Tier};
 use redeval_harm::{AttackGraph, AttackTree, Harm};
 use redeval_srn::SrnError;
 
+use crate::error::SpecIssue;
 use crate::EvalError;
 
 /// One tier of identical servers (the paper uses identical redundant
@@ -97,20 +98,60 @@ pub struct NetworkSpec {
 }
 
 impl NetworkSpec {
+    /// Creates a specification, validating its structure.
+    ///
+    /// This is the fallible front door used by everything that accepts
+    /// *data* (scenario files, future config surfaces); [`new`](Self::new)
+    /// stays as a thin panicking wrapper for programmatic construction in
+    /// tests and examples.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::InvalidSpec`] when `tiers` is empty, an edge index is
+    /// out of range, no tier is marked `target`, or no tier is marked
+    /// `entry`.
+    pub fn try_new(tiers: Vec<TierSpec>, edges: Vec<(usize, usize)>) -> Result<Self, EvalError> {
+        if tiers.is_empty() {
+            return Err(SpecIssue::EmptyTiers.into());
+        }
+        for &(a, b) in &edges {
+            if a >= tiers.len() || b >= tiers.len() {
+                return Err(SpecIssue::EdgeOutOfRange {
+                    from: a,
+                    to: b,
+                    tiers: tiers.len(),
+                }
+                .into());
+            }
+            // The attack graph asserts against self edges; catch them
+            // here so data-driven callers get an error, not a panic.
+            if a == b {
+                return Err(SpecIssue::SelfEdge { tier: a }.into());
+            }
+        }
+        if !tiers.iter().any(|t| t.target) {
+            return Err(SpecIssue::NoTargetTier.into());
+        }
+        if !tiers.iter().any(|t| t.entry) {
+            return Err(SpecIssue::NoEntryTier.into());
+        }
+        Ok(NetworkSpec { tiers, edges })
+    }
+
     /// Creates a specification.
     ///
     /// # Panics
     ///
     /// Panics when `tiers` is empty, an edge index is out of range, no
-    /// tier is marked `target`, or no tier is marked `entry`.
+    /// tier is marked `target`, or no tier is marked `entry` — the
+    /// validation of [`try_new`](Self::try_new), with the [`SpecIssue`]
+    /// message as the panic payload.
     pub fn new(tiers: Vec<TierSpec>, edges: Vec<(usize, usize)>) -> Self {
-        assert!(!tiers.is_empty(), "at least one tier required");
-        for &(a, b) in &edges {
-            assert!(a < tiers.len() && b < tiers.len(), "edge out of range");
+        match Self::try_new(tiers, edges) {
+            Ok(spec) => spec,
+            Err(EvalError::InvalidSpec(issue)) => panic!("{issue}"),
+            Err(e) => panic!("{e}"),
         }
-        assert!(tiers.iter().any(|t| t.target), "no target tier");
-        assert!(tiers.iter().any(|t| t.entry), "no entry tier");
-        NetworkSpec { tiers, edges }
     }
 
     /// The tiers.
@@ -343,5 +384,43 @@ mod tests {
         let mut tiers = tiny_spec().tiers().to_vec();
         tiers[1].target = false;
         let _ = NetworkSpec::new(tiers, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn try_new_reports_each_structural_issue() {
+        use crate::error::SpecIssue;
+        let ok = tiny_spec();
+        assert!(matches!(
+            NetworkSpec::try_new(vec![], vec![]),
+            Err(EvalError::InvalidSpec(SpecIssue::EmptyTiers))
+        ));
+        assert!(matches!(
+            NetworkSpec::try_new(ok.tiers().to_vec(), vec![(0, 2)]),
+            Err(EvalError::InvalidSpec(SpecIssue::EdgeOutOfRange {
+                from: 0,
+                to: 2,
+                tiers: 2
+            }))
+        ));
+        let mut no_target = ok.tiers().to_vec();
+        no_target[1].target = false;
+        assert!(matches!(
+            NetworkSpec::try_new(no_target, vec![(0, 1)]),
+            Err(EvalError::InvalidSpec(SpecIssue::NoTargetTier))
+        ));
+        let mut no_entry = ok.tiers().to_vec();
+        no_entry[0].entry = false;
+        assert!(matches!(
+            NetworkSpec::try_new(no_entry, vec![(0, 1)]),
+            Err(EvalError::InvalidSpec(SpecIssue::NoEntryTier))
+        ));
+        // Self edges would panic later inside the attack graph.
+        assert!(matches!(
+            NetworkSpec::try_new(ok.tiers().to_vec(), vec![(0, 1), (1, 1)]),
+            Err(EvalError::InvalidSpec(SpecIssue::SelfEdge { tier: 1 }))
+        ));
+        // And the valid shape goes through.
+        let spec = NetworkSpec::try_new(ok.tiers().to_vec(), ok.edges().to_vec()).unwrap();
+        assert_eq!(spec.total_servers(), 3);
     }
 }

@@ -1,0 +1,278 @@
+//! Property-based round-trip suites for the scenario subsystem.
+//!
+//! Two contracts are pinned here:
+//!
+//! * `ScenarioDoc::from_json(doc.to_json()) == doc` for *generated*
+//!   documents — the serializer and the hand-rolled parser can never
+//!   drift apart, and every `f64` (durations, thresholds, impact values)
+//!   survives the text round trip bit for bit;
+//! * the 16 Table-I CVSS v2 vector strings parse and re-serialize to
+//!   themselves, so the vector spellings embedded in scenario files are
+//!   canonical.
+
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use redeval::scenario::{ScenarioDoc, TierDef, TreeDef, VulnDef, VulnSource};
+use redeval::{case_study, Design, Durations, PatchPolicy, ServerParams};
+use redeval_cvss::v2::BaseVector;
+use redeval_harm::{AspStrategy, MetricsConfig, OrCombine};
+
+/// A handful of valid CVSS v2 vectors to draw from (Table-I spellings
+/// plus a few shapes the paper does not use).
+const VECTORS: [&str; 6] = [
+    "AV:N/AC:L/Au:N/C:C/I:C/A:C",
+    "AV:N/AC:L/Au:N/C:P/I:N/A:N",
+    "AV:L/AC:L/Au:N/C:C/I:C/A:C",
+    "AV:N/AC:M/Au:N/C:P/I:N/A:N",
+    "AV:A/AC:H/Au:S/C:P/I:P/A:P",
+    "AV:N/AC:L/Au:M/C:N/I:P/A:C",
+];
+
+fn any_vuln_source() -> BoxedStrategy<VulnSource> {
+    prop_oneof![
+        (0usize..VECTORS.len()).prop_map(|i| VulnSource::Vector(VECTORS[i].to_string())),
+        (0.0f64..=10.0, 0.0f64..=1.0).prop_map(|(impact, probability)| VulnSource::Explicit {
+            impact,
+            probability,
+            base_score: None,
+        }),
+        (0.0f64..=10.0, 0.0f64..=1.0, 0.0f64..=10.0).prop_map(|(impact, probability, base)| {
+            VulnSource::Explicit {
+                impact,
+                probability,
+                base_score: Some(base),
+            }
+        }),
+    ]
+    .boxed()
+}
+
+/// A tree over `k` vulnerability ids (`v0..v{k-1}`): an OR of leaves and
+/// two-leaf AND gates, which is the shape every paper tree takes.
+fn any_tree(k: usize) -> BoxedStrategy<TreeDef> {
+    let leaf = move |i: usize| TreeDef::Vuln(format!("v{}", i % k));
+    prop_oneof![
+        (0usize..k).prop_map(move |i| TreeDef::Or(vec![leaf(i)])),
+        (0usize..k, 0usize..k).prop_map(move |(a, b)| TreeDef::Or(vec![leaf(a), leaf(b)])),
+        (0usize..k, 0usize..k, 0usize..k).prop_map(move |(a, b, c)| {
+            TreeDef::Or(vec![leaf(a), TreeDef::And(vec![leaf(b), leaf(c)])])
+        }),
+    ]
+    .boxed()
+}
+
+/// Generated durations stay in a realistic positive range; `fmt_f64`
+/// guarantees they survive the text round trip exactly.
+fn any_params() -> BoxedStrategy<ServerParams> {
+    let d = || (0.001f64..10_000.0).prop_map(Durations::hours);
+    (
+        (d(), d(), d(), d(), d(), d(), d()),
+        (d(), d(), d(), d(), d(), d()),
+    )
+        .prop_map(
+            |((a, b, c, dd, e, f, g), (h, i, j, k, l, m))| ServerParams {
+                name: String::new(), // fixed up with the tier name below
+                hw_mtbf: a,
+                hw_repair: b,
+                os_mtbf: c,
+                os_repair: dd,
+                os_patch: e,
+                os_reboot_patch: f,
+                os_reboot_failure: g,
+                svc_mtbf: h,
+                svc_repair: i,
+                svc_patch: j,
+                svc_reboot_patch: k,
+                svc_reboot_failure: l,
+                patch_interval: m,
+            },
+        )
+        .boxed()
+}
+
+fn any_policy() -> BoxedStrategy<PatchPolicy> {
+    prop_oneof![
+        Just(PatchPolicy::None),
+        Just(PatchPolicy::All),
+        (0.0f64..=10.0).prop_map(PatchPolicy::CriticalOnly),
+    ]
+    .boxed()
+}
+
+fn any_metrics() -> BoxedStrategy<MetricsConfig> {
+    (
+        prop_oneof![Just(OrCombine::Max), Just(OrCombine::NoisyOr)],
+        prop_oneof![
+            Just(AspStrategy::MaxPath),
+            Just(AspStrategy::NoisyOrPaths),
+            Just(AspStrategy::Reliability),
+        ],
+        1usize..2_000_000,
+    )
+        .prop_map(|(or_combine, asp, max_paths)| MetricsConfig {
+            or_combine,
+            asp,
+            max_paths,
+        })
+        .boxed()
+}
+
+/// A complete, *valid* scenario document: a chain topology over 1–4
+/// tiers, each with a generated tree over a shared 1–6 entry
+/// vulnerability catalogue, plus random designs, policies and metrics.
+fn any_doc() -> BoxedStrategy<ScenarioDoc> {
+    (
+        prop::collection::vec(any_vuln_source(), 1..7),
+        prop::collection::vec((1u32..4, any_params()), 1..5),
+        prop::collection::vec(any_tree(1), 4..5), // placeholder trees, re-made below
+        prop::collection::vec((1u32..4, 1u32..4, 1u32..4, 1u32..4), 1..3),
+        prop::collection::vec(any_policy(), 1..4),
+        any_metrics(),
+        0u64..1_000_000,
+    )
+        .prop_map(
+            |(sources, tiers_in, _, designs_in, policies, metrics, salt)| {
+                let k = sources.len();
+                let mut doc =
+                    ScenarioDoc::new(format!("gen-{salt}"), format!("generated scenario #{salt}"));
+                doc.description = "generated by prop_scenario".into();
+                doc.vulnerabilities = sources
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, source)| VulnDef {
+                        id: format!("v{i}"),
+                        cve: if i % 2 == 0 {
+                            Some(format!("CVE-2016-{i:04}"))
+                        } else {
+                            None
+                        },
+                        source,
+                    })
+                    .collect();
+                // One deterministic-shape tree per tier over the catalogue.
+                doc.trees = tiers_in
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| {
+                        let a = TreeDef::Vuln(format!("v{}", i % k));
+                        let b = TreeDef::Vuln(format!("v{}", (i + salt as usize) % k));
+                        let tree = if i % 2 == 0 {
+                            TreeDef::Or(vec![a, b])
+                        } else {
+                            TreeDef::Or(vec![TreeDef::And(vec![a, b])])
+                        };
+                        (format!("t{i}"), tree)
+                    })
+                    .collect();
+                let n = tiers_in.len();
+                doc.tiers = tiers_in
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (count, mut params))| {
+                        let name = format!("tier{i}");
+                        params.name = name.clone();
+                        TierDef {
+                            name,
+                            count,
+                            params,
+                            tree: Some(format!("t{i}")),
+                            entry: i == 0,
+                            target: i + 1 == n,
+                        }
+                    })
+                    .collect();
+                doc.edges = (1..n)
+                    .map(|i| (format!("tier{}", i - 1), format!("tier{i}")))
+                    .collect();
+                doc.designs = designs_in
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (a, b, c, d))| {
+                        let counts: Vec<u32> = [a, b, c, d][..n].to_vec();
+                        Design::new(format!("design {i}"), counts)
+                    })
+                    .collect();
+                doc.policies = policies;
+                doc.metrics = metrics;
+                doc
+            },
+        )
+        .boxed()
+}
+
+proptest! {
+    /// The serializer and parser can never drift: `parse ∘ serialize` is
+    /// the identity on generated documents, including every `f64` bit.
+    #[test]
+    fn generated_docs_round_trip(doc in any_doc()) {
+        prop_assert!(doc.validate().is_ok(), "generated doc must be valid");
+        let json = doc.to_json();
+        let back = ScenarioDoc::from_json(&json)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{json}")))?;
+        prop_assert_eq!(&back, &doc);
+        // The canonical form is a fixed point.
+        prop_assert_eq!(back.to_json(), json);
+    }
+
+    /// Generated documents always resolve into buildable networks whose
+    /// structure matches the declaration.
+    #[test]
+    fn generated_docs_resolve_to_specs(doc in any_doc()) {
+        let spec = doc.to_spec()
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(spec.tiers().len(), doc.tiers.len());
+        let declared: u32 = doc.tiers.iter().map(|t| t.count).sum();
+        prop_assert_eq!(spec.total_servers(), declared);
+        prop_assert_eq!(spec.edges().len(), doc.edges.len());
+    }
+}
+
+/// Satellite check: all 16 Table-I vector strings are canonical — they
+/// parse and re-serialize to themselves, so the vectors embedded in the
+/// reference scenario file are the exact spellings CVSS defines.
+#[test]
+fn all_sixteen_table_i_vectors_round_trip() {
+    for r in &case_study::VULNERABILITIES {
+        let v: BaseVector = r
+            .vector
+            .parse()
+            .unwrap_or_else(|e| panic!("{}: vector `{}` fails to parse: {e}", r.id, r.vector));
+        assert_eq!(
+            v.to_vector_string(),
+            r.vector,
+            "{}: vector round-trip",
+            r.id
+        );
+        // And the derived numbers still match Table I.
+        assert!(case_study::vector_consistent(r), "{}", r.id);
+    }
+}
+
+proptest! {
+    /// Any valid v2 vector embedded in a scenario file survives the
+    /// document round trip and resolves to the same vulnerability.
+    #[test]
+    fn vectors_survive_document_round_trips(i in 0usize..VECTORS.len()) {
+        let mut doc = ScenarioDoc::new("vec-rt", "vector round-trip");
+        doc.vulnerabilities = vec![VulnDef {
+            id: "v0".into(),
+            cve: None,
+            source: VulnSource::Vector(VECTORS[i].to_string()),
+        }];
+        doc.trees = vec![("t".into(), TreeDef::Or(vec![TreeDef::Vuln("v0".into())]))];
+        doc.tiers = vec![TierDef {
+            name: "only".into(),
+            count: 1,
+            params: ServerParams::builder("only").build(),
+            tree: Some("t".into()),
+            entry: true,
+            target: true,
+        }];
+        doc.designs = vec![doc.base_design()];
+        let back = ScenarioDoc::from_json(&doc.to_json())
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(&back, &doc);
+        let v: BaseVector = VECTORS[i].parse().unwrap();
+        prop_assert_eq!(v.to_vector_string(), VECTORS[i]);
+    }
+}

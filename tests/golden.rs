@@ -97,6 +97,17 @@ fn no_orphan_goldens() {
             .and_then(|s| s.to_str())
             .unwrap_or_default()
             .to_string();
+        if path.is_dir() {
+            // The scenario corpus lives in its own subdirectory and has
+            // its own orphan check below.
+            assert_eq!(
+                stem,
+                "scenarios",
+                "unexpected directory in tests/golden: {}",
+                path.display()
+            );
+            continue;
+        }
         assert_eq!(
             path.extension().and_then(|e| e.to_str()),
             Some("json"),
@@ -109,6 +120,88 @@ fn no_orphan_goldens() {
             path.display()
         );
     }
+}
+
+/// The scenario corpus: every bundled scenario's canonical JSON export is
+/// byte-pinned under `tests/golden/scenarios/`, one file per gallery
+/// entry, no strays. `REDEVAL_BLESS=1` regenerates it like the report
+/// corpus.
+#[test]
+fn every_bundled_scenario_export_matches_its_golden() {
+    let dir = golden_dir().join("scenarios");
+    let mut failures = Vec::new();
+    for s in redeval::scenario::builtin::BUILTINS {
+        let json = (s.build)().to_json();
+        let path = dir.join(format!("{}.json", s.name));
+        if blessing() {
+            fs::create_dir_all(&dir).expect("scenario golden dir");
+            fs::write(&path, &json).expect("write scenario golden");
+            continue;
+        }
+        match fs::read_to_string(&path) {
+            Ok(want) if want == json => {}
+            Ok(want) => failures.push(format!(
+                "{}: export changed; {}",
+                s.name,
+                first_diff(&want, &json)
+            )),
+            Err(_) => failures.push(format!(
+                "{}: missing scenario golden {}",
+                s.name,
+                path.display()
+            )),
+        }
+    }
+    if !blessing() {
+        for entry in fs::read_dir(&dir).expect("scenario golden dir exists") {
+            let path = entry.expect("dir entry").path();
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or_default()
+                .to_string();
+            assert!(
+                redeval::scenario::builtin::find(&stem).is_some(),
+                "orphan scenario golden {} has no bundled scenario",
+                path.display()
+            );
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "scenario corpus mismatches:\n{}\n\nIf intentional, regenerate with \
+         `REDEVAL_BLESS=1 cargo test --test golden` and commit the diff.",
+        failures.join("\n")
+    );
+}
+
+/// The headline acceptance check of the scenario API: an [`Evaluator`]
+/// built from the **pinned** `paper_case_study` file — through the JSON
+/// parser, schema decoding and spec resolution — reproduces the
+/// committed Table II and Table VI golden reports **byte for byte**.
+#[test]
+fn paper_scenario_file_reproduces_table2_and_table6_byte_for_byte() {
+    use redeval::scenario::ScenarioDoc;
+    use redeval_bench::reports::tables;
+
+    let path = golden_dir().join("scenarios/paper_case_study.json");
+    let text = fs::read_to_string(&path).expect("pinned paper scenario exists");
+    let doc = ScenarioDoc::from_json(&text).expect("pinned paper scenario parses");
+    let evaluator = redeval::Evaluator::from_scenario(&doc).expect("evaluator builds");
+
+    let table2 = tables::table2_for(evaluator.base()).to_json();
+    let want2 = fs::read_to_string(golden_dir().join("table2.json")).expect("table2 golden");
+    assert_eq!(
+        table2, want2,
+        "table2 from the scenario file differs from the golden"
+    );
+
+    let table6 = tables::table6_for(evaluator.base(), evaluator.tier_analyses()).to_json();
+    let want6 = fs::read_to_string(golden_dir().join("table6.json")).expect("table6 golden");
+    assert_eq!(
+        table6, want6,
+        "table6 from the scenario file differs from the golden"
+    );
 }
 
 #[test]
