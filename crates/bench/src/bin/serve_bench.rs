@@ -1,0 +1,169 @@
+//! Machine-readable perf harness for the serving path.
+//!
+//! Spawns the fully wired `redeval serve` stack on a loopback ephemeral
+//! port, opens **one** keep-alive connection and measures `POST
+//! /v1/eval` round trips two ways:
+//!
+//! 1. **cold** — every request names a distinct document (a mutated
+//!    description changes the canonical bytes, hence the cache key), so
+//!    each one runs the full design × policy evaluation;
+//! 2. **cached** — the same document repeatedly, served from the
+//!    content-addressed result cache.
+//!
+//! Asserts the cached bytes equal the cold bytes for the same document
+//! (the serving contract), cross-checks the hit/miss counters via
+//! `/v1/stats`, and writes `BENCH_serve.json` (requests/sec cold vs
+//! cached, single connection, loopback) for the bench trajectory.
+//!
+//! Usage: `serve_bench [--smoke]` — `--smoke` shrinks the request
+//! counts for CI and writes `BENCH_serve_smoke.json` so the committed
+//! full record stays intact.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use redeval::scenario::builtin;
+use redeval_bench::{header, serve};
+use redeval_server::Server;
+
+/// A minimally parsed response: status, cache disposition, body.
+struct Reply {
+    status: u16,
+    cache: Option<String>,
+    body: Vec<u8>,
+}
+
+/// Sends one request on the persistent connection and reads the reply.
+fn roundtrip(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Reply {
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("request sent");
+    stream.flush().expect("request flushed");
+
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    let status: u16 = line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line {line:?}"));
+    let mut content_length = 0usize;
+    let mut cache = None;
+    loop {
+        let mut header_line = String::new();
+        reader.read_line(&mut header_line).expect("header line");
+        let header_line = header_line.trim_end();
+        if header_line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header_line.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().expect("numeric content length");
+            } else if name.eq_ignore_ascii_case("x-redeval-cache") {
+                cache = Some(value.to_string());
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body read");
+    Reply {
+        status,
+        cache,
+        body,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (cold_n, cached_n, threads) = if smoke { (3, 100, 2) } else { (10, 1000, 4) };
+
+    let server =
+        Server::bind("127.0.0.1:0", serve::service(threads, 64 << 20), 2).expect("loopback bind");
+    let addr = server.local_addr().expect("bound address");
+    let handle = server.spawn().expect("acceptors start");
+    header(&format!(
+        "serve bench: {cold_n} cold + {cached_n} cached POST /v1/eval on one connection \
+         (http://{addr}, {threads} pool workers)"
+    ));
+
+    let mut stream = TcpStream::connect(addr).expect("loopback connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("stream clone"));
+
+    let base = builtin::paper_case_study();
+
+    // Cold: distinct canonical documents, every request computes.
+    let t0 = Instant::now();
+    for i in 0..cold_n {
+        let mut doc = base.clone();
+        doc.description = format!("{} [serve_bench cold {i}]", doc.description);
+        let reply = roundtrip(&mut stream, &mut reader, "POST", "/v1/eval", &doc.to_json());
+        assert_eq!(reply.status, 200, "cold request {i} failed");
+        assert_eq!(reply.cache.as_deref(), Some("miss"), "cold request {i} hit");
+    }
+    let cold_secs = t0.elapsed().as_secs_f64();
+    let cold_rps = f64::from(cold_n) / cold_secs;
+    println!("cold   {cold_n:>6} requests   {cold_secs:>8.3} s   {cold_rps:>10.1} req/s");
+
+    // Cached: one more distinct document, then repeats of it.
+    let mut doc = base.clone();
+    doc.description = format!("{} [serve_bench cached]", doc.description);
+    let body = doc.to_json();
+    let first = roundtrip(&mut stream, &mut reader, "POST", "/v1/eval", &body);
+    assert_eq!(first.status, 200);
+    assert_eq!(first.cache.as_deref(), Some("miss"));
+    let t0 = Instant::now();
+    for i in 0..cached_n {
+        let reply = roundtrip(&mut stream, &mut reader, "POST", "/v1/eval", &body);
+        assert_eq!(reply.status, 200, "cached request {i} failed");
+        assert_eq!(
+            reply.cache.as_deref(),
+            Some("hit"),
+            "cached request {i} missed"
+        );
+        assert_eq!(reply.body, first.body, "cache hit diverged from recompute");
+    }
+    let cached_secs = t0.elapsed().as_secs_f64();
+    let cached_rps = f64::from(cached_n) / cached_secs;
+    println!("cached {cached_n:>6} requests   {cached_secs:>8.3} s   {cached_rps:>10.1} req/s");
+
+    // Cross-check the counters the smoke job asserts on.
+    let stats = roundtrip(&mut stream, &mut reader, "GET", "/v1/stats", "");
+    let stats_text = String::from_utf8(stats.body).expect("stats is UTF-8");
+    let expect_hits = format!("\"cache_hits\": {cached_n}");
+    assert!(
+        stats_text.contains(&expect_hits),
+        "stats disagree: wanted {expect_hits} in {stats_text}"
+    );
+
+    let speedup = cached_rps / cold_rps;
+    println!();
+    println!("cache speedup            {speedup:>8.1}×");
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"connection\": \"single keep-alive, loopback\",\n  \
+         \"pool_threads\": {threads},\n  \"cold_requests\": {cold_n},\n  \
+         \"cold_secs\": {cold_secs:.3},\n  \"cold_requests_per_sec\": {cold_rps:.1},\n  \
+         \"cached_requests\": {cached_n},\n  \"cached_secs\": {cached_secs:.3},\n  \
+         \"cached_requests_per_sec\": {cached_rps:.1},\n  \"cache_speedup\": {speedup:.1},\n  \
+         \"hit_bytes_identical\": true\n}}\n"
+    );
+    let path = if smoke {
+        "BENCH_serve_smoke.json"
+    } else {
+        "BENCH_serve.json"
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("{path} written: {e}"));
+    println!("wrote {path}");
+    handle.stop();
+}

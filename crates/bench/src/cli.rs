@@ -62,9 +62,17 @@ COMMANDS:
     scenario validate FILE...
                          parse + validate scenario files (exit 1 on failure)
 
+    serve [--addr A] [--threads N] [--cache-cap BYTES]
+                         run the HTTP evaluation server (DESIGN.md §9):
+                         POST /v1/eval, POST /v1/sweep, GET /v1/scenarios,
+                         GET /v1/reports, GET /v1/stats, GET /healthz
+
 OPTIONS:
     --format <FMT>       text (default), json, or csv
     --out <DIR>          write DIR/<name>.<ext> instead of stdout
+    --addr <A>           serve: listen address (default 127.0.0.1:7878)
+    --threads <N>        serve: worker-pool size (default: all cores)
+    --cache-cap <BYTES>  serve: result-cache budget (default 67108864)
     -h, --help           this text
 
 EXIT CODES: 0 ok; 1 a consistency/validation check failed; 2 usage error.
@@ -131,6 +139,15 @@ enum Cmd {
         /// Overrides the file's policy list when present.
         policy: Option<PatchPolicy>,
     },
+    /// Run the HTTP evaluation server.
+    Serve {
+        /// Listen address.
+        addr: String,
+        /// Worker-pool size.
+        threads: usize,
+        /// Result-cache byte budget.
+        cache_cap: usize,
+    },
 }
 
 /// A parsed command line.
@@ -151,8 +168,43 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
     let mut help = false;
     let mut scenario_file: Option<String> = None;
     let mut policy: Option<PatchPolicy> = None;
+    let mut addr: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut cache_cap: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = Some(args.get(i).ok_or("--addr needs an address")?.clone());
+                i += 1;
+                continue;
+            }
+            "--threads" => {
+                i += 1;
+                let v = args.get(i).ok_or("--threads needs a count")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--threads: `{v}` is not a number"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                threads = Some(n);
+                i += 1;
+                continue;
+            }
+            "--cache-cap" => {
+                i += 1;
+                let v = args.get(i).ok_or("--cache-cap needs a byte count")?;
+                cache_cap = Some(
+                    v.parse()
+                        .map_err(|_| format!("--cache-cap: `{v}` is not a byte count"))?,
+                );
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
         match args[i].as_str() {
             "--format" => {
                 i += 1;
@@ -196,6 +248,11 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
                  (e.g. `redeval eval --scenario mine.json`)"
                 .to_string());
         }
+        if addr.is_some() || threads.is_some() || cache_cap.is_some() {
+            return Err("`--addr`/`--threads`/`--cache-cap` belong to the `serve` \
+                 command (e.g. `redeval serve --addr 127.0.0.1:7878`)"
+                .to_string());
+        }
         if explicit_format || out.is_some() {
             return Err("`--format`/`--out` need a command to render".to_string());
         }
@@ -224,6 +281,12 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
             return Err("`--policy` belongs to `eval`".to_string());
         }
     }
+    if positional[0] != "serve" && (addr.is_some() || threads.is_some() || cache_cap.is_some()) {
+        return Err(format!(
+            "`--addr`/`--threads`/`--cache-cap` only apply to `serve`, not `{}`",
+            positional[0]
+        ));
+    }
 
     // Positionals the command consumes; anything beyond is an error.
     let mut consumed = 1;
@@ -250,6 +313,18 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
                 .take()
                 .ok_or("`eval` needs `--scenario <FILE>`")?;
             Cmd::Eval { file, policy }
+        }
+        "serve" => {
+            if explicit_format || out.is_some() {
+                return Err("`serve` speaks HTTP; it takes no --format/--out".to_string());
+            }
+            Cmd::Serve {
+                addr: addr
+                    .take()
+                    .unwrap_or_else(|| crate::serve::DEFAULT_ADDR.to_string()),
+                threads: threads.unwrap_or_else(redeval::exec::default_threads),
+                cache_cap: cache_cap.unwrap_or(crate::serve::DEFAULT_CACHE_CAP),
+            }
         }
         "scenario" => {
             let sub = positional
@@ -478,6 +553,36 @@ pub fn run(args: &[String]) -> i32 {
                 Err(code) => code,
             }
         }
+        Cmd::Serve {
+            addr,
+            threads,
+            cache_cap,
+        } => {
+            let service = crate::serve::service(*threads, *cache_cap);
+            let server = match redeval_server::Server::bind(addr.as_str(), service, *threads) {
+                Ok(server) => server,
+                Err(e) => {
+                    eprintln!("error: cannot bind {addr}: {e}");
+                    return 2;
+                }
+            };
+            if let Ok(local) = server.local_addr() {
+                eprintln!(
+                    "redeval serve: listening on http://{local} \
+                     ({threads} worker(s), cache cap {cache_cap} bytes)"
+                );
+            }
+            match server.spawn() {
+                Ok(handle) => {
+                    handle.wait();
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: cannot start acceptors: {e}");
+                    2
+                }
+            }
+        }
         Cmd::Reports(names) => {
             let mut all_ok = true;
             for name in names {
@@ -693,6 +798,68 @@ mod tests {
         .is_err());
         assert!(parse(&args(&["table", "2", "--scenario", "f.json"])).is_err());
         assert!(parse(&args(&["list", "--policy", "all"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_with_defaults_and_overrides() {
+        let inv = parse(&args(&["serve"])).unwrap();
+        assert_eq!(
+            inv.cmd,
+            Cmd::Serve {
+                addr: crate::serve::DEFAULT_ADDR.to_string(),
+                threads: redeval::exec::default_threads(),
+                cache_cap: crate::serve::DEFAULT_CACHE_CAP,
+            }
+        );
+        let inv = parse(&args(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:9000",
+            "--threads",
+            "3",
+            "--cache-cap",
+            "1048576",
+        ]))
+        .unwrap();
+        assert_eq!(
+            inv.cmd,
+            Cmd::Serve {
+                addr: "0.0.0.0:9000".into(),
+                threads: 3,
+                cache_cap: 1_048_576,
+            }
+        );
+        // Usage errors: bad numbers, misplaced flags, stray output flags.
+        assert!(parse(&args(&["serve", "--threads", "0"])).is_err());
+        assert!(parse(&args(&["serve", "--threads", "many"])).is_err());
+        assert!(parse(&args(&["serve", "--cache-cap", "big"])).is_err());
+        assert!(parse(&args(&["serve", "--format", "json"])).is_err());
+        assert!(parse(&args(&["serve", "--out", "/tmp/x"])).is_err());
+        assert!(parse(&args(&["table", "2", "--addr", "x"])).is_err());
+        assert!(parse(&args(&["--addr", "127.0.0.1:1"])).is_err());
+        assert!(parse(&args(&["serve", "extra"])).is_err());
+    }
+
+    #[test]
+    fn out_dir_is_created_with_parents() {
+        // `--out DIR` must create DIR (including parents) rather than
+        // erroring when it does not exist yet.
+        let root = std::env::temp_dir().join(format!("redeval-cli-out-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let nested = root.join("deep/nested/dir");
+        assert!(!nested.exists());
+        emit_text("payload\n", "report", "txt", Some(nested.to_str().unwrap())).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(nested.join("report.txt")).unwrap(),
+            "payload\n"
+        );
+        // Re-emitting into the now-existing directory keeps working.
+        emit_text("again\n", "report", "txt", Some(nested.to_str().unwrap())).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(nested.join("report.txt")).unwrap(),
+            "again\n"
+        );
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use redeval::{DesignEvaluation, PatchPolicy};
 
 pub mod cli;
 pub mod reports;
+pub mod serve;
 
 /// The CVSS base-score thresholds swept by the criticality reports
 /// (8.0 is the paper's policy; 0.0 patches everything scored).

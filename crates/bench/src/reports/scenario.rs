@@ -1,19 +1,46 @@
-//! Report builders for the declarative scenario gallery.
+//! Report builders for the declarative scenario gallery and the serving
+//! path.
 //!
 //! [`scenario_suite`] is the registry entry: every bundled scenario
 //! evaluated end-to-end (designs × policies on the batch engine), pinned
 //! in the golden corpus like any other report. [`eval_report`] is the
 //! same evaluation for a *single* document — the engine behind
-//! `redeval eval --scenario FILE`, so user files and bundled scenarios
-//! flow through identical code.
+//! `redeval eval --scenario FILE` — and [`sweep_report`] layers grid
+//! axes (patch windows, policy lists, full design spaces) over a
+//! document for `POST /v1/sweep`. The `_on` variants run the identical
+//! computation on a shared [`Pool`] + [`AnalysisCache`] instead of
+//! per-call scoped threads: that is what `redeval serve` wires in, and
+//! the engine's bitwise-determinism guarantee (DESIGN.md §5) is what
+//! makes the served bytes equal the CLI's.
 
-use redeval::exec::Sweep;
+use std::sync::Arc;
+
+use redeval::exec::{AnalysisCache, Pool, Sweep};
 use redeval::output::{Report, Table, Value};
 use redeval::scenario::{builtin, ScenarioDoc};
-use redeval::EvalError;
+use redeval::{DesignEvaluation, EvalError, ScenarioError};
+use redeval_server::SweepRequest;
 
-/// The design × policy evaluation table of one scenario document.
-fn evaluation_table(name: &str, doc: &ScenarioDoc) -> Result<Table, EvalError> {
+/// Largest design × policy × window grid one `/v1/sweep` request may
+/// ask for; beyond it the request is rejected as a schema violation
+/// rather than monopolizing the server.
+pub const MAX_SWEEP_GRID: usize = 10_000;
+
+/// How the grid is executed: per-call scoped threads (the CLI default)
+/// or a shared, reusable pool + solve cache (the serving path).
+type ExecOn<'a> = Option<(&'a Pool, &'a Arc<AnalysisCache>)>;
+
+/// Runs a sweep grid on the chosen execution substrate. Both paths are
+/// bitwise-identical by the engine contract.
+fn run_grid(sweep: &Sweep, exec: ExecOn<'_>) -> Result<Vec<DesignEvaluation>, EvalError> {
+    match exec {
+        None => sweep.run(),
+        Some((pool, cache)) => sweep.clone().share_cache(cache).build().run_on(pool),
+    }
+}
+
+/// The standard design × policy evaluation table over computed results.
+fn eval_table_from(name: &str, evals: &[DesignEvaluation]) -> Table {
     let mut t = Table::new(
         name,
         [
@@ -28,7 +55,7 @@ fn evaluation_table(name: &str, doc: &ScenarioDoc) -> Result<Table, EvalError> {
             "availability",
         ],
     );
-    for e in Sweep::from_scenario(doc)?.run()? {
+    for e in evals {
         t.add_row(vec![
             Value::from(e.name.as_str()),
             Value::from(e.before.attack_success_probability),
@@ -41,7 +68,13 @@ fn evaluation_table(name: &str, doc: &ScenarioDoc) -> Result<Table, EvalError> {
             Value::from(e.availability),
         ]);
     }
-    Ok(t)
+    t
+}
+
+/// The design × policy evaluation table of one scenario document.
+fn evaluation_table(name: &str, doc: &ScenarioDoc, exec: ExecOn<'_>) -> Result<Table, EvalError> {
+    let evals = run_grid(&Sweep::from_scenario(doc)?, exec)?;
+    Ok(eval_table_from(name, &evals))
 }
 
 /// The tier-topology table of one scenario document.
@@ -77,6 +110,24 @@ fn topology_table(name: &str, doc: &ScenarioDoc) -> Table {
 ///
 /// Propagates scenario validation and solver errors.
 pub fn eval_report(doc: &ScenarioDoc) -> Result<Report, EvalError> {
+    eval_report_impl(doc, None)
+}
+
+/// [`eval_report`] on a shared pool and solve cache — the
+/// `POST /v1/eval` engine. Byte-identical output to [`eval_report`].
+///
+/// # Errors
+///
+/// Propagates scenario validation and solver errors.
+pub fn eval_report_on(
+    doc: &ScenarioDoc,
+    pool: &Pool,
+    cache: &Arc<AnalysisCache>,
+) -> Result<Report, EvalError> {
+    eval_report_impl(doc, Some((pool, cache)))
+}
+
+fn eval_report_impl(doc: &ScenarioDoc, exec: ExecOn<'_>) -> Result<Report, EvalError> {
     let mut r = Report::new(
         format!("eval_{}", doc.name),
         format!("Scenario evaluation — {}", doc.title),
@@ -97,7 +148,109 @@ pub fn eval_report(doc: &ScenarioDoc) -> Result<Report, EvalError> {
         ("policies", Value::from(policies.join("; "))),
     ]);
     r.table(topology_table("topology", doc));
-    r.table(evaluation_table("evaluations", doc)?);
+    r.table(evaluation_table("evaluations", doc, exec)?);
+    Ok(r)
+}
+
+/// Evaluates a sweep request — a scenario document plus optional grid
+/// axes — into a report named `sweep_<scenario>`. Axis semantics:
+/// `max_redundancy` replaces the document's designs with the full
+/// per-tier design space, `policies` overrides its policy list, and
+/// `patch_windows_days` adds patch-interval variants of every tier.
+///
+/// # Errors
+///
+/// Scenario validation and solver errors, plus a schema violation when
+/// the grid would exceed [`MAX_SWEEP_GRID`] points.
+pub fn sweep_report(req: &SweepRequest) -> Result<Report, EvalError> {
+    sweep_report_impl(req, None)
+}
+
+/// [`sweep_report`] on a shared pool and solve cache — the
+/// `POST /v1/sweep` engine.
+///
+/// # Errors
+///
+/// As [`sweep_report`].
+pub fn sweep_report_on(
+    req: &SweepRequest,
+    pool: &Pool,
+    cache: &Arc<AnalysisCache>,
+) -> Result<Report, EvalError> {
+    sweep_report_impl(req, Some((pool, cache)))
+}
+
+fn sweep_report_impl(req: &SweepRequest, exec: ExecOn<'_>) -> Result<Report, EvalError> {
+    let doc = &req.doc;
+    let too_large = |grid: u128| {
+        EvalError::Scenario(ScenarioError::Invalid {
+            at: "request".to_string(),
+            message: format!("grid of {grid} scenarios exceeds the limit of {MAX_SWEEP_GRID}"),
+        })
+    };
+    // Bound the grid arithmetically BEFORE materializing anything:
+    // `full_design_space` eagerly enumerates max_redundancy^tiers
+    // designs, so a many-tier document must be rejected by this product,
+    // not by an allocation attempt.
+    let designs: u128 = match req.max_redundancy {
+        Some(m) => {
+            let per_tier = u128::from(m);
+            let mut total: u128 = 1;
+            for _ in 0..doc.tiers.len() {
+                total = total.saturating_mul(per_tier);
+            }
+            total
+        }
+        None => doc.designs.len() as u128,
+    };
+    let policies_len = req.policies.as_ref().map_or(doc.policies.len(), Vec::len) as u128;
+    let windows_len = req.patch_windows_days.as_ref().map_or(1, Vec::len) as u128;
+    let projected = designs
+        .saturating_mul(policies_len)
+        .saturating_mul(windows_len);
+    if projected > MAX_SWEEP_GRID as u128 {
+        return Err(too_large(projected));
+    }
+
+    let mut sweep = Sweep::from_scenario(doc)?;
+    if let Some(max_redundancy) = req.max_redundancy {
+        sweep = sweep.full_design_space(max_redundancy);
+    }
+    if let Some(policies) = &req.policies {
+        sweep = sweep.policies(policies.clone());
+    }
+    if let Some(days) = &req.patch_windows_days {
+        sweep = sweep.patch_intervals_days(days);
+    }
+    let grid = sweep.len();
+    if grid > MAX_SWEEP_GRID {
+        return Err(too_large(grid as u128));
+    }
+    let evals = run_grid(&sweep, exec)?;
+    let mut r = Report::new(
+        format!("sweep_{}", doc.name),
+        format!("Scenario sweep — {}", doc.title),
+    );
+    r.keys([
+        ("scenario", Value::from(doc.name.as_str())),
+        ("grid", Value::from(grid)),
+        (
+            "patch_windows_days",
+            Value::from(req.patch_windows_days.as_ref().map_or(0, Vec::len)),
+        ),
+        (
+            "policies",
+            Value::from(req.policies.as_ref().map_or(doc.policies.len(), Vec::len)),
+        ),
+        (
+            "max_redundancy",
+            match req.max_redundancy {
+                Some(m) => Value::from(m),
+                None => Value::Null,
+            },
+        ),
+    ]);
+    r.table(eval_table_from("evaluations", &evals));
     Ok(r)
 }
 
@@ -130,7 +283,7 @@ pub fn scenario_suite() -> Report {
         // pins is the *file* semantics, not the in-memory constructors.
         let doc = ScenarioDoc::from_json(&doc.to_json()).expect("builtin round-trips");
         r.check(doc.validate().is_ok());
-        r.table(evaluation_table(s.name, &doc).expect("builtin evaluates"));
+        r.table(evaluation_table(s.name, &doc, None).expect("builtin evaluates"));
     }
     r.note(
         "every table is produced by Sweep::from_scenario over the canonical \
@@ -163,5 +316,101 @@ mod tests {
         // 3 designs × 2 policies.
         let json = r.to_json();
         assert!(json.contains("\"designs\": 3"));
+    }
+
+    #[test]
+    fn pooled_eval_report_is_byte_identical() {
+        let pool = Pool::new(2);
+        let cache = Arc::new(AnalysisCache::new());
+        let doc = builtin::paper_case_study();
+        let scoped = eval_report(&doc).unwrap().to_json();
+        let pooled = eval_report_on(&doc, &pool, &cache).unwrap().to_json();
+        assert_eq!(scoped, pooled);
+        // The shared solve cache actually served the tier solves.
+        assert!(cache.solves() > 0);
+        // A second pooled run re-solves nothing.
+        let solves = cache.solves();
+        eval_report_on(&doc, &pool, &cache).unwrap();
+        assert_eq!(cache.solves(), solves);
+    }
+
+    #[test]
+    fn sweep_report_layers_axes_over_the_document() {
+        let req = SweepRequest {
+            doc: builtin::paper_case_study(),
+            patch_windows_days: Some(vec![7.0, 30.0]),
+            policies: Some(vec![redeval::PatchPolicy::None, redeval::PatchPolicy::All]),
+            max_redundancy: None,
+        };
+        let r = sweep_report(&req).unwrap();
+        assert_eq!(r.name, "sweep_paper_case_study");
+        let json = r.to_json();
+        // 2 windows × 5 designs × 2 policies.
+        assert!(json.contains("\"grid\": 20"), "{json}");
+        // Pooled execution, identical bytes.
+        let pool = Pool::new(3);
+        let cache = Arc::new(AnalysisCache::new());
+        assert_eq!(
+            sweep_report_on(&req, &pool, &cache).unwrap().to_json(),
+            json
+        );
+    }
+
+    #[test]
+    fn oversized_sweep_grids_are_rejected_upfront() {
+        let req = SweepRequest {
+            doc: builtin::paper_case_study(),
+            patch_windows_days: Some((1..=31).map(f64::from).collect()),
+            policies: Some(
+                (0..31)
+                    .map(|i| redeval::PatchPolicy::CriticalOnly(f64::from(i) / 4.0))
+                    .collect(),
+            ),
+            max_redundancy: Some(6), // 31 × 6^4 × 31 ≫ the limit
+        };
+        let e = sweep_report(&req).unwrap_err();
+        assert!(e.to_string().contains("exceeds the limit"), "{e}");
+    }
+
+    #[test]
+    fn astronomic_design_spaces_are_rejected_without_materializing() {
+        // 8^16 designs must be rejected by arithmetic, not by an
+        // allocation attempt — this test would OOM (not merely fail) if
+        // full_design_space ran first.
+        use redeval::scenario::{TierDef, TreeDef, VulnDef, VulnSource};
+        use redeval::ServerParams;
+        let mut doc = redeval::scenario::ScenarioDoc::new("wide", "Sixteen tiny tiers");
+        doc.vulnerabilities = vec![VulnDef {
+            id: "v".into(),
+            cve: None,
+            source: VulnSource::Explicit {
+                impact: 5.0,
+                probability: 0.5,
+                base_score: None,
+            },
+        }];
+        doc.trees = vec![("t".into(), TreeDef::Vuln("v".into()))];
+        for i in 0..16 {
+            doc.tiers.push(TierDef {
+                name: format!("t{i}"),
+                count: 1,
+                params: ServerParams::builder(format!("t{i}")).build(),
+                tree: Some("t".into()),
+                entry: i == 0,
+                target: i == 15,
+            });
+            if i > 0 {
+                doc.edges.push((format!("t{}", i - 1), format!("t{i}")));
+            }
+        }
+        doc.designs = vec![doc.base_design()];
+        let req = SweepRequest {
+            doc,
+            patch_windows_days: None,
+            policies: None,
+            max_redundancy: Some(8),
+        };
+        let e = sweep_report(&req).unwrap_err();
+        assert!(e.to_string().contains("exceeds the limit"), "{e}");
     }
 }

@@ -1,0 +1,86 @@
+//! Wiring for `redeval serve`: the report registry and batch engine
+//! plugged into `redeval-server`'s endpoint slots.
+//!
+//! The server crate owns the wire (HTTP parsing, the result cache, the
+//! routing contract); this module owns *what the endpoints mean*:
+//!
+//! * `POST /v1/eval` → [`reports::scenario::eval_report_on`] — the same
+//!   builder behind `redeval eval --scenario FILE`, so a served response
+//!   is byte-identical to the CLI's `--format json` output;
+//! * `POST /v1/sweep` → [`reports::scenario::sweep_report_on`];
+//! * `GET /v1/scenarios` → [`cli::scenario_list_report`];
+//! * `GET /v1/reports` → [`cli::list_report`].
+//!
+//! Both evaluation endpoints share one [`Pool`] (spawned once, reused
+//! for every request) and one [`AnalysisCache`] (tier solves survive
+//! across requests), so a warm server only pays for what a request
+//! actually changes.
+
+use std::sync::Arc;
+
+use redeval::exec::{AnalysisCache, Pool};
+use redeval_server::{Endpoints, Limits, Service, ServiceConfig};
+
+use crate::{cli, reports};
+
+/// Default listen address of `redeval serve`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7878";
+
+/// Default result-cache budget (64 MiB of serialized responses).
+pub const DEFAULT_CACHE_CAP: usize = 64 * 1024 * 1024;
+
+/// Builds the fully wired service: `threads` pool workers for the
+/// evaluation grids and a result cache capped at `cache_capacity`
+/// bytes.
+pub fn service(threads: usize, cache_capacity: usize) -> Service {
+    let pool = Arc::new(Pool::new(threads));
+    let cache = Arc::new(AnalysisCache::new());
+    let (eval_pool, eval_cache) = (Arc::clone(&pool), Arc::clone(&cache));
+    let endpoints = Endpoints {
+        eval: Box::new(move |doc| reports::scenario::eval_report_on(doc, &eval_pool, &eval_cache)),
+        sweep: Box::new(move |req| reports::scenario::sweep_report_on(req, &pool, &cache)),
+        scenarios: Box::new(cli::scenario_list_report),
+        reports: Box::new(cli::list_report),
+    };
+    Service::new(
+        endpoints,
+        ServiceConfig {
+            cache_capacity,
+            limits: Limits::default(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redeval::scenario::builtin;
+    use redeval_server::{Request, CACHE_HEADER};
+
+    #[test]
+    fn wired_service_serves_the_cli_bytes_and_caches() {
+        let svc = service(2, 1 << 20);
+        let doc = builtin::paper_case_study();
+        let body = doc.to_json();
+        let first = svc.handle(&Request::synthetic("POST", "/v1/eval", body.as_bytes()));
+        assert_eq!(first.status, 200);
+        // The serving path and the CLI path are the same builder.
+        let cli_bytes = reports::scenario::eval_report(&doc).unwrap().to_json();
+        assert_eq!(String::from_utf8(first.body.clone()).unwrap(), cli_bytes);
+        // Second request: cache hit, identical bytes.
+        let second = svc.handle(&Request::synthetic("POST", "/v1/eval", body.as_bytes()));
+        assert!(second.extra_headers.contains(&(CACHE_HEADER, "hit".into())));
+        assert_eq!(first.body, second.body);
+    }
+
+    #[test]
+    fn wired_listings_expose_the_registries() {
+        let svc = service(1, 1 << 20);
+        let scenarios = svc.handle(&Request::synthetic("GET", "/v1/scenarios", b""));
+        let text = String::from_utf8(scenarios.body).unwrap();
+        assert!(text.contains("paper_case_study") && text.contains("ecommerce"));
+        let reports_resp = svc.handle(&Request::synthetic("GET", "/v1/reports", b""));
+        let text = String::from_utf8(reports_resp.body).unwrap();
+        assert!(text.contains("table2") && text.contains("scenario_suite"));
+    }
+}

@@ -48,11 +48,14 @@ pub struct ParsePolicyError {
 
 impl std::fmt::Display for ParsePolicyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The rejected spelling may come straight off the wire (scenario
+        // files, `/v1/sweep` bodies), so the echo is snippet-capped: a
+        // kilobyte of junk must never bounce back whole.
         write!(
             f,
             "unknown patch policy `{}` (expected `none`, `all` or `critical>T` \
              with a CVSS threshold T)",
-            self.input
+            crate::output::snippet(&self.input)
         )
     }
 }
@@ -378,6 +381,11 @@ mod tests {
         }
         let msg = "bogus".parse::<PatchPolicy>().unwrap_err().to_string();
         assert!(msg.contains("bogus") && msg.contains("critical>T"));
+        // Wire-sized junk is snippet-capped, never echoed whole.
+        let huge = "z".repeat(100_000);
+        let msg = huge.parse::<PatchPolicy>().unwrap_err().to_string();
+        assert!(msg.len() < 300, "echoed {} bytes", msg.len());
+        assert!(!msg.contains(&huge[..100]));
     }
 
     #[test]

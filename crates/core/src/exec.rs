@@ -51,9 +51,9 @@
 //! # }
 //! ```
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use redeval_avail::{Durations, ServerAnalysis, ServerParams};
 use redeval_harm::MetricsConfig;
@@ -130,6 +130,234 @@ where
         .into_iter()
         .map(|s| s.expect("every job index assigned exactly once"))
         .collect()
+}
+
+/// A queued unit of [`Pool`] work.
+type PoolTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// What the pool workers share: the task queue and shutdown flag.
+#[derive(Default)]
+struct PoolShared {
+    queue: Mutex<VecDeque<PoolTask>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// Per-batch bookkeeping for [`Pool::run_batch`]: the job counter, the
+/// result slots and the helper-completion latch.
+struct BatchState<T> {
+    next: AtomicUsize,
+    jobs: usize,
+    slots: Mutex<Vec<Option<T>>>,
+    finished_helpers: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl<T: Send> BatchState<T> {
+    fn new(jobs: usize) -> Self {
+        BatchState {
+            next: AtomicUsize::new(0),
+            jobs,
+            slots: Mutex::new((0..jobs).map(|_| None).collect()),
+            finished_helpers: Mutex::new(0),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Claims and runs jobs until the counter is exhausted. A panicking
+    /// job stops further claims and parks its payload for the caller.
+    fn work(&self, job: &(dyn Fn(usize) -> T + Sync)) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.jobs {
+                return;
+            }
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(i))) {
+                Ok(value) => self.slots.lock().expect("batch slots lock")[i] = Some(value),
+                Err(payload) => {
+                    *self.panic.lock().expect("batch panic lock") = Some(payload);
+                    self.next.store(self.jobs, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn helper_finished(&self) {
+        *self.finished_helpers.lock().expect("batch latch lock") += 1;
+        self.done.notify_all();
+    }
+
+    /// Blocks until every helper task has checked in. While waiting, the
+    /// caller drains the pool's task queue inline: with few workers (or a
+    /// batch submitted from inside a pool job) a helper task might never
+    /// be popped by anyone else, and running queued tasks here instead of
+    /// sleeping makes that situation impossible to deadlock on.
+    fn wait_for_helpers(&self, pool: &PoolShared, helpers: usize) {
+        loop {
+            {
+                let finished = self.finished_helpers.lock().expect("batch latch lock");
+                if *finished >= helpers {
+                    return;
+                }
+            }
+            let task = pool.queue.lock().expect("pool queue lock").pop_front();
+            match task {
+                Some(task) => task(),
+                None => {
+                    // Queue empty ⇒ every helper of this batch has been
+                    // popped and is running; its completion will notify.
+                    // Re-check under the lock so a check-in between the
+                    // pop and this wait cannot be missed.
+                    let finished = self.finished_helpers.lock().expect("batch latch lock");
+                    if *finished >= helpers {
+                        return;
+                    }
+                    drop(self.done.wait(finished).expect("batch latch wait"));
+                }
+            }
+        }
+    }
+}
+
+/// A reusable worker pool: threads spawned once, batches submitted many
+/// times — the execution substrate of long-running processes such as
+/// `redeval serve`, where per-request scoped-thread spawning would pay
+/// thread startup on every evaluation.
+///
+/// [`Pool::run_batch`] has the same contract as the free [`run_batch`]:
+/// results in job order, automatic balancing via a shared counter, and
+/// panics propagated to the caller. The differences are lifetime-shaped:
+/// pool jobs must be `'static` (workers outlive the call), and the
+/// calling thread participates in the batch, so a pool is never idle
+/// while its submitter spins.
+///
+/// Dropping the pool joins every worker; tasks already queued finish
+/// first.
+///
+/// # Examples
+///
+/// ```
+/// use redeval::exec::Pool;
+///
+/// let pool = Pool::new(4);
+/// let squares = pool.run_batch(5, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// // The same workers serve the next batch — no respawn.
+/// assert_eq!(pool.run_batch(3, |i| i + 1), vec![1, 2, 3]);
+/// ```
+#[derive(Debug)]
+pub struct Pool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for PoolShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolShared").finish_non_exhaustive()
+    }
+}
+
+impl Pool {
+    /// A pool with `threads` persistent workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(PoolShared::default());
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("redeval-pool-{i}"))
+                    .spawn(move || loop {
+                        let task = {
+                            let mut queue = shared.queue.lock().expect("pool queue lock");
+                            loop {
+                                if let Some(task) = queue.pop_front() {
+                                    break task;
+                                }
+                                if shared.shutdown.load(Ordering::Acquire) {
+                                    return;
+                                }
+                                queue = shared.ready.wait(queue).expect("pool queue wait");
+                            }
+                        };
+                        task();
+                    })
+                    .expect("pool worker spawns")
+            })
+            .collect();
+        Pool { shared, workers }
+    }
+
+    /// The number of persistent workers.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `jobs` independent jobs across the pool (the calling thread
+    /// helps) and returns the results **in job order** — the reusable
+    /// counterpart of the free [`run_batch`].
+    ///
+    /// Concurrent `run_batch` calls interleave safely: each batch claims
+    /// its own job indices, workers drain whatever batch is queued.
+    /// Calling it from *inside* a pool job is safe too (the submitting
+    /// job works the batch itself even if every worker is busy), though
+    /// nested batches share the same workers rather than growing them.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `job`.
+    pub fn run_batch<T, F>(&self, jobs: usize, job: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(usize) -> T + Send + Sync + 'static,
+    {
+        if jobs == 0 {
+            return Vec::new();
+        }
+        let job: Arc<F> = Arc::new(job);
+        let state = Arc::new(BatchState::new(jobs));
+        // The caller takes one share of the work, so only `jobs - 1`
+        // helpers can ever be useful.
+        let helpers = self.workers.len().min(jobs - 1);
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue lock");
+            for _ in 0..helpers {
+                let job = Arc::clone(&job);
+                let state = Arc::clone(&state);
+                queue.push_back(Box::new(move || {
+                    state.work(&*job);
+                    state.helper_finished();
+                }));
+            }
+        }
+        for _ in 0..helpers {
+            self.shared.ready.notify_one();
+        }
+        state.work(&*job);
+        state.wait_for_helpers(&self.shared, helpers);
+        if let Some(payload) = state.panic.lock().expect("batch panic lock").take() {
+            std::panic::resume_unwind(payload);
+        }
+        let mut slots = state.slots.lock().expect("batch slots lock");
+        slots
+            .drain(..)
+            .map(|s| s.expect("every job index assigned exactly once"))
+            .collect()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.ready.notify_all();
+        for worker in self.workers.drain(..) {
+            // A panic inside a *task* is contained by run_batch; a worker
+            // itself only dies if the pool's own bookkeeping panicked.
+            let _ = worker.join();
+        }
+    }
 }
 
 /// Cache key: a server's name plus the bit patterns of all thirteen
@@ -399,9 +627,36 @@ impl Experiment {
     ///
     /// Returns the error of the earliest failing scenario (grid order).
     pub fn run(&self) -> Result<Vec<DesignEvaluation>, EvalError> {
-        // Group scenarios that share spec identity, counts and metric
-        // configuration. Spec identity is Arc pointer identity: distinct
-        // Arcs with equal contents simply form separate groups.
+        let cells = self.cells();
+        let cell_results = run_batch(cells.len(), self.threads, |ci| {
+            evaluate_cell(&self.scenarios, &cells[ci], &self.cache)
+        });
+        Self::collect(&cells, cell_results, self.scenarios.len())
+    }
+
+    /// [`run`](Self::run), but dispatched on a reusable [`Pool`] instead
+    /// of per-call scoped threads — the serving path, where one pool
+    /// outlives many requests. Results are bitwise-identical to
+    /// [`run`](Self::run) for any pool size.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the earliest failing scenario (grid order).
+    pub fn run_on(&self, pool: &Pool) -> Result<Vec<DesignEvaluation>, EvalError> {
+        let cells = Arc::new(self.cells());
+        let scenarios = Arc::new(self.scenarios.clone());
+        let cache = Arc::clone(&self.cache);
+        let job_cells = Arc::clone(&cells);
+        let cell_results = pool.run_batch(cells.len(), move |ci| {
+            evaluate_cell(&scenarios, &job_cells[ci], &cache)
+        });
+        Self::collect(&cells, cell_results, self.scenarios.len())
+    }
+
+    /// Groups scenarios that share spec identity, counts and metric
+    /// configuration. Spec identity is Arc pointer identity: distinct
+    /// Arcs with equal contents simply form separate groups.
+    fn cells(&self) -> Vec<Vec<usize>> {
         let mut cells: Vec<Vec<usize>> = Vec::new();
         let mut by_key: HashMap<(usize, &[u32]), Vec<usize>> = HashMap::new();
         for (i, sc) in self.scenarios.iter().enumerate() {
@@ -418,13 +673,17 @@ impl Experiment {
                 }
             }
         }
+        cells
+    }
 
-        let cell_results = run_batch(cells.len(), self.threads, |ci| {
-            evaluate_cell(&self.scenarios, &cells[ci], &self.cache)
-        });
-
-        let mut out: Vec<Option<DesignEvaluation>> =
-            (0..self.scenarios.len()).map(|_| None).collect();
+    /// Scatters per-cell results back to scenario order, reporting the
+    /// earliest error a sequential run would have hit.
+    fn collect(
+        cells: &[Vec<usize>],
+        cell_results: Vec<Result<Vec<DesignEvaluation>, EvalError>>,
+        scenarios: usize,
+    ) -> Result<Vec<DesignEvaluation>, EvalError> {
+        let mut out: Vec<Option<DesignEvaluation>> = (0..scenarios).map(|_| None).collect();
         let mut first_err: Option<EvalError> = None;
         let mut first_err_at = usize::MAX;
         for (members, result) in cells.iter().zip(cell_results) {
@@ -684,6 +943,77 @@ mod tests {
             assert_eq!(out, (0..17).map(|i| 3 * i).collect::<Vec<_>>());
         }
         assert!(run_batch(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn pool_reuses_workers_across_batches_and_orders_results() {
+        let pool = Pool::new(3);
+        assert_eq!(pool.threads(), 3);
+        for jobs in [0, 1, 2, 17, 64] {
+            let out = pool.run_batch(jobs, |i| 7 * i);
+            assert_eq!(out, (0..jobs).map(|i| 7 * i).collect::<Vec<_>>());
+        }
+        // Zero threads clamps to one worker instead of a dead pool.
+        assert_eq!(Pool::new(0).run_batch(4, |i| i), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pool_matches_scoped_run_batch() {
+        let pool = Pool::new(4);
+        let scoped = run_batch(23, 4, |i| i * i + 1);
+        assert_eq!(pool.run_batch(23, |i| i * i + 1), scoped);
+    }
+
+    #[test]
+    fn pool_survives_nested_batches_even_with_one_worker() {
+        // A pool job submitting a nested batch must not deadlock: the
+        // waiter drains the shared queue instead of sleeping on it.
+        let pool = Arc::new(Pool::new(1));
+        let inner = Arc::clone(&pool);
+        let out = pool.run_batch(3, move |i| inner.run_batch(2, move |j| i * 10 + j));
+        assert_eq!(out, vec![vec![0, 1], vec![10, 11], vec![20, 21]]);
+    }
+
+    #[test]
+    fn pool_propagates_job_panics() {
+        let pool = Pool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_batch(8, |i| {
+                assert!(i != 5, "job five exploded");
+                i
+            })
+        }));
+        assert!(result.is_err());
+        // The pool stays usable after a panicked batch.
+        assert_eq!(pool.run_batch(2, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn experiment_run_on_pool_is_bitwise_identical_to_run() {
+        let pool = Pool::new(4);
+        let sweep = Sweep::new(case_study::network())
+            .designs(case_study::five_designs())
+            .policies(vec![PatchPolicy::CriticalOnly(8.0), PatchPolicy::All]);
+        let exp = sweep.build();
+        let scoped = exp.run().unwrap();
+        let pooled = exp.run_on(&pool).unwrap();
+        assert_eq!(scoped, pooled);
+        for (a, b) in scoped.iter().zip(&pooled) {
+            assert_eq!(a.coa.to_bits(), b.coa.to_bits());
+            assert_eq!(a.availability.to_bits(), b.availability.to_bits());
+        }
+        // Errors surface identically too.
+        let spec = Arc::new(case_study::network());
+        let bad = Experiment::new(vec![Scenario::new(
+            "bad",
+            spec,
+            Design::new("bad", vec![1, 1]),
+            PatchPolicy::All,
+        )]);
+        assert!(matches!(
+            bad.run_on(&pool),
+            Err(EvalError::CountMismatch { .. })
+        ));
     }
 
     #[test]

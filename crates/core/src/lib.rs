@@ -73,7 +73,7 @@ mod spec;
 
 pub use error::{EvalError, SpecIssue};
 pub use evaluation::{DesignEvaluation, Evaluator, ParsePolicyError, PatchPolicy};
-pub use exec::{AnalysisCache, Experiment, Scenario, Sweep};
+pub use exec::{AnalysisCache, Experiment, Pool, Scenario, Sweep};
 pub use scenario::{ScenarioDoc, ScenarioError};
 pub use spec::{Design, NetworkSpec, TierSpec};
 

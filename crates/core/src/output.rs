@@ -97,6 +97,65 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+/// Longest run of characters [`snippet`] keeps from an untrusted string.
+pub const SNIPPET_MAX: usize = 48;
+
+/// Caps and sanitizes an untrusted string for embedding in an error
+/// message: at most [`SNIPPET_MAX`] characters (a trailing `…` marks the
+/// cut), with quotes, backslashes and control characters escaped.
+///
+/// Every error path that quotes user-supplied text back (scenario field
+/// values, JSON object keys, patch-policy spellings) must route it
+/// through here, so a hostile or oversized input — a megabyte request
+/// body, a key full of newlines — can never be echoed at full length or
+/// corrupt a log line / structured error body.
+///
+/// # Examples
+///
+/// ```
+/// use redeval::output::snippet;
+/// assert_eq!(snippet("ecommerce"), "ecommerce");
+/// assert_eq!(snippet("a\nb"), "a\\nb");
+/// assert_eq!(snippet(&"x".repeat(100)), format!("{}…", "x".repeat(48)));
+/// ```
+pub fn snippet(s: &str) -> String {
+    let mut kept: String = s.chars().take(SNIPPET_MAX).collect();
+    let truncated = s.chars().nth(SNIPPET_MAX).is_some();
+    kept = json_escape(&kept);
+    if truncated {
+        kept.push('…');
+    }
+    kept
+}
+
+/// The canonical byte string a content-addressed result cache hashes: a
+/// compact JSON object `{"kind": KIND, "params": PARAMS, "body": BODY}`
+/// where `params` renders through [`Json::to_compact`] and
+/// `canonical_body` must already be canonical JSON text (it is embedded
+/// verbatim). Two requests produce the same bytes **iff** kind, params
+/// and canonical body all agree — the content-address contract of
+/// `redeval-server`'s result cache (DESIGN.md §9).
+///
+/// # Examples
+///
+/// ```
+/// use redeval::output::{cache_key_bytes, Json};
+/// let key = cache_key_bytes("eval", &Json::Null, "{\"a\": 1}");
+/// assert_eq!(
+///     String::from_utf8(key).unwrap(),
+///     "{\"kind\": \"eval\", \"params\": null, \"body\": {\"a\": 1}}"
+/// );
+/// ```
+pub fn cache_key_bytes(kind: &str, params: &Json, canonical_body: &str) -> Vec<u8> {
+    format!(
+        "{{\"kind\": \"{}\", \"params\": {}, \"body\": {}}}",
+        json_escape(kind),
+        params.to_compact(),
+        canonical_body
+    )
+    .into_bytes()
+}
+
 /// Quotes a CSV field when needed (contains comma, quote, CR or LF),
 /// doubling internal quotes; returns other fields unchanged.
 pub fn csv_field(s: &str) -> String {
@@ -895,7 +954,7 @@ impl JsonParser<'_> {
             }
             let key = self.string()?;
             if entries.iter().any(|(k, _)| *k == key) {
-                return Err(self.err(format!("duplicate key `{key}`")));
+                return Err(self.err(format!("duplicate key `{}`", snippet(&key))));
             }
             self.skip_ws();
             self.expect(b':')?;
@@ -1351,6 +1410,49 @@ mod tests {
         assert_eq!(parsed.get("report").and_then(Json::as_str), Some("demo"));
         let again = parse_json(&parsed.to_compact()).unwrap();
         assert_eq!(parsed, again);
+    }
+
+    #[test]
+    fn snippet_caps_escapes_and_passes_short_strings_through() {
+        assert_eq!(snippet(""), "");
+        assert_eq!(snippet("tiers[2].count"), "tiers[2].count");
+        assert_eq!(snippet("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        // Exactly SNIPPET_MAX chars: kept whole, no ellipsis.
+        let exact = "y".repeat(SNIPPET_MAX);
+        assert_eq!(snippet(&exact), exact);
+        // One char over: capped with a visible cut marker.
+        let over = "y".repeat(SNIPPET_MAX + 1);
+        assert_eq!(snippet(&over), format!("{exact}…"));
+        // A hostile megabyte collapses to a bounded message fragment.
+        let huge = "Z".repeat(1 << 20);
+        assert!(snippet(&huge).chars().count() <= SNIPPET_MAX + 1);
+        // Character-based, not byte-based: multi-byte input never splits.
+        let accents = "é".repeat(SNIPPET_MAX + 5);
+        assert_eq!(snippet(&accents), format!("{}…", "é".repeat(SNIPPET_MAX)));
+    }
+
+    #[test]
+    fn duplicate_key_errors_cap_the_echoed_key() {
+        let key = "k".repeat(5000);
+        let doc = format!("{{\"{key}\": 1, \"{key}\": 2}}");
+        let e = parse_json(&doc).unwrap_err();
+        assert!(e.message.contains("duplicate key"));
+        assert!(e.message.len() < 200, "echoed {} bytes", e.message.len());
+        assert!(e.message.contains('…'));
+    }
+
+    #[test]
+    fn cache_key_bytes_separate_kind_params_and_body() {
+        let params = Json::Obj(vec![("max_redundancy".into(), Json::Num(3.0))]);
+        let a = cache_key_bytes("sweep", &params, "{\"x\": 1}");
+        let b = cache_key_bytes("eval", &params, "{\"x\": 1}");
+        let c = cache_key_bytes("sweep", &Json::Null, "{\"x\": 1}");
+        let d = cache_key_bytes("sweep", &params, "{\"x\": 2}");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        // Same inputs, same bytes — the function is pure.
+        assert_eq!(a, cache_key_bytes("sweep", &params, "{\"x\": 1}"));
     }
 
     #[test]

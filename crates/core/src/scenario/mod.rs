@@ -50,9 +50,10 @@ use std::fmt;
 
 use redeval_avail::{Durations, ServerParams};
 use redeval_cvss::v2::BaseVector;
+use redeval_cvss::ParseVectorError;
 use redeval_harm::{AspStrategy, AttackTree, MetricsConfig, OrCombine, Vulnerability};
 
-use crate::output::{fmt_f64, json_escape, parse_json, Json};
+use crate::output::{fmt_f64, json_escape, parse_json, snippet, Json};
 use crate::spec::{Design, NetworkSpec, TierSpec};
 use crate::{EvalError, PatchPolicy};
 
@@ -270,7 +271,7 @@ impl ScenarioDoc {
                 "name",
                 format!(
                     "`{}` is not a valid scenario name (use [a-zA-Z0-9_-]+)",
-                    self.name
+                    snippet(&self.name)
                 ),
             ));
         }
@@ -290,7 +291,7 @@ impl ScenarioDoc {
             if vulns.iter().any(|(id, _)| *id == def.id) {
                 return Err(invalid(
                     format!("{at}.id"),
-                    format!("duplicate vulnerability id `{}`", def.id),
+                    format!("duplicate vulnerability id `{}`", snippet(&def.id)),
                 ));
             }
             let display_id = match &def.cve {
@@ -299,9 +300,15 @@ impl ScenarioDoc {
             };
             let v = match &def.source {
                 VulnSource::Vector(s) => {
-                    let vector: BaseVector = s
-                        .parse()
-                        .map_err(|e| invalid(format!("{at}.vector"), format!("`{s}`: {e}")))?;
+                    // Cap both the echoed vector and the CVSS parser's
+                    // message (which quotes input components) so a
+                    // hostile request body never bounces back whole.
+                    let vector: BaseVector = s.parse().map_err(|e: ParseVectorError| {
+                        invalid(
+                            format!("{at}.vector"),
+                            format!("`{}`: {}", snippet(s), snippet(&e.to_string())),
+                        )
+                    })?;
                     Vulnerability::from_cvss_v2(display_id, &vector)
                 }
                 VulnSource::Explicit {
@@ -341,12 +348,15 @@ impl ScenarioDoc {
         // Build the named attack trees.
         let mut trees: Vec<(&str, AttackTree)> = Vec::with_capacity(self.trees.len());
         for (name, def) in &self.trees {
-            let at = format!("trees[{name}]");
+            let at = format!("trees[{}]", snippet(name));
             if name.is_empty() {
                 return Err(invalid("trees", "tree name must not be empty"));
             }
             if trees.iter().any(|(n, _)| *n == name.as_str()) {
-                return Err(invalid("trees", format!("duplicate tree name `{name}`")));
+                return Err(invalid(
+                    "trees",
+                    format!("duplicate tree name `{}`", snippet(name)),
+                ));
             }
             trees.push((name, build_tree(def, &at, &vuln_of)?));
         }
@@ -361,7 +371,7 @@ impl ScenarioDoc {
             if tier_specs.iter().any(|t| t.name == tier.name) {
                 return Err(invalid(
                     format!("{at}.name"),
-                    format!("duplicate tier name `{}`", tier.name),
+                    format!("duplicate tier name `{}`", snippet(&tier.name)),
                 ));
             }
             if tier.count == 0 {
@@ -378,7 +388,10 @@ impl ScenarioDoc {
                         .find(|(n, _)| *n == name.as_str())
                         .map(|(_, t)| t.clone())
                         .ok_or_else(|| {
-                            invalid(format!("{at}.tree"), format!("unknown tree `{name}`"))
+                            invalid(
+                                format!("{at}.tree"),
+                                format!("unknown tree `{}`", snippet(name)),
+                            )
                         })?,
                 ),
             };
@@ -397,8 +410,10 @@ impl ScenarioDoc {
         let mut edges = Vec::with_capacity(self.edges.len());
         for (i, (from, to)) in self.edges.iter().enumerate() {
             let at = format!("edges[{i}]");
-            let a = index_of(from).ok_or_else(|| invalid(&at, format!("unknown tier `{from}`")))?;
-            let b = index_of(to).ok_or_else(|| invalid(&at, format!("unknown tier `{to}`")))?;
+            let a = index_of(from)
+                .ok_or_else(|| invalid(&at, format!("unknown tier `{}`", snippet(from))))?;
+            let b = index_of(to)
+                .ok_or_else(|| invalid(&at, format!("unknown tier `{}`", snippet(to))))?;
             edges.push((a, b));
         }
 
@@ -410,7 +425,7 @@ impl ScenarioDoc {
                     at,
                     format!(
                         "design `{}` has {} counts, the scenario has {} tiers",
-                        d.name,
+                        snippet(&d.name),
                         d.counts.len(),
                         self.tiers.len()
                     ),
@@ -421,7 +436,8 @@ impl ScenarioDoc {
                     at,
                     format!(
                         "design `{}` asks for zero `{}` servers",
-                        d.name, self.tiers[t].name
+                        snippet(&d.name),
+                        snippet(&self.tiers[t].name)
                     ),
                 ));
             }
@@ -572,6 +588,23 @@ impl ScenarioDoc {
         doc.validate()?;
         Ok(doc)
     }
+
+    /// Parses a scenario document from an already-parsed JSON value —
+    /// the entry point for containers that embed a scenario inside a
+    /// larger document (e.g. the `scenario` field of a `/v1/sweep`
+    /// request body). Same schema rules, defaults and full validation as
+    /// [`from_json`](Self::from_json).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::Scenario`] with [`ScenarioError::Invalid`] for schema
+    /// violations (syntax errors cannot occur: the input is already
+    /// parsed).
+    pub fn from_value(value: &Json) -> Result<ScenarioDoc, EvalError> {
+        let doc = decode_doc(value)?;
+        doc.validate()?;
+        Ok(doc)
+    }
 }
 
 /// Writes one `"key": [...]` block with one array item per line.
@@ -664,7 +697,7 @@ fn build_tree(
     match def {
         TreeDef::Vuln(id) => vuln_of(id)
             .map(AttackTree::leaf)
-            .ok_or_else(|| invalid(at, format!("unknown vulnerability `{id}`"))),
+            .ok_or_else(|| invalid(at, format!("unknown vulnerability `{}`", snippet(id)))),
         TreeDef::And(children) | TreeDef::Or(children) => {
             if children.is_empty() {
                 return Err(invalid(at, "a gate needs at least one child"));
@@ -706,7 +739,7 @@ fn as_obj<'a>(j: &'a Json, at: &str, allowed: &[&str]) -> Result<&'a [(String, J
         .ok_or_else(|| invalid(at, "expected an object"))?;
     for (k, _) in entries {
         if !allowed.contains(&k.as_str()) {
-            return Err(invalid(at, format!("unknown key `{k}`")));
+            return Err(invalid(at, format!("unknown key `{}`", snippet(k))));
         }
     }
     Ok(entries)
@@ -769,7 +802,10 @@ fn decode_doc(root: &Json) -> Result<ScenarioDoc, EvalError> {
     if schema != SCHEMA {
         return Err(invalid(
             "schema",
-            format!("`{schema}` is not supported (expected `{SCHEMA}`)"),
+            format!(
+                "`{}` is not supported (expected `{SCHEMA}`)",
+                snippet(&schema)
+            ),
         ));
     }
     let name = as_str(req(entries, "document", "name")?, "name")?;
@@ -1038,7 +1074,7 @@ fn decode_metrics(j: &Json) -> Result<MetricsConfig, EvalError> {
             other => {
                 return Err(invalid(
                     "metrics.or_combine",
-                    format!("`{other}` is not one of max, noisy-or"),
+                    format!("`{}` is not one of max, noisy-or", snippet(other)),
                 ));
             }
         };
@@ -1051,7 +1087,10 @@ fn decode_metrics(j: &Json) -> Result<MetricsConfig, EvalError> {
             other => {
                 return Err(invalid(
                     "metrics.asp",
-                    format!("`{other}` is not one of max-path, noisy-or-paths, reliability"),
+                    format!(
+                        "`{}` is not one of max-path, noisy-or-paths, reliability",
+                        snippet(other)
+                    ),
                 ));
             }
         };
@@ -1323,6 +1362,75 @@ mod tests {
         }"#;
         let e = ScenarioDoc::from_json(json).unwrap_err();
         assert!(e.to_string().contains("not both"), "{e}");
+    }
+
+    #[test]
+    fn from_value_matches_from_json() {
+        let doc = tiny_doc();
+        let value = parse_json(&doc.to_json()).unwrap();
+        assert_eq!(ScenarioDoc::from_value(&value).unwrap(), doc);
+        // And it validates, not just decodes.
+        let bad = parse_json(r#"{"schema": "redeval-scenario/1"}"#).unwrap();
+        assert!(ScenarioDoc::from_value(&bad).is_err());
+    }
+
+    #[test]
+    fn error_messages_cap_echoed_user_strings() {
+        use crate::output::SNIPPET_MAX;
+        // Every message that quotes document text must stay bounded even
+        // when the document smuggles in kilobytes of junk.
+        let huge = "Q".repeat(64 * 1024);
+        let cases: Vec<ScenarioDoc> = vec![
+            {
+                let mut d = tiny_doc();
+                d.name = format!("bad name {huge}");
+                d
+            },
+            {
+                let mut d = tiny_doc();
+                d.trees[0].1 = TreeDef::Vuln(huge.clone());
+                d
+            },
+            {
+                let mut d = tiny_doc();
+                d.tiers[0].tree = Some(huge.clone());
+                d
+            },
+            {
+                let mut d = tiny_doc();
+                d.edges.push((huge.clone(), "db".into()));
+                d
+            },
+            {
+                let mut d = tiny_doc();
+                d.designs = vec![Design::new(huge.clone(), vec![1])];
+                d
+            },
+            {
+                let mut d = tiny_doc();
+                d.vulnerabilities[0].source = VulnSource::Vector(huge.clone());
+                d
+            },
+        ];
+        for doc in cases {
+            let msg = doc.validate().unwrap_err().to_string();
+            assert!(
+                msg.len() < 4 * SNIPPET_MAX + 200,
+                "error echoed {} bytes: {}…",
+                msg.len(),
+                &msg[..120.min(msg.len())]
+            );
+            assert!(!msg.contains(&huge[..200]), "raw input echoed back");
+        }
+        // Schema-level echoes (unknown keys, bad schema tag) are capped
+        // too.
+        let json = format!(
+            "{{\"schema\": \"redeval-scenario/1\", \"name\": \"x\", \"title\": \"x\", \
+             \"vulnerabilities\": [], \"trees\": [], \"tiers\": [], \"edges\": [], \
+             \"{huge}\": 1}}"
+        );
+        let msg = ScenarioDoc::from_json(&json).unwrap_err().to_string();
+        assert!(msg.len() < 4 * SNIPPET_MAX + 200, "{} bytes", msg.len());
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! Content-addressed LRU result cache.
+//!
+//! Values are the exact serialized response bytes of a previously
+//! computed report, keyed by the SHA-256 digest of the request's
+//! canonical form (see [`redeval::output::cache_key_bytes`]). Because the
+//! key covers everything the computation depends on and the report
+//! builders are byte-deterministic, **a hit is byte-identical to a
+//! recompute** — the property the loopback tests and the `prop_serve`
+//! suite pin.
+//!
+//! Eviction is least-recently-used under a byte budget; each entry is
+//! accounted as its value length plus [`ENTRY_OVERHEAD`] for the key.
+//! All operations are `&self` and thread-safe (one mutex, no poisoning
+//! paths that survive a panic), and the hit/miss/eviction counters feed
+//! the `/v1/stats` endpoint.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+use crate::sha256::Digest;
+
+/// Bytes accounted per entry on top of the value: the 32-byte key plus a
+/// flat allowance for the index structures.
+pub const ENTRY_OVERHEAD: usize = 64;
+
+/// A point-in-time snapshot of the cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Inserts rejected because a single value exceeded the budget.
+    pub rejected: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Bytes currently accounted (values + per-entry overhead).
+    pub used_bytes: usize,
+    /// The configured byte budget.
+    pub capacity_bytes: usize,
+}
+
+#[derive(Debug)]
+struct Entry {
+    bytes: Arc<[u8]>,
+    /// Recency stamp; the lowest stamp is the LRU entry.
+    stamp: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<Digest, Entry>,
+    /// stamp → key, ordered oldest-first for O(log n) eviction.
+    by_stamp: BTreeMap<u64, Digest>,
+    next_stamp: u64,
+    used: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    rejected: u64,
+}
+
+/// The thread-safe LRU byte cache (see the [module docs](self)).
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity_bytes` of accounted data.
+    pub fn new(capacity_bytes: usize) -> Self {
+        ResultCache {
+            capacity: capacity_bytes,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The cached bytes for `key`, bumping its recency. Counts a hit or
+    /// a miss.
+    pub fn get(&self, key: &Digest) -> Option<Arc<[u8]>> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let inner = &mut *inner;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                inner.hits += 1;
+                inner.by_stamp.remove(&entry.stamp);
+                entry.stamp = inner.next_stamp;
+                inner.next_stamp += 1;
+                inner.by_stamp.insert(entry.stamp, *key);
+                Some(Arc::clone(&entry.bytes))
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `bytes` under `key`, evicting least-recently-used entries
+    /// until the budget holds. Returns `false` (and caches nothing) when
+    /// the value alone exceeds the budget. Re-inserting an existing key
+    /// refreshes its recency; by the content-address contract the bytes
+    /// are necessarily identical, so the stored value is kept.
+    pub fn insert(&self, key: Digest, bytes: &[u8]) -> bool {
+        let cost = bytes.len() + ENTRY_OVERHEAD;
+        let mut inner = self.inner.lock().expect("cache lock");
+        let inner = &mut *inner;
+        if cost > self.capacity {
+            inner.rejected += 1;
+            return false;
+        }
+        if let Some(entry) = inner.map.get_mut(&key) {
+            // Concurrent misses on the same key both compute and both
+            // insert; first write wins, the second only bumps recency.
+            inner.by_stamp.remove(&entry.stamp);
+            entry.stamp = inner.next_stamp;
+            inner.next_stamp += 1;
+            inner.by_stamp.insert(entry.stamp, key);
+            return true;
+        }
+        while inner.used + cost > self.capacity {
+            let (&oldest, &victim) = inner
+                .by_stamp
+                .iter()
+                .next()
+                .expect("a non-empty cache has an LRU entry");
+            let evicted = inner.map.remove(&victim).expect("index and map agree");
+            inner.used -= evicted.bytes.len() + ENTRY_OVERHEAD;
+            inner.by_stamp.remove(&oldest);
+            inner.evictions += 1;
+        }
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        inner.map.insert(
+            key,
+            Entry {
+                bytes: Arc::from(bytes),
+                stamp,
+            },
+        );
+        inner.by_stamp.insert(stamp, key);
+        inner.used += cost;
+        true
+    }
+
+    /// A snapshot of the counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            rejected: inner.rejected,
+            entries: inner.map.len(),
+            used_bytes: inner.used,
+            capacity_bytes: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+
+    fn key(n: u8) -> Digest {
+        sha256(&[n])
+    }
+
+    #[test]
+    fn hit_returns_the_exact_inserted_bytes() {
+        let cache = ResultCache::new(1 << 16);
+        assert!(cache.get(&key(1)).is_none());
+        assert!(cache.insert(key(1), b"payload-one"));
+        assert_eq!(cache.get(&key(1)).unwrap().as_ref(), b"payload-one");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn capacity_accounting_includes_overhead() {
+        let cache = ResultCache::new(3 * (10 + ENTRY_OVERHEAD));
+        for n in 0..3 {
+            assert!(cache.insert(key(n), &[n; 10]));
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 3);
+        assert_eq!(s.used_bytes, 3 * (10 + ENTRY_OVERHEAD));
+        assert_eq!(s.used_bytes, s.capacity_bytes);
+        // One more insert must evict exactly one entry.
+        assert!(cache.insert(key(3), &[3; 10]));
+        let s = cache.stats();
+        assert_eq!((s.entries, s.evictions), (3, 1));
+        assert_eq!(s.used_bytes, 3 * (10 + ENTRY_OVERHEAD));
+    }
+
+    #[test]
+    fn eviction_follows_recency_not_insertion() {
+        let cache = ResultCache::new(3 * (4 + ENTRY_OVERHEAD));
+        cache.insert(key(0), b"aaaa");
+        cache.insert(key(1), b"bbbb");
+        cache.insert(key(2), b"cccc");
+        // Touch the oldest: key(0) becomes the most recent.
+        assert!(cache.get(&key(0)).is_some());
+        cache.insert(key(3), b"dddd");
+        // key(1) (now the LRU) is gone; key(0) survived its touch.
+        assert!(cache.get(&key(1)).is_none());
+        assert!(cache.get(&key(0)).is_some());
+        assert!(cache.get(&key(2)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_values_are_rejected_not_cached() {
+        let cache = ResultCache::new(100);
+        assert!(!cache.insert(key(0), &[0; 200]));
+        let s = cache.stats();
+        assert_eq!((s.entries, s.rejected, s.evictions), (0, 1, 0));
+        // The cache still works for values that fit.
+        assert!(cache.insert(key(1), &[1; 10]));
+        assert!(cache.get(&key(1)).is_some());
+    }
+
+    #[test]
+    fn a_large_insert_can_evict_several_small_entries() {
+        let cache = ResultCache::new(4 * (8 + ENTRY_OVERHEAD));
+        for n in 0..4 {
+            cache.insert(key(n), &[n; 8]);
+        }
+        // A value needing three slots evicts the three oldest.
+        let big = vec![9u8; 2 * ENTRY_OVERHEAD + 24];
+        assert!(cache.insert(key(9), &big));
+        let s = cache.stats();
+        assert_eq!(s.evictions, 3);
+        assert!(cache.get(&key(9)).is_some());
+        assert!(cache.get(&key(3)).is_some()); // newest survivor
+        assert!(cache.get(&key(0)).is_none());
+    }
+
+    #[test]
+    fn reinserting_a_key_keeps_one_entry_and_bumps_recency() {
+        let cache = ResultCache::new(2 * (4 + ENTRY_OVERHEAD));
+        cache.insert(key(0), b"aaaa");
+        cache.insert(key(1), b"bbbb");
+        // Re-insert key(0): still two entries, key(0) now most recent.
+        assert!(cache.insert(key(0), b"aaaa"));
+        assert_eq!(cache.stats().entries, 2);
+        cache.insert(key(2), b"cccc");
+        assert!(cache.get(&key(1)).is_none(), "key(1) was the LRU");
+        assert!(cache.get(&key(0)).is_some());
+    }
+
+    #[test]
+    fn stats_counters_are_cumulative() {
+        let cache = ResultCache::new(1 << 12);
+        cache.insert(key(0), b"x");
+        for _ in 0..5 {
+            cache.get(&key(0));
+        }
+        for _ in 0..3 {
+            cache.get(&key(7));
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (5, 3));
+    }
+}

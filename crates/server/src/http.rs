@@ -1,0 +1,578 @@
+//! Minimal, strict HTTP/1.1 message handling over any [`BufRead`] /
+//! byte sink.
+//!
+//! Hand-rolled for the same reason `redeval::output` hand-rolls JSON:
+//! the build environment has no crate network, and the server needs only
+//! a small, auditable subset — request line + headers + body
+//! (`Content-Length` or strict `chunked`), and a deterministic response
+//! serializer (no `Date` header, fixed header order), so loopback
+//! transcripts can be byte-pinned like every other artifact.
+//!
+//! Everything read off the wire is **bounded and untrusted**: head lines,
+//! header counts, body sizes and chunk framing are all capped by
+//! [`Limits`], every malformed input surfaces as a typed [`HttpError`]
+//! (never a panic), and error messages are static strings — request
+//! bytes are never echoed into them.
+
+use std::io::{self, BufRead};
+
+/// Hard bounds applied while reading a request.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Longest accepted request/header/chunk-size line, in bytes.
+    pub max_head_line: usize,
+    /// Most headers (and most trailer lines) accepted.
+    pub max_headers: usize,
+    /// Largest accepted body, in bytes (either framing).
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_line: 8 * 1024,
+            max_headers: 64,
+            max_body: 2 * 1024 * 1024,
+        }
+    }
+}
+
+/// Why a request could not be read. Messages are static by design — no
+/// wire bytes are ever reflected back to the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The underlying socket failed.
+    Io(io::ErrorKind),
+    /// The peer closed mid-message.
+    Truncated,
+    /// A request/header line exceeded [`Limits::max_head_line`].
+    HeadTooLarge,
+    /// More headers than [`Limits::max_headers`].
+    TooManyHeaders,
+    /// The request line was not `METHOD SP TARGET SP VERSION`.
+    BadRequestLine,
+    /// The version was not `HTTP/1.1` or `HTTP/1.0`.
+    BadVersion,
+    /// A header line was not `name: value` with a token name.
+    BadHeader,
+    /// `Content-Length` was not a plain decimal integer.
+    BadContentLength,
+    /// Both `Content-Length` and `Transfer-Encoding` were present, or a
+    /// transfer coding other than `chunked` was requested.
+    AmbiguousFraming,
+    /// A body-carrying method arrived with no framing header at all.
+    LengthRequired,
+    /// Chunked framing was malformed.
+    BadChunk,
+    /// The declared or accumulated body exceeded [`Limits::max_body`].
+    BodyTooLarge,
+}
+
+impl HttpError {
+    /// The response status this error maps to (`None`: the connection is
+    /// beyond answering — I/O failure or mid-message disconnect).
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            HttpError::Io(_) | HttpError::Truncated => None,
+            HttpError::HeadTooLarge | HttpError::TooManyHeaders => Some(431),
+            HttpError::LengthRequired => Some(411),
+            HttpError::BodyTooLarge => Some(413),
+            _ => Some(400),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            HttpError::Io(kind) => return write!(f, "socket error: {kind}"),
+            HttpError::Truncated => "connection closed mid-request",
+            HttpError::HeadTooLarge => "request line or header line too long",
+            HttpError::TooManyHeaders => "too many headers",
+            HttpError::BadRequestLine => "malformed request line",
+            HttpError::BadVersion => "unsupported HTTP version",
+            HttpError::BadHeader => "malformed header line",
+            HttpError::BadContentLength => "malformed Content-Length",
+            HttpError::AmbiguousFraming => "ambiguous or unsupported body framing",
+            HttpError::LengthRequired => "a request body requires Content-Length",
+            HttpError::BadChunk => "malformed chunked framing",
+            HttpError::BodyTooLarge => "request body exceeds the server limit",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e.kind())
+    }
+}
+
+/// A fully read request: line, headers (names lowercased) and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method token, as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// The path component of the target (query string stripped).
+    pub path: String,
+    /// Headers in arrival order; names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The decoded body (chunked framing already removed).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response
+    /// (version default adjusted by any `Connection` header).
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// A minimal request for in-process service tests (keep-alive, no
+    /// headers beyond what the body implies).
+    pub fn synthetic(method: &str, path: &str, body: &[u8]) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: body.to_vec(),
+            keep_alive: true,
+        }
+    }
+
+    /// The first value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one line bounded by `max`, stripping the trailing CRLF (or bare
+/// LF). `Ok(None)` is a clean end-of-stream *before any byte* — the
+/// peer simply closed an idle connection.
+fn read_line(reader: &mut impl BufRead, max: usize) -> Result<Option<Vec<u8>>, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                Err(HttpError::Truncated)
+            };
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                if line.len() + i > max {
+                    return Err(HttpError::HeadTooLarge);
+                }
+                line.extend_from_slice(&buf[..i]);
+                reader.consume(i + 1);
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(Some(line));
+            }
+            None => {
+                if line.len() + buf.len() > max {
+                    return Err(HttpError::HeadTooLarge);
+                }
+                line.extend_from_slice(buf);
+                let n = buf.len();
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+/// Whether `name` is an RFC 7230 header-name token.
+fn is_token(name: &[u8]) -> bool {
+    !name.is_empty()
+        && name
+            .iter()
+            .all(|&b| b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b))
+}
+
+/// Reads and decodes one request. `Ok(None)` means the peer closed the
+/// (idle) connection cleanly before sending anything.
+///
+/// # Errors
+///
+/// A typed [`HttpError`] for every malformed or over-limit input; the
+/// caller maps it to a status via [`HttpError::status`].
+pub fn read_request(
+    reader: &mut impl BufRead,
+    limits: &Limits,
+) -> Result<Option<Request>, HttpError> {
+    let Some(line) = read_line(reader, limits.max_head_line)? else {
+        return Ok(None);
+    };
+    let line = String::from_utf8(line).map_err(|_| HttpError::BadRequestLine)?;
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(HttpError::BadRequestLine),
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequestLine);
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(HttpError::BadVersion),
+    };
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = read_line(reader, limits.max_head_line)?.ok_or(HttpError::Truncated)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::TooManyHeaders);
+        }
+        let colon = line
+            .iter()
+            .position(|&b| b == b':')
+            .ok_or(HttpError::BadHeader)?;
+        let (name, value) = line.split_at(colon);
+        if !is_token(name) {
+            return Err(HttpError::BadHeader);
+        }
+        let name = String::from_utf8(name.to_ascii_lowercase()).expect("token is ASCII");
+        let value = String::from_utf8(value[1..].to_vec())
+            .map_err(|_| HttpError::BadHeader)?
+            .trim()
+            .to_string();
+        headers.push((name, value));
+    }
+
+    let header = |name: &str| -> Option<&str> {
+        headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    };
+
+    // Framing headers must be unique: duplicate `Content-Length` (even
+    // with equal values) or `Transfer-Encoding` fields are the raw
+    // material of request smuggling, so first-wins/last-wins guessing is
+    // off the table (RFC 7230 §3.3.2-style strictness).
+    let count = |name: &str| headers.iter().filter(|(n, _)| n == name).count();
+    if count("content-length") > 1 {
+        return Err(HttpError::BadContentLength);
+    }
+    if count("transfer-encoding") > 1 {
+        return Err(HttpError::AmbiguousFraming);
+    }
+
+    let body = match (header("transfer-encoding"), header("content-length")) {
+        (Some(_), Some(_)) => return Err(HttpError::AmbiguousFraming),
+        (Some(te), None) => {
+            if !te.eq_ignore_ascii_case("chunked") {
+                return Err(HttpError::AmbiguousFraming);
+            }
+            read_chunked(reader, limits)?
+        }
+        (None, Some(len)) => {
+            if len.is_empty() || !len.bytes().all(|b| b.is_ascii_digit()) || len.len() > 12 {
+                return Err(HttpError::BadContentLength);
+            }
+            let len: usize = len.parse().map_err(|_| HttpError::BadContentLength)?;
+            if len > limits.max_body {
+                return Err(HttpError::BodyTooLarge);
+            }
+            let mut body = vec![0u8; len];
+            reader
+                .read_exact(&mut body)
+                .map_err(|_| HttpError::Truncated)?;
+            body
+        }
+        (None, None) => {
+            if matches!(method, "POST" | "PUT" | "PATCH") {
+                return Err(HttpError::LengthRequired);
+            }
+            Vec::new()
+        }
+    };
+
+    let keep_alive = match header("connection").map(str::to_ascii_lowercase) {
+        Some(c) if c == "close" => false,
+        Some(c) if c == "keep-alive" => true,
+        _ => http11,
+    };
+
+    Ok(Some(Request {
+        method: method.to_string(),
+        path,
+        headers,
+        body,
+        keep_alive,
+    }))
+}
+
+/// Decodes strict chunked framing: hex size lines (extensions after `;`
+/// ignored), exact CRLF discipline, bounded trailers, total size capped.
+fn read_chunked(reader: &mut impl BufRead, limits: &Limits) -> Result<Vec<u8>, HttpError> {
+    let mut body: Vec<u8> = Vec::new();
+    loop {
+        let line = read_line(reader, limits.max_head_line)?.ok_or(HttpError::Truncated)?;
+        let size_hex = line.split(|&b| b == b';').next().unwrap_or(&line);
+        if size_hex.is_empty() || size_hex.len() > 8 || !size_hex.iter().all(u8::is_ascii_hexdigit)
+        {
+            return Err(HttpError::BadChunk);
+        }
+        let size = usize::from_str_radix(
+            std::str::from_utf8(size_hex).expect("hex digits are ASCII"),
+            16,
+        )
+        .map_err(|_| HttpError::BadChunk)?;
+        if size == 0 {
+            // Trailers: bounded count, discarded, terminated by an empty
+            // line.
+            for _ in 0..=limits.max_headers {
+                let trailer =
+                    read_line(reader, limits.max_head_line)?.ok_or(HttpError::Truncated)?;
+                if trailer.is_empty() {
+                    return Ok(body);
+                }
+            }
+            return Err(HttpError::TooManyHeaders);
+        }
+        if body.len() + size > limits.max_body {
+            return Err(HttpError::BodyTooLarge);
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        reader
+            .read_exact(&mut body[start..])
+            .map_err(|_| HttpError::Truncated)?;
+        let mut crlf = [0u8; 2];
+        reader
+            .read_exact(&mut crlf)
+            .map_err(|_| HttpError::Truncated)?;
+        if &crlf != b"\r\n" {
+            return Err(HttpError::BadChunk);
+        }
+    }
+}
+
+/// A response: status, content type, extra headers and body. Serialized
+/// deterministically — fixed header order, no `Date` — so loopback
+/// transcripts can be golden-pinned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// The `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra headers (e.g. `X-Redeval-Cache`, `Allow`), in order.
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Appends an extra header (builder-style).
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name, value.into()));
+        self
+    }
+
+    /// The canonical reason phrase for the statuses this server emits.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            411 => "Length Required",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the full message: status line, `Content-Type`,
+    /// `Content-Length`, extras, `Connection`, blank line, body.
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+            self.status,
+            Response::reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str(if keep_alive {
+            "Connection: keep-alive\r\n\r\n"
+        } else {
+            "Connection: close\r\n\r\n"
+        });
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut io::BufReader::new(raw), &Limits::default())
+    }
+
+    #[test]
+    fn parses_a_simple_post() {
+        let req = parse(b"POST /v1/eval HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/eval");
+        assert_eq!(req.body, b"hello");
+        assert!(req.keep_alive);
+        assert_eq!(req.header("HOST"), Some("x"));
+    }
+
+    #[test]
+    fn strips_query_strings_and_honors_connection_close() {
+        let req = parse(b"GET /healthz?probe=1 HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/healthz");
+        assert!(!req.keep_alive);
+        // HTTP/1.0 defaults to close, keep-alive must be explicit.
+        let req = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive);
+        let req = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn decodes_strict_chunked_bodies() {
+        let raw = b"POST /v1/eval HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n";
+        let req = parse(raw).unwrap().unwrap();
+        assert_eq!(req.body, b"Wikipedia");
+        // Bad CRLF discipline after a chunk is an error, not a guess.
+        let bad = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nWikiXX5\r\n";
+        assert_eq!(parse(bad).unwrap_err(), HttpError::BadChunk);
+        // Chunk sizes cap the body like Content-Length does.
+        let huge = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nffffffff\r\n";
+        assert_eq!(parse(huge).unwrap_err(), HttpError::BodyTooLarge);
+    }
+
+    #[test]
+    fn rejects_malformed_wire_data_without_panicking() {
+        let cases: [(&[u8], HttpError); 8] = [
+            (b"ONE-TOKEN-ONLY\r\n\r\n", HttpError::BadRequestLine),
+            (b"get / HTTP/1.1\r\n\r\n", HttpError::BadRequestLine),
+            (b"GET / HTTP/9.9\r\n\r\n", HttpError::BadVersion),
+            (b"GET / HTTP/1.1\r\nno colon\r\n\r\n", HttpError::BadHeader),
+            (
+                b"POST / HTTP/1.1\r\nContent-Length: twelve\r\n\r\n",
+                HttpError::BadContentLength,
+            ),
+            (
+                b"POST / HTTP/1.1\r\nContent-Length: 5\r\nTransfer-Encoding: chunked\r\n\r\n",
+                HttpError::AmbiguousFraming,
+            ),
+            (b"POST / HTTP/1.1\r\n\r\n", HttpError::LengthRequired),
+            (
+                b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n",
+                HttpError::BodyTooLarge,
+            ),
+        ];
+        for (raw, want) in cases {
+            assert_eq!(parse(raw).unwrap_err(), want, "input {raw:?}");
+        }
+        // Truncated body: the declared length never arrives.
+        assert_eq!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap_err(),
+            HttpError::Truncated
+        );
+    }
+
+    #[test]
+    fn duplicate_framing_headers_are_rejected_not_guessed() {
+        // Conflicting duplicate Content-Length is the classic smuggling
+        // desync; equal duplicates are rejected too — no guessing.
+        let conflicting =
+            b"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 500\r\n\r\nhello";
+        assert_eq!(parse(conflicting).unwrap_err(), HttpError::BadContentLength);
+        let equal = b"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello";
+        assert_eq!(parse(equal).unwrap_err(), HttpError::BadContentLength);
+        let double_te = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\
+                          Transfer-Encoding: chunked\r\n\r\n0\r\n\r\n";
+        assert_eq!(parse(double_te).unwrap_err(), HttpError::AmbiguousFraming);
+    }
+
+    #[test]
+    fn bounds_head_lines_and_header_counts() {
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(10_000));
+        assert_eq!(parse(long.as_bytes()).unwrap_err(), HttpError::HeadTooLarge);
+        let mut many = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..100 {
+            many.push_str(&format!("h{i}: v\r\n"));
+        }
+        many.push_str("\r\n");
+        assert_eq!(
+            parse(many.as_bytes()).unwrap_err(),
+            HttpError::TooManyHeaders
+        );
+    }
+
+    #[test]
+    fn clean_eof_is_none_not_an_error() {
+        assert_eq!(parse(b"").unwrap(), None);
+        // But a partial request line is truncation.
+        assert_eq!(parse(b"GET / HT").unwrap_err(), HttpError::Truncated);
+    }
+
+    #[test]
+    fn error_messages_never_echo_wire_bytes() {
+        let junk = format!("GET /{} JUNK-{}\r\n\r\n", "a", "Z".repeat(500));
+        let err = parse(junk.as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(!msg.contains("ZZZZ"), "echoed wire bytes: {msg}");
+        assert!(msg.len() < 100);
+    }
+
+    #[test]
+    fn response_serialization_is_deterministic() {
+        let r = Response::json(200, "{}\n").with_header("X-Redeval-Cache", "hit");
+        let bytes = r.to_bytes(true);
+        assert_eq!(bytes, r.to_bytes(true));
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("X-Redeval-Cache: hit\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n\r\n{}\n"));
+        assert!(!text.contains("Date:"), "Date would break transcript pins");
+        let closed = String::from_utf8(r.to_bytes(false)).unwrap();
+        assert!(closed.contains("Connection: close\r\n"));
+    }
+}

@@ -1,0 +1,285 @@
+//! The TCP front: a blocking accept loop over [`std::net::TcpListener`]
+//! with keep-alive connection handling.
+//!
+//! `threads` acceptor threads share one listener; each accepted
+//! connection is served to completion on its acceptor's thread (requests
+//! on one connection are sequential by HTTP/1.1 semantics anyway), so
+//! the server handles up to `threads` concurrent connections. The heavy
+//! lifting inside a request — the sweep grids — runs on the shared
+//! [`redeval::exec::Pool`] the injected endpoints carry, so one slow
+//! evaluation still uses every core.
+//!
+//! Shutdown is cooperative: [`ServerHandle::stop`] raises a flag and
+//! pokes each acceptor awake with a dummy connection, then joins them —
+//! no platform-specific socket teardown required.
+
+use std::collections::HashMap;
+use std::io::{BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::http::{read_request, Response};
+use crate::service::{http_error_response, Service};
+
+/// How long a single socket read may block (also the idle keep-alive
+/// cap: a silent peer is dropped after one timed-out read).
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Hard wall-clock budget for reading one *complete* request. A
+/// per-read timeout alone would let a peer dribble one byte per
+/// `READ_TIMEOUT` forever and pin its acceptor thread; the deadline cuts
+/// the whole request off, slow or silent alike.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(60);
+
+/// A [`TcpStream`] whose reads respect a shared absolute deadline: each
+/// read blocks at most until `min(deadline, now + READ_TIMEOUT)`. The
+/// connection loop pushes the deadline forward once per request, so the
+/// budget is per-request, not per-connection.
+struct DeadlineStream {
+    stream: TcpStream,
+    deadline: Arc<Mutex<Instant>>,
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let deadline = *self.deadline.lock().expect("deadline lock");
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "request deadline exceeded",
+            ));
+        }
+        self.stream
+            .set_read_timeout(Some(remaining.min(READ_TIMEOUT)))?;
+        self.stream.read(buf)
+    }
+}
+
+/// The open connections, so [`ServerHandle::stop`] can cut idle
+/// keep-alive peers instead of waiting out their read timeout.
+#[derive(Debug, Default)]
+struct ActiveConnections {
+    next_id: AtomicU64,
+    map: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ActiveConnections {
+    /// Registers a connection; returns its deregistration token (`None`
+    /// when the fd cannot be duplicated — the connection then simply
+    /// rides out its own timeout on shutdown).
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.map
+            .lock()
+            .expect("connection registry")
+            .insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.map.lock().expect("connection registry").remove(&id);
+    }
+
+    /// Severs every registered connection (both directions), unblocking
+    /// any handler parked in a read.
+    fn shutdown_all(&self) {
+        for stream in self.map.lock().expect("connection registry").values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<Service>,
+    threads: usize,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7878`, port `0` for an ephemeral
+    /// test port) around the given service with `threads` acceptor
+    /// threads (clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Service,
+        threads: usize,
+    ) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            service: Arc::new(service),
+            threads: threads.max(1),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The service (e.g. for in-process stats in tests and benches).
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Starts the acceptor threads and returns a handle; the caller
+    /// keeps running (tests, benches) or parks on
+    /// [`ServerHandle::wait`] (the CLI).
+    ///
+    /// # Errors
+    ///
+    /// Propagates address-query or thread-spawn failures.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(ActiveConnections::default());
+        let listener = Arc::new(self.listener);
+        let mut workers = Vec::with_capacity(self.threads);
+        for i in 0..self.threads {
+            let listener = Arc::clone(&listener);
+            let service = Arc::clone(&self.service);
+            let stop = Arc::clone(&stop);
+            let connections = Arc::clone(&connections);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("redeval-serve-{i}"))
+                    .spawn(move || {
+                        while !stop.load(Ordering::Acquire) {
+                            match listener.accept() {
+                                Ok((stream, _peer)) => {
+                                    if stop.load(Ordering::Acquire) {
+                                        return;
+                                    }
+                                    serve_connection(stream, &service, &connections);
+                                }
+                                // Transient accept errors (e.g. the peer
+                                // vanished between SYN and accept) must
+                                // not kill the acceptor.
+                                Err(_) => continue,
+                            }
+                        }
+                    })?,
+            );
+        }
+        Ok(ServerHandle {
+            addr,
+            service: self.service,
+            stop,
+            connections,
+            workers,
+        })
+    }
+}
+
+/// A running server: address, service access and cooperative shutdown.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    stop: Arc<AtomicBool>,
+    connections: Arc<ActiveConnections>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server accepts on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service (live counters, cache stats).
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Parks the caller until the server stops (the `redeval serve`
+    /// foreground path — effectively forever).
+    pub fn wait(mut self) {
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// Stops accepting, severs open connections, wakes every acceptor
+    /// and joins them.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Cut idle keep-alive peers loose: a handler parked in a read
+        // must not hold the join for its full read timeout.
+        self.connections.shutdown_all();
+        for _ in 0..self.workers.len() {
+            // Poke each (potentially blocked) acceptor awake; the accept
+            // sees the flag and returns.
+            let _ = TcpStream::connect(self.addr);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Serves one connection to completion: sequential keep-alive requests,
+/// one response each; wire errors get a final structured response (when
+/// the socket still works) and close the connection.
+fn serve_connection(stream: TcpStream, service: &Service, connections: &ActiveConnections) {
+    let token = connections.register(&stream);
+    serve_requests(stream, service);
+    if let Some(token) = token {
+        connections.deregister(token);
+    }
+}
+
+/// The request/response loop of one registered connection.
+fn serve_requests(stream: TcpStream, service: &Service) {
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let deadline = Arc::new(Mutex::new(Instant::now() + REQUEST_DEADLINE));
+    let mut reader = BufReader::new(DeadlineStream {
+        stream,
+        deadline: Arc::clone(&deadline),
+    });
+    loop {
+        *deadline.lock().expect("deadline lock") = Instant::now() + REQUEST_DEADLINE;
+        match read_request(&mut reader, service.limits()) {
+            Ok(None) => return,
+            Ok(Some(request)) => {
+                let keep_alive = request.keep_alive;
+                let response = service.handle(&request);
+                if write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(error) => {
+                if let Some(response) = http_error_response(&error) {
+                    let _ = write_response(&mut writer, &response, false);
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn write_response(
+    writer: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    writer.write_all(&response.to_bytes(keep_alive))?;
+    writer.flush()
+}

@@ -1,0 +1,742 @@
+//! The evaluation service: routing, request decoding, the result cache
+//! and structured error bodies — everything between a parsed
+//! [`Request`] and a [`Response`], independent of any socket.
+//!
+//! The service does not know how reports are built: the four report
+//! producers are **injected** as [`Endpoints`] closures (the `redeval`
+//! CLI wires them to its report registry and batch engine). What the
+//! service owns is the serving contract:
+//!
+//! * bodies are validated through [`ScenarioDoc::from_json`] /
+//!   [`ScenarioDoc::from_value`] — the same dotted-path validation the
+//!   CLI uses — and every rejection is a structured `Report` body with
+//!   `ok: false`, never an echo of raw request bytes;
+//! * successful `POST /v1/eval` and `POST /v1/sweep` responses are
+//!   memoized in a content-addressed [`ResultCache`]: the key is the
+//!   SHA-256 of [`cache_key_bytes`] over the request kind, the
+//!   canonicalized grid parameters and the **canonical** serialization
+//!   of the scenario document, so two textually different bodies naming
+//!   the same scenario share one entry, and a hit is byte-identical to a
+//!   recompute by construction;
+//! * `GET /v1/stats` exposes the cache and request counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use redeval::output::{cache_key_bytes, Json, Report, Value};
+use redeval::scenario::ScenarioDoc;
+use redeval::{EvalError, PatchPolicy, ScenarioError};
+
+use crate::cache::{CacheStats, ResultCache};
+use crate::http::{HttpError, Limits, Request, Response};
+use crate::sha256::sha256;
+
+/// Identifies the serving schema (bumped on breaking endpoint changes).
+pub const SERVE_SCHEMA: &str = "redeval-serve/1";
+
+/// The response header reporting cache disposition (`hit` / `miss`).
+pub const CACHE_HEADER: &str = "X-Redeval-Cache";
+
+/// Most entries accepted in a sweep request's grid-parameter arrays.
+pub const MAX_GRID_AXIS: usize = 32;
+
+/// A decoded `POST /v1/sweep` body: the embedded scenario document plus
+/// the optional grid axes layered over it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRequest {
+    /// The scenario document (fully validated).
+    pub doc: ScenarioDoc,
+    /// Patch-interval variants in days, applied to every tier.
+    pub patch_windows_days: Option<Vec<f64>>,
+    /// Patch policies overriding the document's list.
+    pub policies: Option<Vec<PatchPolicy>>,
+    /// Replaces the document's designs with the full design space
+    /// `1..=max_redundancy` per tier.
+    pub max_redundancy: Option<u32>,
+}
+
+/// A boxed `POST /v1/eval` report producer.
+pub type EvalEndpoint = Box<dyn Fn(&ScenarioDoc) -> Result<Report, EvalError> + Send + Sync>;
+
+/// A boxed `POST /v1/sweep` report producer.
+pub type SweepEndpoint = Box<dyn Fn(&SweepRequest) -> Result<Report, EvalError> + Send + Sync>;
+
+/// A boxed parameterless listing producer (`GET` registries).
+pub type ListingEndpoint = Box<dyn Fn() -> Report + Send + Sync>;
+
+/// The injected report producers (see the [module docs](self)).
+pub struct Endpoints {
+    /// Builds the `POST /v1/eval` report for a validated document.
+    pub eval: EvalEndpoint,
+    /// Builds the `POST /v1/sweep` report.
+    pub sweep: SweepEndpoint,
+    /// The `GET /v1/scenarios` listing (the bundled scenario registry).
+    pub scenarios: ListingEndpoint,
+    /// The `GET /v1/reports` listing (the report registry).
+    pub reports: ListingEndpoint,
+}
+
+impl std::fmt::Debug for Endpoints {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoints").finish_non_exhaustive()
+    }
+}
+
+/// Service construction knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Byte budget of the result cache.
+    pub cache_capacity: usize,
+    /// Wire-reading bounds (also consulted by the connection loop).
+    pub limits: Limits,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cache_capacity: 64 * 1024 * 1024,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// The routing core: dispatches parsed requests, memoizes results,
+/// counts traffic. Socket-free — the loopback server and in-process
+/// tests drive the same `handle`.
+#[derive(Debug)]
+pub struct Service {
+    endpoints: Endpoints,
+    cache: ResultCache,
+    limits: Limits,
+    requests: AtomicU64,
+    started: Instant,
+}
+
+impl Service {
+    /// A service over the given endpoints.
+    pub fn new(endpoints: Endpoints, config: ServiceConfig) -> Self {
+        Service {
+            endpoints,
+            cache: ResultCache::new(config.cache_capacity),
+            limits: config.limits,
+            requests: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// The wire-reading bounds the connection loop must apply.
+    pub fn limits(&self) -> &Limits {
+        &self.limits
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Requests handled so far (every endpoint, including `/v1/stats`).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Routes one request. Never panics on request content: every
+    /// malformed body becomes a structured 4xx [`Report`].
+    pub fn handle(&self, req: &Request) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => Response::json(
+                200,
+                format!("{{\"ok\": true, \"schema\": \"{SERVE_SCHEMA}\"}}\n"),
+            ),
+            ("GET", "/v1/scenarios") => Response::json(200, (self.endpoints.scenarios)().to_json()),
+            ("GET", "/v1/reports") => Response::json(200, (self.endpoints.reports)().to_json()),
+            ("GET", "/v1/stats") => Response::json(200, self.stats_report().to_json()),
+            ("POST", "/v1/eval") => self.eval(req),
+            ("POST", "/v1/sweep") => self.sweep(req),
+            (_, "/v1/eval" | "/v1/sweep") => method_not_allowed("POST"),
+            (_, "/healthz" | "/v1/scenarios" | "/v1/reports" | "/v1/stats") => {
+                method_not_allowed("GET")
+            }
+            _ => error_response(
+                404,
+                "not_found",
+                vec![(
+                    "message".into(),
+                    Value::from(
+                        "no such endpoint; see /healthz, /v1/scenarios, /v1/reports, \
+                         /v1/stats, /v1/eval, /v1/sweep",
+                    ),
+                )],
+            ),
+        }
+    }
+
+    /// The `GET /v1/stats` report: live counters, deliberately *not*
+    /// golden-pinned (it changes with every request).
+    pub fn stats_report(&self) -> Report {
+        let c = self.cache.stats();
+        let mut r = Report::new("serve_stats", "redeval serve — live service counters");
+        r.keys([
+            ("schema_serve", Value::from(SERVE_SCHEMA)),
+            ("requests", int(self.requests.load(Ordering::Relaxed))),
+            ("uptime_ticks", int(self.started.elapsed().as_secs())),
+        ]);
+        r.keys([
+            ("cache_hits", int(c.hits)),
+            ("cache_misses", int(c.misses)),
+            ("cache_evictions", int(c.evictions)),
+            ("cache_rejected", int(c.rejected)),
+            ("cache_entries", Value::from(c.entries)),
+            ("cache_used_bytes", Value::from(c.used_bytes)),
+            ("cache_capacity_bytes", Value::from(c.capacity_bytes)),
+        ]);
+        r
+    }
+
+    /// `POST /v1/eval`: body is a scenario document.
+    fn eval(&self, req: &Request) -> Response {
+        let doc = match decode_body_doc(&req.body) {
+            Ok(doc) => doc,
+            Err(resp) => return *resp,
+        };
+        let canonical = doc.to_json();
+        let key = sha256(&cache_key_bytes("eval", &Json::Null, &canonical));
+        if let Some(bytes) = self.cache.get(&key) {
+            return Response::json(200, bytes.to_vec()).with_header(CACHE_HEADER, "hit");
+        }
+        match (self.endpoints.eval)(&doc) {
+            Ok(report) => self.respond_and_cache(key, report),
+            Err(e) => eval_error_response(&e),
+        }
+    }
+
+    /// `POST /v1/sweep`: body embeds the document plus grid parameters.
+    fn sweep(&self, req: &Request) -> Response {
+        let sweep_req = match decode_sweep_body(&req.body) {
+            Ok(r) => r,
+            Err(resp) => return *resp,
+        };
+        let canonical = sweep_req.doc.to_json();
+        let key = sha256(&cache_key_bytes(
+            "sweep",
+            &sweep_params_json(&sweep_req),
+            &canonical,
+        ));
+        if let Some(bytes) = self.cache.get(&key) {
+            return Response::json(200, bytes.to_vec()).with_header(CACHE_HEADER, "hit");
+        }
+        match (self.endpoints.sweep)(&sweep_req) {
+            Ok(report) => self.respond_and_cache(key, report),
+            Err(e) => eval_error_response(&e),
+        }
+    }
+
+    fn respond_and_cache(&self, key: crate::sha256::Digest, report: Report) -> Response {
+        let body = report.to_json().into_bytes();
+        self.cache.insert(key, &body);
+        Response::json(200, body).with_header(CACHE_HEADER, "miss")
+    }
+}
+
+/// `u64` counters as report integers (saturating far beyond any
+/// realistic uptime).
+fn int(x: u64) -> Value {
+    Value::from(i64::try_from(x).unwrap_or(i64::MAX))
+}
+
+/// The canonical grid-parameter value hashed into a sweep cache key:
+/// every axis present (absent ⇒ `null`), floats canonical, policies in
+/// their `Display` form — so `"all"` and `"patch all"` share an entry.
+fn sweep_params_json(req: &SweepRequest) -> Json {
+    let days = match &req.patch_windows_days {
+        None => Json::Null,
+        Some(days) => Json::Arr(days.iter().map(|&d| Json::Num(d)).collect()),
+    };
+    let policies = match &req.policies {
+        None => Json::Null,
+        Some(ps) => Json::Arr(ps.iter().map(|p| Json::Str(p.to_string())).collect()),
+    };
+    let maxr = match req.max_redundancy {
+        None => Json::Null,
+        Some(m) => Json::Num(f64::from(m)),
+    };
+    Json::Obj(vec![
+        ("patch_windows_days".to_string(), days),
+        ("policies".to_string(), policies),
+        ("max_redundancy".to_string(), maxr),
+    ])
+}
+
+/// Decodes a request body that *is* a scenario document.
+fn decode_body_doc(body: &[u8]) -> Result<ScenarioDoc, Box<Response>> {
+    let text = std::str::from_utf8(body).map_err(|_| {
+        Box::new(error_response(
+            400,
+            "encoding",
+            vec![(
+                "message".into(),
+                Value::from("request body is not valid UTF-8"),
+            )],
+        ))
+    })?;
+    ScenarioDoc::from_json(text).map_err(|e| Box::new(eval_error_response(&e)))
+}
+
+/// Decodes a `POST /v1/sweep` body:
+/// `{"scenario": <doc>, "patch_windows_days"?, "policies"?,
+/// "max_redundancy"?}`. Unknown keys are rejected like everywhere else
+/// in the scenario schema.
+fn decode_sweep_body(body: &[u8]) -> Result<SweepRequest, Box<Response>> {
+    let bad = |at: &str, message: String| {
+        Box::new(eval_error_response(&EvalError::Scenario(
+            ScenarioError::Invalid {
+                at: at.to_string(),
+                message,
+            },
+        )))
+    };
+    let text = std::str::from_utf8(body).map_err(|_| {
+        Box::new(error_response(
+            400,
+            "encoding",
+            vec![(
+                "message".into(),
+                Value::from("request body is not valid UTF-8"),
+            )],
+        ))
+    })?;
+    let root = redeval::output::parse_json(text).map_err(|e| {
+        Box::new(eval_error_response(&EvalError::Scenario(
+            ScenarioError::Json {
+                line: e.line,
+                col: e.col,
+                message: e.message,
+            },
+        )))
+    })?;
+    let entries = root
+        .as_obj()
+        .ok_or_else(|| bad("request", "expected an object".to_string()))?;
+    for (k, _) in entries {
+        if !matches!(
+            k.as_str(),
+            "scenario" | "patch_windows_days" | "policies" | "max_redundancy"
+        ) {
+            return Err(bad(
+                "request",
+                format!("unknown key `{}`", redeval::output::snippet(k)),
+            ));
+        }
+    }
+    let field = |name: &str| entries.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    let doc_value = field("scenario").ok_or_else(|| {
+        bad(
+            "request",
+            "missing key `scenario` (the embedded scenario document)".to_string(),
+        )
+    })?;
+    let doc = ScenarioDoc::from_value(doc_value).map_err(|e| Box::new(eval_error_response(&e)))?;
+
+    let patch_windows_days = match field("patch_windows_days") {
+        None => None,
+        Some(v) => {
+            let items = v
+                .as_arr()
+                .ok_or_else(|| bad("patch_windows_days", "expected an array".to_string()))?;
+            if items.is_empty() || items.len() > MAX_GRID_AXIS {
+                return Err(bad(
+                    "patch_windows_days",
+                    format!("expected 1..={MAX_GRID_AXIS} entries"),
+                ));
+            }
+            let mut days = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let d = item.as_f64().filter(|d| d.is_finite() && *d > 0.0);
+                match d {
+                    Some(d) => days.push(d),
+                    None => {
+                        return Err(bad(
+                            &format!("patch_windows_days[{i}]"),
+                            "expected a positive number of days".to_string(),
+                        ));
+                    }
+                }
+            }
+            Some(days)
+        }
+    };
+    let policies = match field("policies") {
+        None => None,
+        Some(v) => {
+            let items = v
+                .as_arr()
+                .ok_or_else(|| bad("policies", "expected an array".to_string()))?;
+            if items.is_empty() || items.len() > MAX_GRID_AXIS {
+                return Err(bad(
+                    "policies",
+                    format!("expected 1..={MAX_GRID_AXIS} entries"),
+                ));
+            }
+            let mut out = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let at = format!("policies[{i}]");
+                let s = item
+                    .as_str()
+                    .ok_or_else(|| bad(&at, "expected a policy string".to_string()))?;
+                let p: PatchPolicy = s.parse().map_err(|e| bad(&at, format!("{e}")))?;
+                out.push(p);
+            }
+            Some(out)
+        }
+    };
+    let max_redundancy = match field("max_redundancy") {
+        None => None,
+        Some(v) => {
+            let m = v
+                .as_f64()
+                .filter(|m| m.fract() == 0.0 && (1.0..=8.0).contains(m));
+            match m {
+                Some(m) => Some(m as u32),
+                None => {
+                    return Err(bad(
+                        "max_redundancy",
+                        "expected an integer in 1..=8".to_string(),
+                    ));
+                }
+            }
+        }
+    };
+    Ok(SweepRequest {
+        doc,
+        patch_windows_days,
+        policies,
+        max_redundancy,
+    })
+}
+
+/// A structured error body: a `Report` named `error` with `ok: false`
+/// and one key/value block — `status`, `error` kind, then the detail
+/// entries (whose message strings are snippet-capped upstream; raw
+/// request bytes never appear here).
+pub fn error_response(status: u16, kind: &str, details: Vec<(String, Value)>) -> Response {
+    let mut r = Report::new("error", "request rejected");
+    r.check(false);
+    let mut entries: Vec<(String, Value)> = vec![
+        ("schema_serve".into(), Value::from(SERVE_SCHEMA)),
+        ("status".into(), Value::from(i64::from(status))),
+        ("error".into(), Value::from(kind)),
+    ];
+    entries.extend(details);
+    r.keys(entries);
+    Response::json(status, r.to_json())
+}
+
+/// Maps an evaluation-path error to its structured response: scenario
+/// and design defects are the client's fault (400), solver failures are
+/// the server's (500).
+pub fn eval_error_response(e: &EvalError) -> Response {
+    match e {
+        EvalError::Scenario(ScenarioError::Json { line, col, message }) => error_response(
+            400,
+            "json",
+            vec![
+                ("line".into(), int(*line as u64)),
+                ("col".into(), int(*col as u64)),
+                ("message".into(), Value::from(message.as_str())),
+            ],
+        ),
+        EvalError::Scenario(ScenarioError::Invalid { at, message }) => error_response(
+            400,
+            "schema",
+            vec![
+                ("at".into(), Value::from(at.as_str())),
+                ("message".into(), Value::from(message.as_str())),
+            ],
+        ),
+        EvalError::InvalidSpec(issue) => error_response(
+            400,
+            "spec",
+            vec![("message".into(), Value::from(issue.to_string()))],
+        ),
+        EvalError::CountMismatch { .. } | EvalError::ZeroServers { .. } => error_response(
+            400,
+            "design",
+            vec![("message".into(), Value::from(e.to_string()))],
+        ),
+        EvalError::Srn(_) | EvalError::Solve(_) => error_response(
+            500,
+            "solver",
+            vec![("message".into(), Value::from(e.to_string()))],
+        ),
+    }
+}
+
+/// The 405 response, naming the allowed method.
+fn method_not_allowed(allow: &'static str) -> Response {
+    error_response(
+        405,
+        "method_not_allowed",
+        vec![(
+            "message".into(),
+            Value::from(format!("use {allow} for this endpoint")),
+        )],
+    )
+    .with_header("Allow", allow)
+}
+
+/// Maps a wire-reading failure to its (connection-closing) response;
+/// `None` when the socket is beyond answering.
+pub fn http_error_response(e: &HttpError) -> Option<Response> {
+    let status = e.status()?;
+    Some(error_response(
+        status,
+        "http",
+        vec![("message".into(), Value::from(e.to_string()))],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redeval::scenario::builtin;
+
+    /// Cheap deterministic endpoints: no SRN solves, but real documents
+    /// and real cache behaviour.
+    fn test_service(cache_capacity: usize) -> Service {
+        let endpoints = Endpoints {
+            eval: Box::new(|doc| {
+                let mut r = Report::new(format!("eval_{}", doc.name), "stub eval");
+                r.keys([("tiers", Value::from(doc.tiers.len()))]);
+                Ok(r)
+            }),
+            sweep: Box::new(|req| {
+                let mut r = Report::new(format!("sweep_{}", req.doc.name), "stub sweep");
+                r.keys([(
+                    "axes",
+                    Value::from(
+                        req.patch_windows_days.as_ref().map_or(0, Vec::len)
+                            + req.policies.as_ref().map_or(0, Vec::len),
+                    ),
+                )]);
+                Ok(r)
+            }),
+            scenarios: Box::new(|| Report::new("scenario_list", "stub scenarios")),
+            reports: Box::new(|| Report::new("list", "stub reports")),
+        };
+        Service::new(
+            endpoints,
+            ServiceConfig {
+                cache_capacity,
+                limits: Limits::default(),
+            },
+        )
+    }
+
+    fn doc_json() -> String {
+        builtin::paper_case_study().to_json()
+    }
+
+    #[test]
+    fn routes_get_endpoints() {
+        let svc = test_service(1 << 20);
+        let ok = svc.handle(&Request::synthetic("GET", "/healthz", b""));
+        assert_eq!(ok.status, 200);
+        assert_eq!(
+            String::from_utf8(ok.body).unwrap(),
+            format!("{{\"ok\": true, \"schema\": \"{SERVE_SCHEMA}\"}}\n")
+        );
+        for path in ["/v1/scenarios", "/v1/reports", "/v1/stats"] {
+            assert_eq!(
+                svc.handle(&Request::synthetic("GET", path, b"")).status,
+                200
+            );
+        }
+        assert_eq!(
+            svc.handle(&Request::synthetic("GET", "/nope", b"")).status,
+            404
+        );
+        let r = svc.handle(&Request::synthetic("GET", "/v1/eval", b""));
+        assert_eq!(r.status, 405);
+        assert!(r.extra_headers.contains(&("Allow", "POST".to_string())));
+        let r = svc.handle(&Request::synthetic("POST", "/healthz", b"x"));
+        assert_eq!(r.status, 405);
+        assert_eq!(svc.requests(), 7);
+    }
+
+    #[test]
+    fn eval_caches_by_canonical_content() {
+        let svc = test_service(1 << 20);
+        let body = doc_json();
+        let first = svc.handle(&Request::synthetic("POST", "/v1/eval", body.as_bytes()));
+        assert_eq!(first.status, 200);
+        assert!(first.extra_headers.contains(&(CACHE_HEADER, "miss".into())));
+        let second = svc.handle(&Request::synthetic("POST", "/v1/eval", body.as_bytes()));
+        assert!(second.extra_headers.contains(&(CACHE_HEADER, "hit".into())));
+        assert_eq!(first.body, second.body, "hit must be byte-identical");
+        // A *textually* different body for the same document also hits:
+        // the key hashes the canonical form.
+        let spaced = body.replace(",\n", " ,\n");
+        assert!(redeval::scenario::ScenarioDoc::from_json(&spaced).is_ok());
+        let third = svc.handle(&Request::synthetic("POST", "/v1/eval", spaced.as_bytes()));
+        assert!(third.extra_headers.contains(&(CACHE_HEADER, "hit".into())));
+        assert_eq!(first.body, third.body);
+        let stats = svc.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+    }
+
+    #[test]
+    fn eval_and_sweep_keys_do_not_collide() {
+        let svc = test_service(1 << 20);
+        let eval_body = doc_json();
+        let sweep_body = format!("{{\"scenario\": {}}}", eval_body.trim_end());
+        let a = svc.handle(&Request::synthetic(
+            "POST",
+            "/v1/eval",
+            eval_body.as_bytes(),
+        ));
+        let b = svc.handle(&Request::synthetic(
+            "POST",
+            "/v1/sweep",
+            sweep_body.as_bytes(),
+        ));
+        assert_eq!((a.status, b.status), (200, 200));
+        assert!(b.extra_headers.contains(&(CACHE_HEADER, "miss".into())));
+        assert_ne!(a.body, b.body);
+        // Different sweep params, different entry.
+        let with_axis = format!(
+            "{{\"scenario\": {}, \"patch_windows_days\": [7, 30]}}",
+            eval_body.trim_end()
+        );
+        let c = svc.handle(&Request::synthetic(
+            "POST",
+            "/v1/sweep",
+            with_axis.as_bytes(),
+        ));
+        assert!(c.extra_headers.contains(&(CACHE_HEADER, "miss".into())));
+        assert_eq!(svc.cache_stats().entries, 3);
+    }
+
+    #[test]
+    fn malformed_bodies_become_structured_reports_without_echo() {
+        let svc = test_service(1 << 20);
+        let junk = format!("{{ nope {}", "Z".repeat(10_000));
+        let r = svc.handle(&Request::synthetic("POST", "/v1/eval", junk.as_bytes()));
+        assert_eq!(r.status, 400);
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\"ok\": false"));
+        assert!(body.contains("\"error\": \"json\""));
+        assert!(!body.contains("ZZZZ"), "request bytes echoed: {body}");
+        // Schema violations carry the dotted path.
+        let bad_schema = doc_json().replace("\"title\"", "\"titel\"");
+        let r = svc.handle(&Request::synthetic(
+            "POST",
+            "/v1/eval",
+            bad_schema.as_bytes(),
+        ));
+        assert_eq!(r.status, 400);
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\"error\": \"schema\"") && body.contains("titel"));
+        // Non-UTF-8 bodies are rejected, not panicked on.
+        let r = svc.handle(&Request::synthetic("POST", "/v1/eval", &[0xff, 0xfe, 0x00]));
+        assert_eq!(r.status, 400);
+        // Errors are not cached.
+        assert_eq!(svc.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn sweep_body_validation_pinpoints_axes() {
+        let svc = test_service(1 << 20);
+        let doc = doc_json();
+        let doc = doc.trim_end();
+        let cases = [
+            ("{}".to_string(), "missing key `scenario`"),
+            (
+                format!("{{\"scenario\": {doc}, \"frob\": 1}}"),
+                "unknown key",
+            ),
+            (
+                format!("{{\"scenario\": {doc}, \"patch_windows_days\": [-1]}}"),
+                "patch_windows_days[0]",
+            ),
+            (
+                format!("{{\"scenario\": {doc}, \"policies\": [\"bogus\"]}}"),
+                "policies[0]",
+            ),
+            (
+                format!("{{\"scenario\": {doc}, \"max_redundancy\": 99}}"),
+                "1..=8",
+            ),
+        ];
+        for (body, needle) in cases {
+            let r = svc.handle(&Request::synthetic("POST", "/v1/sweep", body.as_bytes()));
+            assert_eq!(r.status, 400, "body {}", &body[..60.min(body.len())]);
+            let text = String::from_utf8(r.body).unwrap();
+            assert!(text.contains(needle), "`{needle}` not in {text}");
+        }
+    }
+
+    #[test]
+    fn stats_report_tracks_cache_counters() {
+        let svc = test_service(1 << 20);
+        let body = doc_json();
+        svc.handle(&Request::synthetic("POST", "/v1/eval", body.as_bytes()));
+        svc.handle(&Request::synthetic("POST", "/v1/eval", body.as_bytes()));
+        let stats = svc.handle(&Request::synthetic("GET", "/v1/stats", b""));
+        let text = String::from_utf8(stats.body).unwrap();
+        assert!(text.contains("\"cache_hits\": 1"), "{text}");
+        assert!(text.contains("\"cache_misses\": 1"));
+        assert!(text.contains("\"cache_entries\": 1"));
+        assert!(text.contains("\"requests\": 3"));
+    }
+
+    #[test]
+    fn tiny_cache_evicts_but_stays_correct() {
+        let svc = test_service(700); // fits roughly one stub response
+        let a = doc_json();
+        let b = builtin::ecommerce().to_json();
+        let ra = svc.handle(&Request::synthetic("POST", "/v1/eval", a.as_bytes()));
+        let rb = svc.handle(&Request::synthetic("POST", "/v1/eval", b.as_bytes()));
+        assert_eq!((ra.status, rb.status), (200, 200));
+        // Whatever was evicted, recomputation still yields identical
+        // bytes.
+        let ra2 = svc.handle(&Request::synthetic("POST", "/v1/eval", a.as_bytes()));
+        assert_eq!(ra.body, ra2.body);
+    }
+
+    #[test]
+    fn http_error_responses_map_statuses() {
+        assert_eq!(
+            http_error_response(&HttpError::BodyTooLarge)
+                .unwrap()
+                .status,
+            413
+        );
+        assert_eq!(
+            http_error_response(&HttpError::BadRequestLine)
+                .unwrap()
+                .status,
+            400
+        );
+        assert!(http_error_response(&HttpError::Truncated).is_none());
+    }
+
+    #[test]
+    fn solver_errors_are_500_not_400() {
+        let endpoints = Endpoints {
+            eval: Box::new(|_| Err(EvalError::from(redeval_srn::SrnError::VanishingLoop))),
+            sweep: Box::new(|_| unreachable!()),
+            scenarios: Box::new(|| Report::new("scenario_list", "x")),
+            reports: Box::new(|| Report::new("list", "x")),
+        };
+        let svc = Service::new(endpoints, ServiceConfig::default());
+        let r = svc.handle(&Request::synthetic(
+            "POST",
+            "/v1/eval",
+            doc_json().as_bytes(),
+        ));
+        assert_eq!(r.status, 500);
+        assert!(String::from_utf8(r.body)
+            .unwrap()
+            .contains("\"error\": \"solver\""));
+    }
+}

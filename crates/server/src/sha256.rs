@@ -1,0 +1,164 @@
+//! Hand-rolled SHA-256 (FIPS 180-4).
+//!
+//! The build environment has no crate network, so the content-addressed
+//! result cache hashes with this ~100-line implementation instead of a
+//! dependency — the same policy under which `redeval::output` hand-rolls
+//! JSON. It is a straight transcription of the FIPS 180-4 algorithm
+//! (§5.1.1 padding, §6.2.2 compression) and is pinned against the
+//! standard's own test vectors below. Throughput is irrelevant here:
+//! cache keys hash a few kilobytes of canonical JSON per request.
+
+/// A SHA-256 digest.
+pub type Digest = [u8; 32];
+
+/// The first 32 bits of the fractional parts of the cube roots of the
+/// first 64 primes (FIPS 180-4 §4.2.2).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Processes one 64-byte block into the hash state (FIPS 180-4 §6.2.2).
+fn compress(state: &mut [u32; 8], block: &[u8]) {
+    debug_assert_eq!(block.len(), 64);
+    let mut w = [0u32; 64];
+    for (t, chunk) in block.chunks_exact(4).enumerate() {
+        w[t] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    for t in 16..64 {
+        let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
+        let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
+        w[t] = w[t - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[t - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for t in 0..64 {
+        let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = h
+            .wrapping_add(big_s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[t])
+            .wrapping_add(w[t]);
+        let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = big_s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    for (s, v) in state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+        *s = s.wrapping_add(v);
+    }
+}
+
+/// The SHA-256 digest of `data`.
+pub fn sha256(data: &[u8]) -> Digest {
+    // Initial hash values: fractional parts of the square roots of the
+    // first 8 primes (FIPS 180-4 §5.3.3).
+    let mut state: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+    let mut blocks = data.chunks_exact(64);
+    for block in blocks.by_ref() {
+        compress(&mut state, block);
+    }
+    // Padding: 0x80, zeros, then the bit length as a big-endian u64,
+    // aligned to a 64-byte boundary (§5.1.1).
+    let mut tail = [0u8; 128];
+    let rem = blocks.remainder();
+    tail[..rem.len()].copy_from_slice(rem);
+    tail[rem.len()] = 0x80;
+    let tail_len = if rem.len() < 56 { 64 } else { 128 };
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    tail[tail_len - 8..tail_len].copy_from_slice(&bit_len.to_be_bytes());
+    for block in tail[..tail_len].chunks_exact(64) {
+        compress(&mut state, block);
+    }
+    let mut out = [0u8; 32];
+    for (chunk, word) in out.chunks_exact_mut(4).zip(state) {
+        chunk.copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Lowercase hex rendering of a digest.
+pub fn hex(digest: &Digest) -> String {
+    digest.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The FIPS 180-4 / NIST example vectors for SHA-256, plus the
+    /// one-million-`a` stress vector.
+    #[test]
+    fn fips_180_4_test_vectors() {
+        let cases: [(&[u8], &str); 4] = [
+            (
+                b"",
+                "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+            ),
+            (
+                b"abc",
+                "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+            ),
+            (
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+            ),
+            (
+                b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+                  ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+                "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1",
+            ),
+        ];
+        for (input, want) in cases {
+            assert_eq!(hex(&sha256(input)), want, "input {input:?}");
+        }
+        let million_a = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&sha256(&million_a)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn every_length_mod_64_pads_correctly() {
+        // The padding boundary cases (55, 56, 63, 64 bytes) are where
+        // hand-rolled implementations classically break; a change in any
+        // input byte must change the digest.
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..130 {
+            let data = vec![0x5a_u8; len];
+            assert!(seen.insert(sha256(&data)), "collision at length {len}");
+        }
+        let mut data = vec![0x5a_u8; 64];
+        data[63] ^= 1;
+        assert_ne!(sha256(&data), sha256(&[0x5a_u8; 64]));
+    }
+
+    #[test]
+    fn hex_is_lowercase_and_64_chars() {
+        let h = hex(&sha256(b"abc"));
+        assert_eq!(h.len(), 64);
+        assert!(h
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+    }
+}

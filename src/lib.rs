@@ -5,7 +5,9 @@
 //! repository. Depend on the individual crates
 //! (`redeval`, [`redeval_harm`], [`redeval_avail`],
 //! [`redeval_srn`], [`redeval_markov`], [`redeval_cvss`], [`redeval_sim`])
-//! for finer-grained builds.
+//! for finer-grained builds. The serving layer ([`redeval_server`]) is
+//! re-exported too; its CLI front door is `redeval serve` in
+//! `redeval-bench`.
 //!
 //! # Examples
 //!
@@ -28,6 +30,7 @@ pub use redeval_avail;
 pub use redeval_cvss;
 pub use redeval_harm;
 pub use redeval_markov;
+pub use redeval_server;
 pub use redeval_sim;
 pub use redeval_srn;
 

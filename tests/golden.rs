@@ -98,11 +98,11 @@ fn no_orphan_goldens() {
             .unwrap_or_default()
             .to_string();
         if path.is_dir() {
-            // The scenario corpus lives in its own subdirectory and has
-            // its own orphan check below.
-            assert_eq!(
-                stem,
-                "scenarios",
+            // The scenario corpus (checked below) and the serve corpus
+            // (orphan-checked by tests/serve.rs::no_orphan_serve_goldens)
+            // live in their own subdirectories.
+            assert!(
+                stem == "scenarios" || stem == "serve",
                 "unexpected directory in tests/golden: {}",
                 path.display()
             );

@@ -1,0 +1,83 @@
+//! Property suite for the serving contract: **a cache hit is
+//! byte-identical to a recompute**, across randomized mutations of the
+//! bundled paper scenario.
+//!
+//! Each case derives a document from `builtin::paper_case_study()` —
+//! random redundancy designs, a random patch policy, a mutated
+//! description — and POSTs it to one long-lived in-process service
+//! twice. The first response is a recompute (and must equal the report
+//! builder's own bytes); the second must be a cache hit with exactly the
+//! same bytes. The service is shared across cases, so the suite also
+//! exercises eviction-free steady state with many distinct keys.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use redeval::scenario::{builtin, ScenarioDoc};
+use redeval::{Design, PatchPolicy};
+use redeval_bench::{reports, serve};
+use redeval_server::{Request, Service, CACHE_HEADER};
+
+/// One service for the whole suite — pool, solve cache and result cache
+/// all warm across cases, like a long-running server.
+fn service() -> &'static Service {
+    static SERVICE: OnceLock<Service> = OnceLock::new();
+    SERVICE.get_or_init(|| serve::service(2, 8 << 20))
+}
+
+/// A mutated paper document: `n_designs` random per-tier counts in
+/// 1..=2 (kept small — every case runs real SRN evaluations) and one of
+/// four policies.
+fn mutated_doc(counts: &[Vec<u32>], policy_pick: usize, description_pick: u8) -> ScenarioDoc {
+    let mut doc = builtin::paper_case_study();
+    doc.designs = counts
+        .iter()
+        .enumerate()
+        .map(|(i, c)| Design::new(format!("mutant {i} {c:?}"), c.clone()))
+        .collect();
+    doc.policies = vec![match policy_pick {
+        0 => PatchPolicy::None,
+        1 => PatchPolicy::All,
+        2 => PatchPolicy::CriticalOnly(8.0),
+        _ => PatchPolicy::CriticalOnly(5.5),
+    }];
+    doc.description = format!("prop_serve mutation #{description_pick}");
+    doc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn cache_hit_bytes_equal_recompute_bytes(
+        counts in proptest::collection::vec(
+            proptest::collection::vec(1u32..=2, 4..5),
+            1..3,
+        ),
+        policy_pick in 0usize..4,
+        description_pick in 0u8..=255,
+    ) {
+        let doc = mutated_doc(&counts, policy_pick, description_pick);
+        let body = doc.to_json();
+        let svc = service();
+
+        let first = svc.handle(&Request::synthetic("POST", "/v1/eval", body.as_bytes()));
+        prop_assert_eq!(first.status, 200);
+
+        // The recompute reference: the CLI's own report builder.
+        let reference = reports::scenario::eval_report(&doc)
+            .expect("mutated paper scenario evaluates")
+            .to_json();
+        prop_assert_eq!(std::str::from_utf8(&first.body).unwrap(), reference.as_str());
+
+        // The repeat must hit and be byte-identical.
+        let second = svc.handle(&Request::synthetic("POST", "/v1/eval", body.as_bytes()));
+        prop_assert_eq!(second.status, 200);
+        prop_assert!(
+            second.extra_headers.contains(&(CACHE_HEADER, "hit".to_string())),
+            "expected a cache hit, got {:?}",
+            second.extra_headers
+        );
+        prop_assert_eq!(first.body, second.body);
+    }
+}

@@ -1,0 +1,339 @@
+//! Loopback integration suite for `redeval serve` (ISSUE 5 acceptance).
+//!
+//! A real `TcpListener` server wired exactly as the CLI wires it
+//! (`redeval_bench::serve::service`), driven through a socket:
+//!
+//! * the `/v1/eval` response for the **pinned** paper case-study
+//!   scenario file is byte-identical to what
+//!   `redeval eval --scenario … --format json` prints (the CLI and the
+//!   server share one report builder) and to the committed golden under
+//!   `tests/golden/serve/`;
+//! * the repeat request is served from the cache with identical bytes,
+//!   observable through `/v1/stats`;
+//! * malformed bodies — broken JSON, schema violations, oversized
+//!   payloads — come back as structured 4xx `Report`s that never echo
+//!   request bytes, and the server keeps serving afterwards.
+//!
+//! The golden HTTP transcripts (`*.http`) are full serialized responses
+//! (status line + headers + body); they stay byte-stable because the
+//! response serializer emits no `Date` and a fixed header order.
+//! Regenerate the corpus with `REDEVAL_BLESS=1 cargo test --test serve`.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+use redeval::scenario::ScenarioDoc;
+use redeval_bench::{reports, serve};
+use redeval_server::{Request, Server, ServerHandle};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn blessing() -> bool {
+    std::env::var_os("REDEVAL_BLESS").is_some()
+}
+
+/// Byte-compares `got` against the pinned file (or rewrites it under
+/// `REDEVAL_BLESS=1`).
+fn assert_matches_golden(got: &[u8], name: &str) {
+    let dir = golden_dir().join("serve");
+    let path = dir.join(name);
+    if blessing() {
+        fs::create_dir_all(&dir).expect("serve golden dir");
+        fs::write(&path, got).expect("write serve golden");
+        return;
+    }
+    let want = fs::read(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing serve golden {} — bless with REDEVAL_BLESS=1 cargo test --test serve",
+            path.display()
+        )
+    });
+    assert_eq!(
+        want, got,
+        "{name} diverged from its golden; if intentional, re-bless and commit the diff"
+    );
+}
+
+fn start_server() -> ServerHandle {
+    let service = serve::service(2, 1 << 20);
+    Server::bind("127.0.0.1:0", service, 2)
+        .expect("loopback bind")
+        .spawn()
+        .expect("acceptors start")
+}
+
+/// A parsed loopback response.
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Reply {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn body_text(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("response body is UTF-8")
+    }
+}
+
+/// Sends one request over `stream` and reads the reply.
+fn roundtrip(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    raw_head: &str,
+    body: &[u8],
+) -> Reply {
+    stream.write_all(raw_head.as_bytes()).expect("head sent");
+    stream.write_all(body).expect("body sent");
+    stream.flush().expect("flushed");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    let status: u16 = line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line {line:?}"));
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut header_line = String::new();
+        reader.read_line(&mut header_line).expect("header line");
+        let header_line = header_line.trim_end();
+        if header_line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header_line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("numeric length");
+            }
+            headers.push((name.to_string(), value.trim().to_string()));
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body read");
+    Reply {
+        status,
+        headers,
+        body,
+    }
+}
+
+/// POSTs `body` to `path` on a persistent connection.
+fn post(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    path: &str,
+    body: &[u8],
+) -> Reply {
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    roundtrip(stream, reader, &head, body)
+}
+
+fn get(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, path: &str) -> Reply {
+    roundtrip(
+        stream,
+        reader,
+        &format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n"),
+        b"",
+    )
+}
+
+fn connect(handle: &ServerHandle) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(handle.addr()).expect("loopback connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+/// The pinned paper scenario file — the same bytes CI POSTs with curl.
+fn paper_scenario_text() -> String {
+    fs::read_to_string(golden_dir().join("scenarios/paper_case_study.json"))
+        .expect("pinned paper scenario exists")
+}
+
+/// The ISSUE-5 headline acceptance test: served bytes ≡ CLI bytes ≡
+/// golden, repeat is a byte-identical cache hit, observable in stats.
+#[test]
+fn eval_is_byte_identical_to_the_cli_and_cached_on_repeat() {
+    let handle = start_server();
+    let (mut stream, mut reader) = connect(&handle);
+    let scenario = paper_scenario_text();
+
+    let first = post(&mut stream, &mut reader, "/v1/eval", scenario.as_bytes());
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("X-Redeval-Cache"), Some("miss"));
+
+    // Byte-identical to the CLI's `eval --scenario … --format json`
+    // output (both run reports::scenario::eval_report on the parsed
+    // file).
+    let doc = ScenarioDoc::from_json(&scenario).expect("pinned scenario parses");
+    let cli_bytes = reports::scenario::eval_report(&doc)
+        .expect("paper scenario evaluates")
+        .to_json();
+    assert_eq!(first.body_text(), cli_bytes);
+
+    // And byte-identical to the committed golden response body.
+    assert_matches_golden(&first.body, "eval_paper_case_study.json");
+
+    // The repeat request is a cache hit with identical bytes …
+    let second = post(&mut stream, &mut reader, "/v1/eval", scenario.as_bytes());
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("X-Redeval-Cache"), Some("hit"));
+    assert_eq!(first.body, second.body);
+
+    // … observable through /v1/stats.
+    let stats = get(&mut stream, &mut reader, "/v1/stats");
+    assert_eq!(stats.status, 200);
+    let text = stats.body_text();
+    assert!(text.contains("\"cache_hits\": 1"), "{text}");
+    assert!(text.contains("\"cache_misses\": 1"), "{text}");
+    assert!(text.contains("\"cache_entries\": 1"), "{text}");
+    handle.stop();
+}
+
+#[test]
+fn sweep_endpoint_layers_axes_and_caches() {
+    let handle = start_server();
+    let (mut stream, mut reader) = connect(&handle);
+    let scenario = paper_scenario_text();
+    let body = format!(
+        "{{\"scenario\": {}, \"policies\": [\"none\", \"all\"]}}",
+        scenario.trim_end()
+    );
+    let first = post(&mut stream, &mut reader, "/v1/sweep", body.as_bytes());
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("X-Redeval-Cache"), Some("miss"));
+    let text = first.body_text();
+    assert!(
+        text.contains("\"report\": \"sweep_paper_case_study\""),
+        "{text}"
+    );
+    assert!(
+        text.contains("\"grid\": 10"),
+        "5 designs × 2 policies: {text}"
+    );
+    let second = post(&mut stream, &mut reader, "/v1/sweep", body.as_bytes());
+    assert_eq!(second.header("X-Redeval-Cache"), Some("hit"));
+    assert_eq!(first.body, second.body);
+    handle.stop();
+}
+
+#[test]
+fn malformed_bodies_are_structured_4xx_without_leaking_or_killing_the_server() {
+    let handle = start_server();
+    let (mut stream, mut reader) = connect(&handle);
+
+    // 1. Broken JSON carrying a marker: structured 400, marker absent.
+    let junk = format!("{{ \"nope\" {}", "LEAKMARKER".repeat(400));
+    let reply = post(&mut stream, &mut reader, "/v1/eval", junk.as_bytes());
+    assert_eq!(reply.status, 400);
+    let text = reply.body_text();
+    assert!(text.contains("\"ok\": false") && text.contains("\"error\": \"json\""));
+    assert!(text.contains("\"line\": 1"), "{text}");
+    assert!(!text.contains("LEAKMARKER"), "request bytes echoed: {text}");
+
+    // 2. Well-formed JSON violating the schema: dotted-path 400.
+    let scenario = paper_scenario_text();
+    let bad_schema = scenario.replace("\"count\": 2", "\"count\": 0");
+    let reply = post(&mut stream, &mut reader, "/v1/eval", bad_schema.as_bytes());
+    assert_eq!(reply.status, 400);
+    let text = reply.body_text();
+    assert!(
+        text.contains("\"error\": \"schema\"") && text.contains(".count"),
+        "{text}"
+    );
+
+    // 3. Oversized payload: 413 before the body is even consumed; the
+    //    connection closes (the server cannot resync mid-body).
+    let huge_len = 64 * 1024 * 1024;
+    let head =
+        format!("POST /v1/eval HTTP/1.1\r\nHost: test\r\nContent-Length: {huge_len}\r\n\r\n");
+    let reply = roundtrip(&mut stream, &mut reader, &head, b"");
+    assert_eq!(reply.status, 413);
+    assert!(reply.body_text().contains("\"ok\": false"));
+
+    // 4. The server survived all of it: a fresh connection still serves.
+    let (mut stream, mut reader) = connect(&handle);
+    let ok = post(&mut stream, &mut reader, "/v1/eval", scenario.as_bytes());
+    assert_eq!(ok.status, 200);
+    handle.stop();
+}
+
+#[test]
+fn unknown_paths_and_wrong_methods_are_4xx() {
+    let handle = start_server();
+    let (mut stream, mut reader) = connect(&handle);
+    let health = get(&mut stream, &mut reader, "/healthz");
+    assert_eq!(health.status, 200);
+    assert!(health.body_text().contains("\"ok\": true"));
+    let missing = get(&mut stream, &mut reader, "/v2/everything");
+    assert_eq!(missing.status, 404);
+    let wrong = get(&mut stream, &mut reader, "/v1/eval");
+    assert_eq!(wrong.status, 405);
+    assert_eq!(wrong.header("Allow"), Some("POST"));
+    let listings = get(&mut stream, &mut reader, "/v1/scenarios");
+    assert!(listings.body_text().contains("paper_case_study"));
+    let registry = get(&mut stream, &mut reader, "/v1/reports");
+    assert!(registry.body_text().contains("table2"));
+    handle.stop();
+}
+
+/// Every file under `tests/golden/serve/` must be one this suite pins —
+/// a renamed golden must fail here, not linger as a dead byte pile
+/// (`tests/golden.rs` excludes the directory from its own orphan check
+/// and delegates to this one).
+#[test]
+fn no_orphan_serve_goldens() {
+    const PINNED: [&str; 4] = [
+        "eval_paper_case_study.json",
+        "healthz.http",
+        "bad_json.http",
+        "not_found.http",
+    ];
+    for entry in fs::read_dir(golden_dir().join("serve")).expect("serve golden dir exists") {
+        let path = entry.expect("dir entry").path();
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        assert!(
+            PINNED.contains(&name.as_str()),
+            "orphan serve golden {} — no test pins it",
+            path.display()
+        );
+    }
+}
+
+/// Golden HTTP transcripts: full serialized responses, pinned byte for
+/// byte. Built straight from the service (no socket) so the pin covers
+/// the response serializer too.
+#[test]
+fn http_transcripts_match_their_goldens() {
+    let service = serve::service(1, 1 << 20);
+    let health = service
+        .handle(&Request::synthetic("GET", "/healthz", b""))
+        .to_bytes(true);
+    assert_matches_golden(&health, "healthz.http");
+    let bad_json = service
+        .handle(&Request::synthetic("POST", "/v1/eval", b"{ nope"))
+        .to_bytes(true);
+    assert_matches_golden(&bad_json, "bad_json.http");
+    let not_found = service
+        .handle(&Request::synthetic("GET", "/v2/everything", b""))
+        .to_bytes(false);
+    assert_matches_golden(&not_found, "not_found.http");
+}
