@@ -144,6 +144,64 @@ impl NetworkModel {
         Ok(total)
     }
 
+    /// Joint states `Π (countᵢ + 1)` the mixed-radix enumeration of
+    /// [`expected_reward`](Self::expected_reward) visits (saturating).
+    fn joint_states(&self) -> u128 {
+        self.tiers
+            .iter()
+            .fold(1u128, |acc, t| acc.saturating_mul(u128::from(t.count) + 1))
+    }
+
+    /// Above this joint-state count the separable reward measures (COA,
+    /// availability, quorum COA, expected up servers) switch from exact
+    /// enumeration to the algebraically identical factored form — the
+    /// enumeration is exponential in the tier count and a fleet-scale
+    /// network (hundreds of tiers) never finishes it. Small networks
+    /// keep the enumeration path so pinned numbers stay bit-identical.
+    const FACTORED_THRESHOLD: u128 = 1 << 20;
+
+    /// Per-tier `(P(upᵢ ≥ qᵢ), E[upᵢ · 1{upᵢ ≥ qᵢ}])` for the factored
+    /// forms.
+    fn tier_moments(&self, quorum: &[u32]) -> Result<Vec<(f64, f64)>, SolveError> {
+        (0..self.tiers.len())
+            .map(|i| {
+                let dist = self.tier_down_distribution(i)?;
+                let count = self.tiers[i].count;
+                let mut p = 0.0;
+                let mut m = 0.0;
+                for (down, &prob) in dist.iter().enumerate() {
+                    let up = count - down as u32;
+                    if up >= quorum[i] {
+                        p += prob;
+                        m += prob * f64::from(up);
+                    }
+                }
+                Ok((p, m))
+            })
+            .collect()
+    }
+
+    /// Factored quorum COA. Tiers are independent, so
+    /// `E[Σᵢ upᵢ · Πⱼ 1{upⱼ ≥ qⱼ}] = Σᵢ mᵢ · Πⱼ≠ᵢ pⱼ`; prefix/suffix
+    /// products keep it `O(n)` without dividing by a possibly-zero `pᵢ`.
+    fn quorum_coa_factored(&self, quorum: &[u32]) -> Result<f64, SolveError> {
+        let moments = self.tier_moments(quorum)?;
+        let n = moments.len();
+        let mut prefix = vec![1.0; n + 1];
+        for (i, &(p, _)) in moments.iter().enumerate() {
+            prefix[i + 1] = prefix[i] * p;
+        }
+        let mut suffix = vec![1.0; n + 1];
+        for i in (0..n).rev() {
+            suffix[i] = suffix[i + 1] * moments[i].0;
+        }
+        let mut up_sum = 0.0;
+        for (i, &(_, m)) in moments.iter().enumerate() {
+            up_sum += prefix[i] * m * suffix[i + 1];
+        }
+        Ok(up_sum / f64::from(self.total_servers()))
+    }
+
     /// The paper's capacity-oriented availability (Table VI, generalized):
     /// reward 0 when **any** tier has zero servers up (the service chain is
     /// broken), otherwise the fraction of running servers.
@@ -152,6 +210,9 @@ impl NetworkModel {
     ///
     /// Propagates solver errors.
     pub fn coa(&self) -> Result<f64, SolveError> {
+        if self.joint_states() > Self::FACTORED_THRESHOLD {
+            return self.quorum_coa_factored(&vec![1; self.tiers.len()]);
+        }
         let total = self.total_servers() as f64;
         self.expected_reward(|ups| {
             if ups.contains(&0) {
@@ -169,6 +230,11 @@ impl NetworkModel {
     ///
     /// Propagates solver errors.
     pub fn availability(&self) -> Result<f64, SolveError> {
+        if self.joint_states() > Self::FACTORED_THRESHOLD {
+            let quorum = vec![1; self.tiers.len()];
+            let moments = self.tier_moments(&quorum)?;
+            return Ok(moments.iter().map(|&(p, _)| p).product());
+        }
         self.expected_reward(|ups| if ups.iter().all(|&u| u > 0) { 1.0 } else { 0.0 })
     }
 
@@ -195,6 +261,9 @@ impl NetworkModel {
                 t.count
             );
         }
+        if self.joint_states() > Self::FACTORED_THRESHOLD {
+            return self.quorum_coa_factored(quorum);
+        }
         let total = self.total_servers() as f64;
         let quorum = quorum.to_vec();
         self.expected_reward(move |ups| {
@@ -212,6 +281,12 @@ impl NetworkModel {
     ///
     /// Propagates solver errors.
     pub fn expected_up_servers(&self) -> Result<f64, SolveError> {
+        if self.joint_states() > Self::FACTORED_THRESHOLD {
+            // No indicator: `E[Σᵢ upᵢ]` is the sum of per-tier means.
+            let quorum = vec![0; self.tiers.len()];
+            let moments = self.tier_moments(&quorum)?;
+            return Ok(moments.iter().map(|&(_, m)| m).sum());
+        }
         self.expected_reward(|ups| ups.iter().map(|&u| u as f64).sum())
     }
 
@@ -489,6 +564,58 @@ mod tests {
         assert!((reward(&[1, 1, 1, 1]) - 4.0 / 6.0).abs() < 1e-15);
         assert_eq!(reward(&[0, 2, 2, 1]), 0.0);
         assert_eq!(reward(&[1, 0, 2, 1]), 0.0);
+    }
+
+    #[test]
+    fn factored_forms_match_enumeration() {
+        // The factored fast path must agree with the exact mixed-radix
+        // enumeration on networks small enough to run both.
+        let net = case_study();
+        let quorum = [1, 2, 1, 1];
+        assert!(
+            (net.quorum_coa_factored(&[1, 1, 1, 1]).unwrap() - net.coa().unwrap()).abs() < 1e-12
+        );
+        assert!(
+            (net.quorum_coa_factored(&quorum).unwrap() - net.coa_with_quorum(&quorum).unwrap())
+                .abs()
+                < 1e-12
+        );
+        let avail_factored: f64 = net
+            .tier_moments(&[1, 1, 1, 1])
+            .unwrap()
+            .iter()
+            .map(|&(p, _)| p)
+            .product();
+        assert!((avail_factored - net.availability().unwrap()).abs() < 1e-12);
+        let up_factored: f64 = net
+            .tier_moments(&[0, 0, 0, 0])
+            .unwrap()
+            .iter()
+            .map(|&(_, m)| m)
+            .sum();
+        assert!((up_factored - net.expected_up_servers().unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fleet_scale_network_solves_in_product_form() {
+        // 150 tiers would be 2^150+ joint states under enumeration; the
+        // factored path must make this instant and sane.
+        let tiers: Vec<Tier> = (0..150)
+            .map(|i| {
+                Tier::new(
+                    format!("t{i}"),
+                    1 + (i % 3) as u32,
+                    rates(1.0 + i as f64 * 0.01),
+                )
+            })
+            .collect();
+        let net = NetworkModel::new(tiers);
+        let coa = net.coa().unwrap();
+        let avail = net.availability().unwrap();
+        assert!(coa > 0.0 && coa < 1.0, "{coa}");
+        assert!(avail >= coa && avail < 1.0, "{avail}");
+        let up = net.expected_up_servers().unwrap();
+        assert!(up > 0.99 * f64::from(net.total_servers()) && up < f64::from(net.total_servers()));
     }
 
     #[test]

@@ -28,6 +28,7 @@
 use std::path::Path;
 
 use redeval::output::{Report, Table, Value};
+use redeval::scenario::generate::{self, Family, GenParams};
 use redeval::scenario::{builtin, ScenarioDoc};
 use redeval::PatchPolicy;
 
@@ -62,6 +63,12 @@ COMMANDS:
     scenario validate FILE...
                          parse + validate scenario files (exit 1 on failure)
 
+    gen <FAMILY> [--seed N] [--tiers K] [--redundancy R] [--designs D]
+                 [--policies P]
+                         emit a seeded, byte-deterministic scenario
+                         (canonical JSON) of an archetype family:
+                         ecommerce_fleet | iot_swarm | microservice_mesh
+
     serve [--addr A] [--threads N] [--cache-cap BYTES]
                          run the HTTP evaluation server (DESIGN.md §9):
                          POST /v1/eval, POST /v1/sweep, GET /v1/scenarios,
@@ -73,6 +80,11 @@ OPTIONS:
     --addr <A>           serve: listen address (default 127.0.0.1:7878)
     --threads <N>        serve: worker-pool size (default: all cores)
     --cache-cap <BYTES>  serve: result-cache budget (default 67108864)
+    --seed <N>           gen: generator seed (default 0)
+    --tiers <K>          gen: total tiers (family-specific range; default 12)
+    --redundancy <R>     gen: host-count bound 1..=8 (default 3)
+    --designs <D>        gen: extra designs beyond base, 0..=6 (default 2)
+    --policies <P>       gen: patch policies 1..=4 (default 2)
     -h, --help           this text
 
 EXIT CODES: 0 ok; 1 a consistency/validation check failed; 2 usage error.
@@ -139,6 +151,15 @@ enum Cmd {
         /// Overrides the file's policy list when present.
         policy: Option<PatchPolicy>,
     },
+    /// Emit a generated scenario's canonical JSON.
+    Gen {
+        /// Archetype family.
+        family: Family,
+        /// Generator knobs (defaults overridden by flags).
+        params: GenParams,
+        /// Generator seed.
+        seed: u64,
+    },
     /// Run the HTTP evaluation server.
     Serve {
         /// Listen address.
@@ -171,6 +192,11 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
     let mut addr: Option<String> = None;
     let mut threads: Option<usize> = None;
     let mut cache_cap: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut tiers: Option<u32> = None;
+    let mut redundancy: Option<u32> = None;
+    let mut designs: Option<u32> = None;
+    let mut policies: Option<u32> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -200,6 +226,33 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
                     v.parse()
                         .map_err(|_| format!("--cache-cap: `{v}` is not a byte count"))?,
                 );
+                i += 1;
+                continue;
+            }
+            "--seed" => {
+                i += 1;
+                let v = args.get(i).ok_or("--seed needs a number")?;
+                seed = Some(
+                    v.parse()
+                        .map_err(|_| format!("--seed: `{v}` is not a number"))?,
+                );
+                i += 1;
+                continue;
+            }
+            flag @ ("--tiers" | "--redundancy" | "--designs" | "--policies") => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| format!("{flag} needs a number"))?;
+                let n: u32 = v
+                    .parse()
+                    .map_err(|_| format!("{flag}: `{v}` is not a number"))?;
+                match flag {
+                    "--tiers" => tiers = Some(n),
+                    "--redundancy" => redundancy = Some(n),
+                    "--designs" => designs = Some(n),
+                    _ => policies = Some(n),
+                }
                 i += 1;
                 continue;
             }
@@ -253,6 +306,18 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
                  command (e.g. `redeval serve --addr 127.0.0.1:7878`)"
                 .to_string());
         }
+        if seed.is_some()
+            || tiers.is_some()
+            || redundancy.is_some()
+            || designs.is_some()
+            || policies.is_some()
+        {
+            return Err(
+                "`--seed`/`--tiers`/`--redundancy`/`--designs`/`--policies` \
+                 belong to the `gen` command (e.g. `redeval gen iot_swarm --seed 7`)"
+                    .to_string(),
+            );
+        }
         if explicit_format || out.is_some() {
             return Err("`--format`/`--out` need a command to render".to_string());
         }
@@ -287,6 +352,19 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
             positional[0]
         ));
     }
+    if positional[0] != "gen"
+        && (seed.is_some()
+            || tiers.is_some()
+            || redundancy.is_some()
+            || designs.is_some()
+            || policies.is_some())
+    {
+        return Err(format!(
+            "`--seed`/`--tiers`/`--redundancy`/`--designs`/`--policies` only apply \
+             to `gen`, not `{}`",
+            positional[0]
+        ));
+    }
 
     // Positionals the command consumes; anything beyond is an error.
     let mut consumed = 1;
@@ -313,6 +391,37 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
                 .take()
                 .ok_or("`eval` needs `--scenario <FILE>`")?;
             Cmd::Eval { file, policy }
+        }
+        "gen" => {
+            let key = positional
+                .get(1)
+                .ok_or("`gen` needs a family: ecommerce_fleet, iot_swarm or microservice_mesh")?;
+            consumed = 2;
+            let family = Family::parse(key).ok_or_else(|| {
+                format!(
+                    "unknown family `{key}` (expected ecommerce_fleet, iot_swarm \
+                     or microservice_mesh)"
+                )
+            })?;
+            // The emitted document *is* canonical JSON; another format
+            // would be a lie (same contract as `scenario export`).
+            if explicit_format && format != Format::Json {
+                return Err(
+                    "`gen` always writes canonical scenario JSON; drop the --format flag"
+                        .to_string(),
+                );
+            }
+            let defaults = GenParams::default();
+            Cmd::Gen {
+                family,
+                params: GenParams {
+                    tiers: tiers.unwrap_or(defaults.tiers),
+                    redundancy: redundancy.unwrap_or(defaults.redundancy),
+                    designs: designs.unwrap_or(defaults.designs),
+                    policies: policies.unwrap_or(defaults.policies),
+                },
+                seed: seed.unwrap_or(0),
+            }
         }
         "serve" => {
             if explicit_format || out.is_some() {
@@ -433,7 +542,17 @@ pub fn list_report() -> Report {
     }
     r.table(reports);
     r.table(scenario_table());
+    r.table(generator_table());
     r
+}
+
+/// The generator families as a table (`redeval gen <family>`).
+fn generator_table() -> Table {
+    let mut t = Table::new("generators", ["family", "about"]);
+    for family in generate::FAMILIES {
+        t.add_row(vec![Value::from(family.key()), Value::from(family.about())]);
+    }
+    t
 }
 
 /// The bundled scenario gallery as a table (shared by `list` and
@@ -551,6 +670,26 @@ pub fn run(args: &[String]) -> i32 {
             match emit_or_exit(&report) {
                 Ok(ok) => i32::from(!ok),
                 Err(code) => code,
+            }
+        }
+        Cmd::Gen {
+            family,
+            params,
+            seed,
+        } => {
+            let doc = generate::generate(*family, params, *seed);
+            // Generators guarantee validity by construction; check it
+            // anyway so a regression can never emit a broken document.
+            if let Err(e) = doc.validate() {
+                eprintln!("error: generated scenario failed validation: {e}");
+                return 1;
+            }
+            match emit_text(&doc.to_json(), &doc.name, "json", out) {
+                Ok(()) => 0,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    2
+                }
             }
         }
         Cmd::Serve {
@@ -798,6 +937,99 @@ mod tests {
         .is_err());
         assert!(parse(&args(&["table", "2", "--scenario", "f.json"])).is_err());
         assert!(parse(&args(&["list", "--policy", "all"])).is_err());
+    }
+
+    #[test]
+    fn parses_gen_with_defaults_and_overrides() {
+        let inv = parse(&args(&["gen", "iot_swarm"])).unwrap();
+        assert_eq!(
+            inv.cmd,
+            Cmd::Gen {
+                family: Family::IotSwarm,
+                params: GenParams::default(),
+                seed: 0,
+            }
+        );
+        let inv = parse(&args(&[
+            "gen",
+            "ecommerce-fleet",
+            "--seed",
+            "42",
+            "--tiers",
+            "120",
+            "--redundancy",
+            "2",
+            "--designs",
+            "1",
+            "--policies",
+            "3",
+            "--out",
+            "corpus/",
+        ]))
+        .unwrap();
+        assert_eq!(
+            inv.cmd,
+            Cmd::Gen {
+                family: Family::EcommerceFleet,
+                params: GenParams {
+                    tiers: 120,
+                    redundancy: 2,
+                    designs: 1,
+                    policies: 3,
+                },
+                seed: 42,
+            }
+        );
+        assert_eq!(inv.out.as_deref(), Some("corpus/"));
+        // The document is canonical JSON: explicit json is fine, any
+        // other format is a contradiction.
+        assert!(parse(&args(&["gen", "mesh", "--format", "json"])).is_ok());
+        assert!(parse(&args(&["gen", "mesh", "--format", "csv"])).is_err());
+        // Usage errors: missing/unknown family, bad numbers, misplaced
+        // generator flags, trailing positionals.
+        assert!(parse(&args(&["gen"])).is_err());
+        assert!(parse(&args(&["gen", "no_such_family"])).is_err());
+        assert!(parse(&args(&["gen", "iot", "--seed", "NaN"])).is_err());
+        assert!(parse(&args(&["gen", "iot", "--tiers"])).is_err());
+        assert!(parse(&args(&["table", "2", "--seed", "1"])).is_err());
+        assert!(parse(&args(&["--seed", "1"])).is_err());
+        assert!(parse(&args(&["gen", "iot", "extra"])).is_err());
+    }
+
+    #[test]
+    fn gen_command_writes_the_generated_document() {
+        let dir = std::env::temp_dir().join(format!("redeval-cli-gen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let code = run(&args(&[
+            "gen",
+            "microservice_mesh",
+            "--seed",
+            "11",
+            "--tiers",
+            "9",
+            "--out",
+            dir.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0);
+        let doc = generate::generate(
+            Family::MicroserviceMesh,
+            &GenParams {
+                tiers: 9,
+                ..GenParams::default()
+            },
+            11,
+        );
+        let written = std::fs::read_to_string(dir.join(format!("{}.json", doc.name))).unwrap();
+        assert_eq!(written, doc.to_json(), "CLI bytes differ from the API's");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn list_includes_the_generator_families() {
+        let json = list_report().to_json();
+        for family in generate::FAMILIES {
+            assert!(json.contains(family.key()), "missing {family}");
+        }
     }
 
     #[test]

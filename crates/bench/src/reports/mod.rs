@@ -153,6 +153,11 @@ pub const REGISTRY: &[ReportSpec] = &[
         build: scenario::scenario_suite,
     },
     ReportSpec {
+        name: "gen_suite",
+        about: "Seeded generator corpus evaluated through the declarative API",
+        build: scenario::gen_suite,
+    },
+    ReportSpec {
         name: "validate_sim",
         about: "Analytic vs simulation cross-validation (fixed seeds)",
         build: validate::validate_sim,

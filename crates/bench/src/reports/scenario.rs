@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use redeval::exec::{AnalysisCache, Pool, Sweep};
 use redeval::output::{Report, Table, Value};
-use redeval::scenario::{builtin, ScenarioDoc};
+use redeval::scenario::{builtin, generate, ScenarioDoc};
 use redeval::{DesignEvaluation, EvalError, ScenarioError};
 use redeval_server::SweepRequest;
 
@@ -128,6 +128,17 @@ pub fn eval_report_on(
 }
 
 fn eval_report_impl(doc: &ScenarioDoc, exec: ExecOn<'_>) -> Result<Report, EvalError> {
+    // The same grid cap the sweep path enforces: an eval grid is
+    // designs × policies, and a pathological document must come back as
+    // a structured schema error, never a grid that monopolizes the
+    // server or the CLI.
+    let cells = (doc.designs.len() as u128).saturating_mul(doc.policies.len() as u128);
+    if cells > MAX_SWEEP_GRID as u128 {
+        return Err(EvalError::Scenario(ScenarioError::Invalid {
+            at: "request".to_string(),
+            message: format!("grid of {cells} scenarios exceeds the limit of {MAX_SWEEP_GRID}"),
+        }));
+    }
     let mut r = Report::new(
         format!("eval_{}", doc.name),
         format!("Scenario evaluation — {}", doc.title),
@@ -293,6 +304,71 @@ pub fn scenario_suite() -> Report {
     r
 }
 
+/// **Generator suite** — the pinned generator corpus
+/// ([`generate::PINNED`]) regenerated in-process, self-checked
+/// (byte-determinism, strict validation, round-trip equality) and
+/// evaluated end-to-end; the golden pins both the corpus shape and its
+/// numbers, so any drift in the generators is a test failure.
+pub fn gen_suite() -> Report {
+    let mut r = Report::new(
+        "gen_suite",
+        "Seeded generator corpus, evaluated through the declarative API",
+    );
+    let mut index = Table::new(
+        "corpus",
+        [
+            "scenario",
+            "family",
+            "seed",
+            "tiers",
+            "servers",
+            "vulnerabilities",
+            "edges",
+            "designs",
+            "policies",
+            "bytes",
+        ],
+    );
+    for &(family, params, seed) in generate::PINNED {
+        let doc = generate::generate(family, &params, seed);
+        let json = doc.to_json();
+        // Byte-determinism, strict validity and round-trip fidelity are
+        // report checks: a regression flips `ok` in the golden.
+        r.check(generate::generate(family, &params, seed).to_json() == json);
+        r.check(doc.validate().is_ok());
+        let back = ScenarioDoc::from_json(&json).expect("generated doc parses back");
+        r.check(back == doc);
+        index.add_row(vec![
+            Value::from(doc.name.as_str()),
+            Value::from(family.key()),
+            Value::from(seed as i64),
+            Value::from(doc.tiers.len()),
+            Value::from(doc.tiers.iter().map(|t| u64::from(t.count)).sum::<u64>() as i64),
+            Value::from(doc.vulnerabilities.len()),
+            Value::from(doc.edges.len()),
+            Value::from(doc.designs.len()),
+            Value::from(doc.policies.len()),
+            Value::from(json.len()),
+        ]);
+    }
+    r.table(index);
+    for &(family, params, seed) in generate::PINNED {
+        let doc = generate::generate(family, &params, seed);
+        // Evaluate the canonical-JSON form: these numbers are what
+        // `redeval eval --scenario <generated file>` computes.
+        let doc = ScenarioDoc::from_json(&doc.to_json()).expect("generated doc round-trips");
+        let name = doc.name.clone();
+        r.table(evaluation_table(&name, &doc, None).expect("generated doc evaluates"));
+    }
+    r.note(
+        "the corpus is redeval::scenario::generate::PINNED — the same \
+         (family, params, seed) triples whose canonical exports are \
+         byte-pinned under tests/golden/gen/ and regenerated by the CI \
+         gen-corpus job via `redeval gen`.",
+    );
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +381,33 @@ mod tests {
         for s in builtin::BUILTINS {
             assert!(json.contains(s.name), "missing {}", s.name);
         }
+    }
+
+    #[test]
+    fn gen_suite_covers_every_pinned_doc_and_passes_checks() {
+        let r = gen_suite();
+        assert!(r.ok);
+        let json = r.to_json();
+        for &(family, params, seed) in generate::PINNED {
+            let name = generate::generate(family, &params, seed).name;
+            assert!(json.contains(&name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn oversized_eval_grids_are_rejected_upfront() {
+        // 101 designs × 100 policies = 10 100 cells > the cap; the
+        // rejection must be a structured schema error, not a grid run.
+        let mut doc = builtin::paper_case_study();
+        let base = doc.base_design();
+        doc.designs = (0..101)
+            .map(|i| redeval::Design::new(format!("d{i}"), base.counts.clone()))
+            .collect();
+        doc.policies = (0..100)
+            .map(|i| redeval::PatchPolicy::CriticalOnly(f64::from(i) / 10.0))
+            .collect();
+        let e = eval_report(&doc).unwrap_err();
+        assert!(e.to_string().contains("exceeds the limit"), "{e}");
     }
 
     #[test]

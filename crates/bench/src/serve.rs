@@ -11,6 +11,10 @@
 //! * `GET /v1/scenarios` → [`cli::scenario_list_report`];
 //! * `GET /v1/reports` → [`cli::list_report`].
 //!
+//! `POST /v1/generate` needs no wiring here: the seeded generators are
+//! pure core code, so the server crate runs them directly and returns
+//! the same canonical bytes as `redeval gen`.
+//!
 //! Both evaluation endpoints share one [`Pool`] (spawned once, reused
 //! for every request) and one [`AnalysisCache`] (tier solves survive
 //! across requests), so a warm server only pays for what a request
@@ -71,6 +75,27 @@ mod tests {
         let second = svc.handle(&Request::synthetic("POST", "/v1/eval", body.as_bytes()));
         assert!(second.extra_headers.contains(&(CACHE_HEADER, "hit".into())));
         assert_eq!(first.body, second.body);
+    }
+
+    #[test]
+    fn wired_service_generates_the_cli_bytes() {
+        use redeval::scenario::generate::{self, Family, GenParams};
+        let svc = service(1, 1 << 20);
+        let req_body =
+            b"{\"family\": \"microservice_mesh\", \"seed\": 3, \"tiers\": 9, \"redundancy\": 2}";
+        let resp = svc.handle(&Request::synthetic("POST", "/v1/generate", req_body));
+        assert_eq!(resp.status, 200);
+        let expected = generate::generate(
+            Family::MicroserviceMesh,
+            &GenParams {
+                tiers: 9,
+                redundancy: 2,
+                ..GenParams::default()
+            },
+            3,
+        )
+        .to_json();
+        assert_eq!(String::from_utf8(resp.body).unwrap(), expected);
     }
 
     #[test]

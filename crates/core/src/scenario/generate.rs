@@ -1,0 +1,796 @@
+//! Seeded scenario generators: archetype families at arbitrary scale.
+//!
+//! Each generator is a pure function `(family, params, seed) →`
+//! [`ScenarioDoc`] built on a tiny splitmix64 PRNG — no wall-clock, no
+//! global state, no platform-dependent math (jitter uses only IEEE-754
+//! `+`/`*`/`/`, never transcendentals), so the same inputs produce the
+//! same document **byte for byte** on every platform and thread count.
+//! Every emitted document passes strict validation by construction:
+//! knobs are clamped into family-specific ranges rather than rejected,
+//! per-tier host counts on exploitable tiers are capped so the attack
+//! path count stays well under `metrics.max_paths`, and topologies always
+//! carry at least one entry tier, one target tier and no self-edges.
+//!
+//! Three families cover the archetypes the paper's 6-host case study
+//! cannot: [`Family::EcommerceFleet`] (a deep N-tier chain — hundreds of
+//! tiers of fleet-scale availability load around a 3-tier attack
+//! surface), [`Family::IotSwarm`] (many entry tiers with shallow trees
+//! funnelling into a small backend) and [`Family::MicroserviceMesh`]
+//! (a layered DAG with realistic fan-out edges, every tier exploitable).
+//!
+//! ```
+//! use redeval::scenario::generate::{generate, Family, GenParams};
+//!
+//! let doc = generate(Family::IotSwarm, &GenParams::default(), 42);
+//! doc.validate().expect("generated documents always validate");
+//! assert_eq!(doc.to_json(), generate(Family::IotSwarm, &GenParams::default(), 42).to_json());
+//! ```
+
+use redeval_avail::{Durations, ServerParams};
+use redeval_harm::MetricsConfig;
+
+use super::{ScenarioDoc, TierDef, TreeDef, VulnDef, VulnSource};
+use crate::spec::Design;
+use crate::PatchPolicy;
+
+/// A scenario archetype family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Deep N-tier e-commerce chain at fleet scale: an exploitable edge
+    /// tier, hundreds of unexploitable service tiers, an exploitable
+    /// API tier mid-chain and a database target, with bypass edges that
+    /// keep the attack surface three tiers deep.
+    EcommerceFleet,
+    /// IoT swarm: many sensor entry tiers with shallow attack trees,
+    /// funnelling through a gateway and an unexploitable broker into a
+    /// historian target.
+    IotSwarm,
+    /// Microservice mesh: an edge tier fanning out over three layers of
+    /// exploitable services into a database target, with extra fan-out
+    /// edges between layers.
+    MicroserviceMesh,
+}
+
+/// All families, in documentation order.
+pub const FAMILIES: [Family; 3] = [
+    Family::EcommerceFleet,
+    Family::IotSwarm,
+    Family::MicroserviceMesh,
+];
+
+impl Family {
+    /// Canonical machine key (`[a-z_]+`; used in document names, the
+    /// CLI and the `/v1/generate` body).
+    pub fn key(self) -> &'static str {
+        match self {
+            Family::EcommerceFleet => "ecommerce_fleet",
+            Family::IotSwarm => "iot_swarm",
+            Family::MicroserviceMesh => "microservice_mesh",
+        }
+    }
+
+    /// One-line description for listings.
+    pub fn about(self) -> &'static str {
+        match self {
+            Family::EcommerceFleet => {
+                "deep N-tier e-commerce chain; fleet-scale availability, 3-tier attack surface"
+            }
+            Family::IotSwarm => "many sensor entry tiers with shallow trees behind a small backend",
+            Family::MicroserviceMesh => {
+                "layered service DAG with fan-out edges, every tier exploitable"
+            }
+        }
+    }
+
+    /// Parses a family key; accepts `-` for `_` and short aliases
+    /// (`ecommerce`, `iot`, `mesh`).
+    pub fn parse(s: &str) -> Option<Family> {
+        match s.replace('-', "_").as_str() {
+            "ecommerce_fleet" | "ecommerce" => Some(Family::EcommerceFleet),
+            "iot_swarm" | "iot" => Some(Family::IotSwarm),
+            "microservice_mesh" | "microservices" | "mesh" => Some(Family::MicroserviceMesh),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// Generator knobs. Out-of-range values are clamped into the family's
+/// supported range (see [`GenParams::clamped`]) instead of rejected, so
+/// [`generate`] is total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenParams {
+    /// Total number of tiers (family-specific range; e-commerce supports
+    /// hundreds).
+    pub tiers: u32,
+    /// Baseline redundancy bound: host counts are drawn from
+    /// `1..=redundancy` (clamped to `1..=8`, the serve-API bound).
+    pub redundancy: u32,
+    /// Number of alternative designs beyond the baseline (`0..=6`).
+    pub designs: u32,
+    /// Number of patch policies (`1..=4`), a prefix of
+    /// `[critical>8, all, critical>6.5, none]`.
+    pub policies: u32,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams {
+            tiers: 12,
+            redundancy: 3,
+            designs: 2,
+            policies: 2,
+        }
+    }
+}
+
+impl GenParams {
+    /// The clamped knobs actually used for a family (also embedded in
+    /// the generated document's name).
+    pub fn clamped(&self, family: Family) -> GenParams {
+        let (lo, hi) = match family {
+            Family::EcommerceFleet => (3, 512),
+            Family::IotSwarm => (4, 256),
+            Family::MicroserviceMesh => (5, 64),
+        };
+        GenParams {
+            tiers: self.tiers.clamp(lo, hi),
+            redundancy: self.redundancy.clamp(1, 8),
+            designs: self.designs.min(6),
+            policies: self.policies.clamp(1, 4),
+        }
+    }
+}
+
+/// The pinned generator corpus: the exact `(family, params, seed)`
+/// triples whose canonical exports are byte-pinned under
+/// `tests/golden/gen/` and regenerated by the CI `gen-corpus` job. The
+/// last entry is the fleet-scale (≥100-tier) smoke-eval document.
+pub const PINNED: &[(Family, GenParams, u64)] = &[
+    (
+        Family::EcommerceFleet,
+        GenParams {
+            tiers: 8,
+            redundancy: 3,
+            designs: 2,
+            policies: 2,
+        },
+        1,
+    ),
+    (
+        Family::IotSwarm,
+        GenParams {
+            tiers: 7,
+            redundancy: 3,
+            designs: 2,
+            policies: 2,
+        },
+        2,
+    ),
+    (
+        Family::MicroserviceMesh,
+        GenParams {
+            tiers: 9,
+            redundancy: 2,
+            designs: 2,
+            policies: 2,
+        },
+        3,
+    ),
+    (
+        Family::EcommerceFleet,
+        GenParams {
+            tiers: 120,
+            redundancy: 2,
+            designs: 1,
+            policies: 1,
+        },
+        7,
+    ),
+];
+
+/// splitmix64: tiny, statistically solid, and trivially portable — the
+/// whole generator state is one `u64`.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` from the top 53 bits (exact in f64).
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `0..n` (`n > 0`).
+    fn below(&mut self, n: u32) -> u32 {
+        (self.next_u64() % u64::from(n)) as u32
+    }
+
+    /// Uniform in `lo..=hi`.
+    fn range(&mut self, lo: u32, hi: u32) -> u32 {
+        lo + self.below(hi - lo + 1)
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// `base` scaled by a uniform factor in `[1-spread, 1+spread]`.
+    /// Multiplication and addition only, so the result is bit-identical
+    /// on every IEEE-754 platform.
+    fn jitter(&mut self, base: f64, spread: f64) -> f64 {
+        base * (1.0 + spread * (2.0 * self.unit() - 1.0))
+    }
+}
+
+/// Per-role rate template, in hours (`*_h`) and minutes (`*_m`);
+/// realized per tier with ±15 % jitter so every tier is a distinct
+/// availability model (fleet-scale load on the solver, while the
+/// count-independent analysis cache still deduplicates across designs).
+struct Template {
+    hw_mtbf_h: f64,
+    hw_repair_h: f64,
+    os_mtbf_h: f64,
+    os_repair_h: f64,
+    os_patch_m: f64,
+    os_reboot_patch_m: f64,
+    os_reboot_failure_m: f64,
+    svc_mtbf_h: f64,
+    svc_repair_m: f64,
+    svc_patch_m: f64,
+    svc_reboot_patch_m: f64,
+    svc_reboot_failure_m: f64,
+    patch_interval_h: f64,
+}
+
+/// Hardened front-line servers: frequent small patches.
+const FRONT: Template = Template {
+    hw_mtbf_h: 87_600.0,
+    hw_repair_h: 1.0,
+    os_mtbf_h: 1_440.0,
+    os_repair_h: 1.0,
+    os_patch_m: 10.0,
+    os_reboot_patch_m: 10.0,
+    os_reboot_failure_m: 10.0,
+    svc_mtbf_h: 336.0,
+    svc_repair_m: 30.0,
+    svc_patch_m: 5.0,
+    svc_reboot_patch_m: 5.0,
+    svc_reboot_failure_m: 5.0,
+    patch_interval_h: 720.0,
+};
+
+/// Mid-chain application servers.
+const MID: Template = Template {
+    hw_mtbf_h: 61_320.0,
+    hw_repair_h: 2.0,
+    os_mtbf_h: 2_160.0,
+    os_repair_h: 1.5,
+    os_patch_m: 20.0,
+    os_reboot_patch_m: 10.0,
+    os_reboot_failure_m: 12.0,
+    svc_mtbf_h: 504.0,
+    svc_repair_m: 45.0,
+    svc_patch_m: 15.0,
+    svc_reboot_patch_m: 5.0,
+    svc_reboot_failure_m: 8.0,
+    patch_interval_h: 720.0,
+};
+
+/// Stateful data stores: slow, careful patch windows.
+const DATA: Template = Template {
+    hw_mtbf_h: 43_800.0,
+    hw_repair_h: 4.0,
+    os_mtbf_h: 2_880.0,
+    os_repair_h: 2.0,
+    os_patch_m: 30.0,
+    os_reboot_patch_m: 10.0,
+    os_reboot_failure_m: 15.0,
+    svc_mtbf_h: 720.0,
+    svc_repair_m: 60.0,
+    svc_patch_m: 10.0,
+    svc_reboot_patch_m: 5.0,
+    svc_reboot_failure_m: 10.0,
+    patch_interval_h: 1_440.0,
+};
+
+/// Constrained embedded devices: flaky, rarely patched.
+const EMBEDDED: Template = Template {
+    hw_mtbf_h: 26_280.0,
+    hw_repair_h: 8.0,
+    os_mtbf_h: 720.0,
+    os_repair_h: 2.0,
+    os_patch_m: 45.0,
+    os_reboot_patch_m: 15.0,
+    os_reboot_failure_m: 20.0,
+    svc_mtbf_h: 168.0,
+    svc_repair_m: 60.0,
+    svc_patch_m: 30.0,
+    svc_reboot_patch_m: 10.0,
+    svc_reboot_failure_m: 15.0,
+    patch_interval_h: 2_160.0,
+};
+
+impl Template {
+    fn realize(&self, name: &str, rng: &mut Rng) -> ServerParams {
+        const S: f64 = 0.15;
+        ServerParams::builder(name)
+            .hardware(
+                Durations::hours(rng.jitter(self.hw_mtbf_h, S)),
+                Durations::hours(rng.jitter(self.hw_repair_h, S)),
+            )
+            .os_failure(
+                Durations::hours(rng.jitter(self.os_mtbf_h, S)),
+                Durations::hours(rng.jitter(self.os_repair_h, S)),
+            )
+            .os_patch(
+                Durations::minutes(rng.jitter(self.os_patch_m, S)),
+                Durations::minutes(rng.jitter(self.os_reboot_patch_m, S)),
+            )
+            .os_reboot_after_failure(Durations::minutes(rng.jitter(self.os_reboot_failure_m, S)))
+            .service_failure(
+                Durations::hours(rng.jitter(self.svc_mtbf_h, S)),
+                Durations::minutes(rng.jitter(self.svc_repair_m, S)),
+            )
+            .service_patch(
+                Durations::minutes(rng.jitter(self.svc_patch_m, S)),
+                Durations::minutes(rng.jitter(self.svc_reboot_patch_m, S)),
+            )
+            .service_reboot_after_failure(Durations::minutes(
+                rng.jitter(self.svc_reboot_failure_m, S),
+            ))
+            .patch_interval(Durations::hours(rng.jitter(self.patch_interval_h, S)))
+            .build()
+    }
+}
+
+/// Known-good CVSS v2 base vectors spanning the severity range.
+const VECTORS: [&str; 6] = [
+    "AV:N/AC:L/Au:N/C:C/I:C/A:C",
+    "AV:N/AC:L/Au:N/C:C/I:P/A:N",
+    "AV:N/AC:M/Au:N/C:P/I:P/A:P",
+    "AV:N/AC:M/Au:S/C:P/I:P/A:N",
+    "AV:A/AC:L/Au:N/C:C/I:C/A:C",
+    "AV:N/AC:L/Au:N/C:P/I:N/A:N",
+];
+
+/// A tier plus the maximum host count any design may assign to it (the
+/// cap that bounds attack-path blowup on exploitable tiers).
+struct TierPlan {
+    def: TierDef,
+    max_count: u32,
+}
+
+/// Scratch state shared by the family builders.
+struct Builder {
+    rng: Rng,
+    vulns: Vec<VulnDef>,
+    trees: Vec<(String, TreeDef)>,
+    tiers: Vec<TierPlan>,
+    edges: Vec<(String, String)>,
+}
+
+impl Builder {
+    fn new(seed: u64) -> Builder {
+        Builder {
+            rng: Rng::new(seed),
+            vulns: Vec::new(),
+            trees: Vec::new(),
+            tiers: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Generates 1–3 vulnerabilities plus a shallow attack tree for
+    /// `tier`, registering both, and returns the tree name.
+    fn grow_tree(&mut self, tier: &str, max_leaves: u32) -> String {
+        let n = self.rng.range(1, max_leaves.clamp(1, 3));
+        let mut leaves = Vec::new();
+        for j in 0..n {
+            let id = format!("{tier}_v{j}");
+            let source = if self.rng.chance(0.7) {
+                let v = VECTORS[self.rng.below(VECTORS.len() as u32) as usize];
+                VulnSource::Vector(v.into())
+            } else {
+                VulnSource::Explicit {
+                    impact: self.rng.jitter(6.0, 0.6),
+                    probability: 0.15 + 0.8 * self.rng.unit(),
+                    base_score: None,
+                }
+            };
+            let cve = if self.rng.chance(0.25) {
+                Some(format!(
+                    "CVE-20{}-{}",
+                    self.rng.range(17, 25),
+                    self.rng.range(1000, 9999)
+                ))
+            } else {
+                None
+            };
+            self.vulns.push(VulnDef {
+                id: id.clone(),
+                cve,
+                source,
+            });
+            leaves.push(TreeDef::Vuln(id));
+        }
+        let root = match leaves.len() {
+            1 => leaves.pop().unwrap(),
+            2 if self.rng.chance(0.3) => TreeDef::And(leaves),
+            3 if self.rng.chance(0.4) => {
+                let deep = TreeDef::And(leaves.split_off(1));
+                leaves.push(deep);
+                TreeDef::Or(leaves)
+            }
+            _ => TreeDef::Or(leaves),
+        };
+        let name = format!("{tier}_tree");
+        self.trees.push((name.clone(), root));
+        name
+    }
+
+    /// Adds a tier; `max_count` caps its host count across all designs.
+    #[allow(clippy::too_many_arguments)]
+    fn tier(
+        &mut self,
+        name: &str,
+        template: &Template,
+        max_count: u32,
+        tree: Option<String>,
+        entry: bool,
+        target: bool,
+    ) {
+        let count = self.rng.range(1, max_count);
+        let params = template.realize(name, &mut self.rng);
+        self.tiers.push(TierPlan {
+            def: TierDef {
+                name: name.into(),
+                count,
+                params,
+                tree,
+                entry,
+                target,
+            },
+            max_count,
+        });
+    }
+
+    fn edge(&mut self, from: &str, to: &str) {
+        let e = (from.to_string(), to.to_string());
+        if e.0 != e.1 && !self.edges.contains(&e) {
+            self.edges.push(e);
+        }
+    }
+
+    /// Baseline design plus `extra` mutated alternatives, all counts in
+    /// `1..=max_count` per tier.
+    fn designs(&mut self, extra: u32) -> Vec<Design> {
+        let base: Vec<u32> = self.tiers.iter().map(|t| t.def.count).collect();
+        let mut designs = vec![Design::new("base", base.clone())];
+        for d in 1..=extra {
+            let counts: Vec<u32> = self
+                .tiers
+                .iter()
+                .zip(&base)
+                .map(|(t, &c)| {
+                    if self.rng.chance(0.35) {
+                        let bumped = if self.rng.chance(0.5) {
+                            c + 1
+                        } else {
+                            c.saturating_sub(1)
+                        };
+                        bumped.clamp(1, t.max_count)
+                    } else {
+                        c
+                    }
+                })
+                .collect();
+            designs.push(Design::new(format!("alt_{d}"), counts));
+        }
+        designs
+    }
+
+    fn finish(
+        mut self,
+        name: String,
+        title: String,
+        description: String,
+        extra_designs: u32,
+        policies: u32,
+    ) -> ScenarioDoc {
+        let designs = self.designs(extra_designs);
+        let policy_pool = [
+            PatchPolicy::CriticalOnly(8.0),
+            PatchPolicy::All,
+            PatchPolicy::CriticalOnly(6.5),
+            PatchPolicy::None,
+        ];
+        ScenarioDoc {
+            name,
+            title,
+            description,
+            vulnerabilities: self.vulns,
+            trees: self.trees,
+            tiers: self.tiers.into_iter().map(|t| t.def).collect(),
+            edges: self.edges,
+            designs,
+            policies: policy_pool[..policies as usize].to_vec(),
+            metrics: MetricsConfig::default(),
+        }
+    }
+}
+
+/// Generates a scenario document. Pure and total: the same
+/// `(family, params, seed)` always yields the same bytes, knobs are
+/// clamped per family, and the result always passes
+/// [`ScenarioDoc::validate`].
+pub fn generate(family: Family, params: &GenParams, seed: u64) -> ScenarioDoc {
+    let p = params.clamped(family);
+    let name = format!(
+        "gen_{}_s{}_t{}_r{}_d{}_p{}",
+        family.key(),
+        seed,
+        p.tiers,
+        p.redundancy,
+        p.designs,
+        p.policies
+    );
+    let title = format!("Generated {} (seed {seed})", family.key());
+    let description = format!(
+        "Seeded {} scenario: {} tiers, redundancy {}, {} designs, {} policies. \
+         Emitted by redeval::scenario::generate; byte-deterministic in (family, params, seed).",
+        family.key(),
+        p.tiers,
+        p.redundancy,
+        p.designs + 1,
+        p.policies
+    );
+    let mut b = Builder::new(seed);
+    match family {
+        Family::EcommerceFleet => ecommerce(&mut b, &p),
+        Family::IotSwarm => iot(&mut b, &p),
+        Family::MicroserviceMesh => mesh(&mut b, &p),
+    }
+    b.finish(name, title, description, p.designs, p.policies)
+}
+
+/// Deep chain `edge → svc… → api → svc… → db` where only `edge`, `api`
+/// and `db` carry attack trees; bypass edges `edge → api → db` keep the
+/// attack surface exactly three tiers while the unexploitable middle
+/// tiers provide fleet-scale availability load. Attack paths ≤ 8³.
+fn ecommerce(b: &mut Builder, p: &GenParams) {
+    let n = p.tiers as usize;
+    let api_idx = (n - 1) / 2; // in 1..=n-2 for n ≥ 3
+    let edge_tree = b.grow_tree("edge", 2);
+    b.tier("edge", &FRONT, p.redundancy, Some(edge_tree), true, false);
+    for i in 1..n - 1 {
+        if i == api_idx {
+            let tree = b.grow_tree("api", 3);
+            b.tier("api", &MID, p.redundancy, Some(tree), false, false);
+        } else {
+            b.tier(
+                &format!("svc{i:03}"),
+                &MID,
+                p.redundancy,
+                None,
+                false,
+                false,
+            );
+        }
+    }
+    let db_tree = b.grow_tree("db", 2);
+    b.tier("db", &DATA, p.redundancy, Some(db_tree), false, true);
+
+    let names: Vec<String> = b.tiers.iter().map(|t| t.def.name.clone()).collect();
+    for w in names.windows(2) {
+        b.edge(&w[0], &w[1]);
+    }
+    // The attack route: the middle tiers are unexploitable, so the
+    // exploitable trio must be directly connected.
+    b.edge("edge", "api");
+    b.edge("api", "db");
+}
+
+/// `tiers - 3` sensor entry tiers with shallow trees, all feeding a
+/// gateway; the unexploitable broker sits between the gateway and the
+/// historian target, with a gateway → historian maintenance path that
+/// carries the attack. Attack paths ≤ (tiers-3) · 8 · 2 · 2.
+fn iot(b: &mut Builder, p: &GenParams) {
+    let sensors = p.tiers as usize - 3;
+    for i in 0..sensors {
+        let name = format!("sensor{i:03}");
+        let tree = b.grow_tree(&name, 2);
+        b.tier(&name, &EMBEDDED, p.redundancy, Some(tree), true, false);
+    }
+    let gw_tree = b.grow_tree("gateway", 3);
+    b.tier("gateway", &FRONT, 2, Some(gw_tree), false, false);
+    b.tier("broker", &MID, 2, None, false, false);
+    let hist_tree = b.grow_tree("historian", 2);
+    b.tier("historian", &DATA, 2, Some(hist_tree), false, true);
+
+    for i in 0..sensors {
+        let name = format!("sensor{i:03}");
+        b.edge(&name, "gateway");
+    }
+    b.edge("gateway", "broker");
+    b.edge("broker", "historian");
+    b.edge("gateway", "historian");
+}
+
+/// Edge tier fanning out over three exploitable middle layers into a
+/// database target. Every layer-k tier has exactly one layer-(k-1)
+/// parent plus a bounded number of extra fan-out edges, so the DAG has
+/// realistic fan-out while the route count stays small.
+fn mesh(b: &mut Builder, p: &GenParams) {
+    let w = p.tiers as usize - 2; // middle tiers, ≥ 3
+    let l1 = w.div_ceil(3);
+    let l2 = (w - l1).div_ceil(2);
+    let l3 = w - l1 - l2;
+    let layer_name = |layer: usize, i: usize| format!("svc{layer}_{i:02}");
+
+    let edge_tree = b.grow_tree("edge", 2);
+    b.tier("edge", &FRONT, p.redundancy, Some(edge_tree), true, false);
+    for (layer, width) in [(1, l1), (2, l2), (3, l3)] {
+        for i in 0..width {
+            let name = layer_name(layer, i);
+            let tree = b.grow_tree(&name, 3);
+            let template = if layer == 2 { &MID } else { &FRONT };
+            b.tier(&name, template, 2, Some(tree), false, false);
+        }
+    }
+    let db_tree = b.grow_tree("db", 2);
+    b.tier("db", &DATA, 2, Some(db_tree), false, true);
+
+    for i in 0..l1 {
+        b.edge("edge", &layer_name(1, i));
+    }
+    for i in 0..l2 {
+        let parent = b.rng.below(l1 as u32) as usize;
+        b.edge(&layer_name(1, parent), &layer_name(2, i));
+    }
+    for i in 0..l3 {
+        let parent = b.rng.below(l2 as u32) as usize;
+        b.edge(&layer_name(2, parent), &layer_name(3, i));
+    }
+    // Bounded extra fan-out: realistic multi-parent meshes without
+    // route-count blowup.
+    for _ in 0..4 {
+        if l2 > 0 && b.rng.chance(0.6) {
+            let from = b.rng.below(l1 as u32) as usize;
+            let to = b.rng.below(l2 as u32) as usize;
+            b.edge(&layer_name(1, from), &layer_name(2, to));
+        }
+        if l3 > 0 && b.rng.chance(0.6) {
+            let from = b.rng.below(l2 as u32) as usize;
+            let to = b.rng.below(l3 as u32) as usize;
+            b.edge(&layer_name(2, from), &layer_name(3, to));
+        }
+    }
+    for i in 0..l3 {
+        b.edge(&layer_name(3, i), "db");
+    }
+    // Keep the goal reachable even in degenerate splits: the last
+    // layer-2 tier always has a direct data path.
+    if l3 == 0 {
+        for i in 0..l2 {
+            b.edge(&layer_name(2, i), "db");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_inputs_same_bytes() {
+        for &(family, params, seed) in PINNED {
+            let a = generate(family, &params, seed).to_json();
+            let b = generate(family, &params, seed).to_json();
+            assert_eq!(a, b, "{family} seed {seed} not byte-deterministic");
+        }
+    }
+
+    #[test]
+    fn every_seed_validates_and_round_trips() {
+        for family in FAMILIES {
+            for seed in 0..20 {
+                let params = GenParams {
+                    tiers: 3 + seed as u32 * 5,
+                    redundancy: 1 + seed as u32 % 8,
+                    designs: seed as u32 % 7,
+                    policies: 1 + seed as u32 % 4,
+                };
+                let doc = generate(family, &params, seed);
+                doc.validate()
+                    .unwrap_or_else(|e| panic!("{family} seed {seed}: generated doc invalid: {e}"));
+                let back = ScenarioDoc::from_json(&doc.to_json()).expect("round-trip parses");
+                assert_eq!(
+                    doc, back,
+                    "{family} seed {seed}: round-trip changed the doc"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knobs_are_clamped_not_rejected() {
+        let extreme = GenParams {
+            tiers: u32::MAX,
+            redundancy: 0,
+            designs: u32::MAX,
+            policies: 0,
+        };
+        for family in FAMILIES {
+            let doc = generate(family, &extreme, 9);
+            doc.validate().expect("clamped extremes validate");
+            let p = extreme.clamped(family);
+            assert!(p.redundancy == 1 && p.designs == 6 && p.policies == 1);
+            assert_eq!(doc.tiers.len(), p.tiers as usize);
+            assert_eq!(doc.designs.len(), 7);
+            assert_eq!(doc.policies.len(), 1);
+        }
+    }
+
+    #[test]
+    fn family_shapes_hold() {
+        let doc = generate(
+            Family::EcommerceFleet,
+            &GenParams {
+                tiers: 200,
+                ..GenParams::default()
+            },
+            4,
+        );
+        assert_eq!(doc.tiers.len(), 200);
+        assert_eq!(doc.tiers.iter().filter(|t| t.tree.is_some()).count(), 3);
+
+        let doc = generate(
+            Family::IotSwarm,
+            &GenParams {
+                tiers: 40,
+                ..GenParams::default()
+            },
+            4,
+        );
+        assert_eq!(doc.tiers.iter().filter(|t| t.entry).count(), 37);
+
+        let doc = generate(
+            Family::MicroserviceMesh,
+            &GenParams {
+                tiers: 20,
+                ..GenParams::default()
+            },
+            4,
+        );
+        assert!(doc.edges.len() > doc.tiers.len(), "mesh should fan out");
+        assert!(doc.tiers.iter().all(|t| t.tree.is_some()));
+    }
+
+    #[test]
+    fn family_keys_parse_back() {
+        for family in FAMILIES {
+            assert_eq!(Family::parse(family.key()), Some(family));
+            assert_eq!(Family::parse(&family.key().replace('_', "-")), Some(family));
+        }
+        assert_eq!(Family::parse("ecommerce"), Some(Family::EcommerceFleet));
+        assert_eq!(Family::parse("iot"), Some(Family::IotSwarm));
+        assert_eq!(Family::parse("mesh"), Some(Family::MicroserviceMesh));
+        assert_eq!(Family::parse("nope"), None);
+    }
+}

@@ -58,6 +58,7 @@ use crate::spec::{Design, NetworkSpec, TierSpec};
 use crate::{EvalError, PatchPolicy};
 
 pub mod builtin;
+pub mod generate;
 
 /// Identifies the scenario-file schema (bumped on breaking changes).
 pub const SCHEMA: &str = "redeval-scenario/1";

@@ -1,0 +1,193 @@
+//! Deterministic byte-level fuzzing of the scenario parsing stack,
+//! seeded from the canonical JSON the scenario generators emit (all
+//! three families), so the mutation corpus tracks the real document
+//! shape instead of a hand-written sample.
+//!
+//! The contract under test: for *any* byte-mangled input,
+//!
+//! * [`redeval::output::parse_json`], [`ScenarioDoc::from_json`] and
+//!   [`ScenarioDoc::from_value`] never panic — every failure is a
+//!   returned error;
+//! * every rejection is typed and actionable: JSON errors carry a
+//!   1-based line/column, schema errors a non-empty dotted path, and no
+//!   error message is empty.
+//!
+//! The mutator is a tiny splitmix64 PRNG with fixed seeds — no
+//! wall-clock, no global state — so a failure reproduces from the
+//! (family, round) pair in the panic message alone.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use redeval::output::parse_json;
+use redeval::scenario::generate::{self, GenParams};
+use redeval::scenario::ScenarioDoc;
+use redeval::{EvalError, ScenarioError};
+
+/// splitmix64 — same recurrence the generators use.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn byte(&mut self) -> u8 {
+        (self.next_u64() & 0xFF) as u8
+    }
+}
+
+/// One random structural mutation: bit flip, byte replace, delete,
+/// insert, truncate, or an internal splice.
+fn mutate(bytes: &mut Vec<u8>, rng: &mut Rng) {
+    if bytes.is_empty() {
+        bytes.push(rng.byte());
+        return;
+    }
+    match rng.below(6) {
+        0 => {
+            let i = rng.below(bytes.len());
+            bytes[i] ^= 1 << rng.below(8);
+        }
+        1 => {
+            let i = rng.below(bytes.len());
+            bytes[i] = rng.byte();
+        }
+        2 => {
+            let i = rng.below(bytes.len());
+            bytes.remove(i);
+        }
+        3 => {
+            let i = rng.below(bytes.len() + 1);
+            bytes.insert(i, rng.byte());
+        }
+        4 => {
+            let i = rng.below(bytes.len());
+            bytes.truncate(i);
+        }
+        _ => {
+            let len = 1 + rng.below(24).min(bytes.len() - 1);
+            let src = rng.below(bytes.len() - len + 1);
+            let dst = rng.below(bytes.len() - len + 1);
+            let chunk: Vec<u8> = bytes[src..src + len].to_vec();
+            bytes[dst..dst + len].copy_from_slice(&chunk);
+        }
+    }
+}
+
+/// Rejections must be typed, positioned and non-empty — the "dotted
+/// path or line/column" contract of the scenario schema.
+fn assert_actionable(e: &EvalError, context: &str) {
+    match e {
+        EvalError::Scenario(ScenarioError::Json { line, col, message }) => {
+            assert!(
+                *line >= 1 && *col >= 1 && !message.is_empty(),
+                "{context}: JSON error without a position: {e}"
+            );
+        }
+        EvalError::Scenario(ScenarioError::Invalid { at, message }) => {
+            assert!(
+                !at.is_empty() && !message.is_empty(),
+                "{context}: schema error without a path: {e}"
+            );
+        }
+        other => {
+            // Spec-level defects (no entry tier, self edges, …) are
+            // also fine — they are typed and carry their own context.
+            assert!(!other.to_string().is_empty(), "{context}: empty error");
+        }
+    }
+}
+
+#[test]
+fn mutated_generator_output_never_panics_and_fails_typed() {
+    const ROUNDS: usize = 500;
+    for (f, family) in generate::FAMILIES.into_iter().enumerate() {
+        let doc = generate::generate(family, &GenParams::default(), 9);
+        let canonical = doc.to_json();
+        let mut rng = Rng(0x5EED_0000 + f as u64);
+        let mut rejected = 0usize;
+        for round in 0..ROUNDS {
+            let mut bytes = canonical.clone().into_bytes();
+            for _ in 0..=rng.below(4) {
+                mutate(&mut bytes, &mut rng);
+            }
+            let text = String::from_utf8_lossy(&bytes).into_owned();
+            let context = format!("{family} round {round}");
+
+            // The raw JSON parser alone must be total.
+            let parsed = catch_unwind(AssertUnwindSafe(|| parse_json(&text)))
+                .unwrap_or_else(|_| panic!("{context}: parse_json panicked"));
+            if let Err(e) = &parsed {
+                assert!(
+                    e.line >= 1 && e.col >= 1 && !e.message.is_empty(),
+                    "{context}: JSON error without a position"
+                );
+            }
+
+            // The full document decoder must be total too, through both
+            // front doors (text and pre-parsed value).
+            let decoded = catch_unwind(AssertUnwindSafe(|| ScenarioDoc::from_json(&text)))
+                .unwrap_or_else(|_| panic!("{context}: from_json panicked"));
+            if let Ok(value) = &parsed {
+                let via_value = catch_unwind(AssertUnwindSafe(|| ScenarioDoc::from_value(value)))
+                    .unwrap_or_else(|_| panic!("{context}: from_value panicked"));
+                // Both doors agree on accept/reject for parseable text.
+                assert_eq!(
+                    decoded.is_ok(),
+                    via_value.is_ok(),
+                    "{context}: from_json and from_value disagree"
+                );
+            }
+            match decoded {
+                Ok(doc) => {
+                    // Accepted documents honour the usual invariants.
+                    assert!(doc.validate().is_ok(), "{context}: accepted but invalid");
+                }
+                Err(e) => {
+                    rejected += 1;
+                    assert_actionable(&e, &context);
+                }
+            }
+        }
+        // The mutator genuinely stresses the parser: the overwhelming
+        // majority of mangled inputs must be rejections.
+        assert!(
+            rejected > ROUNDS / 2,
+            "{family}: only {rejected}/{ROUNDS} mutations rejected — mutator too tame"
+        );
+    }
+}
+
+/// Truncations at every prefix length of a small generated document:
+/// the classic incremental-parser crash corpus.
+#[test]
+fn every_prefix_of_a_generated_document_is_handled() {
+    let doc = generate::generate(
+        generate::Family::MicroserviceMesh,
+        &GenParams {
+            tiers: 5,
+            redundancy: 1,
+            designs: 1,
+            policies: 1,
+        },
+        3,
+    );
+    let canonical = doc.to_json();
+    // Stop before the closing `}`: the canonical form ends in `}\n` and
+    // whitespace-only suffixes do not change completeness.
+    for end in 0..canonical.trim_end().len() - 1 {
+        let prefix = &canonical[..end];
+        let r = catch_unwind(AssertUnwindSafe(|| ScenarioDoc::from_json(prefix)))
+            .unwrap_or_else(|_| panic!("prefix of {end} bytes panicked"));
+        let e = r.expect_err("a strict prefix can never be a complete document");
+        assert_actionable(&e, &format!("prefix {end}"));
+    }
+}

@@ -227,6 +227,44 @@ proptest! {
     }
 }
 
+proptest! {
+    /// Proptest pass seeded from the generator corpus (all three
+    /// families): single-byte edits of canonical generator output never
+    /// panic the decoder, and anything it still accepts is a valid
+    /// document whose canonical form is a fixed point.
+    #[test]
+    fn generator_corpus_tolerates_single_byte_edits(
+        family_i in 0usize..redeval::scenario::generate::FAMILIES.len(),
+        doc_seed in 0u64..24,
+        pos_frac in 0.0f64..1.0,
+        byte in 0u8..=255,
+    ) {
+        use redeval::scenario::generate::{self, GenParams};
+        let family = generate::FAMILIES[family_i];
+        let params = GenParams {
+            tiers: 4 + (doc_seed % 3) as u32,
+            redundancy: 1 + (doc_seed % 2) as u32,
+            designs: 1,
+            policies: 1,
+        };
+        let doc = generate::generate(family, &params, doc_seed);
+        let mut bytes = doc.to_json().into_bytes();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] = byte;
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        match ScenarioDoc::from_json(&text) {
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+            Ok(accepted) => {
+                prop_assert!(accepted.validate().is_ok());
+                let json = accepted.to_json();
+                let back = ScenarioDoc::from_json(&json)
+                    .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+                prop_assert_eq!(back.to_json(), json);
+            }
+        }
+    }
+}
+
 /// Satellite check: all 16 Table-I vector strings are canonical — they
 /// parse and re-serialize to themselves, so the vectors embedded in the
 /// reference scenario file are the exact spellings CVSS defines.

@@ -534,6 +534,63 @@ mod tests {
     }
 
     #[test]
+    fn auto_dispatches_exactly_at_the_dense_threshold() {
+        // The documented boundary: `Auto` solves with GTH while the
+        // closed class has at most `dense_threshold` states and with
+        // Gauss–Seidel strictly above it. Pin the dispatch bitwise on
+        // 511/512/513-state chains against the explicit methods.
+        let opts = |method| SteadyStateOptions {
+            method,
+            ..Default::default()
+        };
+        for n in [511usize, 512] {
+            let auto = steady_state(&ring(n), &opts(SteadyStateMethod::Auto)).unwrap();
+            let gth = steady_state(&ring(n), &opts(SteadyStateMethod::Gth)).unwrap();
+            assert!(
+                auto.iter()
+                    .zip(&gth)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "n={n}: Auto at or below the threshold must be GTH"
+            );
+        }
+        let auto = steady_state(&ring(513), &opts(SteadyStateMethod::Auto)).unwrap();
+        let gs = steady_state(&ring(513), &opts(SteadyStateMethod::GaussSeidel)).unwrap();
+        assert!(
+            auto.iter()
+                .zip(&gs)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "Auto above the threshold must be Gauss–Seidel"
+        );
+        // The identities above only pin the dispatch if the two methods
+        // are bitwise distinguishable at this size — confirm they are.
+        let gth = steady_state(&ring(513), &opts(SteadyStateMethod::Gth)).unwrap();
+        assert!(
+            auto.iter()
+                .zip(&gth)
+                .any(|(a, b)| a.to_bits() != b.to_bits()),
+            "GTH and Gauss–Seidel coincide bitwise; the dispatch test is vacuous"
+        );
+        // A custom threshold moves the boundary with it.
+        let tight = SteadyStateOptions {
+            dense_threshold: 8,
+            ..Default::default()
+        };
+        let auto = steady_state(&ring(9), &tight).unwrap();
+        let gs = steady_state(
+            &ring(9),
+            &SteadyStateOptions {
+                method: SteadyStateMethod::GaussSeidel,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(auto
+            .iter()
+            .zip(&gs)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
     fn auto_threshold_picks_gs_for_large() {
         let n = 600;
         let r = ring(n);

@@ -18,12 +18,17 @@
 //!   of the scenario document, so two textually different bodies naming
 //!   the same scenario share one entry, and a hit is byte-identical to a
 //!   recompute by construction;
+//! * `POST /v1/generate` runs the seeded scenario generators in-process
+//!   (no injection needed — generation is pure core code) and returns
+//!   the canonical document bytes, memoized under the clamped
+//!   parameters;
 //! * `GET /v1/stats` exposes the cache and request counters.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use redeval::output::{cache_key_bytes, Json, Report, Value};
+use redeval::scenario::generate::{self, Family, GenParams};
 use redeval::scenario::ScenarioDoc;
 use redeval::{EvalError, PatchPolicy, ScenarioError};
 
@@ -153,7 +158,8 @@ impl Service {
             ("GET", "/v1/stats") => Response::json(200, self.stats_report().to_json()),
             ("POST", "/v1/eval") => self.eval(req),
             ("POST", "/v1/sweep") => self.sweep(req),
-            (_, "/v1/eval" | "/v1/sweep") => method_not_allowed("POST"),
+            ("POST", "/v1/generate") => self.generate(req),
+            (_, "/v1/eval" | "/v1/sweep" | "/v1/generate") => method_not_allowed("POST"),
             (_, "/healthz" | "/v1/scenarios" | "/v1/reports" | "/v1/stats") => {
                 method_not_allowed("GET")
             }
@@ -164,7 +170,7 @@ impl Service {
                     "message".into(),
                     Value::from(
                         "no such endpoint; see /healthz, /v1/scenarios, /v1/reports, \
-                         /v1/stats, /v1/eval, /v1/sweep",
+                         /v1/stats, /v1/eval, /v1/sweep, /v1/generate",
                     ),
                 )],
             ),
@@ -229,6 +235,41 @@ impl Service {
             Ok(report) => self.respond_and_cache(key, report),
             Err(e) => eval_error_response(&e),
         }
+    }
+
+    /// `POST /v1/generate`: body names a generator family plus optional
+    /// knobs; the response is the canonical scenario document — the
+    /// same bytes `redeval gen` writes and the in-process generator
+    /// returns. Cached under the *clamped* parameters, so two requests
+    /// that resolve to the same document share one entry.
+    fn generate(&self, req: &Request) -> Response {
+        let (family, params, seed) = match decode_generate_body(&req.body) {
+            Ok(t) => t,
+            Err(resp) => return *resp,
+        };
+        let clamped = params.clamped(family);
+        let params_json = Json::Obj(vec![
+            ("family".to_string(), Json::Str(family.key().to_string())),
+            ("seed".to_string(), Json::Num(seed as f64)),
+            ("tiers".to_string(), Json::Num(f64::from(clamped.tiers))),
+            (
+                "redundancy".to_string(),
+                Json::Num(f64::from(clamped.redundancy)),
+            ),
+            ("designs".to_string(), Json::Num(f64::from(clamped.designs))),
+            (
+                "policies".to_string(),
+                Json::Num(f64::from(clamped.policies)),
+            ),
+        ]);
+        let key = sha256(&cache_key_bytes("generate", &params_json, ""));
+        if let Some(bytes) = self.cache.get(&key) {
+            return Response::json(200, bytes.to_vec()).with_header(CACHE_HEADER, "hit");
+        }
+        let doc = generate::generate(family, &params, seed);
+        let body = doc.to_json().into_bytes();
+        self.cache.insert(key, &body);
+        Response::json(200, body).with_header(CACHE_HEADER, "miss")
     }
 
     fn respond_and_cache(&self, key: crate::sha256::Digest, report: Report) -> Response {
@@ -414,6 +455,107 @@ fn decode_sweep_body(body: &[u8]) -> Result<SweepRequest, Box<Response>> {
     })
 }
 
+/// Decodes a `POST /v1/generate` body:
+/// `{"family": <str>, "seed"?, "tiers"?, "redundancy"?, "designs"?,
+/// "policies"?}`. Knob values must be non-negative integers; they are
+/// clamped to the family's documented ranges downstream rather than
+/// rejected, matching the CLI and the in-process API.
+fn decode_generate_body(body: &[u8]) -> Result<(Family, GenParams, u64), Box<Response>> {
+    let bad = |at: &str, message: String| {
+        Box::new(eval_error_response(&EvalError::Scenario(
+            ScenarioError::Invalid {
+                at: at.to_string(),
+                message,
+            },
+        )))
+    };
+    let text = std::str::from_utf8(body).map_err(|_| {
+        Box::new(error_response(
+            400,
+            "encoding",
+            vec![(
+                "message".into(),
+                Value::from("request body is not valid UTF-8"),
+            )],
+        ))
+    })?;
+    let root = redeval::output::parse_json(text).map_err(|e| {
+        Box::new(eval_error_response(&EvalError::Scenario(
+            ScenarioError::Json {
+                line: e.line,
+                col: e.col,
+                message: e.message,
+            },
+        )))
+    })?;
+    let entries = root
+        .as_obj()
+        .ok_or_else(|| bad("request", "expected an object".to_string()))?;
+    for (k, _) in entries {
+        if !matches!(
+            k.as_str(),
+            "family" | "seed" | "tiers" | "redundancy" | "designs" | "policies"
+        ) {
+            return Err(bad(
+                "request",
+                format!("unknown key `{}`", redeval::output::snippet(k)),
+            ));
+        }
+    }
+    let field = |name: &str| entries.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    let family_value = field("family").ok_or_else(|| {
+        bad(
+            "family",
+            "missing key `family` (one of ecommerce_fleet, iot_swarm, microservice_mesh)"
+                .to_string(),
+        )
+    })?;
+    let family_str = family_value
+        .as_str()
+        .ok_or_else(|| bad("family", "expected a family name string".to_string()))?;
+    let family = Family::parse(family_str).ok_or_else(|| {
+        bad(
+            "family",
+            format!(
+                "unknown family `{}` (one of ecommerce_fleet, iot_swarm, microservice_mesh)",
+                redeval::output::snippet(family_str)
+            ),
+        )
+    })?;
+    // Largest f64-exact integer: seeds round-trip through JSON losslessly.
+    const MAX_SEED: f64 = 9_007_199_254_740_992.0; // 2^53
+    let uint = |name: &'static str, max: f64| -> Result<Option<u64>, Box<Response>> {
+        match field(name) {
+            None => Ok(None),
+            Some(v) => match v
+                .as_f64()
+                .filter(|n| n.fract() == 0.0 && (0.0..=max).contains(n))
+            {
+                Some(n) => Ok(Some(n as u64)),
+                None => Err(bad(
+                    name,
+                    format!("expected a non-negative integer (at most {max:.0})"),
+                )),
+            },
+        }
+    };
+    let seed = uint("seed", MAX_SEED)?.unwrap_or(0);
+    let defaults = GenParams::default();
+    let knob = |value: Option<u64>, default: u32| {
+        value.map_or(default, |n| u32::try_from(n).unwrap_or(u32::MAX))
+    };
+    let params = GenParams {
+        tiers: knob(uint("tiers", f64::from(u32::MAX))?, defaults.tiers),
+        redundancy: knob(
+            uint("redundancy", f64::from(u32::MAX))?,
+            defaults.redundancy,
+        ),
+        designs: knob(uint("designs", f64::from(u32::MAX))?, defaults.designs),
+        policies: knob(uint("policies", f64::from(u32::MAX))?, defaults.policies),
+    };
+    Ok((family, params, seed))
+}
+
 /// A structured error body: a `Report` named `error` with `ok: false`
 /// and one key/value block — `status`, `error` kind, then the detail
 /// entries (whose message strings are snippet-capped upstream; raw
@@ -582,6 +724,71 @@ mod tests {
         assert_eq!(first.body, third.body);
         let stats = svc.cache_stats();
         assert_eq!((stats.hits, stats.misses), (2, 1));
+    }
+
+    #[test]
+    fn generate_returns_the_canonical_document_and_caches_it() {
+        let svc = test_service(1 << 20);
+        let body = b"{\"family\": \"iot_swarm\", \"seed\": 2, \"tiers\": 7, \"redundancy\": 8}";
+        let first = svc.handle(&Request::synthetic("POST", "/v1/generate", body));
+        assert_eq!(first.status, 200);
+        assert!(first.extra_headers.contains(&(CACHE_HEADER, "miss".into())));
+        let expected = generate::generate(
+            Family::IotSwarm,
+            &GenParams {
+                tiers: 7,
+                redundancy: 8,
+                ..GenParams::default()
+            },
+            2,
+        )
+        .to_json();
+        assert_eq!(String::from_utf8(first.body.clone()).unwrap(), expected);
+        let second = svc.handle(&Request::synthetic("POST", "/v1/generate", body));
+        assert!(second.extra_headers.contains(&(CACHE_HEADER, "hit".into())));
+        assert_eq!(first.body, second.body, "hit must be byte-identical");
+        // A request that clamps to the same parameters shares the entry.
+        let clamped = b"{\"family\": \"iot_swarm\", \"seed\": 2, \"tiers\": 7, \"redundancy\": 99}";
+        let third = svc.handle(&Request::synthetic("POST", "/v1/generate", clamped));
+        assert!(third.extra_headers.contains(&(CACHE_HEADER, "hit".into())));
+        assert_eq!(first.body, third.body);
+    }
+
+    #[test]
+    fn generate_rejects_malformed_requests_with_structured_errors() {
+        let svc = test_service(1 << 20);
+        let cases: &[(&[u8], &str)] = &[
+            (b"{\"seed\": 1}", "missing key `family`"),
+            (b"{\"family\": \"cloud\"}", "unknown family"),
+            (b"{\"family\": 3}", "expected a family name string"),
+            (
+                b"{\"family\": \"iot_swarm\", \"speed\": 1}",
+                "unknown key `speed`",
+            ),
+            (
+                b"{\"family\": \"iot_swarm\", \"seed\": 1.5}",
+                "non-negative integer",
+            ),
+            (
+                b"{\"family\": \"iot_swarm\", \"tiers\": -2}",
+                "non-negative integer",
+            ),
+            (b"[]", "expected an object"),
+            (b"{", "json"),
+        ];
+        for (body, needle) in cases {
+            let r = svc.handle(&Request::synthetic("POST", "/v1/generate", body));
+            assert_eq!(r.status, 400, "body {:?}", String::from_utf8_lossy(body));
+            let text = String::from_utf8(r.body).unwrap();
+            assert!(
+                text.contains(needle),
+                "expected `{needle}` in response to {:?}, got: {text}",
+                String::from_utf8_lossy(body)
+            );
+        }
+        let r = svc.handle(&Request::synthetic("GET", "/v1/generate", b""));
+        assert_eq!(r.status, 405);
+        assert!(r.extra_headers.contains(&("Allow", "POST".to_string())));
     }
 
     #[test]

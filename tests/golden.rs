@@ -98,11 +98,12 @@ fn no_orphan_goldens() {
             .unwrap_or_default()
             .to_string();
         if path.is_dir() {
-            // The scenario corpus (checked below) and the serve corpus
+            // The scenario corpus (checked below), the serve corpus
             // (orphan-checked by tests/serve.rs::no_orphan_serve_goldens)
-            // live in their own subdirectories.
+            // and the generated corpus (orphan-checked by
+            // tests/gen_corpus.rs) live in their own subdirectories.
             assert!(
-                stem == "scenarios" || stem == "serve",
+                stem == "scenarios" || stem == "serve" || stem == "gen",
                 "unexpected directory in tests/golden: {}",
                 path.display()
             );

@@ -1,0 +1,107 @@
+//! Solver cross-validation over the generated corpus: on every tier
+//! CTMC of a generated scenario (real server SRNs with seed-jittered,
+//! stiff rate constants — hardware MTBFs in years against patch
+//! reboots in minutes), the three steady-state methods must agree:
+//!
+//! * **GTH** is the reference (direct, subtraction-free);
+//! * **Gauss–Seidel** — the method `Auto` uses above the dense
+//!   threshold — must match GTH tightly at its default tolerance;
+//! * **Power** iteration is the independent cross-check: slower on
+//!   stiff chains (its step size is bounded by the fastest rate), so it
+//!   runs with a raised iteration budget and is held to a looser but
+//!   still decisive tolerance.
+//!
+//! Agreement is checked on the full distribution (max-norm) and on the
+//! probability-weighted quantity the evaluator actually consumes
+//! (service availability).
+
+use redeval::scenario::generate::{self, GenParams};
+use redeval_avail::ServerModel;
+use redeval_markov::{SteadyStateMethod, SteadyStateOptions};
+
+fn solve(
+    ctmc: &redeval_markov::Ctmc,
+    method: SteadyStateMethod,
+    tolerance: f64,
+    max_iterations: usize,
+) -> Vec<f64> {
+    ctmc.steady_state_with(&SteadyStateOptions {
+        method,
+        tolerance,
+        max_iterations,
+        ..Default::default()
+    })
+    .unwrap_or_else(|e| panic!("{method:?} fails: {e:?}"))
+}
+
+#[test]
+fn steady_state_methods_agree_on_generated_tier_ctmcs() {
+    let mut chains = 0usize;
+    for family in generate::FAMILIES {
+        for seed in [5u64, 23] {
+            let params = GenParams {
+                tiers: 6,
+                redundancy: 2,
+                designs: 1,
+                policies: 1,
+            };
+            let doc = generate::generate(family, &params, seed);
+            for tier in &doc.tiers {
+                let model = ServerModel::build(&tier.params);
+                let ss = model.net().state_space().expect("server SRN is finite");
+                let ctmc = ss.ctmc();
+                let gth = solve(ctmc, SteadyStateMethod::Gth, 1e-13, 200_000);
+                let gs = solve(ctmc, SteadyStateMethod::GaussSeidel, 1e-13, 200_000);
+                let power = solve(ctmc, SteadyStateMethod::Power, 1e-9, 5_000_000);
+
+                let sum: f64 = gth.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-12, "{}/{}", doc.name, tier.name);
+                let max_gs = gth
+                    .iter()
+                    .zip(&gs)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
+                let max_power = gth
+                    .iter()
+                    .zip(&power)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
+                assert!(
+                    max_gs < 1e-9,
+                    "{}/{}: GTH vs Gauss–Seidel diverge by {max_gs:e}",
+                    doc.name,
+                    tier.name
+                );
+                assert!(
+                    max_power < 1e-6,
+                    "{}/{}: GTH vs Power diverge by {max_power:e}",
+                    doc.name,
+                    tier.name
+                );
+
+                // The quantity the evaluator consumes: P(service up).
+                let places = *model.places();
+                let up = |pi: &[f64]| -> f64 {
+                    ss.tangible_markings()
+                        .iter()
+                        .zip(pi)
+                        .filter(|(m, _)| places.service_up(m))
+                        .map(|(_, p)| p)
+                        .sum()
+                };
+                let a_gth = up(&gth);
+                let a_gs = up(&gs);
+                let a_power = up(&power);
+                assert!(
+                    (a_gth - a_gs).abs() < 1e-10 && (a_gth - a_power).abs() < 1e-7,
+                    "{}/{}: availability {a_gth} vs GS {a_gs} vs Power {a_power}",
+                    doc.name,
+                    tier.name
+                );
+                chains += 1;
+            }
+        }
+    }
+    // Six tiers per document, two seeds, three families.
+    assert_eq!(chains, 36, "the corpus shrank; the property lost coverage");
+}
