@@ -1,12 +1,20 @@
 //! Criterion bench: steady-state solver comparison (GTH vs Gauss–Seidel vs
 //! power iteration) on birth–death chains of growing size.
+//!
+//! GTH densifies the rate matrix (O(n²) memory, O(n³) time), so it is
+//! capped at 1024 states; the iterative solvers and the closed form run
+//! the full curve up to 4096 (the `solver_bench` bin records the same
+//! curve as machine-readable `BENCH_solver.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use redeval_markov::{BirthDeath, SteadyStateMethod, SteadyStateOptions};
 
+/// Largest size the cubic dense GTH elimination is benched at.
+const GTH_CAP: usize = 1024;
+
 fn bench_solvers(c: &mut Criterion) {
     let mut group = c.benchmark_group("ctmc_steady_state");
-    for &n in &[16usize, 64, 256] {
+    for &n in &[16usize, 64, 256, 1024, 4096] {
         let bd = BirthDeath::machine_repair(n, 0.01, 1.0);
         let ctmc = bd.to_ctmc();
         for (label, method) in [
@@ -14,6 +22,9 @@ fn bench_solvers(c: &mut Criterion) {
             ("gauss_seidel", SteadyStateMethod::GaussSeidel),
             ("power", SteadyStateMethod::Power),
         ] {
+            if method == SteadyStateMethod::Gth && n > GTH_CAP {
+                continue;
+            }
             group.bench_with_input(BenchmarkId::new(label, n), &ctmc, |b, ctmc| {
                 let opts = SteadyStateOptions {
                     method,

@@ -1,0 +1,184 @@
+//! Machine-readable perf harness for the pruned design-space search
+//! (ISSUE 7 acceptance): exhaustive grid vs branch-and-bound.
+//!
+//! Two stages:
+//!
+//! 1. **Head-to-head** on the paper's case study at `max_redundancy 8`
+//!    (8⁴ = 4096 cells, still inside the sweep cap): the exhaustive
+//!    grid + `pareto_frontier_batch` reference is timed against the
+//!    pruned search and the two frontiers are asserted **identical**.
+//! 2. **Big space**: an `ecommerce_fleet` document with 8 tiers at
+//!    `max_redundancy 6` — 6⁸ ≈ 1.68 M designs, a space the sweep path
+//!    *rejects* today (asserted, including the `optimize` pointer in
+//!    the rejection). The pruned search completes it and must evaluate
+//!    **< 10 %** of the space.
+//!
+//! Writes `BENCH_optimize.json` (wall times, evaluated fractions,
+//! prune counters). `optimize_bench [threads]` (default 4), or
+//! `optimize_bench --smoke` for a CI-sized variant (7-tier fleet,
+//! ~78 k designs, written to `BENCH_optimize_smoke.json` so the
+//! committed full record stays intact).
+
+use std::time::Instant;
+
+use redeval::optimize::exhaustive_frontier;
+use redeval::scenario::generate::{self, Family, GenParams};
+use redeval::scenario::{builtin, ScenarioDoc};
+use redeval::{OptimizeOutcome, Optimizer};
+use redeval_bench::reports::scenario::sweep_report;
+use redeval_bench::{arg_or, header};
+use redeval_server::SweepRequest;
+
+/// The big-space document: a seeded fleet whose design space the sweep
+/// path refuses to materialize.
+fn fleet_doc(tiers: u32) -> ScenarioDoc {
+    generate::generate(
+        Family::EcommerceFleet,
+        &GenParams {
+            tiers,
+            redundancy: 6,
+            designs: 1,
+            policies: 1,
+        },
+        0,
+    )
+}
+
+fn run_search(doc: &ScenarioDoc, max_redundancy: u32, threads: usize) -> (OptimizeOutcome, f64) {
+    let optimizer = Optimizer::from_scenario(doc)
+        .expect("document converts")
+        .max_redundancy(max_redundancy)
+        .threads(threads);
+    let t0 = Instant::now();
+    let outcome = optimizer.run().expect("search completes");
+    (outcome, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let threads: usize = arg_or(1, 4);
+
+    // Stage 1: head-to-head on a grid the exhaustive path still accepts.
+    let doc = builtin::paper_case_study();
+    let max_redundancy = 8u32;
+    header(&format!(
+        "optimize bench: head-to-head on {} at max_redundancy {max_redundancy}, {threads} threads",
+        doc.name
+    ));
+    let optimizer = Optimizer::from_scenario(&doc)
+        .expect("case study converts")
+        .max_redundancy(max_redundancy)
+        .threads(threads);
+    let t0 = Instant::now();
+    let reference = exhaustive_frontier(&optimizer).expect("exhaustive grid evaluates");
+    let exhaustive_secs = t0.elapsed().as_secs_f64();
+    let (outcome, pruned_secs) = run_search(&doc, max_redundancy, threads);
+    assert_eq!(
+        outcome.frontier, reference,
+        "pruned frontier diverges from the exhaustive reference"
+    );
+    for (a, b) in outcome.frontier.iter().zip(&reference) {
+        assert_eq!(a.coa.to_bits(), b.coa.to_bits());
+        assert_eq!(
+            a.after.attack_success_probability.to_bits(),
+            b.after.attack_success_probability.to_bits()
+        );
+    }
+    let grid_cells = outcome.space_cells;
+    println!("exhaustive grid          {exhaustive_secs:>8.2} s  ({grid_cells} cells)");
+    println!(
+        "pruned search            {pruned_secs:>8.2} s  ({} cells evaluated, {:.1}%)",
+        outcome.evaluated_cells,
+        outcome.evaluated_fraction() * 100.0
+    );
+    println!(
+        "frontier                 {:>8} members, identical",
+        outcome.frontier.len()
+    );
+    let head = format!(
+        "{{\n    \"scenario\": \"{}\",\n    \"max_redundancy\": {max_redundancy},\n    \
+         \"cells\": {grid_cells},\n    \"exhaustive_secs\": {exhaustive_secs:.3},\n    \
+         \"pruned_secs\": {pruned_secs:.3},\n    \"evaluated_cells\": {},\n    \
+         \"evaluated_fraction\": {:.4},\n    \"frontier\": {},\n    \
+         \"frontiers_identical\": true\n  }}",
+        doc.name,
+        outcome.evaluated_cells,
+        outcome.evaluated_fraction(),
+        outcome.frontier.len()
+    );
+
+    // Stage 2: the space the grid path rejects.
+    let (tiers, fleet_r) = if smoke { (7, 5) } else { (8, 6) };
+    let fleet = fleet_doc(tiers);
+    let space = f64::from(fleet_r).powi(tiers as i32);
+    header(&format!(
+        "optimize bench: {} ({} tiers) at max_redundancy {fleet_r} — {space:.3e} designs",
+        fleet.name, tiers
+    ));
+    if !smoke {
+        assert!(space >= 1e6, "the full-mode space must hold ≥ 10⁶ designs");
+    }
+    // The sweep front door must reject this very grid, pointing at the
+    // search instead (the ISSUE 7 satellite contract).
+    let rejection = sweep_report(&SweepRequest {
+        doc: fleet.clone(),
+        patch_windows_days: None,
+        policies: None,
+        max_redundancy: Some(fleet_r),
+    })
+    .expect_err("the sweep path must reject the big grid")
+    .to_string();
+    assert!(
+        rejection.contains("exceeds the limit") && rejection.contains("optimize"),
+        "unexpected sweep rejection: {rejection}"
+    );
+    println!("sweep path: rejected (as it must) — {rejection}");
+
+    let (fleet_outcome, fleet_secs) = run_search(&fleet, fleet_r, threads);
+    let fraction = fleet_outcome.evaluated_fraction();
+    println!(
+        "pruned search            {fleet_secs:>8.2} s  ({} of {:.3e} cells, {:.2}%)",
+        fleet_outcome.evaluated_cells,
+        fleet_outcome.space_cells,
+        fraction * 100.0
+    );
+    println!(
+        "boxes                    {:>8} explored, {} pruned; frontier {}",
+        fleet_outcome.boxes_explored,
+        fleet_outcome.boxes_pruned,
+        fleet_outcome.frontier.len()
+    );
+    assert!(
+        fraction < 0.10,
+        "search evaluated {:.1}% of the space — the <10% acceptance bound failed",
+        fraction * 100.0
+    );
+
+    let big = format!(
+        "{{\n    \"scenario\": \"{}\",\n    \"tiers\": {tiers},\n    \
+         \"max_redundancy\": {fleet_r},\n    \"space_designs\": {:.0},\n    \
+         \"space_cells\": {:.0},\n    \"threads\": {threads},\n    \
+         \"secs\": {fleet_secs:.3},\n    \"evaluated_cells\": {},\n    \
+         \"evaluated_fraction\": {fraction:.5},\n    \"boxes_explored\": {},\n    \
+         \"boxes_pruned\": {},\n    \"frontier\": {},\n    \"sweep_path_rejects\": true\n  }}",
+        fleet.name,
+        fleet_outcome.space_designs,
+        fleet_outcome.space_cells,
+        fleet_outcome.evaluated_cells,
+        fleet_outcome.boxes_explored,
+        fleet_outcome.boxes_pruned,
+        fleet_outcome.frontier.len()
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"optimize\",\n  \"head_to_head\": {head},\n  \"big_space\": {big}\n}}\n"
+    );
+    let path = if smoke {
+        "BENCH_optimize_smoke.json"
+    } else {
+        "BENCH_optimize.json"
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("{path} written: {e}"));
+    println!();
+    println!("wrote {path}");
+}

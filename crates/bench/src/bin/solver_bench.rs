@@ -1,0 +1,122 @@
+//! Machine-readable perf harness for the steady-state solvers: the
+//! states-vs-solve-time curve behind the `ctmc_solvers` criterion bench.
+//!
+//! For birth–death machine-repair chains of growing size it times
+//!
+//! * **GTH** — direct dense elimination, O(n³) (capped at 1024 states);
+//! * **Gauss–Seidel** — sparse iterative sweeps;
+//! * **power** — power iteration on the uniformized DTMC;
+//! * **closed form** — the birth–death product formula, the reference —
+//!
+//! cross-checks every solver against the closed form (max absolute
+//! probability deviation), and writes `BENCH_solver.json` with one
+//! curve point per (states, method).
+//!
+//! Usage: `solver_bench` for the full curve (16 … 4096 states), or
+//! `solver_bench --smoke` for the CI-sized prefix (16 … 256, written to
+//! `BENCH_solver_smoke.json` so the committed full record stays intact).
+
+use std::time::Instant;
+
+use redeval_bench::header;
+use redeval_markov::{BirthDeath, SteadyStateMethod, SteadyStateOptions};
+
+/// Largest size the cubic dense GTH elimination is timed at.
+const GTH_CAP: usize = 1024;
+
+struct Point {
+    states: usize,
+    method: &'static str,
+    secs: f64,
+    max_abs_err: f64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes: &[usize] = if smoke {
+        &[16, 64, 256]
+    } else {
+        &[16, 64, 256, 1024, 4096]
+    };
+    header(&format!(
+        "solver bench: machine-repair chains of {sizes:?} states"
+    ));
+
+    let mut points: Vec<Point> = Vec::new();
+    for &n in sizes {
+        let bd = BirthDeath::machine_repair(n, 0.01, 1.0);
+        let ctmc = bd.to_ctmc();
+
+        let t0 = Instant::now();
+        let reference = bd.steady_state().expect("closed form solves");
+        let closed_secs = t0.elapsed().as_secs_f64();
+        points.push(Point {
+            states: n,
+            method: "closed_form",
+            secs: closed_secs,
+            max_abs_err: 0.0,
+        });
+        println!("{n:>5} states  closed_form   {closed_secs:>10.6} s");
+
+        for (method, label) in [
+            (SteadyStateMethod::Gth, "gth"),
+            (SteadyStateMethod::GaussSeidel, "gauss_seidel"),
+            (SteadyStateMethod::Power, "power"),
+        ] {
+            if method == SteadyStateMethod::Gth && n > GTH_CAP {
+                println!("{n:>5} states  {label:<13} skipped (O(n³) dense elimination)");
+                continue;
+            }
+            let opts = SteadyStateOptions {
+                method,
+                tolerance: 1e-10,
+                ..Default::default()
+            };
+            let t0 = Instant::now();
+            let pi = ctmc
+                .steady_state_with(&opts)
+                .unwrap_or_else(|e| panic!("{label} solves {n} states: {e}"));
+            let secs = t0.elapsed().as_secs_f64();
+            let max_abs_err = pi
+                .iter()
+                .zip(&reference)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(
+                max_abs_err < 1e-6,
+                "{label} deviates from the closed form by {max_abs_err:e} at {n} states"
+            );
+            println!("{n:>5} states  {label:<13} {secs:>10.6} s  (max |Δπ| {max_abs_err:.2e})");
+            points.push(Point {
+                states: n,
+                method: label,
+                secs,
+                max_abs_err,
+            });
+        }
+    }
+
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"states\": {}, \"method\": \"{}\", \"secs\": {:.6}, \
+                 \"max_abs_err\": {:.3e}}}",
+                p.states, p.method, p.secs, p.max_abs_err
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"solver\",\n  \"model\": \"birth_death_machine_repair\",\n  \
+         \"lambda\": 0.01,\n  \"mu\": 1.0,\n  \"gth_cap\": {GTH_CAP},\n  \"curve\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = if smoke {
+        "BENCH_solver_smoke.json"
+    } else {
+        "BENCH_solver.json"
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("{path} written: {e}"));
+    println!();
+    println!("wrote {path}");
+}

@@ -27,10 +27,12 @@
 
 use std::path::Path;
 
+use redeval::decision::ScatterBounds;
 use redeval::output::{Report, Table, Value};
 use redeval::scenario::generate::{self, Family, GenParams};
 use redeval::scenario::{builtin, ScenarioDoc};
 use redeval::PatchPolicy;
+use redeval_server::OptimizeRequest;
 
 use crate::reports::{self, REGISTRY};
 
@@ -58,6 +60,14 @@ COMMANDS:
                          evaluate a scenario file end-to-end (designs ×
                          policies); --policy overrides the file's policy
                          list (none | all | critical>T)
+    optimize [--scenario FILE|NAME] [--max-redundancy N] [--policy P]
+             [--bounds ASP,COA]
+                         pruned branch-and-bound search of the per-tier
+                         redundancy space: the Pareto frontier on
+                         (after-patch ASP, COA), byte-identical to the
+                         exhaustive sweep but without materializing the
+                         grid; without --scenario, searches the paper
+                         case study with its Equation (3) bounds
     scenario list        the bundled scenario gallery
     scenario export NAME print a bundled scenario's canonical JSON
     scenario validate FILE...
@@ -71,8 +81,9 @@ COMMANDS:
 
     serve [--addr A] [--threads N] [--cache-cap BYTES]
                          run the HTTP evaluation server (DESIGN.md §9):
-                         POST /v1/eval, POST /v1/sweep, GET /v1/scenarios,
-                         GET /v1/reports, GET /v1/stats, GET /healthz
+                         POST /v1/eval, POST /v1/sweep, POST /v1/optimize,
+                         GET /v1/scenarios, GET /v1/reports, GET /v1/stats,
+                         GET /healthz
 
 OPTIONS:
     --format <FMT>       text (default), json, or csv
@@ -80,6 +91,9 @@ OPTIONS:
     --addr <A>           serve: listen address (default 127.0.0.1:7878)
     --threads <N>        serve: worker-pool size (default: all cores)
     --cache-cap <BYTES>  serve: result-cache budget (default 67108864)
+    --max-redundancy <N> optimize: per-tier count bound 1..=8 (default 4)
+    --bounds <ASP,COA>   optimize: decision bounds φ,ψ selecting the
+                         satisfying region (e.g. --bounds 0.2,0.9962)
     --seed <N>           gen: generator seed (default 0)
     --tiers <K>          gen: total tiers (family-specific range; default 12)
     --redundancy <R>     gen: host-count bound 1..=8 (default 3)
@@ -151,6 +165,18 @@ enum Cmd {
         /// Overrides the file's policy list when present.
         policy: Option<PatchPolicy>,
     },
+    /// Pruned branch-and-bound search of the redundancy design space.
+    Optimize {
+        /// Scenario file path or builtin name; `None` searches the
+        /// default request (paper case study + Equation (3) bounds).
+        scenario: Option<String>,
+        /// Per-tier count bound of the searched space.
+        max_redundancy: Option<u32>,
+        /// Overrides the scenario's policy list when present.
+        policy: Option<PatchPolicy>,
+        /// Decision bounds (φ, ψ) selecting the satisfying region.
+        bounds: Option<ScatterBounds>,
+    },
     /// Emit a generated scenario's canonical JSON.
     Gen {
         /// Archetype family.
@@ -192,6 +218,8 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
     let mut addr: Option<String> = None;
     let mut threads: Option<usize> = None;
     let mut cache_cap: Option<usize> = None;
+    let mut max_redundancy: Option<u32> = None;
+    let mut bounds: Option<ScatterBounds> = None;
     let mut seed: Option<u64> = None;
     let mut tiers: Option<u32> = None;
     let mut redundancy: Option<u32> = None;
@@ -226,6 +254,39 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
                     v.parse()
                         .map_err(|_| format!("--cache-cap: `{v}` is not a byte count"))?,
                 );
+                i += 1;
+                continue;
+            }
+            "--max-redundancy" => {
+                i += 1;
+                let v = args.get(i).ok_or("--max-redundancy needs a number")?;
+                let n: u32 = v
+                    .parse()
+                    .map_err(|_| format!("--max-redundancy: `{v}` is not a number"))?;
+                if !(1..=8).contains(&n) {
+                    return Err(format!("--max-redundancy: `{n}` is not in 1..=8"));
+                }
+                max_redundancy = Some(n);
+                i += 1;
+                continue;
+            }
+            "--bounds" => {
+                i += 1;
+                let v = args.get(i).ok_or("--bounds needs `ASP,COA`")?;
+                let (asp, coa) = v
+                    .split_once(',')
+                    .ok_or_else(|| format!("--bounds: `{v}` is not `ASP,COA`"))?;
+                let parse_finite = |s: &str, what: &str| -> Result<f64, String> {
+                    s.trim()
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|x| x.is_finite())
+                        .ok_or_else(|| format!("--bounds: `{s}` is not a finite {what}"))
+                };
+                bounds = Some(ScatterBounds {
+                    max_asp: parse_finite(asp, "ASP bound")?,
+                    min_coa: parse_finite(coa, "COA bound")?,
+                });
                 i += 1;
                 continue;
             }
@@ -297,8 +358,15 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
                 .to_string());
         }
         if scenario_file.is_some() || policy.is_some() {
-            return Err("`--scenario`/`--policy` belong to the `eval` command \
-                 (e.g. `redeval eval --scenario mine.json`)"
+            return Err(
+                "`--scenario`/`--policy` belong to the `eval` and `optimize` \
+                 commands (e.g. `redeval eval --scenario mine.json`)"
+                    .to_string(),
+            );
+        }
+        if max_redundancy.is_some() || bounds.is_some() {
+            return Err("`--max-redundancy`/`--bounds` belong to the `optimize` \
+                 command (e.g. `redeval optimize --max-redundancy 6`)"
                 .to_string());
         }
         if addr.is_some() || threads.is_some() || cache_cap.is_some() {
@@ -335,16 +403,23 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
             positional[0]
         ));
     }
-    if positional[0] != "eval" {
+    if !matches!(positional[0], "eval" | "optimize") {
         if scenario_file.is_some() {
             return Err(
-                "`--scenario` belongs to `eval` (e.g. `redeval eval --scenario f.json`)"
+                "`--scenario` belongs to `eval` and `optimize` (e.g. `redeval eval \
+                 --scenario f.json`)"
                     .to_string(),
             );
         }
         if policy.is_some() {
-            return Err("`--policy` belongs to `eval`".to_string());
+            return Err("`--policy` belongs to `eval` and `optimize`".to_string());
         }
+    }
+    if positional[0] != "optimize" && (max_redundancy.is_some() || bounds.is_some()) {
+        return Err(format!(
+            "`--max-redundancy`/`--bounds` only apply to `optimize`, not `{}`",
+            positional[0]
+        ));
     }
     if positional[0] != "serve" && (addr.is_some() || threads.is_some() || cache_cap.is_some()) {
         return Err(format!(
@@ -392,6 +467,12 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
                 .ok_or("`eval` needs `--scenario <FILE>`")?;
             Cmd::Eval { file, policy }
         }
+        "optimize" => Cmd::Optimize {
+            scenario: scenario_file.take(),
+            max_redundancy,
+            policy,
+            bounds,
+        },
         "gen" => {
             let key = positional
                 .get(1)
@@ -672,6 +753,70 @@ pub fn run(args: &[String]) -> i32 {
                 Err(code) => code,
             }
         }
+        Cmd::Optimize {
+            scenario,
+            max_redundancy,
+            policy,
+            bounds,
+        } => {
+            // A bare `redeval optimize` *is* the registry report, byte
+            // for byte — same contract as `redeval report` golden runs.
+            if scenario.is_none()
+                && max_redundancy.is_none()
+                && policy.is_none()
+                && bounds.is_none()
+            {
+                return match emit_or_exit(&reports::optimize::builtin_optimize()) {
+                    Ok(ok) => i32::from(!ok),
+                    Err(code) => code,
+                };
+            }
+            let req = match scenario {
+                None => {
+                    let mut req = reports::optimize::default_request();
+                    // Explicit bounds replace the default ones; the other
+                    // overrides keep them (same document, same region).
+                    if let Some(b) = bounds {
+                        req.bounds = Some(*b);
+                    }
+                    req
+                }
+                Some(s) => {
+                    let doc = match builtin::find(s) {
+                        Some(spec) => (spec.build)(),
+                        None => match load_scenario(s) {
+                            Ok(doc) => doc,
+                            Err(msg) => {
+                                eprintln!("error: {msg}");
+                                return 1;
+                            }
+                        },
+                    };
+                    OptimizeRequest {
+                        doc,
+                        policies: None,
+                        max_redundancy: None,
+                        bounds: *bounds,
+                    }
+                }
+            };
+            let req = OptimizeRequest {
+                policies: policy.as_ref().map(|p| vec![*p]),
+                max_redundancy: *max_redundancy,
+                ..req
+            };
+            let report = match reports::optimize::optimize_report(&req) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            };
+            match emit_or_exit(&report) {
+                Ok(ok) => i32::from(!ok),
+                Err(code) => code,
+            }
+        }
         Cmd::Gen {
             family,
             params,
@@ -937,6 +1082,58 @@ mod tests {
         .is_err());
         assert!(parse(&args(&["table", "2", "--scenario", "f.json"])).is_err());
         assert!(parse(&args(&["list", "--policy", "all"])).is_err());
+    }
+
+    #[test]
+    fn parses_optimize_with_defaults_and_overrides() {
+        let inv = parse(&args(&["optimize"])).unwrap();
+        assert_eq!(
+            inv.cmd,
+            Cmd::Optimize {
+                scenario: None,
+                max_redundancy: None,
+                policy: None,
+                bounds: None,
+            }
+        );
+        let inv = parse(&args(&[
+            "optimize",
+            "--scenario",
+            "ecommerce",
+            "--max-redundancy",
+            "6",
+            "--policy",
+            "all",
+            "--bounds",
+            "0.2,0.9962",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            inv.cmd,
+            Cmd::Optimize {
+                scenario: Some("ecommerce".into()),
+                max_redundancy: Some(6),
+                policy: Some(PatchPolicy::All),
+                bounds: Some(ScatterBounds {
+                    max_asp: 0.2,
+                    min_coa: 0.9962,
+                }),
+            }
+        );
+        assert_eq!(inv.format, Format::Json);
+        // Usage errors: out-of-range or malformed knobs, misplaced flags.
+        assert!(parse(&args(&["optimize", "--max-redundancy", "0"])).is_err());
+        assert!(parse(&args(&["optimize", "--max-redundancy", "9"])).is_err());
+        assert!(parse(&args(&["optimize", "--max-redundancy", "two"])).is_err());
+        assert!(parse(&args(&["optimize", "--bounds", "0.2"])).is_err());
+        assert!(parse(&args(&["optimize", "--bounds", "0.2,inf"])).is_err());
+        assert!(parse(&args(&["optimize", "--bounds", "x,0.9"])).is_err());
+        assert!(parse(&args(&["table", "2", "--max-redundancy", "3"])).is_err());
+        assert!(parse(&args(&["eval", "--scenario", "f.json", "--bounds", "0,1"])).is_err());
+        assert!(parse(&args(&["--bounds", "0,1"])).is_err());
+        assert!(parse(&args(&["optimize", "extra"])).is_err());
     }
 
     #[test]

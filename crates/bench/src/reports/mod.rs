@@ -11,6 +11,7 @@
 //! machine parallelism must never join this registry.
 
 pub mod figures;
+pub mod optimize;
 pub mod scenario;
 pub mod studies;
 pub mod tables;
@@ -146,6 +147,11 @@ pub const REGISTRY: &[ReportSpec] = &[
         name: "transient",
         about: "Capacity transient of a patch round (uniformization)",
         build: studies::transient,
+    },
+    ReportSpec {
+        name: "optimize",
+        about: "Pruned branch-and-bound design-space search (case study)",
+        build: optimize::builtin_optimize,
     },
     ReportSpec {
         name: "scenario_suite",

@@ -28,7 +28,7 @@ pub const MAX_SWEEP_GRID: usize = 10_000;
 
 /// How the grid is executed: per-call scoped threads (the CLI default)
 /// or a shared, reusable pool + solve cache (the serving path).
-type ExecOn<'a> = Option<(&'a Pool, &'a Arc<AnalysisCache>)>;
+pub(crate) type ExecOn<'a> = Option<(&'a Pool, &'a Arc<AnalysisCache>)>;
 
 /// Runs a sweep grid on the chosen execution substrate. Both paths are
 /// bitwise-identical by the engine contract.
@@ -40,7 +40,7 @@ fn run_grid(sweep: &Sweep, exec: ExecOn<'_>) -> Result<Vec<DesignEvaluation>, Ev
 }
 
 /// The standard design × policy evaluation table over computed results.
-fn eval_table_from(name: &str, evals: &[DesignEvaluation]) -> Table {
+pub(crate) fn eval_table_from(name: &str, evals: &[DesignEvaluation]) -> Table {
     let mut t = Table::new(
         name,
         [
@@ -136,7 +136,11 @@ fn eval_report_impl(doc: &ScenarioDoc, exec: ExecOn<'_>) -> Result<Report, EvalE
     if cells > MAX_SWEEP_GRID as u128 {
         return Err(EvalError::Scenario(ScenarioError::Invalid {
             at: "request".to_string(),
-            message: format!("grid of {cells} scenarios exceeds the limit of {MAX_SWEEP_GRID}"),
+            message: format!(
+                "grid of {cells} scenarios exceeds the limit of {MAX_SWEEP_GRID}; \
+                 `redeval optimize` (POST /v1/optimize) searches larger spaces \
+                 without materializing the grid"
+            ),
         }));
     }
     let mut r = Report::new(
@@ -196,7 +200,11 @@ fn sweep_report_impl(req: &SweepRequest, exec: ExecOn<'_>) -> Result<Report, Eva
     let too_large = |grid: u128| {
         EvalError::Scenario(ScenarioError::Invalid {
             at: "request".to_string(),
-            message: format!("grid of {grid} scenarios exceeds the limit of {MAX_SWEEP_GRID}"),
+            message: format!(
+                "grid of {grid} scenarios exceeds the limit of {MAX_SWEEP_GRID}; \
+                 `redeval optimize` (POST /v1/optimize) searches larger spaces \
+                 without materializing the grid"
+            ),
         })
     };
     // Bound the grid arithmetically BEFORE materializing anything:

@@ -8,6 +8,8 @@
 //!   builder behind `redeval eval --scenario FILE`, so a served response
 //!   is byte-identical to the CLI's `--format json` output;
 //! * `POST /v1/sweep` → [`reports::scenario::sweep_report_on`];
+//! * `POST /v1/optimize` → [`reports::optimize::optimize_report_on`] —
+//!   the pruned branch-and-bound search behind `redeval optimize`;
 //! * `GET /v1/scenarios` → [`cli::scenario_list_report`];
 //! * `GET /v1/reports` → [`cli::list_report`].
 //!
@@ -40,9 +42,13 @@ pub fn service(threads: usize, cache_capacity: usize) -> Service {
     let pool = Arc::new(Pool::new(threads));
     let cache = Arc::new(AnalysisCache::new());
     let (eval_pool, eval_cache) = (Arc::clone(&pool), Arc::clone(&cache));
+    let (opt_pool, opt_cache) = (Arc::clone(&pool), Arc::clone(&cache));
     let endpoints = Endpoints {
         eval: Box::new(move |doc| reports::scenario::eval_report_on(doc, &eval_pool, &eval_cache)),
         sweep: Box::new(move |req| reports::scenario::sweep_report_on(req, &pool, &cache)),
+        optimize: Box::new(move |req| {
+            reports::optimize::optimize_report_on(req, &opt_pool, &opt_cache)
+        }),
         scenarios: Box::new(cli::scenario_list_report),
         reports: Box::new(cli::list_report),
     };

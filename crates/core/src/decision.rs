@@ -77,9 +77,132 @@ pub fn dominates(a: &DesignEvaluation, b: &DesignEvaluation) -> bool {
     (a_asp <= b_asp && a.coa >= b.coa) && (a_asp < b_asp || a.coa > b.coa)
 }
 
+/// Whether the objective point `(a_asp, a_coa)` dominates
+/// `(b_asp, b_coa)` — the point-wise form of [`dominates`], shared with
+/// the incremental [`ParetoFront`] and the optimizer's bound checks.
+pub fn dominates_point(a_asp: f64, a_coa: f64, b_asp: f64, b_coa: f64) -> bool {
+    (a_asp <= b_asp && a_coa >= b_coa) && (a_asp < b_asp || a_coa > b_coa)
+}
+
+/// An incrementally maintained Pareto front on (ASP ↓, COA ↑).
+///
+/// Entries are kept sorted by ascending ASP. The non-domination
+/// invariant makes COA non-decreasing along that order: a higher-ASP
+/// survivor must buy strictly more COA, and equal-ASP survivors share
+/// one COA value (exact objective ties are all kept, mirroring
+/// [`dominates`]' strictness). Each insertion is a binary search plus a
+/// contiguous splice, so building a front from `n` candidates costs
+/// O(n log n + removals) instead of the former O(n²) all-pairs scan.
+///
+/// The surviving *set* is insertion-order independent (the Pareto front
+/// of a set is unique, ties included); only the relative order of exact
+/// ties reflects insertion order, which [`ParetoFront::into_entries`]
+/// exposes for the caller to re-sort under its own tie-break rule.
+#[derive(Debug, Clone)]
+pub struct ParetoFront<T> {
+    /// `(asp, coa, payload)`, sorted by `asp` ascending, ties in
+    /// insertion order.
+    entries: Vec<(f64, f64, T)>,
+}
+
+impl<T> Default for ParetoFront<T> {
+    fn default() -> Self {
+        ParetoFront::new()
+    }
+}
+
+impl<T> ParetoFront<T> {
+    /// An empty front.
+    pub fn new() -> Self {
+        ParetoFront {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of members currently on the front.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the front is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// First index whose ASP is ≥ `asp` (entries are sorted by ASP).
+    fn lower_bound(&self, asp: f64) -> usize {
+        self.entries
+            .partition_point(|(a, _, _)| a.partial_cmp(&asp).expect("finite ASP").is_lt())
+    }
+
+    /// Whether some member dominates the objective point `(asp, coa)` in
+    /// the strict-[`dominates`] sense. Equal points are *not* dominated.
+    ///
+    /// Because COA is non-decreasing in sorted order, only the last
+    /// member with ASP < `asp` and the (single) COA value at ASP ==
+    /// `asp` need checking: O(log n).
+    pub fn dominates_point(&self, asp: f64, coa: f64) -> bool {
+        let at = self.lower_bound(asp);
+        if at > 0 {
+            // Strictly smaller ASP: dominating iff its COA is ≥ ours.
+            let (_, c, _) = &self.entries[at - 1];
+            if *c >= coa {
+                return true;
+            }
+        }
+        if let Some((a, c, _)) = self.entries.get(at) {
+            if *a == asp && *c > coa {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Offers a candidate to the front. Returns `true` when the
+    /// candidate survives (it is now a member, and any members it
+    /// dominates have been removed); `false` when a member dominates it.
+    pub fn insert(&mut self, asp: f64, coa: f64, payload: T) -> bool {
+        if self.dominates_point(asp, coa) {
+            return false;
+        }
+        let start = self.lower_bound(asp);
+        // Members from `start` on have ASP ≥ ours; those with COA ≤ ours
+        // are dominated (strict via the COA of exact objective ties being
+        // equal — an equal point is never removed). They form a
+        // contiguous run because COA is non-decreasing.
+        let mut end = start;
+        while let Some((a, c, _)) = self.entries.get(end) {
+            let equal_point = *a == asp && *c == coa;
+            if *c <= coa && !equal_point {
+                end += 1;
+            } else {
+                break;
+            }
+        }
+        // Exact ties keep insertion order: place behind existing equals.
+        let mut at = end;
+        while let Some((a, c, _)) = self.entries.get(at) {
+            if *a == asp && *c == coa {
+                at += 1;
+            } else {
+                break;
+            }
+        }
+        self.entries.splice(start..end, std::iter::empty());
+        self.entries.insert(at - (end - start), (asp, coa, payload));
+        true
+    }
+
+    /// Consumes the front, returning `(asp, coa, payload)` members sorted
+    /// by ascending ASP (exact ties in insertion order).
+    pub fn into_entries(self) -> Vec<(f64, f64, T)> {
+        self.entries
+    }
+}
+
 /// The Pareto frontier of a batch of evaluations on (after-patch ASP ↓,
 /// COA ↑): every design not [`dominates`]-dominated by another, sorted by
-/// ascending ASP.
+/// ascending ASP (ties in input order).
 ///
 /// This is the batch decision function behind the design-space reports —
 /// the paper's Figure 6 scatter picks from exactly this frontier.
@@ -87,25 +210,26 @@ pub fn pareto_frontier(evals: &[DesignEvaluation]) -> Vec<&DesignEvaluation> {
     pareto_frontier_batch(evals, 1)
 }
 
-/// [`pareto_frontier`] with the O(n²) dominance scan spread over up to
-/// `threads` worker threads — same frontier, same order, for any thread
-/// count.
-pub fn pareto_frontier_batch(evals: &[DesignEvaluation], threads: usize) -> Vec<&DesignEvaluation> {
-    let undominated = crate::exec::run_batch(evals.len(), threads, |i| {
-        !evals.iter().any(|o| dominates(o, &evals[i]))
-    });
-    let mut frontier: Vec<&DesignEvaluation> = evals
-        .iter()
-        .zip(undominated)
-        .filter_map(|(e, keep)| keep.then_some(e))
-        .collect();
-    frontier.sort_by(|a, b| {
-        a.after
-            .attack_success_probability
-            .partial_cmp(&b.after.attack_success_probability)
-            .expect("finite ASP")
-    });
-    frontier
+/// [`pareto_frontier`], historically an O(n²) all-pairs dominance scan
+/// spread over `threads` workers; now a single O(n log n) pass through
+/// the incremental [`ParetoFront`] — same frontier, same order, for any
+/// thread count (`threads` is kept for API compatibility and ignored).
+pub fn pareto_frontier_batch(
+    evals: &[DesignEvaluation],
+    _threads: usize,
+) -> Vec<&DesignEvaluation> {
+    let mut front = ParetoFront::new();
+    for (i, e) in evals.iter().enumerate() {
+        front.insert(e.after.attack_success_probability, e.coa, i);
+    }
+    // Inserting in input order makes the front's tie order the input
+    // order, so the sorted entries already match the former stable
+    // sort-by-ASP of the surviving subsequence.
+    front
+        .into_entries()
+        .into_iter()
+        .map(|(_, _, i)| &evals[i])
+        .collect()
 }
 
 #[cfg(test)]

@@ -65,6 +65,7 @@ pub mod decision;
 mod error;
 mod evaluation;
 pub mod exec;
+pub mod optimize;
 pub mod output;
 pub mod report;
 pub mod scenario;
@@ -74,6 +75,7 @@ mod spec;
 pub use error::{EvalError, SpecIssue};
 pub use evaluation::{DesignEvaluation, Evaluator, ParsePolicyError, PatchPolicy};
 pub use exec::{AnalysisCache, Experiment, Pool, Scenario, Sweep};
+pub use optimize::{OptimizeOutcome, Optimizer};
 pub use scenario::{ScenarioDoc, ScenarioError};
 pub use spec::{Design, NetworkSpec, TierSpec};
 

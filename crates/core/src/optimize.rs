@@ -1,0 +1,670 @@
+//! Pruned design-space search: deterministic branch-and-bound over the
+//! per-tier redundancy-count space, replacing exhaustive grid
+//! materialization for the paper's decision analysis (Eqs. (3)–(4)).
+//!
+//! # The search
+//!
+//! The candidate space is the box `[1, max_redundancy]^T` of per-tier
+//! counts crossed with the patch-policy list — the same space
+//! [`Sweep::full_design_space`](crate::exec::Sweep::full_design_space)
+//! materializes eagerly, which caps it at grids the executor can hold.
+//! The optimizer instead subdivides the box and prunes sub-boxes whose
+//! *optimistic* objective point is already dominated by the incremental
+//! Pareto front ([`ParetoFront`]) on
+//! (after-patch ASP ↓, COA ↑), so only candidates near the frontier are
+//! ever evaluated.
+//!
+//! # Why the bounds are sound (DESIGN.md §11)
+//!
+//! * **ASP lower bound** — adding a host to a tier can only add attack
+//!   paths (an unexploitable tier adds none), and every ASP aggregation
+//!   is monotone in the path set, so per policy `ASP(c) ≥ ASP(lo)` for
+//!   every `c` in a box `[lo, hi]`. (This holds while path enumeration
+//!   stays under `MetricsConfig::max_paths`; past the cap metrics
+//!   saturate and the monotone argument no longer applies.) A child box
+//!   inherits its parent's corner bound — `parent.lo ≤ child.lo`
+//!   componentwise — so a child can be pruned *before* its own corner
+//!   is ever evaluated.
+//! * **COA upper bound** — raw COA is *not* monotone in counts (it is
+//!   normalized by the total server count), so no corner evaluation
+//!   bounds it. Instead the bound comes from the exact factored form of
+//!   the independent-tier availability model:
+//!   `COA(c) · Σ_t c_t = Σ_t m_t(c_t) · Π_{s≠t} p_s(c_s)` where
+//!   `p_t(c) = P(up_t ≥ 1)` and `m_t(c) = E[up_t · 1{up_t ≥ 1}]` under
+//!   tier `t`'s aggregated machine-repair chain. Replacing each
+//!   `p_s(c_s)` by its maximum over the box range makes the numerator
+//!   separable per tier; a small dynamic program then maximizes the
+//!   surrogate `Σ_t m_t(c_t)·p̄_t / Σ_t c_t` *exactly* over the box
+//!   (best numerator for every achievable total, then best ratio).
+//!   Both bounds carry a relative safety margin of `1e-9` so float
+//!   rounding in either direction can never turn a sound prune into a
+//!   wrong one.
+//!
+//! A box is pruned only when, for **every** policy, some front member
+//! strictly dominates its optimistic point `(asp_floor, coa_ub)`.
+//! Domination is strict in the [`dominates`](crate::decision::dominates)
+//! sense, so a box that might contain an exact objective tie with a
+//! front member is never pruned — the surviving frontier is exactly the
+//! frontier of the exhaustive enumeration, ties included.
+//!
+//! # Determinism
+//!
+//! Traversal is a fixed-order wave loop: boxes split on the widest tier
+//! range (lowest tier index on ties, counts ascending), corner designs
+//! evaluate through [`Experiment`] (bitwise thread-count invariant), and
+//! the front updates sequentially in wave order. The reported frontier
+//! is re-sorted under the exhaustive tie-break (ascending ASP, then
+//! design-enumeration order, then policy order), so the outcome is
+//! byte-identical to [`pareto_frontier_batch`] over the materialized
+//! grid at any thread count.
+//!
+//! # Examples
+//!
+//! ```
+//! use redeval::optimize::Optimizer;
+//! use redeval::scenario::builtin;
+//!
+//! # fn main() -> Result<(), redeval::EvalError> {
+//! let doc = builtin::paper_case_study();
+//! let outcome = Optimizer::from_scenario(&doc)?
+//!     .max_redundancy(3)
+//!     .threads(2)
+//!     .run()?;
+//! assert!(!outcome.frontier.is_empty());
+//! assert!((outcome.evaluated_designs as f64) <= outcome.space_designs);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use redeval_avail::{NetworkModel, ServerAnalysis, Tier};
+use redeval_harm::MetricsConfig;
+
+use crate::decision::{pareto_frontier_batch, ParetoFront};
+use crate::error::EvalError;
+use crate::evaluation::{DesignEvaluation, PatchPolicy};
+use crate::exec::{default_threads, AnalysisCache, Experiment, Pool, Scenario};
+use crate::spec::{Design, NetworkSpec};
+
+/// Default per-tier count bound when a request does not name one —
+/// matches the CLI's `--max-redundancy` default.
+pub const DEFAULT_MAX_REDUNDANCY: u32 = 4;
+
+/// Relative safety margin applied to both optimistic bounds: ASP floors
+/// shrink and COA ceilings grow by this factor, so float rounding in
+/// the evaluation pipeline (factored vs enumerated availability, path
+/// aggregation order) can never turn a sound prune into a wrong one.
+/// Observed discrepancies are ~1e-15 relative; the margin costs a few
+/// extra evaluations near the frontier and nothing else.
+const FP_MARGIN: f64 = 1e-9;
+
+/// A sub-box of the design space: per-tier count ranges `[lo_i, hi_i]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SpaceBox {
+    lo: Vec<u32>,
+    hi: Vec<u32>,
+}
+
+impl SpaceBox {
+    fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Widest dimension, lowest index on ties.
+    fn widest(&self) -> usize {
+        let mut best = 0;
+        let mut width = 0;
+        for (i, (l, h)) in self.lo.iter().zip(&self.hi).enumerate() {
+            let w = h - l;
+            if w > width {
+                width = w;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Per-tier availability tables backing the box-level COA bound: for
+/// tier `t` at count `c`, `p[t][c-1] = P(up ≥ 1)` and
+/// `m[t][c-1] = E[up · 1{up ≥ 1}]` under the tier's aggregated
+/// machine-repair chain — the same moments the factored COA form of
+/// [`NetworkModel`] uses, computed through the same solver.
+struct CoaBounder {
+    p: Vec<Vec<f64>>,
+    m: Vec<Vec<f64>>,
+}
+
+impl CoaBounder {
+    fn new(
+        spec: &NetworkSpec,
+        analyses: &[Arc<ServerAnalysis>],
+        max_redundancy: u32,
+    ) -> Result<Self, EvalError> {
+        let mut p = Vec::with_capacity(spec.tiers().len());
+        let mut m = Vec::with_capacity(spec.tiers().len());
+        for (tier, analysis) in spec.tiers().iter().zip(analyses) {
+            let rates = analysis.rates();
+            let mut pt = Vec::with_capacity(max_redundancy as usize);
+            let mut mt = Vec::with_capacity(max_redundancy as usize);
+            for c in 1..=max_redundancy {
+                let chain = NetworkModel::new(vec![Tier::new(tier.name.clone(), c, rates)]);
+                let dist = chain.tier_down_distribution(0)?;
+                let mut prob_up = 0.0;
+                let mut mean_up = 0.0;
+                for (down, &prob) in dist.iter().enumerate() {
+                    let up = c - down as u32;
+                    if up >= 1 {
+                        prob_up += prob;
+                        mean_up += prob * f64::from(up);
+                    }
+                }
+                pt.push(prob_up);
+                mt.push(mean_up);
+            }
+            p.push(pt);
+            m.push(mt);
+        }
+        Ok(CoaBounder { p, m })
+    }
+
+    /// Sound upper bound on COA over every design in the box: the exact
+    /// maximum of the separable surrogate (see the [module docs](self)),
+    /// inflated by [`FP_MARGIN`].
+    fn coa_upper_bound(&self, b: &SpaceBox) -> f64 {
+        let n = self.p.len();
+        // Per-tier max of P(up ≥ 1) over the count range. (Monotone in
+        // the count in practice, but soundness never rests on that.)
+        let pmax: Vec<f64> = (0..n)
+            .map(|t| {
+                (b.lo[t]..=b.hi[t])
+                    .map(|c| self.p[t][(c - 1) as usize])
+                    .fold(0.0, f64::max)
+            })
+            .collect();
+        // pbar[t] = Π_{s≠t} pmax[s] via prefix/suffix products.
+        let mut prefix = vec![1.0; n + 1];
+        for (i, &v) in pmax.iter().enumerate() {
+            prefix[i + 1] = prefix[i] * v;
+        }
+        let mut suffix = vec![1.0; n + 1];
+        for i in (0..n).rev() {
+            suffix[i] = suffix[i + 1] * pmax[i];
+        }
+        // dp[j] = best surrogate numerator over partial totals
+        // Σ lo_t + j; one pass per tier keeps it exact.
+        let mut dp = vec![0.0f64];
+        for t in 0..n {
+            let width = (b.hi[t] - b.lo[t]) as usize;
+            let pbar = prefix[t] * suffix[t + 1];
+            let mut next = vec![f64::NEG_INFINITY; dp.len() + width];
+            for (j, &v) in dp.iter().enumerate() {
+                if v == f64::NEG_INFINITY {
+                    continue;
+                }
+                for c in b.lo[t]..=b.hi[t] {
+                    let off = j + (c - b.lo[t]) as usize;
+                    let val = v + self.m[t][(c - 1) as usize] * pbar;
+                    if val > next[off] {
+                        next[off] = val;
+                    }
+                }
+            }
+            dp = next;
+        }
+        let total_lo: u32 = b.lo.iter().sum();
+        let mut best = 0.0f64;
+        for (j, &v) in dp.iter().enumerate() {
+            if v == f64::NEG_INFINITY {
+                continue;
+            }
+            best = best.max(v / (f64::from(total_lo) + j as f64));
+        }
+        best * (1.0 + FP_MARGIN)
+    }
+}
+
+/// What one pruned-search run found and what it cost.
+#[derive(Debug, Clone)]
+pub struct OptimizeOutcome {
+    /// The Pareto frontier on (after-patch ASP ↓, COA ↑) — byte-identical
+    /// to [`pareto_frontier_batch`] over the exhaustively enumerated
+    /// design × policy grid, in the same order.
+    pub frontier: Vec<DesignEvaluation>,
+    /// Distinct designs actually evaluated (low corners of surviving
+    /// boxes, which include every surviving point).
+    pub evaluated_designs: usize,
+    /// Design × policy cells actually evaluated
+    /// (`evaluated_designs × policies`).
+    pub evaluated_cells: usize,
+    /// Boxes taken off the work list (pruned, split or collapsed to a
+    /// point).
+    pub boxes_explored: usize,
+    /// Boxes discarded because their optimistic bound was dominated for
+    /// every policy.
+    pub boxes_pruned: usize,
+    /// The pruned boxes themselves, as `(lo, hi)` per-tier count ranges —
+    /// every design inside one is dominated (the differential proptests
+    /// assert no frontier member falls in any of them).
+    pub pruned_boxes: Vec<(Vec<u32>, Vec<u32>)>,
+    /// Total designs in the space, `max_redundancy ^ tiers` (as `f64`:
+    /// fleet-scale spaces overflow any integer width).
+    pub space_designs: f64,
+    /// Total design × policy cells in the space.
+    pub space_cells: f64,
+}
+
+impl OptimizeOutcome {
+    /// Fraction of the design × policy space actually evaluated.
+    pub fn evaluated_fraction(&self) -> f64 {
+        if self.space_cells > 0.0 {
+            self.evaluated_cells as f64 / self.space_cells
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Deterministic branch-and-bound over the redundancy-count design
+/// space (see the [module docs](self)).
+///
+/// Mirrors the [`Sweep`](crate::exec::Sweep) builder: policies and
+/// metrics default from the scenario document, execution runs on scoped
+/// threads ([`run`](Optimizer::run)) or a shared [`Pool`]
+/// ([`run_on`](Optimizer::run_on)) with a shared [`AnalysisCache`] for
+/// per-tier solve dedup.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    spec: Arc<NetworkSpec>,
+    policies: Vec<PatchPolicy>,
+    metrics: MetricsConfig,
+    max_redundancy: u32,
+    threads: usize,
+    cache: Arc<AnalysisCache>,
+}
+
+impl Optimizer {
+    /// An optimizer over `spec` with the paper's critical-only policy,
+    /// default metrics, [`DEFAULT_MAX_REDUNDANCY`] and
+    /// [`default_threads`].
+    pub fn new(spec: NetworkSpec) -> Self {
+        Optimizer {
+            spec: Arc::new(spec),
+            policies: vec![PatchPolicy::CriticalOnly(8.0)],
+            metrics: MetricsConfig::default(),
+            max_redundancy: DEFAULT_MAX_REDUNDANCY,
+            threads: default_threads(),
+            cache: Arc::new(AnalysisCache::new()),
+        }
+    }
+
+    /// An optimizer over a scenario document: its network, its policy
+    /// list and its metric configuration. The document's explicit design
+    /// list is *not* consulted — the search explores the full
+    /// `1..=max_redundancy` space.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario validation errors.
+    pub fn from_scenario(doc: &crate::scenario::ScenarioDoc) -> Result<Self, EvalError> {
+        let spec = doc.to_spec()?;
+        Ok(Optimizer::new(spec)
+            .policies(doc.policies.clone())
+            .metrics(doc.metrics))
+    }
+
+    /// Sets the per-tier count bound (clamped to at least 1).
+    pub fn max_redundancy(mut self, max_redundancy: u32) -> Self {
+        self.max_redundancy = max_redundancy.max(1);
+        self
+    }
+
+    /// Sets the patch-policy axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty policy list.
+    pub fn policies(mut self, policies: Vec<PatchPolicy>) -> Self {
+        assert!(!policies.is_empty(), "at least one policy required");
+        self.policies = policies;
+        self
+    }
+
+    /// Sets the security-metric configuration.
+    pub fn metrics(mut self, metrics: MetricsConfig) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Shares an existing analysis cache (e.g. the serving path's).
+    pub fn share_cache(mut self, cache: &Arc<AnalysisCache>) -> Self {
+        self.cache = Arc::clone(cache);
+        self
+    }
+
+    /// Total designs in the search space, `max_redundancy ^ tiers`.
+    pub fn space_designs(&self) -> f64 {
+        f64::from(self.max_redundancy).powi(self.spec.tiers().len() as i32)
+    }
+
+    /// Runs the search on per-call scoped threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns count-validation and solver errors (earliest in wave
+    /// order, like the batch executor).
+    pub fn run(&self) -> Result<OptimizeOutcome, EvalError> {
+        self.run_impl(None)
+    }
+
+    /// [`run`](Optimizer::run) on a reusable [`Pool`] — the serving
+    /// path. Bitwise-identical outcome for any pool size.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Optimizer::run).
+    pub fn run_on(&self, pool: &Pool) -> Result<OptimizeOutcome, EvalError> {
+        self.run_impl(Some(pool))
+    }
+
+    /// The scenario label convention shared with
+    /// [`Sweep::scenarios`](crate::exec::Sweep): the design name,
+    /// policy-suffixed only when the policy axis has more than one
+    /// point.
+    fn label(&self, design_name: &str, policy: PatchPolicy) -> String {
+        if self.policies.len() > 1 {
+            format!("{design_name} | {policy}")
+        } else {
+            design_name.to_string()
+        }
+    }
+
+    /// Evaluates the not-yet-memoized designs of `need` (all policies
+    /// per design, grouped exactly like a sweep cell) and offers every
+    /// cell to the front.
+    fn evaluate_wave(
+        &self,
+        pool: Option<&Pool>,
+        need: &[Vec<u32>],
+        memo: &mut HashMap<Vec<u32>, Vec<DesignEvaluation>>,
+        front: &mut ParetoFront<(usize, DesignEvaluation)>,
+    ) -> Result<(), EvalError> {
+        if need.is_empty() {
+            return Ok(());
+        }
+        let names: Vec<&str> = self.spec.tiers().iter().map(|t| t.name.as_str()).collect();
+        let mut scenarios = Vec::with_capacity(need.len() * self.policies.len());
+        for counts in need {
+            let name = Design::conventional_name(&names, counts);
+            for &policy in &self.policies {
+                scenarios.push(Scenario {
+                    label: self.label(&name, policy),
+                    spec: Arc::clone(&self.spec),
+                    design: Design::new(name.clone(), counts.clone()),
+                    patch: policy,
+                    metrics: self.metrics,
+                });
+            }
+        }
+        let experiment = Experiment::new(scenarios)
+            .threads(self.threads)
+            .share_cache(&self.cache);
+        let evals = match pool {
+            Some(pool) => experiment.run_on(pool)?,
+            None => experiment.run()?,
+        };
+        for (counts, cell) in need.iter().zip(evals.chunks(self.policies.len())) {
+            for (policy_idx, e) in cell.iter().enumerate() {
+                front.insert(
+                    e.after.attack_success_probability,
+                    e.coa,
+                    (policy_idx, e.clone()),
+                );
+            }
+            memo.insert(counts.clone(), cell.to_vec());
+        }
+        Ok(())
+    }
+
+    fn run_impl(&self, pool: Option<&Pool>) -> Result<OptimizeOutcome, EvalError> {
+        let tiers = self.spec.tiers().len();
+        let space_designs = self.space_designs();
+        let space_cells = space_designs * self.policies.len() as f64;
+        let analyses = self.cache.analyses_for(&self.spec)?;
+        let bounder = CoaBounder::new(&self.spec, &analyses, self.max_redundancy)?;
+
+        let mut memo: HashMap<Vec<u32>, Vec<DesignEvaluation>> = HashMap::new();
+        let mut front: ParetoFront<(usize, DesignEvaluation)> = ParetoFront::new();
+        // A wave item carries the ASP floors (one per policy) inherited
+        // from its parent's low corner — a valid lower bound since
+        // `parent.lo ≤ child.lo` — so dominated children prune before
+        // evaluating anything.
+        let mut wave = vec![(
+            SpaceBox {
+                lo: vec![1; tiers],
+                hi: vec![self.max_redundancy; tiers],
+            },
+            vec![f64::NEG_INFINITY; self.policies.len()],
+        )];
+        let mut boxes_explored = 0;
+        let mut boxes_pruned = 0;
+        let mut pruned_boxes = Vec::new();
+
+        while !wave.is_empty() {
+            // Stage A: prune on inherited floors, no evaluation needed.
+            let mut survivors = Vec::with_capacity(wave.len());
+            for (b, floors) in wave {
+                boxes_explored += 1;
+                let coa_ub = bounder.coa_upper_bound(&b);
+                if floors.iter().all(|&f| front.dominates_point(f, coa_ub)) {
+                    boxes_pruned += 1;
+                    pruned_boxes.push((b.lo, b.hi));
+                    continue;
+                }
+                survivors.push((b, coa_ub));
+            }
+
+            // Evaluate the surviving low corners, first-appearance order.
+            let mut need: Vec<Vec<u32>> = Vec::new();
+            let mut queued: HashSet<Vec<u32>> = HashSet::new();
+            for (b, _) in &survivors {
+                if !memo.contains_key(&b.lo) && queued.insert(b.lo.clone()) {
+                    need.push(b.lo.clone());
+                }
+            }
+            self.evaluate_wave(pool, &need, &mut memo, &mut front)?;
+
+            // Stage B: re-prune on the exact corner ASP, else split.
+            let mut next = Vec::new();
+            for (b, coa_ub) in survivors {
+                if b.is_point() {
+                    continue; // Its single design was evaluated above.
+                }
+                let floors: Vec<f64> = memo[&b.lo]
+                    .iter()
+                    .map(|e| e.after.attack_success_probability * (1.0 - FP_MARGIN))
+                    .collect();
+                if floors.iter().all(|&f| front.dominates_point(f, coa_ub)) {
+                    boxes_pruned += 1;
+                    pruned_boxes.push((b.lo, b.hi));
+                    continue;
+                }
+                let d = b.widest();
+                let mid = b.lo[d] + (b.hi[d] - b.lo[d]) / 2;
+                let mut low_half = b.clone();
+                low_half.hi[d] = mid;
+                let mut high_half = b;
+                high_half.lo[d] = mid + 1;
+                next.push((low_half, floors.clone()));
+                next.push((high_half, floors));
+            }
+            wave = next;
+        }
+
+        // Re-sort exact ASP ties under the exhaustive grid's tie-break:
+        // design-enumeration order (counts[0] fastest), then policy.
+        let mut entries = front.into_entries();
+        entries.sort_by(|(a_asp, _, (a_p, a_e)), (b_asp, _, (b_p, b_e))| {
+            a_asp.partial_cmp(b_asp).expect("finite ASP").then_with(|| {
+                a_e.counts
+                    .iter()
+                    .rev()
+                    .cmp(b_e.counts.iter().rev())
+                    .then(a_p.cmp(b_p))
+            })
+        });
+        let evaluated_designs = memo.len();
+        Ok(OptimizeOutcome {
+            frontier: entries.into_iter().map(|(_, _, (_, e))| e).collect(),
+            evaluated_designs,
+            evaluated_cells: evaluated_designs * self.policies.len(),
+            boxes_explored,
+            boxes_pruned,
+            pruned_boxes,
+            space_designs,
+            space_cells,
+        })
+    }
+}
+
+/// Reference implementation for small spaces: materialize the full grid
+/// through the batch executor and take [`pareto_frontier_batch`] — what
+/// the optimizer must agree with byte-for-byte.
+///
+/// # Errors
+///
+/// Propagates grid evaluation errors.
+pub fn exhaustive_frontier(optimizer: &Optimizer) -> Result<Vec<DesignEvaluation>, EvalError> {
+    let sweep = crate::exec::Sweep::new((*optimizer.spec).clone())
+        .full_design_space(optimizer.max_redundancy)
+        .policies(optimizer.policies.clone())
+        .metrics(optimizer.metrics)
+        .threads(optimizer.threads);
+    let evals = sweep.run()?;
+    Ok(pareto_frontier_batch(&evals, optimizer.threads)
+        .into_iter()
+        .cloned()
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::builtin;
+
+    #[test]
+    fn matches_exhaustive_frontier_on_the_case_study() {
+        let doc = builtin::paper_case_study();
+        let opt = Optimizer::from_scenario(&doc).unwrap().max_redundancy(3);
+        let outcome = opt.run().unwrap();
+        let exhaustive = exhaustive_frontier(&opt).unwrap();
+        assert_eq!(outcome.frontier.len(), exhaustive.len());
+        for (a, b) in outcome.frontier.iter().zip(&exhaustive) {
+            assert_eq!(a, b);
+            assert_eq!(a.coa.to_bits(), b.coa.to_bits());
+            assert_eq!(
+                a.after.attack_success_probability.to_bits(),
+                b.after.attack_success_probability.to_bits()
+            );
+        }
+        // The search never pays for the whole grid.
+        assert!(outcome.evaluated_designs as f64 <= outcome.space_designs);
+        assert_eq!(outcome.space_designs, 81.0); // 3^4 designs
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_outcome() {
+        let doc = builtin::ecommerce();
+        let reference = Optimizer::from_scenario(&doc)
+            .unwrap()
+            .max_redundancy(3)
+            .threads(1)
+            .run()
+            .unwrap();
+        for threads in [2, 4] {
+            let outcome = Optimizer::from_scenario(&doc)
+                .unwrap()
+                .max_redundancy(3)
+                .threads(threads)
+                .run()
+                .unwrap();
+            assert_eq!(outcome.frontier, reference.frontier);
+            assert_eq!(outcome.evaluated_designs, reference.evaluated_designs);
+            assert_eq!(outcome.boxes_pruned, reference.boxes_pruned);
+        }
+    }
+
+    #[test]
+    fn pooled_run_is_identical_and_shares_the_cache() {
+        let doc = builtin::paper_case_study();
+        let pool = Pool::new(3);
+        let cache = Arc::new(AnalysisCache::new());
+        let opt = Optimizer::from_scenario(&doc)
+            .unwrap()
+            .max_redundancy(2)
+            .share_cache(&cache);
+        let pooled = opt.run_on(&pool).unwrap();
+        let scoped = opt.run().unwrap();
+        assert_eq!(pooled.frontier, scoped.frontier);
+        assert!(cache.solves() > 0);
+    }
+
+    #[test]
+    fn single_point_space_is_the_whole_frontier_discussion() {
+        let doc = builtin::paper_case_study();
+        let outcome = Optimizer::from_scenario(&doc)
+            .unwrap()
+            .max_redundancy(1)
+            .run()
+            .unwrap();
+        assert_eq!(outcome.evaluated_designs, 1);
+        assert_eq!(outcome.space_designs, 1.0);
+        assert_eq!(outcome.boxes_pruned, 0);
+        assert!(!outcome.frontier.is_empty());
+    }
+
+    #[test]
+    fn pruned_boxes_never_contain_frontier_members() {
+        let doc = builtin::ecommerce();
+        let outcome = Optimizer::from_scenario(&doc)
+            .unwrap()
+            .max_redundancy(4)
+            .run()
+            .unwrap();
+        for member in &outcome.frontier {
+            for (lo, hi) in &outcome.pruned_boxes {
+                let inside = member
+                    .counts
+                    .iter()
+                    .zip(lo.iter().zip(hi))
+                    .all(|(c, (l, h))| l <= c && c <= h);
+                assert!(!inside, "frontier member {} in pruned box", member.name);
+            }
+        }
+    }
+
+    #[test]
+    fn search_prunes_most_of_a_larger_space() {
+        let doc = builtin::ecommerce();
+        let outcome = Optimizer::from_scenario(&doc)
+            .unwrap()
+            .max_redundancy(4)
+            .run()
+            .unwrap();
+        assert!(outcome.boxes_pruned > 0, "no pruning at all");
+        assert!(
+            (outcome.evaluated_designs as f64) < outcome.space_designs,
+            "evaluated {} of {}",
+            outcome.evaluated_designs,
+            outcome.space_designs
+        );
+    }
+}

@@ -18,7 +18,7 @@
 //! bounded wire parsing, capacity-accounting suites).
 //!
 //! The crate deliberately does **not** know how reports are built:
-//! [`Endpoints`] injects the four report producers, which
+//! [`Endpoints`] injects the report producers, which
 //! `redeval-bench` wires to its report registry and the shared
 //! [`redeval::exec::Pool`]. That keeps the dependency arrow pointing one
 //! way (`bench → server → core`) while the loopback tests prove the
@@ -35,6 +35,7 @@
 //! let endpoints = Endpoints {
 //!     eval: Box::new(|doc| Ok(Report::new(format!("eval_{}", doc.name), "demo"))),
 //!     sweep: Box::new(|req| Ok(Report::new(format!("sweep_{}", req.doc.name), "demo"))),
+//!     optimize: Box::new(|req| Ok(Report::new(format!("optimize_{}", req.doc.name), "demo"))),
 //!     scenarios: Box::new(|| Report::new("scenario_list", "demo")),
 //!     reports: Box::new(|| Report::new("list", "demo")),
 //! };
@@ -57,7 +58,7 @@ pub use http::{read_request, HttpError, Limits, Request, Response};
 pub use server::{Server, ServerHandle};
 pub use service::{
     error_response, eval_error_response, http_error_response, Endpoints, EvalEndpoint,
-    ListingEndpoint, Service, ServiceConfig, SweepEndpoint, SweepRequest, CACHE_HEADER,
-    MAX_GRID_AXIS, SERVE_SCHEMA,
+    ListingEndpoint, OptimizeEndpoint, OptimizeRequest, Service, ServiceConfig, SweepEndpoint,
+    SweepRequest, CACHE_HEADER, MAX_GRID_AXIS, SERVE_SCHEMA,
 };
 pub use sha256::{hex, sha256, Digest};

@@ -2,7 +2,7 @@
 //! and structured error bodies — everything between a parsed
 //! [`Request`] and a [`Response`], independent of any socket.
 //!
-//! The service does not know how reports are built: the four report
+//! The service does not know how reports are built: the report
 //! producers are **injected** as [`Endpoints`] closures (the `redeval`
 //! CLI wires them to its report registry and batch engine). What the
 //! service owns is the serving contract:
@@ -11,8 +11,9 @@
 //!   [`ScenarioDoc::from_value`] — the same dotted-path validation the
 //!   CLI uses — and every rejection is a structured `Report` body with
 //!   `ok: false`, never an echo of raw request bytes;
-//! * successful `POST /v1/eval` and `POST /v1/sweep` responses are
-//!   memoized in a content-addressed [`ResultCache`]: the key is the
+//! * successful `POST /v1/eval`, `POST /v1/sweep` and
+//!   `POST /v1/optimize` responses are memoized in a content-addressed
+//!   [`ResultCache`]: the key is the
 //!   SHA-256 of [`cache_key_bytes`] over the request kind, the
 //!   canonicalized grid parameters and the **canonical** serialization
 //!   of the scenario document, so two textually different bodies naming
@@ -27,6 +28,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use redeval::decision::ScatterBounds;
 use redeval::output::{cache_key_bytes, Json, Report, Value};
 use redeval::scenario::generate::{self, Family, GenParams};
 use redeval::scenario::ScenarioDoc;
@@ -60,11 +62,30 @@ pub struct SweepRequest {
     pub max_redundancy: Option<u32>,
 }
 
+/// A decoded `POST /v1/optimize` body: the embedded scenario document
+/// plus the pruned-search knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeRequest {
+    /// The scenario document (fully validated).
+    pub doc: ScenarioDoc,
+    /// Patch policies overriding the document's list.
+    pub policies: Option<Vec<PatchPolicy>>,
+    /// Per-tier count bound of the searched space (default
+    /// [`redeval::optimize::DEFAULT_MAX_REDUNDANCY`]).
+    pub max_redundancy: Option<u32>,
+    /// Administrator bounds (φ, ψ) selecting the satisfying region.
+    pub bounds: Option<ScatterBounds>,
+}
+
 /// A boxed `POST /v1/eval` report producer.
 pub type EvalEndpoint = Box<dyn Fn(&ScenarioDoc) -> Result<Report, EvalError> + Send + Sync>;
 
 /// A boxed `POST /v1/sweep` report producer.
 pub type SweepEndpoint = Box<dyn Fn(&SweepRequest) -> Result<Report, EvalError> + Send + Sync>;
+
+/// A boxed `POST /v1/optimize` report producer.
+pub type OptimizeEndpoint =
+    Box<dyn Fn(&OptimizeRequest) -> Result<Report, EvalError> + Send + Sync>;
 
 /// A boxed parameterless listing producer (`GET` registries).
 pub type ListingEndpoint = Box<dyn Fn() -> Report + Send + Sync>;
@@ -75,6 +96,9 @@ pub struct Endpoints {
     pub eval: EvalEndpoint,
     /// Builds the `POST /v1/sweep` report.
     pub sweep: SweepEndpoint,
+    /// Builds the `POST /v1/optimize` report (pruned design-space
+    /// search).
+    pub optimize: OptimizeEndpoint,
     /// The `GET /v1/scenarios` listing (the bundled scenario registry).
     pub scenarios: ListingEndpoint,
     /// The `GET /v1/reports` listing (the report registry).
@@ -158,8 +182,11 @@ impl Service {
             ("GET", "/v1/stats") => Response::json(200, self.stats_report().to_json()),
             ("POST", "/v1/eval") => self.eval(req),
             ("POST", "/v1/sweep") => self.sweep(req),
+            ("POST", "/v1/optimize") => self.optimize(req),
             ("POST", "/v1/generate") => self.generate(req),
-            (_, "/v1/eval" | "/v1/sweep" | "/v1/generate") => method_not_allowed("POST"),
+            (_, "/v1/eval" | "/v1/sweep" | "/v1/optimize" | "/v1/generate") => {
+                method_not_allowed("POST")
+            }
             (_, "/healthz" | "/v1/scenarios" | "/v1/reports" | "/v1/stats") => {
                 method_not_allowed("GET")
             }
@@ -170,7 +197,7 @@ impl Service {
                     "message".into(),
                     Value::from(
                         "no such endpoint; see /healthz, /v1/scenarios, /v1/reports, \
-                         /v1/stats, /v1/eval, /v1/sweep, /v1/generate",
+                         /v1/stats, /v1/eval, /v1/sweep, /v1/optimize, /v1/generate",
                     ),
                 )],
             ),
@@ -232,6 +259,29 @@ impl Service {
             return Response::json(200, bytes.to_vec()).with_header(CACHE_HEADER, "hit");
         }
         match (self.endpoints.sweep)(&sweep_req) {
+            Ok(report) => self.respond_and_cache(key, report),
+            Err(e) => eval_error_response(&e),
+        }
+    }
+
+    /// `POST /v1/optimize`: body embeds the document plus the search
+    /// knobs; same clamp/reject discipline and content-addressed
+    /// caching as `/v1/sweep`.
+    fn optimize(&self, req: &Request) -> Response {
+        let opt_req = match decode_optimize_body(&req.body) {
+            Ok(r) => r,
+            Err(resp) => return *resp,
+        };
+        let canonical = opt_req.doc.to_json();
+        let key = sha256(&cache_key_bytes(
+            "optimize",
+            &optimize_params_json(&opt_req),
+            &canonical,
+        ));
+        if let Some(bytes) = self.cache.get(&key) {
+            return Response::json(200, bytes.to_vec()).with_header(CACHE_HEADER, "hit");
+        }
+        match (self.endpoints.optimize)(&opt_req) {
             Ok(report) => self.respond_and_cache(key, report),
             Err(e) => eval_error_response(&e),
         }
@@ -306,6 +356,171 @@ fn sweep_params_json(req: &SweepRequest) -> Json {
         ("policies".to_string(), policies),
         ("max_redundancy".to_string(), maxr),
     ])
+}
+
+/// The canonical search-parameter value hashed into an optimize cache
+/// key: every knob present (absent ⇒ `null`), policies in `Display`
+/// form, bounds as a two-key object.
+fn optimize_params_json(req: &OptimizeRequest) -> Json {
+    let policies = match &req.policies {
+        None => Json::Null,
+        Some(ps) => Json::Arr(ps.iter().map(|p| Json::Str(p.to_string())).collect()),
+    };
+    let maxr = match req.max_redundancy {
+        None => Json::Null,
+        Some(m) => Json::Num(f64::from(m)),
+    };
+    let bounds = match &req.bounds {
+        None => Json::Null,
+        Some(b) => Json::Obj(vec![
+            ("max_asp".to_string(), Json::Num(b.max_asp)),
+            ("min_coa".to_string(), Json::Num(b.min_coa)),
+        ]),
+    };
+    Json::Obj(vec![
+        ("policies".to_string(), policies),
+        ("max_redundancy".to_string(), maxr),
+        ("bounds".to_string(), bounds),
+    ])
+}
+
+/// Decodes a `POST /v1/optimize` body:
+/// `{"scenario": <doc>, "policies"?, "max_redundancy"?, "bounds"?}`
+/// with `bounds = {"max_asp": φ, "min_coa": ψ}`. Unknown keys are
+/// rejected like everywhere else in the scenario schema.
+fn decode_optimize_body(body: &[u8]) -> Result<OptimizeRequest, Box<Response>> {
+    let bad = |at: &str, message: String| {
+        Box::new(eval_error_response(&EvalError::Scenario(
+            ScenarioError::Invalid {
+                at: at.to_string(),
+                message,
+            },
+        )))
+    };
+    let text = std::str::from_utf8(body).map_err(|_| {
+        Box::new(error_response(
+            400,
+            "encoding",
+            vec![(
+                "message".into(),
+                Value::from("request body is not valid UTF-8"),
+            )],
+        ))
+    })?;
+    let root = redeval::output::parse_json(text).map_err(|e| {
+        Box::new(eval_error_response(&EvalError::Scenario(
+            ScenarioError::Json {
+                line: e.line,
+                col: e.col,
+                message: e.message,
+            },
+        )))
+    })?;
+    let entries = root
+        .as_obj()
+        .ok_or_else(|| bad("request", "expected an object".to_string()))?;
+    for (k, _) in entries {
+        if !matches!(
+            k.as_str(),
+            "scenario" | "policies" | "max_redundancy" | "bounds"
+        ) {
+            return Err(bad(
+                "request",
+                format!("unknown key `{}`", redeval::output::snippet(k)),
+            ));
+        }
+    }
+    let field = |name: &str| entries.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    let doc_value = field("scenario").ok_or_else(|| {
+        bad(
+            "request",
+            "missing key `scenario` (the embedded scenario document)".to_string(),
+        )
+    })?;
+    let doc = ScenarioDoc::from_value(doc_value).map_err(|e| Box::new(eval_error_response(&e)))?;
+
+    let policies = match field("policies") {
+        None => None,
+        Some(v) => {
+            let items = v
+                .as_arr()
+                .ok_or_else(|| bad("policies", "expected an array".to_string()))?;
+            if items.is_empty() || items.len() > MAX_GRID_AXIS {
+                return Err(bad(
+                    "policies",
+                    format!("expected 1..={MAX_GRID_AXIS} entries"),
+                ));
+            }
+            let mut out = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let at = format!("policies[{i}]");
+                let s = item
+                    .as_str()
+                    .ok_or_else(|| bad(&at, "expected a policy string".to_string()))?;
+                let p: PatchPolicy = s.parse().map_err(|e| bad(&at, format!("{e}")))?;
+                out.push(p);
+            }
+            Some(out)
+        }
+    };
+    let max_redundancy = match field("max_redundancy") {
+        None => None,
+        Some(v) => {
+            let m = v
+                .as_f64()
+                .filter(|m| m.fract() == 0.0 && (1.0..=8.0).contains(m));
+            match m {
+                Some(m) => Some(m as u32),
+                None => {
+                    return Err(bad(
+                        "max_redundancy",
+                        "expected an integer in 1..=8".to_string(),
+                    ));
+                }
+            }
+        }
+    };
+    let bounds = match field("bounds") {
+        None => None,
+        Some(v) => {
+            let obj = v.as_obj().ok_or_else(|| {
+                bad(
+                    "bounds",
+                    "expected an object {\"max_asp\": φ, \"min_coa\": ψ}".to_string(),
+                )
+            })?;
+            for (k, _) in obj {
+                if !matches!(k.as_str(), "max_asp" | "min_coa") {
+                    return Err(bad(
+                        "bounds",
+                        format!("unknown key `{}`", redeval::output::snippet(k)),
+                    ));
+                }
+            }
+            let num = |name: &'static str| -> Result<f64, Box<Response>> {
+                obj.iter()
+                    .find(|(k, _)| k == name)
+                    .and_then(|(_, v)| v.as_f64())
+                    .filter(|n| n.is_finite())
+                    .ok_or_else(|| {
+                        bad(
+                            &format!("bounds.{name}"),
+                            "expected a finite number".to_string(),
+                        )
+                    })
+            };
+            Some(ScatterBounds {
+                max_asp: num("max_asp")?,
+                min_coa: num("min_coa")?,
+            })
+        }
+    };
+    Ok(OptimizeRequest {
+        doc,
+        policies,
+        max_redundancy,
+        bounds,
+    })
 }
 
 /// Decodes a request body that *is* a scenario document.
@@ -662,6 +877,17 @@ mod tests {
                 )]);
                 Ok(r)
             }),
+            optimize: Box::new(|req| {
+                let mut r = Report::new(format!("optimize_{}", req.doc.name), "stub optimize");
+                r.keys([
+                    (
+                        "max_redundancy",
+                        Value::from(i64::from(req.max_redundancy.unwrap_or(0))),
+                    ),
+                    ("bounded", Value::from(req.bounds.is_some())),
+                ]);
+                Ok(r)
+            }),
             scenarios: Box::new(|| Report::new("scenario_list", "stub scenarios")),
             reports: Box::new(|| Report::new("list", "stub reports")),
         };
@@ -883,6 +1109,76 @@ mod tests {
     }
 
     #[test]
+    fn optimize_routes_caches_and_validates() {
+        let svc = test_service(1 << 20);
+        let doc = doc_json();
+        let doc = doc.trim_end();
+        let body = format!(
+            "{{\"scenario\": {doc}, \"max_redundancy\": 3, \
+             \"bounds\": {{\"max_asp\": 0.2, \"min_coa\": 0.9962}}}}"
+        );
+        let first = svc.handle(&Request::synthetic("POST", "/v1/optimize", body.as_bytes()));
+        assert_eq!(first.status, 200);
+        assert!(first.extra_headers.contains(&(CACHE_HEADER, "miss".into())));
+        let text = String::from_utf8(first.body.clone()).unwrap();
+        assert!(text.contains("\"max_redundancy\": 3") && text.contains("\"bounded\": true"));
+        let second = svc.handle(&Request::synthetic("POST", "/v1/optimize", body.as_bytes()));
+        assert!(second.extra_headers.contains(&(CACHE_HEADER, "hit".into())));
+        assert_eq!(first.body, second.body, "hit must be byte-identical");
+        // Different knobs, different cache entry.
+        let other = format!("{{\"scenario\": {doc}, \"max_redundancy\": 2}}");
+        let third = svc.handle(&Request::synthetic(
+            "POST",
+            "/v1/optimize",
+            other.as_bytes(),
+        ));
+        assert!(third.extra_headers.contains(&(CACHE_HEADER, "miss".into())));
+        // Validation pinpoints the offending knob.
+        let cases = [
+            ("{}".to_string(), "missing key `scenario`"),
+            (
+                format!("{{\"scenario\": {doc}, \"depth\": 1}}"),
+                "unknown key",
+            ),
+            (
+                format!("{{\"scenario\": {doc}, \"max_redundancy\": 99}}"),
+                "1..=8",
+            ),
+            (
+                format!("{{\"scenario\": {doc}, \"bounds\": [1, 2]}}"),
+                "expected an object",
+            ),
+            (
+                format!("{{\"scenario\": {doc}, \"bounds\": {{\"max_asp\": 0.2}}}}"),
+                "bounds.min_coa",
+            ),
+            (
+                format!(
+                    "{{\"scenario\": {doc}, \
+                     \"bounds\": {{\"max_asp\": 0.2, \"min_coa\": 0.9, \"phi\": 1}}}}"
+                ),
+                "unknown key `phi`",
+            ),
+            (
+                format!("{{\"scenario\": {doc}, \"policies\": [\"bogus\"]}}"),
+                "policies[0]",
+            ),
+        ];
+        for (body, needle) in cases {
+            let r = svc.handle(&Request::synthetic("POST", "/v1/optimize", body.as_bytes()));
+            assert_eq!(r.status, 400, "body {}", &body[..60.min(body.len())]);
+            let text = String::from_utf8(r.body).unwrap();
+            assert!(text.contains(needle), "`{needle}` not in {text}");
+        }
+        let r = svc.handle(&Request::synthetic("GET", "/v1/optimize", b""));
+        assert_eq!(r.status, 405);
+        assert!(r.extra_headers.contains(&("Allow", "POST".to_string())));
+        // The 404 listing names the new endpoint.
+        let r = svc.handle(&Request::synthetic("GET", "/nope", b""));
+        assert!(String::from_utf8(r.body).unwrap().contains("/v1/optimize"));
+    }
+
+    #[test]
     fn stats_report_tracks_cache_counters() {
         let svc = test_service(1 << 20);
         let body = doc_json();
@@ -932,6 +1228,7 @@ mod tests {
         let endpoints = Endpoints {
             eval: Box::new(|_| Err(EvalError::from(redeval_srn::SrnError::VanishingLoop))),
             sweep: Box::new(|_| unreachable!()),
+            optimize: Box::new(|_| unreachable!()),
             scenarios: Box::new(|| Report::new("scenario_list", "x")),
             reports: Box::new(|| Report::new("list", "x")),
         };

@@ -5,7 +5,9 @@
 //! * a grid of exactly 10 000 cells is accepted — by the in-process
 //!   sweep builder and by `POST /v1/sweep`;
 //! * one more design tips it over: a structured 400 `Report` (dotted
-//!   path, projected cell count in the message), never an allocation;
+//!   path, projected cell count in the message), never an allocation —
+//!   and the message points at `redeval optimize` / `POST /v1/optimize`,
+//!   the front door that searches such spaces without a grid;
 //! * the rejection is arithmetic, not material: `max_redundancy = 8` on
 //!   a 120-tier generated fleet projects 8^120 cells and must come back
 //!   instantly rather than attempt to enumerate the design space;
@@ -96,6 +98,10 @@ fn sweep_grid_one_design_over_the_cap_is_rejected_structurally() {
         msg.contains("10400") && msg.contains(&MAX_SWEEP_GRID.to_string()),
         "rejection must name the projected grid and the cap: {msg}"
     );
+    assert!(
+        msg.contains("redeval optimize"),
+        "rejection must point at the pruned search: {msg}"
+    );
 
     let svc = serve::service(2, 64 * 1024 * 1024);
     let body = sweep_body(&doc, 25, 16);
@@ -105,6 +111,10 @@ fn sweep_grid_one_design_over_the_cap_is_rejected_structurally() {
     assert!(
         text.contains("\"ok\": false") && text.contains("10400"),
         "expected a structured over-cap report: {text}"
+    );
+    assert!(
+        text.contains("/v1/optimize"),
+        "the served rejection must point at the optimize endpoint: {text}"
     );
 }
 
@@ -133,7 +143,7 @@ fn astronomic_design_spaces_are_rejected_arithmetically() {
         start.elapsed()
     );
     assert!(
-        e.to_string().contains("exceeds the limit"),
+        e.to_string().contains("exceeds the limit") && e.to_string().contains("redeval optimize"),
         "unexpected rejection: {e}"
     );
 
@@ -144,9 +154,8 @@ fn astronomic_design_spaces_are_rejected_arithmetically() {
     );
     let resp = svc.handle(&Request::synthetic("POST", "/v1/sweep", body.as_bytes()));
     assert_eq!(resp.status, 400);
-    assert!(String::from_utf8(resp.body)
-        .unwrap()
-        .contains("exceeds the limit"));
+    let text = String::from_utf8(resp.body).unwrap();
+    assert!(text.contains("exceeds the limit") && text.contains("/v1/optimize"));
 }
 
 #[test]
@@ -156,7 +165,10 @@ fn eval_enforces_the_same_cap_on_the_document_grid() {
     doc.policies = vec![redeval::PatchPolicy::All; 100];
     doc.validate().expect("the wide doc itself is schema-valid");
     let e = reports::scenario::eval_report(&doc).expect_err("over-cap eval grid");
-    assert!(e.to_string().contains("10100"), "{e}");
+    assert!(
+        e.to_string().contains("10100") && e.to_string().contains("redeval optimize"),
+        "{e}"
+    );
 
     let svc = serve::service(1, 1 << 20);
     let resp = svc.handle(&Request::synthetic(

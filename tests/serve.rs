@@ -10,6 +10,8 @@
 //!   `tests/golden/serve/`;
 //! * the repeat request is served from the cache with identical bytes,
 //!   observable through `/v1/stats`;
+//! * `/v1/optimize` answers with the same bytes as the in-process
+//!   pruned-search report builder, pinned as its own golden;
 //! * malformed bodies — broken JSON, schema violations, oversized
 //!   payloads — come back as structured 4xx `Report`s that never echo
 //!   request bytes, and the server keeps serving afterwards.
@@ -26,7 +28,7 @@ use std::path::PathBuf;
 
 use redeval::scenario::ScenarioDoc;
 use redeval_bench::{reports, serve};
-use redeval_server::{Request, Server, ServerHandle};
+use redeval_server::{OptimizeRequest, Request, Server, ServerHandle};
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
@@ -231,6 +233,40 @@ fn sweep_endpoint_layers_axes_and_caches() {
     handle.stop();
 }
 
+/// `/v1/optimize` front-door parity: the served pruned-search report is
+/// byte-identical to the in-process builder (and thus to
+/// `redeval optimize --scenario … --format json`), pinned as a golden,
+/// and the repeat request is a cache hit.
+#[test]
+fn optimize_endpoint_matches_the_in_process_builder_and_caches() {
+    let handle = start_server();
+    let (mut stream, mut reader) = connect(&handle);
+    let scenario = paper_scenario_text();
+    let body = format!("{{\"scenario\": {}}}", scenario.trim_end());
+
+    let first = post(&mut stream, &mut reader, "/v1/optimize", body.as_bytes());
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("X-Redeval-Cache"), Some("miss"));
+
+    let doc = ScenarioDoc::from_json(&scenario).expect("pinned scenario parses");
+    let in_process = reports::optimize::optimize_report(&OptimizeRequest {
+        doc,
+        policies: None,
+        max_redundancy: None,
+        bounds: None,
+    })
+    .expect("paper scenario optimizes")
+    .to_json();
+    assert_eq!(first.body_text(), in_process);
+    assert_matches_golden(&first.body, "optimize_paper_case_study.json");
+
+    let second = post(&mut stream, &mut reader, "/v1/optimize", body.as_bytes());
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("X-Redeval-Cache"), Some("hit"));
+    assert_eq!(first.body, second.body);
+    handle.stop();
+}
+
 #[test]
 fn malformed_bodies_are_structured_4xx_without_leaking_or_killing_the_server() {
     let handle = start_server();
@@ -297,8 +333,9 @@ fn unknown_paths_and_wrong_methods_are_4xx() {
 /// and delegates to this one).
 #[test]
 fn no_orphan_serve_goldens() {
-    const PINNED: [&str; 4] = [
+    const PINNED: [&str; 5] = [
         "eval_paper_case_study.json",
+        "optimize_paper_case_study.json",
         "healthz.http",
         "bad_json.http",
         "not_found.http",
