@@ -139,6 +139,19 @@ impl ServerAnalysis {
         &self.name
     }
 
+    /// The same solved analysis relabelled with a different service
+    /// name: every steady-state quantity is copied unchanged, only the
+    /// label differs. This is what lets a solve cache reuse one SRN
+    /// solution across tiers whose parameters are identical but whose
+    /// names are not — the numbers cannot depend on the name, the
+    /// report rows must carry the right one.
+    pub fn renamed(&self, name: impl Into<String>) -> ServerAnalysis {
+        ServerAnalysis {
+            name: name.into(),
+            ..self.clone()
+        }
+    }
+
     /// Steady-state probability that the service is up.
     pub fn availability(&self) -> f64 {
         self.availability

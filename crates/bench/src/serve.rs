@@ -22,10 +22,11 @@
 //! across requests), so a warm server only pays for what a request
 //! actually changes.
 
+use std::path::Path;
 use std::sync::Arc;
 
 use redeval::exec::{AnalysisCache, Pool};
-use redeval_server::{Endpoints, Limits, Service, ServiceConfig};
+use redeval_server::{DiskCache, Endpoints, Limits, Service, ServiceConfig};
 
 use crate::{cli, reports};
 
@@ -35,10 +36,36 @@ pub const DEFAULT_ADDR: &str = "127.0.0.1:7878";
 /// Default result-cache budget (64 MiB of serialized responses).
 pub const DEFAULT_CACHE_CAP: usize = 64 * 1024 * 1024;
 
+/// Default byte budget of the persistent tier under `--cache-dir`
+/// (256 MiB of entry files).
+pub const DEFAULT_DISK_CAP: u64 = 256 * 1024 * 1024;
+
 /// Builds the fully wired service: `threads` pool workers for the
 /// evaluation grids and a result cache capped at `cache_capacity`
-/// bytes.
+/// bytes (memory tier only; see [`service_with_disk`]).
 pub fn service(threads: usize, cache_capacity: usize) -> Service {
+    wired_service(threads, cache_capacity)
+}
+
+/// [`service`] plus a persistent cache tier under `cache_dir` (created
+/// if needed, budgeted at `disk_capacity` bytes): a server restarted
+/// over the same directory answers its first repeated request from
+/// disk.
+///
+/// # Errors
+///
+/// Propagates the cache-directory open failure.
+pub fn service_with_disk(
+    threads: usize,
+    cache_capacity: usize,
+    cache_dir: &Path,
+    disk_capacity: u64,
+) -> std::io::Result<Service> {
+    let disk = DiskCache::open(cache_dir, disk_capacity)?;
+    Ok(wired_service(threads, cache_capacity).with_disk(disk))
+}
+
+fn wired_service(threads: usize, cache_capacity: usize) -> Service {
     let pool = Arc::new(Pool::new(threads));
     let cache = Arc::new(AnalysisCache::new());
     let (eval_pool, eval_cache) = (Arc::clone(&pool), Arc::clone(&cache));

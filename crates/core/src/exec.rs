@@ -8,9 +8,11 @@
 //!
 //! * [`run_batch`] — the primitive: a deterministic parallel map over job
 //!   indices on scoped [`std::thread`] workers (no external dependencies);
-//! * [`AnalysisCache`] — a thread-safe, batch-wide cache of the per-tier
-//!   lower-layer SRN solves (count-independent, so one solve serves every
-//!   design sharing a tier's [`ServerParams`]);
+//! * [`AnalysisCache`] — a thread-safe, session-scoped cache of the
+//!   per-tier lower-layer SRN solves, keyed by parameter content
+//!   (count- and name-independent, so one solve serves every design —
+//!   and every later request — sharing a tier's [`ServerParams`]
+//!   numbers);
 //! * [`Scenario`] / [`Experiment`] — one evaluation unit and an executable
 //!   batch of them; the executor groups scenarios that share a spec and
 //!   design so the HARM construction, before-patch metrics and
@@ -360,13 +362,16 @@ impl Drop for Pool {
     }
 }
 
-/// Cache key: a server's name plus the bit patterns of all thirteen
-/// duration parameters. Keying on bits (not rounded values) keeps the
-/// cache exact — two parameter sets collide only when every solve input
-/// is identical, so a hit can never change a result.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// Cache key: the bit patterns of all thirteen duration parameters —
+/// the *content* of a solve, deliberately excluding the server's name.
+/// Keying on bits (not rounded values) keeps the cache exact — two
+/// parameter sets collide only when every solve input is identical, so
+/// a hit can never change a result. The name is reattached on lookup
+/// (see [`AnalysisCache::analysis`]): it labels report rows but cannot
+/// influence a single solved number, so tiers that differ only in name
+/// share one SRN solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct ParamsKey {
-    name: String,
     bits: [u64; 13],
 }
 
@@ -374,7 +379,6 @@ impl ParamsKey {
     fn of(p: &ServerParams) -> ParamsKey {
         let b = |d: Durations| d.as_hours().to_bits();
         ParamsKey {
-            name: p.name.clone(),
             bits: [
                 b(p.hw_mtbf),
                 b(p.hw_repair),
@@ -394,47 +398,107 @@ impl ParamsKey {
     }
 }
 
+/// How many distinct parameter contents the cache holds before it is
+/// flushed wholesale (see [`AnalysisCache::analysis`]). Far above any
+/// single batch (a sweep touches tiers × patch-interval variants), so a
+/// flush only ever hits a long-running session that has evaluated
+/// thousands of unrelated scenarios.
+const DEFAULT_ANALYSIS_CAPACITY: usize = 4096;
+
 /// A thread-safe cache of per-tier lower-layer SRN solves.
 ///
 /// The lower-layer solve of a tier depends only on its [`ServerParams`],
 /// never on server counts, so one solve serves every design in a batch —
 /// and, when the cache is shared (it is an `Arc` inside [`Sweep`] /
-/// [`Experiment`]), every batch. [`hits`](AnalysisCache::hits) and
-/// [`solves`](AnalysisCache::solves) expose the dedup for tests and
+/// [`Experiment`], and `redeval serve` holds one for its whole
+/// lifetime), every batch in the session. Entries are keyed by
+/// parameter *content* (the thirteen duration bit patterns), not by
+/// tier name: editing one tier's one rate re-solves exactly that tier,
+/// while renames and vulnerability edits re-solve nothing.
+/// [`hits`](AnalysisCache::hits), [`solves`](AnalysisCache::solves) and
+/// [`relabels`](AnalysisCache::relabels) expose the dedup for tests and
 /// diagnostics.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AnalysisCache {
-    map: Mutex<HashMap<ParamsKey, Arc<ServerAnalysis>>>,
+    /// Per content key, every named variant produced so far; index 0 is
+    /// the originally solved one, later entries are relabels of it.
+    map: Mutex<HashMap<ParamsKey, Vec<Arc<ServerAnalysis>>>>,
+    capacity: usize,
     hits: AtomicUsize,
     solves: AtomicUsize,
+    relabels: AtomicUsize,
+}
+
+impl Default for AnalysisCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl AnalysisCache {
-    /// An empty cache.
+    /// An empty cache with the default session capacity.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(DEFAULT_ANALYSIS_CAPACITY)
+    }
+
+    /// An empty cache flushed after `capacity` distinct parameter
+    /// contents (clamped to at least 1). The bound keeps a session-long
+    /// cache from growing without limit; a flush costs only re-solves,
+    /// never correctness.
+    pub fn with_capacity(capacity: usize) -> Self {
+        AnalysisCache {
+            map: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            hits: AtomicUsize::new(0),
+            solves: AtomicUsize::new(0),
+            relabels: AtomicUsize::new(0),
+        }
     }
 
     /// The solved analysis for `params`, computed on first use.
     ///
-    /// Concurrent first requests for the *same* key may solve it more
-    /// than once (the solve runs outside the lock); all solutions are
-    /// identical, the first insert wins, and no request ever blocks on
-    /// another's solve.
+    /// A lookup that finds the same parameter content under a
+    /// *different* tier name reuses the solved numbers and only swaps
+    /// the label (a [`relabel`](AnalysisCache::relabels), not a solve) —
+    /// the name feeds report rows, never the SRN. Concurrent first
+    /// requests for the *same* key may solve it more than once (the
+    /// solve runs outside the lock); all solutions are identical, the
+    /// first insert wins, and no request ever blocks on another's solve.
     ///
     /// # Errors
     ///
     /// Propagates SRN build/solve errors. Failures are not cached.
     pub fn analysis(&self, params: &ServerParams) -> Result<Arc<ServerAnalysis>, SrnError> {
         let key = ParamsKey::of(params);
-        if let Some(hit) = self.map.lock().expect("cache lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
+        {
+            let mut map = self.map.lock().expect("cache lock");
+            if let Some(variants) = map.get_mut(&key) {
+                if let Some(hit) = variants.iter().find(|a| a.name() == params.name) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(hit));
+                }
+                // Same solve content under a new tier name: relabel the
+                // solved analysis instead of solving again.
+                let relabeled = Arc::new(variants[0].renamed(&params.name));
+                variants.push(Arc::clone(&relabeled));
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.relabels.fetch_add(1, Ordering::Relaxed);
+                return Ok(relabeled);
+            }
         }
         let solved = Arc::new(params.analyze()?);
         self.solves.fetch_add(1, Ordering::Relaxed);
         let mut map = self.map.lock().expect("cache lock");
-        Ok(Arc::clone(map.entry(key).or_insert(solved)))
+        if !map.contains_key(&key) && map.len() >= self.capacity {
+            map.clear();
+        }
+        let variants = map.entry(key).or_default();
+        if let Some(winner) = variants.iter().find(|a| a.name() == params.name) {
+            // A concurrent solve of the same tier got here first.
+            return Ok(Arc::clone(winner));
+        }
+        variants.push(Arc::clone(&solved));
+        Ok(solved)
     }
 
     /// One cached analysis per tier of `spec`, in tier order.
@@ -459,7 +523,14 @@ impl AnalysisCache {
         self.solves.load(Ordering::Relaxed)
     }
 
-    /// Distinct parameter sets currently cached.
+    /// Cache hits that reused a solve under a different tier name (a
+    /// subset of [`hits`](AnalysisCache::hits)).
+    pub fn relabels(&self) -> usize {
+        self.relabels.load(Ordering::Relaxed)
+    }
+
+    /// Distinct parameter *contents* currently cached (named relabels
+    /// of one solve share an entry).
     pub fn len(&self) -> usize {
         self.map.lock().expect("cache lock").len()
     }
@@ -1044,6 +1115,54 @@ mod tests {
         cache.analysis(&b).unwrap();
         assert_eq!(cache.solves(), 2);
         assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn cache_relabels_same_content_under_a_new_name_without_solving() {
+        let cache = AnalysisCache::new();
+        let a = case_study::dns_params();
+        let mut b = case_study::dns_params();
+        b.name = "dns replica".to_string();
+        let first = cache.analysis(&a).unwrap();
+        let relabeled = cache.analysis(&b).unwrap();
+        // One solve served both names; the relabel kept the numbers and
+        // swapped the label.
+        assert_eq!((cache.solves(), cache.relabels()), (1, 1));
+        assert_eq!(cache.len(), 1, "named variants share one content entry");
+        assert_eq!(relabeled.name(), "dns replica");
+        assert_eq!(
+            first.availability().to_bits(),
+            relabeled.availability().to_bits()
+        );
+        assert_eq!(first.rates(), relabeled.rates());
+        // Both names now hit without further relabeling.
+        assert!(Arc::ptr_eq(&cache.analysis(&a).unwrap(), &first));
+        assert!(Arc::ptr_eq(&cache.analysis(&b).unwrap(), &relabeled));
+        assert_eq!((cache.solves(), cache.relabels()), (1, 1));
+    }
+
+    #[test]
+    fn cache_capacity_flush_costs_resolves_not_correctness() {
+        let cache = AnalysisCache::with_capacity(2);
+        let a = case_study::dns_params();
+        let mut b = case_study::dns_params();
+        b.patch_interval = Durations::hours(360.0);
+        let mut c = case_study::dns_params();
+        c.patch_interval = Durations::hours(180.0);
+        let first = cache.analysis(&a).unwrap();
+        cache.analysis(&b).unwrap();
+        assert_eq!(cache.len(), 2);
+        // The third distinct content flushes the full cache…
+        cache.analysis(&c).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.solves(), 3);
+        // …and a re-request simply re-solves to identical numbers.
+        let again = cache.analysis(&a).unwrap();
+        assert_eq!(cache.solves(), 4);
+        assert_eq!(
+            first.availability().to_bits(),
+            again.availability().to_bits()
+        );
     }
 
     #[test]

@@ -1,0 +1,513 @@
+//! Persistent content-addressed result cache: one file per entry under
+//! a cache directory, keyed by the same SHA-256 digests as the
+//! in-memory [`ResultCache`](crate::cache::ResultCache).
+//!
+//! The disk tier exists so a restarted server answers its first
+//! repeated request warm. Its contract mirrors the memory tier's —
+//! **a hit is byte-identical to a recompute** — and is enforced
+//! physically: every entry carries its key and a payload digest, and a
+//! load verifies both before returning a single byte. Anything that
+//! fails verification (truncation, bit rot, a foreign file squatting on
+//! the name) is deleted and reported as a miss, never served and never
+//! fatal.
+//!
+//! Writes are crash-safe by construction: the entry is written to a
+//! `.tmp` sibling and `rename(2)`d into place, so a reader can only
+//! ever observe a missing file or a complete one — a torn write leaves
+//! at worst a stale `.tmp` that the next [`DiskCache::open`] sweeps.
+//! Eviction is least-recently-used under a byte budget, tracked by an
+//! in-memory index seeded from a directory scan at open (oldest
+//! modification time first).
+//!
+//! # Entry format
+//!
+//! ```text
+//! offset  len  field
+//!      0   16  magic  b"redeval-disk/1\n\0"
+//!     16   32  cache key (the SHA-256 the entry is addressed by)
+//!     48    8  payload length, little-endian u64
+//!     56   32  SHA-256 of the payload
+//!     88    n  payload (the exact serialized response bytes)
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::sha256::{hex, sha256, Digest};
+
+/// The 16-byte entry magic (version-bumped on format changes).
+pub const DISK_MAGIC: &[u8; 16] = b"redeval-disk/1\n\0";
+
+/// Fixed bytes preceding the payload: magic + key + length + payload
+/// digest.
+pub const HEADER_LEN: usize = 16 + 32 + 8 + 32;
+
+/// File extension of cache entries (files are named `<hex key>.rdc`).
+const ENTRY_EXT: &str = "rdc";
+
+/// A point-in-time snapshot of the disk-tier counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskStats {
+    /// Loads answered from disk (verification passed).
+    pub hits: u64,
+    /// Loads that found no entry.
+    pub misses: u64,
+    /// Entries written (temp-then-rename completed).
+    pub writes: u64,
+    /// Entries evicted to hold the byte budget.
+    pub evictions: u64,
+    /// Entries that failed verification and were deleted (each also
+    /// counts as a miss).
+    pub corrupt: u64,
+    /// Stores rejected because a single entry exceeded the budget, plus
+    /// stores whose write failed.
+    pub rejected: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Bytes currently accounted (header + payload per entry).
+    pub used_bytes: u64,
+    /// The configured byte budget.
+    pub capacity_bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// key → (entry size in bytes, recency stamp).
+    index: HashMap<Digest, (u64, u64)>,
+    /// stamp → key, ordered oldest-first for eviction.
+    by_stamp: BTreeMap<u64, Digest>,
+    next_stamp: u64,
+    used: u64,
+    hits: u64,
+    misses: u64,
+    writes: u64,
+    evictions: u64,
+    corrupt: u64,
+    rejected: u64,
+}
+
+impl Inner {
+    fn stamp(&mut self) -> u64 {
+        let s = self.next_stamp;
+        self.next_stamp += 1;
+        s
+    }
+
+    fn touch(&mut self, key: &Digest) {
+        if let Some(&(size, old)) = self.index.get(key) {
+            self.by_stamp.remove(&old);
+            let new = self.stamp();
+            self.index.insert(*key, (size, new));
+            self.by_stamp.insert(new, *key);
+        }
+    }
+
+    fn insert(&mut self, key: Digest, size: u64) {
+        let stamp = self.stamp();
+        if let Some((old_size, old_stamp)) = self.index.insert(key, (size, stamp)) {
+            self.by_stamp.remove(&old_stamp);
+            self.used -= old_size;
+        }
+        self.by_stamp.insert(stamp, key);
+        self.used += size;
+    }
+
+    fn remove(&mut self, key: &Digest) {
+        if let Some((size, stamp)) = self.index.remove(key) {
+            self.by_stamp.remove(&stamp);
+            self.used -= size;
+        }
+    }
+}
+
+/// The persistent cache tier (see the [module docs](self)). All
+/// operations are `&self` and thread-safe.
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+    capacity: u64,
+    inner: Mutex<Inner>,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) the cache directory and seeds the
+    /// eviction index from the entries already present, oldest
+    /// modification time first. Stale `.tmp` files from interrupted
+    /// writes are removed; entries beyond the budget are evicted
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory creation/scan failures. Unreadable
+    /// individual entries are skipped, not fatal.
+    pub fn open(dir: impl Into<PathBuf>, capacity_bytes: u64) -> std::io::Result<DiskCache> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut found: Vec<(std::time::SystemTime, Digest, u64)> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let Ok(entry) = entry else { continue };
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("tmp") {
+                let _ = fs::remove_file(&path);
+                continue;
+            }
+            if path.extension().and_then(|e| e.to_str()) != Some(ENTRY_EXT) {
+                continue;
+            }
+            let Some(key) = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(parse_hex_digest)
+            else {
+                continue;
+            };
+            let Ok(meta) = entry.metadata() else { continue };
+            let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            found.push((mtime, key, meta.len()));
+        }
+        // Oldest first, file name as the deterministic tie-break.
+        found.sort_by_key(|a| (a.0, a.1));
+        let cache = DiskCache {
+            dir,
+            capacity: capacity_bytes,
+            inner: Mutex::new(Inner::default()),
+        };
+        {
+            let mut inner = cache.inner.lock().expect("disk cache lock");
+            for (_, key, size) in found {
+                inner.insert(key, size);
+            }
+            cache.evict_over_budget(&mut inner);
+            // A fresh open starts its counters at zero: evictions during
+            // the seeding scan are budget enforcement, not traffic.
+            inner.evictions = 0;
+        }
+        Ok(cache)
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_of(&self, key: &Digest) -> PathBuf {
+        self.dir.join(format!("{}.{ENTRY_EXT}", hex(key)))
+    }
+
+    /// The verified payload for `key`, bumping its recency. A missing
+    /// file counts a miss; a file that fails verification is deleted
+    /// and counts both corrupt and a miss.
+    pub fn load(&self, key: &Digest) -> Option<Vec<u8>> {
+        let path = self.path_of(key);
+        let mut inner = self.inner.lock().expect("disk cache lock");
+        let data = match fs::read(&path) {
+            Ok(data) => data,
+            Err(_) => {
+                inner.misses += 1;
+                inner.remove(key);
+                return None;
+            }
+        };
+        match parse_entry(key, &data) {
+            Some(payload) => {
+                inner.hits += 1;
+                if inner.index.contains_key(key) {
+                    inner.touch(key);
+                } else {
+                    // Present on disk but not indexed (e.g. written by a
+                    // previous process after our scan): adopt it.
+                    inner.insert(*key, data.len() as u64);
+                    self.evict_over_budget(&mut inner);
+                }
+                Some(payload)
+            }
+            None => {
+                let _ = fs::remove_file(&path);
+                inner.remove(key);
+                inner.corrupt += 1;
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `bytes` under `key` via temp-then-rename, then evicts
+    /// least-recently-used entries until the budget holds. Returns
+    /// `false` (storing nothing) when the entry alone exceeds the
+    /// budget or the write fails. Re-storing an existing key only bumps
+    /// its recency: by the content-address contract the bytes are
+    /// necessarily identical.
+    pub fn store(&self, key: &Digest, bytes: &[u8]) -> bool {
+        let size = (HEADER_LEN + bytes.len()) as u64;
+        let mut inner = self.inner.lock().expect("disk cache lock");
+        if size > self.capacity {
+            inner.rejected += 1;
+            return false;
+        }
+        if inner.index.contains_key(key) {
+            inner.touch(key);
+            return true;
+        }
+        let tmp = self.dir.join(format!("{}.tmp", hex(key)));
+        let result =
+            write_entry(&tmp, key, bytes).and_then(|()| fs::rename(&tmp, self.path_of(key)));
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+            inner.rejected += 1;
+            return false;
+        }
+        inner.writes += 1;
+        inner.insert(*key, size);
+        self.evict_over_budget(&mut inner);
+        true
+    }
+
+    fn evict_over_budget(&self, inner: &mut Inner) {
+        while inner.used > self.capacity {
+            let Some((&stamp, &victim)) = inner.by_stamp.iter().next() else {
+                break;
+            };
+            let _ = stamp;
+            let _ = fs::remove_file(self.path_of(&victim));
+            inner.remove(&victim);
+            inner.evictions += 1;
+        }
+    }
+
+    /// A snapshot of the counters and occupancy.
+    pub fn stats(&self) -> DiskStats {
+        let inner = self.inner.lock().expect("disk cache lock");
+        DiskStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            writes: inner.writes,
+            evictions: inner.evictions,
+            corrupt: inner.corrupt,
+            rejected: inner.rejected,
+            entries: inner.index.len(),
+            used_bytes: inner.used,
+            capacity_bytes: self.capacity,
+        }
+    }
+}
+
+/// Serializes and writes one entry to `path` (the temp name).
+fn write_entry(path: &Path, key: &Digest, payload: &[u8]) -> std::io::Result<()> {
+    let mut file = fs::File::create(path)?;
+    file.write_all(DISK_MAGIC)?;
+    file.write_all(key)?;
+    file.write_all(&(payload.len() as u64).to_le_bytes())?;
+    file.write_all(&sha256(payload))?;
+    file.write_all(payload)?;
+    file.sync_all()
+}
+
+/// Verifies a raw entry against `key` and returns its payload; `None`
+/// on any mismatch (wrong magic, wrong key, truncated or padded length,
+/// payload digest mismatch).
+fn parse_entry(key: &Digest, data: &[u8]) -> Option<Vec<u8>> {
+    if data.len() < HEADER_LEN || &data[..16] != DISK_MAGIC || &data[16..48] != key {
+        return None;
+    }
+    let len = u64::from_le_bytes(data[48..56].try_into().ok()?);
+    let payload = &data[HEADER_LEN..];
+    if payload.len() as u64 != len {
+        return None;
+    }
+    let mut digest = [0u8; 32];
+    digest.copy_from_slice(&data[56..88]);
+    if sha256(payload) != digest {
+        return None;
+    }
+    Some(payload.to_vec())
+}
+
+/// Parses a 64-character lowercase hex file stem back into a digest.
+fn parse_hex_digest(stem: &str) -> Option<Digest> {
+    let bytes = stem.as_bytes();
+    if bytes.len() != 64 {
+        return None;
+    }
+    let nibble = |c: u8| -> Option<u8> {
+        match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            _ => None,
+        }
+    };
+    let mut out = [0u8; 32];
+    for (i, pair) in bytes.chunks_exact(2).enumerate() {
+        out[i] = nibble(pair[0])? << 4 | nibble(pair[1])?;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A unique scratch directory per test, removed on drop.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Scratch {
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "redeval-disk-test-{}-{tag}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = fs::remove_dir_all(&dir);
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn key(n: u8) -> Digest {
+        sha256(&[n])
+    }
+
+    #[test]
+    fn store_then_load_round_trips_bytes_exactly() {
+        let scratch = Scratch::new("roundtrip");
+        let cache = DiskCache::open(&scratch.0, 1 << 20).unwrap();
+        assert!(cache.load(&key(1)).is_none());
+        assert!(cache.store(&key(1), b"the exact response bytes\n"));
+        assert_eq!(
+            cache.load(&key(1)).unwrap(),
+            b"the exact response bytes\n".to_vec()
+        );
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.writes, s.entries), (1, 1, 1, 1));
+        assert_eq!(s.used_bytes, (HEADER_LEN + 25) as u64);
+    }
+
+    #[test]
+    fn reopen_survives_a_restart() {
+        let scratch = Scratch::new("reopen");
+        {
+            let cache = DiskCache::open(&scratch.0, 1 << 20).unwrap();
+            assert!(cache.store(&key(7), b"persisted"));
+        }
+        let reopened = DiskCache::open(&scratch.0, 1 << 20).unwrap();
+        assert_eq!(reopened.stats().entries, 1);
+        assert_eq!(reopened.load(&key(7)).unwrap(), b"persisted".to_vec());
+    }
+
+    #[test]
+    fn corrupt_entries_become_misses_and_are_deleted() {
+        let scratch = Scratch::new("corrupt");
+        let cache = DiskCache::open(&scratch.0, 1 << 20).unwrap();
+        assert!(cache.store(&key(2), b"payload"));
+        let path = scratch.0.join(format!("{}.{ENTRY_EXT}", hex(&key(2))));
+        // Flip one payload byte on disk.
+        let mut data = fs::read(&path).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0x01;
+        fs::write(&path, &data).unwrap();
+        assert!(cache.load(&key(2)).is_none());
+        assert!(!path.exists(), "corrupt entry must be deleted");
+        let s = cache.stats();
+        assert_eq!((s.corrupt, s.misses, s.entries), (1, 1, 0));
+        // The key stores and loads cleanly again afterwards.
+        assert!(cache.store(&key(2), b"payload"));
+        assert_eq!(cache.load(&key(2)).unwrap(), b"payload".to_vec());
+    }
+
+    #[test]
+    fn truncated_and_foreign_files_fail_verification() {
+        let scratch = Scratch::new("truncate");
+        let cache = DiskCache::open(&scratch.0, 1 << 20).unwrap();
+        assert!(cache.store(&key(3), b"0123456789"));
+        let path = scratch.0.join(format!("{}.{ENTRY_EXT}", hex(&key(3))));
+        let data = fs::read(&path).unwrap();
+        // Truncated mid-payload.
+        fs::write(&path, &data[..data.len() - 3]).unwrap();
+        assert!(cache.load(&key(3)).is_none());
+        // A file whose embedded key disagrees with its name.
+        assert!(cache.store(&key(4), b"other"));
+        let other = fs::read(scratch.0.join(format!("{}.{ENTRY_EXT}", hex(&key(4))))).unwrap();
+        fs::write(&path, &other).unwrap();
+        assert!(cache.load(&key(3)).is_none());
+        // Garbage shorter than the header.
+        fs::write(&path, b"not a cache entry").unwrap();
+        assert!(cache.load(&key(3)).is_none());
+        assert_eq!(cache.stats().corrupt, 3);
+    }
+
+    #[test]
+    fn eviction_is_lru_under_the_byte_budget() {
+        let scratch = Scratch::new("evict");
+        let entry = (HEADER_LEN + 8) as u64;
+        let cache = DiskCache::open(&scratch.0, 3 * entry).unwrap();
+        for n in 0..3 {
+            assert!(cache.store(&key(n), &[n; 8]));
+        }
+        // Touch the oldest so it survives the next eviction.
+        assert!(cache.load(&key(0)).is_some());
+        assert!(cache.store(&key(3), &[3; 8]));
+        let s = cache.stats();
+        assert_eq!((s.entries, s.evictions), (3, 1));
+        assert!(cache.load(&key(1)).is_none(), "key(1) was the LRU");
+        assert!(cache.load(&key(0)).is_some());
+        assert!(cache.load(&key(3)).is_some());
+        // Oversized entries are rejected outright.
+        assert!(!cache.store(&key(9), &vec![9u8; 4 * HEADER_LEN + 32]));
+        assert_eq!(cache.stats().rejected, 1);
+    }
+
+    #[test]
+    fn open_enforces_the_budget_and_sweeps_tmp_files() {
+        let scratch = Scratch::new("open-budget");
+        let entry = (HEADER_LEN + 4) as u64;
+        {
+            let cache = DiskCache::open(&scratch.0, 10 * entry).unwrap();
+            for n in 0..4 {
+                assert!(cache.store(&key(n), &[n; 4]));
+            }
+        }
+        // A torn write leaves a .tmp sibling.
+        fs::write(scratch.0.join("deadbeef.tmp"), b"torn").unwrap();
+        let reopened = DiskCache::open(&scratch.0, 2 * entry).unwrap();
+        let s = reopened.stats();
+        assert_eq!(s.entries, 2, "reopen under a smaller budget evicts");
+        assert_eq!(s.evictions, 0, "seeding evictions are not traffic");
+        assert!(!scratch.0.join("deadbeef.tmp").exists());
+        // Non-entry files are ignored, not deleted.
+        fs::write(scratch.0.join("README"), b"hello").unwrap();
+        let again = DiskCache::open(&scratch.0, 2 * entry).unwrap();
+        assert_eq!(again.stats().entries, 2);
+        assert!(scratch.0.join("README").exists());
+    }
+
+    #[test]
+    fn restore_of_an_existing_key_only_bumps_recency() {
+        let scratch = Scratch::new("restore");
+        let entry = (HEADER_LEN + 4) as u64;
+        let cache = DiskCache::open(&scratch.0, 2 * entry).unwrap();
+        assert!(cache.store(&key(0), b"aaaa"));
+        assert!(cache.store(&key(1), b"bbbb"));
+        assert!(cache.store(&key(0), b"aaaa"));
+        assert_eq!(cache.stats().writes, 2, "re-store writes nothing");
+        assert!(cache.store(&key(2), b"cccc"));
+        assert!(cache.load(&key(1)).is_none(), "key(1) was the LRU");
+        assert!(cache.load(&key(0)).is_some());
+    }
+
+    #[test]
+    fn hex_digest_parsing_round_trips() {
+        let k = key(42);
+        assert_eq!(parse_hex_digest(&hex(&k)), Some(k));
+        assert_eq!(parse_hex_digest("zz"), None);
+        assert_eq!(parse_hex_digest(&"A".repeat(64)), None, "uppercase");
+    }
+}

@@ -35,13 +35,17 @@ use redeval::scenario::ScenarioDoc;
 use redeval::{EvalError, PatchPolicy, ScenarioError};
 
 use crate::cache::{CacheStats, ResultCache};
+use crate::disk::{DiskCache, DiskStats};
 use crate::http::{HttpError, Limits, Request, Response};
-use crate::sha256::sha256;
+use crate::metrics::ServiceMetrics;
+use crate::sha256::{sha256, Digest};
 
 /// Identifies the serving schema (bumped on breaking endpoint changes).
 pub const SERVE_SCHEMA: &str = "redeval-serve/1";
 
-/// The response header reporting cache disposition (`hit` / `miss`).
+/// The response header reporting cache disposition: `hit` (memory
+/// tier), `disk` (persistent tier, promoted into memory) or `miss`
+/// (recomputed).
 pub const CACHE_HEADER: &str = "X-Redeval-Cache";
 
 /// Most entries accepted in a sweep request's grid-parameter arrays.
@@ -136,21 +140,35 @@ impl Default for ServiceConfig {
 pub struct Service {
     endpoints: Endpoints,
     cache: ResultCache,
+    disk: Option<DiskCache>,
+    metrics: ServiceMetrics,
     limits: Limits,
     requests: AtomicU64,
     started: Instant,
 }
 
 impl Service {
-    /// A service over the given endpoints.
+    /// A service over the given endpoints (memory cache tier only).
     pub fn new(endpoints: Endpoints, config: ServiceConfig) -> Self {
         Service {
             endpoints,
             cache: ResultCache::new(config.cache_capacity),
+            disk: None,
+            metrics: ServiceMetrics::new(),
             limits: config.limits,
             requests: AtomicU64::new(0),
             started: Instant::now(),
         }
+    }
+
+    /// Attaches a persistent cache tier: lookups read through memory to
+    /// disk (promoting disk hits), stores write to both, and a restart
+    /// that reopens the same directory answers repeated requests from
+    /// disk.
+    #[must_use]
+    pub fn with_disk(mut self, disk: DiskCache) -> Self {
+        self.disk = Some(disk);
+        self
     }
 
     /// The wire-reading bounds the connection loop must apply.
@@ -158,9 +176,15 @@ impl Service {
         &self.limits
     }
 
-    /// A snapshot of the cache counters.
+    /// A snapshot of the memory-tier cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// A snapshot of the disk-tier counters (all-zero when no disk tier
+    /// is attached).
+    pub fn disk_stats(&self) -> DiskStats {
+        self.disk.as_ref().map(DiskCache::stats).unwrap_or_default()
     }
 
     /// Requests handled so far (every endpoint, including `/v1/stats`).
@@ -168,46 +192,101 @@ impl Service {
         self.requests.load(Ordering::Relaxed)
     }
 
-    /// Routes one request. Never panics on request content: every
-    /// malformed body becomes a structured 4xx [`Report`].
+    /// Routes one request, timing it into the per-endpoint metrics.
+    /// Never panics on request content: every malformed body becomes a
+    /// structured 4xx [`Report`].
     pub fn handle(&self, req: &Request) -> Response {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let (label, response) = self.route(req);
+        self.metrics
+            .record(label, response.status, started.elapsed());
+        response
+    }
+
+    /// The dispatch table, returning the metrics label alongside the
+    /// response (405s count against the endpoint they aimed at, 404s
+    /// against `other`).
+    fn route(&self, req: &Request) -> (&'static str, Response) {
         match (req.method.as_str(), req.path.as_str()) {
-            ("GET", "/healthz") => Response::json(
-                200,
-                format!("{{\"ok\": true, \"schema\": \"{SERVE_SCHEMA}\"}}\n"),
+            ("GET", "/healthz") => (
+                "healthz",
+                Response::json(
+                    200,
+                    format!("{{\"ok\": true, \"schema\": \"{SERVE_SCHEMA}\"}}\n"),
+                ),
             ),
-            ("GET", "/v1/scenarios") => Response::json(200, (self.endpoints.scenarios)().to_json()),
-            ("GET", "/v1/reports") => Response::json(200, (self.endpoints.reports)().to_json()),
-            ("GET", "/v1/stats") => Response::json(200, self.stats_report().to_json()),
-            ("POST", "/v1/eval") => self.eval(req),
-            ("POST", "/v1/sweep") => self.sweep(req),
-            ("POST", "/v1/optimize") => self.optimize(req),
-            ("POST", "/v1/generate") => self.generate(req),
-            (_, "/v1/eval" | "/v1/sweep" | "/v1/optimize" | "/v1/generate") => {
-                method_not_allowed("POST")
-            }
-            (_, "/healthz" | "/v1/scenarios" | "/v1/reports" | "/v1/stats") => {
-                method_not_allowed("GET")
-            }
-            _ => error_response(
-                404,
-                "not_found",
-                vec![(
-                    "message".into(),
-                    Value::from(
-                        "no such endpoint; see /healthz, /v1/scenarios, /v1/reports, \
-                         /v1/stats, /v1/eval, /v1/sweep, /v1/optimize, /v1/generate",
-                    ),
-                )],
+            ("GET", "/v1/scenarios") => (
+                "scenarios",
+                Response::json(200, (self.endpoints.scenarios)().to_json()),
+            ),
+            ("GET", "/v1/reports") => (
+                "reports",
+                Response::json(200, (self.endpoints.reports)().to_json()),
+            ),
+            ("GET", "/v1/stats") => ("stats", Response::json(200, self.stats_report().to_json())),
+            ("POST", "/v1/eval") => ("eval", self.eval(req)),
+            ("POST", "/v1/sweep") => ("sweep", self.sweep(req)),
+            ("POST", "/v1/optimize") => ("optimize", self.optimize(req)),
+            ("POST", "/v1/generate") => ("generate", self.generate(req)),
+            (_, "/v1/eval") => ("eval", method_not_allowed("POST")),
+            (_, "/v1/sweep") => ("sweep", method_not_allowed("POST")),
+            (_, "/v1/optimize") => ("optimize", method_not_allowed("POST")),
+            (_, "/v1/generate") => ("generate", method_not_allowed("POST")),
+            (_, "/healthz") => ("healthz", method_not_allowed("GET")),
+            (_, "/v1/scenarios") => ("scenarios", method_not_allowed("GET")),
+            (_, "/v1/reports") => ("reports", method_not_allowed("GET")),
+            (_, "/v1/stats") => ("stats", method_not_allowed("GET")),
+            _ => (
+                "other",
+                error_response(
+                    404,
+                    "not_found",
+                    vec![(
+                        "message".into(),
+                        Value::from(
+                            "no such endpoint; see /healthz, /v1/scenarios, /v1/reports, \
+                             /v1/stats, /v1/eval, /v1/sweep, /v1/optimize, /v1/generate",
+                        ),
+                    )],
+                ),
             ),
         }
     }
 
+    /// Two-tier cache lookup: memory first, then disk. A disk hit is
+    /// promoted into the memory tier and reported as `disk` in the
+    /// [`CACHE_HEADER`]; either way the bytes are the exact stored
+    /// response.
+    fn cached(&self, key: &Digest) -> Option<(Vec<u8>, &'static str)> {
+        if let Some(bytes) = self.cache.get(key) {
+            return Some((bytes.to_vec(), "hit"));
+        }
+        if let Some(disk) = &self.disk {
+            if let Some(bytes) = disk.load(key) {
+                self.cache.insert(*key, &bytes);
+                return Some((bytes, "disk"));
+            }
+        }
+        None
+    }
+
+    /// Stores a computed response in every cache tier.
+    fn remember(&self, key: Digest, body: &[u8]) {
+        self.cache.insert(key, body);
+        if let Some(disk) = &self.disk {
+            disk.store(&key, body);
+        }
+    }
+
     /// The `GET /v1/stats` report: live counters, deliberately *not*
-    /// golden-pinned (it changes with every request).
+    /// golden-pinned (it changes with every request). Three blocks: the
+    /// request/uptime counters, the memory- and disk-tier cache
+    /// counters, and a per-endpoint latency table (see
+    /// [`crate::metrics`] for what the quantiles mean).
     pub fn stats_report(&self) -> Report {
         let c = self.cache.stats();
+        let d = self.disk_stats();
         let mut r = Report::new("serve_stats", "redeval serve — live service counters");
         r.keys([
             ("schema_serve", Value::from(SERVE_SCHEMA)),
@@ -223,6 +302,36 @@ impl Service {
             ("cache_used_bytes", Value::from(c.used_bytes)),
             ("cache_capacity_bytes", Value::from(c.capacity_bytes)),
         ]);
+        r.keys([
+            ("cache_disk_enabled", Value::from(self.disk.is_some())),
+            ("cache_disk_hits", int(d.hits)),
+            ("cache_disk_misses", int(d.misses)),
+            ("cache_disk_writes", int(d.writes)),
+            ("cache_disk_evictions", int(d.evictions)),
+            ("cache_disk_corrupt", int(d.corrupt)),
+            ("cache_disk_rejected", int(d.rejected)),
+            ("cache_disk_entries", Value::from(d.entries)),
+            ("cache_disk_used_bytes", int(d.used_bytes)),
+            ("cache_disk_capacity_bytes", int(d.capacity_bytes)),
+        ]);
+        let mut table = redeval::output::Table::new(
+            "endpoints",
+            [
+                "endpoint", "requests", "errors", "p50_us", "p95_us", "p99_us", "max_us",
+            ],
+        );
+        for s in self.metrics.snapshot() {
+            table.add_row(vec![
+                Value::from(s.endpoint),
+                int(s.requests),
+                int(s.errors),
+                int(s.p50_us),
+                int(s.p95_us),
+                int(s.p99_us),
+                int(s.max_us),
+            ]);
+        }
+        r.table(table);
         r
     }
 
@@ -234,8 +343,8 @@ impl Service {
         };
         let canonical = doc.to_json();
         let key = sha256(&cache_key_bytes("eval", &Json::Null, &canonical));
-        if let Some(bytes) = self.cache.get(&key) {
-            return Response::json(200, bytes.to_vec()).with_header(CACHE_HEADER, "hit");
+        if let Some((bytes, tier)) = self.cached(&key) {
+            return Response::json(200, bytes).with_header(CACHE_HEADER, tier);
         }
         match (self.endpoints.eval)(&doc) {
             Ok(report) => self.respond_and_cache(key, report),
@@ -255,8 +364,8 @@ impl Service {
             &sweep_params_json(&sweep_req),
             &canonical,
         ));
-        if let Some(bytes) = self.cache.get(&key) {
-            return Response::json(200, bytes.to_vec()).with_header(CACHE_HEADER, "hit");
+        if let Some((bytes, tier)) = self.cached(&key) {
+            return Response::json(200, bytes).with_header(CACHE_HEADER, tier);
         }
         match (self.endpoints.sweep)(&sweep_req) {
             Ok(report) => self.respond_and_cache(key, report),
@@ -278,8 +387,8 @@ impl Service {
             &optimize_params_json(&opt_req),
             &canonical,
         ));
-        if let Some(bytes) = self.cache.get(&key) {
-            return Response::json(200, bytes.to_vec()).with_header(CACHE_HEADER, "hit");
+        if let Some((bytes, tier)) = self.cached(&key) {
+            return Response::json(200, bytes).with_header(CACHE_HEADER, tier);
         }
         match (self.endpoints.optimize)(&opt_req) {
             Ok(report) => self.respond_and_cache(key, report),
@@ -313,18 +422,18 @@ impl Service {
             ),
         ]);
         let key = sha256(&cache_key_bytes("generate", &params_json, ""));
-        if let Some(bytes) = self.cache.get(&key) {
-            return Response::json(200, bytes.to_vec()).with_header(CACHE_HEADER, "hit");
+        if let Some((bytes, tier)) = self.cached(&key) {
+            return Response::json(200, bytes).with_header(CACHE_HEADER, tier);
         }
         let doc = generate::generate(family, &params, seed);
         let body = doc.to_json().into_bytes();
-        self.cache.insert(key, &body);
+        self.remember(key, &body);
         Response::json(200, body).with_header(CACHE_HEADER, "miss")
     }
 
-    fn respond_and_cache(&self, key: crate::sha256::Digest, report: Report) -> Response {
+    fn respond_and_cache(&self, key: Digest, report: Report) -> Response {
         let body = report.to_json().into_bytes();
-        self.cache.insert(key, &body);
+        self.remember(key, &body);
         Response::json(200, body).with_header(CACHE_HEADER, "miss")
     }
 }
@@ -1221,6 +1330,112 @@ mod tests {
             400
         );
         assert!(http_error_response(&HttpError::Truncated).is_none());
+    }
+
+    /// A unique scratch directory per test, removed on drop.
+    struct Scratch(std::path::PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Scratch {
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "redeval-service-test-{}-{tag}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn disk_tier_survives_a_service_restart() {
+        let scratch = Scratch::new("restart");
+        let body = doc_json();
+        let first = {
+            let svc =
+                test_service(1 << 20).with_disk(DiskCache::open(&scratch.0, 1 << 20).unwrap());
+            let r = svc.handle(&Request::synthetic("POST", "/v1/eval", body.as_bytes()));
+            assert!(r.extra_headers.contains(&(CACHE_HEADER, "miss".into())));
+            assert_eq!(svc.disk_stats().writes, 1);
+            r
+        };
+        // A fresh service over the same directory: cold memory, warm disk.
+        let svc = test_service(1 << 20).with_disk(DiskCache::open(&scratch.0, 1 << 20).unwrap());
+        let second = svc.handle(&Request::synthetic("POST", "/v1/eval", body.as_bytes()));
+        assert!(
+            second
+                .extra_headers
+                .contains(&(CACHE_HEADER, "disk".into())),
+            "first repeat after restart must be a disk hit: {:?}",
+            second.extra_headers
+        );
+        assert_eq!(first.body, second.body, "disk hit must be byte-identical");
+        assert_eq!(svc.disk_stats().hits, 1);
+        // The disk hit was promoted: the next repeat is a memory hit.
+        let third = svc.handle(&Request::synthetic("POST", "/v1/eval", body.as_bytes()));
+        assert!(third.extra_headers.contains(&(CACHE_HEADER, "hit".into())));
+        assert_eq!(first.body, third.body);
+        assert_eq!(svc.disk_stats().hits, 1, "memory answered the repeat");
+        // Stats expose the disk tier.
+        let stats = svc.handle(&Request::synthetic("GET", "/v1/stats", b""));
+        let text = String::from_utf8(stats.body).unwrap();
+        assert!(text.contains("\"cache_disk_enabled\": true"), "{text}");
+        assert!(text.contains("\"cache_disk_hits\": 1"), "{text}");
+    }
+
+    #[test]
+    fn corrupted_disk_entry_degrades_to_a_recompute() {
+        let scratch = Scratch::new("corrupt");
+        let body = doc_json();
+        let first = {
+            let svc =
+                test_service(1 << 20).with_disk(DiskCache::open(&scratch.0, 1 << 20).unwrap());
+            svc.handle(&Request::synthetic("POST", "/v1/eval", body.as_bytes()))
+        };
+        // Corrupt every stored entry on disk.
+        for entry in std::fs::read_dir(&scratch.0).unwrap() {
+            let path = entry.unwrap().path();
+            let mut data = std::fs::read(&path).unwrap();
+            let last = data.len() - 1;
+            data[last] ^= 0xff;
+            std::fs::write(&path, &data).unwrap();
+        }
+        let svc = test_service(1 << 20).with_disk(DiskCache::open(&scratch.0, 1 << 20).unwrap());
+        let second = svc.handle(&Request::synthetic("POST", "/v1/eval", body.as_bytes()));
+        assert_eq!(second.status, 200);
+        assert!(
+            second
+                .extra_headers
+                .contains(&(CACHE_HEADER, "miss".into())),
+            "corruption must fall back to a recompute: {:?}",
+            second.extra_headers
+        );
+        assert_eq!(first.body, second.body, "recompute is byte-identical");
+        assert_eq!(svc.disk_stats().corrupt, 1);
+    }
+
+    #[test]
+    fn stats_report_includes_per_endpoint_latency_rows() {
+        let svc = test_service(1 << 20);
+        svc.handle(&Request::synthetic(
+            "POST",
+            "/v1/eval",
+            doc_json().as_bytes(),
+        ));
+        svc.handle(&Request::synthetic("GET", "/nope", b""));
+        let stats = svc.handle(&Request::synthetic("GET", "/v1/stats", b""));
+        let text = String::from_utf8(stats.body).unwrap();
+        assert!(text.contains("\"endpoints\""), "{text}");
+        assert!(text.contains("\"eval\""), "{text}");
+        assert!(text.contains("\"other\""), "{text}");
+        assert!(text.contains("p99_us"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Property suite for the persistent cache tier: a disk round-trip —
+//! store, drop every in-memory structure, reopen the directory, load —
+//! returns the exact stored bytes, and any corruption of the stored
+//! file degrades to a miss, never a panic and never wrong bytes.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use redeval_server::{sha256, DiskCache};
+
+/// A unique scratch directory per case, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "redeval-prop-disk-{}-{tag}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// store → restart (fresh `DiskCache` over the same directory, so
+    /// the in-memory LRU and index are gone) → load is byte-exact, for
+    /// arbitrary payloads including empty and binary ones.
+    #[test]
+    fn round_trip_through_a_restart_is_byte_exact(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(0u8..=255, 0..512),
+            1..6,
+        ),
+    ) {
+        let scratch = Scratch::new("roundtrip");
+        let keys: Vec<_> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, _)| sha256(&[i as u8, 0xA5]))
+            .collect();
+        {
+            let cache = DiskCache::open(&scratch.0, 1 << 20).unwrap();
+            for (key, payload) in keys.iter().zip(&payloads) {
+                prop_assert!(cache.store(key, payload));
+            }
+        }
+        let reopened = DiskCache::open(&scratch.0, 1 << 20).unwrap();
+        prop_assert_eq!(reopened.stats().entries, payloads.len());
+        for (key, payload) in keys.iter().zip(&payloads) {
+            let loaded = reopened.load(key);
+            prop_assert_eq!(loaded.as_deref(), Some(payload.as_slice()));
+        }
+    }
+
+    /// Flipping any single byte of the stored file — header or payload —
+    /// or truncating it anywhere makes the load a miss (the entry is
+    /// deleted), after which the key stores and loads cleanly again.
+    #[test]
+    fn any_single_byte_corruption_or_truncation_is_a_miss(
+        payload in proptest::collection::vec(0u8..=255, 1..256),
+        damage_at in 0usize..1024,
+        truncate in 0u8..=1,
+    ) {
+        let truncate = truncate == 1;
+        let scratch = Scratch::new("corrupt");
+        let cache = DiskCache::open(&scratch.0, 1 << 20).unwrap();
+        let key = sha256(b"corruption-target");
+        prop_assert!(cache.store(&key, &payload));
+        let path = fs::read_dir(&scratch.0)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "rdc"))
+            .expect("one entry on disk");
+        let data = fs::read(&path).unwrap();
+        let at = damage_at % data.len();
+        if truncate {
+            fs::write(&path, &data[..at]).unwrap();
+        } else {
+            let mut mutated = data.clone();
+            mutated[at] ^= 0x40;
+            fs::write(&path, &mutated).unwrap();
+        }
+        let loaded = cache.load(&key);
+        prop_assert_eq!(loaded, None);
+        prop_assert!(!path.exists(), "damaged entry must be deleted");
+        let stats = cache.stats();
+        prop_assert_eq!(stats.corrupt, 1);
+        // The tier still works for that key afterwards.
+        prop_assert!(cache.store(&key, &payload));
+        let reloaded = cache.load(&key);
+        prop_assert_eq!(reloaded.as_deref(), Some(payload.as_slice()));
+    }
+}

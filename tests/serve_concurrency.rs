@@ -1,0 +1,150 @@
+//! Concurrency suite for the warm serving path: many client threads
+//! hammering one fully wired [`Service`] must each see responses
+//! byte-identical to the CLI report builder's output, and the cache
+//! counters must stay coherent (no lost or double-counted requests).
+//!
+//! The service is driven in-process through [`Request::synthetic`] — the
+//! socket layer has its own loopback suite (`tests/serve.rs` and the
+//! server crate's `graceful.rs`); this one isolates the shared-state
+//! question: the result cache, the analysis cache and the atomic
+//! counters under simultaneous readers and writers.
+
+use std::sync::{Arc, Barrier};
+
+use redeval::scenario::builtin;
+use redeval_bench::{reports, serve};
+use redeval_server::{Request, Service, CACHE_HEADER};
+
+/// Distinct canonical documents (the description participates in the
+/// canonical bytes, hence in the cache key).
+fn distinct_docs(n: usize) -> Vec<(String, Vec<u8>)> {
+    let base = builtin::paper_case_study();
+    (0..n)
+        .map(|i| {
+            let mut doc = base.clone();
+            doc.description = format!("{} [concurrency {i}]", doc.description);
+            let expected = reports::scenario::eval_report(&doc)
+                .expect("reference eval")
+                .to_json()
+                .into_bytes();
+            (doc.to_json(), expected)
+        })
+        .collect()
+}
+
+/// Pulls an integer stats field out of the `/v1/stats` report text.
+fn stats_field(svc: &Service, name: &str) -> i64 {
+    let resp = svc.handle(&Request::synthetic("GET", "/v1/stats", b""));
+    assert_eq!(resp.status, 200);
+    let text = String::from_utf8(resp.body).expect("stats is UTF-8");
+    let needle = format!("\"{name}\": ");
+    let rest = &text[text
+        .find(&needle)
+        .unwrap_or_else(|| panic!("{name} in {text}"))
+        + needle.len()..];
+    rest.split(|c: char| !c.is_ascii_digit() && c != '-')
+        .next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("numeric {name} in {text}"))
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_responses_and_coherent_counters() {
+    const THREADS: usize = 8;
+    const REPS: usize = 5;
+    let docs = Arc::new(distinct_docs(4));
+    let svc = Arc::new(serve::service(2, 1 << 20));
+
+    // Warm sequentially: every key computes exactly once.
+    for (body, expected) in docs.iter() {
+        let resp = svc.handle(&Request::synthetic("POST", "/v1/eval", body.as_bytes()));
+        assert_eq!(resp.status, 200);
+        assert!(resp.extra_headers.contains(&(CACHE_HEADER, "miss".into())));
+        assert_eq!(&resp.body, expected, "cold bytes diverge from the CLI's");
+    }
+
+    // Hammer: every thread walks the document set in its own rotation,
+    // so at any instant different threads read different keys and the
+    // same key concurrently.
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let docs = Arc::clone(&docs);
+            let svc = Arc::clone(&svc);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for rep in 0..REPS {
+                    for k in 0..docs.len() {
+                        let (body, expected) = &docs[(t + rep + k) % docs.len()];
+                        let resp =
+                            svc.handle(&Request::synthetic("POST", "/v1/eval", body.as_bytes()));
+                        assert_eq!(resp.status, 200, "thread {t} rep {rep}");
+                        assert!(
+                            resp.extra_headers.contains(&(CACHE_HEADER, "hit".into())),
+                            "warm request missed (thread {t} rep {rep})"
+                        );
+                        assert_eq!(
+                            &resp.body, expected,
+                            "concurrent response bytes diverged (thread {t})"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+
+    // Counter coherence: the warm pass misses once per document, the
+    // hammer only hits, and every request is accounted for.
+    let distinct = docs.len() as i64;
+    let hammered = (THREADS * REPS * docs.len()) as i64;
+    assert_eq!(stats_field(&svc, "cache_misses"), distinct);
+    assert_eq!(stats_field(&svc, "cache_hits"), hammered);
+    assert_eq!(stats_field(&svc, "cache_entries"), distinct);
+    // 1 stats probe per field read so far + warm + hammer requests.
+    assert_eq!(
+        stats_field(&svc, "requests"),
+        distinct + hammered + 4,
+        "requests counter lost updates"
+    );
+}
+
+#[test]
+fn concurrent_cold_requests_on_one_key_converge_to_one_entry() {
+    // The cold race: several threads post the same never-seen document
+    // at once. Duplicate computation is permitted (each racer may
+    // evaluate), but every response must carry the same bytes and the
+    // cache must converge to exactly one entry, with every request
+    // counted as either a hit or a miss.
+    const THREADS: usize = 6;
+    let (body, expected) = distinct_docs(1).pop().expect("one document");
+    let body = Arc::new(body);
+    let expected = Arc::new(expected);
+    let svc = Arc::new(serve::service(2, 1 << 20));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let body = Arc::clone(&body);
+            let expected = Arc::clone(&expected);
+            let svc = Arc::clone(&svc);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let resp = svc.handle(&Request::synthetic("POST", "/v1/eval", body.as_bytes()));
+                assert_eq!(resp.status, 200, "racer {t}");
+                assert_eq!(*resp.body, **expected, "racer {t} got divergent bytes");
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("racer thread");
+    }
+    assert_eq!(stats_field(&svc, "cache_entries"), 1);
+    let hits = stats_field(&svc, "cache_hits");
+    let misses = stats_field(&svc, "cache_misses");
+    assert_eq!(hits + misses, THREADS as i64, "a request went uncounted");
+    assert!(misses >= 1, "somebody must have computed");
+}
