@@ -1,0 +1,157 @@
+//! Machine-readable perf harness for the attacker–defender equilibrium
+//! iteration (ISSUE 9 acceptance): convergence behaviour and the
+//! best-response search savings.
+//!
+//! Two stages:
+//!
+//! 1. **Paper case study**: the Gauss-Seidel iteration at
+//!    `max_redundancy 4`; the run must converge to a mutual best
+//!    response, the pruned attacker best response at the final profile
+//!    is asserted **identical** to the exhaustive one, and the
+//!    iterations-to-convergence, per-oracle evaluation counts and prune
+//!    savings are recorded.
+//! 2. **Generated fleet**: a seeded `iot_swarm` document with five entry
+//!    tiers (31 attacker masks per round) — the attacker's prune and the
+//!    defender's branch-and-bound both face a space worth skipping.
+//!
+//! Writes `BENCH_equilibrium.json` (wall times, iteration counts, BR
+//! evaluations saved by pruning vs exhaustive).
+//! `equilibrium_bench [threads]` (default 4), or
+//! `equilibrium_bench --smoke` for a CI-sized variant (smaller fleet,
+//! written to `BENCH_equilibrium_smoke.json` so the committed full
+//! record stays intact).
+
+use std::time::Instant;
+
+use redeval::equilibrium::{EquilibriumAnalyzer, EquilibriumOutcome};
+use redeval::scenario::generate::{self, Family, GenParams};
+use redeval::scenario::{builtin, ScenarioDoc};
+use redeval_bench::{arg_or, header};
+
+/// The fleet document: a seeded IoT swarm whose `tiers - 3` sensor
+/// tiers are all attacker entry points. One policy: with a policy that
+/// zeroes every mask's ASP in the list (the generator's second policy
+/// is `patch all`), the attacker's payoff ties degenerately and the
+/// best responses cycle — a legitimate outcome the cycle detector
+/// reports, but not the convergence benchmark wanted here.
+fn fleet_doc(tiers: u32) -> ScenarioDoc {
+    generate::generate(
+        Family::IotSwarm,
+        &GenParams {
+            tiers,
+            redundancy: 3,
+            designs: 1,
+            policies: 1,
+        },
+        0,
+    )
+}
+
+fn run_iteration(
+    doc: &ScenarioDoc,
+    max_redundancy: u32,
+    threads: usize,
+) -> (EquilibriumOutcome, f64) {
+    let analyzer = EquilibriumAnalyzer::from_scenario(doc)
+        .expect("document converts")
+        .max_redundancy(max_redundancy)
+        .threads(threads);
+    let t0 = Instant::now();
+    let outcome = analyzer.run().expect("iteration completes");
+    (outcome, t0.elapsed().as_secs_f64())
+}
+
+/// One stage: run, verify the pruned attacker oracle against the
+/// exhaustive one at the final profile, print, and return the JSON
+/// fragment.
+fn stage(doc: &ScenarioDoc, max_redundancy: u32, threads: usize) -> String {
+    header(&format!(
+        "equilibrium bench: {} at max_redundancy {max_redundancy}, {threads} threads",
+        doc.name
+    ));
+    let (outcome, secs) = run_iteration(doc, max_redundancy, threads);
+    assert!(
+        outcome.converged,
+        "the iteration must converge on the bench scenarios"
+    );
+
+    // The pruned attacker oracle must agree byte-for-byte with the
+    // exhaustive enumeration at the final profile (the determinism
+    // contract the differential suite pins on small corpora).
+    let analyzer = EquilibriumAnalyzer::from_scenario(doc)
+        .expect("document converts")
+        .max_redundancy(max_redundancy)
+        .threads(threads);
+    let exhaustive = analyzer
+        .attacker_response_exhaustive(&outcome.defender.counts, outcome.policy_idx)
+        .expect("exhaustive attacker response");
+    assert_eq!(exhaustive.mask, outcome.attacker_mask);
+    assert_eq!(exhaustive.asp.to_bits(), outcome.attacker_asp.to_bits());
+
+    let attacker_space_total = outcome.attacker_space_masks * outcome.iterations as u64;
+    let attacker_saved = outcome.attacker_masks_pruned;
+    println!(
+        "converged                {:>8} iterations ({:.2} s wall)",
+        outcome.iterations, secs
+    );
+    println!(
+        "defender oracle          {:>8} cells evaluated of {:.3e} per round ({:.1}%)",
+        outcome.defender_evaluated_cells,
+        outcome.defender_space_cells,
+        outcome.defender_evaluated_fraction() * 100.0
+    );
+    println!(
+        "attacker oracle          {:>8} masks evaluated, {} pruned of {} candidates",
+        outcome.attacker_masks_evaluated, attacker_saved, attacker_space_total
+    );
+    println!(
+        "profile                  {} | {} vs entries [{}]",
+        outcome.defender.name,
+        outcome.policy_idx,
+        outcome.attacker_entry_tiers().join(", ")
+    );
+    format!(
+        "{{\n    \"scenario\": \"{}\",\n    \"max_redundancy\": {max_redundancy},\n    \
+         \"threads\": {threads},\n    \"secs\": {secs:.3},\n    \
+         \"converged\": {},\n    \"iterations\": {},\n    \
+         \"defender_evaluated_cells\": {},\n    \"defender_space_cells\": {:.0},\n    \
+         \"defender_evaluated_fraction\": {:.5},\n    \
+         \"attacker_masks_evaluated\": {},\n    \"attacker_masks_pruned\": {},\n    \
+         \"attacker_space_masks\": {},\n    \"attacker_pruned_fraction\": {:.5},\n    \
+         \"attacker_oracle_matches_exhaustive\": true\n  }}",
+        doc.name,
+        outcome.converged,
+        outcome.iterations,
+        outcome.defender_evaluated_cells,
+        outcome.defender_space_cells,
+        outcome.defender_evaluated_fraction(),
+        outcome.attacker_masks_evaluated,
+        outcome.attacker_masks_pruned,
+        outcome.attacker_space_masks,
+        outcome.attacker_pruned_fraction(),
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let threads: usize = arg_or(1, 4);
+
+    // Stage 1: the paper's case study (two entry tiers).
+    let case = stage(&builtin::paper_case_study(), 4, threads);
+
+    // Stage 2: a generated fleet with a real attacker space.
+    let (tiers, mr) = if smoke { (6, 2) } else { (8, 3) };
+    let fleet = stage(&fleet_doc(tiers), mr, threads);
+
+    let json = format!(
+        "{{\n  \"bench\": \"equilibrium\",\n  \"case_study\": {case},\n  \"fleet\": {fleet}\n}}\n"
+    );
+    let path = if smoke {
+        "BENCH_equilibrium_smoke.json"
+    } else {
+        "BENCH_equilibrium.json"
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("{path} written: {e}"));
+    println!();
+    println!("wrote {path}");
+}

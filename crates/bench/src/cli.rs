@@ -32,7 +32,7 @@ use redeval::output::{Report, Table, Value};
 use redeval::scenario::generate::{self, Family, GenParams};
 use redeval::scenario::{builtin, ScenarioDoc};
 use redeval::PatchPolicy;
-use redeval_server::OptimizeRequest;
+use redeval_server::{EquilibriumRequest, OptimizeRequest};
 
 use crate::reports::{self, REGISTRY};
 
@@ -68,6 +68,14 @@ COMMANDS:
                          exhaustive sweep but without materializing the
                          grid; without --scenario, searches the paper
                          case study with its Equation (3) bounds
+    equilibrium [--scenario FILE|NAME] [--max-redundancy N] [--policy P]
+                [--max-iters K]
+                         attacker–defender equilibrium: Gauss-Seidel
+                         best-response iteration between the pruned
+                         design/policy search and an entry-subset
+                         attacker; deterministic at any thread count;
+                         without --scenario, analyzes the paper case
+                         study
     scenario list        the bundled scenario gallery
     scenario export NAME print a bundled scenario's canonical JSON
     scenario validate FILE...
@@ -82,8 +90,8 @@ COMMANDS:
     serve [--addr A] [--threads N] [--cache-cap BYTES] [--cache-dir DIR]
                          run the HTTP evaluation server (DESIGN.md §9):
                          POST /v1/eval, POST /v1/sweep, POST /v1/optimize,
-                         GET /v1/scenarios, GET /v1/reports, GET /v1/stats,
-                         GET /healthz
+                         POST /v1/equilibrium, GET /v1/scenarios,
+                         GET /v1/reports, GET /v1/stats, GET /healthz
 
 OPTIONS:
     --format <FMT>       text (default), json, or csv
@@ -93,9 +101,12 @@ OPTIONS:
     --cache-cap <BYTES>  serve: result-cache budget (default 67108864)
     --cache-dir <DIR>    serve: persist results under DIR so a restarted
                          server answers repeats warm (DESIGN.md §12)
-    --max-redundancy <N> optimize: per-tier count bound 1..=8 (default 4)
+    --max-redundancy <N> optimize/equilibrium: per-tier count bound 1..=8
+                         (default 4)
     --bounds <ASP,COA>   optimize: decision bounds φ,ψ selecting the
                          satisfying region (e.g. --bounds 0.2,0.9962)
+    --max-iters <K>      equilibrium: best-response round cap 1..=64
+                         (default 16)
     --seed <N>           gen: generator seed (default 0)
     --tiers <K>          gen: total tiers (family-specific range; default 12)
     --redundancy <R>     gen: host-count bound 1..=8 (default 3)
@@ -179,6 +190,18 @@ enum Cmd {
         /// Decision bounds (φ, ψ) selecting the satisfying region.
         bounds: Option<ScatterBounds>,
     },
+    /// Attacker–defender best-response equilibrium analysis.
+    Equilibrium {
+        /// Scenario file path or builtin name; `None` analyzes the
+        /// paper case study.
+        scenario: Option<String>,
+        /// Per-tier count bound of the defender's design space.
+        max_redundancy: Option<u32>,
+        /// Overrides the scenario's policy list when present.
+        policy: Option<PatchPolicy>,
+        /// Gauss-Seidel round cap.
+        max_iters: Option<u32>,
+    },
     /// Emit a generated scenario's canonical JSON.
     Gen {
         /// Archetype family.
@@ -225,6 +248,7 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
     let mut cache_dir: Option<String> = None;
     let mut max_redundancy: Option<u32> = None;
     let mut bounds: Option<ScatterBounds> = None;
+    let mut max_iters: Option<u32> = None;
     let mut seed: Option<u64> = None;
     let mut tiers: Option<u32> = None;
     let mut redundancy: Option<u32> = None;
@@ -278,6 +302,19 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
                     return Err(format!("--max-redundancy: `{n}` is not in 1..=8"));
                 }
                 max_redundancy = Some(n);
+                i += 1;
+                continue;
+            }
+            "--max-iters" => {
+                i += 1;
+                let v = args.get(i).ok_or("--max-iters needs a number")?;
+                let n: u32 = v
+                    .parse()
+                    .map_err(|_| format!("--max-iters: `{v}` is not a number"))?;
+                if !(1..=64).contains(&n) {
+                    return Err(format!("--max-iters: `{n}` is not in 1..=64"));
+                }
+                max_iters = Some(n);
                 i += 1;
                 continue;
             }
@@ -370,14 +407,19 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
         }
         if scenario_file.is_some() || policy.is_some() {
             return Err(
-                "`--scenario`/`--policy` belong to the `eval` and `optimize` \
-                 commands (e.g. `redeval eval --scenario mine.json`)"
+                "`--scenario`/`--policy` belong to the `eval`, `optimize` and \
+                 `equilibrium` commands (e.g. `redeval eval --scenario mine.json`)"
                     .to_string(),
             );
         }
         if max_redundancy.is_some() || bounds.is_some() {
             return Err("`--max-redundancy`/`--bounds` belong to the `optimize` \
                  command (e.g. `redeval optimize --max-redundancy 6`)"
+                .to_string());
+        }
+        if max_iters.is_some() {
+            return Err("`--max-iters` belongs to the `equilibrium` command \
+                 (e.g. `redeval equilibrium --max-iters 8`)"
                 .to_string());
         }
         if addr.is_some() || threads.is_some() || cache_cap.is_some() || cache_dir.is_some() {
@@ -416,21 +458,33 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
             positional[0]
         ));
     }
-    if !matches!(positional[0], "eval" | "optimize") {
+    if !matches!(positional[0], "eval" | "optimize" | "equilibrium") {
         if scenario_file.is_some() {
             return Err(
-                "`--scenario` belongs to `eval` and `optimize` (e.g. `redeval eval \
-                 --scenario f.json`)"
+                "`--scenario` belongs to `eval`, `optimize` and `equilibrium` \
+                 (e.g. `redeval eval --scenario f.json`)"
                     .to_string(),
             );
         }
         if policy.is_some() {
-            return Err("`--policy` belongs to `eval` and `optimize`".to_string());
+            return Err("`--policy` belongs to `eval`, `optimize` and `equilibrium`".to_string());
         }
     }
-    if positional[0] != "optimize" && (max_redundancy.is_some() || bounds.is_some()) {
+    if !matches!(positional[0], "optimize" | "equilibrium") && max_redundancy.is_some() {
         return Err(format!(
-            "`--max-redundancy`/`--bounds` only apply to `optimize`, not `{}`",
+            "`--max-redundancy` only applies to `optimize` and `equilibrium`, not `{}`",
+            positional[0]
+        ));
+    }
+    if positional[0] != "optimize" && bounds.is_some() {
+        return Err(format!(
+            "`--bounds` only applies to `optimize`, not `{}`",
+            positional[0]
+        ));
+    }
+    if positional[0] != "equilibrium" && max_iters.is_some() {
+        return Err(format!(
+            "`--max-iters` only applies to `equilibrium`, not `{}`",
             positional[0]
         ));
     }
@@ -487,6 +541,12 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
             max_redundancy,
             policy,
             bounds,
+        },
+        "equilibrium" => Cmd::Equilibrium {
+            scenario: scenario_file.take(),
+            max_redundancy,
+            policy,
+            max_iters,
         },
         "gen" => {
             let key = positional
@@ -822,6 +882,55 @@ pub fn run(args: &[String]) -> i32 {
                 ..req
             };
             let report = match reports::optimize::optimize_report(&req) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            };
+            match emit_or_exit(&report) {
+                Ok(ok) => i32::from(!ok),
+                Err(code) => code,
+            }
+        }
+        Cmd::Equilibrium {
+            scenario,
+            max_redundancy,
+            policy,
+            max_iters,
+        } => {
+            // A bare `redeval equilibrium` *is* the registry report,
+            // byte for byte — same contract as `redeval optimize`.
+            if scenario.is_none()
+                && max_redundancy.is_none()
+                && policy.is_none()
+                && max_iters.is_none()
+            {
+                return match emit_or_exit(&reports::equilibrium::builtin_equilibrium()) {
+                    Ok(ok) => i32::from(!ok),
+                    Err(code) => code,
+                };
+            }
+            let doc = match scenario {
+                None => reports::equilibrium::default_request().doc,
+                Some(s) => match builtin::find(s) {
+                    Some(spec) => (spec.build)(),
+                    None => match load_scenario(s) {
+                        Ok(doc) => doc,
+                        Err(msg) => {
+                            eprintln!("error: {msg}");
+                            return 1;
+                        }
+                    },
+                },
+            };
+            let req = EquilibriumRequest {
+                doc,
+                policies: policy.as_ref().map(|p| vec![*p]),
+                max_redundancy: *max_redundancy,
+                max_iters: *max_iters,
+            };
+            let report = match reports::equilibrium::equilibrium_report(&req) {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -1171,6 +1280,53 @@ mod tests {
         assert!(parse(&args(&["eval", "--scenario", "f.json", "--bounds", "0,1"])).is_err());
         assert!(parse(&args(&["--bounds", "0,1"])).is_err());
         assert!(parse(&args(&["optimize", "extra"])).is_err());
+    }
+
+    #[test]
+    fn parses_equilibrium_with_defaults_and_overrides() {
+        let inv = parse(&args(&["equilibrium"])).unwrap();
+        assert_eq!(
+            inv.cmd,
+            Cmd::Equilibrium {
+                scenario: None,
+                max_redundancy: None,
+                policy: None,
+                max_iters: None,
+            }
+        );
+        let inv = parse(&args(&[
+            "equilibrium",
+            "--scenario",
+            "iot_fleet",
+            "--max-redundancy",
+            "2",
+            "--policy",
+            "all",
+            "--max-iters",
+            "8",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            inv.cmd,
+            Cmd::Equilibrium {
+                scenario: Some("iot_fleet".into()),
+                max_redundancy: Some(2),
+                policy: Some(PatchPolicy::All),
+                max_iters: Some(8),
+            }
+        );
+        assert_eq!(inv.format, Format::Json);
+        // Usage errors: out-of-range or malformed knobs, misplaced flags.
+        assert!(parse(&args(&["equilibrium", "--max-iters", "0"])).is_err());
+        assert!(parse(&args(&["equilibrium", "--max-iters", "65"])).is_err());
+        assert!(parse(&args(&["equilibrium", "--max-iters", "two"])).is_err());
+        assert!(parse(&args(&["equilibrium", "--bounds", "0.2,0.9"])).is_err());
+        assert!(parse(&args(&["optimize", "--max-iters", "4"])).is_err());
+        assert!(parse(&args(&["table", "2", "--max-iters", "4"])).is_err());
+        assert!(parse(&args(&["--max-iters", "4"])).is_err());
+        assert!(parse(&args(&["equilibrium", "extra"])).is_err());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! count (DESIGN.md §5–§6) — a builder that records wall-clock times or
 //! machine parallelism must never join this registry.
 
+pub mod equilibrium;
 pub mod figures;
 pub mod optimize;
 pub mod scenario;
@@ -152,6 +153,11 @@ pub const REGISTRY: &[ReportSpec] = &[
         name: "optimize",
         about: "Pruned branch-and-bound design-space search (case study)",
         build: optimize::builtin_optimize,
+    },
+    ReportSpec {
+        name: "equilibrium",
+        about: "Attacker–defender best-response equilibrium (case study)",
+        build: equilibrium::builtin_equilibrium,
     },
     ReportSpec {
         name: "scenario_suite",

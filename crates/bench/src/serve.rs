@@ -10,6 +10,9 @@
 //! * `POST /v1/sweep` → [`reports::scenario::sweep_report_on`];
 //! * `POST /v1/optimize` → [`reports::optimize::optimize_report_on`] —
 //!   the pruned branch-and-bound search behind `redeval optimize`;
+//! * `POST /v1/equilibrium` →
+//!   [`reports::equilibrium::equilibrium_report_on`] — the Gauss-Seidel
+//!   best-response iteration behind `redeval equilibrium`;
 //! * `GET /v1/scenarios` → [`cli::scenario_list_report`];
 //! * `GET /v1/reports` → [`cli::list_report`].
 //!
@@ -70,11 +73,15 @@ fn wired_service(threads: usize, cache_capacity: usize) -> Service {
     let cache = Arc::new(AnalysisCache::new());
     let (eval_pool, eval_cache) = (Arc::clone(&pool), Arc::clone(&cache));
     let (opt_pool, opt_cache) = (Arc::clone(&pool), Arc::clone(&cache));
+    let (eq_pool, eq_cache) = (Arc::clone(&pool), Arc::clone(&cache));
     let endpoints = Endpoints {
         eval: Box::new(move |doc| reports::scenario::eval_report_on(doc, &eval_pool, &eval_cache)),
         sweep: Box::new(move |req| reports::scenario::sweep_report_on(req, &pool, &cache)),
         optimize: Box::new(move |req| {
             reports::optimize::optimize_report_on(req, &opt_pool, &opt_cache)
+        }),
+        equilibrium: Box::new(move |req| {
+            reports::equilibrium::equilibrium_report_on(req, &eq_pool, &eq_cache)
         }),
         scenarios: Box::new(cli::scenario_list_report),
         reports: Box::new(cli::list_report),

@@ -33,6 +33,16 @@ pub enum SpecIssue {
     NoEntryTier,
     /// No tier is marked as the attack target.
     NoTargetTier,
+    /// More entry tiers than the attacker-strategy enumeration of
+    /// [`equilibrium`](crate::equilibrium) can cover (its candidate space
+    /// is every non-empty entry-tier subset, `2^entries − 1` masks).
+    TooManyEntryTiers {
+        /// Entry tiers in the specification.
+        entries: usize,
+        /// The enumeration limit
+        /// ([`MAX_ENTRY_TIERS`](crate::equilibrium::MAX_ENTRY_TIERS)).
+        max: usize,
+    },
 }
 
 impl fmt::Display for SpecIssue {
@@ -47,6 +57,11 @@ impl fmt::Display for SpecIssue {
             }
             SpecIssue::NoEntryTier => write!(f, "no entry tier"),
             SpecIssue::NoTargetTier => write!(f, "no target tier"),
+            SpecIssue::TooManyEntryTiers { entries, max } => write!(
+                f,
+                "{entries} entry tiers exceed the equilibrium attacker-strategy \
+                 limit of {max}"
+            ),
         }
     }
 }

@@ -62,6 +62,7 @@ pub mod case_study;
 pub mod charts;
 pub mod cost;
 pub mod decision;
+pub mod equilibrium;
 mod error;
 mod evaluation;
 pub mod exec;
@@ -72,6 +73,7 @@ pub mod scenario;
 pub mod sensitivity;
 mod spec;
 
+pub use equilibrium::{EquilibriumAnalyzer, EquilibriumOutcome};
 pub use error::{EvalError, SpecIssue};
 pub use evaluation::{DesignEvaluation, Evaluator, ParsePolicyError, PatchPolicy};
 pub use exec::{AnalysisCache, Experiment, Pool, Scenario, Sweep};

@@ -233,6 +233,11 @@ pub struct OptimizeOutcome {
     /// to [`pareto_frontier_batch`] over the exhaustively enumerated
     /// design × policy grid, in the same order.
     pub frontier: Vec<DesignEvaluation>,
+    /// Index into the optimizer's policy list of each frontier member,
+    /// aligned with [`frontier`](Self::frontier) — the equilibrium layer
+    /// reads the defender's chosen policy from here instead of parsing
+    /// it back out of the scenario label.
+    pub frontier_policy_indices: Vec<usize>,
     /// Distinct designs actually evaluated (low corners of surviving
     /// boxes, which include every surviving point).
     pub evaluated_designs: usize,
@@ -522,8 +527,10 @@ impl Optimizer {
             })
         });
         let evaluated_designs = memo.len();
+        let frontier_policy_indices = entries.iter().map(|(_, _, (p, _))| *p).collect();
         Ok(OptimizeOutcome {
             frontier: entries.into_iter().map(|(_, _, (_, e))| e).collect(),
+            frontier_policy_indices,
             evaluated_designs,
             evaluated_cells: evaluated_designs * self.policies.len(),
             boxes_explored,

@@ -194,6 +194,52 @@ impl NetworkSpec {
         Ok(out)
     }
 
+    /// Indices of the tiers marked `entry`, in tier order — the
+    /// coordinate system of attacker entry masks
+    /// ([`with_entry_tiers`](Self::with_entry_tiers)).
+    pub fn entry_tiers(&self) -> Vec<usize> {
+        self.tiers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.entry.then_some(i))
+            .collect()
+    }
+
+    /// A copy keeping only the entry tiers selected by `mask` (one slot
+    /// per entry tier, in [`entry_tiers`](Self::entry_tiers) order);
+    /// everything else — counts, params, trees, targets, edges — is
+    /// untouched.
+    ///
+    /// The HARM built from the masked spec equals the full spec's HARM
+    /// with the corresponding host-level entry mask applied
+    /// (`Harm::with_entry_mask`): `build_harm` adds hosts for every tier
+    /// regardless of entry flags, so only the entry list differs.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::InvalidSpec`] ([`SpecIssue::NoEntryTier`]) when the
+    /// mask deselects every entry tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mask.len()` differs from the number of entry tiers.
+    pub fn with_entry_tiers(&self, mask: &[bool]) -> Result<NetworkSpec, EvalError> {
+        let out = self.clone();
+        let (mut tiers, edges) = (out.tiers, out.edges);
+        let mut slots = mask.iter();
+        for t in &mut tiers {
+            if t.entry {
+                let keep = slots.next().expect("one mask slot per entry tier required");
+                t.entry = *keep;
+            }
+        }
+        assert!(
+            slots.next().is_none(),
+            "one mask slot per entry tier required"
+        );
+        Self::try_new(tiers, edges)
+    }
+
     /// Builds the two-layer HARM of this network: each tier expands to
     /// `count` identical hosts named `name1, name2, …`; tier edges expand
     /// to full bipartite host edges; all servers of target tiers become
@@ -370,6 +416,61 @@ mod tests {
         assert!(designs.iter().any(|d| d.counts == vec![3, 3]));
         // Names are conventional.
         assert!(designs[0].name.contains("WEB"));
+    }
+
+    #[test]
+    fn entry_tier_masking_matches_host_level_masking() {
+        // Two entry tiers around a target: masking at the tier level and
+        // masking the built HARM's entries must agree exactly.
+        let spec = NetworkSpec::new(
+            vec![
+                TierSpec {
+                    name: "dns".into(),
+                    count: 1,
+                    params: ServerParams::builder("dns").build(),
+                    tree: Some(AttackTree::leaf(Vulnerability::new("a", 10.0, 0.5))),
+                    entry: true,
+                    target: false,
+                },
+                TierSpec {
+                    name: "web".into(),
+                    count: 2,
+                    params: ServerParams::builder("web").build(),
+                    tree: Some(AttackTree::leaf(Vulnerability::new("b", 10.0, 0.5))),
+                    entry: true,
+                    target: false,
+                },
+                TierSpec {
+                    name: "db".into(),
+                    count: 1,
+                    params: ServerParams::builder("db").build(),
+                    tree: Some(AttackTree::leaf(Vulnerability::new("c", 10.0, 0.5))),
+                    entry: false,
+                    target: true,
+                },
+            ],
+            vec![(0, 2), (1, 2)],
+        );
+        assert_eq!(spec.entry_tiers(), vec![0, 1]);
+        let config = MetricsConfig::default();
+        let full = spec.build_harm();
+        // Tier mask [false, true] → host mask [dns1:false, web1..2:true].
+        let masked_spec = spec.with_entry_tiers(&[false, true]).unwrap();
+        let a = masked_spec.build_harm().metrics(&config);
+        let b = full.with_entry_mask(&[false, true, true]).metrics(&config);
+        assert_eq!(a, b);
+        assert_eq!(a.attack_paths, 2);
+        // Deselecting everything is a structural error, not a panic.
+        assert!(matches!(
+            spec.with_entry_tiers(&[false, false]),
+            Err(EvalError::InvalidSpec(crate::error::SpecIssue::NoEntryTier))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "one mask slot per entry tier")]
+    fn entry_tier_mask_length_mismatch_panics() {
+        let _ = tiny_spec().with_entry_tiers(&[true, false]);
     }
 
     #[test]

@@ -36,6 +36,9 @@
 //!     eval: Box::new(|doc| Ok(Report::new(format!("eval_{}", doc.name), "demo"))),
 //!     sweep: Box::new(|req| Ok(Report::new(format!("sweep_{}", req.doc.name), "demo"))),
 //!     optimize: Box::new(|req| Ok(Report::new(format!("optimize_{}", req.doc.name), "demo"))),
+//!     equilibrium: Box::new(|req| {
+//!         Ok(Report::new(format!("equilibrium_{}", req.doc.name), "demo"))
+//!     }),
 //!     scenarios: Box::new(|| Report::new("scenario_list", "demo")),
 //!     reports: Box::new(|| Report::new("list", "demo")),
 //! };
@@ -61,8 +64,8 @@ pub use http::{read_request, HttpError, Limits, Request, Response};
 pub use metrics::{EndpointSnapshot, Histogram, ServiceMetrics};
 pub use server::{Server, ServerHandle};
 pub use service::{
-    error_response, eval_error_response, http_error_response, Endpoints, EvalEndpoint,
-    ListingEndpoint, OptimizeEndpoint, OptimizeRequest, Service, ServiceConfig, SweepEndpoint,
-    SweepRequest, CACHE_HEADER, MAX_GRID_AXIS, SERVE_SCHEMA,
+    error_response, eval_error_response, http_error_response, Endpoints, EquilibriumEndpoint,
+    EquilibriumRequest, EvalEndpoint, ListingEndpoint, OptimizeEndpoint, OptimizeRequest, Service,
+    ServiceConfig, SweepEndpoint, SweepRequest, CACHE_HEADER, MAX_GRID_AXIS, SERVE_SCHEMA,
 };
 pub use sha256::{hex, sha256, Digest};

@@ -11,8 +11,9 @@
 //!   [`ScenarioDoc::from_value`] — the same dotted-path validation the
 //!   CLI uses — and every rejection is a structured `Report` body with
 //!   `ok: false`, never an echo of raw request bytes;
-//! * successful `POST /v1/eval`, `POST /v1/sweep` and
-//!   `POST /v1/optimize` responses are memoized in a content-addressed
+//! * successful `POST /v1/eval`, `POST /v1/sweep`, `POST /v1/optimize`
+//!   and `POST /v1/equilibrium` responses are memoized in a
+//!   content-addressed
 //!   [`ResultCache`]: the key is the
 //!   SHA-256 of [`cache_key_bytes`] over the request kind, the
 //!   canonicalized grid parameters and the **canonical** serialization
@@ -87,9 +88,30 @@ pub type EvalEndpoint = Box<dyn Fn(&ScenarioDoc) -> Result<Report, EvalError> + 
 /// A boxed `POST /v1/sweep` report producer.
 pub type SweepEndpoint = Box<dyn Fn(&SweepRequest) -> Result<Report, EvalError> + Send + Sync>;
 
+/// A decoded `POST /v1/equilibrium` body: the embedded scenario
+/// document plus the Gauss-Seidel iteration knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquilibriumRequest {
+    /// The scenario document (fully validated).
+    pub doc: ScenarioDoc,
+    /// Patch policies overriding the document's list (the defender's
+    /// policy axis).
+    pub policies: Option<Vec<PatchPolicy>>,
+    /// Per-tier count bound of the defender's design space (default
+    /// [`redeval::optimize::DEFAULT_MAX_REDUNDANCY`]).
+    pub max_redundancy: Option<u32>,
+    /// Gauss-Seidel round cap (default
+    /// [`redeval::equilibrium::DEFAULT_MAX_ITERS`]).
+    pub max_iters: Option<u32>,
+}
+
 /// A boxed `POST /v1/optimize` report producer.
 pub type OptimizeEndpoint =
     Box<dyn Fn(&OptimizeRequest) -> Result<Report, EvalError> + Send + Sync>;
+
+/// A boxed `POST /v1/equilibrium` report producer.
+pub type EquilibriumEndpoint =
+    Box<dyn Fn(&EquilibriumRequest) -> Result<Report, EvalError> + Send + Sync>;
 
 /// A boxed parameterless listing producer (`GET` registries).
 pub type ListingEndpoint = Box<dyn Fn() -> Report + Send + Sync>;
@@ -103,6 +125,9 @@ pub struct Endpoints {
     /// Builds the `POST /v1/optimize` report (pruned design-space
     /// search).
     pub optimize: OptimizeEndpoint,
+    /// Builds the `POST /v1/equilibrium` report (attacker–defender
+    /// best-response iteration).
+    pub equilibrium: EquilibriumEndpoint,
     /// The `GET /v1/scenarios` listing (the bundled scenario registry).
     pub scenarios: ListingEndpoint,
     /// The `GET /v1/reports` listing (the report registry).
@@ -228,10 +253,12 @@ impl Service {
             ("POST", "/v1/eval") => ("eval", self.eval(req)),
             ("POST", "/v1/sweep") => ("sweep", self.sweep(req)),
             ("POST", "/v1/optimize") => ("optimize", self.optimize(req)),
+            ("POST", "/v1/equilibrium") => ("equilibrium", self.equilibrium(req)),
             ("POST", "/v1/generate") => ("generate", self.generate(req)),
             (_, "/v1/eval") => ("eval", method_not_allowed("POST")),
             (_, "/v1/sweep") => ("sweep", method_not_allowed("POST")),
             (_, "/v1/optimize") => ("optimize", method_not_allowed("POST")),
+            (_, "/v1/equilibrium") => ("equilibrium", method_not_allowed("POST")),
             (_, "/v1/generate") => ("generate", method_not_allowed("POST")),
             (_, "/healthz") => ("healthz", method_not_allowed("GET")),
             (_, "/v1/scenarios") => ("scenarios", method_not_allowed("GET")),
@@ -246,7 +273,8 @@ impl Service {
                         "message".into(),
                         Value::from(
                             "no such endpoint; see /healthz, /v1/scenarios, /v1/reports, \
-                             /v1/stats, /v1/eval, /v1/sweep, /v1/optimize, /v1/generate",
+                             /v1/stats, /v1/eval, /v1/sweep, /v1/optimize, \
+                             /v1/equilibrium, /v1/generate",
                         ),
                     )],
                 ),
@@ -396,6 +424,29 @@ impl Service {
         }
     }
 
+    /// `POST /v1/equilibrium`: body embeds the document plus the
+    /// iteration knobs; same clamp/reject discipline and
+    /// content-addressed caching as `/v1/optimize`.
+    fn equilibrium(&self, req: &Request) -> Response {
+        let eq_req = match decode_equilibrium_body(&req.body) {
+            Ok(r) => r,
+            Err(resp) => return *resp,
+        };
+        let canonical = eq_req.doc.to_json();
+        let key = sha256(&cache_key_bytes(
+            "equilibrium",
+            &equilibrium_params_json(&eq_req),
+            &canonical,
+        ));
+        if let Some((bytes, tier)) = self.cached(&key) {
+            return Response::json(200, bytes).with_header(CACHE_HEADER, tier);
+        }
+        match (self.endpoints.equilibrium)(&eq_req) {
+            Ok(report) => self.respond_and_cache(key, report),
+            Err(e) => eval_error_response(&e),
+        }
+    }
+
     /// `POST /v1/generate`: body names a generator family plus optional
     /// knobs; the response is the canonical scenario document — the
     /// same bytes `redeval gen` writes and the in-process generator
@@ -491,6 +542,150 @@ fn optimize_params_json(req: &OptimizeRequest) -> Json {
         ("max_redundancy".to_string(), maxr),
         ("bounds".to_string(), bounds),
     ])
+}
+
+/// The canonical iteration-parameter value hashed into an equilibrium
+/// cache key: every knob present (absent ⇒ `null`), policies in
+/// `Display` form.
+fn equilibrium_params_json(req: &EquilibriumRequest) -> Json {
+    let policies = match &req.policies {
+        None => Json::Null,
+        Some(ps) => Json::Arr(ps.iter().map(|p| Json::Str(p.to_string())).collect()),
+    };
+    let maxr = match req.max_redundancy {
+        None => Json::Null,
+        Some(m) => Json::Num(f64::from(m)),
+    };
+    let iters = match req.max_iters {
+        None => Json::Null,
+        Some(m) => Json::Num(f64::from(m)),
+    };
+    Json::Obj(vec![
+        ("policies".to_string(), policies),
+        ("max_redundancy".to_string(), maxr),
+        ("max_iters".to_string(), iters),
+    ])
+}
+
+/// Decodes a `POST /v1/equilibrium` body:
+/// `{"scenario": <doc>, "policies"?, "max_redundancy"?, "max_iters"?}`.
+/// Unknown keys are rejected like everywhere else in the scenario
+/// schema.
+fn decode_equilibrium_body(body: &[u8]) -> Result<EquilibriumRequest, Box<Response>> {
+    let bad = |at: &str, message: String| {
+        Box::new(eval_error_response(&EvalError::Scenario(
+            ScenarioError::Invalid {
+                at: at.to_string(),
+                message,
+            },
+        )))
+    };
+    let text = std::str::from_utf8(body).map_err(|_| {
+        Box::new(error_response(
+            400,
+            "encoding",
+            vec![(
+                "message".into(),
+                Value::from("request body is not valid UTF-8"),
+            )],
+        ))
+    })?;
+    let root = redeval::output::parse_json(text).map_err(|e| {
+        Box::new(eval_error_response(&EvalError::Scenario(
+            ScenarioError::Json {
+                line: e.line,
+                col: e.col,
+                message: e.message,
+            },
+        )))
+    })?;
+    let entries = root
+        .as_obj()
+        .ok_or_else(|| bad("request", "expected an object".to_string()))?;
+    for (k, _) in entries {
+        if !matches!(
+            k.as_str(),
+            "scenario" | "policies" | "max_redundancy" | "max_iters"
+        ) {
+            return Err(bad(
+                "request",
+                format!("unknown key `{}`", redeval::output::snippet(k)),
+            ));
+        }
+    }
+    let field = |name: &str| entries.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    let doc_value = field("scenario").ok_or_else(|| {
+        bad(
+            "request",
+            "missing key `scenario` (the embedded scenario document)".to_string(),
+        )
+    })?;
+    let doc = ScenarioDoc::from_value(doc_value).map_err(|e| Box::new(eval_error_response(&e)))?;
+
+    let policies = match field("policies") {
+        None => None,
+        Some(v) => {
+            let items = v
+                .as_arr()
+                .ok_or_else(|| bad("policies", "expected an array".to_string()))?;
+            if items.is_empty() || items.len() > MAX_GRID_AXIS {
+                return Err(bad(
+                    "policies",
+                    format!("expected 1..={MAX_GRID_AXIS} entries"),
+                ));
+            }
+            let mut out = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let at = format!("policies[{i}]");
+                let s = item
+                    .as_str()
+                    .ok_or_else(|| bad(&at, "expected a policy string".to_string()))?;
+                let p: PatchPolicy = s.parse().map_err(|e| bad(&at, format!("{e}")))?;
+                out.push(p);
+            }
+            Some(out)
+        }
+    };
+    let max_redundancy = match field("max_redundancy") {
+        None => None,
+        Some(v) => {
+            let m = v
+                .as_f64()
+                .filter(|m| m.fract() == 0.0 && (1.0..=8.0).contains(m));
+            match m {
+                Some(m) => Some(m as u32),
+                None => {
+                    return Err(bad(
+                        "max_redundancy",
+                        "expected an integer in 1..=8".to_string(),
+                    ));
+                }
+            }
+        }
+    };
+    let max_iters = match field("max_iters") {
+        None => None,
+        Some(v) => {
+            let m = v
+                .as_f64()
+                .filter(|m| m.fract() == 0.0 && (1.0..=64.0).contains(m));
+            match m {
+                Some(m) => Some(m as u32),
+                None => {
+                    return Err(bad(
+                        "max_iters",
+                        "expected an integer in 1..=64".to_string(),
+                    ));
+                }
+            }
+        }
+    };
+    Ok(EquilibriumRequest {
+        doc,
+        policies,
+        max_redundancy,
+        max_iters,
+    })
 }
 
 /// Decodes a `POST /v1/optimize` body:
@@ -997,6 +1192,21 @@ mod tests {
                 ]);
                 Ok(r)
             }),
+            equilibrium: Box::new(|req| {
+                let mut r =
+                    Report::new(format!("equilibrium_{}", req.doc.name), "stub equilibrium");
+                r.keys([
+                    (
+                        "max_redundancy",
+                        Value::from(i64::from(req.max_redundancy.unwrap_or(0))),
+                    ),
+                    (
+                        "max_iters",
+                        Value::from(i64::from(req.max_iters.unwrap_or(0))),
+                    ),
+                ]);
+                Ok(r)
+            }),
             scenarios: Box::new(|| Report::new("scenario_list", "stub scenarios")),
             reports: Box::new(|| Report::new("list", "stub reports")),
         };
@@ -1288,6 +1498,80 @@ mod tests {
     }
 
     #[test]
+    fn equilibrium_routes_caches_and_validates() {
+        let svc = test_service(1 << 20);
+        let doc = doc_json();
+        let doc = doc.trim_end();
+        let body = format!("{{\"scenario\": {doc}, \"max_redundancy\": 2, \"max_iters\": 8}}");
+        let first = svc.handle(&Request::synthetic(
+            "POST",
+            "/v1/equilibrium",
+            body.as_bytes(),
+        ));
+        assert_eq!(first.status, 200);
+        assert!(first.extra_headers.contains(&(CACHE_HEADER, "miss".into())));
+        let text = String::from_utf8(first.body.clone()).unwrap();
+        assert!(text.contains("\"max_redundancy\": 2") && text.contains("\"max_iters\": 8"));
+        let second = svc.handle(&Request::synthetic(
+            "POST",
+            "/v1/equilibrium",
+            body.as_bytes(),
+        ));
+        assert!(second.extra_headers.contains(&(CACHE_HEADER, "hit".into())));
+        assert_eq!(first.body, second.body, "hit must be byte-identical");
+        // Different knobs, different cache entry.
+        let other = format!("{{\"scenario\": {doc}, \"max_iters\": 4}}");
+        let third = svc.handle(&Request::synthetic(
+            "POST",
+            "/v1/equilibrium",
+            other.as_bytes(),
+        ));
+        assert!(third.extra_headers.contains(&(CACHE_HEADER, "miss".into())));
+        // Validation pinpoints the offending knob.
+        let cases = [
+            ("{}".to_string(), "missing key `scenario`"),
+            (
+                format!("{{\"scenario\": {doc}, \"bounds\": {{}}}}"),
+                "unknown key `bounds`",
+            ),
+            (
+                format!("{{\"scenario\": {doc}, \"max_redundancy\": 99}}"),
+                "1..=8",
+            ),
+            (
+                format!("{{\"scenario\": {doc}, \"max_iters\": 0}}"),
+                "1..=64",
+            ),
+            (
+                format!("{{\"scenario\": {doc}, \"max_iters\": 2.5}}"),
+                "1..=64",
+            ),
+            (
+                format!("{{\"scenario\": {doc}, \"policies\": [\"bogus\"]}}"),
+                "policies[0]",
+            ),
+        ];
+        for (body, needle) in cases {
+            let r = svc.handle(&Request::synthetic(
+                "POST",
+                "/v1/equilibrium",
+                body.as_bytes(),
+            ));
+            assert_eq!(r.status, 400, "body {}", &body[..60.min(body.len())]);
+            let text = String::from_utf8(r.body).unwrap();
+            assert!(text.contains(needle), "`{needle}` not in {text}");
+        }
+        let r = svc.handle(&Request::synthetic("GET", "/v1/equilibrium", b""));
+        assert_eq!(r.status, 405);
+        assert!(r.extra_headers.contains(&("Allow", "POST".to_string())));
+        // The 404 listing names the new endpoint.
+        let r = svc.handle(&Request::synthetic("GET", "/nope", b""));
+        assert!(String::from_utf8(r.body)
+            .unwrap()
+            .contains("/v1/equilibrium"));
+    }
+
+    #[test]
     fn stats_report_tracks_cache_counters() {
         let svc = test_service(1 << 20);
         let body = doc_json();
@@ -1444,6 +1728,7 @@ mod tests {
             eval: Box::new(|_| Err(EvalError::from(redeval_srn::SrnError::VanishingLoop))),
             sweep: Box::new(|_| unreachable!()),
             optimize: Box::new(|_| unreachable!()),
+            equilibrium: Box::new(|_| unreachable!()),
             scenarios: Box::new(|| Report::new("scenario_list", "x")),
             reports: Box::new(|| Report::new("list", "x")),
         };

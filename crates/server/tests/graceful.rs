@@ -27,6 +27,7 @@ fn slow_sweep_service(delay: Duration) -> Service {
             Ok(r)
         }),
         optimize: Box::new(|_| unreachable!()),
+        equilibrium: Box::new(|_| unreachable!()),
         scenarios: Box::new(|| Report::new("scenario_list", "stub")),
         reports: Box::new(|| Report::new("list", "stub")),
     };

@@ -28,7 +28,7 @@ use std::path::PathBuf;
 
 use redeval::scenario::ScenarioDoc;
 use redeval_bench::{reports, serve};
-use redeval_server::{OptimizeRequest, Request, Server, ServerHandle};
+use redeval_server::{EquilibriumRequest, OptimizeRequest, Request, Server, ServerHandle};
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
@@ -267,6 +267,40 @@ fn optimize_endpoint_matches_the_in_process_builder_and_caches() {
     handle.stop();
 }
 
+/// `/v1/equilibrium` front-door parity: the served Gauss-Seidel report
+/// is byte-identical to the in-process builder (and thus to
+/// `redeval equilibrium --scenario … --format json`), pinned as a
+/// golden, and the repeat request is a cache hit.
+#[test]
+fn equilibrium_endpoint_matches_the_in_process_builder_and_caches() {
+    let handle = start_server();
+    let (mut stream, mut reader) = connect(&handle);
+    let scenario = paper_scenario_text();
+    let body = format!("{{\"scenario\": {}}}", scenario.trim_end());
+
+    let first = post(&mut stream, &mut reader, "/v1/equilibrium", body.as_bytes());
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("X-Redeval-Cache"), Some("miss"));
+
+    let doc = ScenarioDoc::from_json(&scenario).expect("pinned scenario parses");
+    let in_process = reports::equilibrium::equilibrium_report(&EquilibriumRequest {
+        doc,
+        policies: None,
+        max_redundancy: None,
+        max_iters: None,
+    })
+    .expect("paper scenario reaches equilibrium")
+    .to_json();
+    assert_eq!(first.body_text(), in_process);
+    assert_matches_golden(&first.body, "equilibrium_paper_case_study.json");
+
+    let second = post(&mut stream, &mut reader, "/v1/equilibrium", body.as_bytes());
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("X-Redeval-Cache"), Some("hit"));
+    assert_eq!(first.body, second.body);
+    handle.stop();
+}
+
 #[test]
 fn malformed_bodies_are_structured_4xx_without_leaking_or_killing_the_server() {
     let handle = start_server();
@@ -333,9 +367,10 @@ fn unknown_paths_and_wrong_methods_are_4xx() {
 /// and delegates to this one).
 #[test]
 fn no_orphan_serve_goldens() {
-    const PINNED: [&str; 5] = [
+    const PINNED: [&str; 6] = [
         "eval_paper_case_study.json",
         "optimize_paper_case_study.json",
+        "equilibrium_paper_case_study.json",
         "healthz.http",
         "bad_json.http",
         "not_found.http",
