@@ -50,6 +50,7 @@ pub struct ServerAnalysis {
     p_failed: f64,
     rates: AggregatedRates,
     tangible_states: usize,
+    solve_stats: redeval_markov::SolveStats,
 }
 
 impl ServerAnalysis {
@@ -94,6 +95,7 @@ impl ServerAnalysis {
             .map(|t| (t.from, t.to, t.rate))
             .collect();
         let solved = space.solve()?;
+        let solve_stats = solved.solve_stats();
         let pi = solved.steady_state();
         let in_pd: Vec<bool> = markings
             .iter()
@@ -131,6 +133,7 @@ impl ServerAnalysis {
             p_failed,
             rates: AggregatedRates { lambda_eq, mu_eq },
             tangible_states,
+            solve_stats,
         })
     }
 
@@ -180,6 +183,13 @@ impl ServerAnalysis {
     /// Size of the tangible state space that was solved.
     pub fn tangible_states(&self) -> usize {
         self.tangible_states
+    }
+
+    /// Convergence statistics of the CTMC solve behind this analysis
+    /// (method, iterations, final residual) — the success-path numbers
+    /// that used to exist only inside the solver's convergence error.
+    pub fn solve_stats(&self) -> redeval_markov::SolveStats {
+        self.solve_stats
     }
 }
 
@@ -283,6 +293,18 @@ mod tests {
             "p_pd = {}",
             a.p_patch_down()
         );
+    }
+
+    #[test]
+    fn solve_stats_are_exposed_and_deterministic() {
+        let params = ServerParams::builder("dns").build();
+        let a = params.analyze().unwrap();
+        let s = a.solve_stats();
+        assert_eq!(s.states, a.tangible_states());
+        assert!(s.residual.is_finite() && s.residual >= 0.0);
+        assert_eq!(s, params.analyze().unwrap().solve_stats());
+        // Relabelling copies the stats unchanged.
+        assert_eq!(a.renamed("other").solve_stats(), s);
     }
 
     #[test]

@@ -26,12 +26,15 @@
 //! validation, `2` usage error.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use redeval::decision::ScatterBounds;
+use redeval::exec::{AnalysisCache, Pool};
 use redeval::output::{Report, Table, Value};
 use redeval::scenario::generate::{self, Family, GenParams};
 use redeval::scenario::{builtin, ScenarioDoc};
 use redeval::PatchPolicy;
+use redeval::Telemetry;
 use redeval_server::{EquilibriumRequest, OptimizeRequest};
 
 use crate::reports::{self, REGISTRY};
@@ -40,6 +43,9 @@ use crate::reports::{self, REGISTRY};
 /// manifest directory (like `tests/golden.rs` does), so `--bless` lands
 /// in the repo's corpus whatever the invocation CWD is.
 pub const GOLDEN_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden");
+
+/// Where a bare `--profile` writes the Chrome-trace file.
+pub const DEFAULT_TRACE_FILE: &str = "redeval.trace.json";
 
 /// Usage text (also shown on `--help`).
 pub const USAGE: &str = "\
@@ -56,12 +62,12 @@ COMMANDS:
     report --all --bless regenerate the golden corpus (tests/golden/*.json)
     list                 reports and bundled scenarios (honors --format json)
 
-    eval --scenario FILE [--policy P]
+    eval --scenario FILE [--policy P] [--profile[=FILE]]
                          evaluate a scenario file end-to-end (designs ×
                          policies); --policy overrides the file's policy
                          list (none | all | critical>T)
     optimize [--scenario FILE|NAME] [--max-redundancy N] [--policy P]
-             [--bounds ASP,COA]
+             [--bounds ASP,COA] [--profile[=FILE]]
                          pruned branch-and-bound search of the per-tier
                          redundancy space: the Pareto frontier on
                          (after-patch ASP, COA), byte-identical to the
@@ -69,7 +75,7 @@ COMMANDS:
                          grid; without --scenario, searches the paper
                          case study with its Equation (3) bounds
     equilibrium [--scenario FILE|NAME] [--max-redundancy N] [--policy P]
-                [--max-iters K]
+                [--max-iters K] [--profile[=FILE]]
                          attacker–defender equilibrium: Gauss-Seidel
                          best-response iteration between the pruned
                          design/policy search and an entry-subset
@@ -91,7 +97,8 @@ COMMANDS:
                          run the HTTP evaluation server (DESIGN.md §9):
                          POST /v1/eval, POST /v1/sweep, POST /v1/optimize,
                          POST /v1/equilibrium, GET /v1/scenarios,
-                         GET /v1/reports, GET /v1/stats, GET /healthz
+                         GET /v1/reports, GET /v1/stats, GET /metrics,
+                         GET /healthz
 
 OPTIONS:
     --format <FMT>       text (default), json, or csv
@@ -107,6 +114,12 @@ OPTIONS:
                          satisfying region (e.g. --bounds 0.2,0.9962)
     --max-iters <K>      equilibrium: best-response round cap 1..=64
                          (default 16)
+    --profile[=FILE]     eval/optimize/equilibrium: record wall-clock
+                         spans and deterministic counters; writes a
+                         Chrome-trace JSON (chrome://tracing, Perfetto)
+                         to FILE (default redeval.trace.json) and a
+                         span/counter summary to stderr — the report on
+                         stdout stays byte-identical (DESIGN.md §14)
     --seed <N>           gen: generator seed (default 0)
     --tiers <K>          gen: total tiers (family-specific range; default 12)
     --redundancy <R>     gen: host-count bound 1..=8 (default 3)
@@ -177,6 +190,8 @@ enum Cmd {
         file: String,
         /// Overrides the file's policy list when present.
         policy: Option<PatchPolicy>,
+        /// Chrome-trace output path of `--profile`.
+        profile: Option<String>,
     },
     /// Pruned branch-and-bound search of the redundancy design space.
     Optimize {
@@ -189,6 +204,8 @@ enum Cmd {
         policy: Option<PatchPolicy>,
         /// Decision bounds (φ, ψ) selecting the satisfying region.
         bounds: Option<ScatterBounds>,
+        /// Chrome-trace output path of `--profile`.
+        profile: Option<String>,
     },
     /// Attacker–defender best-response equilibrium analysis.
     Equilibrium {
@@ -201,6 +218,8 @@ enum Cmd {
         policy: Option<PatchPolicy>,
         /// Gauss-Seidel round cap.
         max_iters: Option<u32>,
+        /// Chrome-trace output path of `--profile`.
+        profile: Option<String>,
     },
     /// Emit a generated scenario's canonical JSON.
     Gen {
@@ -249,6 +268,7 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
     let mut max_redundancy: Option<u32> = None;
     let mut bounds: Option<ScatterBounds> = None;
     let mut max_iters: Option<u32> = None;
+    let mut profile: Option<String> = None;
     let mut seed: Option<u64> = None;
     let mut tiers: Option<u32> = None;
     let mut redundancy: Option<u32> = None;
@@ -348,6 +368,22 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
                 i += 1;
                 continue;
             }
+            // `--profile` takes an *optional* value, so it must use the
+            // `=` spelling — a separate positional would be ambiguous.
+            "--profile" => {
+                profile = Some(DEFAULT_TRACE_FILE.to_string());
+                i += 1;
+                continue;
+            }
+            flag if flag.starts_with("--profile=") => {
+                let path = &flag["--profile=".len()..];
+                if path.is_empty() {
+                    return Err("--profile= needs a file path".to_string());
+                }
+                profile = Some(path.to_string());
+                i += 1;
+                continue;
+            }
             flag @ ("--tiers" | "--redundancy" | "--designs" | "--policies") => {
                 i += 1;
                 let v = args
@@ -422,6 +458,11 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
                  (e.g. `redeval equilibrium --max-iters 8`)"
                 .to_string());
         }
+        if profile.is_some() {
+            return Err("`--profile` belongs to the `eval`, `optimize` and \
+                 `equilibrium` commands (e.g. `redeval optimize --profile`)"
+                .to_string());
+        }
         if addr.is_some() || threads.is_some() || cache_cap.is_some() || cache_dir.is_some() {
             return Err(
                 "`--addr`/`--threads`/`--cache-cap`/`--cache-dir` belong to the \
@@ -468,6 +509,9 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
         }
         if policy.is_some() {
             return Err("`--policy` belongs to `eval`, `optimize` and `equilibrium`".to_string());
+        }
+        if profile.is_some() {
+            return Err("`--profile` belongs to `eval`, `optimize` and `equilibrium`".to_string());
         }
     }
     if !matches!(positional[0], "optimize" | "equilibrium") && max_redundancy.is_some() {
@@ -534,19 +578,25 @@ fn parse(args: &[String]) -> Result<Invocation, String> {
             let file = scenario_file
                 .take()
                 .ok_or("`eval` needs `--scenario <FILE>`")?;
-            Cmd::Eval { file, policy }
+            Cmd::Eval {
+                file,
+                policy,
+                profile: profile.take(),
+            }
         }
         "optimize" => Cmd::Optimize {
             scenario: scenario_file.take(),
             max_redundancy,
             policy,
             bounds,
+            profile: profile.take(),
         },
         "equilibrium" => Cmd::Equilibrium {
             scenario: scenario_file.take(),
             max_redundancy,
             policy,
             max_iters,
+            profile: profile.take(),
         },
         "gen" => {
             let key = positional
@@ -740,6 +790,40 @@ fn load_scenario(file: &str) -> Result<ScenarioDoc, String> {
     ScenarioDoc::from_json(&text).map_err(|e| format!("{file}: {e}"))
 }
 
+/// The `--profile` execution context: a profiler-mode [`Telemetry`]
+/// handle feeding a shared pool + analysis cache, so the instrumented
+/// `_on` report builders record spans and counters. The report bytes on
+/// stdout are unaffected — the engine contract makes the pooled path
+/// byte-identical to the scoped one.
+struct ProfileCtx {
+    telemetry: Telemetry,
+    pool: Pool,
+    cache: Arc<AnalysisCache>,
+    path: String,
+}
+
+impl ProfileCtx {
+    fn new(path: &str) -> Self {
+        let telemetry = Telemetry::profiler();
+        ProfileCtx {
+            pool: Pool::new(redeval::exec::default_threads()),
+            cache: Arc::new(AnalysisCache::with_telemetry(telemetry.clone())),
+            telemetry,
+            path: path.to_string(),
+        }
+    }
+
+    /// Writes the Chrome-trace file and prints the span/counter summary
+    /// to stderr (stdout belongs to the report).
+    fn finish(&self) -> Result<(), String> {
+        std::fs::write(&self.path, self.telemetry.chrome_trace_json())
+            .map_err(|e| format!("cannot write profile trace {}: {e}", self.path))?;
+        eprintln!("wrote profile trace {}", self.path);
+        eprint!("{}", self.telemetry.text_summary());
+        Ok(())
+    }
+}
+
 /// Runs the CLI on `args` (without the program name); returns the
 /// process exit code.
 pub fn run(args: &[String]) -> i32 {
@@ -806,7 +890,11 @@ pub fn run(args: &[String]) -> i32 {
             }
             i32::from(!all_ok)
         }
-        Cmd::Eval { file, policy } => {
+        Cmd::Eval {
+            file,
+            policy,
+            profile,
+        } => {
             let mut doc = match load_scenario(file) {
                 Ok(doc) => doc,
                 Err(msg) => {
@@ -817,13 +905,24 @@ pub fn run(args: &[String]) -> i32 {
             if let Some(p) = policy {
                 doc.policies = vec![*p];
             }
-            let report = match reports::scenario::eval_report(&doc) {
+            let profiling = profile.as_deref().map(ProfileCtx::new);
+            let result = match &profiling {
+                None => reports::scenario::eval_report(&doc),
+                Some(ctx) => reports::scenario::eval_report_on(&doc, &ctx.pool, &ctx.cache),
+            };
+            let report = match result {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("error: {file}: {e}");
                     return 1;
                 }
             };
+            if let Some(ctx) = &profiling {
+                if let Err(msg) = ctx.finish() {
+                    eprintln!("error: {msg}");
+                    return 2;
+                }
+            }
             match emit_or_exit(&report) {
                 Ok(ok) => i32::from(!ok),
                 Err(code) => code,
@@ -834,14 +933,18 @@ pub fn run(args: &[String]) -> i32 {
             max_redundancy,
             policy,
             bounds,
+            profile,
         } => {
             // A bare `redeval optimize` *is* the registry report, byte
             // for byte — same contract as `redeval report` golden runs.
-            if scenario.is_none()
+            // `--profile` alone keeps that contract: it changes how the
+            // search executes (instrumented pool + cache), never what it
+            // reports.
+            let bare = scenario.is_none()
                 && max_redundancy.is_none()
                 && policy.is_none()
-                && bounds.is_none()
-            {
+                && bounds.is_none();
+            if bare && profile.is_none() {
                 return match emit_or_exit(&reports::optimize::builtin_optimize()) {
                     Ok(ok) => i32::from(!ok),
                     Err(code) => code,
@@ -881,13 +984,29 @@ pub fn run(args: &[String]) -> i32 {
                 max_redundancy: *max_redundancy,
                 ..req
             };
-            let report = match reports::optimize::optimize_report(&req) {
+            let profiling = profile.as_deref().map(ProfileCtx::new);
+            let result = match &profiling {
+                None => reports::optimize::optimize_report(&req),
+                Some(ctx) => reports::optimize::optimize_report_on(&req, &ctx.pool, &ctx.cache),
+            };
+            let mut report = match result {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("error: {e}");
                     return 1;
                 }
             };
+            if bare {
+                // Same rename `builtin_optimize` performs: the bare
+                // invocation is the registry report.
+                report.name = "optimize".into();
+            }
+            if let Some(ctx) = &profiling {
+                if let Err(msg) = ctx.finish() {
+                    eprintln!("error: {msg}");
+                    return 2;
+                }
+            }
             match emit_or_exit(&report) {
                 Ok(ok) => i32::from(!ok),
                 Err(code) => code,
@@ -898,14 +1017,15 @@ pub fn run(args: &[String]) -> i32 {
             max_redundancy,
             policy,
             max_iters,
+            profile,
         } => {
             // A bare `redeval equilibrium` *is* the registry report,
             // byte for byte — same contract as `redeval optimize`.
-            if scenario.is_none()
+            let bare = scenario.is_none()
                 && max_redundancy.is_none()
                 && policy.is_none()
-                && max_iters.is_none()
-            {
+                && max_iters.is_none();
+            if bare && profile.is_none() {
                 return match emit_or_exit(&reports::equilibrium::builtin_equilibrium()) {
                     Ok(ok) => i32::from(!ok),
                     Err(code) => code,
@@ -930,13 +1050,29 @@ pub fn run(args: &[String]) -> i32 {
                 max_redundancy: *max_redundancy,
                 max_iters: *max_iters,
             };
-            let report = match reports::equilibrium::equilibrium_report(&req) {
+            let profiling = profile.as_deref().map(ProfileCtx::new);
+            let result = match &profiling {
+                None => reports::equilibrium::equilibrium_report(&req),
+                Some(ctx) => {
+                    reports::equilibrium::equilibrium_report_on(&req, &ctx.pool, &ctx.cache)
+                }
+            };
+            let mut report = match result {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("error: {e}");
                     return 1;
                 }
             };
+            if bare {
+                report.name = "equilibrium".into();
+            }
+            if let Some(ctx) = &profiling {
+                if let Err(msg) = ctx.finish() {
+                    eprintln!("error: {msg}");
+                    return 2;
+                }
+            }
             match emit_or_exit(&report) {
                 Ok(ok) => i32::from(!ok),
                 Err(code) => code,
@@ -1194,7 +1330,8 @@ mod tests {
             inv.cmd,
             Cmd::Eval {
                 file: "mine.json".into(),
-                policy: None
+                policy: None,
+                profile: None,
             }
         );
         let inv = parse(&args(&[
@@ -1211,7 +1348,8 @@ mod tests {
             inv.cmd,
             Cmd::Eval {
                 file: "mine.json".into(),
-                policy: Some(PatchPolicy::CriticalOnly(7.5))
+                policy: Some(PatchPolicy::CriticalOnly(7.5)),
+                profile: None,
             }
         );
         assert_eq!(inv.format, Format::Csv);
@@ -1240,6 +1378,7 @@ mod tests {
                 max_redundancy: None,
                 policy: None,
                 bounds: None,
+                profile: None,
             }
         );
         let inv = parse(&args(&[
@@ -1266,6 +1405,7 @@ mod tests {
                     max_asp: 0.2,
                     min_coa: 0.9962,
                 }),
+                profile: None,
             }
         );
         assert_eq!(inv.format, Format::Json);
@@ -1292,6 +1432,7 @@ mod tests {
                 max_redundancy: None,
                 policy: None,
                 max_iters: None,
+                profile: None,
             }
         );
         let inv = parse(&args(&[
@@ -1315,6 +1456,7 @@ mod tests {
                 max_redundancy: Some(2),
                 policy: Some(PatchPolicy::All),
                 max_iters: Some(8),
+                profile: None,
             }
         );
         assert_eq!(inv.format, Format::Json);
@@ -1327,6 +1469,60 @@ mod tests {
         assert!(parse(&args(&["table", "2", "--max-iters", "4"])).is_err());
         assert!(parse(&args(&["--max-iters", "4"])).is_err());
         assert!(parse(&args(&["equilibrium", "extra"])).is_err());
+    }
+
+    #[test]
+    fn parses_profile_on_the_evaluation_commands() {
+        // Bare form defaults the trace path; `=` pins it.
+        let inv = parse(&args(&["optimize", "--profile"])).unwrap();
+        assert_eq!(
+            inv.cmd,
+            Cmd::Optimize {
+                scenario: None,
+                max_redundancy: None,
+                policy: None,
+                bounds: None,
+                profile: Some(DEFAULT_TRACE_FILE.into()),
+            }
+        );
+        let inv = parse(&args(&[
+            "eval",
+            "--scenario",
+            "mine.json",
+            "--profile=trace.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            inv.cmd,
+            Cmd::Eval {
+                file: "mine.json".into(),
+                policy: None,
+                profile: Some("trace.json".into()),
+            }
+        );
+        let inv = parse(&args(&[
+            "equilibrium",
+            "--profile=eq.json",
+            "--max-iters",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(
+            inv.cmd,
+            Cmd::Equilibrium {
+                scenario: None,
+                max_redundancy: None,
+                policy: None,
+                max_iters: Some(4),
+                profile: Some("eq.json".into()),
+            }
+        );
+        // Usage errors: an empty path, a command that never profiles,
+        // and a bare flag without a command.
+        assert!(parse(&args(&["optimize", "--profile="])).is_err());
+        assert!(parse(&args(&["table", "2", "--profile"])).is_err());
+        assert!(parse(&args(&["serve", "--profile"])).is_err());
+        assert!(parse(&args(&["--profile"])).is_err());
     }
 
     #[test]

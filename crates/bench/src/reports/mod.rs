@@ -13,6 +13,7 @@
 pub mod equilibrium;
 pub mod figures;
 pub mod optimize;
+pub mod profile;
 pub mod scenario;
 pub mod studies;
 pub mod tables;
@@ -158,6 +159,11 @@ pub const REGISTRY: &[ReportSpec] = &[
         name: "equilibrium",
         about: "Attacker–defender best-response equilibrium (case study)",
         build: equilibrium::builtin_equilibrium,
+    },
+    ReportSpec {
+        name: "profile",
+        about: "Deterministic telemetry counters over eval/optimize/equilibrium",
+        build: profile::builtin_profile,
     },
     ReportSpec {
         name: "scenario_suite",

@@ -69,8 +69,15 @@ pub fn service_with_disk(
 }
 
 fn wired_service(threads: usize, cache_capacity: usize) -> Service {
+    // One counters-mode telemetry handle for the whole server lifetime:
+    // the cache mirrors its hits/solves/relabels and every solver's
+    // convergence stats into it, and the same handle backs the `core`
+    // section of `GET /v1/stats` and the `redeval_core_*` series of
+    // `GET /metrics`. Counters only — spans would cost wall-clock
+    // bookkeeping on every request for a signal nobody scrapes.
+    let telemetry = redeval::Telemetry::counters();
     let pool = Arc::new(Pool::new(threads));
-    let cache = Arc::new(AnalysisCache::new());
+    let cache = Arc::new(AnalysisCache::with_telemetry(telemetry.clone()));
     let (eval_pool, eval_cache) = (Arc::clone(&pool), Arc::clone(&cache));
     let (opt_pool, opt_cache) = (Arc::clone(&pool), Arc::clone(&cache));
     let (eq_pool, eq_cache) = (Arc::clone(&pool), Arc::clone(&cache));
@@ -93,6 +100,7 @@ fn wired_service(threads: usize, cache_capacity: usize) -> Service {
             limits: Limits::default(),
         },
     )
+    .with_telemetry(telemetry)
 }
 
 #[cfg(test)]

@@ -420,6 +420,8 @@ impl EquilibriumAnalyzer {
         policy_idx: usize,
         prune: bool,
     ) -> Result<AttackerResponse, EvalError> {
+        let tel = self.cache.telemetry().clone();
+        let _span = tel.span("attacker response");
         let entry_tiers = self.spec.entry_tiers();
         let k = entry_tiers.len();
         if k > MAX_ENTRY_TIERS {
@@ -475,6 +477,7 @@ impl EquilibriumAnalyzer {
                     // argmax or its tie-break.
                     if ub < *best_asp {
                         pruned += 1;
+                        tel.add(crate::telemetry::Counter::MasksPruned, 1);
                         continue;
                     }
                 }
@@ -482,6 +485,7 @@ impl EquilibriumAnalyzer {
             let mask: Vec<bool> = (0..k).map(|j| bits & (1u64 << j) != 0).collect();
             let m = harm.with_entry_mask(&expand(&mask)).metrics(&self.metrics);
             evaluated += 1;
+            tel.add(crate::telemetry::Counter::MasksEvaluated, 1);
             let (asp, aim) = (m.attack_success_probability, m.attack_impact);
             let better = match &best {
                 None => true,
@@ -502,6 +506,8 @@ impl EquilibriumAnalyzer {
     }
 
     fn run_impl(&self, pool: Option<&Pool>) -> Result<EquilibriumOutcome, EvalError> {
+        let tel = self.cache.telemetry().clone();
+        let _span = tel.span(format!("equilibrium (max_iters {})", self.max_iters));
         let entry_tiers = self.spec.entry_tiers();
         let k = entry_tiers.len();
         if k > MAX_ENTRY_TIERS {
@@ -533,6 +539,8 @@ impl EquilibriumAnalyzer {
         let mut last: Option<(DefenderResponse, AttackerResponse)> = None;
 
         for iteration in 1..=self.max_iters {
+            let _round_span = tel.span(format!("round {iteration}"));
+            tel.add(crate::telemetry::Counter::EquilibriumRounds, 1);
             let d = self.defender_response_impl(&attacker, pool)?;
             defender_evaluated_cells += d.evaluated_cells;
             let a = self.attacker_response(&d.eval.counts, d.policy_idx)?;

@@ -63,6 +63,7 @@ use redeval_srn::SrnError;
 
 use crate::evaluation::{DesignEvaluation, PatchPolicy};
 use crate::spec::{Design, NetworkSpec};
+use crate::telemetry::{Counter, Telemetry};
 use crate::EvalError;
 
 /// The number of worker threads matching the machine's available
@@ -405,6 +406,17 @@ impl ParamsKey {
 /// thousands of unrelated scenarios.
 const DEFAULT_ANALYSIS_CAPACITY: usize = 4096;
 
+/// One cache slot: either a finished solve (with its named relabels) or
+/// a marker that some thread is solving this key right now.
+#[derive(Debug)]
+enum Slot {
+    /// A solve is in flight on another thread; wait for its result.
+    InFlight,
+    /// Solved. Index 0 is the originally solved analysis, later entries
+    /// are relabels of it.
+    Ready(Vec<Arc<ServerAnalysis>>),
+}
+
 /// A thread-safe cache of per-tier lower-layer SRN solves.
 ///
 /// The lower-layer solve of a tier depends only on its [`ServerParams`],
@@ -417,16 +429,18 @@ const DEFAULT_ANALYSIS_CAPACITY: usize = 4096;
 /// while renames and vulnerability edits re-solve nothing.
 /// [`hits`](AnalysisCache::hits), [`solves`](AnalysisCache::solves) and
 /// [`relabels`](AnalysisCache::relabels) expose the dedup for tests and
-/// diagnostics.
+/// diagnostics, and an attached [`Telemetry`] handle mirrors them into
+/// the process-wide counter snapshot.
 #[derive(Debug)]
 pub struct AnalysisCache {
-    /// Per content key, every named variant produced so far; index 0 is
-    /// the originally solved one, later entries are relabels of it.
-    map: Mutex<HashMap<ParamsKey, Vec<Arc<ServerAnalysis>>>>,
+    map: Mutex<HashMap<ParamsKey, Slot>>,
+    /// Signalled whenever an in-flight solve completes (or fails).
+    ready: Condvar,
     capacity: usize,
     hits: AtomicUsize,
     solves: AtomicUsize,
     relabels: AtomicUsize,
+    telemetry: Telemetry,
 }
 
 impl Default for AnalysisCache {
@@ -448,11 +462,31 @@ impl AnalysisCache {
     pub fn with_capacity(capacity: usize) -> Self {
         AnalysisCache {
             map: Mutex::new(HashMap::new()),
+            ready: Condvar::new(),
             capacity: capacity.max(1),
             hits: AtomicUsize::new(0),
             solves: AtomicUsize::new(0),
             relabels: AtomicUsize::new(0),
+            telemetry: Telemetry::noop(),
         }
+    }
+
+    /// An empty cache (default capacity) that mirrors its counters —
+    /// and the convergence stats of every solve it performs — into
+    /// `telemetry`. This is how the batch layer, the optimizer and the
+    /// serving path get instrumented: they all resolve tier solves
+    /// through a shared cache.
+    pub fn with_telemetry(telemetry: Telemetry) -> Self {
+        let mut cache = Self::new();
+        cache.telemetry = telemetry;
+        cache
+    }
+
+    /// The telemetry handle counters are mirrored into (the no-op
+    /// handle unless constructed via
+    /// [`with_telemetry`](AnalysisCache::with_telemetry)).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The solved analysis for `params`, computed on first use.
@@ -460,45 +494,85 @@ impl AnalysisCache {
     /// A lookup that finds the same parameter content under a
     /// *different* tier name reuses the solved numbers and only swaps
     /// the label (a [`relabel`](AnalysisCache::relabels), not a solve) —
-    /// the name feeds report rows, never the SRN. Concurrent first
-    /// requests for the *same* key may solve it more than once (the
-    /// solve runs outside the lock); all solutions are identical, the
-    /// first insert wins, and no request ever blocks on another's solve.
+    /// the name feeds report rows, never the SRN. First requests are
+    /// **single-flighted** per key: concurrent requests for the same
+    /// parameter content perform exactly one solve (the others wait for
+    /// it and count as hits), so the hit/solve/relabel counters are
+    /// schedule-independent — the same workload reports the same
+    /// numbers at any thread count. Requests for *different* keys never
+    /// wait on each other (the solve runs outside the map lock).
     ///
     /// # Errors
     ///
-    /// Propagates SRN build/solve errors. Failures are not cached.
+    /// Propagates SRN build/solve errors. Failures are not cached; a
+    /// waiter re-attempts the solve itself.
     pub fn analysis(&self, params: &ServerParams) -> Result<Arc<ServerAnalysis>, SrnError> {
         let key = ParamsKey::of(params);
         {
             let mut map = self.map.lock().expect("cache lock");
-            if let Some(variants) = map.get_mut(&key) {
-                if let Some(hit) = variants.iter().find(|a| a.name() == params.name) {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(Arc::clone(hit));
+            loop {
+                match map.get_mut(&key) {
+                    Some(Slot::Ready(variants)) => {
+                        if let Some(hit) = variants.iter().find(|a| a.name() == params.name) {
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            self.telemetry.add(Counter::CacheHits, 1);
+                            return Ok(Arc::clone(hit));
+                        }
+                        // Same solve content under a new tier name:
+                        // relabel the solved analysis instead of solving
+                        // again. Done under the lock (a relabel is one
+                        // clone), so each (key, name) pair relabels at
+                        // most once however many threads race for it.
+                        let relabeled = Arc::new(variants[0].renamed(&params.name));
+                        variants.push(Arc::clone(&relabeled));
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.relabels.fetch_add(1, Ordering::Relaxed);
+                        self.telemetry.add(Counter::CacheHits, 1);
+                        self.telemetry.add(Counter::CacheRelabels, 1);
+                        return Ok(relabeled);
+                    }
+                    Some(Slot::InFlight) => {
+                        map = self.ready.wait(map).expect("cache wait");
+                    }
+                    None => {
+                        if map.len() >= self.capacity {
+                            // Wholesale flush, but never of in-flight
+                            // markers: dropping one would let a second
+                            // thread start a duplicate solve.
+                            map.retain(|_, slot| matches!(slot, Slot::InFlight));
+                        }
+                        map.insert(key, Slot::InFlight);
+                        break;
+                    }
                 }
-                // Same solve content under a new tier name: relabel the
-                // solved analysis instead of solving again.
-                let relabeled = Arc::new(variants[0].renamed(&params.name));
-                variants.push(Arc::clone(&relabeled));
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                self.relabels.fetch_add(1, Ordering::Relaxed);
-                return Ok(relabeled);
             }
         }
-        let solved = Arc::new(params.analyze()?);
-        self.solves.fetch_add(1, Ordering::Relaxed);
+        // Solve outside the lock; waiters for this key sleep on the
+        // condvar, requests for other keys proceed untouched.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| params.analyze()));
         let mut map = self.map.lock().expect("cache lock");
-        if !map.contains_key(&key) && map.len() >= self.capacity {
-            map.clear();
+        match result {
+            Ok(Ok(analysis)) => {
+                let solved = Arc::new(analysis);
+                self.solves.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.add(Counter::CacheSolves, 1);
+                self.telemetry.record_solve(&solved.solve_stats());
+                map.insert(key, Slot::Ready(vec![Arc::clone(&solved)]));
+                self.ready.notify_all();
+                Ok(solved)
+            }
+            Ok(Err(err)) => {
+                map.remove(&key);
+                self.ready.notify_all();
+                Err(err)
+            }
+            Err(payload) => {
+                map.remove(&key);
+                self.ready.notify_all();
+                drop(map);
+                std::panic::resume_unwind(payload);
+            }
         }
-        let variants = map.entry(key).or_default();
-        if let Some(winner) = variants.iter().find(|a| a.name() == params.name) {
-            // A concurrent solve of the same tier got here first.
-            return Ok(Arc::clone(winner));
-        }
-        variants.push(Arc::clone(&solved));
-        Ok(solved)
     }
 
     /// One cached analysis per tier of `spec`, in tier order.
@@ -616,6 +690,11 @@ fn evaluate_cell(
     cache: &AnalysisCache,
 ) -> Result<Vec<DesignEvaluation>, EvalError> {
     let first = &scenarios[members[0]];
+    let tel = cache.telemetry();
+    let _span = tel.span(format!("cell {}", first.label));
+    tel.add(Counter::CellsEvaluated, 1);
+    tel.add(Counter::DesignsEvaluated, members.len() as u64);
+    tel.add(Counter::HarmBuilds, 1);
     let analyses = cache.analyses_for(&first.spec)?;
     let spec = first.spec.with_counts(&first.design.counts)?;
     let harm = spec.build_harm();
@@ -699,6 +778,10 @@ impl Experiment {
     /// Returns the error of the earliest failing scenario (grid order).
     pub fn run(&self) -> Result<Vec<DesignEvaluation>, EvalError> {
         let cells = self.cells();
+        let tel = self.cache.telemetry();
+        let _span = tel.span(format!("experiment ({} cells)", cells.len()));
+        tel.add(Counter::PoolBatches, 1);
+        tel.add(Counter::PoolJobs, cells.len() as u64);
         let cell_results = run_batch(cells.len(), self.threads, |ci| {
             evaluate_cell(&self.scenarios, &cells[ci], &self.cache)
         });
@@ -717,6 +800,10 @@ impl Experiment {
         let cells = Arc::new(self.cells());
         let scenarios = Arc::new(self.scenarios.clone());
         let cache = Arc::clone(&self.cache);
+        let tel = self.cache.telemetry();
+        let _span = tel.span(format!("experiment ({} cells)", cells.len()));
+        tel.add(Counter::PoolBatches, 1);
+        tel.add(Counter::PoolJobs, cells.len() as u64);
         let job_cells = Arc::clone(&cells);
         let cell_results = pool.run_batch(cells.len(), move |ci| {
             evaluate_cell(&scenarios, &job_cells[ci], &cache)

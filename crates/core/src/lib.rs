@@ -72,6 +72,7 @@ pub mod report;
 pub mod scenario;
 pub mod sensitivity;
 mod spec;
+pub mod telemetry;
 
 pub use equilibrium::{EquilibriumAnalyzer, EquilibriumOutcome};
 pub use error::{EvalError, SpecIssue};
@@ -80,6 +81,7 @@ pub use exec::{AnalysisCache, Experiment, Pool, Scenario, Sweep};
 pub use optimize::{OptimizeOutcome, Optimizer};
 pub use scenario::{ScenarioDoc, ScenarioError};
 pub use spec::{Design, NetworkSpec, TierSpec};
+pub use telemetry::{Counter, CounterSnapshot, Telemetry};
 
 // Re-export the substrate vocabulary users need at this level.
 pub use redeval_avail::{AggregatedRates, Durations, NetworkModel, ServerParams, Tier};

@@ -443,6 +443,8 @@ impl Optimizer {
         let tiers = self.spec.tiers().len();
         let space_designs = self.space_designs();
         let space_cells = space_designs * self.policies.len() as f64;
+        let tel = self.cache.telemetry().clone();
+        let _span = tel.span(format!("optimize (max_redundancy {})", self.max_redundancy));
         let analyses = self.cache.analyses_for(&self.spec)?;
         let bounder = CoaBounder::new(&self.spec, &analyses, self.max_redundancy)?;
 
@@ -463,14 +465,19 @@ impl Optimizer {
         let mut boxes_pruned = 0;
         let mut pruned_boxes = Vec::new();
 
+        let mut wave_no = 0usize;
         while !wave.is_empty() {
+            wave_no += 1;
+            let _wave_span = tel.span(format!("wave {wave_no} ({} boxes)", wave.len()));
             // Stage A: prune on inherited floors, no evaluation needed.
             let mut survivors = Vec::with_capacity(wave.len());
             for (b, floors) in wave {
                 boxes_explored += 1;
+                tel.add(crate::telemetry::Counter::BoxesExplored, 1);
                 let coa_ub = bounder.coa_upper_bound(&b);
                 if floors.iter().all(|&f| front.dominates_point(f, coa_ub)) {
                     boxes_pruned += 1;
+                    tel.add(crate::telemetry::Counter::BoxesPruned, 1);
                     pruned_boxes.push((b.lo, b.hi));
                     continue;
                 }
@@ -499,6 +506,7 @@ impl Optimizer {
                     .collect();
                 if floors.iter().all(|&f| front.dominates_point(f, coa_ub)) {
                     boxes_pruned += 1;
+                    tel.add(crate::telemetry::Counter::BoxesPruned, 1);
                     pruned_boxes.push((b.lo, b.hi));
                     continue;
                 }

@@ -172,6 +172,22 @@ impl Ctmc {
         steady::steady_state(&rates, options)
     }
 
+    /// The steady-state distribution together with its convergence
+    /// statistics ([`SolveStats`](crate::SolveStats)): the method that ran, iterations and
+    /// the final residual — surfaced on the success path, not just
+    /// inside [`SolveError::NoConvergence`].
+    ///
+    /// # Errors
+    ///
+    /// See [`steady_state`](Self::steady_state).
+    pub fn steady_state_with_stats(
+        &self,
+        options: &SteadyStateOptions,
+    ) -> Result<(Vec<f64>, crate::SolveStats), SolveError> {
+        let rates = self.rate_matrix()?;
+        steady::steady_state_with_stats(&rates, options)
+    }
+
     /// Expected steady-state reward `Σ_i π_i · reward(i)`.
     ///
     /// This is how SPNP-style reward measures (e.g. the paper's

@@ -58,7 +58,7 @@ pub use ctmc::{Ctmc, Transition};
 pub use dtmc::Dtmc;
 pub use error::SolveError;
 pub use stats::{weighted_mean, Summary};
-pub use steady::{SteadyStateMethod, SteadyStateOptions};
+pub use steady::{SolveStats, SteadyStateMethod, SteadyStateOptions};
 pub use transient::TransientOptions;
 
 #[cfg(test)]
@@ -77,6 +77,7 @@ mod send_sync_audit {
         ok::<Summary>();
         ok::<SolveError>();
         ok::<SteadyStateOptions>();
+        ok::<SolveStats>();
         ok::<TransientOptions>();
     }
 }

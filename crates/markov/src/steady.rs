@@ -51,6 +51,28 @@ impl Default for SteadyStateOptions {
     }
 }
 
+/// Convergence statistics of one steady-state solve, reported on the
+/// **success** path (the failure path carries its own numbers inside
+/// [`SolveError::NoConvergence`]).
+///
+/// All fields are deterministic functions of the chain and the options:
+/// the same solve always reports the same stats, which is what lets the
+/// telemetry layer pin them in goldens.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStats {
+    /// The method that actually ran (`Auto` is resolved to the concrete
+    /// algorithm before solving).
+    pub method: SteadyStateMethod,
+    /// Sweeps/iterations performed; `0` for the direct GTH elimination
+    /// and for trivial single-state classes.
+    pub iterations: usize,
+    /// Max-norm residual `‖πQ‖∞` of the returned distribution, measured
+    /// on the closed recurrent class (`0.0` for trivial classes).
+    pub residual: f64,
+    /// Number of states in the closed recurrent class actually solved.
+    pub states: usize,
+}
+
 /// Computes the steady-state distribution of a CTMC given its off-diagonal
 /// rate matrix.
 ///
@@ -62,6 +84,20 @@ impl Default for SteadyStateOptions {
 /// * [`SolveError::NoConvergence`] when an iterative method exhausts its
 ///   budget.
 pub fn steady_state(rates: &Csr, options: &SteadyStateOptions) -> Result<Vec<f64>, SolveError> {
+    steady_state_with_stats(rates, options).map(|(pi, _)| pi)
+}
+
+/// [`steady_state`] returning the distribution **and** its convergence
+/// statistics, so callers can surface iterations/residual on the success
+/// path too (not just inside [`SolveError::NoConvergence`]).
+///
+/// # Errors
+///
+/// As [`steady_state`].
+pub fn steady_state_with_stats(
+    rates: &Csr,
+    options: &SteadyStateOptions,
+) -> Result<(Vec<f64>, SolveStats), SolveError> {
     let n = rates.rows();
     if n == 0 {
         return Err(SolveError::Empty);
@@ -72,10 +108,26 @@ pub fn steady_state(rates: &Csr, options: &SteadyStateOptions) -> Result<Vec<f64
     }
     let class = &closed[0];
     let m = class.len();
+    let method = match options.method {
+        SteadyStateMethod::Auto => {
+            if m <= options.dense_threshold {
+                SteadyStateMethod::Gth
+            } else {
+                SteadyStateMethod::GaussSeidel
+            }
+        }
+        other => other,
+    };
     let mut pi = vec![0.0; n];
     if m == 1 {
         pi[class[0]] = 1.0;
-        return Ok(pi);
+        let stats = SolveStats {
+            method,
+            iterations: 0,
+            residual: 0.0,
+            states: 1,
+        };
+        return Ok((pi, stats));
     }
 
     // Restrict the rate matrix to the closed class.
@@ -93,17 +145,7 @@ pub fn steady_state(rates: &Csr, options: &SteadyStateOptions) -> Result<Vec<f64
     }
     let sub = Csr::from_triplets(m, m, &trips);
 
-    let method = match options.method {
-        SteadyStateMethod::Auto => {
-            if m <= options.dense_threshold {
-                SteadyStateMethod::Gth
-            } else {
-                SteadyStateMethod::GaussSeidel
-            }
-        }
-        other => other,
-    };
-    let sol = match method {
+    let (sol, iterations, resid) = match method {
         SteadyStateMethod::Gth => gth(&sub),
         SteadyStateMethod::GaussSeidel => gauss_seidel(&sub, options),
         SteadyStateMethod::Power => power(&sub, options),
@@ -112,7 +154,13 @@ pub fn steady_state(rates: &Csr, options: &SteadyStateOptions) -> Result<Vec<f64
     for (k, &s) in class.iter().enumerate() {
         pi[s] = sol[k];
     }
-    Ok(pi)
+    let stats = SolveStats {
+        method,
+        iterations,
+        residual: resid,
+        states: m,
+    };
+    Ok((pi, stats))
 }
 
 /// Finds the closed communicating classes (SCCs with no outgoing edges)
@@ -211,7 +259,10 @@ fn tarjan_scc(rates: &Csr) -> Vec<Vec<usize>> {
 }
 
 /// GTH elimination on an irreducible off-diagonal rate matrix.
-fn gth(rates: &Csr) -> Result<Vec<f64>, SolveError> {
+///
+/// Returns `(pi, iterations, residual)`; GTH is direct, so iterations is
+/// always `0` and the residual is measured a-posteriori on the input.
+fn gth(rates: &Csr) -> Result<(Vec<f64>, usize, f64), SolveError> {
     let n = rates.rows();
     let mut a = rates.to_dense();
     // Forward elimination.
@@ -250,11 +301,18 @@ fn gth(rates: &Csr) -> Result<Vec<f64>, SolveError> {
         pi[k] = s;
     }
     normalize(&mut pi);
-    Ok(pi)
+    let exit: Vec<f64> = (0..n)
+        .map(|i| rates.row(i).iter().map(|e| e.value).sum())
+        .collect();
+    let resid = residual(rates, &exit, &pi);
+    Ok((pi, 0, resid))
 }
 
-/// Gauss–Seidel sweeps on `πQ = 0`.
-fn gauss_seidel(rates: &Csr, options: &SteadyStateOptions) -> Result<Vec<f64>, SolveError> {
+/// Gauss–Seidel sweeps on `πQ = 0`, returning `(pi, sweeps, residual)`.
+fn gauss_seidel(
+    rates: &Csr,
+    options: &SteadyStateOptions,
+) -> Result<(Vec<f64>, usize, f64), SolveError> {
     let n = rates.rows();
     let exit: Vec<f64> = (0..n)
         .map(|i| rates.row(i).iter().map(|e| e.value).sum())
@@ -280,7 +338,7 @@ fn gauss_seidel(rates: &Csr, options: &SteadyStateOptions) -> Result<Vec<f64>, S
         // Residual: max_j |(πQ)_j|, relative to the rate scale.
         let resid = residual(rates, &exit, &pi);
         if resid < options.tolerance * scale {
-            return Ok(pi);
+            return Ok((pi, it + 1, resid));
         }
         if it == options.max_iterations - 1 {
             return Err(SolveError::NoConvergence {
@@ -292,8 +350,9 @@ fn gauss_seidel(rates: &Csr, options: &SteadyStateOptions) -> Result<Vec<f64>, S
     unreachable!("loop always returns")
 }
 
-/// Power iteration on the uniformized DTMC `P = I + Q/Λ`.
-fn power(rates: &Csr, options: &SteadyStateOptions) -> Result<Vec<f64>, SolveError> {
+/// Power iteration on the uniformized DTMC `P = I + Q/Λ`, returning
+/// `(pi, steps, residual)`.
+fn power(rates: &Csr, options: &SteadyStateOptions) -> Result<(Vec<f64>, usize, f64), SolveError> {
     let n = rates.rows();
     let exit: Vec<f64> = (0..n)
         .map(|i| rates.row(i).iter().map(|e| e.value).sum())
@@ -325,7 +384,7 @@ fn power(rates: &Csr, options: &SteadyStateOptions) -> Result<Vec<f64>, SolveErr
         if diff * lambda < options.tolerance * lambda.max(1.0) {
             let resid = residual(rates, &exit, &pi);
             if resid < (options.tolerance * lambda.max(1.0)).max(1e-10) {
-                return Ok(pi);
+                return Ok((pi, it + 1, resid));
             }
         }
         if it == options.max_iterations - 1 {
@@ -588,6 +647,66 @@ mod tests {
             .iter()
             .zip(&gs)
             .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn stats_surface_on_the_success_path() {
+        let r = ring(6);
+        let (pi, stats) = steady_state_with_stats(
+            &r,
+            &SteadyStateOptions {
+                method: SteadyStateMethod::GaussSeidel,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.method, SteadyStateMethod::GaussSeidel);
+        assert_eq!(stats.states, 6);
+        assert!(stats.iterations > 0, "iterative solves report sweeps");
+        assert!(stats.residual >= 0.0 && stats.residual < 1e-12);
+        // Identical to the stats-less entry point, bit for bit.
+        let plain = steady_state(
+            &r,
+            &SteadyStateOptions {
+                method: SteadyStateMethod::GaussSeidel,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(pi
+            .iter()
+            .zip(&plain)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+
+        // GTH is direct: zero iterations, but the residual is still real.
+        let (_, gth_stats) = steady_state_with_stats(
+            &r,
+            &SteadyStateOptions {
+                method: SteadyStateMethod::Gth,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(gth_stats.iterations, 0);
+        assert!(gth_stats.residual < 1e-12);
+
+        // Trivial closed class short-circuits with empty stats.
+        let absorbing = Csr::from_triplets(2, 2, &[(0, 1, 3.0)]);
+        let (_, s1) = steady_state_with_stats(&absorbing, &SteadyStateOptions::default()).unwrap();
+        assert_eq!((s1.states, s1.iterations), (1, 0));
+        assert_eq!(s1.residual, 0.0);
+    }
+
+    #[test]
+    fn stats_are_deterministic_across_repeat_solves() {
+        let r = ring(40);
+        let opts = SteadyStateOptions {
+            method: SteadyStateMethod::GaussSeidel,
+            ..Default::default()
+        };
+        let (_, a) = steady_state_with_stats(&r, &opts).unwrap();
+        let (_, b) = steady_state_with_stats(&r, &opts).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod cache;
 pub mod disk;
 pub mod http;
 pub mod metrics;
+pub mod prometheus;
 pub mod server;
 pub mod service;
 pub mod sha256;
@@ -62,6 +63,7 @@ pub use cache::{CacheStats, ResultCache, ENTRY_OVERHEAD};
 pub use disk::{DiskCache, DiskStats};
 pub use http::{read_request, HttpError, Limits, Request, Response};
 pub use metrics::{EndpointSnapshot, Histogram, ServiceMetrics};
+pub use prometheus::validate_exposition;
 pub use server::{Server, ServerHandle};
 pub use service::{
     error_response, eval_error_response, http_error_response, Endpoints, EquilibriumEndpoint,

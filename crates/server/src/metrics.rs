@@ -23,11 +23,12 @@ pub const BUCKETS: usize = 32;
 
 /// The endpoint labels tracked independently; `other` absorbs unknown
 /// paths (404s).
-pub const ENDPOINT_LABELS: [&str; 9] = [
+pub const ENDPOINT_LABELS: [&str; 10] = [
     "healthz",
     "scenarios",
     "reports",
     "stats",
+    "metrics",
     "eval",
     "sweep",
     "optimize",
@@ -49,8 +50,9 @@ fn bucket_index(us: u64) -> usize {
     ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
 }
 
-/// The inclusive upper bound of bucket `i` in microseconds.
-fn bucket_ceil_us(i: usize) -> u64 {
+/// The inclusive upper bound of bucket `i` in microseconds — also the
+/// `le` boundary of the Prometheus `_bucket` series (`/metrics`).
+pub fn bucket_ceil_us(i: usize) -> u64 {
     if i == 0 {
         0
     } else {
@@ -76,6 +78,21 @@ impl Histogram {
     /// The exact largest sample, in microseconds (0 when empty).
     pub fn max_us(&self) -> u64 {
         self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples, in microseconds (the Prometheus `_sum`).
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket sample counts (non-cumulative), in bucket order — the
+    /// raw series behind the Prometheus cumulative `_bucket` lines.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (o, b) in out.iter_mut().zip(&self.buckets) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
     }
 
     /// The upper-estimate `q`-quantile in microseconds (0 when empty):
@@ -153,6 +170,24 @@ impl ServiceMetrics {
             e.errors.fetch_add(1, Ordering::Relaxed);
         }
         e.latency.record(elapsed);
+    }
+
+    /// Visits every endpoint that has seen at least one request, in
+    /// [`ENDPOINT_LABELS`] order, with its request/error counts and raw
+    /// latency histogram — the iteration behind the Prometheus
+    /// exposition.
+    pub fn for_each_live(&self, mut f: impl FnMut(&'static str, u64, u64, &Histogram)) {
+        for (&label, e) in ENDPOINT_LABELS.iter().zip(&self.endpoints) {
+            let requests = e.requests.load(Ordering::Relaxed);
+            if requests > 0 {
+                f(
+                    label,
+                    requests,
+                    e.errors.load(Ordering::Relaxed),
+                    &e.latency,
+                );
+            }
+        }
     }
 
     /// Snapshots of every endpoint that has seen at least one request,

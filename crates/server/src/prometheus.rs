@@ -1,0 +1,512 @@
+//! Prometheus text exposition (version 0.0.4) for `GET /metrics`, plus
+//! a small in-repo syntax checker so the serve-smoke CI can validate a
+//! scrape without network dependencies.
+//!
+//! The exposition renders three source families:
+//!
+//! * **request traffic** — per-endpoint request/error counters and the
+//!   [`Histogram`](crate::metrics::Histogram) latency buckets as
+//!   cumulative `_bucket` series (the log2-µs bucket ceilings of
+//!   [`bucket_ceil_us`] become the `le`
+//!   boundaries, closed by `+Inf`);
+//! * **result cache** — the memory- and disk-tier counters of the
+//!   content-addressed response cache;
+//! * **core counters** — the deterministic [`CounterSnapshot`] of the
+//!   evaluation pipeline (solver iterations, analysis-cache traffic,
+//!   optimizer/attacker pruning), exported under a `redeval_core_`
+//!   prefix.
+//!
+//! Everything here is a pure function of the counter values: no
+//! wall-clock reads, no allocation beyond the output string. Scrape
+//! values obviously change between scrapes — the *format* is what the
+//! checker pins.
+
+use redeval::CounterSnapshot;
+
+use crate::cache::CacheStats;
+use crate::disk::DiskStats;
+use crate::metrics::{bucket_ceil_us, ServiceMetrics, BUCKETS};
+
+/// The `Content-Type` of the exposition, as Prometheus expects it.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Everything one scrape reads; a plain value struct so the renderer
+/// stays decoupled from [`crate::service::Service`].
+#[derive(Debug)]
+pub struct Scrape<'a> {
+    /// Requests handled so far (every endpoint).
+    pub requests: u64,
+    /// Service uptime in whole seconds.
+    pub uptime_seconds: u64,
+    /// The per-endpoint traffic table.
+    pub metrics: &'a ServiceMetrics,
+    /// Memory-tier result-cache counters.
+    pub cache: CacheStats,
+    /// Disk-tier result-cache counters (all-zero when absent).
+    pub disk: DiskStats,
+    /// Whether a disk tier is attached.
+    pub disk_enabled: bool,
+    /// The core evaluation-pipeline counters.
+    pub core: CounterSnapshot,
+}
+
+/// Appends one `# HELP` / `# TYPE` preamble.
+fn header(out: &mut String, name: &str, help: &str, kind: &str) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(help);
+    out.push_str("\n# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+/// Appends one unlabelled integer sample.
+fn sample(out: &mut String, name: &str, value: u64) {
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+/// Appends one sample carrying an `endpoint` label (plus optionally
+/// `le` for histogram buckets).
+fn labelled(out: &mut String, name: &str, endpoint: &str, le: Option<&str>, value: u64) {
+    out.push_str(name);
+    out.push_str("{endpoint=\"");
+    out.push_str(endpoint);
+    out.push('"');
+    if let Some(le) = le {
+        out.push_str(",le=\"");
+        out.push_str(le);
+        out.push('"');
+    }
+    out.push_str("} ");
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+/// A counter metric and its preamble in one call.
+fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    header(out, name, help, "counter");
+    sample(out, name, value);
+}
+
+/// A gauge metric and its preamble in one call.
+fn gauge(out: &mut String, name: &str, help: &str, value: u64) {
+    header(out, name, help, "gauge");
+    sample(out, name, value);
+}
+
+/// Renders one scrape (see the [module docs](self)).
+pub fn render(s: &Scrape<'_>) -> String {
+    let mut out = String::with_capacity(16 * 1024);
+
+    counter(
+        &mut out,
+        "redeval_requests_total",
+        "Requests handled, every endpoint.",
+        s.requests,
+    );
+    gauge(
+        &mut out,
+        "redeval_uptime_seconds",
+        "Seconds since the service started.",
+        s.uptime_seconds,
+    );
+
+    // Per-endpoint traffic. Endpoints that never saw a request are
+    // omitted, mirroring /v1/stats.
+    header(
+        &mut out,
+        "redeval_endpoint_requests_total",
+        "Requests routed to each endpoint.",
+        "counter",
+    );
+    s.metrics.for_each_live(|label, requests, _, _| {
+        labelled(
+            &mut out,
+            "redeval_endpoint_requests_total",
+            label,
+            None,
+            requests,
+        );
+    });
+    header(
+        &mut out,
+        "redeval_endpoint_errors_total",
+        "Responses with status >= 400 per endpoint.",
+        "counter",
+    );
+    s.metrics.for_each_live(|label, _, errors, _| {
+        labelled(
+            &mut out,
+            "redeval_endpoint_errors_total",
+            label,
+            None,
+            errors,
+        );
+    });
+    header(
+        &mut out,
+        "redeval_request_duration_microseconds",
+        "Request latency in microseconds, log2 buckets.",
+        "histogram",
+    );
+    s.metrics.for_each_live(|label, _, _, latency| {
+        let counts = latency.bucket_counts();
+        let mut cumulative = 0u64;
+        for (i, &c) in counts.iter().enumerate().take(BUCKETS) {
+            cumulative += c;
+            let le = bucket_ceil_us(i).to_string();
+            labelled(
+                &mut out,
+                "redeval_request_duration_microseconds_bucket",
+                label,
+                Some(&le),
+                cumulative,
+            );
+        }
+        labelled(
+            &mut out,
+            "redeval_request_duration_microseconds_bucket",
+            label,
+            Some("+Inf"),
+            cumulative,
+        );
+        labelled(
+            &mut out,
+            "redeval_request_duration_microseconds_sum",
+            label,
+            None,
+            latency.sum_us(),
+        );
+        labelled(
+            &mut out,
+            "redeval_request_duration_microseconds_count",
+            label,
+            None,
+            latency.count(),
+        );
+    });
+
+    // Memory-tier result cache.
+    counter(
+        &mut out,
+        "redeval_cache_hits_total",
+        "Result-cache memory-tier hits.",
+        s.cache.hits,
+    );
+    counter(
+        &mut out,
+        "redeval_cache_misses_total",
+        "Result-cache memory-tier misses.",
+        s.cache.misses,
+    );
+    counter(
+        &mut out,
+        "redeval_cache_evictions_total",
+        "Result-cache entries evicted for capacity.",
+        s.cache.evictions,
+    );
+    gauge(
+        &mut out,
+        "redeval_cache_entries",
+        "Result-cache entries resident.",
+        s.cache.entries as u64,
+    );
+    gauge(
+        &mut out,
+        "redeval_cache_used_bytes",
+        "Result-cache bytes accounted.",
+        s.cache.used_bytes as u64,
+    );
+    gauge(
+        &mut out,
+        "redeval_cache_capacity_bytes",
+        "Result-cache byte budget.",
+        s.cache.capacity_bytes as u64,
+    );
+
+    // Disk tier (exported even when absent so the series never vanish).
+    gauge(
+        &mut out,
+        "redeval_cache_disk_enabled",
+        "1 when a persistent cache tier is attached.",
+        u64::from(s.disk_enabled),
+    );
+    counter(
+        &mut out,
+        "redeval_cache_disk_hits_total",
+        "Disk-tier cache hits.",
+        s.disk.hits,
+    );
+    counter(
+        &mut out,
+        "redeval_cache_disk_misses_total",
+        "Disk-tier cache misses.",
+        s.disk.misses,
+    );
+    counter(
+        &mut out,
+        "redeval_cache_disk_writes_total",
+        "Disk-tier entries written.",
+        s.disk.writes,
+    );
+
+    // Core evaluation-pipeline counters, in the snapshot's stable order.
+    for (name, value) in s.core.entries() {
+        let metric = format!("redeval_core_{name}_total");
+        counter(
+            &mut out,
+            &metric,
+            "Deterministic core pipeline counter.",
+            value,
+        );
+    }
+    header(
+        &mut out,
+        "redeval_core_solver_residual_max",
+        "Largest final solver residual observed.",
+        "gauge",
+    );
+    out.push_str("redeval_core_solver_residual_max ");
+    out.push_str(&format!("{:?}\n", s.core.solver_residual_max));
+
+    out
+}
+
+/// Is `c` legal at position `i` of a metric or label name?
+fn name_char(c: char, i: usize) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+}
+
+/// Validates `text` against the exposition-format grammar this renderer
+/// targets: every line is a `# HELP`/`# TYPE` preamble or a sample
+/// `name{labels} value`, names are well-formed, label values are
+/// quoted, sample values parse as floats (`+Inf`/`-Inf`/`NaN`
+/// included), a metric's samples follow its `# TYPE`, and the text ends
+/// with a newline.
+///
+/// # Errors
+///
+/// The first offending line, 1-based, with what was wrong.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    if text.is_empty() {
+        return Err("empty exposition".into());
+    }
+    if !text.ends_with('\n') {
+        return Err("exposition must end with a newline".into());
+    }
+    let mut typed: Vec<String> = Vec::new();
+    for (no, line) in text.lines().enumerate() {
+        let no = no + 1;
+        let err = |m: String| Err(format!("line {no}: {m}"));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let (keyword, rest) = rest.split_once(' ').unwrap_or((rest, ""));
+            match keyword {
+                "HELP" => {
+                    let name = rest.split(' ').next().unwrap_or("");
+                    if !valid_name(name) {
+                        return err(format!("bad metric name in HELP: `{name}`"));
+                    }
+                }
+                "TYPE" => {
+                    let mut parts = rest.split(' ');
+                    let name = parts.next().unwrap_or("");
+                    let kind = parts.next().unwrap_or("");
+                    if !valid_name(name) {
+                        return err(format!("bad metric name in TYPE: `{name}`"));
+                    }
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return err(format!("unknown TYPE `{kind}` for `{name}`"));
+                    }
+                    if typed.iter().any(|t| t == name) {
+                        return err(format!("duplicate TYPE for `{name}`"));
+                    }
+                    typed.push(name.to_string());
+                }
+                _ => return err(format!("unknown comment keyword `{keyword}`")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            return err("comment must start with `# `".into());
+        }
+        // Sample: name{labels} value
+        let name_end = line
+            .char_indices()
+            .take_while(|&(i, c)| name_char(c, i))
+            .count();
+        if name_end == 0 {
+            return err("sample line does not start with a metric name".into());
+        }
+        let name = &line[..name_end];
+        let mut rest = &line[name_end..];
+        if let Some(after) = rest.strip_prefix('{') {
+            let close = after
+                .find('}')
+                .ok_or_else(|| format!("line {no}: unterminated label set"))?;
+            let labels = &after[..close];
+            for pair in labels.split(',') {
+                let (lname, lvalue) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("line {no}: label without `=`: `{pair}`"))?;
+                if !valid_name(lname) || lname.contains(':') {
+                    return err(format!("bad label name `{lname}`"));
+                }
+                if !(lvalue.len() >= 2 && lvalue.starts_with('"') && lvalue.ends_with('"')) {
+                    return err(format!("unquoted label value for `{lname}`"));
+                }
+                let inner = &lvalue[1..lvalue.len() - 1];
+                if inner.contains('"') || inner.contains('\n') {
+                    return err(format!("unescaped character in label value for `{lname}`"));
+                }
+            }
+            rest = &after[close + 1..];
+        }
+        let value = rest.trim_start();
+        if value.is_empty() {
+            return err(format!("sample `{name}` has no value"));
+        }
+        let ok = matches!(value, "+Inf" | "-Inf" | "NaN") || value.parse::<f64>().is_ok();
+        if !ok {
+            return err(format!("sample `{name}` has a non-numeric value `{value}`"));
+        }
+        // A sample must follow its family's TYPE: `_bucket`/`_sum`/
+        // `_count` suffixes belong to the histogram base name.
+        let base = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|s| name.strip_suffix(s))
+            .filter(|base| typed.iter().any(|t| t == base))
+            .unwrap_or(name);
+        if !typed.iter().any(|t| t == base) {
+            return err(format!("sample `{name}` before its # TYPE"));
+        }
+    }
+    Ok(())
+}
+
+/// Is `name` a well-formed metric name?
+fn valid_name(name: &str) -> bool {
+    !name.is_empty() && name.char_indices().all(|(i, c)| name_char(c, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn scrape_fixture(metrics: &ServiceMetrics) -> Scrape<'_> {
+        Scrape {
+            requests: 3,
+            uptime_seconds: 12,
+            metrics,
+            cache: CacheStats {
+                hits: 2,
+                misses: 1,
+                evictions: 0,
+                rejected: 0,
+                entries: 1,
+                used_bytes: 100,
+                capacity_bytes: 1024,
+            },
+            disk: DiskStats::default(),
+            disk_enabled: false,
+            core: CounterSnapshot::zero(),
+        }
+    }
+
+    #[test]
+    fn render_validates_and_carries_the_expected_series() {
+        let m = ServiceMetrics::new();
+        m.record("eval", 200, Duration::from_micros(700));
+        m.record("eval", 400, Duration::from_micros(5));
+        m.record("no-such", 404, Duration::from_micros(1));
+        let text = render(&scrape_fixture(&m));
+        validate_exposition(&text).unwrap();
+        assert!(text.contains("redeval_requests_total 3\n"));
+        assert!(text.contains("redeval_endpoint_requests_total{endpoint=\"eval\"} 2\n"));
+        assert!(text.contains("redeval_endpoint_errors_total{endpoint=\"eval\"} 1\n"));
+        assert!(text.contains("redeval_endpoint_requests_total{endpoint=\"other\"} 1\n"));
+        assert!(text.contains("redeval_cache_hits_total 2\n"));
+        assert!(text.contains("redeval_core_solver_solves_total 0\n"));
+        assert!(text.contains("redeval_core_solver_residual_max 0.0\n"));
+        // Histogram: cumulative buckets end at +Inf == _count.
+        assert!(text.contains(
+            "redeval_request_duration_microseconds_bucket{endpoint=\"eval\",le=\"+Inf\"} 2\n"
+        ));
+        assert!(text.contains("redeval_request_duration_microseconds_count{endpoint=\"eval\"} 2\n"));
+        assert!(text.contains("redeval_request_duration_microseconds_sum{endpoint=\"eval\"} 705\n"));
+    }
+
+    #[test]
+    fn buckets_are_cumulative_and_monotone() {
+        let m = ServiceMetrics::new();
+        for us in [1u64, 10, 100, 1000, 10_000] {
+            m.record("eval", 200, Duration::from_micros(us));
+        }
+        let text = render(&scrape_fixture(&m));
+        let mut last = 0u64;
+        let mut buckets = 0;
+        for line in text.lines() {
+            if let Some(rest) =
+                line.strip_prefix("redeval_request_duration_microseconds_bucket{endpoint=\"eval\"")
+            {
+                let value: u64 = rest.rsplit(' ').next().unwrap().parse().unwrap();
+                assert!(value >= last, "non-monotone bucket: {line}");
+                last = value;
+                buckets += 1;
+            }
+        }
+        assert_eq!(buckets, BUCKETS + 1, "all le boundaries plus +Inf");
+        assert_eq!(last, 5);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        let cases: &[(&str, &str)] = &[
+            ("", "empty"),
+            ("redeval_x 1", "newline"),
+            ("redeval_x 1\n", "before its # TYPE"),
+            ("# TYPE redeval_x counter\nredeval_x\n", "no value"),
+            ("# TYPE redeval_x counter\nredeval_x abc\n", "non-numeric"),
+            ("# TYPE redeval_x frobnicator\n", "unknown TYPE"),
+            (
+                "# TYPE redeval_x counter\n# TYPE redeval_x counter\n",
+                "duplicate TYPE",
+            ),
+            (
+                "# TYPE redeval_x counter\nredeval_x{endpoint=eval} 1\n",
+                "unquoted",
+            ),
+            (
+                "# TYPE redeval_x counter\nredeval_x{endpoint=\"eval\" 1\n",
+                "unterminated",
+            ),
+            ("#TYPE redeval_x counter\n", "comment"),
+            ("{} 1\n", "metric name"),
+        ];
+        for (text, needle) in cases {
+            let err = validate_exposition(text).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "expected `{needle}` in error for {text:?}, got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn validator_accepts_special_float_values() {
+        let text = "# TYPE redeval_x gauge\nredeval_x +Inf\nredeval_x{a=\"b\",c=\"d\"} NaN\n";
+        validate_exposition(text).unwrap();
+    }
+}

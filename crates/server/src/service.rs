@@ -39,6 +39,7 @@ use crate::cache::{CacheStats, ResultCache};
 use crate::disk::{DiskCache, DiskStats};
 use crate::http::{HttpError, Limits, Request, Response};
 use crate::metrics::ServiceMetrics;
+use crate::prometheus;
 use crate::sha256::{sha256, Digest};
 
 /// Identifies the serving schema (bumped on breaking endpoint changes).
@@ -167,6 +168,7 @@ pub struct Service {
     cache: ResultCache,
     disk: Option<DiskCache>,
     metrics: ServiceMetrics,
+    telemetry: redeval::Telemetry,
     limits: Limits,
     requests: AtomicU64,
     started: Instant,
@@ -180,6 +182,7 @@ impl Service {
             cache: ResultCache::new(config.cache_capacity),
             disk: None,
             metrics: ServiceMetrics::new(),
+            telemetry: redeval::Telemetry::noop(),
             limits: config.limits,
             requests: AtomicU64::new(0),
             started: Instant::now(),
@@ -193,6 +196,17 @@ impl Service {
     #[must_use]
     pub fn with_disk(mut self, disk: DiskCache) -> Self {
         self.disk = Some(disk);
+        self
+    }
+
+    /// Attaches the core telemetry handle whose counters `GET /metrics`
+    /// and the `/v1/stats` core section report — the same handle the
+    /// injected endpoints' evaluation pipeline increments (the CLI
+    /// threads it through the shared analysis cache). Defaults to a
+    /// no-op handle whose counters read zero.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: redeval::Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -250,6 +264,7 @@ impl Service {
                 Response::json(200, (self.endpoints.reports)().to_json()),
             ),
             ("GET", "/v1/stats") => ("stats", Response::json(200, self.stats_report().to_json())),
+            ("GET", "/metrics") => ("metrics", self.metrics_response()),
             ("POST", "/v1/eval") => ("eval", self.eval(req)),
             ("POST", "/v1/sweep") => ("sweep", self.sweep(req)),
             ("POST", "/v1/optimize") => ("optimize", self.optimize(req)),
@@ -264,6 +279,7 @@ impl Service {
             (_, "/v1/scenarios") => ("scenarios", method_not_allowed("GET")),
             (_, "/v1/reports") => ("reports", method_not_allowed("GET")),
             (_, "/v1/stats") => ("stats", method_not_allowed("GET")),
+            (_, "/metrics") => ("metrics", method_not_allowed("GET")),
             _ => (
                 "other",
                 error_response(
@@ -272,8 +288,8 @@ impl Service {
                     vec![(
                         "message".into(),
                         Value::from(
-                            "no such endpoint; see /healthz, /v1/scenarios, /v1/reports, \
-                             /v1/stats, /v1/eval, /v1/sweep, /v1/optimize, \
+                            "no such endpoint; see /healthz, /metrics, /v1/scenarios, \
+                             /v1/reports, /v1/stats, /v1/eval, /v1/sweep, /v1/optimize, \
                              /v1/equilibrium, /v1/generate",
                         ),
                     )],
@@ -307,11 +323,33 @@ impl Service {
         }
     }
 
+    /// The `GET /metrics` response: Prometheus text exposition over the
+    /// same counters `/v1/stats` reports (see [`crate::prometheus`]).
+    fn metrics_response(&self) -> Response {
+        let text = prometheus::render(&prometheus::Scrape {
+            requests: self.requests.load(Ordering::Relaxed),
+            uptime_seconds: self.started.elapsed().as_secs(),
+            metrics: &self.metrics,
+            cache: self.cache.stats(),
+            disk: self.disk_stats(),
+            disk_enabled: self.disk.is_some(),
+            core: self.telemetry.snapshot(),
+        });
+        Response {
+            status: 200,
+            content_type: prometheus::CONTENT_TYPE,
+            extra_headers: Vec::new(),
+            body: text.into_bytes(),
+        }
+    }
+
     /// The `GET /v1/stats` report: live counters, deliberately *not*
-    /// golden-pinned (it changes with every request). Three blocks: the
+    /// golden-pinned (it changes with every request). Four blocks: the
     /// request/uptime counters, the memory- and disk-tier cache
-    /// counters, and a per-endpoint latency table (see
-    /// [`crate::metrics`] for what the quantiles mean).
+    /// counters, the core evaluation-pipeline counters (the attached
+    /// [`redeval::Telemetry`] snapshot, `core_`-prefixed), and a
+    /// per-endpoint latency table (see [`crate::metrics`] for what the
+    /// quantiles mean).
     pub fn stats_report(&self) -> Report {
         let c = self.cache.stats();
         let d = self.disk_stats();
@@ -342,6 +380,21 @@ impl Service {
             ("cache_disk_used_bytes", int(d.used_bytes)),
             ("cache_disk_capacity_bytes", int(d.capacity_bytes)),
         ]);
+        let snap = self.telemetry.snapshot();
+        let mut core: Vec<(String, Value)> = snap
+            .entries()
+            .map(|(name, value)| (format!("core_{name}"), int(value)))
+            .collect();
+        core.push((
+            "core_cache_hit_rate".into(),
+            Value::from(snap.cache_hit_rate()),
+        ));
+        core.push(("core_prune_ratio".into(), Value::from(snap.prune_ratio())));
+        core.push((
+            "core_solver_residual_max".into(),
+            Value::from(snap.solver_residual_max),
+        ));
+        r.keys(core);
         let mut table = redeval::output::Table::new(
             "endpoints",
             [

@@ -91,8 +91,10 @@ impl StateSpace {
     ///
     /// Propagates CTMC solver errors (e.g. a reducible chain).
     pub fn solve(self) -> Result<crate::SolvedSrn, SrnError> {
-        let pi = self.ctmc.steady_state()?;
-        Ok(crate::SolvedSrn::new(self, pi))
+        let (pi, stats) = self
+            .ctmc
+            .steady_state_with_stats(&redeval_markov::SteadyStateOptions::default())?;
+        Ok(crate::SolvedSrn::new(self, pi, stats))
     }
 }
 

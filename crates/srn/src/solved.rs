@@ -13,16 +13,24 @@ use crate::{Marking, SrnError};
 pub struct SolvedSrn {
     space: StateSpace,
     pi: Vec<f64>,
+    stats: redeval_markov::SolveStats,
 }
 
 impl SolvedSrn {
-    pub(crate) fn new(space: StateSpace, pi: Vec<f64>) -> Self {
-        SolvedSrn { space, pi }
+    pub(crate) fn new(space: StateSpace, pi: Vec<f64>, stats: redeval_markov::SolveStats) -> Self {
+        SolvedSrn { space, pi, stats }
     }
 
     /// The underlying state space.
     pub fn state_space(&self) -> &StateSpace {
         &self.space
+    }
+
+    /// Convergence statistics of the steady-state solve that produced
+    /// [`steady_state`](SolvedSrn::steady_state): method, iterations and
+    /// final residual — deterministic for a given net.
+    pub fn solve_stats(&self) -> redeval_markov::SolveStats {
+        self.stats
     }
 
     /// Steady-state probabilities, indexed like
@@ -219,6 +227,18 @@ mod tests {
         let s = net.solve().unwrap();
         let sum: f64 = s.steady_state().iter().sum();
         assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_stats_cover_the_tangible_space() {
+        let (net, _, _, _) = two_components();
+        let s = net.solve().unwrap();
+        let stats = s.solve_stats();
+        assert_eq!(stats.states, s.state_space().len());
+        assert!(stats.residual.is_finite() && stats.residual >= 0.0);
+        // Solving the same net again reports identical stats.
+        let again = net.solve().unwrap().solve_stats();
+        assert_eq!(stats, again);
     }
 
     #[test]

@@ -361,19 +361,132 @@ fn unknown_paths_and_wrong_methods_are_4xx() {
     handle.stop();
 }
 
+/// `GET /metrics` (ISSUE 10): the scrape is valid Prometheus text
+/// exposition cold *and* warm, carries per-endpoint histogram series
+/// for every endpoint that served a request, and — once evaluations
+/// ran — live `redeval_core_*` counters from the shared analysis cache.
+#[test]
+fn metrics_exposition_is_valid_cold_and_warm() {
+    let handle = start_server();
+    let (mut stream, mut reader) = connect(&handle);
+
+    // Cold scrape: a valid exposition before any evaluation ran, core
+    // counters all zero.
+    let cold = get(&mut stream, &mut reader, "/metrics");
+    assert_eq!(cold.status, 200);
+    assert!(
+        cold.header("Content-Type")
+            .is_some_and(|t| t.starts_with("text/plain")),
+        "exposition content type"
+    );
+    redeval_server::validate_exposition(cold.body_text()).expect("cold scrape validates");
+    assert!(
+        cold.body_text().contains("redeval_core_cache_hits_total 0"),
+        "cold core counters are zero"
+    );
+
+    // Warm it: one eval (tier solves populate and re-hit the analysis
+    // cache) plus the repeat (a result-cache hit).
+    let scenario = paper_scenario_text();
+    for _ in 0..2 {
+        let reply = post(&mut stream, &mut reader, "/v1/eval", scenario.as_bytes());
+        assert_eq!(reply.status, 200);
+    }
+
+    let warm = get(&mut stream, &mut reader, "/metrics");
+    assert_eq!(warm.status, 200);
+    let text = warm.body_text();
+    redeval_server::validate_exposition(text).expect("warm scrape validates");
+    // Per-endpoint request counters and cumulative histogram series.
+    assert!(
+        text.contains("redeval_endpoint_requests_total{endpoint=\"eval\"} 2"),
+        "{text}"
+    );
+    assert!(
+        text.contains(
+            "redeval_request_duration_microseconds_bucket{endpoint=\"eval\",le=\"+Inf\"} 2"
+        ),
+        "{text}"
+    );
+    assert!(text.contains("redeval_cache_hits_total 1"), "{text}");
+    // The warm scrape must show analysis-cache hits: the case-study
+    // tiers share solve parameters, so one eval alone re-hits the
+    // shared cache (the CI smoke job greps for exactly this).
+    let hits: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("redeval_core_cache_hits_total "))
+        .expect("core cache hits series present")
+        .trim()
+        .parse()
+        .expect("counter value parses");
+    assert!(hits > 0, "warm scrape shows no core cache hits: {text}");
+    handle.stop();
+}
+
+/// The cache observability contract, pinned byte-for-byte: a fixed
+/// request sequence against a fresh service yields a deterministic
+/// `X-Redeval-Cache` header trace and deterministic cache/core counter
+/// lines in `/v1/stats` (every extracted value is schedule-independent;
+/// wall-clock stats keys are deliberately excluded).
+#[test]
+fn cache_contract_transcript_matches_its_golden() {
+    let service = serve::service(2, 1 << 20);
+    let scenario = paper_scenario_text();
+    let optimize_body = format!(
+        "{{\"scenario\": {}, \"max_redundancy\": 2}}",
+        scenario.trim_end()
+    );
+    let sequence: [(&str, &[u8]); 4] = [
+        ("/v1/eval", scenario.as_bytes()),
+        ("/v1/eval", scenario.as_bytes()),
+        ("/v1/optimize", optimize_body.as_bytes()),
+        ("/v1/eval", scenario.as_bytes()),
+    ];
+    let mut transcript = String::new();
+    for (path, body) in sequence {
+        let resp = service.handle(&Request::synthetic("POST", path, body));
+        let cache_state = resp
+            .extra_headers
+            .iter()
+            .find(|(n, _)| *n == redeval_server::CACHE_HEADER)
+            .map(|(_, v)| v.as_str())
+            .expect("cache header present");
+        transcript.push_str(&format!("POST {path} -> {} {cache_state}\n", resp.status));
+    }
+    let stats = service.handle(&Request::synthetic("GET", "/v1/stats", b""));
+    assert_eq!(stats.status, 200);
+    transcript.push_str("stats:\n");
+    // The `keys` items serialize their whole entry map on one line, so
+    // pick the pinned pairs out by key prefix rather than by line.
+    let body = std::str::from_utf8(&stats.body).expect("stats utf8");
+    let mut rest = body;
+    while let Some(pos) = ["\"cache_", "\"core_"]
+        .iter()
+        .filter_map(|p| rest.find(p))
+        .min()
+    {
+        let tail = &rest[pos..];
+        let end = tail.find([',', '}']).expect("stats JSON is well formed");
+        transcript.push_str(&format!("  {}\n", &tail[..end]));
+        rest = &tail[end..];
+    }
+    assert_matches_golden(transcript.as_bytes(), "cache_contract.txt");
+}
+
 /// Every file under `tests/golden/serve/` must be one this suite pins —
 /// a renamed golden must fail here, not linger as a dead byte pile
 /// (`tests/golden.rs` excludes the directory from its own orphan check
 /// and delegates to this one).
 #[test]
 fn no_orphan_serve_goldens() {
-    const PINNED: [&str; 6] = [
+    const PINNED: [&str; 7] = [
         "eval_paper_case_study.json",
         "optimize_paper_case_study.json",
         "equilibrium_paper_case_study.json",
         "healthz.http",
         "bad_json.http",
         "not_found.http",
+        "cache_contract.txt",
     ];
     for entry in fs::read_dir(golden_dir().join("serve")).expect("serve golden dir exists") {
         let path = entry.expect("dir entry").path();

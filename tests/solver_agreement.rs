@@ -105,3 +105,73 @@ fn steady_state_methods_agree_on_generated_tier_ctmcs() {
     // Six tiers per document, two seeds, three families.
     assert_eq!(chains, 36, "the corpus shrank; the property lost coverage");
 }
+
+/// Convergence budgets on the success path (ISSUE 10): the
+/// [`SolveStats`](redeval_markov::SolveStats) every solve now reports —
+/// the numbers the telemetry layer aggregates into `solver_iterations`
+/// and `solver_residual_max` — must be sane on real tier chains: GTH is
+/// direct (0 iterations, residual within float noise), Gauss–Seidel
+/// converges inside a small fraction of its iteration budget with a
+/// residual at or under the requested tolerance, and both report the
+/// same solved-class size.
+#[test]
+fn solve_stats_respect_convergence_budgets_on_generated_tiers() {
+    let params = GenParams {
+        tiers: 6,
+        redundancy: 2,
+        designs: 1,
+        policies: 1,
+    };
+    for family in generate::FAMILIES {
+        let doc = generate::generate(family, &params, 5);
+        for tier in &doc.tiers {
+            let model = ServerModel::build(&tier.params);
+            let ss = model.net().state_space().expect("server SRN is finite");
+            let ctmc = ss.ctmc();
+            let with_stats = |method, tolerance, max_iterations| {
+                ctmc.steady_state_with_stats(&SteadyStateOptions {
+                    method,
+                    tolerance,
+                    max_iterations,
+                    ..Default::default()
+                })
+                .unwrap_or_else(|e| panic!("{method:?} fails: {e:?}"))
+            };
+            let (_, gth) = with_stats(SteadyStateMethod::Gth, 1e-13, 200_000);
+            let (_, gs) = with_stats(SteadyStateMethod::GaussSeidel, 1e-13, 200_000);
+            let label = format!("{}/{}", doc.name, tier.name);
+            assert_eq!(gth.method, SteadyStateMethod::Gth, "{label}");
+            assert_eq!(gth.iterations, 0, "{label}: GTH is direct");
+            assert!(
+                gth.residual < 1e-10,
+                "{label}: GTH a-posteriori residual {:e}",
+                gth.residual
+            );
+            assert_eq!(gs.method, SteadyStateMethod::GaussSeidel, "{label}");
+            assert!(gs.iterations > 0, "{label}: an iterative solve iterates");
+            assert!(
+                gs.iterations < 20_000,
+                "{label}: Gauss–Seidel needed {} sweeps — the chain got \
+                 pathologically stiff or the solver regressed",
+                gs.iterations
+            );
+            // The reported residual is a-posteriori (balance-equation
+            // defect), not the iterate delta the tolerance bounds, so
+            // hold it to the same float-noise band as GTH.
+            assert!(
+                gs.residual < 1e-10,
+                "{label}: converged residual {:e} above the noise band",
+                gs.residual
+            );
+            assert_eq!(
+                gth.states, gs.states,
+                "{label}: methods solved different closed classes"
+            );
+            assert!(
+                gth.states > 0 && gth.states <= ss.tangible_markings().len(),
+                "{label}: solved class size {} outside the tangible space",
+                gth.states
+            );
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Counter-determinism differential suite (ISSUE 10 acceptance).
+//!
+//! The telemetry contract (DESIGN.md §14) splits signals into
+//! deterministic counters and wall-clock spans. This suite pins the
+//! deterministic half: for the paper case-study evaluation, the pruned
+//! optimize search and the attacker–defender equilibrium, the full
+//! counter snapshot — serialized to its canonical JSON — is
+//! **byte-identical** at 1, 2 and 4 worker threads. That holds because
+//! every instrumented site counts *work done* (cells, solves, boxes,
+//! masks), never scheduling artifacts, and because the analysis cache
+//! single-flights concurrent solves so a hit/solve split cannot depend
+//! on thread interleaving.
+
+use std::sync::Arc;
+
+use redeval::exec::{AnalysisCache, Pool};
+use redeval::scenario::builtin;
+use redeval::telemetry::{Counter, Telemetry};
+use redeval_bench::reports;
+use redeval_server::{EquilibriumRequest, OptimizeRequest};
+
+/// Runs `work` on a fresh pool + instrumented cache and returns the
+/// canonical counter-snapshot JSON.
+fn counters_at(threads: usize, work: impl Fn(&Pool, &Arc<AnalysisCache>)) -> String {
+    let tel = Telemetry::counters();
+    let pool = Pool::new(threads);
+    let cache = Arc::new(AnalysisCache::with_telemetry(tel.clone()));
+    work(&pool, &cache);
+    tel.snapshot().to_json()
+}
+
+#[test]
+fn eval_counters_are_byte_identical_across_thread_counts() {
+    let doc = builtin::paper_case_study();
+    let run = |pool: &Pool, cache: &Arc<AnalysisCache>| {
+        reports::scenario::eval_report_on(&doc, pool, cache).expect("paper scenario evaluates");
+    };
+    let base = counters_at(1, run);
+    assert!(base.contains("\"cells_evaluated\":"));
+    for threads in [2, 4] {
+        assert_eq!(
+            base,
+            counters_at(threads, run),
+            "eval counters differ between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn optimize_counters_are_byte_identical_across_thread_counts() {
+    let req = OptimizeRequest {
+        doc: builtin::paper_case_study(),
+        policies: None,
+        max_redundancy: Some(3),
+        bounds: None,
+    };
+    let run = |pool: &Pool, cache: &Arc<AnalysisCache>| {
+        reports::optimize::optimize_report_on(&req, pool, cache).expect("paper scenario optimizes");
+    };
+    let base = counters_at(1, run);
+    let one = counters_at(1, run);
+    assert_eq!(base, one, "optimize counters differ between two runs");
+    for threads in [2, 4] {
+        assert_eq!(
+            base,
+            counters_at(threads, run),
+            "optimize counters differ between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn equilibrium_counters_are_byte_identical_across_thread_counts() {
+    let req = EquilibriumRequest {
+        doc: builtin::paper_case_study(),
+        policies: None,
+        max_redundancy: Some(2),
+        max_iters: None,
+    };
+    let run = |pool: &Pool, cache: &Arc<AnalysisCache>| {
+        reports::equilibrium::equilibrium_report_on(&req, pool, cache)
+            .expect("paper scenario reaches equilibrium");
+    };
+    let base = counters_at(1, run);
+    assert!(base.contains("\"equilibrium_rounds\":"));
+    for threads in [2, 4] {
+        assert_eq!(
+            base,
+            counters_at(threads, run),
+            "equilibrium counters differ between 1 and {threads} threads"
+        );
+    }
+}
+
+/// The `--profile` acceptance shape: the Chrome-trace file's trailing
+/// `"counters"` object — the only part of the trace the determinism
+/// contract covers — is byte-identical across 1/2/4 threads even in
+/// profiler mode, where spans *are* being recorded concurrently.
+#[test]
+fn profiler_trace_counter_object_is_thread_invariant() {
+    let doc = builtin::paper_case_study();
+    let trace_counters = |threads: usize| -> String {
+        let tel = Telemetry::profiler();
+        let pool = Pool::new(threads);
+        let cache = Arc::new(AnalysisCache::with_telemetry(tel.clone()));
+        reports::scenario::eval_report_on(&doc, &pool, &cache).expect("paper scenario evaluates");
+        let trace = tel.chrome_trace_json();
+        let at = trace.find("\"counters\":").expect("trace carries counters");
+        trace[at..].to_string()
+    };
+    let base = trace_counters(1);
+    for threads in [2, 4] {
+        assert_eq!(
+            base,
+            trace_counters(threads),
+            "trace counters differ between 1 and {threads} threads"
+        );
+    }
+}
+
+/// The solver-facing counters carry real totals, and the worst residual
+/// survives aggregation: after an instrumented evaluation the snapshot
+/// reports at least one solve, states ≥ solves, and a residual in the
+/// solver's tolerance band.
+#[test]
+fn solver_counters_reflect_the_work_done() {
+    let tel = Telemetry::counters();
+    let pool = Pool::new(2);
+    let cache = Arc::new(AnalysisCache::with_telemetry(tel.clone()));
+    let doc = builtin::paper_case_study();
+    reports::scenario::eval_report_on(&doc, &pool, &cache).expect("paper scenario evaluates");
+    let snap = tel.snapshot();
+    let solves = snap.get(Counter::SolverSolves);
+    assert!(solves > 0, "evaluation performed no solves");
+    assert_eq!(
+        solves,
+        snap.get(Counter::CacheSolves),
+        "every solve goes through the analysis cache"
+    );
+    assert!(
+        snap.get(Counter::CacheHits) > 0,
+        "case-study tiers share solves"
+    );
+    assert!(
+        snap.get(Counter::SolverStates) >= solves,
+        "states accumulate per solve"
+    );
+    assert!(
+        snap.solver_residual_max.is_finite() && snap.solver_residual_max < 1e-9,
+        "residual max {} outside the tolerance band",
+        snap.solver_residual_max
+    );
+}
